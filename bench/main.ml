@@ -1,0 +1,637 @@
+(* The benchmark harness: one experiment per table/figure in the
+   paper's evaluation (sections 8.1-8.3), plus ablations and
+   microbenchmarks.
+
+     dune exec bench/main.exe              -- run everything
+     dune exec bench/main.exe -- fig3      -- just one experiment
+     dune exec bench/main.exe -- --quick   -- smaller workloads
+
+   Times are reported against a simulated clock: wall time plus the
+   buffer pool's simulated I/O, the WAL's fsync costs, and (for web
+   experiments) the platform's simulated per-request CPU.  Absolute
+   numbers are not comparable to the paper's testbed (16-core Xeon,
+   RAID-5); the shapes are what the harness reproduces, and each table
+   prints the paper's own numbers alongside. *)
+
+module Db = Ifdb_core.Database
+module Errors = Ifdb_core.Errors
+module Label = Ifdb_difc.Label
+module Value = Ifdb_rel.Value
+module Tuple = Ifdb_rel.Tuple
+module Buffer_pool = Ifdb_storage.Buffer_pool
+module Wal = Ifdb_storage.Wal
+module Rng = Ifdb_workload.Rng
+module Gps = Ifdb_workload.Gps
+module Cweb = Ifdb_workload.Cartel_web
+module Tpcc = Ifdb_workload.Tpcc
+module Cartel = Ifdb_cartel.Cartel
+module Web = Ifdb_platform.Web
+module Process = Ifdb_platform.Process
+module Auth_cache = Ifdb_platform.Auth_cache
+
+let quick = ref false
+
+let now () = Unix.gettimeofday ()
+
+let hr title = Printf.printf "\n=== %s ===\n%!" title
+
+(* simulated seconds accumulated in a database's pool + wal *)
+let db_io_s db =
+  float_of_int (Buffer_pool.io_ns (Db.pool db) + Wal.io_ns (Db.wal db)) /. 1e9
+
+let reset_db_io db =
+  Buffer_pool.reset_stats (Db.pool db);
+  Wal.reset_stats (Db.wal db)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3: the CarTel request mix (workload input validation)        *)
+(* ------------------------------------------------------------------ *)
+
+let fig3 () =
+  hr "Figure 3: CarTel HTTP request mix (spec vs sampled)";
+  let rng = Rng.create ~seed:303 in
+  let samples = if !quick then 20_000 else 200_000 in
+  let empirical = Cweb.empirical_mix rng ~samples in
+  Printf.printf "%-18s %8s %10s\n" "request" "spec" "sampled";
+  List.iter
+    (fun (spec, req) ->
+      Printf.printf "%-18s %8.2f %10.4f\n" (Cweb.path req) spec
+        (List.assoc req empirical))
+    Cweb.request_mix;
+  Printf.printf "(%d samples)\n" samples
+
+(* ------------------------------------------------------------------ *)
+(* CarTel fixtures for Figures 4 and 5                                 *)
+(* ------------------------------------------------------------------ *)
+
+let build_cartel ~ifc ~capacity_pages ?miss_cost_ns ?base_cost_ns () =
+  let users = if !quick then 6 else 12 in
+  let t =
+    Cartel.setup ~ifc ~if_platform:ifc ~users ~cars_per_user:2 ~capacity_pages
+      ?miss_cost_ns ?base_cost_ns ()
+  in
+  let rng = Rng.create ~seed:404 in
+  let cfg =
+    {
+      Gps.cars = users * 2;
+      drives_per_car = (if !quick then 2 else 4);
+      points_per_drive = (if !quick then 10 else 25);
+      start_ts = 1_600_000_000;
+    }
+  in
+  let points =
+    List.map
+      (fun p ->
+        { p with Gps.car_id = ((p.Gps.car_id / 2) * 100) + (p.Gps.car_id mod 2) })
+      (Gps.generate rng cfg)
+  in
+  Cartel.ingest_batch t points;
+  (* some friendships so drives.php exercises delegations *)
+  for u = 0 to users - 1 do
+    Cartel.befriend t ~owner:u ~friend:((u + 1) mod users)
+  done;
+  t
+
+let run_cartel_requests t rng ~requests =
+  let users = Array.length t.Cartel.users in
+  let ok = ref 0 and blocked = ref 0 and errors = ref 0 in
+  for _ = 1 to requests do
+    let user = Rng.int rng users in
+    let req = Cweb.sample_request rng in
+    let params =
+      match req with
+      | Cweb.Drives ->
+          (* mostly own drives, sometimes a friend's *)
+          if Rng.int rng 4 = 0 then
+            [ ("target", string_of_int ((user + 1) mod users)) ]
+          else []
+      | Cweb.Get_cars | Cweb.Cars | Cweb.Drives_top | Cweb.Friends
+      | Cweb.Edit_account ->
+          []
+    in
+    let r = Cartel.request t ~path:(Cweb.path req) ~user ~params () in
+    (match r.Web.status with
+    | `Ok -> incr ok
+    | `Blocked -> incr blocked
+    | `Error -> incr errors)
+  done;
+  (!ok, !blocked, !errors)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: CarTel web throughput                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper's two configurations saturate different resources: with
+   three web servers the (disk-bound) database is the bottleneck; with
+   one, the web tier's CPU is.  Each regime gets a fixture that makes
+   the corresponding stage dominant: the db-bound one runs against a
+   tiny buffer pool with RAID-era random-read latency; the web-bound
+   one runs in memory behind a deliberately slow (interpreted-PHP-like)
+   web tier.  Peak WIPS is the reciprocal of the slower stage. *)
+let fig4_one ~ifc =
+  let requests = if !quick then 400 else 1500 in
+  let throughput t =
+    let rng = Rng.create ~seed:42 in
+    (* warm up, then measure *)
+    ignore (run_cartel_requests t rng ~requests:(requests / 4));
+    reset_db_io t.Cartel.db;
+    Web.reset_stats t.Cartel.web;
+    let t0 = now () in
+    ignore (run_cartel_requests t rng ~requests);
+    let wall = now () -. t0 in
+    let db_time = wall +. db_io_s t.Cartel.db in
+    let web_time = float_of_int (Web.sim_cpu_ns t.Cartel.web) /. 1e9 in
+    (db_time /. float_of_int requests, web_time /. float_of_int requests)
+  in
+  (* db-bound: 3 web servers, database on slow disks *)
+  let t_db =
+    build_cartel ~ifc ~capacity_pages:(Some 16) ~miss_cost_ns:1_000_000 ()
+  in
+  let db_req, web_req = throughput t_db in
+  let wips_db_bound = 1.0 /. Float.max db_req (web_req /. 3.0) in
+  (* web-bound: 1 web server, in-memory database, slow web CPU *)
+  let t_web =
+    build_cartel ~ifc ~capacity_pages:None ~base_cost_ns:450_000 ()
+  in
+  let db_req, web_req = throughput t_web in
+  let wips_web_bound = 1.0 /. Float.max db_req web_req in
+  (wips_db_bound, wips_web_bound)
+
+let fig4 () =
+  hr "Figure 4: CarTel website throughput (web interactions per second)";
+  let pg_db, pg_web = fig4_one ~ifc:false in
+  let if_db, if_web = fig4_one ~ifc:true in
+  Printf.printf "%-26s %18s %18s\n" "" "PostgreSQL + PHP" "IFDB + PHP-IF";
+  Printf.printf "%-26s %18.1f %18.1f\n" "database-bound (3 web)" pg_db if_db;
+  Printf.printf "%-26s %18.1f %18.1f\n" "web-server-bound (1 web)" pg_web if_web;
+  Printf.printf
+    "shape check: db-bound ratio %.3f (paper: 230.4/229.3 = 1.005); \
+     web-bound ratio %.3f (paper: 103.5/132.0 = 0.784)\n"
+    (if_db /. pg_db) (if_web /. pg_web)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: per-script latency on an idle system                      *)
+(* ------------------------------------------------------------------ *)
+
+let fig5 () =
+  hr "Figure 5: CarTel web request latency on an idle system (ms)";
+  let reps = if !quick then 40 else 200 in
+  let scripts =
+    [ "login.php"; "drives.php"; "cars.php"; "get_cars.php"; "drives_top.php";
+      "edit_account.php"; "friends.php" ]
+  in
+  let weights =
+    (* figure 3 weights for the weighted-mean increase (login excluded,
+       as in the paper's workload table) *)
+    [ ("get_cars.php", 0.50); ("cars.php", 0.30); ("drives.php", 0.08);
+      ("drives_top.php", 0.08); ("friends.php", 0.03); ("edit_account.php", 0.01) ]
+  in
+  let measure ~ifc =
+    let t = build_cartel ~ifc ~capacity_pages:None () in
+    List.map
+      (fun path ->
+        Web.reset_stats t.Cartel.web;
+        reset_db_io t.Cartel.db;
+        let t0 = now () in
+        for i = 1 to reps do
+          ignore
+            (Cartel.request t ~path ~user:(i mod Array.length t.Cartel.users) ())
+        done;
+        let wall = now () -. t0 in
+        let total =
+          wall +. db_io_s t.Cartel.db
+          +. (float_of_int (Web.sim_cpu_ns t.Cartel.web) /. 1e9)
+        in
+        (path, total /. float_of_int reps *. 1e3))
+      scripts
+  in
+  let base = measure ~ifc:false in
+  let ifdb = measure ~ifc:true in
+  Printf.printf "%-18s %14s %14s %8s\n" "script" "PG+PHP (ms)" "IFDB+PHP-IF" "delta";
+  List.iter2
+    (fun (path, b) (_, i) ->
+      Printf.printf "%-18s %14.3f %14.3f %7.1f%%\n" path b i
+        ((i /. b -. 1.0) *. 100.0))
+    base ifdb;
+  let weighted xs =
+    List.fold_left (fun acc (path, w) -> acc +. (w *. List.assoc path xs)) 0.0 weights
+  in
+  let wb = weighted base and wi = weighted ifdb in
+  Printf.printf
+    "weighted mean: %.3f ms -> %.3f ms (+%.1f%%; paper reports +24%%)\n" wb wi
+    ((wi /. wb -. 1.0) *. 100.0)
+
+(* ------------------------------------------------------------------ *)
+(* Section 8.2.2: sensor data processing throughput                    *)
+(* ------------------------------------------------------------------ *)
+
+let sensor () =
+  hr "Section 8.2.2: sensor ingest throughput (measurements/second)";
+  let cars = if !quick then 8 else 20 in
+  let cfg =
+    {
+      Gps.cars;
+      drives_per_car = (if !quick then 3 else 6);
+      points_per_drive = (if !quick then 25 else 60);
+      start_ts = 1_600_000_000;
+    }
+  in
+  (* one measured run: fresh database, replay the trace, total = wall +
+     simulated I/O.  The paper's ingest ran against a disk-backed
+     store, so both engines get the same bounded pool. *)
+  let one_run ~ifc =
+    let t =
+      Cartel.setup ~ifc ~if_platform:ifc ~users:cars ~cars_per_user:1
+        ~capacity_pages:(Some 32) ~miss_cost_ns:1_000_000 ()
+    in
+    let rng = Rng.create ~seed:808 in
+    let points =
+      List.map
+        (fun p -> { p with Gps.car_id = p.Gps.car_id * 100 })
+        (Gps.generate rng cfg)
+    in
+    Gc.full_major ();
+    reset_db_io t.Cartel.db;
+    let t0 = now () in
+    Cartel.ingest_batch t points;
+    let total = now () -. t0 +. db_io_s t.Cartel.db in
+    (float_of_int (List.length points) /. total, List.length points)
+  in
+  (* wall-clock noise is of the same order as the effect, so warm up
+     and interleave repetitions, keeping each mode's best run *)
+  ignore (one_run ~ifc:false);
+  ignore (one_run ~ifc:true);
+  let reps = if !quick then 2 else 4 in
+  let best = Hashtbl.create 2 in
+  let n = ref 0 in
+  for _ = 1 to reps do
+    List.iter
+      (fun ifc ->
+        let rate, count = one_run ~ifc in
+        n := count;
+        let cur = Option.value ~default:0.0 (Hashtbl.find_opt best ifc) in
+        Hashtbl.replace best ifc (Float.max cur rate))
+      [ false; true ]
+  done;
+  let pg = Hashtbl.find best false in
+  let ifdb = Hashtbl.find best true in
+  Printf.printf "PostgreSQL: %8.0f meas/s\nIFDB:       %8.0f meas/s\n" pg ifdb;
+  Printf.printf
+    "overhead: %.1f%% over %d measurements x %d reps (paper: 2479 vs 2439 = 1.6%%)\n"
+    ((1.0 -. (ifdb /. pg)) *. 100.0)
+    !n reps
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: DBT-2 (TPC-C) throughput vs tags per label                *)
+(* ------------------------------------------------------------------ *)
+
+let fig6_point ~tags ~capacity_pages ~txns ~config ~reps =
+  let db = Db.create ~capacity_pages () in
+  let admin = Db.connect_admin db in
+  let bench_p = Db.create_principal admin ~name:"bench" in
+  let s = Db.connect db ~principal:bench_p in
+  let tag_list =
+    List.init tags (fun i -> Db.create_tag s ~name:(Printf.sprintf "t%d" i) ())
+  in
+  List.iter (fun tag -> Db.add_secrecy s tag) tag_list;
+  let rng = Rng.create ~seed:606 in
+  Tpcc.create_schema s;
+  Tpcc.populate s rng config;
+  (* wall-clock noise swamps small in-memory effects: isolate the GC
+     and keep the best of [reps] runs (simulated I/O is deterministic,
+     so the disk-bound regime needs only one) *)
+  let best = ref 0.0 in
+  for _ = 1 to reps do
+    Gc.compact ();
+    reset_db_io db;
+    let t0 = now () in
+    let counts = Tpcc.run_mix s rng config ~txns in
+    let total = now () -. t0 +. db_io_s db in
+    best := Float.max !best (float_of_int counts.Tpcc.new_orders /. total *. 60.0)
+  done;
+  (match Tpcc.consistency_check s config with
+  | Ok () -> ()
+  | Error e -> Printf.printf "  !! consistency: %s\n" e);
+  !best
+
+let fig6_baseline ~capacity_pages ~txns ~config ~reps =
+  let db = Db.create ~ifc:false ~capacity_pages () in
+  let s = Db.connect_admin db in
+  let rng = Rng.create ~seed:606 in
+  Tpcc.create_schema s;
+  Tpcc.populate s rng config;
+  let best = ref 0.0 in
+  for _ = 1 to reps do
+    Gc.compact ();
+    reset_db_io db;
+    let t0 = now () in
+    let counts = Tpcc.run_mix s rng config ~txns in
+    let total = now () -. t0 +. db_io_s db in
+    best := Float.max !best (float_of_int counts.Tpcc.new_orders /. total *. 60.0)
+  done;
+  !best
+
+let fig6 () =
+  hr "Figure 6: TPC-C (DBT-2) NOTPM vs tags per label";
+  let txns = if !quick then 600 else 3000 in
+  let mem_config =
+    { Tpcc.warehouses = 2; districts = 4; customers = 60; items = 400 }
+  in
+  let disk_config =
+    { Tpcc.warehouses = 2; districts = 4; customers = 80; items = 1200 }
+  in
+  let tag_points = if !quick then [ 0; 2; 6; 10 ] else [ 0; 1; 2; 4; 6; 8; 10 ] in
+  let run_regime name ~capacity_pages ~config ~reps =
+    Printf.printf "\n-- %s --\n%!" name;
+    let baseline = fig6_baseline ~capacity_pages ~txns ~config ~reps in
+    Printf.printf "%-16s %10.0f NOTPM\n%!" "PostgreSQL" baseline;
+    let points =
+      List.map
+        (fun tags ->
+          let notpm = fig6_point ~tags ~capacity_pages ~txns ~config ~reps in
+          (tags, notpm))
+        tag_points
+    in
+    let zero =
+      match points with (0, y) :: _ -> y | _ -> baseline
+    in
+    List.iter
+      (fun (tags, notpm) ->
+        Printf.printf
+          "IFDB tags = %-3d %10.0f NOTPM (%.1f%% of 0-tag IFDB, %.1f%% of baseline)\n%!"
+          tags notpm
+          (notpm /. zero *. 100.0)
+          (notpm /. baseline *. 100.0))
+      points;
+    (* least-squares per-tag slope, as a % of the fit's 0-tag intercept *)
+    let n = float_of_int (List.length points) in
+    let sx = List.fold_left (fun a (x, _) -> a +. float_of_int x) 0.0 points in
+    let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 points in
+    let sxy =
+      List.fold_left (fun a (x, y) -> a +. (float_of_int x *. y)) 0.0 points
+    in
+    let sxx =
+      List.fold_left (fun a (x, _) -> a +. (float_of_int x ** 2.0)) 0.0 points
+    in
+    let slope = ((n *. sxy) -. (sx *. sy)) /. ((n *. sxx) -. (sx *. sx)) in
+    let y0 = (sy -. (slope *. sx)) /. n in
+    Printf.printf "per-tag cost: %.2f%% of throughput per tag\n"
+      (-.slope /. y0 *. 100.0);
+    -.slope /. y0 *. 100.0
+  in
+  let mem_slope =
+    run_regime "in-memory (unbounded buffer pool)" ~capacity_pages:None
+      ~config:mem_config
+      ~reps:(if !quick then 2 else 3)
+  in
+  let disk_slope =
+    run_regime "disk-bound (small buffer pool)" ~capacity_pages:(Some 48)
+      ~config:disk_config ~reps:1
+  in
+  Printf.printf
+    "\nshape check: paper reports ~0.6%%/tag in-memory and ~1%%/tag on-disk; \
+     measured %.2f%%/tag and %.2f%%/tag (disk steeper: %b)\n"
+    mem_slope disk_slope
+    (disk_slope > mem_slope)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_auth_cache () =
+  hr "Ablation: the platform authority cache (paper section 7.2)";
+  let db = Db.create () in
+  let admin = Db.connect_admin db in
+  let alice = Db.create_principal admin ~name:"alice" in
+  let alice_s = Db.connect db ~principal:alice in
+  (* a deep-ish delegation chain makes the uncached check expensive *)
+  let tag = Db.create_tag alice_s ~name:"t" () in
+  let chain = ref alice in
+  for i = 1 to 6 do
+    let p = Db.create_principal admin ~name:(Printf.sprintf "p%d" i) in
+    let prev_s = Db.connect db ~principal:!chain in
+    Db.delegate prev_s ~tag ~grantee:p;
+    chain := p
+  done;
+  let final = !chain in
+  let reps = if !quick then 20_000 else 200_000 in
+  let run ~enabled =
+    let cache = Auth_cache.create ~enabled (Db.authority db) in
+    let t0 = now () in
+    for _ = 1 to reps do
+      ignore (Auth_cache.has_authority cache final tag)
+    done;
+    now () -. t0
+  in
+  let cold = run ~enabled:false in
+  let warm = run ~enabled:true in
+  Printf.printf
+    "%d release checks: uncached %.3fs, cached %.3fs (speedup %.1fx)\n" reps
+    cold warm (cold /. warm)
+
+let ablation_exact_label () =
+  hr "Ablation: exact-label filters vs plain confinement scans";
+  let db = Db.create () in
+  let admin = Db.connect_admin db in
+  let p = Db.create_principal admin ~name:"p" in
+  let s = Db.connect db ~principal:p in
+  let _t1 = Db.create_tag s ~name:"x1" () in
+  let _t2 = Db.create_tag s ~name:"x2" () in
+  ignore (Db.exec s "CREATE TABLE T (k INT, v INT)");
+  let rows = if !quick then 2_000 else 10_000 in
+  ignore (Db.exec s "PERFORM addsecrecy(x1)");
+  ignore (Db.exec s "BEGIN");
+  for i = 1 to rows / 2 do
+    ignore (Db.exec s (Printf.sprintf "INSERT INTO T VALUES (%d, %d)" i i))
+  done;
+  ignore (Db.exec s "COMMIT");
+  ignore (Db.exec s "PERFORM addsecrecy(x2)");
+  ignore (Db.exec s "BEGIN");
+  for i = 1 to rows / 2 do
+    ignore (Db.exec s (Printf.sprintf "INSERT INTO T VALUES (%d, %d)" (i + rows) i))
+  done;
+  ignore (Db.exec s "COMMIT");
+  let time q =
+    let t0 = now () in
+    for _ = 1 to 20 do
+      ignore (Db.query s q)
+    done;
+    (now () -. t0) /. 20.0 *. 1e3
+  in
+  let plain = time "SELECT COUNT(*) FROM T" in
+  let exact = time "SELECT COUNT(*) FROM T WHERE _label = {x1}" in
+  Printf.printf
+    "scan of %d rows: plain %.3f ms, exact-label filter %.3f ms (%+.0f%%)\n"
+    rows plain exact
+    ((exact /. plain -. 1.0) *. 100.0)
+
+let ablation_clearance () =
+  hr "Ablation: clearance-rule checks under Serializable isolation";
+  (* interleave the two modes so allocator/GC drift hits both equally *)
+  let mk iso =
+    let db = Db.create ~isolation:iso () in
+    let admin = Db.connect_admin db in
+    let p = Db.create_principal admin ~name:"p" in
+    let s = Db.connect db ~principal:p in
+    let tag = Db.create_tag s ~name:"t" () in
+    ignore (Db.exec s "CREATE TABLE T (a INT)");
+    (s, tag)
+  in
+  let si_s, si_tag = mk Db.Snapshot in
+  let ser_s, ser_tag = mk Db.Serializable in
+  let reps = if !quick then 2_000 else 10_000 in
+  let measure (s, tag) =
+    Gc.full_major ();
+    let t0 = now () in
+    for _ = 1 to reps do
+      ignore (Db.exec s "BEGIN");
+      Db.add_secrecy s tag;
+      ignore (Db.exec s "INSERT INTO T VALUES (1)");
+      Db.declassify s tag;
+      ignore (Db.exec s "COMMIT")
+    done;
+    (now () -. t0) /. float_of_int reps *. 1e6
+  in
+  let si = ref infinity and ser = ref infinity in
+  for _ = 1 to 3 do
+    si := Float.min !si (measure (si_s, si_tag));
+    ser := Float.min !ser (measure (ser_s, ser_tag))
+  done;
+  Printf.printf
+    "label-raising transaction: snapshot %.2f us, serializable %.2f us \
+     (clearance overhead %+.1f%%; the check is one authority lookup per \
+     raise, expected near zero)\n"
+    !si !ser
+    ((!ser /. !si -. 1.0) *. 100.0)
+
+let ablation_join_strategy () =
+  hr "Ablation: join strategies (index nested loop vs hash vs nested loop)";
+  let db = Db.create ~ifc:false () in
+  let s = Db.connect_admin db in
+  ignore (Db.exec s "CREATE TABLE big (k INT PRIMARY KEY, g INT, v INT)");
+  ignore (Db.exec s "CREATE TABLE sel (k INT PRIMARY KEY, w INT)");
+  let rows = if !quick then 2_000 else 8_000 in
+  ignore (Db.exec s "BEGIN");
+  for k = 0 to rows - 1 do
+    ignore
+      (Db.exec s
+         (Printf.sprintf "INSERT INTO big VALUES (%d, %d, %d)" k (k mod 50) k))
+  done;
+  for k = 0 to 49 do
+    ignore (Db.exec s (Printf.sprintf "INSERT INTO sel VALUES (%d, %d)" k k))
+  done;
+  ignore (Db.exec s "COMMIT");
+  let time q =
+    let t0 = now () in
+    for _ = 1 to 30 do
+      ignore (Db.query s q)
+    done;
+    (now () -. t0) /. 30.0 *. 1e3
+  in
+  (* INL: probe big's pk per sel row *)
+  let inl = time "SELECT COUNT(*) FROM sel JOIN big ON big.k = sel.k" in
+  (* hash: equi pair intact, probe defeated by the non-indexed column *)
+  let hash = time "SELECT COUNT(*) FROM sel JOIN big ON big.v = sel.k" in
+  (* nested loop: no equi pair at all *)
+  let nested = time "SELECT COUNT(*) FROM sel JOIN big ON big.k + 0 = sel.k + 0" in
+  Printf.printf
+    "50-row driver joined to %d rows: index-nested-loop %.3f ms, hash %.3f      ms, nested loop %.3f ms
+"
+    rows inl hash nested
+
+let ablations () =
+  ablation_auth_cache ();
+  ablation_exact_label ();
+  ablation_clearance ();
+  ablation_join_strategy ()
+
+(* ------------------------------------------------------------------ *)
+(* Microbenchmarks (bechamel)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  hr "Microbenchmarks (bechamel; ns/op)";
+  let open Bechamel in
+  let lbl k = Label.of_ints (Array.init k (fun i -> (i * 13) + 1)) in
+  let l3 = lbl 3 and l10 = lbl 10 in
+  let db = Db.create () in
+  let admin = Db.connect_admin db in
+  let p = Db.create_principal admin ~name:"p" in
+  let ps = Db.connect db ~principal:p in
+  let tag = Db.create_tag ps ~name:"t" () in
+  let auth = Db.authority db in
+  ignore (Db.exec ps "CREATE TABLE M (k INT PRIMARY KEY, v INT)");
+  ignore (Db.exec ps "BEGIN");
+  for i = 1 to 1000 do
+    ignore (Db.exec ps (Printf.sprintf "INSERT INTO M VALUES (%d, %d)" i i))
+  done;
+  ignore (Db.exec ps "COMMIT");
+  let tests =
+    [
+      Test.make ~name:"label.subset(3,10)"
+        (Staged.stage (fun () -> Label.subset l3 l10));
+      Test.make ~name:"label.union(3,10)"
+        (Staged.stage (fun () -> Label.union l3 l10));
+      Test.make ~name:"authority.check"
+        (Staged.stage (fun () -> Ifdb_difc.Authority.has_authority auth p tag));
+      Test.make ~name:"parse simple select"
+        (Staged.stage (fun () ->
+             Ifdb_sql.Parser.parse_one "SELECT v FROM M WHERE k = 500"));
+      Test.make ~name:"pk probe (end-to-end)"
+        (Staged.stage (fun () -> Db.query ps "SELECT v FROM M WHERE k = 500"));
+    ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 500) ()
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "%-28s %12.1f ns/op\n" name est
+          | Some _ | None -> Printf.printf "%-28s (no estimate)\n" name)
+        analyzed)
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let all = [ "fig3"; "fig4"; "fig5"; "sensor"; "fig6"; "ablations"; "micro" ]
+
+let run_one = function
+  | "fig3" -> fig3 ()
+  | "fig4" -> fig4 ()
+  | "fig5" -> fig5 ()
+  | "sensor" -> sensor ()
+  | "fig6" -> fig6 ()
+  | "ablations" -> ablations ()
+  | "micro" -> micro ()
+  | other ->
+      Printf.eprintf "unknown experiment %S (known: %s)\n" other
+        (String.concat ", " all);
+      exit 1
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--quick" then begin
+          quick := true;
+          false
+        end
+        else true)
+      args
+  in
+  let chosen = if args = [] then all else args in
+  let t0 = now () in
+  List.iter run_one chosen;
+  Printf.printf "\n(total bench wall time: %.1fs)\n" (now () -. t0)

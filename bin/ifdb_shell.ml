@@ -1,0 +1,182 @@
+(* An interactive shell over IFDB, in the spirit of the modified psql
+   the paper mentions (section 7.2): SQL statements plus backslash
+   commands for the DIFC state.
+
+     dune exec bin/ifdb_shell.exe            -- IFC on
+     dune exec bin/ifdb_shell.exe -- --no-ifc
+     echo "CREATE TABLE t (a INT); ..." | dune exec bin/ifdb_shell.exe
+
+   Commands:
+     \principal NAME         create/switch to principal NAME
+     \newtag NAME [COMPOUND] create a tag owned by the current principal
+     \addsecrecy NAME        raise the session label
+     \declassify NAME        lower it (requires authority)
+     \label                  show the session label
+     \delegate TAG NAME      delegate TAG to principal NAME
+     \tables                 list tables
+     \dt NAME                describe a table
+     \vacuum                 reclaim dead versions
+     \dump [TABLE]           label-preserving SQL dump (pg_dump analogue)
+     \q                      quit
+   Anything else is executed as SQL. *)
+
+module Db = Ifdb_core.Database
+module Errors = Ifdb_core.Errors
+module Label = Ifdb_difc.Label
+module Authority = Ifdb_difc.Authority
+module Value = Ifdb_rel.Value
+module Tuple = Ifdb_rel.Tuple
+module Schema = Ifdb_rel.Schema
+module Catalog = Ifdb_engine.Catalog
+
+type state = { db : Db.t; mutable session : Db.session }
+
+let label_string st l =
+  let auth = Db.authority st.db in
+  match Label.to_list l with
+  | [] -> "{}"
+  | tags ->
+      "{"
+      ^ String.concat ", "
+          (List.map
+             (fun tag ->
+               match Authority.tag_name auth tag with
+               | "" -> Format.asprintf "%a" Ifdb_difc.Tag.pp tag
+               | name -> name
+               | exception Authority.Unknown _ ->
+                   Format.asprintf "%a" Ifdb_difc.Tag.pp tag)
+             tags)
+      ^ "}"
+
+let print_rows st columns tuples =
+  let widths =
+    List.mapi
+      (fun i c ->
+        List.fold_left
+          (fun w row -> max w (String.length (Value.to_string (Tuple.get row i))))
+          (String.length c) tuples)
+      columns
+  in
+  let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  print_endline
+    (String.concat " | " (List.map2 pad columns widths) ^ " | _label");
+  print_endline
+    (String.concat "-+-" (List.map (fun w -> String.make w '-') widths) ^ "-+-------");
+  List.iter
+    (fun row ->
+      let cells =
+        List.mapi (fun i w -> pad (Value.to_string (Tuple.get row i)) w) widths
+      in
+      print_endline
+        (String.concat " | " cells ^ " | " ^ label_string st (Tuple.label row)))
+    tuples;
+  Printf.printf "(%d row%s)\n" (List.length tuples)
+    (if List.length tuples = 1 then "" else "s")
+
+let run_sql st text =
+  match Db.exec st.session text with
+  | Db.Rows { columns; tuples } -> print_rows st columns tuples
+  | Db.Affected n -> Printf.printf "OK, %d row%s\n" n (if n = 1 then "" else "s")
+  | Db.Done msg -> print_endline msg
+
+let find_or_create_principal st name =
+  match Db.find_principal st.db name with
+  | p -> p
+  | exception Authority.Unknown _ ->
+      let admin = Db.connect_admin st.db in
+      Printf.printf "(created principal %s)\n" name;
+      Db.create_principal admin ~name
+
+let run_command st line =
+  let parts =
+    String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+  in
+  match parts with
+  | [ "\\q" ] -> raise Exit
+  | [ "\\label" ] ->
+      Printf.printf "principal=%s label=%s\n"
+        (Authority.principal_name (Db.authority st.db)
+           (Db.session_principal st.session))
+        (label_string st (Db.session_label st.session))
+  | [ "\\principal"; name ] ->
+      let p = find_or_create_principal st name in
+      st.session <- Db.connect st.db ~principal:p;
+      Printf.printf "now acting as %s (fresh session, empty label)\n" name
+  | "\\newtag" :: name :: rest ->
+      let compounds =
+        List.map (fun c -> Db.find_tag st.db c) rest
+      in
+      ignore (Db.create_tag st.session ~name ~compounds ());
+      Printf.printf "created tag %s\n" name
+  | [ "\\addsecrecy"; name ] ->
+      Db.add_secrecy st.session (Db.find_tag st.db name);
+      Printf.printf "label is now %s\n" (label_string st (Db.session_label st.session))
+  | [ "\\declassify"; name ] ->
+      Db.declassify st.session (Db.find_tag st.db name);
+      Printf.printf "label is now %s\n" (label_string st (Db.session_label st.session))
+  | [ "\\delegate"; tag; grantee ] ->
+      Db.delegate st.session ~tag:(Db.find_tag st.db tag)
+        ~grantee:(find_or_create_principal st grantee);
+      Printf.printf "delegated %s to %s\n" tag grantee
+  | [ "\\tables" ] ->
+      List.iter print_endline (Db.table_names st.db)
+  | [ "\\dt"; name ] -> (
+      match Catalog.find_table (Db.catalog st.db) name with
+      | Some tbl ->
+          Format.printf "%a@." Schema.pp tbl.Catalog.tbl_schema;
+          List.iter
+            (fun idx ->
+              Printf.printf "  index %s%s\n" idx.Catalog.idx_name
+                (if idx.Catalog.idx_unique then " (unique)" else ""))
+            tbl.Catalog.tbl_indexes
+      | None -> Printf.printf "no such table: %s\n" name)
+  | [ "\\vacuum" ] ->
+      Printf.printf "vacuum removed %d dead version(s)\n" (Db.vacuum st.db)
+  | [ "\\dump" ] -> print_string (Ifdb_core.Dump.dump st.db)
+  | [ "\\dump"; table ] -> print_string (Ifdb_core.Dump.dump_table st.db table)
+  | cmd :: _ -> Printf.printf "unknown command %s\n" cmd
+  | [] -> ()
+
+let repl ~ifc =
+  let db = Db.create ~ifc () in
+  let admin = Db.connect_admin db in
+  let st = { db; session = admin } in
+  Printf.printf "IFDB shell (ifc %s). \\q quits, \\label shows the session label.\n"
+    (if ifc then "on" else "off");
+  let interactive = Unix.isatty Unix.stdin in
+  (try
+     while true do
+       if interactive then (print_string "ifdb> "; flush stdout);
+       match In_channel.input_line stdin with
+       | None -> raise Exit
+       | Some line ->
+           let line = String.trim line in
+           if line = "" then ()
+           else if String.length line > 0 && line.[0] = '\\' then (
+             try run_command st line with
+             | Errors.Flow_violation m -> Printf.printf "FLOW VIOLATION: %s\n" m
+             | Errors.Authority_required m -> Printf.printf "DENIED: %s\n" m
+             | Errors.Sql_error m | Authority.Unknown m ->
+                 Printf.printf "ERROR: %s\n" m)
+           else
+             try run_sql st line with
+             | Errors.Flow_violation m -> Printf.printf "FLOW VIOLATION: %s\n" m
+             | Errors.Authority_required m -> Printf.printf "DENIED: %s\n" m
+             | Errors.Constraint_violation m -> Printf.printf "CONSTRAINT: %s\n" m
+             | Errors.Sql_error m -> Printf.printf "ERROR: %s\n" m
+     done
+   with Exit -> ());
+  print_endline "bye."
+
+open Cmdliner
+
+let no_ifc =
+  Arg.(value & flag & info [ "no-ifc" ] ~doc:"Run the baseline engine (no labels).")
+
+let cmd =
+  let doc = "interactive shell over the IFDB engine" in
+  Cmd.v
+    (Cmd.info "ifdb_shell" ~doc)
+    Term.(const (fun no_ifc -> repl ~ifc:(not no_ifc)) $ no_ifc)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,62 @@
+(* HotCRP end-to-end (paper section 6.2).
+
+     dune exec examples/hotcrp_demo.exe
+
+   A conference runs on IFDB: contact tags, the PCMembers declassifying
+   view, per-review tags delegated by the chair's closure, per-paper
+   decision tags released only at notification time. *)
+
+module Db = Ifdb_core.Database
+module Hotcrp = Ifdb_hotcrp.Hotcrp
+
+let () =
+  let t = Hotcrp.setup () in
+  let ada = Hotcrp.register t ~name:"ada" ~pc:true () in
+  let bob = Hotcrp.register t ~name:"bob" ~pc:true () in
+  let carol = Hotcrp.register t ~name:"carol" () in
+
+  print_endline "Conference set up: chair, PC {ada, bob}, author carol.";
+  let paper = Hotcrp.submit_paper t ~author:carol ~title:"Query by Label" in
+  Hotcrp.declare_conflict t ~paper ~who:ada;
+  Printf.printf "carol submitted paper #%d; ada declared a conflict.\n\n" paper;
+
+  print_endline "The PCMembers declassifying view (anyone may list the PC):";
+  Printf.printf "  carol sees: %s\n"
+    (String.concat ", " (Hotcrp.pc_members_via_view (Hotcrp.session t carol)));
+  Printf.printf
+    "  but the raw ContactInfo dump (the leak the paper caught) returns %d \
+     rows for her.\n\n"
+    (List.length
+       (Db.query (Hotcrp.session t carol) "SELECT email FROM ContactInfo"));
+
+  ignore (Hotcrp.submit_review t ~reviewer:bob ~paper ~score:4 ~text:"accept");
+  print_endline "bob submitted a review (score 4).";
+  let scores p name =
+    Printf.printf "  %-6s sees review scores: [%s]\n" name
+      (String.concat "; "
+         (List.map string_of_int (Hotcrp.review_scores_visible_to t p ~paper)))
+  in
+  scores ada "ada";
+  scores carol "carol";
+  print_endline "chair opens reviews to non-conflicted PC members...";
+  Hotcrp.open_reviews_to_pc t;
+  scores ada "ada";
+  scores t.Hotcrp.chair "chair";
+  scores carol "carol";
+
+  print_endline "\nDecisions:";
+  Hotcrp.record_decision t ~paper ~accept:true;
+  let show p name =
+    Printf.printf "  %-6s sees decisions: [%s]\n" name
+      (String.concat "; "
+         (List.map
+            (fun (pid, acc) -> Printf.sprintf "#%d %s" pid (if acc then "ACCEPT" else "reject"))
+            (Hotcrp.visible_decisions t p)))
+  in
+  print_endline "chair recorded ACCEPT; before release (the premature-visibility bugs):";
+  show carol "carol";
+  show bob "bob";
+  print_endline "chair releases decisions to authors:";
+  Hotcrp.release_decisions t;
+  show carol "carol";
+  print_endline "\ndone."

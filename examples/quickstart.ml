@@ -1,0 +1,75 @@
+(* Quickstart: tags, labels, and Query by Label in a few minutes.
+
+     dune exec examples/quickstart.exe
+
+   Alice and Bob store private notes in one shared table; labels — not
+   WHERE clauses — decide who sees what, and only explicit
+   declassification lets data out. *)
+
+module Db = Ifdb_core.Database
+module Errors = Ifdb_core.Errors
+module Value = Ifdb_rel.Value
+module Tuple = Ifdb_rel.Tuple
+module Label = Ifdb_difc.Label
+
+let show title rows =
+  Printf.printf "%s:\n" title;
+  if rows = [] then print_endline "  (no rows)"
+  else
+    List.iter
+      (fun row ->
+        Printf.printf "  %s   label=%s\n"
+          (String.concat " | "
+             (List.map Value.to_string (Array.to_list (Tuple.values row))))
+          (Label.to_string (Tuple.label row)))
+      rows
+
+let () =
+  (* 1. a database, two users, one tag each *)
+  let db = Db.create () in
+  let admin = Db.connect_admin db in
+  let alice_p = Db.create_principal admin ~name:"alice" in
+  let bob_p = Db.create_principal admin ~name:"bob" in
+  let alice = Db.connect db ~principal:alice_p in
+  let bob = Db.connect db ~principal:bob_p in
+  let alice_tag = Db.create_tag alice ~name:"alice_notes" () in
+  let bob_tag = Db.create_tag bob ~name:"bob_notes" () in
+
+  (* 2. one shared table; the schema says nothing about privacy *)
+  ignore (Db.exec admin "CREATE TABLE Notes (author TEXT NOT NULL, note TEXT)");
+
+  (* 3. writes are labeled with the writer's current label *)
+  Db.add_secrecy alice alice_tag;
+  ignore (Db.exec alice "INSERT INTO Notes VALUES ('alice', 'dentist tuesday')");
+  Db.declassify alice alice_tag;
+
+  Db.add_secrecy bob bob_tag;
+  ignore (Db.exec bob "INSERT INTO Notes VALUES ('bob', 'surprise party for alice')");
+  Db.declassify bob bob_tag;
+
+  ignore (Db.exec admin "INSERT INTO Notes VALUES ('system', 'welcome to notes')");
+
+  (* 4. Query by Label: the same SELECT returns different worlds *)
+  show "admin (empty label) sees" (Db.query admin "SELECT * FROM Notes");
+
+  Db.add_secrecy alice alice_tag;
+  show "alice (label {alice_notes}) sees" (Db.query alice "SELECT * FROM Notes");
+
+  (* 5. alice cannot raise her view to bob's data and walk away with it:
+     she can raise her label, but then she cannot declassify *)
+  Db.add_secrecy alice bob_tag;
+  show "alice after also raising {bob_notes}" (Db.query alice "SELECT * FROM Notes");
+  (match Db.declassify alice bob_tag with
+  | () -> print_endline "BUG: alice declassified bob's tag!"
+  | exception Errors.Authority_required _ ->
+      print_endline "alice cannot declassify bob_notes -> she stays contaminated";
+  | exception Ifdb_difc.Authority.Denied _ ->
+      print_endline "alice cannot declassify bob_notes -> she stays contaminated");
+
+  (* 6. bob can share: delegation is the policy language *)
+  let bob_clean = Db.connect db ~principal:bob_p in
+  Db.delegate bob_clean ~tag:bob_tag ~grantee:alice_p;
+  Db.declassify alice bob_tag;
+  print_endline "after bob delegates, alice declassifies and is clean again";
+  Printf.printf "alice's label is now %s\n"
+    (Label.to_string (Db.session_label alice))

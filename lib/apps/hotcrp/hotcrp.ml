@@ -1,0 +1,245 @@
+module Db = Ifdb_core.Database
+module Errors = Ifdb_core.Errors
+module Label = Ifdb_difc.Label
+module Tag = Ifdb_difc.Tag
+module Principal = Ifdb_difc.Principal
+module Authority = Ifdb_difc.Authority
+module Value = Ifdb_rel.Value
+module Tuple = Ifdb_rel.Tuple
+
+type person = {
+  cid : int;
+  pname : string;
+  principal : Principal.t;
+  contact_tag : Tag.t;
+  is_pc : bool;
+}
+
+type t = {
+  db : Db.t;
+  chair : person;
+  all_contacts : Tag.t;
+  all_reviews : Tag.t;
+  mutable people : person list;
+  mutable decision_tags : (int * Tag.t) list;      (* paper -> tag *)
+  mutable review_tags : (int * int * Tag.t) list;  (* review, paper, tag *)
+}
+
+let ifc_on t = Db.ifc_enabled t.db
+
+let session t p = Db.connect t.db ~principal:p.principal
+
+let fmt_exec s fmt = Format.kasprintf (fun q -> ignore (Db.exec s q)) fmt
+let fmt_query s fmt = Format.kasprintf (fun q -> Db.query s q) fmt
+
+let schema_sql =
+  [
+    "CREATE TABLE ContactInfo (contactId INT PRIMARY KEY, firstName TEXT, \
+     lastName TEXT, email TEXT, affiliation TEXT, isPC BOOL)";
+    "CREATE TABLE Papers (paperId INT PRIMARY KEY, title TEXT NOT NULL, \
+     authorId INT NOT NULL)";
+    "CREATE TABLE PaperConflicts (paperId INT NOT NULL, contactId INT NOT NULL)";
+    "CREATE TABLE PaperReview (reviewId INT PRIMARY KEY, paperId INT NOT \
+     NULL, reviewerId INT NOT NULL, score INT, rtext TEXT)";
+    "CREATE TABLE Decisions (paperId INT PRIMARY KEY, accepted BOOL NOT NULL)";
+    "CREATE INDEX review_paper ON PaperReview (paperId)";
+    "CREATE INDEX conflict_paper ON PaperConflicts (paperId)";
+  ]
+
+let counter = ref 0
+let next_id () = incr counter; !counter
+
+let register t ~name ?(pc = false) () =
+  let admin = Db.connect_admin t.db in
+  let principal = Db.create_principal admin ~name in
+  let us = Db.connect t.db ~principal in
+  let contact_tag =
+    Db.create_tag us ~name:(name ^ "_contact") ~compounds:[ t.all_contacts ] ()
+  in
+  let cid = next_id () in
+  if ifc_on t then Db.add_secrecy us contact_tag;
+  fmt_exec us
+    "INSERT INTO ContactInfo VALUES (%d, '%s', '%s', '%s@conf', 'MIT', %s)" cid
+    name
+    (String.uppercase_ascii name)
+    name
+    (if pc then "TRUE" else "FALSE");
+  if ifc_on t then Db.declassify us contact_tag;
+  let p = { cid; pname = name; principal; contact_tag; is_pc = pc } in
+  t.people <- p :: t.people;
+  p
+
+let find t name = List.find (fun p -> p.pname = name) t.people
+
+let setup ?(ifc = true) () =
+  let db = Db.create ~ifc () in
+  let admin = Db.connect_admin db in
+  List.iter (fun q -> ignore (Db.exec admin q)) schema_sql;
+  let chair_principal = Db.create_principal admin ~name:"chair" in
+  let chair_s = Db.connect db ~principal:chair_principal in
+  let all_contacts = Db.create_tag chair_s ~name:"all_contacts" () in
+  let all_reviews = Db.create_tag chair_s ~name:"all_reviews" () in
+  (* the PCMembers declassifying view, defined by the chair who holds
+     all-contacts authority (section 6.2) *)
+  ignore
+    (Db.exec chair_s
+       "CREATE VIEW PCMembers AS SELECT firstName, lastName FROM ContactInfo \
+        WHERE isPC = TRUE WITH DECLASSIFYING (all_contacts)");
+  let t =
+    {
+      db;
+      chair =
+        {
+          cid = 0;
+          pname = "chair";
+          principal = chair_principal;
+          contact_tag = all_contacts;
+          is_pc = true;
+        };
+      all_contacts;
+      all_reviews;
+      people = [];
+      decision_tags = [];
+      review_tags = [];
+    }
+  in
+  (* the chair gets a real contact row too *)
+  let chair_tag =
+    Db.create_tag chair_s ~name:"chair_contact" ~compounds:[ all_contacts ] ()
+  in
+  let cid = next_id () in
+  if ifc then Db.add_secrecy chair_s chair_tag;
+  fmt_exec chair_s
+    "INSERT INTO ContactInfo VALUES (%d, 'chair', 'CHAIR', 'chair@conf', \
+     'MIT', TRUE)"
+    cid;
+  if ifc then Db.declassify chair_s chair_tag;
+  let chair = { t.chair with cid; contact_tag = chair_tag } in
+  let t = { t with chair } in
+  t.people <- [ chair ];
+  t
+
+let submit_paper t ~author ~title =
+  let s = session t author in
+  let pid = next_id () in
+  fmt_exec s "INSERT INTO Papers VALUES (%d, '%s', %d)" pid title author.cid;
+  (* the author always conflicts with their own paper *)
+  fmt_exec s "INSERT INTO PaperConflicts VALUES (%d, %d)" pid author.cid;
+  pid
+
+let declare_conflict t ~paper ~who =
+  let s = session t who in
+  fmt_exec s "INSERT INTO PaperConflicts VALUES (%d, %d)" paper who.cid
+
+let submit_review t ~reviewer ~paper ~score ~text =
+  let s = session t reviewer in
+  let rid = next_id () in
+  let tag =
+    Db.create_tag s
+      ~name:(Printf.sprintf "review_%d" rid)
+      ~compounds:[ t.all_reviews ] ()
+  in
+  (* only the author and the chair are authoritative for it *)
+  if ifc_on t then Db.delegate s ~tag ~grantee:t.chair.principal;
+  if ifc_on t then Db.add_secrecy s tag;
+  fmt_exec s "INSERT INTO PaperReview VALUES (%d, %d, %d, %d, '%s')" rid paper
+    reviewer.cid score text;
+  if ifc_on t then Db.declassify s tag;
+  t.review_tags <- (rid, paper, tag) :: t.review_tags;
+  rid
+
+let conflicted t paper cid =
+  let s = Db.connect_admin t.db in
+  match
+    fmt_query s
+      "SELECT COUNT(*) FROM PaperConflicts WHERE paperId = %d AND contactId = %d"
+      paper cid
+  with
+  | row :: _ -> Value.to_int (Tuple.get row 0) > 0
+  | [] -> false
+
+(* "An authority closure running with the chair's authority later
+   delegates the tag to eligible PC members, i.e., those with no
+   conflicts of interest." *)
+let open_reviews_to_pc t =
+  if ifc_on t then begin
+    let chair_s = session t t.chair in
+    List.iter
+      (fun (_rid, paper, tag) ->
+        List.iter
+          (fun p ->
+            if p.is_pc && not (conflicted t paper p.cid) then
+              Db.delegate chair_s ~tag ~grantee:p.principal)
+          t.people)
+      t.review_tags
+  end
+
+let record_decision t ~paper ~accept =
+  let s = session t t.chair in
+  let tag =
+    match List.assoc_opt paper t.decision_tags with
+    | Some tag -> tag
+    | None ->
+        let tag =
+          Db.create_tag s ~name:(Printf.sprintf "decision_%d" paper) ()
+        in
+        t.decision_tags <- (paper, tag) :: t.decision_tags;
+        tag
+  in
+  if ifc_on t then Db.add_secrecy s tag;
+  fmt_exec s "INSERT INTO Decisions VALUES (%d, %s)" paper
+    (if accept then "TRUE" else "FALSE");
+  if ifc_on t then Db.declassify s tag
+
+let release_decisions t =
+  if ifc_on t then begin
+    let s = session t t.chair in
+    List.iter
+      (fun (paper, tag) ->
+        match
+          fmt_query s "SELECT authorId FROM Papers WHERE paperId = %d" paper
+        with
+        | row :: _ ->
+            let author_cid = Value.to_int (Tuple.get row 0) in
+            List.iter
+              (fun p ->
+                if p.cid = author_cid then Db.delegate s ~tag ~grantee:p.principal)
+              t.people
+        | [] -> ())
+      t.decision_tags
+  end
+
+let pc_members_via_view s =
+  List.map
+    (fun row -> Value.to_text (Tuple.get row 0))
+    (Db.query s "SELECT firstName FROM PCMembers ORDER BY firstName")
+
+let visible_decisions t p =
+  let s = session t p in
+  let auth = Db.authority t.db in
+  (* raise only the decision tags this person can later declassify *)
+  if ifc_on t then
+    List.iter
+      (fun (_paper, tag) ->
+        if Authority.has_authority auth p.principal tag then
+          Db.add_secrecy s tag)
+      t.decision_tags;
+  let rows = Db.query s "SELECT paperId, accepted FROM Decisions ORDER BY paperId" in
+  List.map
+    (fun row -> (Value.to_int (Tuple.get row 0), Value.to_bool (Tuple.get row 1)))
+    rows
+
+let review_scores_visible_to t p ~paper =
+  let s = session t p in
+  let auth = Db.authority t.db in
+  if ifc_on t then
+    List.iter
+      (fun (_rid, rpaper, tag) ->
+        if rpaper = paper && Authority.has_authority auth p.principal tag then
+          Db.add_secrecy s tag)
+      t.review_tags;
+  let rows =
+    fmt_query s "SELECT score FROM PaperReview WHERE paperId = %d ORDER BY score"
+      paper
+  in
+  List.map (fun row -> Value.to_int (Tuple.get row 0)) rows

@@ -1,0 +1,85 @@
+(** The HotCRP port (paper section 6.2).
+
+    A conference-management miniature with the paper's information
+    flow policy:
+
+    - each user [c] has a [c-contact] tag (member of the
+      [all-contacts] compound) protecting their ContactInfo row;
+    - the [PCMembers] declassifying view distills PC member names from
+      ContactInfo under [all-contacts] authority;
+    - each review carries a per-review tag for which only the review
+      author and the chair are authoritative; an authority closure run
+      with the chair's authority later delegates it to the
+      non-conflicted PC members;
+    - each acceptance decision carries a per-paper tag until the chair
+      releases the decisions.
+
+    The three leaks the paper discusses are reconstructed in the test
+    suite: the contact-info dump, premature decision visibility via
+    sorting, and decision discovery via search. *)
+
+module Db = Ifdb_core.Database
+module Label = Ifdb_difc.Label
+module Tag = Ifdb_difc.Tag
+module Principal = Ifdb_difc.Principal
+
+type person = {
+  cid : int;
+  pname : string;
+  principal : Principal.t;
+  contact_tag : Tag.t;
+  is_pc : bool;
+}
+
+type t = {
+  db : Db.t;
+  chair : person;
+  all_contacts : Tag.t;
+  all_reviews : Tag.t;
+  mutable people : person list;
+  mutable decision_tags : (int * Tag.t) list;      (** paper → tag *)
+  mutable review_tags : (int * int * Tag.t) list;  (** review, paper, tag *)
+}
+
+val setup : ?ifc:bool -> unit -> t
+(** Schema, compounds, the chair account, and the PCMembers
+    declassifying view. *)
+
+val register : t -> name:string -> ?pc:bool -> unit -> person
+(** New user: principal, contact tag, labeled ContactInfo row. *)
+
+val session : t -> person -> Db.session
+
+val find : t -> string -> person
+
+val submit_paper : t -> author:person -> title:string -> int
+(** Returns the paper id.  The paper row itself is public in this
+    miniature (titles are visible to the PC). *)
+
+val declare_conflict : t -> paper:int -> who:person -> unit
+
+val submit_review : t -> reviewer:person -> paper:int -> score:int -> text:string -> int
+(** Creates the per-review tag (owned by the reviewer, delegated to
+    the chair) and a review row labeled with it.  Returns review id. *)
+
+val open_reviews_to_pc : t -> unit
+(** The chair's authority closure: delegate each review's tag to every
+    PC member without a conflict on that paper (section 6.2). *)
+
+val record_decision : t -> paper:int -> accept:bool -> unit
+(** Chair only: creates the per-paper decision tag and the labeled
+    decision row. *)
+
+val release_decisions : t -> unit
+(** Chair: delegate each decision tag to the paper's author (the
+    official notification). *)
+
+val pc_members_via_view : Db.session -> string list
+(** What any user sees through the PCMembers declassifying view. *)
+
+val visible_decisions : t -> person -> (int * bool) list
+(** The decisions the given person can see (raises their label for the
+    decision tags they can later declassify; query-by-label hides the
+    rest). *)
+
+val review_scores_visible_to : t -> person -> paper:int -> int list

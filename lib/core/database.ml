@@ -1,0 +1,1247 @@
+module Label = Ifdb_difc.Label
+module Tag = Ifdb_difc.Tag
+module Principal = Ifdb_difc.Principal
+module Authority = Ifdb_difc.Authority
+module Value = Ifdb_rel.Value
+module Tuple = Ifdb_rel.Tuple
+module Schema = Ifdb_rel.Schema
+module Expr = Ifdb_rel.Expr
+module Datatype = Ifdb_rel.Datatype
+module Heap = Ifdb_storage.Heap
+module Btree = Ifdb_storage.Btree
+module Buffer_pool = Ifdb_storage.Buffer_pool
+module Wal = Ifdb_storage.Wal
+module Manager = Ifdb_txn.Manager
+module Catalog = Ifdb_engine.Catalog
+module Planner = Ifdb_engine.Planner
+module Plan = Ifdb_engine.Plan
+module Executor = Ifdb_engine.Executor
+module A = Ifdb_sql.Ast
+module Parser = Ifdb_sql.Parser
+
+open Errors
+
+type isolation = Snapshot | Serializable
+
+type trigger_event = {
+  ev_table : string;
+  ev_kind : [ `Insert | `Update | `Delete ];
+  ev_old : Tuple.t option;
+  ev_new : Tuple.t option;
+}
+
+type trigger = {
+  trg_name : string;
+  trg_table : string; (* normalized *)
+  trg_kinds : [ `Insert | `Update | `Delete ] list;
+  trg_timing : [ `Immediate | `Deferred ];
+  trg_authority : Principal.t option;
+  trg_fn : session -> trigger_event -> unit;
+}
+
+and callable = {
+  c_authority : Principal.t option;
+  c_fn : session -> Value.t list -> Value.t;
+}
+
+and t = {
+  auth : Authority.t;
+  cat : Catalog.t;
+  mgr : Manager.t;
+  bp : Buffer_pool.t;
+  ifc : bool;
+  iso : isolation;
+  admin_p : Principal.t;
+  scalars : (string, callable) Hashtbl.t;
+  procedures : (string, callable) Hashtbl.t;
+  mutable triggers : trigger list;
+  mutable commits_since_vacuum : int;
+  autovacuum_every : int;
+}
+
+and session = {
+  sdb : t;
+  mutable s_principal : Principal.t;
+  mutable s_label : Label.t;
+  mutable s_txn : Manager.txn option;
+  mutable s_implicit : bool;
+  mutable s_deferred : (trigger * trigger_event * Label.t * Principal.t) list;
+      (* queued newest-first; each entry captured the statement's label
+         and principal, per section 5.2.3 *)
+}
+
+type result =
+  | Rows of { columns : string list; tuples : Tuple.t list }
+  | Affected of int
+  | Done of string
+
+let norm = String.lowercase_ascii
+
+let authority t = t.auth
+let catalog t = t.cat
+let manager t = t.mgr
+let pool t = t.bp
+let wal t = Manager.wal t.mgr
+let ifc_enabled t = t.ifc
+let isolation t = t.iso
+let admin t = t.admin_p
+
+let connect t ~principal =
+  {
+    sdb = t;
+    s_principal = principal;
+    s_label = Label.empty;
+    s_txn = None;
+    s_implicit = false;
+    s_deferred = [];
+  }
+
+let connect_admin t = connect t ~principal:t.admin_p
+let database s = s.sdb
+let session_principal s = s.s_principal
+let session_label s = s.s_label
+
+(* ------------------------------------------------------------------ *)
+(* Label manipulation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let add_secrecy s tag =
+  let db = s.sdb in
+  if db.ifc then begin
+    (* clearance rule: under serializability, raising the label inside
+       a transaction requires authority for the tag (section 5.1) *)
+    if db.iso = Serializable && s.s_txn <> None
+       && not (Authority.has_authority db.auth s.s_principal tag)
+    then
+      Errors.authority
+        "clearance rule: adding tag %s to the label of a serializable \
+         transaction requires authority for it"
+        (Format.asprintf "%a" Tag.pp tag)
+  end;
+  s.s_label <- Label.add tag s.s_label
+
+let declassify s tag =
+  let db = s.sdb in
+  if db.ifc then Authority.check_authority db.auth s.s_principal tag;
+  s.s_label <- Label.remove tag s.s_label
+
+let set_label s target =
+  let added = Label.diff target s.s_label in
+  let removed = Label.diff s.s_label target in
+  Label.iter (fun tag -> add_secrecy s tag) added;
+  Label.iter (fun tag -> declassify s tag) removed
+
+let with_label s target f =
+  let saved = s.s_label in
+  set_label s target;
+  match f () with
+  | r ->
+      set_label s saved;
+      r
+  | exception e ->
+      (* restore raises only; dropping tags would need authority we may
+         not hold on the error path *)
+      s.s_label <- Label.union s.s_label saved;
+      raise e
+
+let with_principal s p f =
+  let saved = s.s_principal in
+  s.s_principal <- p;
+  Fun.protect ~finally:(fun () -> s.s_principal <- saved) f
+
+let with_reduced_authority s f =
+  let db = s.sdb in
+  let nobody =
+    Authority.create_principal db.auth ~actor_label:Label.empty ~name:""
+  in
+  with_principal s nobody f
+
+(* ------------------------------------------------------------------ *)
+(* Principals, tags, authority                                         *)
+(* ------------------------------------------------------------------ *)
+
+let create_principal s ~name =
+  Authority.create_principal s.sdb.auth ~actor_label:s.s_label ~name
+
+let create_tag s ~name ?compounds () =
+  Authority.create_tag s.sdb.auth ~actor_label:s.s_label ~owner:s.s_principal
+    ~name ?compounds ()
+
+let delegate s ~tag ~grantee =
+  Authority.delegate s.sdb.auth ~actor:s.s_principal ~actor_label:s.s_label ~tag
+    ~grantee
+
+let revoke s ~tag ~grantee =
+  Authority.revoke s.sdb.auth ~actor:s.s_principal ~actor_label:s.s_label ~tag
+    ~grantee
+
+let find_tag t name = Authority.find_tag t.auth name
+let find_principal t name = Authority.find_principal t.auth name
+
+let closure_principal s ~name ~tags =
+  let p = create_principal s ~name in
+  List.iter (fun tag -> delegate s ~tag ~grantee:p) tags;
+  p
+
+(* ------------------------------------------------------------------ *)
+(* Query-by-Label row access                                           *)
+(* ------------------------------------------------------------------ *)
+
+let current_txn s what =
+  match s.s_txn with
+  | Some txn -> txn
+  | None -> Errors.sql "%s outside a transaction" what
+
+(* The single enforcement point for reads: MVCC visibility plus the
+   Label Confinement Rule (section 4.2).  Every scan — sequential or
+   index-assisted, direct or through views — goes through here. *)
+let version_readable s txn ~extra (v : Heap.version) =
+  Manager.visible s.sdb.mgr txn v
+  && ((not s.sdb.ifc)
+     || Authority.flows s.sdb.auth ~src:(Tuple.label v.Heap.tuple)
+          ~dst:(Label.union s.s_label extra))
+
+let scan_versions s ~table ~extra : Heap.version Seq.t =
+  let txn = current_txn s "scan" in
+  let tbl = Catalog.table s.sdb.cat table in
+  Manager.note_read s.sdb.mgr txn (Heap.name tbl.Catalog.tbl_heap);
+  Seq.filter (version_readable s txn ~extra) (Heap.to_seq tbl.Catalog.tbl_heap)
+
+let scan_prefix_versions s ~table ~index ~prefix ?(lo = None) ?(hi = None)
+    ~extra () : Heap.version Seq.t =
+  let txn = current_txn s "scan" in
+  let tbl = Catalog.table s.sdb.cat table in
+  let idx =
+    match
+      List.find_opt
+        (fun i -> norm i.Catalog.idx_name = norm index)
+        tbl.Catalog.tbl_indexes
+    with
+    | Some i -> i
+    | None -> Errors.sql "no such index: %s" index
+  in
+  Manager.note_read s.sdb.mgr txn (Heap.name tbl.Catalog.tbl_heap);
+  let vids = ref [] in
+  (match (lo, hi) with
+  | None, None ->
+      Btree.iter_prefix idx.Catalog.idx_tree ~prefix (fun _ vid ->
+          vids := vid :: !vids)
+  | lo, hi ->
+      Btree.iter_prefix_range idx.Catalog.idx_tree ~prefix ~lo ~hi
+        (fun _ vid -> vids := vid :: !vids));
+  List.to_seq (List.rev !vids)
+  |> Seq.filter_map (fun vid -> Heap.get_opt tbl.Catalog.tbl_heap vid)
+  |> Seq.filter (version_readable s txn ~extra)
+
+(* The declassifying-view label transform: strip tags covered by the
+   view's declassify label, then apply a relabeling view's (from, to)
+   replacements — each matching [from] is removed and its [to] added
+   (the paper's billing-view pattern, section 4.3). *)
+let strip_label db declassified relabel l =
+  let after_strip =
+    List.filter
+      (fun tag -> not (Authority.covers db.auth declassified tag))
+      (Label.to_list l)
+  in
+  let replaced =
+    List.concat_map
+      (fun tag ->
+        match List.assoc_opt tag relabel with
+        | Some to_tag -> [ to_tag ]
+        | None -> [ tag ])
+      after_strip
+  in
+  let additions =
+    List.filter_map
+      (fun (from_tag, to_tag) ->
+        if Label.mem from_tag l then Some to_tag else None)
+      relabel
+  in
+  Label.of_list (replaced @ additions)
+
+let builtin_scalar name (args : Value.t list) : Value.t option =
+  match (name, args) with
+  | "abs", [ Value.Int i ] -> Some (Value.Int (abs i))
+  | "abs", [ Value.Float f ] -> Some (Value.Float (Float.abs f))
+  | "lower", [ Value.Text x ] -> Some (Value.Text (String.lowercase_ascii x))
+  | "upper", [ Value.Text x ] -> Some (Value.Text (String.uppercase_ascii x))
+  | "length", [ Value.Text x ] -> Some (Value.Int (String.length x))
+  | "coalesce", args ->
+      Some
+        (match List.find_opt (fun v -> not (Value.is_null v)) args with
+        | Some v -> v
+        | None -> Value.Null)
+  | _ -> None
+
+let fenv s : Expr.env =
+  {
+    Expr.fn =
+      (fun name args ->
+        match builtin_scalar name args with
+        | Some v -> v
+        | None -> (
+            match Hashtbl.find_opt s.sdb.scalars (norm name) with
+            | Some c -> (
+                match c.c_authority with
+                | Some p -> with_principal s p (fun () -> c.c_fn s args)
+                | None -> c.c_fn s args)
+            | None -> Errors.sql "unknown function %s" name));
+  }
+
+let exec_ctx s : Executor.ctx =
+  {
+    Executor.fenv = fenv s;
+    scan_table =
+      (fun table ~extra ->
+        Seq.map (fun v -> v.Heap.tuple) (scan_versions s ~table ~extra));
+    scan_prefix =
+      (fun ~table ~index ~prefix ~lo ~hi ~extra ->
+        Seq.map (fun v -> v.Heap.tuple)
+          (scan_prefix_versions s ~table ~index ~prefix ~lo ~hi ~extra ()));
+    strip = (fun d relabel l -> strip_label s.sdb d relabel l);
+  }
+
+let pctx s =
+  { Planner.pc_catalog = s.sdb.cat; pc_auth = s.sdb.auth;
+    pc_exec = Some (exec_ctx s) }
+
+(* ------------------------------------------------------------------ *)
+(* Triggers                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_trigger s trg ev =
+  let invoke () = trg.trg_fn s ev in
+  match trg.trg_authority with
+  | Some p -> with_principal s p invoke
+  | None -> invoke ()
+
+(* Run a deferred trigger with the label captured when the triggering
+   statement executed (section 5.2.3).  At exit, tags the body added
+   are auto-declassified when its authority permits — the closure
+   boundary — and otherwise contaminate the session. *)
+let run_deferred s (trg, ev, captured_label, captured_principal) =
+  let outer_label = s.s_label in
+  let outer_principal = s.s_principal in
+  s.s_label <- captured_label;
+  s.s_principal <- captured_principal;
+  let finish () =
+    let gained = Label.diff s.s_label captured_label in
+    let residue =
+      if not s.sdb.ifc then Label.empty
+      else
+        Label.of_list
+          (List.filter
+             (fun tag ->
+               not
+                 (match trg.trg_authority with
+                 | Some p -> Authority.has_authority s.sdb.auth p tag
+                 | None -> false))
+             (Label.to_list gained))
+    in
+    s.s_principal <- outer_principal;
+    s.s_label <- Label.union outer_label residue
+  in
+  match run_trigger s trg ev with
+  | () -> finish ()
+  | exception e ->
+      finish ();
+      raise e
+
+let fire_triggers s ~table ~kind ~old_ ~new_ =
+  let ev = { ev_table = norm table; ev_kind = kind; ev_old = old_; ev_new = new_ } in
+  List.iter
+    (fun trg ->
+      if trg.trg_table = norm table && List.mem kind trg.trg_kinds then
+        match trg.trg_timing with
+        | `Immediate -> run_trigger s trg ev
+        | `Deferred ->
+            s.s_deferred <- (trg, ev, s.s_label, s.s_principal) :: s.s_deferred)
+    s.sdb.triggers
+
+
+(* Dead-version reclamation.  PostgreSQL's (auto)vacuum equivalent: a
+   version is dead once its deleter committed before every live
+   snapshot, or its creator aborted.  Exempt from flow rules (paper
+   section 7.1).  Without this, hot MVCC chains (TPC-C's district and
+   stock rows) grow without bound and every index probe wades through
+   dead versions. *)
+let vacuum t =
+  let horizon = Manager.oldest_visible_xid t.mgr in
+  let removed = ref 0 in
+  List.iter
+    (fun (tbl : Catalog.table) ->
+      let dead_vids = Hashtbl.create 16 in
+      Heap.iter tbl.Catalog.tbl_heap (fun v ->
+          let dead =
+            (match Manager.status_of t.mgr v.Heap.xmin with
+            | Manager.Aborted -> true
+            | Manager.Committed | Manager.In_progress -> false)
+            || (v.Heap.xmax <> 0
+               && Manager.status_of t.mgr v.Heap.xmax = Manager.Committed
+               && v.Heap.xmax < horizon)
+          in
+          if dead then begin
+            Hashtbl.replace dead_vids v.Heap.vid ();
+            Catalog.remove_from_indexes t.cat tbl (Tuple.values v.Heap.tuple)
+              v.Heap.vid
+          end);
+      removed :=
+        !removed
+        + Heap.vacuum tbl.Catalog.tbl_heap ~dead:(fun v ->
+              Hashtbl.mem dead_vids v.Heap.vid))
+    (Catalog.all_tables t.cat);
+  !removed
+
+(* ------------------------------------------------------------------ *)
+(* Transaction control                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let do_abort s txn =
+  Manager.abort s.sdb.mgr txn;
+  s.s_txn <- None;
+  s.s_implicit <- false;
+  s.s_deferred <- []
+
+let do_commit s txn =
+  (* deferred triggers and constraints run first, with their captured
+     labels, and may extend the write set *)
+  let queued = List.rev s.s_deferred in
+  s.s_deferred <- [];
+  (try List.iter (run_deferred s) queued
+   with e ->
+     do_abort s txn;
+     raise e);
+  (* transaction commit-label rule (section 5.1): the commit label must
+     be no more contaminated than any tuple in the write set *)
+  if s.sdb.ifc then begin
+    let violating =
+      List.find_opt
+        (fun w ->
+          not
+            (Authority.flows s.sdb.auth ~src:s.s_label ~dst:w.Manager.w_label))
+        (Manager.writes txn)
+    in
+    match violating with
+    | Some w ->
+        do_abort s txn;
+        flow
+          "commit label %s is more contaminated than written tuple label %s: \
+           committing would leak through the abort/commit channel"
+          (Label.to_string s.s_label)
+          (Label.to_string w.Manager.w_label)
+    | None -> ()
+  end;
+  Manager.commit s.sdb.mgr txn;
+  s.s_txn <- None;
+  s.s_implicit <- false;
+  let db = s.sdb in
+  db.commits_since_vacuum <- db.commits_since_vacuum + 1;
+  if db.commits_since_vacuum >= db.autovacuum_every then begin
+    db.commits_since_vacuum <- 0;
+    ignore (vacuum db)
+  end
+
+let in_statement_txn s f =
+  match s.s_txn with
+  | Some txn -> f txn
+  | None ->
+      let txn = Manager.begin_txn s.sdb.mgr in
+      s.s_txn <- Some txn;
+      s.s_implicit <- true;
+      (match f txn with
+      | r ->
+          do_commit s txn;
+          r
+      | exception e ->
+          do_abort s txn;
+          raise e)
+
+(* ------------------------------------------------------------------ *)
+(* DML                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let session_write_label s = if s.sdb.ifc then s.s_label else Label.empty
+
+let check_schema tbl values =
+  match Schema.check_values tbl.Catalog.tbl_schema values with
+  | Ok () -> ()
+  | Error msg -> constraint_ "%s" msg
+
+let check_label_constraints s tbl tuple =
+  if s.sdb.ifc then
+    List.iter
+      (fun lc ->
+        match lc.Catalog.lc_fn tuple with
+        | None -> ()
+        | Some (Catalog.Exactly required) ->
+            if not (Label.equal (Tuple.label tuple) required) then
+              constraint_
+                "label constraint %s: tuple label %s must be exactly %s"
+                lc.Catalog.lc_name
+                (Label.to_string (Tuple.label tuple))
+                (Label.to_string required)
+        | Some (Catalog.Superset required) ->
+            if not (Label.subset required (Tuple.label tuple)) then
+              constraint_
+                "label constraint %s: tuple label %s must include %s"
+                lc.Catalog.lc_name
+                (Label.to_string (Tuple.label tuple))
+                (Label.to_string required))
+      (Catalog.label_constraints_for s.sdb.cat
+         tbl.Catalog.tbl_schema.Schema.table_name)
+
+(* Uniqueness with polyinstantiation (section 5.2.1): polyinstantiated
+   tuples are "distinguished only by their labels", so the identity a
+   unique constraint protects is (key, label).  An insert conflicts
+   exactly with a live tuple bearing the same key AND the same label
+   (such a tuple is always visible to the inserter, so refusing reveals
+   nothing); a same-key tuple under any other label — hidden or not —
+   polyinstantiates instead.  Label constraints (section 5.2.4) are the
+   tool for applications that want to forbid that. *)
+let check_uniques s txn tbl values label =
+  List.iter
+    (fun idx ->
+      if idx.Catalog.idx_unique then begin
+        let key = Catalog.index_key idx values in
+        if not (Array.exists Value.is_null key) then
+          List.iter
+            (fun vid ->
+              match Heap.get_opt tbl.Catalog.tbl_heap vid with
+              | None -> ()
+              | Some v ->
+                  if
+                    Manager.visible s.sdb.mgr txn v
+                    && ((not s.sdb.ifc)
+                       || Label.equal (Tuple.label v.Heap.tuple) label)
+                  then
+                    constraint_
+                      "duplicate key value violates unique constraint %s"
+                      idx.Catalog.idx_name)
+            (Btree.find idx.Catalog.idx_tree key)
+      end)
+    tbl.Catalog.tbl_indexes
+
+(* Find MVCC-visible tuples in [table] matching [key] on [cols],
+   regardless of label — the Foreign Key Rule reasons about tuples the
+   process may not see. *)
+let visible_matches s txn (tbl : Catalog.table) (cols : int array) key =
+  let idx =
+    List.find_opt
+      (fun i ->
+        Array.length i.Catalog.idx_cols >= Array.length cols
+        && Array.for_all2 Int.equal
+             (Array.sub i.Catalog.idx_cols 0 (Array.length cols))
+             cols)
+      tbl.Catalog.tbl_indexes
+  in
+  let candidates =
+    match idx with
+    | Some idx when Array.length idx.Catalog.idx_cols = Array.length cols ->
+        List.filter_map
+          (fun vid -> Heap.get_opt tbl.Catalog.tbl_heap vid)
+          (Btree.find idx.Catalog.idx_tree key)
+    | _ ->
+        List.of_seq
+          (Seq.filter
+             (fun v ->
+               let values = Tuple.values v.Heap.tuple in
+               Array.for_all2
+                 (fun c k -> Value.compare values.(c) k = 0)
+                 cols key)
+             (Heap.to_seq tbl.Catalog.tbl_heap))
+  in
+  List.filter (fun v -> Manager.visible s.sdb.mgr txn v) candidates
+
+(* The Foreign Key Rule (section 5.2.2): inserting a tuple A that
+   references B requires authority for every tag in L_A △ L_B, and
+   those tags must be named in the DECLASSIFYING clause. *)
+let check_foreign_keys s txn tbl tuple ~declared =
+  let schema = tbl.Catalog.tbl_schema in
+  List.iter
+    (fun fk ->
+      let cols =
+        Array.of_list (List.map (Schema.col_index schema) fk.Schema.fk_cols)
+      in
+      let key = Array.map (fun c -> (Tuple.values tuple).(c)) cols in
+      if not (Array.exists Value.is_null key) then begin
+        let ref_tbl = Catalog.table s.sdb.cat fk.Schema.fk_ref_table in
+        let ref_cols =
+          Array.of_list
+            (List.map
+               (Schema.col_index ref_tbl.Catalog.tbl_schema)
+               fk.Schema.fk_ref_cols)
+        in
+        let targets = visible_matches s txn ref_tbl ref_cols key in
+        if targets = [] then
+          constraint_
+            "insert into %s violates foreign key constraint %s: no row in %s"
+            schema.Schema.table_name fk.Schema.fk_name fk.Schema.fk_ref_table;
+        if s.sdb.ifc then begin
+          let la = Tuple.label tuple in
+          let satisfied =
+            List.exists
+              (fun (v : Heap.version) ->
+                let d = Label.symm_diff la (Tuple.label v.Heap.tuple) in
+                Label.for_all (fun tag -> Label.mem tag declared) d)
+              targets
+          in
+          if not satisfied then
+            Errors.authority
+              "foreign key %s: the referencing and referenced labels differ; \
+               the differing tags must be listed in a DECLASSIFYING clause \
+               (and the process must have authority for them)"
+              fk.Schema.fk_name
+        end
+      end)
+    schema.Schema.foreign_keys
+
+(* Deleting from a referenced table is restricted while visible
+   referencing tuples exist — unless another visible tuple with the
+   same key still satisfies them (polyinstantiation). *)
+let check_reverse_foreign_keys s txn tbl (victim : Heap.version) =
+  let schema = tbl.Catalog.tbl_schema in
+  let my_name = norm schema.Schema.table_name in
+  List.iter
+    (fun (other : Catalog.table) ->
+      let oschema = other.Catalog.tbl_schema in
+      List.iter
+        (fun fk ->
+          if norm fk.Schema.fk_ref_table = my_name then begin
+            let ref_cols =
+              Array.of_list (List.map (Schema.col_index schema) fk.Schema.fk_ref_cols)
+            in
+            let key =
+              Array.map (fun c -> (Tuple.values victim.Heap.tuple).(c)) ref_cols
+            in
+            if not (Array.exists Value.is_null key) then begin
+              let survivors =
+                List.filter
+                  (fun (v : Heap.version) -> v.Heap.vid <> victim.Heap.vid)
+                  (visible_matches s txn tbl ref_cols key)
+              in
+              if survivors = [] then begin
+                let referencing_cols =
+                  Array.of_list
+                    (List.map (Schema.col_index oschema) fk.Schema.fk_cols)
+                in
+                match visible_matches s txn other referencing_cols key with
+                | [] -> ()
+                | _ :: _ ->
+                    constraint_
+                      "delete from %s violates foreign key constraint %s on %s"
+                      schema.Schema.table_name fk.Schema.fk_name
+                      oschema.Schema.table_name
+              end
+            end
+          end)
+        oschema.Schema.foreign_keys)
+    (Catalog.all_tables s.sdb.cat)
+
+let resolve_declared_tags s names =
+  let db = s.sdb in
+  let tags = List.map (Authority.find_tag db.auth) names in
+  if db.ifc then
+    List.iter (fun tag -> Authority.check_authority db.auth s.s_principal tag) tags;
+  Label.of_list tags
+
+let insert_tuple s txn tbl tuple ~declared =
+  check_schema tbl (Tuple.values tuple);
+  check_label_constraints s tbl tuple;
+  check_uniques s txn tbl (Tuple.values tuple) (Tuple.label tuple);
+  check_foreign_keys s txn tbl tuple ~declared;
+  let v = Manager.record_insert s.sdb.mgr txn tbl.Catalog.tbl_heap tuple in
+  Catalog.insert_into_indexes s.sdb.cat tbl (Tuple.values tuple) v.Heap.vid;
+  fire_triggers s
+    ~table:tbl.Catalog.tbl_schema.Schema.table_name
+    ~kind:`Insert ~old_:None ~new_:(Some tuple)
+
+(* Shared write-target lookup for UPDATE/DELETE: visible, confined rows
+   matching the predicate, via the best index prefix when one exists. *)
+let dml_targets s txn tbl (pred : Expr.t option) =
+  let table_name = tbl.Catalog.tbl_schema.Schema.table_name in
+  let source =
+    match Option.map (fun p -> Planner.best_prefix tbl p) pred with
+    | Some (Some (index, prefix, range)) ->
+        let lo, hi = Option.value ~default:(None, None) range in
+        scan_prefix_versions s ~table:table_name ~index ~prefix ~lo ~hi
+          ~extra:Label.empty ()
+    | Some None | None -> scan_versions s ~table:table_name ~extra:Label.empty
+  in
+  ignore txn;
+  let env = fenv s in
+  List.of_seq
+    (Seq.filter
+       (fun v ->
+         match pred with
+         | None -> true
+         | Some p -> Expr.eval_pred env v.Heap.tuple p)
+       source)
+
+(* Write Rule (section 4.2): a process may modify only tuples labeled
+   exactly its own label.  Lower-labeled tuples are visible but not
+   writable; higher-labeled tuples were already filtered out. *)
+let check_write_rule s (v : Heap.version) action =
+  if s.sdb.ifc && not (Label.equal (Tuple.label v.Heap.tuple) s.s_label) then
+    flow
+      "%s of tuple labeled %s by process labeled %s violates the Write Rule \
+       (only exact-label tuples are writable)"
+      action
+      (Label.to_string (Tuple.label v.Heap.tuple))
+      (Label.to_string s.s_label)
+
+(* Updatable declassifying views (paper section 4.3 mentions these via
+   rewrite rules): an INSERT through a simple view — single base table,
+   plain column projection — is rewritten against the base table.  The
+   stored tuple's label is the session label joined with the view's
+   declassify label, so reading the row back through the view yields
+   the session label again; the write itself only ADDS tags, which is
+   always safe. *)
+let resolve_insert_target s i_table i_columns =
+  match Catalog.find_table s.sdb.cat i_table with
+  | Some tbl -> (tbl, i_columns, Label.empty)
+  | None -> (
+      match Catalog.find_view s.sdb.cat i_table with
+      | None -> Errors.sql "no such table: %s" i_table
+      | Some vw -> (
+          if vw.Catalog.vw_relabel <> [] then
+            Errors.sql "INSERT through a relabeling view is not supported";
+          match vw.Catalog.vw_query with
+          | { A.items; from = Some (A.T_table (base, _)); where = None;
+              group_by = []; having = None; distinct = false; unions = []; _ } ->
+              let base_tbl = Catalog.table s.sdb.cat base in
+              let base_cols =
+                List.map
+                  (fun item ->
+                    match item with
+                    | A.Sel_expr (A.E_col (_, col), _) -> col
+                    | A.Sel_star | A.Sel_table_star _ | A.Sel_expr _ ->
+                        Errors.sql
+                          "INSERT through view %s: only plain column                            projections are updatable"
+                          i_table)
+                  items
+              in
+              let view_name item alias =
+                match alias with Some a -> a | None -> item
+              in
+              let out_names =
+                List.map
+                  (fun item ->
+                    match item with
+                    | A.Sel_expr (A.E_col (_, col), alias) -> view_name col alias
+                    | A.Sel_star | A.Sel_table_star _ | A.Sel_expr _ ->
+                        assert false)
+                  items
+              in
+              let columns =
+                match i_columns with
+                | None -> base_cols
+                | Some cs ->
+                    List.map
+                      (fun c ->
+                        match
+                          List.find_opt
+                            (fun (o, _) -> norm o = norm c)
+                            (List.combine out_names base_cols)
+                        with
+                        | Some (_, base_col) -> base_col
+                        | None ->
+                            Errors.sql "view %s has no column %s" i_table c)
+                      cs
+              in
+              (base_tbl, Some columns, vw.Catalog.vw_declassify)
+          | _ ->
+              Errors.sql
+                "view %s is not updatable (only simple projections of one                  table are)"
+                i_table))
+
+let exec_insert s txn (stmt : A.stmt) =
+  match stmt with
+  | A.S_insert { i_table; i_columns; i_rows; i_select; i_declassifying } ->
+      let tbl, i_columns, view_label = resolve_insert_target s i_table i_columns in
+      let schema = tbl.Catalog.tbl_schema in
+      let declared = resolve_declared_tags s i_declassifying in
+      let env = fenv s in
+      let empty_row = Tuple.make ~values:[||] ~label:Label.empty in
+      let positions =
+        match i_columns with
+        | None -> Array.init (Schema.arity schema) Fun.id
+        | Some cols ->
+            Array.of_list
+              (List.map
+                 (fun c ->
+                   match Schema.col_index_opt schema c with
+                   | Some i -> i
+                   | None ->
+                       Errors.sql "column %s of %s does not exist" c i_table)
+                 cols)
+      in
+      let n = ref 0 in
+      let insert_values row_values =
+        if Array.length row_values <> Array.length positions then
+          Errors.sql "INSERT has %d expressions but %d target columns"
+            (Array.length row_values) (Array.length positions);
+        let values = Array.make (Schema.arity schema) Value.Null in
+        Array.iteri (fun i v -> values.(positions.(i)) <- v) row_values;
+        let label =
+          if s.sdb.ifc then Label.union (session_write_label s) view_label
+          else Label.empty
+        in
+        let tuple = Tuple.make ~values ~label in
+        insert_tuple s txn tbl tuple ~declared;
+        incr n
+      in
+      (match i_select with
+      | Some sel ->
+          (* INSERT … SELECT: rows are read under Query by Label, then
+             written with the session's current label like any insert *)
+          let plan, _names = Planner.plan_select (pctx s) sel in
+          List.iter
+            (fun row -> insert_values (Tuple.values row))
+            (Executor.run_list (exec_ctx s) plan)
+      | None ->
+          List.iter
+            (fun row_exprs ->
+              insert_values
+                (Array.of_list
+                   (List.map
+                      (fun e ->
+                        let lowered =
+                          Planner.lower_expr_for_table (pctx s) schema e
+                        in
+                        (* VALUES rows cannot reference columns *)
+                        Expr.eval env empty_row lowered)
+                      row_exprs)))
+            i_rows);
+      Affected !n
+  | _ -> assert false
+
+let exec_update s txn u_table u_sets u_where =
+  let tbl = Catalog.table s.sdb.cat u_table in
+  let schema = tbl.Catalog.tbl_schema in
+  let pred = Option.map (Planner.lower_expr_for_table (pctx s) schema) u_where in
+  let sets =
+    List.map
+      (fun (col, e) ->
+        match Schema.col_index_opt schema col with
+        | Some i -> (i, Planner.lower_expr_for_table (pctx s) schema e)
+        | None -> Errors.sql "column %s of %s does not exist" col u_table)
+      u_sets
+  in
+  let targets = dml_targets s txn tbl pred in
+  let env = fenv s in
+  List.iter
+    (fun (v : Heap.version) ->
+      check_write_rule s v "UPDATE";
+      let old_tuple = v.Heap.tuple in
+      let values = Array.copy (Tuple.values old_tuple) in
+      List.iter (fun (i, e) -> values.(i) <- Expr.eval env old_tuple e) sets;
+      let new_tuple = Tuple.make ~values ~label:(session_write_label s) in
+      check_schema tbl values;
+      check_label_constraints s tbl new_tuple;
+      (* supersede the old version first so the uniqueness probe does
+         not see it *)
+      Manager.record_delete s.sdb.mgr txn tbl.Catalog.tbl_heap v;
+      check_uniques s txn tbl values (Tuple.label new_tuple);
+      check_foreign_keys s txn tbl new_tuple ~declared:Label.empty;
+      let nv = Manager.record_insert s.sdb.mgr txn tbl.Catalog.tbl_heap new_tuple in
+      Catalog.insert_into_indexes s.sdb.cat tbl values nv.Heap.vid;
+      fire_triggers s ~table:u_table ~kind:`Update ~old_:(Some old_tuple)
+        ~new_:(Some new_tuple))
+    targets;
+  Affected (List.length targets)
+
+let exec_delete s txn d_table d_where =
+  let tbl = Catalog.table s.sdb.cat d_table in
+  let schema = tbl.Catalog.tbl_schema in
+  let pred = Option.map (Planner.lower_expr_for_table (pctx s) schema) d_where in
+  let targets = dml_targets s txn tbl pred in
+  List.iter
+    (fun (v : Heap.version) ->
+      check_write_rule s v "DELETE";
+      check_reverse_foreign_keys s txn tbl v;
+      Manager.record_delete s.sdb.mgr txn tbl.Catalog.tbl_heap v;
+      fire_triggers s ~table:d_table ~kind:`Delete ~old_:(Some v.Heap.tuple)
+        ~new_:None)
+    targets;
+  Affected (List.length targets)
+
+(* ------------------------------------------------------------------ *)
+(* DDL                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let schema_of_create (ct_name, ct_columns, ct_constraints) =
+  let columns =
+    List.map (fun (c : A.column_def) -> (c.A.cd_name, c.A.cd_type)) ct_columns
+  in
+  let col_pk =
+    List.filter_map
+      (fun (c : A.column_def) -> if c.A.cd_primary_key then Some c.A.cd_name else None)
+      ct_columns
+  in
+  let table_pks =
+    List.filter_map
+      (function A.C_primary_key cols -> Some cols | _ -> None)
+      ct_constraints
+  in
+  let primary_key =
+    match (col_pk, table_pks) with
+    | [], [] -> []
+    | [], [ pk ] -> pk
+    | pk, [] -> pk
+    | _ -> Errors.sql "multiple primary keys for table %s" ct_name
+  in
+  let nullable =
+    List.filter_map
+      (fun (c : A.column_def) ->
+        if c.A.cd_not_null || c.A.cd_primary_key || List.mem c.A.cd_name primary_key
+        then None
+        else Some c.A.cd_name)
+      ct_columns
+  in
+  let uniques =
+    List.filter_map
+      (fun (c : A.column_def) ->
+        if c.A.cd_unique then
+          Some (Printf.sprintf "%s_%s_key" ct_name c.A.cd_name, [ c.A.cd_name ])
+        else None)
+      ct_columns
+    @ List.filter_map
+        (function
+          | A.C_unique cols ->
+              Some
+                ( Printf.sprintf "%s_%s_key" ct_name (String.concat "_" cols),
+                  cols )
+          | _ -> None)
+        ct_constraints
+  in
+  let foreign_keys =
+    List.mapi
+      (fun i -> function
+        | A.C_foreign_key { c_cols; c_ref_table; c_ref_cols } ->
+            Some
+              {
+                Schema.fk_name = Printf.sprintf "%s_fkey_%d" ct_name i;
+                fk_cols = c_cols;
+                fk_ref_table = c_ref_table;
+                fk_ref_cols = c_ref_cols;
+              }
+        | A.C_primary_key _ | A.C_unique _ -> None)
+      ct_constraints
+    |> List.filter_map Fun.id
+  in
+  Schema.make ~name:ct_name ~columns ~nullable ~primary_key ~uniques
+    ~foreign_keys ()
+
+(* ------------------------------------------------------------------ *)
+(* Statement dispatch                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let perform_arg_value s (e : A.expr) : Value.t =
+  match e with
+  (* a bare identifier argument denotes a name (tag, principal, …),
+     matching the paper's PERFORM addsecrecy(alice_medical) usage *)
+  | A.E_col (None, name) -> Value.Text name
+  | _ ->
+      let lowered =
+        Planner.lower_expr_for_table (pctx s)
+          (Schema.make ~name:"_args" ~columns:[] ())
+          e
+      in
+      Expr.eval (fenv s) (Tuple.make ~values:[||] ~label:Label.empty) lowered
+
+let exec_perform s name args =
+  match Hashtbl.find_opt s.sdb.procedures (norm name) with
+  | None -> Errors.sql "unknown procedure %s" name
+  | Some c ->
+      let vargs = List.map (perform_arg_value s) args in
+      let run () = ignore (c.c_fn s vargs) in
+      (match c.c_authority with
+      | Some p -> with_principal s p run
+      | None -> run ());
+      Done "PERFORM"
+
+let exec_stmt s (stmt : A.stmt) : result =
+  match stmt with
+  | A.S_begin ->
+      if s.s_txn <> None then Errors.sql "already inside a transaction";
+      s.s_txn <- Some (Manager.begin_txn s.sdb.mgr);
+      s.s_implicit <- false;
+      Done "BEGIN"
+  | A.S_commit -> (
+      match s.s_txn with
+      | None -> Errors.sql "COMMIT outside a transaction"
+      | Some txn ->
+          do_commit s txn;
+          Done "COMMIT")
+  | A.S_rollback -> (
+      match s.s_txn with
+      | None -> Errors.sql "ROLLBACK outside a transaction"
+      | Some txn ->
+          do_abort s txn;
+          Done "ROLLBACK")
+  | A.S_select sel ->
+      in_statement_txn s (fun _txn ->
+          let plan, columns = Planner.plan_select (pctx s) sel in
+          let tuples = Executor.run_list (exec_ctx s) plan in
+          Rows { columns; tuples })
+  | A.S_insert _ -> in_statement_txn s (fun txn -> exec_insert s txn stmt)
+  | A.S_update { u_table; u_sets; u_where } ->
+      in_statement_txn s (fun txn -> exec_update s txn u_table u_sets u_where)
+  | A.S_delete { d_table; d_where } ->
+      in_statement_txn s (fun txn -> exec_delete s txn d_table d_where)
+  | A.S_create_table { ct_name; ct_columns; ct_constraints } ->
+      let schema = schema_of_create (ct_name, ct_columns, ct_constraints) in
+      (* referenced tables must exist *)
+      List.iter
+        (fun fk -> ignore (Catalog.table s.sdb.cat fk.Schema.fk_ref_table))
+        schema.Schema.foreign_keys;
+      ignore (Catalog.create_table s.sdb.cat schema);
+      Done "CREATE TABLE"
+  | A.S_create_view { cv_name; cv_query; cv_declassifying } ->
+      let declassify =
+        if cv_declassifying = [] then Label.empty
+        else begin
+          (* the creator must hold the authority being bound to the
+             view (section 4.3), and must be uncontaminated: the view
+             definition is public state *)
+          if s.sdb.ifc && not (Label.is_empty s.s_label) then
+            flow "creating a declassifying view requires an empty label";
+          resolve_declared_tags s cv_declassifying
+        end
+      in
+      ignore
+        (Catalog.create_view s.sdb.cat ~name:cv_name ~query:cv_query
+           ~declassify ());
+      Done "CREATE VIEW"
+  | A.S_create_index { ci_name; ci_table; ci_cols } ->
+      ignore
+        (Catalog.create_index s.sdb.cat ~name:ci_name ~table:ci_table
+           ~cols:ci_cols ~unique:false);
+      Done "CREATE INDEX"
+  | A.S_drop (`Table, name) ->
+      Catalog.drop_table s.sdb.cat name;
+      Done "DROP TABLE"
+  | A.S_drop (`View, name) ->
+      Catalog.drop_view s.sdb.cat name;
+      Done "DROP VIEW"
+  | A.S_drop (`Index, name) ->
+      Catalog.drop_index s.sdb.cat name;
+      Done "DROP INDEX"
+  | A.S_perform (name, args) -> exec_perform s name args
+
+(* A failed statement aborts the enclosing explicit transaction, like
+   PostgreSQL's "current transaction is aborted" state with the forced
+   rollback folded in.  (Implicit transactions already abort inside
+   [in_statement_txn].) *)
+let exec_stmt_guarded s stmt =
+  try exec_stmt s stmt
+  with
+  | ( Flow_violation _ | Authority_required _ | Constraint_violation _
+    | Sql_error _ | Manager.Serialization_failure _
+    | Ifdb_engine.Planner.Plan_error _ | Ifdb_engine.Executor.Exec_error _
+    | Catalog.Catalog_error _ | Expr.Type_error _ | Authority.Denied _
+    | Authority.Not_public _ | Authority.Unknown _ ) as e ->
+    (match s.s_txn with Some txn -> do_abort s txn | None -> ());
+    raise e
+
+let wrap_errors f =
+  try f () with
+  | Ifdb_sql.Parser.Parse_error msg | Ifdb_sql.Lexer.Lex_error (msg, _) ->
+      Errors.sql "%s" msg
+  | Ifdb_engine.Planner.Plan_error msg -> Errors.sql "%s" msg
+  | Ifdb_engine.Executor.Exec_error msg -> Errors.sql "%s" msg
+  | Catalog.Catalog_error msg -> Errors.sql "%s" msg
+  | Expr.Type_error msg -> Errors.sql "%s" msg
+  | Authority.Denied msg -> Errors.authority "%s" msg
+  | Authority.Not_public msg -> Errors.flow "%s" msg
+  | Authority.Unknown msg -> Errors.sql "unknown %s" msg
+
+let exec s sql_text =
+  wrap_errors (fun () ->
+      match Parser.parse sql_text with
+      | [ stmt ] -> exec_stmt_guarded s stmt
+      | [] -> Errors.sql "empty statement"
+      | _ -> Errors.sql "exec expects a single statement; use exec_script")
+
+let exec_script s sql_text =
+  wrap_errors (fun () ->
+      List.map (fun stmt -> exec_stmt_guarded s stmt) (Parser.parse sql_text))
+
+let query s sql_text =
+  match exec s sql_text with
+  | Rows { tuples; _ } -> tuples
+  | Affected _ | Done _ -> Errors.sql "statement returned no rows: %s" sql_text
+
+let query_one s sql_text =
+  match query s sql_text with
+  | row :: _ -> row
+  | [] -> Errors.sql "no rows returned by: %s" sql_text
+
+let insert_returning_count s sql_text =
+  match exec s sql_text with
+  | Affected n -> n
+  | Rows _ | Done _ -> Errors.sql "expected DML: %s" sql_text
+
+(* ------------------------------------------------------------------ *)
+(* Registration                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let require_uncontaminated s what =
+  if s.sdb.ifc && not (Label.is_empty s.s_label) then
+    flow "%s requires an empty label (catalog state is public)" what
+
+let create_trigger s ~name ~table ~kinds ?(timing = `Immediate) ?authority fn =
+  require_uncontaminated s "CREATE TRIGGER";
+  ignore (Catalog.table s.sdb.cat table);
+  let db = s.sdb in
+  if List.exists (fun t -> norm t.trg_name = norm name) db.triggers then
+    Errors.sql "trigger %s already exists" name;
+  db.triggers <-
+    db.triggers
+    @ [
+        {
+          trg_name = name;
+          trg_table = norm table;
+          trg_kinds = kinds;
+          trg_timing = timing;
+          trg_authority = authority;
+          trg_fn = fn;
+        };
+      ]
+
+let drop_trigger t name =
+  t.triggers <- List.filter (fun trg -> norm trg.trg_name <> norm name) t.triggers
+
+let register_procedure s ~name ?authority fn =
+  require_uncontaminated s "CREATE PROCEDURE";
+  Hashtbl.replace s.sdb.procedures (norm name)
+    { c_authority = authority; c_fn = fn }
+
+(* Relabeling declassifying views (paper section 4.3's sophisticated
+   variant): replace each [from] tag with its [to] tag at the view
+   boundary — e.g. a billing view swapping p_medical for p_billing.
+   The creator must hold authority for every [from] tag (it is being
+   declassified) and be uncontaminated. *)
+let create_relabeling_view s ~name ~query ~replace =
+  let db = s.sdb in
+  if db.ifc then begin
+    if not (Label.is_empty s.s_label) then
+      flow "creating a relabeling view requires an empty label";
+    List.iter
+      (fun (from_tag, _) ->
+        Authority.check_authority db.auth s.s_principal from_tag)
+      replace
+  end;
+  let query =
+    match Parser.parse_one query with
+    | A.S_select sel -> sel
+    | _ -> Errors.sql "view definition must be a SELECT"
+  in
+  ignore
+    (Catalog.create_view db.cat ~name ~query ~declassify:Label.empty
+       ~relabel:replace ())
+
+(* The per-tuple iterator sketched in the paper's future work
+   (section 10): run a query with [extra] additional readable tags and
+   hand each tuple to [f] in a fresh session whose label joins the
+   caller's label with that tuple's — contamination is confined per
+   tuple, as if each were handled by its own forked process.  Returns
+   the number of rows handled. *)
+let query_each s ?(extra = Label.empty) sql_text f =
+  wrap_errors (fun () ->
+      match Parser.parse_one sql_text with
+      | A.S_select sel ->
+          in_statement_txn s (fun _txn ->
+              let plan, _names = Planner.plan_select (pctx s) ~extra sel in
+              let rows = Executor.run_list (exec_ctx s) plan in
+              List.iter
+                (fun row ->
+                  let sub = connect s.sdb ~principal:s.s_principal in
+                  sub.s_label <- Label.union s.s_label (Tuple.label row);
+                  (* the sub-context shares the caller's transaction so
+                     its reads are consistent with the iteration *)
+                  sub.s_txn <- s.s_txn;
+                  Fun.protect
+                    ~finally:(fun () -> sub.s_txn <- None)
+                    (fun () -> f sub row))
+                rows;
+              List.length rows)
+      | _ -> Errors.sql "query_each expects a SELECT")
+
+let register_scalar t ~name ?authority fn =
+  Hashtbl.replace t.scalars (norm name) { c_authority = authority; c_fn = fn }
+
+let add_label_constraint t ~name ~table fn =
+  Catalog.add_label_constraint t.cat
+    { Catalog.lc_name = name; lc_table = table; lc_fn = fn }
+
+(* ------------------------------------------------------------------ *)
+(* Maintenance                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let checkpoint t = Buffer_pool.flush_all t.bp
+
+let table_names t =
+  List.sort String.compare
+    (List.map
+       (fun tbl -> tbl.Catalog.tbl_schema.Schema.table_name)
+       (Catalog.all_tables t.cat))
+
+(* ------------------------------------------------------------------ *)
+(* Creation                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let register_builtin_procedures db =
+  let text_arg name args =
+    match args with
+    | [ Value.Text n ] -> n
+    | _ -> Errors.sql "%s expects one name argument" name
+  in
+  Hashtbl.replace db.procedures "addsecrecy"
+    {
+      c_authority = None;
+      c_fn =
+        (fun s args ->
+          add_secrecy s (find_tag s.sdb (text_arg "addsecrecy" args));
+          Value.Null);
+    };
+  Hashtbl.replace db.procedures "declassify"
+    {
+      c_authority = None;
+      c_fn =
+        (fun s args ->
+          declassify s (find_tag s.sdb (text_arg "declassify" args));
+          Value.Null);
+    }
+
+let create ?(ifc = true) ?(isolation = Snapshot) ?(capacity_pages = None)
+    ?(miss_cost_ns = 100_000) ?(write_cost_ns = 60_000)
+    ?(fsync_cost_ns = 200_000) ?(seed = 0x1FDB) () =
+  let bp =
+    Buffer_pool.create ~capacity_pages ~miss_cost_ns ~write_cost_ns ()
+  in
+  let the_wal = Wal.create ~fsync_cost_ns () in
+  let auth = Authority.create ~seed () in
+  let admin_p =
+    Authority.create_principal auth ~actor_label:Label.empty ~name:"admin"
+  in
+  let db =
+    {
+      auth;
+      cat = Catalog.create ~pool:bp ~labeled:ifc ();
+      mgr =
+        Manager.create ~wal:the_wal
+          ~serializable_locking:(isolation = Serializable) ();
+      bp;
+      ifc;
+      iso = isolation;
+      admin_p;
+      scalars = Hashtbl.create 16;
+      procedures = Hashtbl.create 16;
+      triggers = [];
+      commits_since_vacuum = 0;
+      autovacuum_every = 256;
+    }
+  in
+  register_builtin_procedures db;
+  db

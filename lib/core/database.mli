@@ -1,0 +1,234 @@
+(** The IFDB database facade: Query by Label over the engine.
+
+    This module is the paper's contribution.  It owns the catalog, the
+    transaction manager and the authority state, and enforces, at the
+    tuple access layer:
+
+    - the {b Label Confinement Rule}: a query by a process with label
+      [Lp] sees exactly the tuples [T] with [L_T ⊆ Lp] (compound-aware;
+      section 4.2);
+    - the {b Write Rule}: inserts are labeled exactly [Lp]; updates and
+      deletes may touch only tuples labeled exactly [Lp] — touching a
+      visible lower-labeled tuple is an error (section 4.2);
+    - the {b transaction commit-label rule}: at commit, the process
+      label must be no more contaminated than any tuple in the write
+      set (section 5.1);
+    - the {b clearance rule} under [`Serializable] isolation: raising
+      the label inside a transaction requires authority for the added
+      tag (section 5.1; snapshot isolation does not need it);
+    - {b polyinstantiation} for uniqueness constraints (section 5.2.1);
+    - the {b Foreign Key Rule} with explicit [DECLASSIFYING] clauses
+      (section 5.2.2);
+    - {b declassifying views} and {b stored authority closures}
+      (section 4.3), {b triggers} — ordinary and authority-bound,
+      immediate and deferred (deferred ones run at commit with the
+      label captured when the triggering statement ran; section 5.2.3);
+    - {b label constraints} (section 5.2.4).
+
+    Opening the database with [~ifc:false] produces the baseline
+    ("vanilla PostgreSQL") engine used by the benchmarks: no label
+    storage, no label checks. *)
+
+module Label = Ifdb_difc.Label
+module Tag = Ifdb_difc.Tag
+module Principal = Ifdb_difc.Principal
+module Authority = Ifdb_difc.Authority
+module Value = Ifdb_rel.Value
+module Tuple = Ifdb_rel.Tuple
+
+type t
+(** A database instance. *)
+
+type session
+(** A client process connection: a principal, a mutable label, and at
+    most one open transaction.  Sessions model the per-process
+    granularity of the application platform (section 2). *)
+
+type isolation = Snapshot | Serializable
+
+val create :
+  ?ifc:bool ->
+  ?isolation:isolation ->
+  ?capacity_pages:int option ->
+  ?miss_cost_ns:int ->
+  ?write_cost_ns:int ->
+  ?fsync_cost_ns:int ->
+  ?seed:int ->
+  unit ->
+  t
+(** Defaults: [ifc:true], [Snapshot] isolation (what the paper's
+    PostgreSQL-based prototype runs), unbounded buffer pool. *)
+
+val authority : t -> Authority.t
+val catalog : t -> Ifdb_engine.Catalog.t
+val manager : t -> Ifdb_txn.Manager.t
+val pool : t -> Ifdb_storage.Buffer_pool.t
+val wal : t -> Ifdb_storage.Wal.t
+val ifc_enabled : t -> bool
+val isolation : t -> isolation
+
+val admin : t -> Principal.t
+(** The administrator principal: may define schema but owns no tags,
+    so it cannot declassify anything (section 3.3). *)
+
+(** {1 Sessions and labels} *)
+
+val connect : t -> principal:Principal.t -> session
+val connect_admin : t -> session
+val database : session -> t
+
+val session_principal : session -> Principal.t
+val session_label : session -> Label.t
+
+val add_secrecy : session -> Tag.t -> unit
+(** Raise the session label.  Under [Serializable] isolation, inside a
+    transaction, this requires authority for the tag (the clearance
+    rule). *)
+
+val declassify : session -> Tag.t -> unit
+(** Remove a tag from the session label; requires authority for it (or
+    a compound containing it). *)
+
+val set_label : session -> Label.t -> unit
+(** Jump to an arbitrary label: added tags as {!add_secrecy}, removed
+    tags as {!declassify}. *)
+
+val with_label : session -> Label.t -> (unit -> 'a) -> 'a
+(** Run with a temporary label; restores the previous label after
+    (raising back is always allowed, so restore performs the
+    appropriate declassifications/raises with the same checks). *)
+
+val with_principal : session -> Principal.t -> (unit -> 'a) -> 'a
+(** Run with a different acting principal (the primitive underlying
+    authority closures and reduced-authority calls). *)
+
+val with_reduced_authority : session -> (unit -> 'a) -> 'a
+(** Run with a fresh principal that holds no authority at all
+    (section 3.3's reduced authority calls). *)
+
+(** {1 Principals, tags, authority}
+
+    Thin wrappers over {!Ifdb_difc.Authority} that pass the session's
+    label, so every authority-state mutation is rejected unless the
+    process is uncontaminated. *)
+
+val create_principal : session -> name:string -> Principal.t
+val create_tag : session -> name:string -> ?compounds:Tag.t list -> unit -> Tag.t
+(** The session's principal becomes the owner. *)
+
+val delegate : session -> tag:Tag.t -> grantee:Principal.t -> unit
+val revoke : session -> tag:Tag.t -> grantee:Principal.t -> unit
+val find_tag : t -> string -> Tag.t
+val find_principal : t -> string -> Principal.t
+
+val closure_principal :
+  session -> name:string -> tags:Tag.t list -> Principal.t
+(** Create a principal for an authority closure: the caller delegates
+    each of [tags] to it (so the caller must hold that authority).
+    Bind it to code with {!register_procedure}, {!create_trigger} or
+    {!with_principal}. *)
+
+(** {1 SQL} *)
+
+type result =
+  | Rows of { columns : string list; tuples : Tuple.t list }
+  | Affected of int
+  | Done of string  (** DDL / transaction control / PERFORM *)
+
+val exec : session -> string -> result
+(** Execute one SQL statement (parse errors raise
+    {!Errors.Sql_error}).  Statements outside BEGIN/COMMIT run in an
+    implicit transaction. *)
+
+val exec_script : session -> string -> result list
+(** Execute a semicolon-separated script, statement by statement. *)
+
+val query : session -> string -> Tuple.t list
+(** {!exec} restricted to row-returning statements. *)
+
+val query_one : session -> string -> Tuple.t
+(** First row of {!query}; raises {!Errors.Sql_error} if empty. *)
+
+val insert_returning_count : session -> string -> int
+(** {!exec} restricted to DML; returns the affected-row count. *)
+
+(** {1 Triggers, procedures, scalar functions, label constraints} *)
+
+type trigger_event = {
+  ev_table : string;
+  ev_kind : [ `Insert | `Update | `Delete ];
+  ev_old : Tuple.t option;
+  ev_new : Tuple.t option;
+}
+
+val create_trigger :
+  session ->
+  name:string ->
+  table:string ->
+  kinds:[ `Insert | `Update | `Delete ] list ->
+  ?timing:[ `Immediate | `Deferred ] ->
+  ?authority:Principal.t ->
+  (session -> trigger_event -> unit) ->
+  unit
+(** [authority] makes it a stored authority closure (runs with that
+    principal); creation requires an uncontaminated session.  The body
+    runs with the label of the triggering statement, also for
+    [`Deferred] triggers at commit (section 5.2.3). *)
+
+val drop_trigger : t -> string -> unit
+
+val register_procedure :
+  session ->
+  name:string ->
+  ?authority:Principal.t ->
+  (session -> Value.t list -> Value.t) ->
+  unit
+(** Stored procedures, callable via [PERFORM name(args)].  With
+    [authority], a stored authority closure (section 4.3). *)
+
+val create_relabeling_view :
+  session ->
+  name:string ->
+  query:string ->
+  replace:(Tag.t * Tag.t) list ->
+  unit
+(** The sophisticated declassifying views of section 4.3: the view
+    replaces each [from] tag with its [to] tag at its boundary (e.g. a
+    billing view swapping [p_medical] for [p_billing]).  Requires an
+    uncontaminated session with authority for every [from] tag. *)
+
+val query_each :
+  session ->
+  ?extra:Label.t ->
+  string ->
+  (session -> Tuple.t -> unit) ->
+  int
+(** The per-tuple iterator from the paper's future work (section 10):
+    run the SELECT with [extra] additional readable tags and hand each
+    tuple to [f] in a fresh sub-session whose label joins the caller's
+    with that tuple's — per-tuple contamination, confined as if each
+    tuple were handled by its own forked process.  Returns the row
+    count.  The caller's own label is unchanged. *)
+
+val register_scalar :
+  t -> name:string -> ?authority:Principal.t -> (session -> Value.t list -> Value.t) -> unit
+(** Scalar functions usable inside SQL expressions (e.g. the
+    [IsPCMember] call in HotCRP's declassifying view). *)
+
+val add_label_constraint :
+  t ->
+  name:string ->
+  table:string ->
+  (Tuple.t -> Ifdb_engine.Catalog.label_rule option) ->
+  unit
+
+(** {1 Maintenance} *)
+
+val vacuum : t -> int
+(** Remove dead tuple versions (exempt from flow rules, section 7.1);
+    returns the number removed. *)
+
+val checkpoint : t -> unit
+(** Flush dirty pages (charges simulated write I/O). *)
+
+val table_names : t -> string list

@@ -1,0 +1,157 @@
+module Label = Ifdb_difc.Label
+module Authority = Ifdb_difc.Authority
+module Value = Ifdb_rel.Value
+module Tuple = Ifdb_rel.Tuple
+module Schema = Ifdb_rel.Schema
+module Datatype = Ifdb_rel.Datatype
+module Heap = Ifdb_storage.Heap
+module Manager = Ifdb_txn.Manager
+module Catalog = Ifdb_engine.Catalog
+
+let sql_literal (v : Value.t) =
+  match v with
+  | Value.Null -> "NULL"
+  | Value.Int i -> string_of_int i
+  | Value.Float f ->
+      let s = Printf.sprintf "%.17g" f in
+      if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+      else s ^ ".0"
+  | Value.Bool b -> if b then "TRUE" else "FALSE"
+  | Value.Text s ->
+      let buf = Buffer.create (String.length s + 2) in
+      Buffer.add_char buf '\'';
+      String.iter
+        (fun c ->
+          if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+        s;
+      Buffer.add_char buf '\'';
+      Buffer.contents buf
+  | Value.Ints _ -> failwith "array values cannot be dumped"
+
+let schema_sql (schema : Schema.t) =
+  let cols =
+    Array.to_list
+      (Array.map
+         (fun (c : Schema.column) ->
+           Printf.sprintf "%s %s%s" c.Schema.col_name
+             (Datatype.name c.Schema.col_type)
+             (if c.Schema.nullable then "" else " NOT NULL"))
+         schema.Schema.columns)
+  in
+  let pk =
+    match schema.Schema.primary_key with
+    | [] -> []
+    | cols -> [ Printf.sprintf "PRIMARY KEY (%s)" (String.concat ", " cols) ]
+  in
+  let uniques =
+    List.map
+      (fun u -> Printf.sprintf "UNIQUE (%s)" (String.concat ", " u.Schema.uq_cols))
+      schema.Schema.uniques
+  in
+  let fks =
+    List.map
+      (fun fk ->
+        Printf.sprintf "FOREIGN KEY (%s) REFERENCES %s (%s)"
+          (String.concat ", " fk.Schema.fk_cols)
+          fk.Schema.fk_ref_table
+          (String.concat ", " fk.Schema.fk_ref_cols))
+      schema.Schema.foreign_keys
+  in
+  Printf.sprintf "CREATE TABLE %s (%s);" schema.Schema.table_name
+    (String.concat ", " (cols @ pk @ uniques @ fks))
+
+(* Latest committed tuples of a table, all labels.  The dump, like the
+   garbage collector, is a trusted component exempt from flow rules
+   (paper section 7.1/7.2). *)
+let committed_tuples db (tbl : Catalog.table) =
+  let mgr = Database.manager db in
+  let txn = Manager.begin_txn mgr in
+  let rows = ref [] in
+  Heap.iter tbl.Catalog.tbl_heap (fun v ->
+      if Manager.visible mgr txn v then rows := v.Heap.tuple :: !rows);
+  Manager.commit mgr txn;
+  List.rev !rows
+
+let label_names db label =
+  let auth = Database.authority db in
+  List.map (fun tag -> Authority.tag_name auth tag) (Label.to_list label)
+
+let emit_table db buf (tbl : Catalog.table) =
+  let schema = tbl.Catalog.tbl_schema in
+  Buffer.add_string buf (schema_sql schema);
+  Buffer.add_char buf '\n';
+  (* group consecutive equal-labeled rows between label brackets *)
+  let current = ref Label.empty in
+  let set_label target =
+    let removed = Label.diff !current target in
+    let added = Label.diff target !current in
+    List.iter
+      (fun name -> Buffer.add_string buf (Printf.sprintf "PERFORM declassify(%s);\n" name))
+      (label_names db removed);
+    List.iter
+      (fun name -> Buffer.add_string buf (Printf.sprintf "PERFORM addsecrecy(%s);\n" name))
+      (label_names db added);
+    current := target
+  in
+  List.iter
+    (fun tuple ->
+      set_label (Tuple.label tuple);
+      Buffer.add_string buf
+        (Printf.sprintf "INSERT INTO %s VALUES (%s);\n" schema.Schema.table_name
+           (String.concat ", "
+              (Array.to_list (Array.map sql_literal (Tuple.values tuple))))))
+    (committed_tuples db tbl);
+  set_label Label.empty
+
+(* Dump referenced tables before referencing ones so the restore's FK
+   checks pass. *)
+let tables_in_fk_order db =
+  let tables = Catalog.all_tables (Database.catalog db) in
+  let name t = String.lowercase_ascii t.Catalog.tbl_schema.Schema.table_name in
+  let emitted = Hashtbl.create 16 in
+  let out = ref [] in
+  let rec emit t =
+    if not (Hashtbl.mem emitted (name t)) then begin
+      Hashtbl.add emitted (name t) ();
+      List.iter
+        (fun fk ->
+          match
+            List.find_opt
+              (fun o -> name o = String.lowercase_ascii fk.Schema.fk_ref_table)
+              tables
+          with
+          | Some dep when name dep <> name t -> emit dep
+          | Some _ | None -> ())
+        t.Catalog.tbl_schema.Schema.foreign_keys;
+      out := t :: !out
+    end
+  in
+  List.iter emit
+    (List.sort
+       (fun a b -> String.compare (name a) (name b))
+       tables);
+  List.rev !out
+
+let dump db =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "-- IFDB dump (labels preserved)\n";
+  List.iter (fun tbl -> emit_table db buf tbl) (tables_in_fk_order db);
+  Buffer.contents buf
+
+let dump_table db table_name =
+  let buf = Buffer.create 1024 in
+  emit_table db buf (Catalog.table (Database.catalog db) table_name);
+  Buffer.contents buf
+
+let restore session script =
+  (* strip comment lines; exec_script handles the rest *)
+  let lines = String.split_on_char '\n' script in
+  let body =
+    String.concat "\n"
+      (List.filter
+         (fun line ->
+           let t = String.trim line in
+           not (String.length t >= 2 && String.sub t 0 2 = "--"))
+         lines)
+  in
+  ignore (Database.exec_script session body)

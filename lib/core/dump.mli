@@ -1,0 +1,27 @@
+(** Label-preserving backup and restore.
+
+    The paper modified [pg_dump] and [pg_restore] to provide backups
+    that include labels (section 7.2).  {!dump} is the analogue: a
+    trusted maintenance operation (like vacuum, it is exempt from flow
+    rules) that serializes every table — schema and latest committed
+    tuples — into a SQL script in which each run of equal-labeled rows
+    is bracketed by [PERFORM addsecrecy(...)]/[PERFORM declassify(...)]
+    by tag {e name}.
+
+    {!restore} replays such a script through an ordinary session, so
+    restoring enforces the usual rules: the session's principal must
+    hold authority to declassify every tag appearing in the dump (the
+    operator restoring a backup is trusted with its contents), and the
+    tags must already exist in the target authority state under the
+    same names. *)
+
+val dump : Database.t -> string
+(** Serialize all tables (latest committed versions, all labels). *)
+
+val dump_table : Database.t -> string -> string
+(** Serialize one table. *)
+
+val restore : Database.session -> string -> unit
+(** Execute a dump script.  Raises the usual errors if the session
+    lacks authority for some label in the dump or if relations already
+    exist. *)

@@ -1,0 +1,26 @@
+(* The error taxonomy of the IFDB facade.  Each exception corresponds
+   to a distinct refusal the paper's model makes. *)
+
+exception Flow_violation of string
+(* An information-flow rule was violated: the Write Rule (section 4.2),
+   the transaction commit-label rule (section 5.1), or an attempt to
+   release data to a destination whose label does not cover it. *)
+
+exception Authority_required of string
+(* The operation needs declassification authority the acting principal
+   does not hold: declassify, the Foreign Key Rule's DECLASSIFYING
+   clause, clearance under serializability, creating a declassifying
+   view. *)
+
+exception Constraint_violation of string
+(* An integrity constraint failed in a way that is safe to report:
+   uniqueness against a visible tuple, missing foreign-key target,
+   NOT NULL/type errors, label constraints. *)
+
+exception Sql_error of string
+(* Malformed or unsupported SQL, unknown relations/functions. *)
+
+let flow fmt = Format.kasprintf (fun s -> raise (Flow_violation s)) fmt
+let authority fmt = Format.kasprintf (fun s -> raise (Authority_required s)) fmt
+let constraint_ fmt = Format.kasprintf (fun s -> raise (Constraint_violation s)) fmt
+let sql fmt = Format.kasprintf (fun s -> raise (Sql_error s)) fmt

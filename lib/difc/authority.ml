@@ -1,0 +1,192 @@
+exception Denied of string
+exception Not_public of string
+exception Unknown of string
+
+type tag_info = {
+  tag_name : string;
+  owner : Principal.t;
+  tag_compounds : Tag.t list; (* compounds this tag is a member of *)
+  mutable members : Tag.t list; (* members, if this tag is used as a compound *)
+}
+
+type grant = { grantor : Principal.t; grantee : Principal.t; g_tag : Tag.t }
+
+type t = {
+  idgen : Idgen.t;
+  principals : (int, string) Hashtbl.t;
+  principal_by_name : (string, Principal.t) Hashtbl.t;
+  tags : (int, tag_info) Hashtbl.t;
+  tag_by_name : (string, Tag.t) Hashtbl.t;
+  mutable grants : grant list;
+  mutable gen : int;
+  (* Upward compound closure per tag.  Compound links are fixed when a
+     tag is created (the paper forbids relinking), so the closure of an
+     existing tag never changes and can be memoized forever.  This
+     check sits on the per-tuple read path. *)
+  closures : (int, Tag.t list) Hashtbl.t;
+}
+
+let create ?(seed = 0x1FDB) () =
+  {
+    idgen = Idgen.create ~seed;
+    principals = Hashtbl.create 64;
+    principal_by_name = Hashtbl.create 64;
+    tags = Hashtbl.create 64;
+    tag_by_name = Hashtbl.create 64;
+    grants = [];
+    gen = 0;
+    closures = Hashtbl.create 64;
+  }
+
+let generation t = t.gen
+
+let require_public label what =
+  if not (Label.is_empty label) then
+    raise
+      (Not_public
+         (Printf.sprintf
+            "%s requires an empty label (authority state is public); \
+             process label is %s"
+            what (Label.to_string label)))
+
+let bump t = t.gen <- t.gen + 1
+
+let create_principal t ~actor_label ~name =
+  require_public actor_label "create_principal";
+  let p = Principal.of_int (Idgen.fresh t.idgen) in
+  Hashtbl.replace t.principals (Principal.to_int p) name;
+  if name <> "" then Hashtbl.replace t.principal_by_name name p;
+  bump t;
+  p
+
+let principal_name t p =
+  match Hashtbl.find_opt t.principals (Principal.to_int p) with
+  | Some n -> n
+  | None -> raise (Unknown (Printf.sprintf "principal %d" (Principal.to_int p)))
+
+let find_principal t name =
+  match Hashtbl.find_opt t.principal_by_name name with
+  | Some p -> p
+  | None -> raise (Unknown (Printf.sprintf "principal %S" name))
+
+let tag_info t tag =
+  match Hashtbl.find_opt t.tags (Tag.to_int tag) with
+  | Some info -> info
+  | None -> raise (Unknown (Printf.sprintf "tag %d" (Tag.to_int tag)))
+
+let create_tag t ~actor_label ~owner ~name ?(compounds = []) () =
+  require_public actor_label "create_tag";
+  if not (Hashtbl.mem t.principals (Principal.to_int owner)) then
+    raise (Unknown (Printf.sprintf "principal %d" (Principal.to_int owner)));
+  List.iter (fun c -> ignore (tag_info t c)) compounds;
+  let tag = Tag.of_int (Idgen.fresh t.idgen) in
+  Hashtbl.replace t.tags (Tag.to_int tag)
+    { tag_name = name; owner; tag_compounds = compounds; members = [] };
+  List.iter
+    (fun c ->
+      let ci = tag_info t c in
+      ci.members <- tag :: ci.members)
+    compounds;
+  if name <> "" then Hashtbl.replace t.tag_by_name name tag;
+  bump t;
+  tag
+
+let tag_name t tag = (tag_info t tag).tag_name
+
+let find_tag t name =
+  match Hashtbl.find_opt t.tag_by_name name with
+  | Some tag -> tag
+  | None -> raise (Unknown (Printf.sprintf "tag %S" name))
+
+let owner_of t tag = (tag_info t tag).owner
+let compounds_of t tag = (tag_info t tag).tag_compounds
+let members_of t tag = (tag_info t tag).members
+
+(* [tags_conferring tag] is [tag] plus every compound reachable upward
+   from it: authority over any of these confers authority over [tag].
+   Memoized — compound links are immutable after tag creation. *)
+let tags_conferring t tag =
+  match Hashtbl.find_opt t.closures (Tag.to_int tag) with
+  | Some closure -> closure
+  | None ->
+      let seen = Hashtbl.create 8 in
+      let rec go acc tag =
+        if Hashtbl.mem seen (Tag.to_int tag) then acc
+        else begin
+          Hashtbl.add seen (Tag.to_int tag) ();
+          List.fold_left go (tag :: acc) (compounds_of t tag)
+        end
+      in
+      let closure = go [] tag in
+      Hashtbl.replace t.closures (Tag.to_int tag) closure;
+      closure
+
+(* A grant is live only if the grantor (still) has the authority it
+   passed on; [visiting] breaks delegation cycles. *)
+let rec holds t visiting p tag =
+  let confer = tags_conferring t tag in
+  List.exists
+    (fun cand ->
+      Principal.equal (owner_of t cand) p
+      || List.exists
+           (fun g ->
+             Tag.equal g.g_tag cand
+             && Principal.equal g.grantee p
+             && (not (List.mem (Principal.to_int g.grantor, Tag.to_int cand) visiting))
+             && holds t
+                  ((Principal.to_int g.grantor, Tag.to_int cand) :: visiting)
+                  g.grantor cand)
+           t.grants)
+    confer
+
+let has_authority t p tag = holds t [] p tag
+
+let check_authority t p tag =
+  if not (has_authority t p tag) then
+    raise
+      (Denied
+         (Printf.sprintf "principal %s (%s) lacks authority for tag %s (%s)"
+            (Format.asprintf "%a" Principal.pp p)
+            (try principal_name t p with Unknown _ -> "?")
+            (Format.asprintf "%a" Tag.pp tag)
+            (try tag_name t tag with Unknown _ -> "?")))
+
+let has_authority_for_label t p label =
+  Label.for_all (fun tag -> has_authority t p tag) label
+
+let delegate t ~actor ~actor_label ~tag ~grantee =
+  require_public actor_label "delegate";
+  check_authority t actor tag;
+  if not (Hashtbl.mem t.principals (Principal.to_int grantee)) then
+    raise (Unknown (Printf.sprintf "principal %d" (Principal.to_int grantee)));
+  let g = { grantor = actor; grantee; g_tag = tag } in
+  if not (List.mem g t.grants) then t.grants <- g :: t.grants;
+  bump t
+
+let revoke t ~actor ~actor_label ~tag ~grantee =
+  require_public actor_label "revoke";
+  t.grants <-
+    List.filter
+      (fun g ->
+        not
+          (Principal.equal g.grantor actor
+          && Principal.equal g.grantee grantee
+          && Tag.equal g.g_tag tag))
+      t.grants;
+  bump t
+
+(* Coverage is transitive through compound nesting: a tag is covered
+   by a label holding the tag itself or any compound reachable upward
+   from it — exactly the memoized [tags_conferring] closure. *)
+let covers t label tag =
+  List.exists (fun c -> Label.mem c label) (tags_conferring t tag)
+
+let flows t ~src ~dst = Label.for_all (fun tag -> covers t dst tag) src
+
+let all_tags t =
+  Hashtbl.fold (fun id _ acc -> Tag.of_int id :: acc) t.tags []
+  |> List.sort Tag.compare
+
+let all_principals t =
+  Hashtbl.fold (fun id _ acc -> Principal.of_int id :: acc) t.principals []
+  |> List.sort Principal.compare

@@ -1,0 +1,122 @@
+(** The authority state: principals, tags, ownership, compound
+    membership, and delegation (sections 3.2-3.3).
+
+    The authority state is itself an object with an empty label, so
+    every mutating operation takes the acting process's label and
+    fails unless it is empty — this is what stops delegations and
+    revocations from being used as a covert channel.
+
+    Authority semantics:
+    - the owner of a tag (its creator) has full authority over it;
+    - [delegate] gives a grantee authority for a tag, provided the
+      grantor has that authority;
+    - authority over a compound tag implies authority over each member;
+    - a grant is live only while its grantor retains the authority, so
+      revoking an upstream grant transitively disables downstream
+      grants made from it;
+    - [revoke] removes a specific grant made by the revoking principal
+      (principals can revoke only what they granted).
+
+    Identifier allocation uses {!Idgen}, so tag and principal ids leak
+    no ordering information (section 7.3). *)
+
+type t
+
+exception Denied of string
+(** Raised when an operation requires authority the actor lacks. *)
+
+exception Not_public of string
+(** Raised when an authority-state mutation is attempted by a process
+    whose label is not empty. *)
+
+exception Unknown of string
+(** Raised on lookup of a nonexistent tag or principal. *)
+
+val create : ?seed:int -> unit -> t
+(** Fresh authority state.  [seed] keys the id generator (defaults to
+    a fixed seed; pass distinct seeds for distinct universes). *)
+
+val generation : t -> int
+(** Monotone counter bumped by every mutation; lets clients (the
+    platform's authority cache) detect staleness cheaply. *)
+
+(** {1 Principals} *)
+
+val create_principal : t -> actor_label:Label.t -> name:string -> Principal.t
+(** New principal.  The acting process must be uncontaminated. *)
+
+val principal_name : t -> Principal.t -> string
+val find_principal : t -> string -> Principal.t
+(** By name; raises {!Unknown} if absent. *)
+
+(** {1 Tags} *)
+
+val create_tag :
+  t ->
+  actor_label:Label.t ->
+  owner:Principal.t ->
+  name:string ->
+  ?compounds:Tag.t list ->
+  unit ->
+  Tag.t
+(** [create_tag t ~actor_label ~owner ~name ~compounds ()] makes a new
+    tag owned by [owner] and declares it a member of each tag in
+    [compounds].  Membership links are fixed at creation (the paper
+    does not allow relinking, which would silently relabel data). *)
+
+val tag_name : t -> Tag.t -> string
+val find_tag : t -> string -> Tag.t
+(** By name; raises {!Unknown} if absent. *)
+
+val owner_of : t -> Tag.t -> Principal.t
+
+val compounds_of : t -> Tag.t -> Tag.t list
+(** The compound tags [tag] belongs to (directly). *)
+
+val members_of : t -> Tag.t -> Tag.t list
+(** The direct members of a compound tag (empty for ordinary tags). *)
+
+(** {1 Delegation} *)
+
+val delegate :
+  t ->
+  actor:Principal.t ->
+  actor_label:Label.t ->
+  tag:Tag.t ->
+  grantee:Principal.t ->
+  unit
+(** Grant [grantee] authority for [tag].  Requires that [actor] has
+    authority for [tag] and that [actor_label] is empty. *)
+
+val revoke :
+  t ->
+  actor:Principal.t ->
+  actor_label:Label.t ->
+  tag:Tag.t ->
+  grantee:Principal.t ->
+  unit
+(** Remove the grant of [tag] from [actor] to [grantee] (no-op if no
+    such grant).  Grants the grantee made onward become dead
+    automatically if they depended on this authority. *)
+
+(** {1 Queries} *)
+
+val has_authority : t -> Principal.t -> Tag.t -> bool
+(** [has_authority t p tag]: [p] owns [tag], owns or was delegated a
+    compound containing [tag], or holds a live delegation chain for
+    it. *)
+
+val check_authority : t -> Principal.t -> Tag.t -> unit
+(** Like {!has_authority} but raises {!Denied} on failure. *)
+
+val has_authority_for_label : t -> Principal.t -> Label.t -> bool
+(** Authority for every tag in the label. *)
+
+val covers : t -> Label.t -> Tag.t -> bool
+(** Compound-aware membership: see {!Label.covers}. *)
+
+val flows : t -> src:Label.t -> dst:Label.t -> bool
+(** Compound-aware information flow check: see {!Label.flows_to}. *)
+
+val all_tags : t -> Tag.t list
+val all_principals : t -> Principal.t list

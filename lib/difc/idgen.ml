@@ -1,0 +1,24 @@
+type t = { mutable state : int64; mutable used : (int, unit) Hashtbl.t }
+
+let create ~seed =
+  { state = Int64.of_int seed; used = Hashtbl.create 64 }
+
+(* SplitMix64: Steele, Lea & Flood, "Fast splittable pseudorandom
+   number generators", OOPSLA 2014. *)
+let next64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let fresh64 = next64
+
+let rec fresh t =
+  let raw = Int64.to_int (Int64.shift_right_logical (next64 t) 2) in
+  (* Avoid 0 so ids can be used where 0 means "none". *)
+  if raw = 0 || Hashtbl.mem t.used raw then fresh t
+  else begin
+    Hashtbl.add t.used raw ();
+    raw
+  end

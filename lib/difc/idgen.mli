@@ -1,0 +1,26 @@
+(** Unpredictable identifier generation.
+
+    IFDB allocates principal and tag identifiers from a keyed
+    pseudorandom generator rather than a counter, so that the order in
+    which ids were allocated reveals nothing (the paper's allocation
+    channel countermeasure, section 7.3).  The generator here is a
+    SplitMix64 stream: not cryptographic, but keyed and statistically
+    uniform, which is the property the simulation needs.  Identifiers
+    are positive 62-bit integers and are guaranteed unique within one
+    generator. *)
+
+type t
+(** A stateful identifier generator. *)
+
+val create : seed:int -> t
+(** [create ~seed] makes a fresh generator.  Two generators with the
+    same seed yield the same id sequence (deterministic tests). *)
+
+val fresh : t -> int
+(** [fresh t] returns a positive identifier never previously returned
+    by [t]. *)
+
+val fresh64 : t -> int64
+(** [fresh64 t] returns the next raw 64-bit state mix, without the
+    uniqueness bookkeeping.  Used where a raw pseudorandom word is
+    wanted. *)

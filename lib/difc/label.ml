@@ -1,0 +1,161 @@
+(* Labels are sorted, duplicate-free arrays of tag ids.  Merge-style
+   set operations keep everything O(n+m); labels rarely exceed a
+   handful of tags, so this beats tree sets on both time and space. *)
+
+type t = int array
+
+let empty = [||]
+let is_empty l = Array.length l = 0
+let singleton t = [| Tag.to_int t |]
+
+let dedup_sorted a =
+  let n = Array.length a in
+  if n <= 1 then a
+  else begin
+    let out = Array.make n a.(0) in
+    let k = ref 1 in
+    for i = 1 to n - 1 do
+      if a.(i) <> out.(!k - 1) then begin
+        out.(!k) <- a.(i);
+        incr k
+      end
+    done;
+    if !k = n then out else Array.sub out 0 !k
+  end
+
+let of_ints ints =
+  let a = Array.copy ints in
+  Array.sort Int.compare a;
+  dedup_sorted a
+
+let of_list tags = of_ints (Array.of_list (List.map Tag.to_int tags))
+let to_list l = Array.to_list (Array.map Tag.of_int l)
+let to_ints l = Array.copy l
+
+let mem tag l =
+  let t = Tag.to_int tag in
+  let rec go lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      if l.(mid) = t then true
+      else if l.(mid) < t then go (mid + 1) hi
+      else go lo mid
+  in
+  go 0 (Array.length l)
+
+let add tag l =
+  if mem tag l then l
+  else begin
+    let t = Tag.to_int tag in
+    let n = Array.length l in
+    let out = Array.make (n + 1) t in
+    let i = ref 0 in
+    while !i < n && l.(!i) < t do
+      out.(!i) <- l.(!i);
+      incr i
+    done;
+    Array.blit l !i out (!i + 1) (n - !i);
+    out
+  end
+
+let remove tag l =
+  if not (mem tag l) then l
+  else begin
+    let t = Tag.to_int tag in
+    let n = Array.length l in
+    let out = Array.make (n - 1) 0 in
+    let j = ref 0 in
+    for i = 0 to n - 1 do
+      if l.(i) <> t then begin
+        out.(!j) <- l.(i);
+        incr j
+      end
+    done;
+    out
+  end
+
+(* Generic sorted-array merge parameterized by which sides to keep. *)
+let merge ~keep_left ~keep_both ~keep_right a b =
+  let na = Array.length a and nb = Array.length b in
+  let buf = Array.make (na + nb) 0 in
+  let k = ref 0 in
+  let push x = buf.(!k) <- x; incr k in
+  let i = ref 0 and j = ref 0 in
+  while !i < na && !j < nb do
+    let x = a.(!i) and y = b.(!j) in
+    if x < y then begin
+      if keep_left then push x;
+      incr i
+    end else if x > y then begin
+      if keep_right then push y;
+      incr j
+    end else begin
+      if keep_both then push x;
+      incr i; incr j
+    end
+  done;
+  if keep_left then
+    while !i < na do push a.(!i); incr i done;
+  if keep_right then
+    while !j < nb do push b.(!j); incr j done;
+  if !k = na + nb then buf else Array.sub buf 0 !k
+
+let union a b =
+  if is_empty a then b
+  else if is_empty b then a
+  else merge ~keep_left:true ~keep_both:true ~keep_right:true a b
+
+let inter a b = merge ~keep_left:false ~keep_both:true ~keep_right:false a b
+let diff a b = merge ~keep_left:true ~keep_both:false ~keep_right:false a b
+let symm_diff a b = merge ~keep_left:true ~keep_both:false ~keep_right:true a b
+
+let subset a b =
+  let na = Array.length a and nb = Array.length b in
+  if na > nb then false
+  else begin
+    let i = ref 0 and j = ref 0 in
+    let ok = ref true in
+    while !ok && !i < na do
+      if !j >= nb then ok := false
+      else if a.(!i) = b.(!j) then begin incr i; incr j end
+      else if a.(!i) > b.(!j) then incr j
+      else ok := false
+    done;
+    !ok
+  end
+
+let equal a b = a = b
+let compare a b = Stdlib.compare a b
+let cardinal = Array.length
+
+let covers ~compounds_of l tag =
+  mem tag l
+  || List.exists (fun c -> mem c l) (compounds_of tag)
+
+let flows_to ~compounds_of src dst =
+  let n = Array.length src in
+  let rec go i =
+    i >= n || (covers ~compounds_of dst (Tag.of_int src.(i)) && go (i + 1))
+  in
+  go 0
+
+let fold f l acc =
+  Array.fold_left (fun acc t -> f (Tag.of_int t) acc) acc l
+
+let iter f l = Array.iter (fun t -> f (Tag.of_int t)) l
+let exists f l = Array.exists (fun t -> f (Tag.of_int t)) l
+let for_all f l = Array.for_all (fun t -> f (Tag.of_int t)) l
+
+let byte_size l = 4 * Array.length l
+
+let hash = Hashtbl.hash
+
+let pp ppf l =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Tag.pp)
+    (to_list l)
+
+let to_string l = Format.asprintf "%a" pp l

@@ -1,0 +1,85 @@
+(** Labels: sets of tags summarizing the sensitivity of data or the
+    contamination of a process (section 3.1).
+
+    A label is an immutable, sorted, duplicate-free set of tags.  The
+    representation is a sorted array, so all lattice operations are
+    linear in the label sizes; labels in practice are tiny (the paper
+    observed 0-2 tags per tuple).
+
+    Two notions of containment matter:
+    - {!subset} is plain set containment, used where exact tag identity
+      matters (e.g. selecting the tuples an UPDATE may touch);
+    - {!flows_to} is compound-aware containment: a tag [t] in the
+      source is covered if the destination holds [t] itself or a
+      compound tag that has [t] as a member.  This is what lets a
+      statistics job carry just [all-drives] instead of every user's
+      drive tag (section 3.1). *)
+
+type t
+
+val empty : t
+(** The public label: no tags. *)
+
+val is_empty : t -> bool
+
+val singleton : Tag.t -> t
+
+val of_list : Tag.t list -> t
+(** Builds a label from a list of tags; duplicates are removed. *)
+
+val to_list : t -> Tag.t list
+(** Tags in increasing order. *)
+
+val mem : Tag.t -> t -> bool
+val add : Tag.t -> t -> t
+val remove : Tag.t -> t -> t
+val union : t -> t -> t
+val inter : t -> t -> t
+
+val diff : t -> t -> t
+(** [diff a b] is the tags of [a] not in [b]. *)
+
+val symm_diff : t -> t -> t
+(** [symm_diff a b] is the tags in exactly one of [a], [b] — the set
+    over which the Foreign Key Rule demands authority (section 5.2.2). *)
+
+val subset : t -> t -> bool
+(** [subset a b] is plain set containment [a ⊆ b]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val cardinal : t -> int
+
+val covers : compounds_of:(Tag.t -> Tag.t list) -> t -> Tag.t -> bool
+(** [covers ~compounds_of l t] holds when [t ∈ l] or some compound of
+    [t] (per [compounds_of]) is in [l]. *)
+
+val flows_to : compounds_of:(Tag.t -> Tag.t list) -> t -> t -> bool
+(** [flows_to ~compounds_of src dst]: information with label [src] may
+    flow to a destination with label [dst], i.e. every tag of [src] is
+    covered by [dst].  With a [compounds_of] that always returns [[]]
+    this degenerates to {!subset}. *)
+
+val fold : (Tag.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (Tag.t -> unit) -> t -> unit
+val exists : (Tag.t -> bool) -> t -> bool
+val for_all : (Tag.t -> bool) -> t -> bool
+
+val to_ints : t -> int array
+(** Raw tag ids, sorted ascending — the on-page encoding of the
+    [_label] system column (4 bytes per tag in the paper's storage
+    model). *)
+
+val of_ints : int array -> t
+(** Inverse of {!to_ints}; sorts and deduplicates. *)
+
+val byte_size : t -> int
+(** Storage footprint of the label in the paper's cost model: 4 bytes
+    per tag (the length byte lives in the tuple header, section 8.3). *)
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [{#1, #2}]. *)
+
+val to_string : t -> string

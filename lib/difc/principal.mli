@@ -1,0 +1,19 @@
+(** Principals: entities with security interests (users, roles,
+    closures).  Each process runs with the authority of a principal;
+    each tag is owned by the principal that created it (section 3.2). *)
+
+type t
+(** A principal identifier. *)
+
+val of_int : int -> t
+(** [of_int i] views raw identifier [i] as a principal; [i] must be
+    positive. *)
+
+val to_int : t -> int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [@<id>]. *)

@@ -1,0 +1,11 @@
+type t = int
+
+let of_int i =
+  if i <= 0 then invalid_arg "Tag.of_int: tag ids are positive";
+  i
+
+let to_int t = t
+let compare = Int.compare
+let equal = Int.equal
+let hash = Hashtbl.hash
+let pp ppf t = Format.fprintf ppf "#%d" t

@@ -1,0 +1,28 @@
+(** Tags: the unit of sensitivity in the DIFC model.
+
+    A tag is an opaque identifier attached to data to denote a secrecy
+    concern, e.g. [alice-location] for Alice's GPS coordinates
+    (section 3.1 of the paper).  Tags themselves carry no metadata;
+    names, owners and compound membership are recorded in the
+    authority state ({!Authority}). *)
+
+type t
+(** A tag identifier. *)
+
+val of_int : int -> t
+(** [of_int i] views the raw identifier [i] as a tag.  Exposed for
+    serialization (the [_label] system column stores tag ids as
+    integers); [i] must be positive. *)
+
+val to_int : t -> int
+(** Raw identifier of a tag. *)
+
+val compare : t -> t -> int
+(** Total order on tags (by identifier). *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [#<id>]. *)

@@ -1,0 +1,177 @@
+module Label = Ifdb_difc.Label
+module Principal = Ifdb_difc.Principal
+module Schema = Ifdb_rel.Schema
+module Tuple = Ifdb_rel.Tuple
+module Value = Ifdb_rel.Value
+module Heap = Ifdb_storage.Heap
+module Btree = Ifdb_storage.Btree
+
+exception Catalog_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Catalog_error s)) fmt
+
+type index = {
+  idx_name : string;
+  idx_table : string;
+  idx_cols : int array;
+  idx_unique : bool;
+  idx_tree : Btree.t;
+}
+
+type table = {
+  tbl_schema : Schema.t;
+  tbl_heap : Heap.t;
+  mutable tbl_indexes : index list;
+}
+
+type view = {
+  vw_name : string;
+  vw_query : Ifdb_sql.Ast.select;
+  vw_declassify : Label.t;
+  vw_relabel : (Ifdb_difc.Tag.t * Ifdb_difc.Tag.t) list;
+      (* replace (from, to): strip [from] and add [to] when [from] was
+         present — the "billing view" pattern of paper section 4.3 *)
+}
+
+type label_rule = Exactly of Label.t | Superset of Label.t
+
+type label_constraint = {
+  lc_name : string;
+  lc_table : string;
+  lc_fn : Tuple.t -> label_rule option;
+}
+
+type t = {
+  cat_pool : Ifdb_storage.Buffer_pool.t;
+  cat_labeled : bool;
+  tables : (string, table) Hashtbl.t;
+  views : (string, view) Hashtbl.t;
+  mutable lcs : label_constraint list;
+}
+
+let norm = String.lowercase_ascii
+
+let create ~pool ~labeled () =
+  {
+    cat_pool = pool;
+    cat_labeled = labeled;
+    tables = Hashtbl.create 32;
+    views = Hashtbl.create 16;
+    lcs = [];
+  }
+
+let pool t = t.cat_pool
+let labeled t = t.cat_labeled
+
+let find_table t name = Hashtbl.find_opt t.tables (norm name)
+let find_view t name = Hashtbl.find_opt t.views (norm name)
+
+let table t name =
+  match find_table t name with
+  | Some tbl -> tbl
+  | None -> fail "no such table: %s" name
+
+let name_taken t name = find_table t name <> None || find_view t name <> None
+
+let index_key idx values = Array.map (fun i -> values.(i)) idx.idx_cols
+
+let build_index_over_heap tbl idx =
+  Heap.iter tbl.tbl_heap (fun v ->
+      Btree.insert idx.idx_tree
+        (index_key idx (Tuple.values v.Heap.tuple))
+        v.Heap.vid)
+
+let mk_index t ~name ~table_name ~cols ~unique =
+  let tbl = table t table_name in
+  let idx_cols =
+    Array.of_list
+      (List.map
+         (fun c ->
+           match Schema.col_index_opt tbl.tbl_schema c with
+           | Some i -> i
+           | None -> fail "index %s: no column %s in %s" name c table_name)
+         cols)
+  in
+  if List.exists (fun i -> norm i.idx_name = norm name) tbl.tbl_indexes then
+    fail "index %s already exists" name;
+  let idx =
+    {
+      idx_name = name;
+      idx_table = norm table_name;
+      idx_cols;
+      idx_unique = unique;
+      idx_tree = Btree.create ();
+    }
+  in
+  build_index_over_heap tbl idx;
+  tbl.tbl_indexes <- tbl.tbl_indexes @ [ idx ];
+  idx
+
+let create_table t schema =
+  let name = schema.Schema.table_name in
+  if name_taken t name then fail "relation %s already exists" name;
+  let heap =
+    Heap.create ~name ~labeled:t.cat_labeled ~pool:t.cat_pool ()
+  in
+  let tbl = { tbl_schema = schema; tbl_heap = heap; tbl_indexes = [] } in
+  Hashtbl.replace t.tables (norm name) tbl;
+  (* one unique index per uniqueness constraint, primary key first *)
+  List.iter
+    (fun u ->
+      ignore
+        (mk_index t ~name:u.Schema.uq_name ~table_name:name ~cols:u.Schema.uq_cols
+           ~unique:true))
+    (Schema.all_uniques schema);
+  tbl
+
+let drop_table t name =
+  if find_table t name = None then fail "no such table: %s" name;
+  Hashtbl.remove t.tables (norm name);
+  t.lcs <- List.filter (fun lc -> lc.lc_table <> norm name) t.lcs
+
+let all_tables t = Hashtbl.fold (fun _ tbl acc -> tbl :: acc) t.tables []
+
+let create_index t ~name ~table:table_name ~cols ~unique =
+  mk_index t ~name ~table_name ~cols ~unique
+
+let insert_into_indexes _t tbl values vid =
+  List.iter
+    (fun idx -> Btree.insert idx.idx_tree (index_key idx values) vid)
+    tbl.tbl_indexes
+
+let remove_from_indexes _t tbl values vid =
+  List.iter
+    (fun idx -> Btree.remove idx.idx_tree (index_key idx values) vid)
+    tbl.tbl_indexes
+
+let create_view t ~name ~query ~declassify ?(relabel = []) () =
+  if name_taken t name then fail "relation %s already exists" name;
+  let vw =
+    { vw_name = name; vw_query = query; vw_declassify = declassify;
+      vw_relabel = relabel }
+  in
+  Hashtbl.replace t.views (norm name) vw;
+  vw
+
+let drop_view t name =
+  if find_view t name = None then fail "no such view: %s" name;
+  Hashtbl.remove t.views (norm name)
+
+let add_label_constraint t lc =
+  ignore (table t lc.lc_table);
+  t.lcs <- t.lcs @ [ { lc with lc_table = norm lc.lc_table } ]
+
+let label_constraints_for t table_name =
+  List.filter (fun lc -> lc.lc_table = norm table_name) t.lcs
+
+let drop_index t name =
+  let found = ref false in
+  Hashtbl.iter
+    (fun _ tbl ->
+      if List.exists (fun i -> norm i.idx_name = norm name) tbl.tbl_indexes then begin
+        found := true;
+        tbl.tbl_indexes <-
+          List.filter (fun i -> norm i.idx_name <> norm name) tbl.tbl_indexes
+      end)
+    t.tables;
+  if not !found then fail "no such index: %s" name

@@ -1,0 +1,113 @@
+(** The catalog: tables, indexes, views and label constraints.
+
+    Names are case-insensitive.  The catalog is mechanism only — the
+    information-flow semantics of declassifying views and label
+    constraints are enforced by [Ifdb_core], which drives this layer.
+    (Triggers and stored procedures live in the core too: their bodies
+    are closures over sessions.) *)
+
+module Label = Ifdb_difc.Label
+module Principal = Ifdb_difc.Principal
+module Schema = Ifdb_rel.Schema
+module Tuple = Ifdb_rel.Tuple
+module Value = Ifdb_rel.Value
+
+exception Catalog_error of string
+
+type index = {
+  idx_name : string;
+  idx_table : string;
+  idx_cols : int array;       (** column positions in the table schema *)
+  idx_unique : bool;
+  idx_tree : Ifdb_storage.Btree.t;
+}
+
+type table = {
+  tbl_schema : Schema.t;
+  tbl_heap : Ifdb_storage.Heap.t;
+  mutable tbl_indexes : index list;
+}
+
+(** A view definition.  [vw_declassify] is the label the view is
+    authorized to strip from result tuples (empty for ordinary views) —
+    the paper's declassifying views, section 4.3.  [vw_relabel] holds
+    (from, to) replacements for the more sophisticated views of that
+    section: e.g. a billing view that replaces [p_medical] with
+    [p_billing] for each patient. *)
+type view = {
+  vw_name : string;
+  vw_query : Ifdb_sql.Ast.select;
+  vw_declassify : Label.t;
+  vw_relabel : (Ifdb_difc.Tag.t * Ifdb_difc.Tag.t) list;
+}
+
+(** Label constraints (section 5.2.4): given a candidate tuple, return
+    the rule its label must satisfy (or [None] when the constraint does
+    not apply to this tuple). *)
+type label_rule =
+  | Exactly of Label.t
+  | Superset of Label.t
+
+type label_constraint = {
+  lc_name : string;
+  lc_table : string;
+  lc_fn : Tuple.t -> label_rule option;
+}
+
+type t
+
+val create : pool:Ifdb_storage.Buffer_pool.t -> labeled:bool -> unit -> t
+(** [labeled] selects the storage size model (see {!Ifdb_storage.Heap.create}). *)
+
+val pool : t -> Ifdb_storage.Buffer_pool.t
+val labeled : t -> bool
+
+(** {1 Tables} *)
+
+val create_table : t -> Schema.t -> table
+(** Creates the heap and one index per unique constraint (including
+    the primary key).  Raises {!Catalog_error} if the name is taken by
+    a table or view. *)
+
+val drop_table : t -> string -> unit
+val find_table : t -> string -> table option
+val table : t -> string -> table
+(** Like {!find_table} but raises {!Catalog_error}. *)
+
+val all_tables : t -> table list
+
+(** {1 Indexes} *)
+
+val create_index :
+  t -> name:string -> table:string -> cols:string list -> unique:bool -> index
+(** Builds the index over existing heap versions too. *)
+
+val index_key : index -> Value.t array -> Value.t array
+(** Extract the index key from a row of table values. *)
+
+val insert_into_indexes : t -> table -> Value.t array -> int -> unit
+(** Post a new heap version id under every index of the table. *)
+
+val remove_from_indexes : t -> table -> Value.t array -> int -> unit
+
+(** {1 Views} *)
+
+val create_view :
+  t ->
+  name:string ->
+  query:Ifdb_sql.Ast.select ->
+  declassify:Label.t ->
+  ?relabel:(Ifdb_difc.Tag.t * Ifdb_difc.Tag.t) list ->
+  unit ->
+  view
+val drop_view : t -> string -> unit
+val find_view : t -> string -> view option
+
+(** {1 Label constraints} *)
+
+val add_label_constraint : t -> label_constraint -> unit
+val label_constraints_for : t -> string -> label_constraint list
+
+val drop_index : t -> string -> unit
+(** Remove an index by name from whichever table holds it; raises
+    {!Catalog_error} if absent. *)

@@ -1,0 +1,329 @@
+module Tuple = Ifdb_rel.Tuple
+module Expr = Ifdb_rel.Expr
+module Label = Ifdb_difc.Label
+module Value = Ifdb_rel.Value
+
+type ctx = {
+  fenv : Expr.env;
+  scan_table : string -> extra:Label.t -> Tuple.t Seq.t;
+  scan_prefix :
+    table:string -> index:string -> prefix:Value.t array ->
+    lo:(Value.t * bool) option -> hi:(Value.t * bool) option ->
+    extra:Label.t -> Tuple.t Seq.t;
+  strip :
+    Label.t -> (Ifdb_difc.Tag.t * Ifdb_difc.Tag.t) list -> Label.t -> Label.t;
+}
+
+exception Exec_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Exec_error s)) fmt
+
+let one_row =
+  Tuple.make ~values:[||] ~label:Label.empty
+
+let concat_rows a b =
+  Tuple.make
+    ~values:(Array.append (Tuple.values a) (Tuple.values b))
+    ~label:(Label.union (Tuple.label a) (Tuple.label b))
+
+let null_row arity = Tuple.make ~values:(Array.make arity Value.Null) ~label:Label.empty
+
+(* --- aggregation ------------------------------------------------- *)
+
+type agg_state = {
+  mutable count : int;          (* rows contributing (non-null for Count e) *)
+  mutable sum_int : int;
+  mutable sum_float : float;
+  mutable saw_float : bool;
+  mutable extreme : Value.t;    (* current min/max, Null if none *)
+  mutable distinct_seen : (Value.t, unit) Hashtbl.t option;
+}
+
+let new_agg_state () =
+  { count = 0; sum_int = 0; sum_float = 0.0; saw_float = false;
+    extreme = Value.Null; distinct_seen = None }
+
+let feed_agg ctx row (kind : Plan.agg_kind) st =
+  let arg e = Expr.eval ctx.fenv row e in
+  match kind with
+  | Plan.Count_star -> st.count <- st.count + 1
+  | Plan.Count e -> if not (Value.is_null (arg e)) then st.count <- st.count + 1
+  | Plan.Count_distinct e -> (
+      match arg e with
+      | Value.Null -> ()
+      | v ->
+          let seen =
+            match st.distinct_seen with
+            | Some tbl -> tbl
+            | None ->
+                let tbl = Hashtbl.create 16 in
+                st.distinct_seen <- Some tbl;
+                tbl
+          in
+          if not (Hashtbl.mem seen v) then begin
+            Hashtbl.add seen v ();
+            st.count <- st.count + 1
+          end)
+  | Plan.Sum e | Plan.Avg e -> (
+      match arg e with
+      | Value.Null -> ()
+      | Value.Int i ->
+          st.count <- st.count + 1;
+          st.sum_int <- st.sum_int + i;
+          st.sum_float <- st.sum_float +. float_of_int i
+      | Value.Float f ->
+          st.count <- st.count + 1;
+          st.saw_float <- true;
+          st.sum_float <- st.sum_float +. f
+      | v -> fail "SUM/AVG over non-numeric value %s" (Value.to_string v))
+  | Plan.Min e -> (
+      match arg e with
+      | Value.Null -> ()
+      | v ->
+          st.count <- st.count + 1;
+          if Value.is_null st.extreme || Value.compare v st.extreme < 0 then
+            st.extreme <- v)
+  | Plan.Max e -> (
+      match arg e with
+      | Value.Null -> ()
+      | v ->
+          st.count <- st.count + 1;
+          if Value.is_null st.extreme || Value.compare v st.extreme > 0 then
+            st.extreme <- v)
+
+let finish_agg (kind : Plan.agg_kind) st : Value.t =
+  match kind with
+  | Plan.Count_star | Plan.Count _ | Plan.Count_distinct _ -> Value.Int st.count
+  | Plan.Sum _ ->
+      if st.count = 0 then Value.Null
+      else if st.saw_float then Value.Float st.sum_float
+      else Value.Int st.sum_int
+  | Plan.Avg _ ->
+      if st.count = 0 then Value.Null
+      else Value.Float (st.sum_float /. float_of_int st.count)
+  | Plan.Min _ | Plan.Max _ -> st.extreme
+
+(* --- joins -------------------------------------------------------- *)
+
+(* Index nested loop: per left row, evaluate the probe key and fetch
+   matching right rows through the index; re-check the full condition
+   on the merged row. *)
+let probe_join ctx ~left_rows ~table ~index ~extra ~probe_exprs ~kind ~cond
+    ~right_arity =
+  let eval_cond merged =
+    match cond with None -> true | Some e -> Expr.eval_pred ctx.fenv merged e
+  in
+  Seq.concat_map
+    (fun lrow ->
+      let prefix =
+        Array.map (fun e -> Expr.eval ctx.fenv lrow e) probe_exprs
+      in
+      let matches =
+        if Array.exists Value.is_null prefix then Seq.empty
+        else
+          Seq.filter_map
+            (fun rrow ->
+              let merged = concat_rows lrow rrow in
+              if eval_cond merged then Some merged else None)
+            (ctx.scan_prefix ~table ~index ~prefix ~lo:None ~hi:None ~extra)
+      in
+      match kind with
+      | `Inner -> matches
+      | `Left ->
+          if Seq.is_empty matches then
+            Seq.return (concat_rows lrow (null_row right_arity))
+          else matches)
+    left_rows
+
+(* Hash join on extracted equality pairs when available, otherwise
+   nested loop over a materialized right side. *)
+let join ctx ~left_rows ~right ~kind ~cond ~right_arity ~equi () =
+  let right_rows = List.of_seq right in
+  let eval_cond merged =
+    match cond with None -> true | Some e -> Expr.eval_pred ctx.fenv merged e
+  in
+  match equi with
+  | [] ->
+      (* nested loop *)
+      Seq.concat_map
+        (fun lrow ->
+          let matches =
+            List.to_seq
+              (List.filter_map
+                 (fun rrow ->
+                   let merged = concat_rows lrow rrow in
+                   if eval_cond merged then Some merged else None)
+                 right_rows)
+          in
+          match kind with
+          | `Inner -> matches
+          | `Left ->
+              if Seq.is_empty matches then
+                Seq.return (concat_rows lrow (null_row right_arity))
+              else matches)
+        left_rows
+  | pairs ->
+      let rkey rrow =
+        List.map (fun (_, re) -> Expr.eval ctx.fenv rrow re) pairs
+      in
+      let lkey lrow =
+        List.map (fun (le, _) -> Expr.eval ctx.fenv lrow le) pairs
+      in
+      let table : (Value.t list, Tuple.t list) Hashtbl.t = Hashtbl.create 256 in
+      List.iter
+        (fun rrow ->
+          let k = rkey rrow in
+          (* SQL equality: NULL joins nothing *)
+          if not (List.exists Value.is_null k) then
+            Hashtbl.replace table k
+              (rrow :: Option.value ~default:[] (Hashtbl.find_opt table k)))
+        right_rows;
+      Seq.concat_map
+        (fun lrow ->
+          let k = lkey lrow in
+          let candidates =
+            if List.exists Value.is_null k then []
+            else List.rev (Option.value ~default:[] (Hashtbl.find_opt table k))
+          in
+          let matches =
+            List.filter_map
+              (fun rrow ->
+                let merged = concat_rows lrow rrow in
+                if eval_cond merged then Some merged else None)
+              candidates
+          in
+          match (kind, matches) with
+          | `Inner, ms -> List.to_seq ms
+          | `Left, [] -> Seq.return (concat_rows lrow (null_row right_arity))
+          | `Left, ms -> List.to_seq ms)
+        left_rows
+
+(* --- main interpreter --------------------------------------------- *)
+
+let rec run ctx (plan : Plan.t) : Tuple.t Seq.t =
+  match plan with
+  | Plan.One_row -> Seq.return one_row
+  | Plan.Scan { sc_table; sc_extra; sc_prefix; sc_lo; sc_hi } -> (
+      match sc_prefix with
+      | None -> ctx.scan_table sc_table ~extra:sc_extra
+      | Some (index, prefix) ->
+          ctx.scan_prefix ~table:sc_table ~index ~prefix ~lo:sc_lo ~hi:sc_hi
+            ~extra:sc_extra)
+  | Plan.Filter (src, pred) ->
+      Seq.filter (fun row -> Expr.eval_pred ctx.fenv row pred) (run ctx src)
+  | Plan.Project (src, exprs) ->
+      Seq.map
+        (fun row ->
+          Tuple.make
+            ~values:(Array.map (fun e -> Expr.eval ctx.fenv row e) exprs)
+            ~label:(Tuple.label row))
+        (run ctx src)
+  | Plan.Join
+      { left; right; kind; cond; left_arity = _; right_arity; equi; probe } -> (
+      match probe with
+      | Some (table, index, extra, probe_exprs) ->
+          probe_join ctx ~left_rows:(run ctx left) ~table ~index ~extra
+            ~probe_exprs ~kind ~cond ~right_arity
+      | None ->
+          join ctx ~left_rows:(run ctx left) ~right:(run ctx right) ~kind ~cond
+            ~right_arity ~equi ())
+  | Plan.Aggregate { src; keys; aggs } ->
+      let groups : (Value.t list, agg_state array * Label.t ref) Hashtbl.t =
+        Hashtbl.create 64
+      in
+      let order = ref [] in
+      Seq.iter
+        (fun row ->
+          let k = Array.to_list (Array.map (fun e -> Expr.eval ctx.fenv row e) keys) in
+          let states, lbl =
+            match Hashtbl.find_opt groups k with
+            | Some s -> s
+            | None ->
+                let s =
+                  (Array.map (fun _ -> new_agg_state ()) aggs, ref Label.empty)
+                in
+                Hashtbl.replace groups k s;
+                order := k :: !order;
+                s
+          in
+          lbl := Label.union !lbl (Tuple.label row);
+          Array.iteri (fun i kind -> feed_agg ctx row kind states.(i)) aggs)
+        (run ctx src);
+      let emit k (states, lbl) =
+        Tuple.make
+          ~values:
+            (Array.append (Array.of_list k)
+               (Array.mapi (fun i kind -> finish_agg kind states.(i)) aggs))
+          ~label:!lbl
+      in
+      if Hashtbl.length groups = 0 && Array.length keys = 0 then
+        (* SQL: aggregates over an empty input with no GROUP BY yield
+           one row of identities *)
+        Seq.return
+          (Tuple.make
+             ~values:(Array.map (fun kind -> finish_agg kind (new_agg_state ())) aggs)
+             ~label:Label.empty)
+      else
+        List.to_seq
+          (List.rev_map (fun k -> emit k (Hashtbl.find groups k)) !order)
+  | Plan.Distinct src ->
+      let seen : (Value.t list * Label.t, unit) Hashtbl.t = Hashtbl.create 64 in
+      Seq.filter
+        (fun row ->
+          let key = (Array.to_list (Tuple.values row), Tuple.label row) in
+          if Hashtbl.mem seen key then false
+          else begin
+            Hashtbl.add seen key ();
+            true
+          end)
+        (run ctx src)
+  | Plan.Sort (src, specs) ->
+      let rows = List.of_seq (run ctx src) in
+      let decorated =
+        List.map
+          (fun row ->
+            ( Array.map (fun s -> Expr.eval ctx.fenv row s.Plan.key) specs,
+              row ))
+          rows
+      in
+      let cmp (ka, _) (kb, _) =
+        let rec go i =
+          if i >= Array.length specs then 0
+          else
+            let c = Value.compare ka.(i) kb.(i) in
+            if c = 0 then go (i + 1)
+            else if specs.(i).Plan.descending then -c
+            else c
+        in
+        go 0
+      in
+      List.to_seq (List.map snd (List.stable_sort cmp decorated))
+  | Plan.Limit (src, limit, offset) ->
+      let s = run ctx src in
+      let s = match offset with Some n -> Seq.drop n s | None -> s in
+      (match limit with Some n -> Seq.take n s | None -> s)
+  | Plan.Declassify (src, lbl, relabel) ->
+      Seq.map
+        (fun row ->
+          Tuple.make ~values:(Tuple.values row)
+            ~label:(ctx.strip lbl relabel (Tuple.label row)))
+        (run ctx src)
+  | Plan.Union (a, b, kind) -> (
+      let both = Seq.append (run ctx a) (run ctx b) in
+      match kind with
+      | `All -> both
+      | `Distinct ->
+          let seen : (Value.t list * Label.t, unit) Hashtbl.t =
+            Hashtbl.create 64
+          in
+          Seq.filter
+            (fun row ->
+              let key = (Array.to_list (Tuple.values row), Tuple.label row) in
+              if Hashtbl.mem seen key then false
+              else begin
+                Hashtbl.add seen key ();
+                true
+              end)
+            both)
+
+let run_list ctx plan = List.of_seq (run ctx plan)

@@ -1,0 +1,41 @@
+(** Plan evaluation.
+
+    The executor is deliberately ignorant of visibility and
+    information-flow policy: it obtains rows only through the
+    [scan_table]/[scan_prefix] callbacks of its context, which the core
+    implements with MVCC visibility {e and} the Label Confinement Rule
+    applied.  This mirrors the paper's placement of enforcement at the
+    tuple access layer (section 7.1): bugs in planning or execution
+    cannot widen what a query can observe. *)
+
+module Tuple = Ifdb_rel.Tuple
+module Expr = Ifdb_rel.Expr
+module Label = Ifdb_difc.Label
+module Value = Ifdb_rel.Value
+
+type ctx = {
+  fenv : Expr.env;
+  scan_table : string -> extra:Label.t -> Tuple.t Seq.t;
+      (** all rows of a table the current process may see, given
+          [extra] additional readable tags (from declassifying views) *)
+  scan_prefix :
+    table:string -> index:string -> prefix:Value.t array ->
+    lo:(Value.t * bool) option -> hi:(Value.t * bool) option ->
+    extra:Label.t -> Tuple.t Seq.t;
+      (** index-assisted variant: rows whose index key starts with
+          [prefix], optionally range-bounded on the next key component
+          ([(value, inclusive)]) *)
+  strip :
+    Label.t -> (Ifdb_difc.Tag.t * Ifdb_difc.Tag.t) list -> Label.t -> Label.t;
+      (** [strip declassified relabel row_label]: remove tags covered by
+          the declassified label (compound-aware), then apply the
+          relabeling view's (from, to) replacements *)
+}
+
+exception Exec_error of string
+
+val run : ctx -> Plan.t -> Tuple.t Seq.t
+(** Lazily evaluate a plan. *)
+
+val run_list : ctx -> Plan.t -> Tuple.t list
+(** Materialize the whole result. *)

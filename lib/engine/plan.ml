@@ -1,0 +1,117 @@
+(* Logical query plans.  The planner lowers SQL ASTs to this form; the
+   executor evaluates it against row sources supplied by the core
+   (which is where visibility and the Label Confinement Rule live). *)
+
+module Expr = Ifdb_rel.Expr
+module Value = Ifdb_rel.Value
+module Label = Ifdb_difc.Label
+
+type agg_kind =
+  | Count_star
+  | Count of Expr.t   (* non-null count *)
+  | Count_distinct of Expr.t
+  | Sum of Expr.t
+  | Avg of Expr.t
+  | Min of Expr.t
+  | Max of Expr.t
+
+type order_spec = { key : Expr.t; descending : bool }
+
+type range_bound = (Value.t * bool) option
+(* a bound on the index component right after the equality prefix:
+   (value, inclusive) *)
+
+type t =
+  | One_row
+      (* a single empty tuple: the source for FROM-less SELECTs *)
+  | Scan of {
+      sc_table : string;
+      sc_extra : Label.t;
+          (* additional readable tags granted by enclosing
+             declassifying views (paper section 4.3) *)
+      sc_prefix : (string * Value.t array) option;
+          (* index name and equality-prefix key, when the planner found
+             a usable index *)
+      sc_lo : range_bound;
+      sc_hi : range_bound;
+          (* optional range on the index component following the
+             prefix (e.g. TPC-C's ol_o_id >= next_o_id - 20) *)
+    }
+  | Filter of t * Expr.t
+  | Project of t * Expr.t array
+  | Join of {
+      left : t;
+      right : t;
+      kind : [ `Inner | `Left ];
+      cond : Expr.t option;   (* over the concatenated row *)
+      left_arity : int;
+      right_arity : int;
+      equi : (Expr.t * Expr.t) list;
+          (* equality pairs (left-side expr, right-side expr, both in
+             their own side's coordinates) extracted for hash join *)
+      probe : (string * string * Label.t * Expr.t array) option;
+          (* index nested-loop strategy: (table, index, extra label,
+             probe-key exprs over the LEFT row).  When set, the right
+             side is fetched per left row through the index instead of
+             being materialized — the join's page traffic becomes
+             proportional to matching rows, like PostgreSQL's
+             index-nested-loop plans. *)
+    }
+  | Aggregate of { src : t; keys : Expr.t array; aggs : agg_kind array }
+  | Distinct of t
+  | Sort of t * order_spec array
+  | Limit of t * int option * int option  (* limit, offset *)
+  | Declassify of t * Label.t * (Ifdb_difc.Tag.t * Ifdb_difc.Tag.t) list
+      (* the declassifying-view boundary: strip the given
+         (compound-aware) label from each row's label, and apply the
+         (from, to) tag replacements of a relabeling view *)
+  | Union of t * t * [ `All | `Distinct ]
+
+let rec pp ppf = function
+  | One_row -> Format.pp_print_string ppf "OneRow"
+  | Scan { sc_table; sc_extra; sc_prefix; sc_lo = _; sc_hi = _ } ->
+      Format.fprintf ppf "Scan(%s%s%s)" sc_table
+        (if Label.is_empty sc_extra then ""
+         else " extra=" ^ Label.to_string sc_extra)
+        (match sc_prefix with
+        | None -> ""
+        | Some (idx, key) ->
+            Format.asprintf " via %s[%a]" idx
+              (Format.pp_print_list
+                 ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+                 Value.pp)
+              (Array.to_list key))
+  | Filter (p, e) -> Format.fprintf ppf "Filter(%a, %a)" Expr.pp e pp p
+  | Project (p, es) ->
+      Format.fprintf ppf "Project([%a], %a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+           Expr.pp)
+        (Array.to_list es) pp p
+  | Join { left; right; kind; cond; _ } ->
+      Format.fprintf ppf "%sJoin(%a, %a%s)"
+        (match kind with `Inner -> "" | `Left -> "Left")
+        pp left pp right
+        (match cond with
+        | Some e -> Format.asprintf " on %a" Expr.pp e
+        | None -> "")
+  | Aggregate { src; keys; aggs } ->
+      Format.fprintf ppf "Aggregate(keys=%d aggs=%d, %a)" (Array.length keys)
+        (Array.length aggs) pp src
+  | Distinct p -> Format.fprintf ppf "Distinct(%a)" pp p
+  | Sort (p, _) -> Format.fprintf ppf "Sort(%a)" pp p
+  | Limit (p, l, o) ->
+      Format.fprintf ppf "Limit(%s,%s, %a)"
+        (match l with Some n -> string_of_int n | None -> "-")
+        (match o with Some n -> string_of_int n | None -> "-")
+        pp p
+  | Declassify (p, lbl, relabel) ->
+      Format.fprintf ppf "Declassify(%a%s, %a)" Label.pp lbl
+        (if relabel = [] then "" else " relabel")
+        pp p
+  | Union (a, b, kind) ->
+      Format.fprintf ppf "Union%s(%a, %a)"
+        (match kind with `All -> "All" | `Distinct -> "")
+        pp a pp b
+
+let to_string p = Format.asprintf "%a" pp p

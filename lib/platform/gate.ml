@@ -1,0 +1,36 @@
+module Label = Ifdb_difc.Label
+
+type t = {
+  mutable emitted : string list; (* newest first *)
+  mutable sent : int;
+  mutable blocked : int;
+}
+
+let create () = { emitted = []; sent = 0; blocked = 0 }
+
+let try_send t proc data =
+  if Label.is_empty (Process.label proc) then begin
+    t.emitted <- data :: t.emitted;
+    t.sent <- t.sent + 1;
+    true
+  end
+  else begin
+    t.blocked <- t.blocked + 1;
+    false
+  end
+
+let send t proc data =
+  if not (try_send t proc data) then
+    Ifdb_core.Errors.flow
+      "output blocked: process label %s is not empty, nothing was emitted"
+      (Label.to_string (Process.label proc))
+
+let output t = List.rev t.emitted
+let last_output t = match t.emitted with [] -> None | x :: _ -> Some x
+let sent_count t = t.sent
+let blocked_count t = t.blocked
+
+let clear t =
+  t.emitted <- [];
+  t.sent <- 0;
+  t.blocked <- 0

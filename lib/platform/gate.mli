@@ -1,0 +1,28 @@
+(** Output interposition.
+
+    The outside world has an empty label, so a process may emit bytes
+    only while its own label is empty (paper sections 3.2 and 7.2:
+    "PHP-IF and Python-IF interpose on output, so programs that are too
+    contaminated can't release information").  Everything an
+    application sends to a client goes through a gate; blocked sends
+    are counted and produce no output at all. *)
+
+type t
+
+val create : unit -> t
+
+val send : t -> Process.t -> string -> unit
+(** Emit [data] on behalf of the process.  Raises
+    {!Ifdb_core.Errors.Flow_violation} — and emits nothing — if the
+    process label is not empty. *)
+
+val try_send : t -> Process.t -> string -> bool
+(** Like {!send} but returns [false] instead of raising. *)
+
+val output : t -> string list
+(** Everything successfully emitted, oldest first. *)
+
+val last_output : t -> string option
+val sent_count : t -> int
+val blocked_count : t -> int
+val clear : t -> unit

@@ -1,0 +1,53 @@
+module Label = Ifdb_difc.Label
+module Tag = Ifdb_difc.Tag
+module Principal = Ifdb_difc.Principal
+module Db = Ifdb_core.Database
+
+type t = {
+  s : Db.session;
+  pcache : Auth_cache.t;
+  mutable ops : int;
+}
+
+let create ?cache s =
+  let pcache =
+    match cache with
+    | Some c -> c
+    | None -> Auth_cache.create (Db.authority (Db.database s))
+  in
+  { s; pcache; ops = 0 }
+
+let session t = t.s
+let label t = Db.session_label t.s
+let principal t = Db.session_principal t.s
+let cache t = t.pcache
+
+let bump t = t.ops <- t.ops + 1
+
+let add_secrecy t tag =
+  bump t;
+  Db.add_secrecy t.s tag
+
+let declassify t tag =
+  bump t;
+  Db.declassify t.s tag
+
+let can_release t =
+  bump t;
+  Auth_cache.can_declassify_label t.pcache (principal t) (label t)
+
+let release t =
+  Label.iter
+    (fun tag ->
+      if Auth_cache.has_authority t.pcache (principal t) tag then
+        declassify t tag)
+    (label t);
+  bump t;
+  if not (Label.is_empty (label t)) then
+    Ifdb_core.Errors.authority
+      "process cannot release: label %s retains tags the principal has no \
+       authority to declassify"
+      (Label.to_string (label t))
+
+let op_count t = t.ops
+let add_ops t n = t.ops <- t.ops + n

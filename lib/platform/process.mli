@@ -1,0 +1,50 @@
+(** An application-platform process (the PHP-IF process model).
+
+    The platform tracks information flow at per-process granularity
+    (paper section 2): each web request runs in a process wrapping one
+    database session, and {e shares its label with IFDB} — there is a
+    single label, the session's, observed and manipulated here.
+
+    The process also counts label/authority operations.  PHP-IF's
+    measured overhead (24% request latency, 22% of web-bound
+    throughput; section 8.2.1) comes from doing these operations in
+    interpreted PHP; the benchmark harness charges a configurable
+    simulated cost per counted operation to reproduce that regime. *)
+
+module Label = Ifdb_difc.Label
+module Tag = Ifdb_difc.Tag
+module Principal = Ifdb_difc.Principal
+
+type t
+
+val create : ?cache:Auth_cache.t -> Ifdb_core.Database.session -> t
+(** Wrap a session.  [cache] defaults to a fresh private cache; web
+    servers pass their shared one. *)
+
+val session : t -> Ifdb_core.Database.session
+val label : t -> Label.t
+val principal : t -> Principal.t
+val cache : t -> Auth_cache.t
+
+val add_secrecy : t -> Tag.t -> unit
+val declassify : t -> Tag.t -> unit
+
+val can_release : t -> bool
+(** May the process release data to the outside world right now?  True
+    when the label is empty, or when the principal holds authority to
+    declassify every remaining tag (checked through the cache — the
+    frequent path the paper's shared-memory cache exists for). *)
+
+val release : t -> unit
+(** Declassify every tag in the label; raises
+    {!Ifdb_core.Errors.Authority_required} if some tag is not covered
+    (the process stays partially declassified in that case — exactly
+    the tags it had authority over are gone). *)
+
+val op_count : t -> int
+(** Label/authority operations performed so far (for the platform cost
+    model). *)
+
+val add_ops : t -> int -> unit
+(** Charge extra platform operations (used by the web tier for
+    per-request bookkeeping). *)

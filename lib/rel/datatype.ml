@@ -1,0 +1,35 @@
+type t = Tint | Tfloat | Ttext | Tbool | Tints
+
+let equal a b =
+  match (a, b) with
+  | Tint, Tint | Tfloat, Tfloat | Ttext, Ttext | Tbool, Tbool | Tints, Tints ->
+      true
+  | (Tint | Tfloat | Ttext | Tbool | Tints), _ -> false
+
+let accepts ty (v : Value.t) =
+  match (ty, v) with
+  | _, Null -> true
+  | Tint, Int _ -> true
+  | Tfloat, (Float _ | Int _) -> true
+  | Ttext, Text _ -> true
+  | Tbool, Bool _ -> true
+  | Tints, Ints _ -> true
+  | (Tint | Tfloat | Ttext | Tbool | Tints), _ -> false
+
+let name = function
+  | Tint -> "INT"
+  | Tfloat -> "FLOAT"
+  | Ttext -> "TEXT"
+  | Tbool -> "BOOL"
+  | Tints -> "INT[]"
+
+let of_name s =
+  match String.uppercase_ascii s with
+  | "INT" | "INTEGER" | "BIGINT" | "SMALLINT" | "SERIAL" | "TIMESTAMP" -> Some Tint
+  | "FLOAT" | "DOUBLE" | "REAL" | "NUMERIC" | "DECIMAL" -> Some Tfloat
+  | "TEXT" | "VARCHAR" | "CHAR" | "STRING" -> Some Ttext
+  | "BOOL" | "BOOLEAN" -> Some Tbool
+  | "INT[]" -> Some Tints
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (name t)

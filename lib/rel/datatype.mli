@@ -1,0 +1,24 @@
+(** Column datatypes and type checking. *)
+
+type t =
+  | Tint
+  | Tfloat
+  | Ttext
+  | Tbool
+  | Tints  (** integer array; used by the [_label] system column *)
+
+val equal : t -> t -> bool
+
+val accepts : t -> Value.t -> bool
+(** [accepts ty v]: may a column of type [ty] store [v]?  NULL is
+    accepted by every type (nullability is checked separately); ints
+    are accepted by float columns (widening). *)
+
+val name : t -> string
+(** SQL name: INT, FLOAT, TEXT, BOOL, INT[]. *)
+
+val of_name : string -> t option
+(** Case-insensitive parse of a SQL type name.  Recognizes common
+    aliases (INTEGER, BIGINT, DOUBLE, VARCHAR, TIMESTAMP → INT…). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,248 @@
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | And | Or
+  | Concat
+
+type unop = Not | Neg
+
+type t =
+  | Const of Value.t
+  | Col of int
+  | Row_label
+  | Lazy_const of Value.t Lazy.t
+  | Binop of binop * t * t
+  | Unop of unop * t
+  | Is_null of t
+  | Is_not_null of t
+  | In_list of t * Value.t list
+  | Like of t * string
+  | Fn of string * t list
+  | Case of (t * t) list * t
+
+type env = { fn : string -> Value.t list -> Value.t }
+
+let null_env = { fn = (fun name _ -> failwith ("unknown function " ^ name)) }
+
+exception Type_error of string
+
+let type_error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+(* LIKE via a simple backtracking matcher; patterns are short. *)
+let like_match s ~pattern =
+  let ns = String.length s and np = String.length pattern in
+  let rec go i j =
+    if j >= np then i >= ns
+    else
+      match pattern.[j] with
+      | '%' ->
+          (* collapse consecutive %; try all suffixes *)
+          if j + 1 < np && pattern.[j + 1] = '%' then go i (j + 1)
+          else
+            let rec try_from k = k <= ns && (go k (j + 1) || try_from (k + 1)) in
+            try_from i
+      | '_' -> i < ns && go (i + 1) (j + 1)
+      | c -> i < ns && s.[i] = c && go (i + 1) (j + 1)
+  in
+  go 0 0
+
+let arith op name a b : Value.t =
+  match (a, b) with
+  | Value.Int x, Value.Int y -> Value.Int (op x y)
+  | (Value.Int _ | Value.Float _), (Value.Int _ | Value.Float _) ->
+      let fop =
+        match name with
+        | "+" -> ( +. )
+        | "-" -> ( -. )
+        | "*" -> ( *. )
+        | "/" -> ( /. )
+        | _ -> type_error "float %s unsupported" name
+      in
+      Value.Float (fop (Value.to_float a) (Value.to_float b))
+  | _ -> type_error "cannot apply %s to %s and %s" name (Value.to_string a)
+           (Value.to_string b)
+
+let compare_values a b : int =
+  match (a, b) with
+  | Value.Text _, Value.Text _
+  | Value.Bool _, Value.Bool _
+  | Value.Ints _, Value.Ints _
+  | (Value.Int _ | Value.Float _), (Value.Int _ | Value.Float _) ->
+      Value.compare a b
+  | _ ->
+      type_error "cannot compare %s with %s" (Value.to_string a)
+        (Value.to_string b)
+
+let rec eval env row e : Value.t =
+  match e with
+  | Const v -> v
+  | Col i -> Tuple.get row i
+  | Row_label ->
+      Value.Ints (Ifdb_difc.Label.to_ints (Tuple.label row))
+  | Lazy_const v -> Lazy.force v
+  | Is_null e -> Value.Bool (Value.is_null (eval env row e))
+  | Is_not_null e -> Value.Bool (not (Value.is_null (eval env row e)))
+  | Unop (Not, e) -> (
+      match eval env row e with
+      | Value.Null -> Value.Null
+      | v -> Value.Bool (not (Value.to_bool v)))
+  | Unop (Neg, e) -> (
+      match eval env row e with
+      | Value.Null -> Value.Null
+      | Value.Int i -> Value.Int (-i)
+      | Value.Float f -> Value.Float (-.f)
+      | v -> type_error "cannot negate %s" (Value.to_string v))
+  | Binop (And, a, b) -> (
+      (* Kleene: false dominates NULL *)
+      match eval env row a with
+      | Value.Bool false -> Value.Bool false
+      | va -> (
+          match eval env row b with
+          | Value.Bool false -> Value.Bool false
+          | vb ->
+              if Value.is_null va || Value.is_null vb then Value.Null
+              else Value.Bool (Value.to_bool va && Value.to_bool vb)))
+  | Binop (Or, a, b) -> (
+      match eval env row a with
+      | Value.Bool true -> Value.Bool true
+      | va -> (
+          match eval env row b with
+          | Value.Bool true -> Value.Bool true
+          | vb ->
+              if Value.is_null va || Value.is_null vb then Value.Null
+              else Value.Bool (Value.to_bool va || Value.to_bool vb)))
+  | Binop (op, a, b) -> (
+      let va = eval env row a in
+      let vb = eval env row b in
+      if Value.is_null va || Value.is_null vb then Value.Null
+      else
+        match op with
+        | Add -> arith ( + ) "+" va vb
+        | Sub -> arith ( - ) "-" va vb
+        | Mul -> arith ( * ) "*" va vb
+        | Div -> (
+            match (va, vb) with
+            | Value.Int _, Value.Int 0 -> type_error "division by zero"
+            | Value.Int x, Value.Int y -> Value.Int (x / y)
+            | _ -> Value.Float (Value.to_float va /. Value.to_float vb))
+        | Mod -> (
+            match (va, vb) with
+            | Value.Int _, Value.Int 0 -> type_error "modulo by zero"
+            | Value.Int x, Value.Int y -> Value.Int (x mod y)
+            | _ -> type_error "MOD requires integers")
+        | Eq -> Value.Bool (compare_values va vb = 0)
+        | Neq -> Value.Bool (compare_values va vb <> 0)
+        | Lt -> Value.Bool (compare_values va vb < 0)
+        | Le -> Value.Bool (compare_values va vb <= 0)
+        | Gt -> Value.Bool (compare_values va vb > 0)
+        | Ge -> Value.Bool (compare_values va vb >= 0)
+        | Concat -> Value.Text (Value.to_text va ^ Value.to_text vb)
+        | And | Or -> assert false)
+  | In_list (e, vs) -> (
+      match eval env row e with
+      | Value.Null -> Value.Null
+      | v -> Value.Bool (List.exists (fun w -> Value.compare v w = 0) vs))
+  | Like (e, pattern) -> (
+      match eval env row e with
+      | Value.Null -> Value.Null
+      | v -> Value.Bool (like_match (Value.to_text v) ~pattern))
+  | Fn (name, args) ->
+      let vargs = List.map (eval env row) args in
+      env.fn name vargs
+  | Case (branches, default) ->
+      let rec pick = function
+        | [] -> eval env row default
+        | (cond, v) :: rest -> (
+            match eval env row cond with
+            | Value.Bool true -> eval env row v
+            | _ -> pick rest)
+      in
+      pick branches
+
+let eval_pred env row e =
+  match eval env row e with Value.Bool true -> true | _ -> false
+
+let columns_used e =
+  let acc = ref [] in
+  let rec go = function
+    | Const _ | Row_label | Lazy_const _ -> ()
+    | Col i -> acc := i :: !acc
+    | Binop (_, a, b) -> go a; go b
+    | Unop (_, a) | Is_null a | Is_not_null a | In_list (a, _) | Like (a, _) -> go a
+    | Fn (_, args) -> List.iter go args
+    | Case (branches, default) ->
+        List.iter (fun (c, v) -> go c; go v) branches;
+        go default
+  in
+  go e;
+  List.sort_uniq Int.compare !acc
+
+let rec shift_columns ~by e =
+  let f = shift_columns ~by in
+  match e with
+  | Const v -> Const v
+  | Col i -> Col (i + by)
+  | Row_label -> Row_label
+  | Lazy_const v -> Lazy_const v
+  | Binop (op, a, b) -> Binop (op, f a, f b)
+  | Unop (op, a) -> Unop (op, f a)
+  | Is_null a -> Is_null (f a)
+  | Is_not_null a -> Is_not_null (f a)
+  | In_list (a, vs) -> In_list (f a, vs)
+  | Like (a, p) -> Like (f a, p)
+  | Fn (name, args) -> Fn (name, List.map f args)
+  | Case (branches, default) ->
+      Case (List.map (fun (c, v) -> (f c, f v)) branches, f default)
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Eq -> "=" | Neq -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "AND" | Or -> "OR" | Concat -> "||"
+
+let rec pp ppf = function
+  | Const v -> Value.pp ppf v
+  | Col i -> Format.fprintf ppf "$%d" i
+  | Row_label -> Format.pp_print_string ppf "_label"
+  | Lazy_const _ -> Format.pp_print_string ppf "<subquery>" 
+  | Binop (op, a, b) ->
+      Format.fprintf ppf "(%a %s %a)" pp a (binop_name op) pp b
+  | Unop (Not, a) -> Format.fprintf ppf "(NOT %a)" pp a
+  | Unop (Neg, a) -> Format.fprintf ppf "(-%a)" pp a
+  | Is_null a -> Format.fprintf ppf "(%a IS NULL)" pp a
+  | Is_not_null a -> Format.fprintf ppf "(%a IS NOT NULL)" pp a
+  | In_list (a, vs) ->
+      Format.fprintf ppf "(%a IN (%a))" pp a
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           Value.pp)
+        vs
+  | Like (a, p) -> Format.fprintf ppf "(%a LIKE '%s')" pp a p
+  | Fn (name, args) ->
+      Format.fprintf ppf "%s(%a)" name
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp)
+        args
+  | Case (branches, default) ->
+      Format.fprintf ppf "CASE";
+      List.iter
+        (fun (c, v) -> Format.fprintf ppf " WHEN %a THEN %a" pp c pp v)
+        branches;
+      Format.fprintf ppf " ELSE %a END" pp default
+
+let rec map_columns f e =
+  let go = map_columns f in
+  match e with
+  | Const v -> Const v
+  | Col i -> Col (f i)
+  | Row_label -> Row_label
+  | Lazy_const v -> Lazy_const v
+  | Binop (op, a, b) -> Binop (op, go a, go b)
+  | Unop (op, a) -> Unop (op, go a)
+  | Is_null a -> Is_null (go a)
+  | Is_not_null a -> Is_not_null (go a)
+  | In_list (a, vs) -> In_list (go a, vs)
+  | Like (a, p) -> Like (go a, p)
+  | Fn (name, args) -> Fn (name, List.map go args)
+  | Case (branches, default) ->
+      Case (List.map (fun (c, v) -> (go c, go v)) branches, go default)

@@ -1,0 +1,64 @@
+(** Runtime expressions over resolved column positions.
+
+    The SQL front end produces name-based expressions; the planner
+    resolves names to positions and lowers them to this type, which the
+    executor evaluates per row.  Evaluation follows SQL three-valued
+    logic: comparisons and arithmetic over NULL yield NULL, [And]/[Or]
+    use Kleene semantics, and a WHERE clause accepts a row only when
+    the predicate is definitely true. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | And | Or
+  | Concat
+
+type unop = Not | Neg
+
+type t =
+  | Const of Value.t
+  | Col of int                  (** row position *)
+  | Row_label                   (** the row's information-flow label, as INT[] —
+                                    what the [_label] system column resolves to *)
+  | Lazy_const of Value.t Lazy.t
+      (** a value computed at most once per statement — how the planner
+          lowers uncorrelated scalar subqueries and EXISTS *)
+  | Binop of binop * t * t
+  | Unop of unop * t
+  | Is_null of t
+  | Is_not_null of t
+  | In_list of t * Value.t list
+  | Like of t * string          (** SQL LIKE with [%] and [_] *)
+  | Fn of string * t list       (** scalar function from the environment *)
+  | Case of (t * t) list * t    (** WHEN cond THEN v …, ELSE v *)
+
+type env = { fn : string -> Value.t list -> Value.t }
+(** Scalar-function environment.  [fn name args] evaluates a named
+    function; it should raise [Failure] for unknown names. *)
+
+val null_env : env
+(** Environment with no functions (any call fails). *)
+
+exception Type_error of string
+
+val eval : env -> Tuple.t -> t -> Value.t
+(** Evaluate against a labeled row.  Raises {!Type_error} on ill-typed
+    operations (e.g. adding text to int). *)
+
+val eval_pred : env -> Tuple.t -> t -> bool
+(** Predicate evaluation: true iff the result is [Bool true]
+    (NULL counts as not-true, per SQL WHERE). *)
+
+val like_match : string -> pattern:string -> bool
+(** SQL LIKE semantics: [%] matches any run, [_] one character. *)
+
+val columns_used : t -> int list
+(** Sorted list of distinct column positions referenced. *)
+
+val shift_columns : by:int -> t -> t
+(** Add [by] to every column index (used when gluing join sides). *)
+
+val pp : Format.formatter -> t -> unit
+
+val map_columns : (int -> int) -> t -> t
+(** Rewrite every column index through [f]. *)

@@ -1,0 +1,117 @@
+type column = { col_name : string; col_type : Datatype.t; nullable : bool }
+type unique = { uq_name : string; uq_cols : string list }
+
+type foreign_key = {
+  fk_name : string;
+  fk_cols : string list;
+  fk_ref_table : string;
+  fk_ref_cols : string list;
+}
+
+type t = {
+  table_name : string;
+  columns : column array;
+  primary_key : string list;
+  uniques : unique list;
+  foreign_keys : foreign_key list;
+}
+
+let norm = String.lowercase_ascii
+
+let col_index_opt t name =
+  let name = norm name in
+  let n = Array.length t.columns in
+  let rec go i =
+    if i >= n then None
+    else if norm t.columns.(i).col_name = name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let col_index t name =
+  match col_index_opt t name with Some i -> i | None -> raise Not_found
+
+let has_column t name = col_index_opt t name <> None
+let column t i = t.columns.(i)
+let arity t = Array.length t.columns
+
+let make ~name ~columns ?(nullable = []) ?(primary_key = []) ?(uniques = [])
+    ?(foreign_keys = []) () =
+  let nullable = List.map norm nullable in
+  let cols =
+    Array.of_list
+      (List.map
+         (fun (cname, ty) ->
+           { col_name = cname; col_type = ty; nullable = List.mem (norm cname) nullable })
+         columns)
+  in
+  let t =
+    {
+      table_name = name;
+      columns = cols;
+      primary_key;
+      uniques = List.map (fun (uq_name, uq_cols) -> { uq_name; uq_cols }) uniques;
+      foreign_keys;
+    }
+  in
+  let check_cols what cs =
+    List.iter
+      (fun c ->
+        if not (has_column t c) then
+          invalid_arg
+            (Printf.sprintf "Schema.make(%s): %s column %S does not exist" name
+               what c))
+      cs
+  in
+  check_cols "primary key" primary_key;
+  List.iter (fun u -> check_cols ("unique " ^ u.uq_name) u.uq_cols) t.uniques;
+  List.iter (fun fk -> check_cols ("fk " ^ fk.fk_name) fk.fk_cols) foreign_keys;
+  t
+
+let all_uniques t =
+  let pk =
+    match t.primary_key with
+    | [] -> []
+    | cols -> [ { uq_name = t.table_name ^ "_pkey"; uq_cols = cols } ]
+  in
+  pk @ t.uniques
+
+let check_values t values =
+  if Array.length values <> Array.length t.columns then
+    Error
+      (Printf.sprintf "table %s expects %d columns, got %d" t.table_name
+         (Array.length t.columns) (Array.length values))
+  else begin
+    let err = ref None in
+    Array.iteri
+      (fun i v ->
+        if !err = None then begin
+          let c = t.columns.(i) in
+          if Value.is_null v && not c.nullable then
+            err :=
+              Some
+                (Printf.sprintf "null value in column %S of table %s violates NOT NULL"
+                   c.col_name t.table_name)
+          else if not (Datatype.accepts c.col_type v) then
+            err :=
+              Some
+                (Printf.sprintf "column %S of table %s is %s but value is %s"
+                   c.col_name t.table_name
+                   (Datatype.name c.col_type)
+                   (Value.to_string v))
+        end)
+      values;
+    match !err with None -> Ok () | Some e -> Error e
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v 2>TABLE %s (" t.table_name;
+  Array.iter
+    (fun c ->
+      Format.fprintf ppf "@,%s %a%s," c.col_name Datatype.pp c.col_type
+        (if c.nullable then "" else " NOT NULL"))
+    t.columns;
+  (match t.primary_key with
+  | [] -> ()
+  | pk -> Format.fprintf ppf "@,PRIMARY KEY (%s)" (String.concat ", " pk));
+  Format.fprintf ppf "@]@,)"

@@ -1,0 +1,62 @@
+(** Table schemas: columns, keys, and constraint declarations.
+
+    The [_label] system column (section 4.2) is not part of the
+    user-visible column list; it lives in {!Tuple.t} and surfaces in
+    queries through the planner. *)
+
+type column = {
+  col_name : string;
+  col_type : Datatype.t;
+  nullable : bool;
+}
+
+type unique = {
+  uq_name : string;
+  uq_cols : string list;  (** column names forming the key *)
+}
+
+(** A foreign-key declaration.  Enforcement, including the paper's
+    Foreign Key Rule (section 5.2.2), lives in the engine. *)
+type foreign_key = {
+  fk_name : string;
+  fk_cols : string list;        (** referencing columns, in this table *)
+  fk_ref_table : string;
+  fk_ref_cols : string list;    (** referenced columns (a unique key there) *)
+}
+
+type t = {
+  table_name : string;
+  columns : column array;
+  primary_key : string list;    (** empty for keyless tables *)
+  uniques : unique list;        (** additional unique constraints *)
+  foreign_keys : foreign_key list;
+}
+
+val make :
+  name:string ->
+  columns:(string * Datatype.t) list ->
+  ?nullable:string list ->
+  ?primary_key:string list ->
+  ?uniques:(string * string list) list ->
+  ?foreign_keys:foreign_key list ->
+  unit ->
+  t
+(** Convenience constructor.  Columns listed in [nullable] accept NULL
+    (all others are NOT NULL); validates that key/FK columns exist. *)
+
+val col_index : t -> string -> int
+(** Position of a column (case-insensitive); raises [Not_found]. *)
+
+val col_index_opt : t -> string -> int option
+val has_column : t -> string -> bool
+val column : t -> int -> column
+val arity : t -> int
+
+val all_uniques : t -> unique list
+(** The primary key (if any, named ["<table>_pkey"]) plus declared
+    uniques. *)
+
+val check_values : t -> Value.t array -> (unit, string) result
+(** Arity, type and NOT NULL validation for a candidate tuple. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,33 @@
+type t = { values : Value.t array; label : Ifdb_difc.Label.t }
+
+let make ~values ~label = { values; label }
+let values t = t.values
+let label t = t.label
+let get t i = t.values.(i)
+let arity t = Array.length t.values
+
+let project t idxs =
+  { t with values = Array.map (fun i -> t.values.(i)) idxs }
+
+let header_bytes = 24
+
+let values_bytes t =
+  Array.fold_left (fun acc v -> acc + Value.byte_size v) 0 t.values
+
+let byte_size t =
+  header_bytes + values_bytes t + Ifdb_difc.Label.byte_size t.label
+
+let byte_size_unlabeled t = header_bytes + values_bytes t
+
+let equal a b =
+  Ifdb_difc.Label.equal a.label b.label
+  && Array.length a.values = Array.length b.values
+  && Array.for_all2 Value.equal a.values b.values
+
+let pp ppf t =
+  Format.fprintf ppf "(%a) %a"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Value.pp)
+    (Array.to_list t.values)
+    Ifdb_difc.Label.pp t.label

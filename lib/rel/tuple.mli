@@ -1,0 +1,29 @@
+(** Tuples: a value vector plus an immutable information-flow label
+    (section 4.1 — IFDB labels at tuple granularity). *)
+
+type t = private {
+  values : Value.t array;
+  label : Ifdb_difc.Label.t;
+}
+
+val make : values:Value.t array -> label:Ifdb_difc.Label.t -> t
+val values : t -> Value.t array
+val label : t -> Ifdb_difc.Label.t
+val get : t -> int -> Value.t
+val arity : t -> int
+
+val project : t -> int array -> t
+(** [project t idxs] keeps the selected columns; the label is
+    unchanged (every field carries the whole tuple's contamination). *)
+
+val byte_size : t -> int
+(** Storage footprint in the paper's cost model (section 8.3): a
+    24-byte header (which includes the label-length byte), the values,
+    and 4 bytes per label tag. *)
+
+val byte_size_unlabeled : t -> int
+(** Footprint with IFC compiled out: no label bytes at all — the
+    baseline ("PostgreSQL") representation used by the benchmarks. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

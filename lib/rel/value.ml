@@ -1,0 +1,87 @@
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Text of string
+  | Bool of bool
+  | Ints of int array
+
+let equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y
+  | Text x, Text y -> String.equal x y
+  | Bool x, Bool y -> x = y
+  | Ints x, Ints y -> x = y
+  | (Null | Int _ | Float _ | Text _ | Bool _ | Ints _), _ -> false
+
+let rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ | Float _ -> 2
+  | Text _ -> 3
+  | Ints _ -> 4
+
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | Text x, Text y -> String.compare x y
+  | Ints x, Ints y -> Stdlib.compare x y
+  | _ -> Int.compare (rank a) (rank b)
+
+let is_null = function Null -> true | _ -> false
+
+let to_int = function
+  | Int i -> i
+  | Float f -> int_of_float f
+  | Bool b -> if b then 1 else 0
+  | v -> invalid_arg (Printf.sprintf "Value.to_int: %s" (match v with
+      | Text s -> Printf.sprintf "text %S" s
+      | Null -> "NULL"
+      | _ -> "array"))
+
+let to_float = function
+  | Int i -> float_of_int i
+  | Float f -> f
+  | v -> invalid_arg (match v with Null -> "Value.to_float: NULL" | _ -> "Value.to_float")
+
+let to_bool = function
+  | Bool b -> b
+  | Int i -> i <> 0
+  | v -> invalid_arg (match v with Null -> "Value.to_bool: NULL" | _ -> "Value.to_bool")
+
+let to_text = function
+  | Text s -> s
+  | Int i -> string_of_int i
+  | Float f -> string_of_float f
+  | Bool b -> if b then "t" else "f"
+  | Null -> ""
+  | Ints a ->
+      "{" ^ String.concat "," (List.map string_of_int (Array.to_list a)) ^ "}"
+
+let byte_size = function
+  | Null -> 0
+  | Int _ | Float _ -> 8
+  | Bool _ -> 1
+  | Text s -> 4 + String.length s
+  | Ints a -> 4 + (4 * Array.length a)
+
+let pp ppf = function
+  | Null -> Format.pp_print_string ppf "NULL"
+  | Int i -> Format.pp_print_int ppf i
+  | Float f -> Format.fprintf ppf "%g" f
+  | Text s -> Format.fprintf ppf "'%s'" s
+  | Bool b -> Format.pp_print_string ppf (if b then "true" else "false")
+  | Ints a ->
+      Format.fprintf ppf "{%s}"
+        (String.concat "," (List.map string_of_int (Array.to_list a)))
+
+let to_string v = Format.asprintf "%a" pp v
+
+let hash = Hashtbl.hash

@@ -1,0 +1,41 @@
+(** SQL values.
+
+    The engine is dynamically typed at this layer: every slot holds a
+    {!t} and the expression evaluator enforces SQL coercion rules.
+    [Ints] exists for the [_label] system column, which the paper
+    exposes as an [INT[]] array (section 4.2). *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Text of string
+  | Bool of bool
+  | Ints of int array  (** integer array; the type of [_label] *)
+
+val equal : t -> t -> bool
+(** Structural equality; [Null] equals only [Null] (this is storage
+    equality, not SQL [=], which treats NULL as unknown). *)
+
+val compare : t -> t -> int
+(** Total order for indexing and sorting: Null < Bool < Int/Float
+    (numeric, compared by value) < Text < Ints.  Ints and floats
+    compare numerically with each other. *)
+
+val is_null : t -> bool
+
+val to_int : t -> int
+(** Numeric coercion; raises [Invalid_argument] on non-numeric. *)
+
+val to_float : t -> float
+val to_bool : t -> bool
+val to_text : t -> string
+
+val byte_size : t -> int
+(** On-page size in the storage cost model: ints and floats 8 bytes,
+    bool 1, text 4+length, int arrays 4+4n, NULL 0 (bitmap-resident). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val hash : t -> int

@@ -1,0 +1,143 @@
+(* Abstract syntax for the SQL dialect, including the IFDB extensions:
+   - the [_label] system column (an ordinary column reference here);
+   - label literals [{tag_name, …}];
+   - [INSERT … DECLASSIFYING (tags)] for the Foreign Key Rule
+     (paper section 5.2.2);
+   - [CREATE VIEW … WITH DECLASSIFYING (tags)] for declassifying views
+     (section 4.3). *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | And | Or
+  | Concat
+
+type expr =
+  | E_const of Ifdb_rel.Value.t
+  | E_col of string option * string        (* optional qualifier, name *)
+  | E_binop of binop * expr * expr
+  | E_not of expr
+  | E_neg of expr
+  | E_is_null of expr
+  | E_is_not_null of expr
+  | E_in of expr * expr list
+  | E_like of expr * string
+  | E_fn of string * expr list              (* scalar or aggregate call *)
+  | E_count_star
+  | E_count_distinct of expr                (* COUNT(DISTINCT e) *)
+  | E_case of (expr * expr) list * expr option
+  | E_label_lit of string list              (* {tag_name, …} *)
+  | E_scalar_subquery of select             (* uncorrelated (SELECT …) *)
+  | E_exists of select                      (* EXISTS (SELECT …) *)
+
+and order_dir = Asc | Desc
+
+and select_item =
+  | Sel_star
+  | Sel_table_star of string                (* t.* *)
+  | Sel_expr of expr * string option        (* expr AS alias *)
+
+and join_kind = Inner | Left
+
+and table_ref =
+  | T_table of string * string option       (* name AS alias *)
+  | T_join of table_ref * join_kind * table_ref * expr option
+  | T_subquery of select * string           (* (SELECT …) AS alias *)
+
+and select = {
+  distinct : bool;
+  items : select_item list;
+  from : table_ref option;
+  where : expr option;
+  group_by : expr list;
+  having : expr option;
+  order_by : (expr * order_dir) list;
+  limit : int option;
+  offset : int option;
+  unions : ([ `Union | `Union_all ] * select) list;
+      (* further members of a UNION chain; the last member's
+         ORDER BY/LIMIT apply to the whole union *)
+}
+
+type column_def = {
+  cd_name : string;
+  cd_type : Ifdb_rel.Datatype.t;
+  cd_not_null : bool;
+  cd_primary_key : bool;
+  cd_unique : bool;
+}
+
+type table_constraint =
+  | C_primary_key of string list
+  | C_unique of string list
+  | C_foreign_key of {
+      c_cols : string list;
+      c_ref_table : string;
+      c_ref_cols : string list;
+    }
+
+type stmt =
+  | S_select of select
+  | S_insert of {
+      i_table : string;
+      i_columns : string list option;
+      i_rows : expr list list;          (* VALUES rows, or [] with i_select *)
+      i_select : select option;         (* INSERT ... SELECT *)
+      i_declassifying : string list;  (* tag names, Foreign Key Rule *)
+    }
+  | S_update of {
+      u_table : string;
+      u_sets : (string * expr) list;
+      u_where : expr option;
+    }
+  | S_delete of { d_table : string; d_where : expr option }
+  | S_create_table of {
+      ct_name : string;
+      ct_columns : column_def list;
+      ct_constraints : table_constraint list;
+    }
+  | S_create_view of {
+      cv_name : string;
+      cv_query : select;
+      cv_declassifying : string list;  (* tag names bound to the view *)
+    }
+  | S_create_index of { ci_name : string; ci_table : string; ci_cols : string list }
+  | S_drop of [ `Table | `View | `Index ] * string
+  | S_begin
+  | S_commit
+  | S_rollback
+  | S_perform of string * expr list  (* PERFORM/CALL procedure *)
+
+let select_defaults =
+  {
+    distinct = false;
+    items = [];
+    from = None;
+    where = None;
+    group_by = [];
+    having = None;
+    order_by = [];
+    limit = None;
+    offset = None;
+    unions = [];
+  }
+
+(* Aggregate function names the planner recognizes. *)
+let aggregate_names = [ "count"; "sum"; "avg"; "min"; "max" ]
+
+let is_aggregate_name name =
+  List.mem (String.lowercase_ascii name) aggregate_names
+
+(* Does the expression contain an aggregate call? *)
+let rec has_aggregate = function
+  | E_const _ | E_col _ | E_label_lit _ -> false
+  | E_count_star | E_count_distinct _ -> true
+  | E_fn (name, args) -> is_aggregate_name name || List.exists has_aggregate args
+  | E_binop (_, a, b) -> has_aggregate a || has_aggregate b
+  | E_not a | E_neg a | E_is_null a | E_is_not_null a | E_like (a, _) ->
+      has_aggregate a
+  | E_in (a, vs) -> has_aggregate a || List.exists has_aggregate vs
+  | E_case (branches, default) ->
+      List.exists (fun (c, v) -> has_aggregate c || has_aggregate v) branches
+      || (match default with Some d -> has_aggregate d | None -> false)
+  | E_scalar_subquery _ | E_exists _ -> false (* their own scope *)

@@ -1,0 +1,99 @@
+exception Lex_error of string * int
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '-' && !i + 1 < n && input.[!i + 1] = '-' then begin
+      (* line comment *)
+      while !i < n && input.[!i] <> '\n' do incr i done
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char input.[!i] do incr i done;
+      emit (Token.Ident (String.sub input start (!i - start)))
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit input.[!i] do incr i done;
+      let is_float = ref false in
+      if !i < n && input.[!i] = '.' && !i + 1 < n && is_digit input.[!i + 1] then begin
+        is_float := true;
+        incr i;
+        while !i < n && is_digit input.[!i] do incr i done
+      end;
+      if !i < n && (input.[!i] = 'e' || input.[!i] = 'E')
+         && (!i + 1 < n
+             && (is_digit input.[!i + 1]
+                 || ((input.[!i + 1] = '+' || input.[!i + 1] = '-')
+                     && !i + 2 < n && is_digit input.[!i + 2])))
+      then begin
+        is_float := true;
+        incr i;
+        if input.[!i] = '+' || input.[!i] = '-' then incr i;
+        while !i < n && is_digit input.[!i] do incr i done
+      end;
+      let text = String.sub input start (!i - start) in
+      if !is_float then emit (Token.Float_lit (float_of_string text))
+      else emit (Token.Int_lit (int_of_string text))
+    end
+    else if c = '\'' then begin
+      let buf = Buffer.create 16 in
+      incr i;
+      let closed = ref false in
+      while not !closed do
+        if !i >= n then raise (Lex_error ("unterminated string literal", !i));
+        if input.[!i] = '\'' then
+          if !i + 1 < n && input.[!i + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            i := !i + 2
+          end
+          else begin
+            closed := true;
+            incr i
+          end
+        else begin
+          Buffer.add_char buf input.[!i];
+          incr i
+        end
+      done;
+      emit (Token.String_lit (Buffer.contents buf))
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub input !i 2 else "" in
+      match two with
+      | "<>" | "!=" -> emit Token.Neq; i := !i + 2
+      | "<=" -> emit Token.Le; i := !i + 2
+      | ">=" -> emit Token.Ge; i := !i + 2
+      | "||" -> emit Token.Concat; i := !i + 2
+      | _ ->
+          (match c with
+          | '(' -> emit Token.Lparen
+          | ')' -> emit Token.Rparen
+          | '{' -> emit Token.Lbrace
+          | '}' -> emit Token.Rbrace
+          | ',' -> emit Token.Comma
+          | '.' -> emit Token.Dot
+          | ';' -> emit Token.Semicolon
+          | '*' -> emit Token.Star
+          | '+' -> emit Token.Plus
+          | '-' -> emit Token.Minus
+          | '/' -> emit Token.Slash
+          | '%' -> emit Token.Percent
+          | '=' -> emit Token.Eq
+          | '<' -> emit Token.Lt
+          | '>' -> emit Token.Gt
+          | _ -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, !i)));
+          incr i
+    end
+  done;
+  emit Token.Eof;
+  List.rev !tokens

@@ -1,0 +1,12 @@
+(** Hand-written SQL lexer.
+
+    Supports: identifiers (letters, digits, [_], starting with a letter
+    or [_]), integer and float literals, single-quoted strings with
+    [''] escaping, [--] line comments, and the operator/punctuation set
+    of the dialect, including [{…}] label-literal braces and [||]. *)
+
+exception Lex_error of string * int
+(** Message and byte offset. *)
+
+val tokenize : string -> Token.t list
+(** Whole-input tokenization; the list always ends with [Eof]. *)

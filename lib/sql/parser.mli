@@ -1,0 +1,20 @@
+(** Recursive-descent parser for the SQL dialect.
+
+    The dialect covers what the paper's applications and benchmarks
+    need: SELECT with joins (inner and left outer), grouping,
+    aggregates, ordering and limits; INSERT/UPDATE/DELETE; DDL for
+    tables, views and indexes; transaction control; stored-procedure
+    invocation ([PERFORM f(...)]); and the IFDB extensions
+    ([DECLASSIFYING] clauses, label literals, the [_label] column).
+    Subqueries are supported in FROM; scalar subqueries are not. *)
+
+exception Parse_error of string
+
+val parse : string -> Ast.stmt list
+(** Parse a semicolon-separated script. *)
+
+val parse_one : string -> Ast.stmt
+(** Parse exactly one statement (trailing semicolon allowed). *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a standalone expression (used by tests and the REPL). *)

@@ -1,0 +1,209 @@
+open Ast
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Eq -> "=" | Neq -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "AND" | Or -> "OR" | Concat -> "||"
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c -> if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let const_to_string (v : Ifdb_rel.Value.t) =
+  match v with
+  | Null -> "NULL"
+  | Int i -> string_of_int i
+  | Float f ->
+      let s = Printf.sprintf "%.17g" f in
+      if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+      else s ^ ".0"
+  | Text s -> Printf.sprintf "'%s'" (escape_string s)
+  | Bool b -> if b then "TRUE" else "FALSE"
+  | Ints a ->
+      (* no SQL literal for arrays other than labels *)
+      "{" ^ String.concat ", " (List.map string_of_int (Array.to_list a)) ^ "}"
+
+let rec expr_to_string = function
+  | E_const v -> const_to_string v
+  | E_col (None, c) -> c
+  | E_col (Some t, c) -> t ^ "." ^ c
+  | E_binop (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (expr_to_string a) (binop_name op)
+        (expr_to_string b)
+  | E_not e -> Printf.sprintf "(NOT %s)" (expr_to_string e)
+  | E_neg e -> Printf.sprintf "(-%s)" (expr_to_string e)
+  | E_is_null e -> Printf.sprintf "(%s IS NULL)" (expr_to_string e)
+  | E_is_not_null e -> Printf.sprintf "(%s IS NOT NULL)" (expr_to_string e)
+  | E_in (e, vs) ->
+      Printf.sprintf "(%s IN (%s))" (expr_to_string e)
+        (String.concat ", " (List.map expr_to_string vs))
+  | E_like (e, p) ->
+      Printf.sprintf "(%s LIKE '%s')" (expr_to_string e) (escape_string p)
+  | E_fn (name, args) ->
+      Printf.sprintf "%s(%s)" name (String.concat ", " (List.map expr_to_string args))
+  | E_count_star -> "COUNT(*)"
+  | E_count_distinct e -> Printf.sprintf "COUNT(DISTINCT %s)" (expr_to_string e)
+  | E_case (branches, default) ->
+      let b =
+        List.map
+          (fun (c, v) ->
+            Printf.sprintf "WHEN %s THEN %s" (expr_to_string c) (expr_to_string v))
+          branches
+      in
+      let d =
+        match default with
+        | Some e -> Printf.sprintf " ELSE %s" (expr_to_string e)
+        | None -> ""
+      in
+      Printf.sprintf "CASE %s%s END" (String.concat " " b) d
+  | E_label_lit tags -> "{" ^ String.concat ", " tags ^ "}"
+  | E_scalar_subquery sel -> "(" ^ select_to_string sel ^ ")"
+  | E_exists sel -> "EXISTS (" ^ select_to_string sel ^ ")"
+
+and item_to_string = function
+  | Sel_star -> "*"
+  | Sel_table_star t -> t ^ ".*"
+  | Sel_expr (e, None) -> expr_to_string e
+  | Sel_expr (e, Some a) -> Printf.sprintf "%s AS %s" (expr_to_string e) a
+
+and table_ref_to_string = function
+  | T_table (t, None) -> t
+  | T_table (t, Some a) -> Printf.sprintf "%s AS %s" t a
+  | T_join (a, kind, b, on) ->
+      let kw = match kind with Inner -> "JOIN" | Left -> "LEFT JOIN" in
+      let on_s =
+        match on with
+        | Some e -> Printf.sprintf " ON %s" (expr_to_string e)
+        | None -> " ON TRUE"
+      in
+      Printf.sprintf "%s %s %s%s" (table_ref_to_string a) kw
+        (table_ref_to_string b) on_s
+  | T_subquery (q, alias) ->
+      Printf.sprintf "(%s) AS %s" (select_to_string q) alias
+
+and select_to_string (s : select) =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "SELECT ";
+  if s.distinct then Buffer.add_string buf "DISTINCT ";
+  Buffer.add_string buf (String.concat ", " (List.map item_to_string s.items));
+  (match s.from with
+  | Some t -> Buffer.add_string buf (" FROM " ^ table_ref_to_string t)
+  | None -> ());
+  (match s.where with
+  | Some e -> Buffer.add_string buf (" WHERE " ^ expr_to_string e)
+  | None -> ());
+  (match s.group_by with
+  | [] -> ()
+  | es ->
+      Buffer.add_string buf
+        (" GROUP BY " ^ String.concat ", " (List.map expr_to_string es)));
+  (match s.having with
+  | Some e -> Buffer.add_string buf (" HAVING " ^ expr_to_string e)
+  | None -> ());
+  (match s.order_by with
+  | [] -> ()
+  | es ->
+      let one (e, dir) =
+        expr_to_string e ^ (match dir with Asc -> " ASC" | Desc -> " DESC")
+      in
+      Buffer.add_string buf (" ORDER BY " ^ String.concat ", " (List.map one es)));
+  (match s.limit with
+  | Some n -> Buffer.add_string buf (Printf.sprintf " LIMIT %d" n)
+  | None -> ());
+  (match s.offset with
+  | Some n -> Buffer.add_string buf (Printf.sprintf " OFFSET %d" n)
+  | None -> ());
+  List.iter
+    (fun (kind, member) ->
+      Buffer.add_string buf
+        (match kind with `Union -> " UNION " | `Union_all -> " UNION ALL ");
+      Buffer.add_string buf (select_to_string member))
+    s.unions;
+  Buffer.contents buf
+
+let datatype_to_string = Ifdb_rel.Datatype.name
+
+let column_def_to_string (c : column_def) =
+  Printf.sprintf "%s %s%s%s%s" c.cd_name
+    (datatype_to_string c.cd_type)
+    (if c.cd_not_null then " NOT NULL" else "")
+    (if c.cd_primary_key then " PRIMARY KEY" else "")
+    (if c.cd_unique then " UNIQUE" else "")
+
+let constraint_to_string = function
+  | C_primary_key cols -> Printf.sprintf "PRIMARY KEY (%s)" (String.concat ", " cols)
+  | C_unique cols -> Printf.sprintf "UNIQUE (%s)" (String.concat ", " cols)
+  | C_foreign_key { c_cols; c_ref_table; c_ref_cols } ->
+      Printf.sprintf "FOREIGN KEY (%s) REFERENCES %s (%s)"
+        (String.concat ", " c_cols) c_ref_table (String.concat ", " c_ref_cols)
+
+let stmt_to_string = function
+  | S_select s -> select_to_string s
+  | S_insert { i_table; i_columns; i_rows; i_select; i_declassifying } ->
+      let cols =
+        match i_columns with
+        | Some cs -> Printf.sprintf " (%s)" (String.concat ", " cs)
+        | None -> ""
+      in
+      let decl =
+        match i_declassifying with
+        | [] -> ""
+        | tags -> Printf.sprintf " DECLASSIFYING (%s)" (String.concat ", " tags)
+      in
+      let source =
+        match i_select with
+        | Some sel -> select_to_string sel
+        | None ->
+            let row vs =
+              "(" ^ String.concat ", " (List.map expr_to_string vs) ^ ")"
+            in
+            "VALUES " ^ String.concat ", " (List.map row i_rows)
+      in
+      Printf.sprintf "INSERT INTO %s%s %s%s" i_table cols source decl
+  | S_update { u_table; u_sets; u_where } ->
+      let sets =
+        List.map (fun (c, e) -> Printf.sprintf "%s = %s" c (expr_to_string e)) u_sets
+      in
+      let where =
+        match u_where with
+        | Some e -> " WHERE " ^ expr_to_string e
+        | None -> ""
+      in
+      Printf.sprintf "UPDATE %s SET %s%s" u_table (String.concat ", " sets) where
+  | S_delete { d_table; d_where } ->
+      let where =
+        match d_where with
+        | Some e -> " WHERE " ^ expr_to_string e
+        | None -> ""
+      in
+      Printf.sprintf "DELETE FROM %s%s" d_table where
+  | S_create_table { ct_name; ct_columns; ct_constraints } ->
+      let items =
+        List.map column_def_to_string ct_columns
+        @ List.map constraint_to_string ct_constraints
+      in
+      Printf.sprintf "CREATE TABLE %s (%s)" ct_name (String.concat ", " items)
+  | S_create_view { cv_name; cv_query; cv_declassifying } ->
+      let decl =
+        match cv_declassifying with
+        | [] -> ""
+        | tags -> Printf.sprintf " WITH DECLASSIFYING (%s)" (String.concat ", " tags)
+      in
+      Printf.sprintf "CREATE VIEW %s AS %s%s" cv_name (select_to_string cv_query) decl
+  | S_create_index { ci_name; ci_table; ci_cols } ->
+      Printf.sprintf "CREATE INDEX %s ON %s (%s)" ci_name ci_table
+        (String.concat ", " ci_cols)
+  | S_drop (`Table, n) -> "DROP TABLE " ^ n
+  | S_drop (`View, n) -> "DROP VIEW " ^ n
+  | S_drop (`Index, n) -> "DROP INDEX " ^ n
+  | S_begin -> "BEGIN"
+  | S_commit -> "COMMIT"
+  | S_rollback -> "ROLLBACK"
+  | S_perform (name, args) ->
+      Printf.sprintf "PERFORM %s(%s)" name
+        (String.concat ", " (List.map expr_to_string args))
+
+let pp_stmt ppf s = Format.pp_print_string ppf (stmt_to_string s)

@@ -1,0 +1,11 @@
+(** Pretty-printer from AST back to dialect SQL.
+
+    The output reparses to the same AST (up to associativity already
+    fixed by parenthesization), which the test suite checks with a
+    round-trip property. *)
+
+val expr_to_string : Ast.expr -> string
+val select_to_string : Ast.select -> string
+val stmt_to_string : Ast.stmt -> string
+
+val pp_stmt : Format.formatter -> Ast.stmt -> unit

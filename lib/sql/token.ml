@@ -1,0 +1,43 @@
+(* Lexical tokens for the SQL dialect.  Keywords are not reserved at
+   the token level; the lexer emits [Ident] and the parser matches
+   keywords case-insensitively, which keeps identifiers like a column
+   named "level" usable. *)
+
+type t =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Comma
+  | Dot
+  | Semicolon
+  | Star
+  | Plus
+  | Minus
+  | Slash
+  | Percent
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Concat (* || *)
+  | Eof
+
+let to_string = function
+  | Ident s -> s
+  | Int_lit i -> string_of_int i
+  | Float_lit f -> string_of_float f
+  | String_lit s -> Printf.sprintf "'%s'" s
+  | Lparen -> "(" | Rparen -> ")"
+  | Lbrace -> "{" | Rbrace -> "}"
+  | Comma -> "," | Dot -> "." | Semicolon -> ";"
+  | Star -> "*" | Plus -> "+" | Minus -> "-" | Slash -> "/" | Percent -> "%"
+  | Eq -> "=" | Neq -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | Concat -> "||"
+  | Eof -> "<eof>"

@@ -1,0 +1,362 @@
+type key = Ifdb_rel.Value.t array
+
+let compare_key (a : key) (b : key) =
+  let na = Array.length a and nb = Array.length b in
+  let n = min na nb in
+  let rec go i =
+    if i >= n then Int.compare na nb
+    else
+      let c = Ifdb_rel.Value.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+(* Compare a full key against a prefix: only the prefix components
+   participate, so equality means "key extends prefix". *)
+let compare_to_prefix (k : key) (prefix : key) =
+  let np = Array.length prefix in
+  let rec go i =
+    if i >= np then 0
+    else
+      let c = Ifdb_rel.Value.compare k.(i) prefix.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+type node =
+  | Leaf of leaf
+  | Internal of internal
+
+and leaf = {
+  mutable keys : key array;
+  mutable postings : int list array; (* parallel to keys *)
+  mutable next : leaf option;
+}
+
+and internal = {
+  mutable seps : key array;      (* n-1 separators for n children *)
+  mutable children : node array;
+}
+
+type t = {
+  order : int;
+  mutable root : node;
+  mutable entries : int;
+}
+
+let create ?(order = 32) () =
+  if order < 4 then invalid_arg "Btree.create: order must be >= 4";
+  {
+    order;
+    root = Leaf { keys = [||]; postings = [||]; next = None };
+    entries = 0;
+  }
+
+(* Position of the first element of [keys] that is >= [k] (binary search). *)
+let lower_bound keys k =
+  let lo = ref 0 and hi = ref (Array.length keys) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if compare_key keys.(mid) k < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Child index to descend into for key [k]: first separator > k gives
+   its left child; separators equal to k route right (separator is the
+   lowest key of the right subtree). *)
+let child_index seps k =
+  let lo = ref 0 and hi = ref (Array.length seps) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if compare_key seps.(mid) k <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let array_insert a i x =
+  let n = Array.length a in
+  let out = Array.make (n + 1) x in
+  Array.blit a 0 out 0 i;
+  Array.blit a i out (i + 1) (n - i);
+  out
+
+let array_remove a i =
+  let n = Array.length a in
+  let out = Array.sub a 0 (n - 1) in
+  Array.blit a (i + 1) out i (n - 1 - i);
+  out
+
+(* Returns Some (separator, right sibling) if the node split. *)
+let rec insert_into t node k vid =
+  match node with
+  | Leaf l ->
+      let i = lower_bound l.keys k in
+      if i < Array.length l.keys && compare_key l.keys.(i) k = 0 then begin
+        if not (List.mem vid l.postings.(i)) then begin
+          l.postings.(i) <- vid :: l.postings.(i);
+          t.entries <- t.entries + 1
+        end;
+        None
+      end
+      else begin
+        l.keys <- array_insert l.keys i k;
+        l.postings <- array_insert l.postings i [ vid ];
+        t.entries <- t.entries + 1;
+        if Array.length l.keys <= t.order then None
+        else begin
+          let mid = Array.length l.keys / 2 in
+          let right =
+            {
+              keys = Array.sub l.keys mid (Array.length l.keys - mid);
+              postings = Array.sub l.postings mid (Array.length l.postings - mid);
+              next = l.next;
+            }
+          in
+          l.keys <- Array.sub l.keys 0 mid;
+          l.postings <- Array.sub l.postings 0 mid;
+          l.next <- Some right;
+          Some (right.keys.(0), Leaf right)
+        end
+      end
+  | Internal n -> (
+      let ci = child_index n.seps k in
+      match insert_into t n.children.(ci) k vid with
+      | None -> None
+      | Some (sep, right) ->
+          n.seps <- array_insert n.seps ci sep;
+          n.children <- array_insert n.children (ci + 1) right;
+          if Array.length n.children <= t.order then None
+          else begin
+            let midc = Array.length n.children / 2 in
+            (* children midc.. go right; separator midc-1 is promoted *)
+            let promoted = n.seps.(midc - 1) in
+            let right_node =
+              {
+                seps = Array.sub n.seps midc (Array.length n.seps - midc);
+                children =
+                  Array.sub n.children midc (Array.length n.children - midc);
+              }
+            in
+            n.seps <- Array.sub n.seps 0 (midc - 1);
+            n.children <- Array.sub n.children 0 midc;
+            Some (promoted, Internal right_node)
+          end)
+
+let insert t k vid =
+  match insert_into t t.root k vid with
+  | None -> ()
+  | Some (sep, right) ->
+      t.root <- Internal { seps = [| sep |]; children = [| t.root; right |] }
+
+let rec find_leaf node k =
+  match node with
+  | Leaf l -> l
+  | Internal n -> find_leaf n.children.(child_index n.seps k) k
+
+let find t k =
+  let l = find_leaf t.root k in
+  let i = lower_bound l.keys k in
+  if i < Array.length l.keys && compare_key l.keys.(i) k = 0 then l.postings.(i)
+  else []
+
+let remove t k vid =
+  let l = find_leaf t.root k in
+  let i = lower_bound l.keys k in
+  if i < Array.length l.keys && compare_key l.keys.(i) k = 0 then begin
+    let before = l.postings.(i) in
+    let after = List.filter (fun v -> v <> vid) before in
+    if List.length after < List.length before then begin
+      t.entries <- t.entries - 1;
+      if after = [] then begin
+        l.keys <- array_remove l.keys i;
+        l.postings <- array_remove l.postings i
+      end
+      else l.postings.(i) <- after
+    end
+  end
+
+type bound = Unbounded | Incl of key | Excl of key
+
+let leftmost_leaf node =
+  let rec go = function
+    | Leaf l -> l
+    | Internal n -> go n.children.(0)
+  in
+  go node
+
+let iter_range t ~lo ~hi f =
+  let start_leaf, start_idx =
+    match lo with
+    | Unbounded -> (leftmost_leaf t.root, 0)
+    | Incl k | Excl k ->
+        let l = find_leaf t.root k in
+        let i = lower_bound l.keys k in
+        let i =
+          match lo with
+          | Excl _ when i < Array.length l.keys && compare_key l.keys.(i) k = 0 ->
+              i + 1
+          | _ -> i
+        in
+        (l, i)
+  in
+  let past_hi k =
+    match hi with
+    | Unbounded -> false
+    | Incl h -> compare_key k h > 0
+    | Excl h -> compare_key k h >= 0
+  in
+  let rec walk leaf idx =
+    if idx >= Array.length leaf.keys then
+      match leaf.next with None -> () | Some nx -> walk nx 0
+    else begin
+      let k = leaf.keys.(idx) in
+      if not (past_hi k) then begin
+        List.iter (fun vid -> f k vid) (List.rev leaf.postings.(idx));
+        walk leaf (idx + 1)
+      end
+    end
+  in
+  walk start_leaf start_idx
+
+let iter_prefix t ~prefix f =
+  if Array.length prefix = 0 then
+    iter_range t ~lo:Unbounded ~hi:Unbounded f
+  else begin
+    (* Descend as if prefix were a full key (missing components rank
+       lowest, which matches compare_key's shorter-first rule). *)
+    let l = find_leaf t.root prefix in
+    let i = lower_bound l.keys prefix in
+    let rec walk leaf idx =
+      if idx >= Array.length leaf.keys then
+        match leaf.next with None -> () | Some nx -> walk nx 0
+      else begin
+        let k = leaf.keys.(idx) in
+        let c = compare_to_prefix k prefix in
+        if c < 0 then walk leaf (idx + 1)
+        else if c = 0 then begin
+          List.iter (fun vid -> f k vid) (List.rev leaf.postings.(idx));
+          walk leaf (idx + 1)
+        end
+      end
+    in
+    walk l i
+  end
+
+let iter_all t f = iter_range t ~lo:Unbounded ~hi:Unbounded f
+
+let entry_count t = t.entries
+
+let depth t =
+  let rec go acc = function
+    | Leaf _ -> acc
+    | Internal n -> go (acc + 1) n.children.(0)
+  in
+  go 1 t.root
+
+let check_invariants t =
+  let fail fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let rec check node lo hi depth_here : (int, string) result =
+    let in_bounds k =
+      (match lo with None -> true | Some b -> compare_key k b >= 0)
+      && match hi with None -> true | Some b -> compare_key k b < 0
+    in
+    match node with
+    | Leaf l ->
+        if Array.length l.keys <> Array.length l.postings then
+          fail "leaf keys/postings length mismatch"
+        else begin
+          let ok = ref (Ok depth_here) in
+          Array.iteri
+            (fun i k ->
+              if !ok = Ok depth_here then begin
+                if i > 0 && compare_key l.keys.(i - 1) k >= 0 then
+                  ok := fail "leaf keys not strictly sorted";
+                if not (in_bounds k) then ok := fail "leaf key out of bounds"
+              end)
+            l.keys;
+          !ok
+        end
+    | Internal n ->
+        if Array.length n.children <> Array.length n.seps + 1 then
+          fail "internal arity mismatch"
+        else begin
+          let result = ref None in
+          Array.iteri
+            (fun i sep ->
+              if !result = None then begin
+                if i > 0 && compare_key n.seps.(i - 1) sep >= 0 then
+                  result := Some (fail "separators not sorted");
+                if not (in_bounds sep) then
+                  result := Some (fail "separator out of bounds")
+              end)
+            n.seps;
+          match !result with
+          | Some e -> e
+          | None ->
+              let depths = ref [] in
+              let err = ref None in
+              Array.iteri
+                (fun i child ->
+                  if !err = None then begin
+                    let clo = if i = 0 then lo else Some n.seps.(i - 1) in
+                    let chi =
+                      if i = Array.length n.seps then hi else Some n.seps.(i)
+                    in
+                    match check child clo chi (depth_here + 1) with
+                    | Ok d -> depths := d :: !depths
+                    | Error e -> err := Some e
+                  end)
+                n.children;
+              (match !err with
+              | Some e -> Error e
+              | None -> (
+                  match List.sort_uniq Int.compare !depths with
+                  | [ d ] -> Ok d
+                  | _ -> fail "unbalanced subtree depths"))
+        end
+  in
+  match check t.root None None 1 with Ok _ -> Ok () | Error e -> Error e
+
+let iter_prefix_range t ~prefix ~lo ~hi f =
+  let np = Array.length prefix in
+  let component k = if Array.length k > np then Some k.(np) else None in
+  let below_lo k =
+    match (lo, component k) with
+    | None, _ -> false
+    | Some _, None -> false
+    | Some (v, incl), Some c ->
+        let cmp = Ifdb_rel.Value.compare c v in
+        if incl then cmp < 0 else cmp <= 0
+  in
+  let above_hi k =
+    match (hi, component k) with
+    | None, _ -> false
+    | Some _, None -> false
+    | Some (v, incl), Some c ->
+        let cmp = Ifdb_rel.Value.compare c v in
+        if incl then cmp > 0 else cmp >= 0
+  in
+  (* seek directly to the start of the range *)
+  let seek_key =
+    match lo with
+    | Some (v, _) -> Array.append prefix [| v |]
+    | None -> prefix
+  in
+  let l = find_leaf t.root seek_key in
+  let i = lower_bound l.keys seek_key in
+  let rec walk leaf idx =
+    if idx >= Array.length leaf.keys then
+      match leaf.next with None -> () | Some nx -> walk nx 0
+    else begin
+      let k = leaf.keys.(idx) in
+      let c = compare_to_prefix k prefix in
+      if c < 0 then walk leaf (idx + 1)
+      else if c > 0 then () (* left the prefix region: sorted, so done *)
+      else if above_hi k then ()
+      else begin
+        if not (below_lo k) then
+          List.iter (fun vid -> f k vid) (List.rev leaf.postings.(idx));
+        walk leaf (idx + 1)
+      end
+    end
+  in
+  walk l i

@@ -1,0 +1,130 @@
+(* LRU via an intrusive doubly-linked list over nodes stored in a
+   hashtable keyed by page id.  All operations are O(1). *)
+
+type node = {
+  page : int;
+  mutable prev : node option;
+  mutable next : node option;
+  mutable is_dirty : bool;
+}
+
+type stats = { hits : int; misses : int; page_writes : int; io_ns : int }
+
+type t = {
+  capacity : int option;
+  miss_cost_ns : int;
+  write_cost_ns : int;
+  nodes : (int, node) Hashtbl.t;
+  mutable head : node option; (* most recently used *)
+  mutable tail : node option; (* least recently used *)
+  mutable next_page : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable page_writes : int;
+  mutable io_ns : int;
+}
+
+let create ?(capacity_pages = None) ?(miss_cost_ns = 100_000)
+    ?(write_cost_ns = 60_000) () =
+  (match capacity_pages with
+  | Some c when c < 1 -> invalid_arg "Buffer_pool.create: capacity must be >= 1"
+  | _ -> ());
+  {
+    capacity = capacity_pages;
+    miss_cost_ns;
+    write_cost_ns;
+    nodes = Hashtbl.create 4096;
+    head = None;
+    tail = None;
+    next_page = 0;
+    hits = 0;
+    misses = 0;
+    page_writes = 0;
+    io_ns = 0;
+  }
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.prev <- None;
+  n.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let write_back t n =
+  if n.is_dirty then begin
+    t.page_writes <- t.page_writes + 1;
+    t.io_ns <- t.io_ns + t.write_cost_ns;
+    n.is_dirty <- false
+  end
+
+let evict_if_needed t =
+  match t.capacity with
+  | None -> ()
+  | Some cap ->
+      while Hashtbl.length t.nodes > cap do
+        match t.tail with
+        | None -> assert false
+        | Some victim ->
+            write_back t victim;
+            unlink t victim;
+            Hashtbl.remove t.nodes victim.page
+      done
+
+let insert_resident t page =
+  let n = { page; prev = None; next = None; is_dirty = false } in
+  Hashtbl.replace t.nodes page n;
+  push_front t n;
+  evict_if_needed t;
+  n
+
+let alloc_page t =
+  let page = t.next_page in
+  t.next_page <- t.next_page + 1;
+  ignore (insert_resident t page);
+  page
+
+let access t page =
+  match Hashtbl.find_opt t.nodes page with
+  | Some n ->
+      t.hits <- t.hits + 1;
+      if t.head != Some n then begin
+        unlink t n;
+        push_front t n
+      end;
+      n
+  | None ->
+      t.misses <- t.misses + 1;
+      t.io_ns <- t.io_ns + t.miss_cost_ns;
+      insert_resident t page
+
+let touch t page = ignore (access t page)
+
+let dirty t page =
+  let n = access t page in
+  n.is_dirty <- true
+
+let flush_all t =
+  Hashtbl.iter (fun _ n -> write_back t n) t.nodes
+
+let resident t = Hashtbl.length t.nodes
+
+let stats t =
+  { hits = t.hits; misses = t.misses; page_writes = t.page_writes; io_ns = t.io_ns }
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.page_writes <- 0;
+  t.io_ns <- 0
+
+let io_ns t = t.io_ns
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf "hits=%d misses=%d writes=%d io=%.3fms" s.hits s.misses
+    s.page_writes
+    (float_of_int s.io_ns /. 1e6)

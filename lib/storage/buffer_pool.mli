@@ -1,0 +1,53 @@
+(** An LRU buffer pool with a simulated I/O clock.
+
+    The engine holds all data in memory; the pool tracks which pages
+    {e would} be resident given a capacity, and charges a simulated
+    latency for each miss (page read) and each dirty eviction (page
+    write).  Benchmarks report throughput against wall time plus the
+    pool's accumulated I/O time, which reproduces the paper's
+    disk-bound vs in-memory regimes (sections 8.2-8.3) without a disk.
+
+    A pool with [capacity_pages = None] is unbounded: after first
+    allocation every access hits — the in-memory regime. *)
+
+type t
+
+type stats = {
+  hits : int;
+  misses : int;
+  page_writes : int;  (** dirty evictions *)
+  io_ns : int;        (** accumulated simulated I/O nanoseconds *)
+}
+
+val create :
+  ?capacity_pages:int option ->
+  ?miss_cost_ns:int ->
+  ?write_cost_ns:int ->
+  unit ->
+  t
+(** Defaults: unbounded capacity; 100 µs per miss and 60 µs per page
+    write (commodity-SSD ballpark; the RAID in the paper is slower,
+    the shape is what matters). *)
+
+val alloc_page : t -> int
+(** Allocate a fresh page id, resident and clean. *)
+
+val touch : t -> int -> unit
+(** Read access: LRU hit, or miss (charged) with reload. *)
+
+val dirty : t -> int -> unit
+(** Write access: like {!touch} and marks the page dirty; a dirty page
+    pays the write cost when evicted (or flushed). *)
+
+val flush_all : t -> unit
+(** Write out every dirty resident page (checkpoint). *)
+
+val resident : t -> int
+(** Number of resident pages. *)
+
+val stats : t -> stats
+val reset_stats : t -> unit
+val io_ns : t -> int
+(** Shorthand for [(stats t).io_ns]. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,136 @@
+type version = {
+  vid : int;
+  tuple : Ifdb_rel.Tuple.t;
+  mutable xmin : int;
+  mutable xmax : int;
+  page : int;
+}
+
+type t = {
+  heap_name : string;
+  labeled : bool;
+  bp : Buffer_pool.t;
+  mutable slots : version option array;
+  mutable len : int;
+  mutable current_page : int;
+  mutable page_used : int;
+  mutable pages : int;
+}
+
+let create ~name ~labeled ~pool () =
+  {
+    heap_name = name;
+    labeled;
+    bp = pool;
+    slots = Array.make 64 None;
+    len = 0;
+    current_page = Buffer_pool.alloc_page pool;
+    page_used = 0;
+    pages = 1;
+  }
+
+let name t = t.heap_name
+let pool t = t.bp
+
+let tuple_bytes t tuple =
+  if t.labeled then Ifdb_rel.Tuple.byte_size tuple
+  else Ifdb_rel.Tuple.byte_size_unlabeled tuple
+
+let grow t =
+  if t.len >= Array.length t.slots then begin
+    let bigger = Array.make (2 * Array.length t.slots) None in
+    Array.blit t.slots 0 bigger 0 t.len;
+    t.slots <- bigger
+  end
+
+let insert t ~xmin tuple =
+  let bytes = tuple_bytes t tuple in
+  if not (Page.fits ~used:t.page_used ~tuple_bytes:bytes) then begin
+    t.current_page <- Buffer_pool.alloc_page t.bp;
+    t.page_used <- 0;
+    t.pages <- t.pages + 1
+  end;
+  t.page_used <- t.page_used + bytes + Page.item_overhead;
+  grow t;
+  let v = { vid = t.len; tuple; xmin; xmax = 0; page = t.current_page } in
+  t.slots.(t.len) <- Some v;
+  t.len <- t.len + 1;
+  Buffer_pool.dirty t.bp v.page;
+  v
+
+let get_opt t vid =
+  if vid < 0 || vid >= t.len then None
+  else
+    match t.slots.(vid) with
+    | None -> None
+    | Some v ->
+        Buffer_pool.touch t.bp v.page;
+        Some v
+
+let get t vid =
+  match get_opt t vid with
+  | Some v -> v
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Heap.get(%s): no version %d" t.heap_name vid)
+
+let set_xmax t ~vid ~xid =
+  let v = get t vid in
+  v.xmax <- xid;
+  Buffer_pool.dirty t.bp v.page
+
+let clear_xmax t ~vid ~xid =
+  match t.slots.(vid) with
+  | Some v when v.xmax = xid ->
+      v.xmax <- 0;
+      Buffer_pool.dirty t.bp v.page
+  | Some _ | None -> ()
+
+let iter t f =
+  let last_page = ref (-1) in
+  for i = 0 to t.len - 1 do
+    match t.slots.(i) with
+    | None -> ()
+    | Some v ->
+        if v.page <> !last_page then begin
+          Buffer_pool.touch t.bp v.page;
+          last_page := v.page
+        end;
+        f v
+  done
+
+let version_count t =
+  let n = ref 0 in
+  for i = 0 to t.len - 1 do
+    if t.slots.(i) <> None then incr n
+  done;
+  !n
+
+let page_count t = t.pages
+
+let vacuum t ~dead =
+  let removed = ref 0 in
+  for i = 0 to t.len - 1 do
+    match t.slots.(i) with
+    | Some v when dead v ->
+        t.slots.(i) <- None;
+        incr removed
+    | Some _ | None -> ()
+  done;
+  !removed
+
+let to_seq t =
+  let last_page = ref (-1) in
+  let rec from i () =
+    if i >= t.len then Seq.Nil
+    else
+      match t.slots.(i) with
+      | None -> from (i + 1) ()
+      | Some v ->
+          if v.page <> !last_page then begin
+            Buffer_pool.touch t.bp v.page;
+            last_page := v.page
+          end;
+          Seq.Cons (v, from (i + 1))
+  in
+  from 0

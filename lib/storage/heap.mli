@@ -1,0 +1,66 @@
+(** MVCC heap storage for one table.
+
+    Every update creates a new tuple version rather than overwriting
+    (PostgreSQL-style multi-version concurrency control, which the
+    paper leans on in section 7.1).  A version records [xmin], the
+    transaction that created it, and [xmax], the transaction that
+    deleted/superseded it (0 when live).  Visibility is decided above,
+    by the transaction manager; the heap is policy-free.
+
+    Versions are packed into {!Page}-sized pages; every access charges
+    the owning page to the {!Buffer_pool}, which is how label bytes
+    translate into extra I/O in the disk-bound benchmarks. *)
+
+type version = {
+  vid : int;                (** stable version id within this heap *)
+  tuple : Ifdb_rel.Tuple.t;
+  mutable xmin : int;       (** creating transaction *)
+  mutable xmax : int;       (** deleting transaction, 0 if none *)
+  page : int;               (** buffer-pool page holding this version *)
+}
+
+type t
+
+val create :
+  name:string -> labeled:bool -> pool:Buffer_pool.t -> unit -> t
+(** [labeled] selects the tuple size model: with IFC on, labels cost
+    4 bytes per tag on the page; the baseline stores no label bytes. *)
+
+val name : t -> string
+val pool : t -> Buffer_pool.t
+
+val insert : t -> xmin:int -> Ifdb_rel.Tuple.t -> version
+(** Append a new version (dirties its page). *)
+
+val get : t -> int -> version
+(** Fetch by version id (touches the page).  Raises [Invalid_argument]
+    for dead or out-of-range ids. *)
+
+val get_opt : t -> int -> version option
+
+val set_xmax : t -> vid:int -> xid:int -> unit
+(** Stamp a deleter (dirties the page). *)
+
+val clear_xmax : t -> vid:int -> xid:int -> unit
+(** Undo a deleter stamp if it is [xid] (abort path). *)
+
+val iter : t -> (version -> unit) -> unit
+(** Sequential scan in version order; charges each distinct page once
+    per scan run. *)
+
+val version_count : t -> int
+(** Number of versions ever created and not vacuumed. *)
+
+val page_count : t -> int
+
+val vacuum : t -> dead:(version -> bool) -> int
+(** Drop versions satisfying [dead]; returns how many were removed.
+    The garbage collector is exempt from information flow rules
+    (section 7.1) — it never inspects labels. *)
+
+val tuple_bytes : t -> Ifdb_rel.Tuple.t -> int
+(** Size of a tuple under this heap's size model. *)
+
+val to_seq : t -> version Seq.t
+(** Lazy sequential scan in version order; like {!iter}, charges each
+    distinct page once per scan run. *)

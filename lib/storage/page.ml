@@ -1,0 +1,9 @@
+let size = 8192
+let header_bytes = 24
+let usable = size - header_bytes
+let item_overhead = 4
+
+let tuples_per_page ~tuple_bytes =
+  max 1 (usable / (tuple_bytes + item_overhead))
+
+let fits ~used ~tuple_bytes = used + tuple_bytes + item_overhead <= usable

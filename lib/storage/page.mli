@@ -1,0 +1,26 @@
+(** Page geometry.
+
+    The storage cost model is page-granular, like PostgreSQL's: heap
+    tuples are packed into fixed-size pages and I/O is charged per
+    page.  Label bytes enlarge tuples, which lowers tuples-per-page and
+    raises page traffic — the mechanism behind the disk-bound slope in
+    the paper's Figure 6 (section 8.3). *)
+
+val size : int
+(** Page size in bytes (8192, PostgreSQL's default). *)
+
+val header_bytes : int
+(** Per-page header overhead (24 bytes). *)
+
+val usable : int
+(** [size - header_bytes]. *)
+
+val item_overhead : int
+(** Per-tuple line-pointer overhead (4 bytes). *)
+
+val tuples_per_page : tuple_bytes:int -> int
+(** How many tuples of the given size fit on one page (at least 1). *)
+
+val fits : used:int -> tuple_bytes:int -> bool
+(** Does a tuple of [tuple_bytes] fit on a page already holding
+    [used] payload bytes? *)

@@ -1,0 +1,78 @@
+type record =
+  | Begin of int
+  | Insert of string * int * int
+  | Delete of string * int
+  | Commit of int
+  | Abort of int
+  | Checkpoint
+
+type stats = { records : int; bytes : int; fsyncs : int; io_ns : int }
+
+type t = {
+  fsync_cost_ns : int;
+  mutable log : record list; (* newest first; bounded by [keep] *)
+  mutable kept : int;
+  mutable records : int;
+  mutable bytes : int;
+  mutable fsyncs : int;
+  mutable io_ns : int;
+}
+
+let keep = 1024
+
+let create ?(fsync_cost_ns = 200_000) () =
+  {
+    fsync_cost_ns;
+    log = [];
+    kept = 0;
+    records = 0;
+    bytes = 0;
+    fsyncs = 0;
+    io_ns = 0;
+  }
+
+let record_bytes = function
+  | Begin _ | Commit _ | Abort _ | Checkpoint -> 16
+  | Delete (_, _) -> 24
+  | Insert (_, _, payload) -> 24 + payload
+
+let append t r =
+  t.records <- t.records + 1;
+  t.bytes <- t.bytes + record_bytes r;
+  if t.kept >= keep then begin
+    (* Drop the tail half to stay bounded without per-append cost. *)
+    t.log <- (let rec take n = function
+                | [] -> []
+                | _ when n = 0 -> []
+                | x :: rest -> x :: take (n - 1) rest
+              in
+              take (keep / 2) (r :: t.log));
+    t.kept <- keep / 2
+  end
+  else begin
+    t.log <- r :: t.log;
+    t.kept <- t.kept + 1
+  end
+
+let fsync t =
+  t.fsyncs <- t.fsyncs + 1;
+  t.io_ns <- t.io_ns + t.fsync_cost_ns
+
+let stats t =
+  { records = t.records; bytes = t.bytes; fsyncs = t.fsyncs; io_ns = t.io_ns }
+
+let reset_stats t =
+  t.records <- 0;
+  t.bytes <- 0;
+  t.fsyncs <- 0;
+  t.io_ns <- 0
+
+let io_ns t = t.io_ns
+
+let recent t n =
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  take n t.log

@@ -1,0 +1,40 @@
+(** Write-ahead log with group-commit accounting.
+
+    The log is kept in memory; what matters to the benchmarks is the
+    {e accounting}: bytes appended and fsyncs issued, each fsync
+    charging a simulated latency.  CarTel batches 200 inserts per
+    transaction "partly to compensate for the lack of group commit in
+    PostgreSQL" (section 8.2.2) — with this model, larger transactions
+    amortize the per-commit fsync exactly as they do there. *)
+
+type record =
+  | Begin of int                       (** xid *)
+  | Insert of string * int * int      (** table, vid, payload bytes *)
+  | Delete of string * int            (** table, vid *)
+  | Commit of int
+  | Abort of int
+  | Checkpoint
+
+type stats = {
+  records : int;
+  bytes : int;
+  fsyncs : int;
+  io_ns : int;
+}
+
+type t
+
+val create : ?fsync_cost_ns:int -> unit -> t
+(** Default fsync cost: 200 µs (battery-backed-cache ballpark). *)
+
+val append : t -> record -> unit
+
+val fsync : t -> unit
+(** Force the log; called at commit. *)
+
+val stats : t -> stats
+val reset_stats : t -> unit
+val io_ns : t -> int
+
+val recent : t -> int -> record list
+(** The last [n] records, newest first (debugging and tests). *)

@@ -1,0 +1,216 @@
+exception Serialization_failure of string
+exception Not_in_progress of string
+
+type status = In_progress | Committed | Aborted
+
+type write = {
+  w_heap : Ifdb_storage.Heap.t;
+  w_vid : int;
+  w_kind : [ `Insert | `Delete ];
+  w_label : Ifdb_difc.Label.t;
+}
+
+type txn = {
+  t_xid : int;
+  snapshot : Snapshot.t;
+  mutable t_writes : write list; (* newest first *)
+  mutable t_state : status;
+  mutable t_read_tables : string list;  (* S2PL read locks (serializable) *)
+  mutable t_write_tables : string list; (* S2PL write locks (serializable) *)
+}
+
+type t = {
+  the_wal : Ifdb_storage.Wal.t;
+  statuses : (int, status) Hashtbl.t;
+  mutable next_xid : int;
+  mutable open_txns : txn list;
+  locking : bool;
+      (* table-granularity strict two-phase locking: the conservative
+         implementation of serializable isolation; the paper's
+         prototype runs snapshot isolation instead (section 5.1) *)
+}
+
+let create ?wal ?(serializable_locking = false) () =
+  let the_wal = match wal with Some w -> w | None -> Ifdb_storage.Wal.create () in
+  { the_wal; statuses = Hashtbl.create 1024; next_xid = 1; open_txns = [];
+    locking = serializable_locking }
+
+let wal t = t.the_wal
+
+let status_of t xid =
+  match Hashtbl.find_opt t.statuses xid with
+  | Some s -> s
+  | None -> Aborted (* unknown xid: treat as never-committed *)
+
+let live_xids t =
+  List.filter_map
+    (fun txn -> if txn.t_state = In_progress then Some txn.t_xid else None)
+    t.open_txns
+
+let begin_txn t =
+  let xid = t.next_xid in
+  t.next_xid <- t.next_xid + 1;
+  Hashtbl.replace t.statuses xid In_progress;
+  let txn =
+    {
+      t_xid = xid;
+      snapshot = Snapshot.make ~snap_xmax:xid ~in_progress:(live_xids t);
+      t_writes = [];
+      t_state = In_progress;
+      t_read_tables = [];
+      t_write_tables = [];
+    }
+  in
+  t.open_txns <- txn :: t.open_txns;
+  Ifdb_storage.Wal.append t.the_wal (Ifdb_storage.Wal.Begin xid);
+  txn
+
+let xid txn = txn.t_xid
+let state txn = txn.t_state
+
+let require_open txn what =
+  if txn.t_state <> In_progress then
+    raise
+      (Not_in_progress
+         (Printf.sprintf "%s: transaction %d is not in progress" what txn.t_xid))
+
+(* Did [other_xid]'s effects land, from [txn]'s point of view?  True
+   when it committed within the snapshot horizon. *)
+let committed_for t txn other_xid =
+  status_of t other_xid = Committed && Snapshot.sees_xid txn.snapshot other_xid
+
+let visible t txn (v : Ifdb_storage.Heap.version) =
+  let created_visible =
+    v.xmin = txn.t_xid || committed_for t txn v.xmin
+  in
+  if not created_visible then false
+  else if v.xmax = 0 then true
+  else if v.xmax = txn.t_xid then false (* deleted by self *)
+  else if committed_for t txn v.xmax then false
+  else if status_of t v.xmax = Aborted then true
+  else true (* deleter is concurrent: still visible to us *)
+
+(* Table-granularity strict 2PL (no-wait: a conflict with another open
+   transaction raises immediately — blocking cannot work in a
+   single-threaded interleaving).  Locks die with the transaction. *)
+let note_read t txn table =
+  if t.locking && not (List.mem table txn.t_read_tables) then begin
+    List.iter
+      (fun other ->
+        if other != txn && other.t_state = In_progress
+           && List.mem table other.t_write_tables
+        then
+          raise
+            (Serialization_failure
+               (Printf.sprintf
+                  "serializable: table %s is write-locked by transaction %d"
+                  table other.t_xid)))
+      t.open_txns;
+    txn.t_read_tables <- table :: txn.t_read_tables
+  end
+
+let note_write t txn table =
+  if t.locking && not (List.mem table txn.t_write_tables) then begin
+    List.iter
+      (fun other ->
+        if other != txn && other.t_state = In_progress
+           && (List.mem table other.t_write_tables
+              || List.mem table other.t_read_tables)
+        then
+          raise
+            (Serialization_failure
+               (Printf.sprintf
+                  "serializable: table %s is locked by transaction %d" table
+                  other.t_xid)))
+      t.open_txns;
+    txn.t_write_tables <- table :: txn.t_write_tables
+  end
+
+let record_insert t txn heap tuple =
+  require_open txn "record_insert";
+  note_write t txn (Ifdb_storage.Heap.name heap);
+  let v = Ifdb_storage.Heap.insert heap ~xmin:txn.t_xid tuple in
+  Ifdb_storage.Wal.append t.the_wal
+    (Ifdb_storage.Wal.Insert
+       (Ifdb_storage.Heap.name heap, v.vid,
+        Ifdb_storage.Heap.tuple_bytes heap tuple));
+  txn.t_writes <-
+    { w_heap = heap; w_vid = v.vid; w_kind = `Insert;
+      w_label = Ifdb_rel.Tuple.label tuple }
+    :: txn.t_writes;
+  v
+
+let record_delete t txn heap (v : Ifdb_storage.Heap.version) =
+  require_open txn "record_delete";
+  note_write t txn (Ifdb_storage.Heap.name heap);
+  if not (visible t txn v) then
+    invalid_arg "record_delete: version not visible to this transaction";
+  (match v.xmax with
+  | 0 -> ()
+  | other when other = txn.t_xid -> ()
+  | other -> (
+      match status_of t other with
+      | Aborted -> () (* stale stamp from an aborted deleter *)
+      | In_progress ->
+          raise
+            (Serialization_failure
+               (Printf.sprintf
+                  "tuple in %s is being updated by concurrent transaction %d"
+                  (Ifdb_storage.Heap.name heap) other))
+      | Committed ->
+          raise
+            (Serialization_failure
+               (Printf.sprintf
+                  "tuple in %s was updated by transaction %d after our snapshot"
+                  (Ifdb_storage.Heap.name heap) other))));
+  Ifdb_storage.Heap.set_xmax heap ~vid:v.vid ~xid:txn.t_xid;
+  Ifdb_storage.Wal.append t.the_wal
+    (Ifdb_storage.Wal.Delete (Ifdb_storage.Heap.name heap, v.vid));
+  txn.t_writes <-
+    { w_heap = heap; w_vid = v.vid; w_kind = `Delete;
+      w_label = Ifdb_rel.Tuple.label v.tuple }
+    :: txn.t_writes
+
+let writes txn = List.rev txn.t_writes
+
+let close t txn =
+  t.open_txns <- List.filter (fun o -> o.t_xid <> txn.t_xid) t.open_txns
+
+let commit t txn =
+  require_open txn "commit";
+  txn.t_state <- Committed;
+  Hashtbl.replace t.statuses txn.t_xid Committed;
+  Ifdb_storage.Wal.append t.the_wal (Ifdb_storage.Wal.Commit txn.t_xid);
+  Ifdb_storage.Wal.fsync t.the_wal;
+  close t txn
+
+let abort t txn =
+  if txn.t_state = In_progress then begin
+    txn.t_state <- Aborted;
+    Hashtbl.replace t.statuses txn.t_xid Aborted;
+    (* Undo delete stamps so later writers are not blocked by a ghost;
+       inserted versions die via their aborted xmin. *)
+    List.iter
+      (fun w ->
+        match w.w_kind with
+        | `Delete -> Ifdb_storage.Heap.clear_xmax w.w_heap ~vid:w.w_vid ~xid:txn.t_xid
+        | `Insert -> ())
+      txn.t_writes;
+    Ifdb_storage.Wal.append t.the_wal (Ifdb_storage.Wal.Abort txn.t_xid);
+    close t txn
+  end
+
+let with_txn t f =
+  let txn = begin_txn t in
+  match f txn with
+  | result ->
+      if txn.t_state = In_progress then commit t txn;
+      result
+  | exception e ->
+      abort t txn;
+      raise e
+
+let oldest_visible_xid t =
+  List.fold_left
+    (fun acc txn -> min acc txn.snapshot.Snapshot.snap_xmax)
+    t.next_xid t.open_txns

@@ -1,0 +1,101 @@
+(** The transaction manager: snapshot-isolation MVCC over {!Ifdb_storage.Heap}.
+
+    Responsibilities:
+    - assign xids and snapshots;
+    - decide version visibility (standard MVCC rules, plus
+      own-writes-visible);
+    - detect write-write conflicts with the first-updater-wins rule
+      (attempting to update or delete a version already stamped by a
+      concurrent transaction — in progress or committed after our
+      snapshot — raises {!Serialization_failure});
+    - keep per-transaction write sets for rollback and for the IFDB
+      commit-label rule (each write remembers the tuple's label so the
+      rule in section 5.1 can be checked without touching pages);
+    - drive the {!Ifdb_storage.Wal}: records per write, one fsync per
+      commit (group commit falls out of batching writes per
+      transaction).
+
+    Interleaving model: the engine is single-threaded, but any number
+    of transactions may be open at once and their operations may
+    interleave arbitrarily — which is exactly what the concurrency
+    rules are about. *)
+
+exception Serialization_failure of string
+(** A write-write conflict under snapshot isolation. *)
+
+exception Not_in_progress of string
+(** Operation on a transaction that is no longer open. *)
+
+type status = In_progress | Committed | Aborted
+
+type write = {
+  w_heap : Ifdb_storage.Heap.t;
+  w_vid : int;
+  w_kind : [ `Insert | `Delete ];
+  w_label : Ifdb_difc.Label.t;  (** label of the tuple written *)
+}
+
+type txn
+
+type t
+
+val create : ?wal:Ifdb_storage.Wal.t -> ?serializable_locking:bool -> unit -> t
+(** With [serializable_locking:true] the manager additionally enforces
+    table-granularity strict two-phase locking with no-wait conflict
+    handling — a conservative but sound implementation of serializable
+    isolation (the paper's prototype instead runs snapshot isolation
+    plus the clearance rule; section 5.1).  Reads must be reported via
+    {!note_read}; writes lock automatically. *)
+
+val wal : t -> Ifdb_storage.Wal.t
+
+val begin_txn : t -> txn
+val xid : txn -> int
+val state : txn -> status
+val status_of : t -> int -> status
+
+val visible : t -> txn -> Ifdb_storage.Heap.version -> bool
+(** MVCC visibility of a heap version to this transaction. *)
+
+val note_read : t -> txn -> string -> unit
+(** Report that the transaction read the named table.  Under
+    [serializable_locking], acquires the shared lock and raises
+    {!Serialization_failure} if another open transaction holds the
+    exclusive lock.  No-op otherwise. *)
+
+val note_write : t -> txn -> string -> unit
+(** Acquire the exclusive table lock (called internally by
+    {!record_insert}/{!record_delete}; exposed for constraint checks
+    that write logically). *)
+
+val record_insert :
+  t -> txn -> Ifdb_storage.Heap.t -> Ifdb_rel.Tuple.t -> Ifdb_storage.Heap.version
+(** Insert a new version stamped with this xid; logs to the WAL and
+    adds to the write set. *)
+
+val record_delete :
+  t -> txn -> Ifdb_storage.Heap.t -> Ifdb_storage.Heap.version -> unit
+(** Stamp a version as deleted by this transaction.  Raises
+    {!Serialization_failure} if a concurrent transaction already
+    stamped it (first-updater-wins), and [Invalid_argument] if the
+    version is not visible to the caller. *)
+
+val writes : txn -> write list
+(** The write set, oldest first. *)
+
+val commit : t -> txn -> unit
+(** Commit: mark committed, log, fsync. *)
+
+val abort : t -> txn -> unit
+(** Abort: mark aborted and undo xmax stamps (inserted versions become
+    invisible through their aborted xmin). *)
+
+val with_txn : t -> (txn -> 'a) -> 'a
+(** Run [f] in a transaction; commit on return, abort on exception. *)
+
+val live_xids : t -> int list
+(** Xids currently in progress. *)
+
+val oldest_visible_xid : t -> int
+(** A horizon for vacuum: versions deleted by transactions that
+    committed before every live snapshot are dead. *)

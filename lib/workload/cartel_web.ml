@@ -1,0 +1,58 @@
+type request = Get_cars | Cars | Drives | Drives_top | Friends | Edit_account
+
+let request_mix =
+  [
+    (0.50, Get_cars);
+    (0.30, Cars);
+    (0.08, Drives);
+    (0.08, Drives_top);
+    (0.03, Friends);
+    (0.01, Edit_account);
+  ]
+
+let path = function
+  | Get_cars -> "get_cars.php"
+  | Cars -> "cars.php"
+  | Drives -> "drives.php"
+  | Drives_top -> "drives_top.php"
+  | Friends -> "friends.php"
+  | Edit_account -> "edit_account.php"
+
+let all_requests = [ Get_cars; Cars; Drives; Drives_top; Friends; Edit_account ]
+
+let sample_request rng = Rng.weighted rng request_mix
+
+(* Think times range from 0 to 70 seconds following a truncated
+   negative exponential; most are near the low end (section 8.2.1). *)
+let think_time_s rng = Rng.truncated_exponential rng ~mean:7.0 ~max:70.0
+
+let session_length_s rng =
+  Rng.truncated_exponential rng ~mean:420.0 ~max:3600.0
+
+type session = { user : int; requests : request list }
+
+let generate_session rng ~users =
+  let budget = session_length_s rng in
+  let rec fill t acc =
+    if t >= budget then List.rev acc
+    else fill (t +. think_time_s rng) (sample_request rng :: acc)
+  in
+  (* at least one request per session *)
+  let requests =
+    match fill 0.0 [] with [] -> [ sample_request rng ] | rs -> rs
+  in
+  { user = Rng.int rng users; requests }
+
+let empirical_mix rng ~samples =
+  let counts = Hashtbl.create 8 in
+  for _ = 1 to samples do
+    let r = sample_request rng in
+    Hashtbl.replace counts r
+      (1 + Option.value ~default:0 (Hashtbl.find_opt counts r))
+  done;
+  List.map
+    (fun r ->
+      ( r,
+        float_of_int (Option.value ~default:0 (Hashtbl.find_opt counts r))
+        /. float_of_int samples ))
+    all_requests

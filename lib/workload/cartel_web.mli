@@ -1,0 +1,43 @@
+(** The CarTel web workload (paper Figure 3 and section 8.2.1).
+
+    A TPC-W-style closed-loop session generator: simulated clients log
+    in as a random user, issue requests drawn from the Figure 3
+    distribution with truncated-negative-exponential think times, and
+    end their session after a truncated-exponential duration. *)
+
+type request =
+  | Get_cars       (** 0.50 — location updates (AJAX) *)
+  | Cars           (** 0.30 — show car locations *)
+  | Drives         (** 0.08 — show drive log *)
+  | Drives_top     (** 0.08 — common driving patterns *)
+  | Friends        (** 0.03 — view and set friends *)
+  | Edit_account   (** 0.01 — edit personal info *)
+
+val request_mix : (float * request) list
+(** Exactly the Figure 3 distribution. *)
+
+val path : request -> string
+(** The script name, e.g. ["get_cars.php"]. *)
+
+val all_requests : request list
+
+val sample_request : Rng.t -> request
+
+val think_time_s : Rng.t -> float
+(** Truncated negative exponential in [0, 70] s (section 8.2.1). *)
+
+val session_length_s : Rng.t -> float
+(** Truncated exponential up to ~60 minutes. *)
+
+type session = {
+  user : int;                     (** index into the user population *)
+  requests : request list;        (** after the initial login *)
+}
+
+val generate_session : Rng.t -> users:int -> session
+(** A session whose request count is derived from the session-duration
+    and think-time distributions. *)
+
+val empirical_mix : Rng.t -> samples:int -> (request * float) list
+(** Observed frequencies over [samples] draws (the Figure 3 bench
+    prints these next to the spec). *)

@@ -1,0 +1,51 @@
+type point = {
+  car_id : int;
+  ts : int;
+  lat : float;
+  lng : float;
+  speed : float;
+}
+
+type config = {
+  cars : int;
+  drives_per_car : int;
+  points_per_drive : int;
+  start_ts : int;
+}
+
+let default_config =
+  { cars = 20; drives_per_car = 5; points_per_drive = 30; start_ts = 1_600_000_000 }
+
+let drive_gap_s = 1800
+
+(* One GPS fix every ~10 s; a random-walk heading with speeds between
+   city crawl and highway. *)
+let generate rng config =
+  let acc = ref [] in
+  for car = 0 to config.cars - 1 do
+    (* home position, vaguely Boston-shaped *)
+    let lat = ref (42.3 +. Rng.float rng 0.2) in
+    let lng = ref (-71.2 +. Rng.float rng 0.2) in
+    let ts = ref (config.start_ts + Rng.int rng 3600) in
+    for _ = 1 to config.drives_per_car do
+      let heading = ref (Rng.float rng (2.0 *. Float.pi)) in
+      for _ = 1 to config.points_per_drive do
+        let speed = 20.0 +. Rng.float rng 80.0 in
+        (* 10 s at [speed] km/h, in degrees (~111 km per degree) *)
+        let dist_deg = speed /. 3600.0 *. 10.0 /. 111.0 in
+        heading := !heading +. (Rng.float rng 0.6 -. 0.3);
+        lat := !lat +. (dist_deg *. cos !heading);
+        lng := !lng +. (dist_deg *. sin !heading);
+        ts := !ts + 10;
+        acc := { car_id = car; ts = !ts; lat = !lat; lng = !lng; speed } :: !acc
+      done;
+      (* engine off: a gap well beyond the drive-segmentation horizon *)
+      ts := !ts + drive_gap_s + Rng.int rng 7200
+    done
+  done;
+  List.sort
+    (fun a b ->
+      match Int.compare a.car_id b.car_id with
+      | 0 -> Int.compare a.ts b.ts
+      | c -> c)
+    !acc

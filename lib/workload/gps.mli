@@ -1,0 +1,34 @@
+(** Synthetic GPS traces.
+
+    The paper's CarTel dataset (18 GB, 177 million points over 27
+    months) is proprietary; this generator substitutes random-walk
+    drives with the same shape: per-car point streams with monotone
+    timestamps, plausible speeds, and drive boundaries (engine-off
+    gaps), sized to the machine.  See DESIGN.md for the substitution
+    argument. *)
+
+type point = {
+  car_id : int;
+  ts : int;          (** seconds since epoch of the trace *)
+  lat : float;
+  lng : float;
+  speed : float;     (** km/h *)
+}
+
+type config = {
+  cars : int;
+  drives_per_car : int;
+  points_per_drive : int;
+  start_ts : int;
+}
+
+val default_config : config
+
+val generate : Rng.t -> config -> point list
+(** All points, ordered by (car, ts).  Drives are separated by long
+    gaps so drive segmentation (the CarTel trigger's job) has real work
+    to do. *)
+
+val drive_gap_s : int
+(** Minimum inter-drive gap; points closer than this belong to the same
+    drive. *)

@@ -1,0 +1,75 @@
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+let next64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = next64 t }
+
+let positive t = Int64.to_int (Int64.shift_right_logical (next64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  positive t mod bound
+
+let int_range t lo hi =
+  if hi < lo then invalid_arg "Rng.int_range: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let u =
+    Int64.to_float (Int64.shift_right_logical (next64 t) 11)
+    /. 9007199254740992.0 (* 2^53 *)
+  in
+  u *. bound
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+let choice t arr = arr.(int t (Array.length arr))
+
+let weighted t pairs =
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 pairs in
+  let x = float t total in
+  let rec pick acc = function
+    | [] -> invalid_arg "Rng.weighted: empty"
+    | [ (_, v) ] -> v
+    | (w, v) :: rest -> if x < acc +. w then v else pick (acc +. w) rest
+  in
+  pick 0.0 pairs
+
+let exponential t ~mean =
+  let u = Float.max 1e-12 (float t 1.0) in
+  -.mean *. log u
+
+let truncated_exponential t ~mean ~max =
+  Float.min max (exponential t ~mean)
+
+let nurand t ~a ~c x y =
+  (((int_range t 0 a lor int_range t x y) + c) mod (y - x + 1)) + x
+
+let syllables =
+  [| "BAR"; "OUGHT"; "ABLE"; "PRI"; "PRES"; "ESE"; "ANTI"; "CALLY"; "ATION"; "EING" |]
+
+let last_name n =
+  if n < 0 || n > 999 then invalid_arg "Rng.last_name: out of range";
+  syllables.(n / 100) ^ syllables.(n / 10 mod 10) ^ syllables.(n mod 10)
+
+let alnum_string t ~min ~max =
+  let len = int_range t min max in
+  String.init len (fun _ ->
+      let k = int t 36 in
+      if k < 10 then Char.chr (Char.code '0' + k)
+      else Char.chr (Char.code 'a' + k - 10))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

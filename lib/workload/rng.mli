@@ -1,0 +1,44 @@
+(** Deterministic pseudorandom streams and the distributions the
+    benchmarks need.
+
+    SplitMix64-based; all benchmark randomness flows through here so
+    runs are reproducible from a seed. *)
+
+type t
+
+val create : seed:int -> t
+val split : t -> t
+(** An independent stream derived from the current state. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). *)
+
+val int_range : t -> int -> int -> int
+(** Uniform in [lo, hi] (inclusive). *)
+
+val float : t -> float -> float
+(** Uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val choice : t -> 'a array -> 'a
+
+val weighted : t -> (float * 'a) list -> 'a
+(** Pick by relative weight (weights need not sum to 1). *)
+
+val exponential : t -> mean:float -> float
+
+val truncated_exponential : t -> mean:float -> max:float -> float
+(** The TPC-W think-time distribution (paper section 8.2.1): negative
+    exponential, truncated at [max]. *)
+
+val nurand : t -> a:int -> c:int -> int -> int -> int
+(** TPC-C's non-uniform random NURand(A, x, y) with constant [c]. *)
+
+val last_name : int -> string
+(** TPC-C customer last-name syllable encoding of a number in
+    [0, 999]. *)
+
+val alnum_string : t -> min:int -> max:int -> string
+
+val shuffle : t -> 'a array -> unit

@@ -1,0 +1,416 @@
+module Db = Ifdb_core.Database
+module Errors = Ifdb_core.Errors
+module Value = Ifdb_rel.Value
+module Tuple = Ifdb_rel.Tuple
+
+type config = {
+  warehouses : int;
+  districts : int;
+  customers : int;
+  items : int;
+}
+
+let tiny = { warehouses = 1; districts = 2; customers = 8; items = 20 }
+let small = { warehouses = 2; districts = 4; customers = 40; items = 200 }
+
+let sqlf s fmt = Format.kasprintf (fun q -> ignore (Db.exec s q)) fmt
+
+let create_schema s =
+  List.iter
+    (fun q -> ignore (Db.exec s q))
+    [
+      "CREATE TABLE warehouse (w_id INT PRIMARY KEY, w_name TEXT, w_street \
+       TEXT, w_city TEXT, w_state TEXT, w_zip TEXT, w_tax FLOAT, w_ytd FLOAT)";
+      "CREATE TABLE district (d_w_id INT, d_id INT, d_name TEXT, d_street \
+       TEXT, d_city TEXT, d_state TEXT, d_zip TEXT, d_tax FLOAT, d_ytd FLOAT, \
+       d_next_o_id INT, PRIMARY KEY (d_w_id, d_id), FOREIGN KEY (d_w_id) \
+       REFERENCES warehouse (w_id))";
+      "CREATE TABLE customer (c_w_id INT, c_d_id INT, c_id INT, c_first TEXT, \
+       c_middle TEXT, c_last TEXT, c_street TEXT, c_city TEXT, c_state TEXT, \
+       c_zip TEXT, c_phone TEXT, c_since INT, c_credit TEXT, c_credit_lim \
+       FLOAT, c_discount FLOAT, c_balance FLOAT, c_ytd_payment FLOAT, \
+       c_payment_cnt INT, c_delivery_cnt INT, c_data TEXT, PRIMARY KEY \
+       (c_w_id, c_d_id, c_id))";
+      "CREATE TABLE history (h_c_id INT, h_c_d_id INT, h_c_w_id INT, h_d_id \
+       INT, h_w_id INT, h_date INT, h_amount FLOAT, h_data TEXT)";
+      "CREATE TABLE item (i_id INT PRIMARY KEY, i_im_id INT, i_name TEXT, \
+       i_price FLOAT, i_data TEXT)";
+      "CREATE TABLE stock (s_w_id INT, s_i_id INT, s_quantity INT, s_dist \
+       TEXT, s_ytd INT, s_order_cnt INT, s_remote_cnt INT, s_data TEXT, \
+       PRIMARY KEY (s_w_id, s_i_id))";
+      "CREATE TABLE orders (o_w_id INT, o_d_id INT, o_id INT, o_c_id INT, \
+       o_entry_d INT, o_carrier_id INT, o_ol_cnt INT, o_all_local INT, \
+       PRIMARY KEY (o_w_id, o_d_id, o_id))";
+      "CREATE TABLE new_order (no_w_id INT, no_d_id INT, no_o_id INT, PRIMARY \
+       KEY (no_w_id, no_d_id, no_o_id))";
+      "CREATE TABLE order_line (ol_w_id INT, ol_d_id INT, ol_o_id INT, \
+       ol_number INT, ol_i_id INT, ol_supply_w_id INT, ol_delivery_d INT, \
+       ol_quantity INT, ol_amount FLOAT, ol_dist_info TEXT, PRIMARY KEY \
+       (ol_w_id, ol_d_id, ol_o_id, ol_number), FOREIGN KEY (ol_i_id) \
+       REFERENCES item (i_id))";
+      (* secondary indexes the transactions rely on *)
+      "CREATE INDEX customer_last ON customer (c_w_id, c_d_id, c_last)";
+      "CREATE INDEX orders_customer ON orders (o_w_id, o_d_id, o_c_id)";
+    ]
+
+let populate s rng config =
+  ignore (Db.exec s "BEGIN");
+  for i = 1 to config.items do
+    sqlf s "INSERT INTO item VALUES (%d, %d, 'item-%s', %f, '%s')" i
+      (Rng.int_range rng 1 10_000)
+      (Rng.alnum_string rng ~min:6 ~max:14)
+      (1.0 +. Rng.float rng 99.0)
+      (Rng.alnum_string rng ~min:26 ~max:50)
+  done;
+  for w = 1 to config.warehouses do
+    sqlf s "INSERT INTO warehouse VALUES (%d, 'w%d', 'st', 'city', 'MA', \
+            '02139', %f, 300000.0)"
+      w w (Rng.float rng 0.2);
+    for i = 1 to config.items do
+      sqlf s
+        "INSERT INTO stock VALUES (%d, %d, %d, '%s', 0, 0, 0, '%s')" w i
+        (Rng.int_range rng 10 100)
+        (Rng.alnum_string rng ~min:24 ~max:24)
+        (Rng.alnum_string rng ~min:26 ~max:50)
+    done;
+    for d = 1 to config.districts do
+      (* spec: W_YTD = Σ D_YTD at load; with a scaled district count the
+         per-district share keeps the consistency condition true *)
+      sqlf s
+        "INSERT INTO district VALUES (%d, %d, 'd%d', 'st', 'city', 'MA', \
+         '02139', %f, %f, %d)"
+        w d d (Rng.float rng 0.2)
+        (300000.0 /. float_of_int config.districts)
+        (config.customers + 1);
+      for c = 1 to config.customers do
+        let last = Rng.last_name (Rng.int rng (min 1000 (config.customers * 3))) in
+        sqlf s
+          "INSERT INTO customer VALUES (%d, %d, %d, '%s', 'OE', '%s', 'st', \
+           'city', 'MA', '02139', '555', 0, '%s', 50000.0, %f, -10.0, 10.0, \
+           1, 0, '%s')"
+          w d c
+          (Rng.alnum_string rng ~min:8 ~max:16)
+          last
+          (if Rng.int rng 10 = 0 then "BC" else "GC")
+          (Rng.float rng 0.5)
+          (Rng.alnum_string rng ~min:40 ~max:80);
+        (* one delivered order per customer, plus its lines *)
+        let o_id = c in
+        let ol_cnt = Rng.int_range rng 5 15 in
+        sqlf s "INSERT INTO orders VALUES (%d, %d, %d, %d, 0, %d, %d, 1)" w d
+          o_id c (Rng.int_range rng 1 10) ol_cnt;
+        for ol = 1 to ol_cnt do
+          sqlf s
+            "INSERT INTO order_line VALUES (%d, %d, %d, %d, %d, %d, 0, 5, \
+             %f, '%s')"
+            w d o_id ol
+            (Rng.int_range rng 1 config.items)
+            w
+            (Rng.float rng 9999.0)
+            (Rng.alnum_string rng ~min:24 ~max:24)
+        done
+      done
+    done
+  done;
+  ignore (Db.exec s "COMMIT")
+
+type counts = {
+  mutable new_orders : int;
+  mutable payments : int;
+  mutable order_statuses : int;
+  mutable deliveries : int;
+  mutable stock_levels : int;
+  mutable rollbacks : int;
+}
+
+let zero_counts () =
+  {
+    new_orders = 0;
+    payments = 0;
+    order_statuses = 0;
+    deliveries = 0;
+    stock_levels = 0;
+    rollbacks = 0;
+  }
+
+let get_int row i = Value.to_int (Tuple.get row i)
+let get_float row i = Value.to_float (Tuple.get row i)
+
+(* NURand constants per the TPC-C spec (the C-value is fixed per run,
+   which the fixed RNG seed provides). *)
+let nurand_item rng items =
+  1 + (Rng.nurand rng ~a:8191 ~c:7911 0 (items - 1) mod items)
+
+let nurand_customer rng customers =
+  1 + (Rng.nurand rng ~a:1023 ~c:259 0 (customers - 1) mod customers)
+
+let pick_wh rng config = Rng.int_range rng 1 config.warehouses
+let pick_district rng config = Rng.int_range rng 1 config.districts
+
+(* --- New-Order ----------------------------------------------------- *)
+
+let new_order s rng config counts =
+  let w = pick_wh rng config in
+  let d = pick_district rng config in
+  let c = nurand_customer rng config.customers in
+  let ol_cnt = Rng.int_range rng 5 15 in
+  (* 1% of new-orders use an invalid item and must roll back *)
+  let break_at =
+    if Rng.int rng 100 = 0 then Some (Rng.int rng ol_cnt) else None
+  in
+  ignore (Db.exec s "BEGIN");
+  match
+    let row =
+      Db.query_one s
+        (Printf.sprintf
+           "SELECT d_next_o_id, d_tax FROM district WHERE d_w_id = %d AND \
+            d_id = %d"
+           w d)
+    in
+    let o_id = get_int row 0 in
+    sqlf s
+      "UPDATE district SET d_next_o_id = %d WHERE d_w_id = %d AND d_id = %d"
+      (o_id + 1) w d;
+    sqlf s "INSERT INTO orders VALUES (%d, %d, %d, %d, 1, NULL, %d, 1)" w d
+      o_id c ol_cnt;
+    sqlf s "INSERT INTO new_order VALUES (%d, %d, %d)" w d o_id;
+    for ol = 1 to ol_cnt do
+      let item =
+        if break_at = Some (ol - 1) then config.items + 999_999
+        else nurand_item rng config.items
+      in
+      let qty = Rng.int_range rng 1 10 in
+      let price =
+        if break_at = Some (ol - 1) then 1.0
+        else
+          get_float
+            (Db.query_one s
+               (Printf.sprintf "SELECT i_price FROM item WHERE i_id = %d" item))
+            0
+      in
+      (* the invalid item makes this INSERT violate the FK and abort *)
+      sqlf s
+        "INSERT INTO order_line VALUES (%d, %d, %d, %d, %d, %d, 0, %d, %f, \
+         'dist-info-dist-info-dist')"
+        w d o_id ol item w qty
+        (float_of_int qty *. price);
+      sqlf s
+        "UPDATE stock SET s_quantity = CASE WHEN s_quantity > %d THEN \
+         s_quantity - %d ELSE s_quantity - %d + 91 END, s_ytd = s_ytd + %d, \
+         s_order_cnt = s_order_cnt + 1 WHERE s_w_id = %d AND s_i_id = %d"
+        (qty + 10) qty qty qty w item
+    done;
+    ignore (Db.exec s "COMMIT")
+  with
+  | () -> counts.new_orders <- counts.new_orders + 1
+  | exception Errors.Constraint_violation _ ->
+      (* intentional rollback path (bad item id) *)
+      counts.rollbacks <- counts.rollbacks + 1
+  | exception Errors.Sql_error _ when break_at <> None ->
+      counts.rollbacks <- counts.rollbacks + 1
+
+(* --- Payment ------------------------------------------------------- *)
+
+let payment s rng config counts =
+  let w = pick_wh rng config in
+  let d = pick_district rng config in
+  let amount = 1.0 +. Rng.float rng 4999.0 in
+  ignore (Db.exec s "BEGIN");
+  sqlf s "UPDATE warehouse SET w_ytd = w_ytd + %f WHERE w_id = %d" amount w;
+  sqlf s "UPDATE district SET d_ytd = d_ytd + %f WHERE d_w_id = %d AND d_id = %d"
+    amount w d;
+  (* 60% select the customer by last name, 40% by id *)
+  let c_id =
+    if Rng.int rng 100 < 60 then begin
+      let last =
+        Rng.last_name (Rng.int rng (min 1000 (config.customers * 3)))
+      in
+      let rows =
+        Db.query s
+          (Printf.sprintf
+             "SELECT c_id FROM customer WHERE c_w_id = %d AND c_d_id = %d AND \
+              c_last = '%s' ORDER BY c_first"
+             w d last)
+      in
+      match rows with
+      | [] -> nurand_customer rng config.customers
+      | rows -> get_int (List.nth rows (List.length rows / 2)) 0
+    end
+    else nurand_customer rng config.customers
+  in
+  sqlf s
+    "UPDATE customer SET c_balance = c_balance - %f, c_ytd_payment = \
+     c_ytd_payment + %f, c_payment_cnt = c_payment_cnt + 1 WHERE c_w_id = %d \
+     AND c_d_id = %d AND c_id = %d"
+    amount amount w d c_id;
+  sqlf s "INSERT INTO history VALUES (%d, %d, %d, %d, %d, 2, %f, 'payment')"
+    c_id d w d w amount;
+  ignore (Db.exec s "COMMIT");
+  counts.payments <- counts.payments + 1
+
+(* --- Order-Status -------------------------------------------------- *)
+
+let order_status s rng config counts =
+  let w = pick_wh rng config in
+  let d = pick_district rng config in
+  let c = nurand_customer rng config.customers in
+  ignore (Db.exec s "BEGIN");
+  let last_order =
+    Db.query s
+      (Printf.sprintf
+         "SELECT o_id, o_carrier_id FROM orders WHERE o_w_id = %d AND o_d_id \
+          = %d AND o_c_id = %d ORDER BY o_id DESC LIMIT 1"
+         w d c)
+  in
+  (match last_order with
+  | [] -> ()
+  | row :: _ ->
+      let o_id = get_int row 0 in
+      ignore
+        (Db.query s
+           (Printf.sprintf
+              "SELECT ol_i_id, ol_quantity, ol_amount FROM order_line WHERE \
+               ol_w_id = %d AND ol_d_id = %d AND ol_o_id = %d"
+              w d o_id)));
+  ignore (Db.exec s "COMMIT");
+  counts.order_statuses <- counts.order_statuses + 1
+
+(* --- Delivery ------------------------------------------------------ *)
+
+let delivery s rng config counts =
+  let w = pick_wh rng config in
+  let carrier = Rng.int_range rng 1 10 in
+  ignore (Db.exec s "BEGIN");
+  for d = 1 to config.districts do
+    let oldest =
+      Db.query s
+        (Printf.sprintf
+           "SELECT MIN(no_o_id) FROM new_order WHERE no_w_id = %d AND no_d_id \
+            = %d"
+           w d)
+    in
+    match oldest with
+    | row :: _ when not (Value.is_null (Tuple.get row 0)) ->
+        let o_id = get_int row 0 in
+        sqlf s
+          "DELETE FROM new_order WHERE no_w_id = %d AND no_d_id = %d AND \
+           no_o_id = %d"
+          w d o_id;
+        sqlf s
+          "UPDATE orders SET o_carrier_id = %d WHERE o_w_id = %d AND o_d_id = \
+           %d AND o_id = %d"
+          carrier w d o_id;
+        let sum_row =
+          Db.query_one s
+            (Printf.sprintf
+               "SELECT SUM(ol_amount), MIN(o_c_id) FROM order_line, orders \
+                WHERE ol_w_id = %d AND ol_d_id = %d AND ol_o_id = %d AND \
+                o_w_id = ol_w_id AND o_d_id = ol_d_id AND o_id = ol_o_id"
+               w d o_id)
+        in
+        let total = get_float sum_row 0 in
+        let c_id = get_int sum_row 1 in
+        sqlf s
+          "UPDATE customer SET c_balance = c_balance + %f, c_delivery_cnt = \
+           c_delivery_cnt + 1 WHERE c_w_id = %d AND c_d_id = %d AND c_id = %d"
+          total w d c_id
+    | _ -> ()
+  done;
+  ignore (Db.exec s "COMMIT");
+  counts.deliveries <- counts.deliveries + 1
+
+(* --- Stock-Level --------------------------------------------------- *)
+
+let stock_level s rng config counts =
+  let w = pick_wh rng config in
+  let d = pick_district rng config in
+  let threshold = Rng.int_range rng 10 20 in
+  ignore (Db.exec s "BEGIN");
+  let next_row =
+    Db.query_one s
+      (Printf.sprintf
+         "SELECT d_next_o_id FROM district WHERE d_w_id = %d AND d_id = %d" w d)
+  in
+  let next_o = get_int next_row 0 in
+  (* the DBT-2 query: recent order lines joined to low stock *)
+  ignore
+    (Db.query s
+       (Printf.sprintf
+          "SELECT COUNT(DISTINCT ol_i_id) FROM order_line, stock WHERE \
+           ol_w_id = %d AND ol_d_id = %d AND ol_o_id >= %d AND s_w_id = %d \
+           AND s_i_id = ol_i_id AND s_quantity < %d"
+          w d (max 1 (next_o - 20)) w threshold));
+  ignore (Db.exec s "COMMIT");
+  counts.stock_levels <- counts.stock_levels + 1
+
+(* --- Mix ----------------------------------------------------------- *)
+
+let run_transaction s rng config counts =
+  (* the standard 45/43/4/4/4 mix *)
+  let k = Rng.int rng 100 in
+  if k < 45 then new_order s rng config counts
+  else if k < 88 then payment s rng config counts
+  else if k < 92 then order_status s rng config counts
+  else if k < 96 then delivery s rng config counts
+  else stock_level s rng config counts
+
+let run_mix s rng config ~txns =
+  let counts = zero_counts () in
+  for _ = 1 to txns do
+    run_transaction s rng config counts
+  done;
+  counts
+
+let consistency_check s config =
+  let check_warehouse w =
+    let wy =
+      get_float
+        (Db.query_one s
+           (Printf.sprintf "SELECT w_ytd FROM warehouse WHERE w_id = %d" w))
+        0
+    in
+    let dy =
+      get_float
+        (Db.query_one s
+           (Printf.sprintf "SELECT SUM(d_ytd) FROM district WHERE d_w_id = %d" w))
+        0
+    in
+    if Float.abs (wy -. dy) > 0.01 then
+      Error (Printf.sprintf "warehouse %d: w_ytd %.2f <> sum(d_ytd) %.2f" w wy dy)
+    else Ok ()
+  in
+  let check_district w d =
+    let next =
+      get_int
+        (Db.query_one s
+           (Printf.sprintf
+              "SELECT d_next_o_id FROM district WHERE d_w_id = %d AND d_id = %d"
+              w d))
+        0
+    in
+    let max_o =
+      Db.query_one s
+        (Printf.sprintf
+           "SELECT MAX(o_id) FROM orders WHERE o_w_id = %d AND o_d_id = %d" w d)
+    in
+    let max_o =
+      if Value.is_null (Tuple.get max_o 0) then 0 else get_int max_o 0
+    in
+    if next - 1 <> max_o then
+      Error
+        (Printf.sprintf "district (%d,%d): d_next_o_id-1 = %d <> max(o_id) = %d"
+           w d (next - 1) max_o)
+    else Ok ()
+  in
+  let rec all = function
+    | [] -> Ok ()
+    | check :: rest -> ( match check () with Ok () -> all rest | e -> e)
+  in
+  let checks = ref [] in
+  for w = 1 to config.warehouses do
+    checks := (fun () -> check_warehouse w) :: !checks;
+    for d = 1 to config.districts do
+      checks := (fun () -> check_district w d) :: !checks
+    done
+  done;
+  all !checks

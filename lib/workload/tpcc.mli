@@ -1,0 +1,53 @@
+(** A TPC-C implementation over the IFDB engine (the DBT-2 analogue
+    used for the paper's Figure 6).
+
+    The nine-table schema, NURand key skew, and the five transaction
+    types follow the TPC-C specification; as in the paper's DBT-2 runs,
+    think time is zero and the warehouse count is fixed per run.  The
+    scale is configurable so the in-memory and disk-bound regimes can
+    be reproduced against the simulated buffer pool rather than a
+    150-warehouse disk array (see DESIGN.md).
+
+    The caller controls labels: populate and run with a session whose
+    label carries k tags and every tuple gets exactly those k tags —
+    the Figure 6 sweep. *)
+
+module Db = Ifdb_core.Database
+
+type config = {
+  warehouses : int;
+  districts : int;    (** per warehouse (spec: 10) *)
+  customers : int;    (** per district (spec: 3000) *)
+  items : int;        (** spec: 100000 *)
+}
+
+val tiny : config
+(** For unit tests: 1 warehouse, 2 districts, 8 customers, 20 items. *)
+
+val small : config
+(** For quick benches: 2 warehouses, 4 districts, 40 customers,
+    200 items. *)
+
+val create_schema : Db.session -> unit
+val populate : Db.session -> Rng.t -> config -> unit
+
+type counts = {
+  mutable new_orders : int;
+  mutable payments : int;
+  mutable order_statuses : int;
+  mutable deliveries : int;
+  mutable stock_levels : int;
+  mutable rollbacks : int;  (** the spec's 1% intentional new-order aborts *)
+}
+
+val zero_counts : unit -> counts
+
+val run_transaction : Db.session -> Rng.t -> config -> counts -> unit
+(** One transaction drawn from the standard mix
+    (45/43/4/4/4 new-order/payment/order-status/delivery/stock-level). *)
+
+val run_mix : Db.session -> Rng.t -> config -> txns:int -> counts
+
+val consistency_check : Db.session -> config -> (unit, string) result
+(** TPC-C consistency conditions: W_YTD = Σ D_YTD per warehouse, and
+    D_NEXT_O_ID − 1 = max(O_ID) = max(NO_O_ID) per district. *)

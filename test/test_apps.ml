@@ -1,0 +1,267 @@
+(* End-to-end tests for the CarTel and HotCRP ports, including the
+   specific bugs the paper reports IFDB catching (sections 6.1-6.2). *)
+
+module Db = Ifdb_core.Database
+module Errors = Ifdb_core.Errors
+module Cartel = Ifdb_cartel.Cartel
+module Hotcrp = Ifdb_hotcrp.Hotcrp
+module Web = Ifdb_platform.Web
+module Gps = Ifdb_workload.Gps
+module Rng = Ifdb_workload.Rng
+module Label = Ifdb_difc.Label
+module Value = Ifdb_rel.Value
+module Tuple = Ifdb_rel.Tuple
+
+(* ------------------------------------------------------------------ *)
+(* CarTel                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let small_trace cars =
+  let rng = Rng.create ~seed:99 in
+  Gps.generate rng
+    { Gps.cars; drives_per_car = 2; points_per_drive = 5; start_ts = 1_600_000_000 }
+
+let cartel_with_data () =
+  let t = Cartel.setup ~users:4 ~cars_per_user:1 () in
+  (* cars are numbered uid*100; the trace generator numbers 0..n-1, so
+     remap points onto real car ids *)
+  let points =
+    List.map
+      (fun p -> { p with Gps.car_id = p.Gps.car_id * 100 })
+      (small_trace 4)
+  in
+  Cartel.ingest_batch t points;
+  (t, points)
+
+let test_cartel_ingest_and_segmentation () =
+  let t, points = cartel_with_data () in
+  Alcotest.(check int) "all points stored" (List.length points)
+    (Cartel.locations_count t);
+  (* 2 drives per car x 4 cars *)
+  Alcotest.(check int) "segmented into drives" 8 (Cartel.drives_count t)
+
+let test_cartel_owner_sees_own_drives () =
+  let t, _ = cartel_with_data () in
+  let r = Cartel.request t ~path:"drives.php" ~user:1 () in
+  Alcotest.(check bool) "ok" true (r.Web.status = `Ok);
+  Alcotest.(check bool) "has drive rows" true (String.length r.Web.body > 0)
+
+let test_cartel_get_cars () =
+  let t, _ = cartel_with_data () in
+  let r = Cartel.request t ~path:"get_cars.php" ~user:1 () in
+  Alcotest.(check bool) "ok" true (r.Web.status = `Ok);
+  let r2 = Cartel.request t ~path:"cars.php" ~user:2 () in
+  Alcotest.(check bool) "ok too" true (r2.Web.status = `Ok)
+
+let test_cartel_friend_can_see_drives () =
+  let t, _ = cartel_with_data () in
+  Cartel.befriend t ~owner:1 ~friend:2;
+  let r =
+    Cartel.request t ~path:"drives.php" ~user:2
+      ~params:[ ("target", "1") ] ()
+  in
+  Alcotest.(check bool) "friend sees drives" true (r.Web.status = `Ok);
+  Alcotest.(check bool) "body nonempty" true (String.length r.Web.body > 0)
+
+(* the paper's friend bug: "by manipulating the URL, a malicious user
+   could see anyone's driving history" — with the authorization check
+   removed, IFDB still blocks the output *)
+let test_cartel_url_tampering_blocked () =
+  let t, _ = cartel_with_data () in
+  let r =
+    Cartel.request t ~path:"drives_noauthz.php" ~user:2
+      ~params:[ ("target", "1") ] ()
+  in
+  Alcotest.(check bool) "blocked despite missing check" true
+    (r.Web.status = `Blocked);
+  Alcotest.(check string) "no output" "" r.Web.body
+
+(* the paper's authentication bugs: "twelve scripts neglected to
+   authenticate the user making the request … scripts that didn't
+   authenticate ran with no authority under IFDB" *)
+let test_cartel_unauthenticated_blocked () =
+  let t, _ = cartel_with_data () in
+  let r =
+    Cartel.request t ~path:"get_cars_noauth.php" ~params:[ ("uid", "1") ] ()
+  in
+  Alcotest.(check bool) "anonymous blocked" true (r.Web.status = `Blocked)
+
+let test_cartel_drives_top_closure () =
+  let t, _ = cartel_with_data () in
+  (* any logged-in user can see the aggregate traffic stats: the stats
+     closure holds all-drives *)
+  let r = Cartel.request t ~path:"drives_top.php" ~user:3 () in
+  Alcotest.(check bool) "stats page works" true (r.Web.status = `Ok);
+  Alcotest.(check bool) "aggregates rendered" true (String.length r.Web.body > 0)
+
+let test_cartel_friends_and_account () =
+  let t, _ = cartel_with_data () in
+  let r =
+    Cartel.request t ~path:"friends.php" ~user:1 ~params:[ ("add", "3") ] ()
+  in
+  Alcotest.(check bool) "friends ok" true (r.Web.status = `Ok);
+  (* the delegation went through: 3 can now view 1's drives *)
+  let r2 =
+    Cartel.request t ~path:"drives.php" ~user:3 ~params:[ ("target", "1") ] ()
+  in
+  Alcotest.(check bool) "new friend sees drives" true (r2.Web.status = `Ok);
+  let r3 =
+    Cartel.request t ~path:"edit_account.php" ~user:1
+      ~params:[ ("email", "new@x") ] ()
+  in
+  Alcotest.(check bool) "account updated" true (r3.Web.status = `Ok)
+
+let test_cartel_non_friend_blocked () =
+  let t, _ = cartel_with_data () in
+  let r =
+    Cartel.request t ~path:"drives.php" ~user:3 ~params:[ ("target", "1") ] ()
+  in
+  (* the fixed script detects the missing friendship *)
+  Alcotest.(check bool) "not a friend" true (r.Web.status = `Blocked)
+
+let test_cartel_raw_locations_never_leave () =
+  let t, _ = cartel_with_data () in
+  (* drives pages show derived drives; the drive rows carry only the
+     drives tag, so the friend never gains the location tag *)
+  Cartel.befriend t ~owner:1 ~friend:2;
+  let u1 = Cartel.user t 1 in
+  let friend_s = Db.connect t.Cartel.db ~principal:(Cartel.user t 2).Cartel.principal in
+  Db.add_secrecy friend_s u1.Cartel.drives_tag;
+  Alcotest.(check int) "raw points invisible to friend" 0
+    (List.length (Db.query friend_s "SELECT * FROM Locations"))
+
+let test_cartel_baseline_mode () =
+  (* ifc:false + plain platform: the buggy script leaks — that is the
+     point of the comparison *)
+  let t = Cartel.setup ~ifc:false ~if_platform:false ~users:2 ~cars_per_user:1 () in
+  let points =
+    List.map (fun p -> { p with Gps.car_id = p.Gps.car_id * 100 }) (small_trace 2)
+  in
+  Cartel.ingest_batch t points;
+  let r =
+    Cartel.request t ~path:"drives_noauthz.php" ~user:1 ~params:[ ("target", "0") ] ()
+  in
+  Alcotest.(check bool) "baseline leaks through the bug" true
+    (r.Web.status = `Ok && String.length r.Web.body > 0)
+
+(* ------------------------------------------------------------------ *)
+(* HotCRP                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let hotcrp_fixture () =
+  let t = Hotcrp.setup () in
+  let ada = Hotcrp.register t ~name:"ada" ~pc:true () in
+  let bob = Hotcrp.register t ~name:"bob" ~pc:true () in
+  let carol = Hotcrp.register t ~name:"carol" () in
+  let paper = Hotcrp.submit_paper t ~author:carol ~title:"DIFC for Databases" in
+  (* ada is conflicted with carol's paper *)
+  Hotcrp.declare_conflict t ~paper ~who:ada;
+  (t, ada, bob, carol, paper)
+
+let test_hotcrp_pcmembers_view () =
+  let t, _, _, carol, _ = hotcrp_fixture () in
+  (* a plain author can list the PC through the declassifying view *)
+  let s = Hotcrp.session t carol in
+  Alcotest.(check (list string)) "pc names" [ "ada"; "bob"; "chair" ]
+    (Hotcrp.pc_members_via_view s)
+
+(* the leak the paper's port caught: any user could view the full
+   contact information of all registered users *)
+let test_hotcrp_contact_dump_blocked () =
+  let t, _, _, carol, _ = hotcrp_fixture () in
+  let s = Hotcrp.session t carol in
+  let rows = Db.query s "SELECT email FROM ContactInfo" in
+  (* carol sees only rows covered by her (empty) label: none *)
+  Alcotest.(check int) "no contact rows" 0 (List.length rows)
+
+let test_hotcrp_reviews_workflow () =
+  let t, ada, bob, carol, paper = hotcrp_fixture () in
+  ignore (Hotcrp.submit_review t ~reviewer:bob ~paper ~score:4 ~text:"accept");
+  (* before the chair opens reviews, another PC member sees nothing *)
+  Alcotest.(check (list int)) "ada sees nothing yet" []
+    (Hotcrp.review_scores_visible_to t ada ~paper);
+  Hotcrp.open_reviews_to_pc t;
+  (* ada is conflicted: still nothing.  A non-conflicted PC member
+     (the chair counts) sees the score *)
+  Alcotest.(check (list int)) "conflicted ada still blind" []
+    (Hotcrp.review_scores_visible_to t ada ~paper);
+  Alcotest.(check (list int)) "chair sees score" [ 4 ]
+    (Hotcrp.review_scores_visible_to t t.Hotcrp.chair ~paper);
+  (* the author cannot see review internals *)
+  Alcotest.(check (list int)) "author blind" []
+    (Hotcrp.review_scores_visible_to t carol ~paper)
+
+(* the past-bugs the paper reintroduced: papers sorted by status /
+   search exposing decisions prematurely.  Under Query by Label the
+   decision tuples simply do not come back. *)
+let test_hotcrp_premature_decisions_hidden () =
+  let t, _, bob, carol, paper = hotcrp_fixture () in
+  Hotcrp.record_decision t ~paper ~accept:true;
+  (* sorting/search style query run by the author: decision invisible *)
+  let s = Hotcrp.session t carol in
+  let rows =
+    Db.query s
+      "SELECT p.paperId, d.accepted FROM Papers p LEFT JOIN Decisions d ON \
+       d.paperId = p.paperId ORDER BY d.accepted DESC"
+  in
+  (match rows with
+  | [ row ] ->
+      Alcotest.(check bool) "paper listed" true
+        (Value.to_int (Tuple.get row 0) = paper);
+      Alcotest.(check bool) "decision NULL" true (Value.is_null (Tuple.get row 1))
+  | _ -> Alcotest.fail "expected exactly the author's paper");
+  Alcotest.(check (list (pair int bool))) "no decisions visible" []
+    (Hotcrp.visible_decisions t carol);
+  (* a non-conflicted PC member doesn't see it either until release *)
+  Alcotest.(check (list (pair int bool))) "bob cannot see either" []
+    (Hotcrp.visible_decisions t bob);
+  (* after the official release, the author sees it *)
+  Hotcrp.release_decisions t;
+  Alcotest.(check (list (pair int bool))) "released to author" [ (paper, true) ]
+    (Hotcrp.visible_decisions t carol)
+
+let test_hotcrp_baseline_leaks () =
+  let t = Hotcrp.setup ~ifc:false () in
+  let carol = Hotcrp.register t ~name:"carol" () in
+  let _paper = Hotcrp.submit_paper t ~author:carol ~title:"x" in
+  let eve = Hotcrp.register t ~name:"eve" () in
+  let s = Hotcrp.session t eve in
+  (* without IFC the contact dump works — the bug the paper found *)
+  Alcotest.(check bool) "baseline exposes contacts" true
+    (List.length (Db.query s "SELECT email FROM ContactInfo") >= 2)
+
+let suites =
+  [
+    ( "apps.cartel",
+      [
+        Alcotest.test_case "ingest & drive segmentation" `Quick
+          test_cartel_ingest_and_segmentation;
+        Alcotest.test_case "owner sees own drives" `Quick
+          test_cartel_owner_sees_own_drives;
+        Alcotest.test_case "get_cars/cars" `Quick test_cartel_get_cars;
+        Alcotest.test_case "friend delegation" `Quick test_cartel_friend_can_see_drives;
+        Alcotest.test_case "URL tampering blocked (paper bug)" `Quick
+          test_cartel_url_tampering_blocked;
+        Alcotest.test_case "missing auth blocked (paper bug)" `Quick
+          test_cartel_unauthenticated_blocked;
+        Alcotest.test_case "drives_top authority closure" `Quick
+          test_cartel_drives_top_closure;
+        Alcotest.test_case "friends & account scripts" `Quick
+          test_cartel_friends_and_account;
+        Alcotest.test_case "non-friend blocked" `Quick test_cartel_non_friend_blocked;
+        Alcotest.test_case "raw locations never leave" `Quick
+          test_cartel_raw_locations_never_leave;
+        Alcotest.test_case "baseline leaks (no IFC)" `Quick test_cartel_baseline_mode;
+      ] );
+    ( "apps.hotcrp",
+      [
+        Alcotest.test_case "PCMembers declassifying view" `Quick
+          test_hotcrp_pcmembers_view;
+        Alcotest.test_case "contact dump blocked (paper bug)" `Quick
+          test_hotcrp_contact_dump_blocked;
+        Alcotest.test_case "review tags workflow" `Quick test_hotcrp_reviews_workflow;
+        Alcotest.test_case "premature decisions hidden (paper bugs)" `Quick
+          test_hotcrp_premature_decisions_hidden;
+        Alcotest.test_case "baseline leaks (no IFC)" `Quick test_hotcrp_baseline_leaks;
+      ] );
+  ]

@@ -1,0 +1,392 @@
+(* Tests for the DIFC substrate: labels, tags, principals, authority. *)
+
+open Ifdb_difc
+
+let tag i = Tag.of_int i
+let lbl ints = Label.of_ints (Array.of_list ints)
+
+let check_label = Alcotest.testable Label.pp Label.equal
+
+(* ------------------------------------------------------------------ *)
+(* Label unit tests                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_label_empty () =
+  Alcotest.(check bool) "empty is empty" true (Label.is_empty Label.empty);
+  Alcotest.(check int) "cardinal" 0 (Label.cardinal Label.empty);
+  Alcotest.(check bool) "mem" false (Label.mem (tag 1) Label.empty)
+
+let test_label_of_list_dedup () =
+  let l = Label.of_list [ tag 3; tag 1; tag 3; tag 2; tag 1 ] in
+  Alcotest.(check int) "cardinal" 3 (Label.cardinal l);
+  Alcotest.(check (list int)) "sorted ints" [ 1; 2; 3 ]
+    (Array.to_list (Label.to_ints l))
+
+let test_label_add_remove () =
+  let l = lbl [ 1; 3 ] in
+  Alcotest.check check_label "add middle" (lbl [ 1; 2; 3 ]) (Label.add (tag 2) l);
+  Alcotest.check check_label "add existing" l (Label.add (tag 3) l);
+  Alcotest.check check_label "remove" (lbl [ 1 ]) (Label.remove (tag 3) l);
+  Alcotest.check check_label "remove absent" l (Label.remove (tag 9) l);
+  Alcotest.check check_label "add front" (lbl [ 1; 2; 5 ]) (Label.add (tag 1) (lbl [ 2; 5 ]));
+  Alcotest.check check_label "add back" (lbl [ 2; 5; 9 ]) (Label.add (tag 9) (lbl [ 2; 5 ]))
+
+let test_label_set_ops () =
+  let a = lbl [ 1; 2; 3 ] and b = lbl [ 2; 3; 4 ] in
+  Alcotest.check check_label "union" (lbl [ 1; 2; 3; 4 ]) (Label.union a b);
+  Alcotest.check check_label "inter" (lbl [ 2; 3 ]) (Label.inter a b);
+  Alcotest.check check_label "diff" (lbl [ 1 ]) (Label.diff a b);
+  Alcotest.check check_label "symm_diff" (lbl [ 1; 4 ]) (Label.symm_diff a b)
+
+let test_label_subset () =
+  Alcotest.(check bool) "empty sub any" true (Label.subset Label.empty (lbl [ 1 ]));
+  Alcotest.(check bool) "refl" true (Label.subset (lbl [ 1; 2 ]) (lbl [ 1; 2 ]));
+  Alcotest.(check bool) "proper" true (Label.subset (lbl [ 2 ]) (lbl [ 1; 2; 3 ]));
+  Alcotest.(check bool) "not subset" false (Label.subset (lbl [ 1; 4 ]) (lbl [ 1; 2; 3 ]));
+  Alcotest.(check bool) "bigger not subset" false
+    (Label.subset (lbl [ 1; 2; 3 ]) (lbl [ 1; 2 ]))
+
+let test_label_covers_compounds () =
+  (* tag 1 is a member of compound 10 *)
+  let compounds_of t = if Tag.to_int t = 1 then [ tag 10 ] else [] in
+  Alcotest.(check bool) "direct" true
+    (Label.covers ~compounds_of (lbl [ 1 ]) (tag 1));
+  Alcotest.(check bool) "via compound" true
+    (Label.covers ~compounds_of (lbl [ 10 ]) (tag 1));
+  Alcotest.(check bool) "not covered" false
+    (Label.covers ~compounds_of (lbl [ 10 ]) (tag 2));
+  (* flows: {1} flows to {10}, but {2} does not *)
+  Alcotest.(check bool) "flows via compound" true
+    (Label.flows_to ~compounds_of (lbl [ 1 ]) (lbl [ 10 ]));
+  Alcotest.(check bool) "no flow" false
+    (Label.flows_to ~compounds_of (lbl [ 2 ]) (lbl [ 10 ]))
+
+let test_label_byte_size () =
+  Alcotest.(check int) "4 bytes per tag" 12 (Label.byte_size (lbl [ 1; 2; 3 ]));
+  Alcotest.(check int) "empty is free" 0 (Label.byte_size Label.empty)
+
+let test_label_pp () =
+  Alcotest.(check string) "pp" "{#1, #2}" (Label.to_string (lbl [ 2; 1 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Label property tests                                                *)
+(* ------------------------------------------------------------------ *)
+
+let label_gen =
+  QCheck.Gen.(map (fun l -> Label.of_ints (Array.of_list l))
+                (list_size (int_bound 8) (int_range 1 20)))
+
+let arb_label =
+  QCheck.make ~print:Label.to_string label_gen
+
+let arb_label2 = QCheck.pair arb_label arb_label
+let arb_label3 = QCheck.triple arb_label arb_label arb_label
+
+let prop name arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:500 ~name arb f)
+
+let label_props =
+  [
+    prop "union commutative" arb_label2 (fun (a, b) ->
+        Label.equal (Label.union a b) (Label.union b a));
+    prop "union associative" arb_label3 (fun (a, b, c) ->
+        Label.equal (Label.union a (Label.union b c)) (Label.union (Label.union a b) c));
+    prop "union idempotent" arb_label (fun a -> Label.equal (Label.union a a) a);
+    prop "inter commutative" arb_label2 (fun (a, b) ->
+        Label.equal (Label.inter a b) (Label.inter b a));
+    prop "a subset union" arb_label2 (fun (a, b) -> Label.subset a (Label.union a b));
+    prop "inter subset a" arb_label2 (fun (a, b) -> Label.subset (Label.inter a b) a);
+    prop "diff disjoint from b" arb_label2 (fun (a, b) ->
+        Label.is_empty (Label.inter (Label.diff a b) b));
+    prop "symm_diff = union minus inter" arb_label2 (fun (a, b) ->
+        Label.equal (Label.symm_diff a b) (Label.diff (Label.union a b) (Label.inter a b)));
+    prop "subset antisym" arb_label2 (fun (a, b) ->
+        (not (Label.subset a b && Label.subset b a)) || Label.equal a b);
+    prop "subset trans via union" arb_label3 (fun (a, b, c) ->
+        Label.subset a (Label.union (Label.union a b) c));
+    prop "to_ints sorted strict" arb_label (fun a ->
+        let ints = Label.to_ints a in
+        let ok = ref true in
+        for i = 1 to Array.length ints - 1 do
+          if ints.(i - 1) >= ints.(i) then ok := false
+        done;
+        !ok);
+    prop "of_ints/to_ints roundtrip" arb_label (fun a ->
+        Label.equal a (Label.of_ints (Label.to_ints a)));
+    prop "add then mem" (QCheck.pair arb_label (QCheck.int_range 1 30))
+      (fun (a, i) -> Label.mem (tag i) (Label.add (tag i) a));
+    prop "remove then not mem" (QCheck.pair arb_label (QCheck.int_range 1 30))
+      (fun (a, i) -> not (Label.mem (tag i) (Label.remove (tag i) a)));
+    prop "flows_to with no compounds = subset" arb_label2 (fun (a, b) ->
+        Label.flows_to ~compounds_of:(fun _ -> []) a b = Label.subset a b);
+    prop "model check vs IntSet" arb_label2 (fun (a, b) ->
+        let module S = Set.Make (Int) in
+        let s l = S.of_list (Array.to_list (Label.to_ints l)) in
+        let eq l set = S.equal (s l) set in
+        eq (Label.union a b) (S.union (s a) (s b))
+        && eq (Label.inter a b) (S.inter (s a) (s b))
+        && eq (Label.diff a b) (S.diff (s a) (s b))
+        && Label.subset a b = S.subset (s a) (s b));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Idgen                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_idgen_unique () =
+  let g = Idgen.create ~seed:42 in
+  let seen = Hashtbl.create 1024 in
+  for _ = 1 to 10_000 do
+    let id = Idgen.fresh g in
+    Alcotest.(check bool) "positive" true (id > 0);
+    Alcotest.(check bool) "unique" false (Hashtbl.mem seen id);
+    Hashtbl.add seen id ()
+  done
+
+let test_idgen_deterministic () =
+  let g1 = Idgen.create ~seed:7 and g2 = Idgen.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Idgen.fresh g1) (Idgen.fresh g2)
+  done
+
+let test_idgen_seed_sensitivity () =
+  let g1 = Idgen.create ~seed:7 and g2 = Idgen.create ~seed:8 in
+  Alcotest.(check bool) "different streams" false (Idgen.fresh g1 = Idgen.fresh g2)
+
+(* ------------------------------------------------------------------ *)
+(* Authority                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let mk_auth () =
+  let a = Authority.create () in
+  let p name = Authority.create_principal a ~actor_label:Label.empty ~name in
+  (a, p)
+
+let test_authority_owner () =
+  let a, p = mk_auth () in
+  let alice = p "alice" and bob = p "bob" in
+  let t =
+    Authority.create_tag a ~actor_label:Label.empty ~owner:alice
+      ~name:"alice_medical" ()
+  in
+  Alcotest.(check bool) "owner has authority" true (Authority.has_authority a alice t);
+  Alcotest.(check bool) "other does not" false (Authority.has_authority a bob t);
+  Alcotest.(check string) "name" "alice_medical" (Authority.tag_name a t);
+  Alcotest.(check bool) "owner_of" true (Principal.equal alice (Authority.owner_of a t))
+
+let test_authority_delegation () =
+  let a, p = mk_auth () in
+  let alice = p "alice" and doctor = p "doctor" and nurse = p "nurse" in
+  let t =
+    Authority.create_tag a ~actor_label:Label.empty ~owner:alice ~name:"t" ()
+  in
+  Authority.delegate a ~actor:alice ~actor_label:Label.empty ~tag:t ~grantee:doctor;
+  Alcotest.(check bool) "delegated" true (Authority.has_authority a doctor t);
+  (* chained delegation *)
+  Authority.delegate a ~actor:doctor ~actor_label:Label.empty ~tag:t ~grantee:nurse;
+  Alcotest.(check bool) "chain" true (Authority.has_authority a nurse t);
+  (* revoking upstream kills downstream *)
+  Authority.revoke a ~actor:alice ~actor_label:Label.empty ~tag:t ~grantee:doctor;
+  Alcotest.(check bool) "doctor revoked" false (Authority.has_authority a doctor t);
+  Alcotest.(check bool) "nurse transitively dead" false (Authority.has_authority a nurse t)
+
+let test_authority_delegate_requires_authority () =
+  let a, p = mk_auth () in
+  let alice = p "alice" and eve = p "eve" and bob = p "bob" in
+  let t = Authority.create_tag a ~actor_label:Label.empty ~owner:alice ~name:"t" () in
+  Alcotest.check_raises "eve cannot delegate"
+    (Authority.Denied
+       (Printf.sprintf "principal %s (eve) lacks authority for tag %s (t)"
+          (Format.asprintf "%a" Principal.pp eve)
+          (Format.asprintf "%a" Tag.pp t)))
+    (fun () ->
+      Authority.delegate a ~actor:eve ~actor_label:Label.empty ~tag:t ~grantee:bob)
+
+let test_authority_requires_empty_label () =
+  let a, p = mk_auth () in
+  let alice = p "alice" in
+  let t = Authority.create_tag a ~actor_label:Label.empty ~owner:alice ~name:"t" () in
+  let contaminated = Label.singleton t in
+  let expect_not_public f =
+    match f () with
+    | exception Authority.Not_public _ -> ()
+    | _ -> Alcotest.fail "expected Not_public"
+  in
+  expect_not_public (fun () ->
+      Authority.create_principal a ~actor_label:contaminated ~name:"x");
+  expect_not_public (fun () ->
+      Authority.create_tag a ~actor_label:contaminated ~owner:alice ~name:"u" ());
+  expect_not_public (fun () ->
+      Authority.delegate a ~actor:alice ~actor_label:contaminated ~tag:t ~grantee:alice);
+  expect_not_public (fun () ->
+      Authority.revoke a ~actor:alice ~actor_label:contaminated ~tag:t ~grantee:alice)
+
+let test_authority_compounds () =
+  let a, p = mk_auth () in
+  let sys = p "system" and alice = p "alice" and stats = p "stats" in
+  let all_drives =
+    Authority.create_tag a ~actor_label:Label.empty ~owner:sys ~name:"all_drives" ()
+  in
+  let alice_drives =
+    Authority.create_tag a ~actor_label:Label.empty ~owner:alice
+      ~name:"alice_drives" ~compounds:[ all_drives ] ()
+  in
+  (* authority over the compound confers authority over members *)
+  Alcotest.(check bool) "sys over member" true
+    (Authority.has_authority a sys alice_drives);
+  Alcotest.(check bool) "alice over own tag" true
+    (Authority.has_authority a alice alice_drives);
+  Alcotest.(check bool) "alice not over compound" false
+    (Authority.has_authority a alice all_drives);
+  (* delegation of the compound confers member authority *)
+  Authority.delegate a ~actor:sys ~actor_label:Label.empty ~tag:all_drives
+    ~grantee:stats;
+  Alcotest.(check bool) "delegated compound covers member" true
+    (Authority.has_authority a stats alice_drives);
+  (* flow: {alice_drives} flows to {all_drives} *)
+  Alcotest.(check bool) "flows member->compound" true
+    (Authority.flows a ~src:(Label.singleton alice_drives)
+       ~dst:(Label.singleton all_drives));
+  Alcotest.(check bool) "no reverse flow" false
+    (Authority.flows a ~src:(Label.singleton all_drives)
+       ~dst:(Label.singleton alice_drives));
+  Alcotest.(check (list int)) "members_of"
+    [ Tag.to_int alice_drives ]
+    (List.map Tag.to_int (Authority.members_of a all_drives));
+  Alcotest.(check (list int)) "compounds_of"
+    [ Tag.to_int all_drives ]
+    (List.map Tag.to_int (Authority.compounds_of a alice_drives))
+
+let test_authority_nested_compounds () =
+  let a, p = mk_auth () in
+  let sys = p "system" in
+  let top = Authority.create_tag a ~actor_label:Label.empty ~owner:sys ~name:"top" () in
+  let mid =
+    Authority.create_tag a ~actor_label:Label.empty ~owner:sys ~name:"mid"
+      ~compounds:[ top ] ()
+  in
+  let alice = p "alice" in
+  let leaf =
+    Authority.create_tag a ~actor_label:Label.empty ~owner:alice ~name:"leaf"
+      ~compounds:[ mid ] ()
+  in
+  let boss = p "boss" in
+  Authority.delegate a ~actor:sys ~actor_label:Label.empty ~tag:top ~grantee:boss;
+  Alcotest.(check bool) "authority via nested compound" true
+    (Authority.has_authority a boss leaf);
+  Alcotest.(check bool) "flow via nested compound" true
+    (Authority.flows a ~src:(Label.singleton leaf) ~dst:(Label.singleton top))
+
+let test_authority_revoke_only_own_grants () =
+  let a, p = mk_auth () in
+  let alice = p "alice" and doctor = p "doctor" and mallory = p "mallory" in
+  let t = Authority.create_tag a ~actor_label:Label.empty ~owner:alice ~name:"t" () in
+  Authority.delegate a ~actor:alice ~actor_label:Label.empty ~tag:t ~grantee:doctor;
+  (* mallory revoking alice's grant is a no-op *)
+  Authority.revoke a ~actor:mallory ~actor_label:Label.empty ~tag:t ~grantee:doctor;
+  Alcotest.(check bool) "grant survives foreign revoke" true
+    (Authority.has_authority a doctor t)
+
+let test_authority_delegation_cycle () =
+  let a, p = mk_auth () in
+  let alice = p "alice" and b = p "b" and c = p "c" in
+  let t = Authority.create_tag a ~actor_label:Label.empty ~owner:alice ~name:"t" () in
+  Authority.delegate a ~actor:alice ~actor_label:Label.empty ~tag:t ~grantee:b;
+  Authority.delegate a ~actor:b ~actor_label:Label.empty ~tag:t ~grantee:c;
+  Authority.delegate a ~actor:c ~actor_label:Label.empty ~tag:t ~grantee:b;
+  (* cycle b->c->b plus root alice->b: all still have authority, and
+     the check terminates *)
+  Alcotest.(check bool) "b" true (Authority.has_authority a b t);
+  Alcotest.(check bool) "c" true (Authority.has_authority a c t);
+  Authority.revoke a ~actor:alice ~actor_label:Label.empty ~tag:t ~grantee:b;
+  (* with the root grant gone, the b<->c cycle confers nothing *)
+  Alcotest.(check bool) "b dead" false (Authority.has_authority a b t);
+  Alcotest.(check bool) "c dead" false (Authority.has_authority a c t)
+
+let test_authority_label_queries () =
+  let a, p = mk_auth () in
+  let alice = p "alice" in
+  let t1 = Authority.create_tag a ~actor_label:Label.empty ~owner:alice ~name:"t1" () in
+  let bob = p "bob" in
+  let t2 = Authority.create_tag a ~actor_label:Label.empty ~owner:bob ~name:"t2" () in
+  Alcotest.(check bool) "label authority partial" false
+    (Authority.has_authority_for_label a alice (Label.of_list [ t1; t2 ]));
+  Authority.delegate a ~actor:bob ~actor_label:Label.empty ~tag:t2 ~grantee:alice;
+  Alcotest.(check bool) "label authority full" true
+    (Authority.has_authority_for_label a alice (Label.of_list [ t1; t2 ]))
+
+let test_authority_lookup () =
+  let a, p = mk_auth () in
+  let alice = p "alice" in
+  let t = Authority.create_tag a ~actor_label:Label.empty ~owner:alice ~name:"t" () in
+  Alcotest.(check bool) "find_principal" true
+    (Principal.equal alice (Authority.find_principal a "alice"));
+  Alcotest.(check bool) "find_tag" true (Tag.equal t (Authority.find_tag a "t"));
+  (match Authority.find_tag a "nope" with
+  | exception Authority.Unknown _ -> ()
+  | _ -> Alcotest.fail "expected Unknown");
+  (match Authority.find_principal a "nope" with
+  | exception Authority.Unknown _ -> ()
+  | _ -> Alcotest.fail "expected Unknown")
+
+let test_authority_generation () =
+  let a, p = mk_auth () in
+  let g0 = Authority.generation a in
+  let alice = p "alice" in
+  Alcotest.(check bool) "bumped by create_principal" true (Authority.generation a > g0);
+  let g1 = Authority.generation a in
+  let t = Authority.create_tag a ~actor_label:Label.empty ~owner:alice ~name:"t" () in
+  Alcotest.(check bool) "bumped by create_tag" true (Authority.generation a > g1);
+  let g2 = Authority.generation a in
+  Authority.delegate a ~actor:alice ~actor_label:Label.empty ~tag:t ~grantee:alice;
+  Alcotest.(check bool) "bumped by delegate" true (Authority.generation a > g2)
+
+let test_id_unpredictability () =
+  (* ids are not sequential: consecutive tags differ by more than 1 *)
+  let a, p = mk_auth () in
+  let alice = p "alice" in
+  let t1 = Authority.create_tag a ~actor_label:Label.empty ~owner:alice ~name:"a" () in
+  let t2 = Authority.create_tag a ~actor_label:Label.empty ~owner:alice ~name:"b" () in
+  Alcotest.(check bool) "non-sequential ids" true
+    (abs (Tag.to_int t2 - Tag.to_int t1) > 1)
+
+let suites =
+  [
+    ( "difc.label",
+      [
+        Alcotest.test_case "empty" `Quick test_label_empty;
+        Alcotest.test_case "of_list dedup" `Quick test_label_of_list_dedup;
+        Alcotest.test_case "add/remove" `Quick test_label_add_remove;
+        Alcotest.test_case "set ops" `Quick test_label_set_ops;
+        Alcotest.test_case "subset" `Quick test_label_subset;
+        Alcotest.test_case "covers/compounds" `Quick test_label_covers_compounds;
+        Alcotest.test_case "byte size" `Quick test_label_byte_size;
+        Alcotest.test_case "pp" `Quick test_label_pp;
+      ] );
+    ("difc.label.props", label_props);
+    ( "difc.idgen",
+      [
+        Alcotest.test_case "unique" `Quick test_idgen_unique;
+        Alcotest.test_case "deterministic" `Quick test_idgen_deterministic;
+        Alcotest.test_case "seed sensitivity" `Quick test_idgen_seed_sensitivity;
+      ] );
+    ( "difc.authority",
+      [
+        Alcotest.test_case "ownership" `Quick test_authority_owner;
+        Alcotest.test_case "delegation & transitive revoke" `Quick
+          test_authority_delegation;
+        Alcotest.test_case "delegate requires authority" `Quick
+          test_authority_delegate_requires_authority;
+        Alcotest.test_case "mutations need empty label" `Quick
+          test_authority_requires_empty_label;
+        Alcotest.test_case "compound tags" `Quick test_authority_compounds;
+        Alcotest.test_case "nested compounds" `Quick test_authority_nested_compounds;
+        Alcotest.test_case "revoke only own grants" `Quick
+          test_authority_revoke_only_own_grants;
+        Alcotest.test_case "delegation cycles terminate" `Quick
+          test_authority_delegation_cycle;
+        Alcotest.test_case "label-wide authority" `Quick test_authority_label_queries;
+        Alcotest.test_case "lookup by name" `Quick test_authority_lookup;
+        Alcotest.test_case "generation counter" `Quick test_authority_generation;
+        Alcotest.test_case "unpredictable ids" `Quick test_id_unpredictability;
+      ] );
+  ]

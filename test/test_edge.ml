@@ -1,0 +1,284 @@
+(* Edge-case coverage: FK re-checks on UPDATE, updates under
+   polyinstantiation, trigger kinds, label-operation corner semantics,
+   DDL drops, script error handling. *)
+
+module Db = Ifdb_core.Database
+module Errors = Ifdb_core.Errors
+module Label = Ifdb_difc.Label
+module Value = Ifdb_rel.Value
+module Tuple = Ifdb_rel.Tuple
+
+let base () =
+  let db = Db.create () in
+  let admin = Db.connect_admin db in
+  (db, admin)
+
+(* ------------------------------------------------------------------ *)
+(* Foreign keys on UPDATE                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_update_rechecks_fk () =
+  let _, s = base () in
+  ignore (Db.exec s "CREATE TABLE p (id INT PRIMARY KEY)");
+  ignore
+    (Db.exec s
+       "CREATE TABLE c (id INT PRIMARY KEY, pid INT, FOREIGN KEY (pid) \
+        REFERENCES p (id))");
+  ignore (Db.exec s "INSERT INTO p VALUES (1), (2)");
+  ignore (Db.exec s "INSERT INTO c VALUES (10, 1)");
+  (match Db.exec s "UPDATE c SET pid = 2 WHERE id = 10" with
+  | Db.Affected 1 -> ()
+  | _ -> Alcotest.fail "valid retarget");
+  (match Db.exec s "UPDATE c SET pid = 99 WHERE id = 10" with
+  | exception Errors.Constraint_violation _ -> ()
+  | _ -> Alcotest.fail "dangling retarget must fail");
+  (* NULLing the FK is allowed (SQL semantics) *)
+  match Db.exec s "UPDATE c SET pid = NULL WHERE id = 10" with
+  | Db.Affected 1 -> ()
+  | _ -> Alcotest.fail "NULL fk allowed"
+
+(* ------------------------------------------------------------------ *)
+(* Updates under polyinstantiation                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_update_polyinstantiated_rows () =
+  let db, admin = base () in
+  let u = Db.create_principal admin ~name:"u" in
+  let us = Db.connect db ~principal:u in
+  let tag = Db.create_tag us ~name:"t" () in
+  ignore (Db.exec admin "CREATE TABLE t (k INT PRIMARY KEY, v TEXT)");
+  (* the high row goes in first; the low writer cannot see it, so its
+     conflicting insert polyinstantiates (paper section 5.2.1 — the
+     reverse order would be a visible conflict and correctly fail) *)
+  Db.add_secrecy us tag;
+  ignore (Db.exec us "INSERT INTO t VALUES (1, 'high')");
+  ignore (Db.exec admin "INSERT INTO t VALUES (1, 'low')");
+  (* the low session updates only its own instance *)
+  (match Db.exec admin "UPDATE t SET v = 'low2' WHERE k = 1" with
+  | Db.Affected 1 -> ()
+  | _ -> Alcotest.fail "low updates exactly one");
+  (* the high session's write-rule-exact target is the high instance *)
+  (match
+     Db.exec us "UPDATE t SET v = 'high2' WHERE k = 1 AND _label = {t}"
+   with
+  | Db.Affected 1 -> ()
+  | _ -> Alcotest.fail "high updates its own instance");
+  let texts s =
+    List.sort String.compare
+      (List.map
+         (fun r -> Value.to_text (Tuple.get r 1))
+         (Db.query s "SELECT * FROM t WHERE k = 1"))
+  in
+  Alcotest.(check (list string)) "low sees its row" [ "low2" ] (texts admin);
+  Alcotest.(check (list string)) "high sees both, each updated" [ "high2"; "low2" ]
+    (texts us)
+
+(* ------------------------------------------------------------------ *)
+(* Trigger kinds                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_trigger_update_delete_kinds () =
+  let _, admin = base () in
+  ignore (Db.exec admin "CREATE TABLE t (a INT)");
+  let events = ref [] in
+  Db.create_trigger admin ~name:"audit" ~table:"t"
+    ~kinds:[ `Insert; `Update; `Delete ] (fun _s ev ->
+      let tagged k = events := k :: !events in
+      (match ev.Db.ev_kind with
+      | `Insert ->
+          Alcotest.(check bool) "insert has new only" true
+            (ev.Db.ev_new <> None && ev.Db.ev_old = None);
+          tagged "i"
+      | `Update ->
+          Alcotest.(check bool) "update has both" true
+            (ev.Db.ev_new <> None && ev.Db.ev_old <> None);
+          tagged "u"
+      | `Delete ->
+          Alcotest.(check bool) "delete has old only" true
+            (ev.Db.ev_new = None && ev.Db.ev_old <> None);
+          tagged "d"));
+  ignore (Db.exec admin "INSERT INTO t VALUES (1)");
+  ignore (Db.exec admin "UPDATE t SET a = 2");
+  ignore (Db.exec admin "DELETE FROM t");
+  Alcotest.(check (list string)) "all kinds fired" [ "d"; "u"; "i" ] !events;
+  (* dropping the trigger silences it *)
+  Db.drop_trigger (Db.database admin) "audit";
+  ignore (Db.exec admin "INSERT INTO t VALUES (3)");
+  Alcotest.(check int) "no more events" 3 (List.length !events)
+
+(* ------------------------------------------------------------------ *)
+(* Label-operation corners                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_set_label_checks_removals () =
+  let db, admin = base () in
+  let a = Db.create_principal admin ~name:"a" in
+  let sa = Db.connect db ~principal:a in
+  let own = Db.create_tag sa ~name:"own" () in
+  let b = Db.create_principal admin ~name:"b" in
+  let sb = Db.connect db ~principal:b in
+  let foreign = Db.create_tag sb ~name:"foreign" () in
+  Db.add_secrecy sa own;
+  Db.add_secrecy sa foreign;
+  (* jumping to {own} means dropping foreign: denied *)
+  (match Db.set_label sa (Label.singleton own) with
+  | exception Errors.Authority_required _ -> ()
+  | exception Ifdb_difc.Authority.Denied _ -> ()
+  | () -> Alcotest.fail "set_label must check removals");
+  (* jumping to {own, foreign, more} (pure raise) is fine *)
+  Db.set_label sa (Label.of_list [ own; foreign ]);
+  Alcotest.(check int) "label intact" 2 (Label.cardinal (Db.session_label sa))
+
+let test_with_label_restores () =
+  let db, admin = base () in
+  let a = Db.create_principal admin ~name:"a" in
+  let sa = Db.connect db ~principal:a in
+  let t1 = Db.create_tag sa ~name:"w1" () in
+  let result =
+    Db.with_label sa (Label.singleton t1) (fun () ->
+        Alcotest.(check bool) "raised inside" true
+          (Label.mem t1 (Db.session_label sa));
+        17)
+  in
+  Alcotest.(check int) "value through" 17 result;
+  Alcotest.(check bool) "restored" true (Label.is_empty (Db.session_label sa));
+  (* on exceptions the label only ever grows (no sneaky declassify) *)
+  (match
+     Db.with_label sa (Label.singleton t1) (fun () -> failwith "boom")
+   with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "exception must propagate");
+  Alcotest.(check bool) "kept contaminated on error path" true
+    (Label.mem t1 (Db.session_label sa))
+
+(* ------------------------------------------------------------------ *)
+(* DDL drops and script errors                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_drop_semantics () =
+  let _, s = base () in
+  ignore (Db.exec s "CREATE TABLE t (a INT)");
+  ignore (Db.exec s "CREATE VIEW v AS SELECT a FROM t");
+  ignore (Db.exec s "CREATE INDEX i ON t (a)");
+  ignore (Db.exec s "DROP INDEX i");
+  ignore (Db.exec s "DROP VIEW v");
+  ignore (Db.exec s "DROP TABLE t");
+  (match Db.exec s "DROP TABLE t" with
+  | exception Errors.Sql_error _ -> ()
+  | _ -> Alcotest.fail "double drop fails");
+  (* names are freed *)
+  ignore (Db.exec s "CREATE TABLE t (a INT)");
+  (match Db.exec s "CREATE TABLE t (a INT)" with
+  | exception Errors.Sql_error _ -> ()
+  | _ -> Alcotest.fail "duplicate relation fails");
+  match Db.exec s "SELECT * FROM v" with
+  | exception Errors.Sql_error _ -> ()
+  | _ -> Alcotest.fail "dropped view unusable"
+
+let test_script_error_aborts_explicit_txn () =
+  let _, s = base () in
+  ignore (Db.exec s "CREATE TABLE t (a INT PRIMARY KEY)");
+  (match
+     Db.exec_script s
+       "BEGIN; INSERT INTO t VALUES (1); INSERT INTO t VALUES (1); COMMIT"
+   with
+  | exception Errors.Constraint_violation _ -> ()
+  | _ -> Alcotest.fail "duplicate insert must fail");
+  (* the failed statement aborted the whole transaction *)
+  Alcotest.(check int) "nothing committed" 0
+    (List.length (Db.query s "SELECT * FROM t"));
+  (* and the session is usable again *)
+  ignore (Db.exec s "INSERT INTO t VALUES (2)");
+  Alcotest.(check int) "fresh insert lands" 1
+    (List.length (Db.query s "SELECT * FROM t"))
+
+let test_float_int_widening () =
+  let _, s = base () in
+  ignore (Db.exec s "CREATE TABLE m (f FLOAT, i INT)");
+  ignore (Db.exec s "INSERT INTO m VALUES (3, 4)");
+  let row = Db.query_one s "SELECT f + 0.5, i FROM m" in
+  Alcotest.(check (float 0.001)) "int widened in float column" 3.5
+    (Value.to_float (Tuple.get row 0));
+  match Db.exec s "INSERT INTO m VALUES (1.0, 2.5)" with
+  | exception Errors.Constraint_violation _ -> ()
+  | _ -> Alcotest.fail "float into INT column must fail"
+
+let test_pk_update_via_index () =
+  let _, s = base () in
+  ignore (Db.exec s "CREATE TABLE t (k INT PRIMARY KEY, v TEXT)");
+  ignore (Db.exec s "INSERT INTO t VALUES (1, 'a'), (2, 'b')");
+  (match Db.exec s "UPDATE t SET k = k + 100 WHERE k = 1" with
+  | Db.Affected 1 -> ()
+  | _ -> Alcotest.fail "pk update");
+  (* index probes find the row under the new key and not the old one *)
+  Alcotest.(check int) "new key" 1
+    (List.length (Db.query s "SELECT * FROM t WHERE k = 101"));
+  Alcotest.(check int) "old key gone" 0
+    (List.length (Db.query s "SELECT * FROM t WHERE k = 1"));
+  (* and the freed key is reusable *)
+  ignore (Db.exec s "INSERT INTO t VALUES (1, 'again')");
+  Alcotest.(check int) "reused" 1
+    (List.length (Db.query s "SELECT * FROM t WHERE k = 1"))
+
+let test_nested_declassifying_views () =
+  let db, admin = base () in
+  let owner = Db.create_principal admin ~name:"owner" in
+  let os = Db.connect db ~principal:owner in
+  let inner_tag = Db.create_tag os ~name:"inner_t" () in
+  let outer_tag = Db.create_tag os ~name:"outer_t" () in
+  ignore (Db.exec admin "CREATE TABLE secrets (a INT, b INT)");
+  (* a row carrying both tags *)
+  Db.add_secrecy os inner_tag;
+  Db.add_secrecy os outer_tag;
+  ignore (Db.exec os "INSERT INTO secrets VALUES (1, 2)");
+  Db.declassify os inner_tag;
+  Db.declassify os outer_tag;
+  (* V1 declassifies inner_t; V2 on top declassifies outer_t: reading
+     V2 with an empty label must reach the doubly-protected row *)
+  ignore
+    (Db.exec os
+       "CREATE VIEW V1 AS SELECT a, b FROM secrets WITH DECLASSIFYING (inner_t)");
+  ignore (Db.exec os "CREATE VIEW V2 AS SELECT a FROM V1 WITH DECLASSIFYING (outer_t)");
+  let stranger = Db.create_principal admin ~name:"stranger" in
+  let ss = Db.connect db ~principal:stranger in
+  Alcotest.(check int) "base hidden" 0
+    (List.length (Db.query ss "SELECT * FROM secrets"));
+  Alcotest.(check int) "inner view alone insufficient" 0
+    (List.length (Db.query ss "SELECT * FROM V1"));
+  let rows = Db.query ss "SELECT * FROM V2" in
+  Alcotest.(check int) "nested views fully declassify" 1 (List.length rows);
+  List.iter
+    (fun row ->
+      Alcotest.(check bool) "public result" true
+        (Label.is_empty (Tuple.label row)))
+    rows
+
+let suites =
+  [
+    ( "edge.constraints",
+      [
+        Alcotest.test_case "UPDATE re-checks FKs" `Quick test_update_rechecks_fk;
+        Alcotest.test_case "updates under polyinstantiation" `Quick
+          test_update_polyinstantiated_rows;
+        Alcotest.test_case "float/int column typing" `Quick test_float_int_widening;
+        Alcotest.test_case "pk update via index" `Quick test_pk_update_via_index;
+      ] );
+    ( "edge.views",
+      [ Alcotest.test_case "nested declassifying views" `Quick
+          test_nested_declassifying_views ] );
+    ( "edge.triggers",
+      [ Alcotest.test_case "update/delete kinds & drop" `Quick
+          test_trigger_update_delete_kinds ] );
+    ( "edge.labels",
+      [
+        Alcotest.test_case "set_label checks removals" `Quick
+          test_set_label_checks_removals;
+        Alcotest.test_case "with_label restore" `Quick test_with_label_restores;
+      ] );
+    ( "edge.ddl",
+      [
+        Alcotest.test_case "drop semantics" `Quick test_drop_semantics;
+        Alcotest.test_case "script errors abort txn" `Quick
+          test_script_error_aborts_explicit_txn;
+      ] );
+  ]

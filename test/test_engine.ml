@@ -1,0 +1,227 @@
+(* Engine-level tests: plan shapes (index selection, predicate
+   pushdown, join strategies) and a randomized optimizer-equivalence
+   property — optimized and deliberately de-optimized forms of the same
+   query must agree. *)
+
+module Db = Ifdb_core.Database
+module Planner = Ifdb_engine.Planner
+module Plan = Ifdb_engine.Plan
+module Parser = Ifdb_sql.Parser
+module A = Ifdb_sql.Ast
+module Value = Ifdb_rel.Value
+module Tuple = Ifdb_rel.Tuple
+
+let fixture () =
+  let db = Db.create ~ifc:false () in
+  let s = Db.connect_admin db in
+  ignore (Db.exec s "CREATE TABLE t1 (k INT PRIMARY KEY, g INT, v INT)");
+  ignore (Db.exec s "CREATE INDEX t1_g ON t1 (g, k)");
+  ignore (Db.exec s "CREATE TABLE t2 (k INT PRIMARY KEY, w INT)");
+  (db, s)
+
+let plan_of db sql =
+  match Parser.parse_one sql with
+  | A.S_select sel ->
+      Planner.plan_select
+        { Planner.pc_catalog = Db.catalog db; pc_auth = Db.authority db;
+          pc_exec = None }
+        sel
+  | _ -> Alcotest.fail "expected SELECT"
+
+let rec plan_exists pred plan =
+  pred plan
+  ||
+  match (plan : Plan.t) with
+  | Plan.One_row | Plan.Scan _ -> false
+  | Plan.Filter (p, _) | Plan.Project (p, _) | Plan.Distinct p
+  | Plan.Sort (p, _) | Plan.Limit (p, _, _) | Plan.Declassify (p, _, _) ->
+      plan_exists pred p
+  | Plan.Join { left; right; _ } | Plan.Union (left, right, _) ->
+      plan_exists pred left || plan_exists pred right
+  | Plan.Aggregate { src; _ } -> plan_exists pred src
+
+let uses_index plan =
+  plan_exists
+    (function Plan.Scan { sc_prefix = Some _; _ } -> true | _ -> false)
+    plan
+
+let uses_range plan =
+  plan_exists
+    (function
+      | Plan.Scan { sc_prefix = Some _; sc_lo; sc_hi; _ } ->
+          sc_lo <> None || sc_hi <> None
+      | _ -> false)
+    plan
+
+let uses_probe_join plan =
+  plan_exists
+    (function Plan.Join { probe = Some _; _ } -> true | _ -> false)
+    plan
+
+let has_bare_scan_of name plan =
+  plan_exists
+    (function
+      | Plan.Scan { sc_table; sc_prefix = None; _ } -> sc_table = name
+      | _ -> false)
+    plan
+
+let test_pk_probe_plan () =
+  let db, _ = fixture () in
+  let plan, _ = plan_of db "SELECT v FROM t1 WHERE k = 5" in
+  Alcotest.(check bool) "uses pk index" true (uses_index plan);
+  let plan, _ = plan_of db "SELECT v FROM t1 WHERE k + 0 = 5" in
+  Alcotest.(check bool) "expression defeats index" false (uses_index plan)
+
+let test_range_plan () =
+  let db, _ = fixture () in
+  let plan, _ = plan_of db "SELECT v FROM t1 WHERE g = 1 AND k >= 10 AND k < 20" in
+  Alcotest.(check bool) "uses index" true (uses_index plan);
+  Alcotest.(check bool) "uses range bound" true (uses_range plan);
+  (* a range with no equality prefix still narrows on the pk's first column *)
+  let plan, _ = plan_of db "SELECT v FROM t1 WHERE k > 100" in
+  Alcotest.(check bool) "range-only access" true (uses_range plan)
+
+let test_pushdown_through_join () =
+  let db, _ = fixture () in
+  (* the WHERE equality on t1.k must reach t1's scan below the join *)
+  let plan, _ =
+    plan_of db "SELECT * FROM t1, t2 WHERE t1.k = t2.k AND t1.k = 7"
+  in
+  Alcotest.(check bool) "no bare scan of t1" false (has_bare_scan_of "t1" plan)
+
+let test_probe_join_plan () =
+  let db, _ = fixture () in
+  let plan, _ =
+    plan_of db "SELECT * FROM t2 JOIN t1 ON t1.k = t2.k WHERE t2.w = 3"
+  in
+  Alcotest.(check bool) "index nested loop" true (uses_probe_join plan);
+  (* swapped orientation: selective side right, sweep side left *)
+  let plan, _ =
+    plan_of db "SELECT * FROM t1 JOIN t2 ON t1.k = t2.k WHERE t2.w = 3"
+  in
+  Alcotest.(check bool) "INL after side swap" true (uses_probe_join plan)
+
+let test_left_join_where_stays_above () =
+  let _db, s = fixture () in
+  ignore (Db.exec s "INSERT INTO t1 VALUES (1, 1, 10)");
+  (* WHERE d IS NULL on the right side of a LEFT JOIN must not be pushed
+     into the right scan (it filters after padding) *)
+  let rows =
+    Db.query s
+      "SELECT t1.k FROM t1 LEFT JOIN t2 ON t2.k = t1.k WHERE t2.w IS NULL"
+  in
+  Alcotest.(check int) "unmatched row kept" 1 (List.length rows)
+
+(* ------------------------------------------------------------------ *)
+(* Optimizer equivalence property                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Generate conjunctions over t1/t2 and compare the indexed query with
+   a '+ 0'-defeated variant: identical results regardless of plan. *)
+let gen_query =
+  QCheck.Gen.(
+    let cmp = oneofl [ "="; ">="; "<"; "<="; ">" ] in
+    let conj col =
+      map2 (fun op c -> Printf.sprintf "%s %s %d" col op c) cmp (int_range 0 40)
+    in
+    let conjs =
+      list_size (int_range 1 3) (oneof [ conj "t1.k"; conj "t1.g"; conj "t1.v" ])
+    in
+    let join = oneofl [ None; Some "t1.k = t2.k"; Some "t1.g = t2.w" ] in
+    map2
+      (fun cs j ->
+        let where = String.concat " AND " cs in
+        match j with
+        | None -> Printf.sprintf "SELECT t1.v FROM t1 WHERE %s ORDER BY t1.v" where
+        | Some cond ->
+            Printf.sprintf
+              "SELECT t1.v, t2.w FROM t1, t2 WHERE %s AND %s ORDER BY t1.v, t2.w"
+              cond where)
+      conjs join)
+
+(* naive global string replacement (Str is not linked) *)
+let replace_all ~sub ~by s =
+  let n = String.length s and m = String.length sub in
+  let buf = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    if !i + m <= n && String.sub s !i m = sub then begin
+      Buffer.add_string buf by;
+      i := !i + m
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let defeat sql =
+  (* wrap column references in arithmetic so index selection, equi
+     extraction and probe selection all fail; only inside WHERE, so the
+     projection and ORDER BY stay identical *)
+  match String.index_opt sql 'W' with
+  | Some i when String.length sql - i > 5 && String.sub sql i 5 = "WHERE" ->
+      let head = String.sub sql 0 i in
+      let tail = String.sub sql i (String.length sql - i) in
+      let tail =
+        List.fold_left
+          (fun acc (sub, by) -> replace_all ~sub ~by acc)
+          tail
+          [ ("t1.k", "(t1.k + 0)"); ("t1.g", "(t1.g + 0)");
+            ("t1.v", "(t1.v + 0)"); ("t2.k", "(t2.k + 0)");
+            ("t2.w", "(t2.w + 0)") ]
+      in
+      head ^ tail
+  | _ -> sql
+
+let optimizer_equivalence_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:80 ~name:"optimized = de-optimized results"
+       (QCheck.make ~print:Fun.id
+          QCheck.Gen.(
+            map2
+              (fun q seed -> Printf.sprintf "%d\x00%s" seed q)
+              gen_query (int_bound 1000)))
+       (fun packed ->
+         let seed, sql =
+           match String.index_opt packed '\x00' with
+           | Some i ->
+               ( int_of_string (String.sub packed 0 i),
+                 String.sub packed (i + 1) (String.length packed - i - 1) )
+           | None -> (0, packed)
+         in
+         let _db, s = fixture () in
+         let rng = Ifdb_workload.Rng.create ~seed in
+         ignore (Db.exec s "BEGIN");
+         for k = 0 to 60 do
+           ignore
+             (Db.exec s
+                (Printf.sprintf "INSERT INTO t1 VALUES (%d, %d, %d)" k
+                   (Ifdb_workload.Rng.int rng 8)
+                   (Ifdb_workload.Rng.int rng 40)))
+         done;
+         for k = 0 to 30 do
+           ignore
+             (Db.exec s
+                (Printf.sprintf "INSERT INTO t2 VALUES (%d, %d)" k
+                   (Ifdb_workload.Rng.int rng 8)))
+         done;
+         ignore (Db.exec s "COMMIT");
+         let run q = List.map Tuple.values (Db.query s q) in
+         run sql = run (defeat sql)))
+
+let suites =
+  [
+    ( "engine.plans",
+      [
+        Alcotest.test_case "pk probe" `Quick test_pk_probe_plan;
+        Alcotest.test_case "range access" `Quick test_range_plan;
+        Alcotest.test_case "pushdown through joins" `Quick
+          test_pushdown_through_join;
+        Alcotest.test_case "index-nested-loop joins" `Quick test_probe_join_plan;
+        Alcotest.test_case "LEFT JOIN filter placement" `Quick
+          test_left_join_where_stays_above;
+      ] );
+    ("engine.equivalence", [ optimizer_equivalence_prop ]);
+  ]

@@ -1,0 +1,471 @@
+(* Integration tests for the SQL pipeline: planner + executor over the
+   core, in baseline mode (ifc:false) so they exercise pure engine
+   behaviour, plus index/scan equivalence properties. *)
+
+module Db = Ifdb_core.Database
+module Errors = Ifdb_core.Errors
+module Value = Ifdb_rel.Value
+module Tuple = Ifdb_rel.Tuple
+
+let check_val = Alcotest.testable Value.pp Value.equal
+
+let fresh () =
+  let db = Db.create ~ifc:false () in
+  let s = Db.connect_admin db in
+  ignore
+    (Db.exec s
+       "CREATE TABLE emp (id INT PRIMARY KEY, name TEXT NOT NULL, dept TEXT, \
+        salary INT, boss INT)");
+  ignore
+    (Db.exec s
+       "INSERT INTO emp VALUES \
+        (1, 'ada', 'eng', 120, NULL), \
+        (2, 'bob', 'eng', 90, 1), \
+        (3, 'cyd', 'ops', 80, 1), \
+        (4, 'dan', 'ops', 80, 3), \
+        (5, 'eve', 'sales', 70, 1)");
+  ignore (Db.exec s "CREATE TABLE dept (dname TEXT PRIMARY KEY, budget INT)");
+  ignore
+    (Db.exec s
+       "INSERT INTO dept VALUES ('eng', 1000), ('ops', 500), ('hr', 100)");
+  (db, s)
+
+let col0_ints rows = List.map (fun r -> Value.to_int (Tuple.get r 0)) rows
+let col0_texts rows = List.map (fun r -> Value.to_text (Tuple.get r 0)) rows
+
+let test_select_where_order_limit () =
+  let _, s = fresh () in
+  let rows =
+    Db.query s
+      "SELECT name FROM emp WHERE salary >= 80 ORDER BY salary DESC, name ASC"
+  in
+  Alcotest.(check (list string)) "ordered" [ "ada"; "bob"; "cyd"; "dan" ]
+    (col0_texts rows);
+  let rows =
+    Db.query s "SELECT name FROM emp ORDER BY salary DESC LIMIT 2 OFFSET 1"
+  in
+  Alcotest.(check (list string)) "limit/offset" [ "bob"; "cyd" ] (col0_texts rows)
+
+let test_projection_expressions () =
+  let _, s = fresh () in
+  let row = Db.query_one s "SELECT salary * 2 + 1 AS d FROM emp WHERE id = 2" in
+  Alcotest.check check_val "arith" (Value.Int 181) (Tuple.get row 0);
+  let row = Db.query_one s "SELECT name || '!' FROM emp WHERE id = 1" in
+  Alcotest.check check_val "concat" (Value.Text "ada!") (Tuple.get row 0);
+  let row =
+    Db.query_one s
+      "SELECT CASE WHEN salary > 100 THEN 'high' ELSE 'low' END FROM emp WHERE id = 1"
+  in
+  Alcotest.check check_val "case" (Value.Text "high") (Tuple.get row 0)
+
+let test_select_star_and_qualified_star () =
+  let _, s = fresh () in
+  let row = Db.query_one s "SELECT * FROM emp WHERE id = 1" in
+  Alcotest.(check int) "arity" 5 (Tuple.arity row);
+  let row =
+    Db.query_one s
+      "SELECT e.* FROM emp e JOIN dept d ON e.dept = d.dname WHERE e.id = 1"
+  in
+  Alcotest.(check int) "table star arity" 5 (Tuple.arity row)
+
+let test_inner_join () =
+  let _, s = fresh () in
+  let rows =
+    Db.query s
+      "SELECT e.name, d.budget FROM emp e JOIN dept d ON e.dept = d.dname \
+       ORDER BY e.name"
+  in
+  Alcotest.(check int) "5 matched" 4 (List.length rows)
+  (* eve's 'sales' has no dept row *)
+
+let test_left_join () =
+  let _, s = fresh () in
+  let rows =
+    Db.query s
+      "SELECT e.name, d.budget FROM emp e LEFT JOIN dept d ON e.dept = d.dname \
+       WHERE d.budget IS NULL"
+  in
+  Alcotest.(check (list string)) "unmatched padded" [ "eve" ] (col0_texts rows)
+
+let test_self_join () =
+  let _, s = fresh () in
+  let rows =
+    Db.query s
+      "SELECT e.name, b.name FROM emp e JOIN emp b ON e.boss = b.id ORDER BY e.name"
+  in
+  Alcotest.(check (list string)) "workers" [ "bob"; "cyd"; "dan"; "eve" ]
+    (col0_texts rows);
+  Alcotest.(check (list string)) "bosses" [ "ada"; "ada"; "cyd"; "ada" ]
+    (List.map (fun r -> Value.to_text (Tuple.get r 1)) rows)
+
+let test_comma_join_where () =
+  let _, s = fresh () in
+  let rows =
+    Db.query s
+      "SELECT e.name FROM emp e, dept d WHERE e.dept = d.dname AND d.budget > 600"
+  in
+  Alcotest.(check (list string)) "eng only" [ "ada"; "bob" ]
+    (List.sort String.compare (col0_texts rows))
+
+let test_aggregates_global () =
+  let _, s = fresh () in
+  let row =
+    Db.query_one s
+      "SELECT COUNT(*), SUM(salary), AVG(salary), MIN(salary), MAX(salary), \
+       COUNT(boss) FROM emp"
+  in
+  Alcotest.check check_val "count" (Value.Int 5) (Tuple.get row 0);
+  Alcotest.check check_val "sum" (Value.Int 440) (Tuple.get row 1);
+  Alcotest.check check_val "avg" (Value.Float 88.0) (Tuple.get row 2);
+  Alcotest.check check_val "min" (Value.Int 70) (Tuple.get row 3);
+  Alcotest.check check_val "max" (Value.Int 120) (Tuple.get row 4);
+  Alcotest.check check_val "count non-null" (Value.Int 4) (Tuple.get row 5)
+
+let test_aggregates_empty_input () =
+  let _, s = fresh () in
+  let row = Db.query_one s "SELECT COUNT(*), SUM(salary) FROM emp WHERE id > 99" in
+  Alcotest.check check_val "count 0" (Value.Int 0) (Tuple.get row 0);
+  Alcotest.check check_val "sum null" Value.Null (Tuple.get row 1)
+
+let test_group_by_having () =
+  let _, s = fresh () in
+  let rows =
+    Db.query s
+      "SELECT dept, COUNT(*) AS n, SUM(salary) FROM emp GROUP BY dept \
+       HAVING COUNT(*) > 1 ORDER BY dept"
+  in
+  Alcotest.(check (list string)) "groups" [ "eng"; "ops" ] (col0_texts rows);
+  Alcotest.(check (list int)) "sums" [ 210; 160 ]
+    (List.map (fun r -> Value.to_int (Tuple.get r 2)) rows)
+
+let test_group_by_expression_key () =
+  let _, s = fresh () in
+  let rows =
+    Db.query s
+      "SELECT salary / 50, COUNT(*) FROM emp GROUP BY salary / 50 ORDER BY salary / 50"
+  in
+  Alcotest.(check (list int)) "bucket keys" [ 1; 2 ] (col0_ints rows)
+
+let test_distinct () =
+  let _, s = fresh () in
+  let rows = Db.query s "SELECT DISTINCT dept FROM emp ORDER BY dept" in
+  Alcotest.(check (list string)) "distinct" [ "eng"; "ops"; "sales" ] (col0_texts rows)
+
+let test_subquery_in_from () =
+  let _, s = fresh () in
+  let row =
+    Db.query_one s
+      "SELECT MAX(n) FROM (SELECT dept, COUNT(*) AS n FROM emp GROUP BY dept) AS g"
+  in
+  Alcotest.check check_val "max group size" (Value.Int 2) (Tuple.get row 0)
+
+let test_in_like_null_predicates () =
+  let _, s = fresh () in
+  Alcotest.(check int) "in" 2
+    (List.length (Db.query s "SELECT * FROM emp WHERE id IN (1, 3)"));
+  Alcotest.(check int) "like" 1
+    (List.length (Db.query s "SELECT * FROM emp WHERE name LIKE 'a%'"));
+  Alcotest.(check int) "is null" 1
+    (List.length (Db.query s "SELECT * FROM emp WHERE boss IS NULL"));
+  Alcotest.(check int) "not in" 3
+    (List.length (Db.query s "SELECT * FROM emp WHERE id NOT IN (1, 3)"))
+
+let test_scalar_functions () =
+  let db, s = fresh () in
+  Alcotest.(check string) "upper" "ADA"
+    (Value.to_text (Tuple.get (Db.query_one s "SELECT upper(name) FROM emp WHERE id = 1") 0));
+  Alcotest.(check int) "coalesce" 0
+    (Value.to_int
+       (Tuple.get (Db.query_one s "SELECT coalesce(boss, 0) FROM emp WHERE id = 1") 0));
+  (* user-registered scalar *)
+  Db.register_scalar db ~name:"double_it" (fun _s args ->
+      match args with
+      | [ Value.Int i ] -> Value.Int (2 * i)
+      | _ -> failwith "bad args");
+  Alcotest.(check int) "registered scalar" 240
+    (Value.to_int
+       (Tuple.get (Db.query_one s "SELECT double_it(salary) FROM emp WHERE id = 1") 0))
+
+let test_select_without_from () =
+  let _, s = fresh () in
+  let row = Db.query_one s "SELECT 1 + 2, 'x'" in
+  Alcotest.check check_val "const" (Value.Int 3) (Tuple.get row 0);
+  Alcotest.check check_val "text" (Value.Text "x") (Tuple.get row 1)
+
+let test_update_with_expressions () =
+  let _, s = fresh () in
+  (match Db.exec s "UPDATE emp SET salary = salary + 10 WHERE dept = 'ops'" with
+  | Db.Affected 2 -> ()
+  | _ -> Alcotest.fail "two rows");
+  let row = Db.query_one s "SELECT SUM(salary) FROM emp" in
+  Alcotest.check check_val "sum grew by 20" (Value.Int 460) (Tuple.get row 0)
+
+let test_between_count_distinct () =
+  let _, s = fresh () in
+  Alcotest.(check int) "between" 3
+    (List.length (Db.query s "SELECT * FROM emp WHERE salary BETWEEN 80 AND 100"));
+  Alcotest.(check int) "not between" 2
+    (List.length (Db.query s "SELECT * FROM emp WHERE salary NOT BETWEEN 80 AND 100"));
+  let row = Db.query_one s "SELECT COUNT(DISTINCT dept), COUNT(DISTINCT salary) FROM emp" in
+  Alcotest.check check_val "distinct depts" (Value.Int 3) (Tuple.get row 0);
+  Alcotest.check check_val "distinct salaries" (Value.Int 4) (Tuple.get row 1);
+  (* grouped COUNT(DISTINCT) *)
+  let rows =
+    Db.query s
+      "SELECT dept, COUNT(DISTINCT salary) FROM emp GROUP BY dept ORDER BY dept"
+  in
+  Alcotest.(check (list int)) "per group" [ 2; 1; 1 ]
+    (List.map (fun r -> Value.to_int (Tuple.get r 1)) rows)
+
+let test_union () =
+  let _, s = fresh () in
+  let rows =
+    Db.query s
+      "SELECT dept FROM emp WHERE salary > 100 UNION SELECT dept FROM emp        WHERE dept = 'ops' ORDER BY dept"
+  in
+  Alcotest.(check (list string)) "union dedupes" [ "eng"; "ops" ] (col0_texts rows);
+  let rows =
+    Db.query s
+      "SELECT dept FROM emp WHERE dept = 'ops' UNION ALL SELECT dept FROM emp        WHERE dept = 'ops'"
+  in
+  Alcotest.(check int) "union all keeps duplicates" 4 (List.length rows);
+  (* trailing LIMIT applies to the whole union *)
+  let rows =
+    Db.query s "SELECT id FROM emp UNION ALL SELECT id FROM emp ORDER BY id LIMIT 3"
+  in
+  Alcotest.(check (list int)) "union order/limit" [ 1; 1; 2 ] (col0_ints rows);
+  (* arity mismatch is rejected *)
+  match Db.exec s "SELECT id, name FROM emp UNION SELECT id FROM emp" with
+  | exception Errors.Sql_error _ -> ()
+  | _ -> Alcotest.fail "arity mismatch should fail"
+
+let test_scalar_subqueries () =
+  let _, s = fresh () in
+  (* uncorrelated scalar subquery in WHERE *)
+  let rows =
+    Db.query s
+      "SELECT name FROM emp WHERE salary = (SELECT MAX(salary) FROM emp)"
+  in
+  Alcotest.(check (list string)) "max earner" [ "ada" ] (col0_texts rows);
+  (* in the projection *)
+  let row =
+    Db.query_one s "SELECT salary - (SELECT AVG(salary) FROM emp) FROM emp WHERE id = 1"
+  in
+  Alcotest.check check_val "delta from mean" (Value.Float 32.0) (Tuple.get row 0);
+  (* EXISTS *)
+  Alcotest.(check int) "exists true" 5
+    (List.length (Db.query s "SELECT * FROM emp WHERE EXISTS (SELECT * FROM dept)"));
+  Alcotest.(check int) "exists false" 0
+    (List.length
+       (Db.query s
+          "SELECT * FROM emp WHERE EXISTS (SELECT * FROM dept WHERE budget > 9999)"));
+  (* empty scalar subquery yields NULL, and NULL comparisons drop rows *)
+  Alcotest.(check int) "null subquery" 0
+    (List.length
+       (Db.query s
+          "SELECT * FROM emp WHERE salary = (SELECT budget FROM dept WHERE            dname = 'nope')"));
+  (* multi-row scalar subquery is an error *)
+  match Db.exec s "SELECT * FROM emp WHERE salary = (SELECT salary FROM emp)" with
+  | exception Errors.Sql_error _ -> ()
+  | _ -> Alcotest.fail "multi-row scalar subquery must fail"
+
+let test_insert_select () =
+  let db = Db.create ~ifc:false () in
+  let s = Db.connect_admin db in
+  ignore (Db.exec s "CREATE TABLE src (a INT, b TEXT)");
+  ignore (Db.exec s "CREATE TABLE dst (a INT, b TEXT)");
+  ignore (Db.exec s "INSERT INTO src VALUES (1, 'x'), (2, 'y'), (3, 'z')");
+  (match Db.exec s "INSERT INTO dst SELECT a * 10, b FROM src WHERE a > 1" with
+  | Db.Affected 2 -> ()
+  | _ -> Alcotest.fail "insert..select count");
+  Alcotest.(check (list int)) "copied" [ 20; 30 ]
+    (List.sort Int.compare (col0_ints (Db.query s "SELECT a FROM dst")))
+
+let test_range_scan_matches_full () =
+  let db = Db.create ~ifc:false () in
+  let s = Db.connect_admin db in
+  ignore (Db.exec s "CREATE TABLE r (g INT, k INT, v INT, PRIMARY KEY (g, k))");
+  for i = 0 to 299 do
+    ignore
+      (Db.exec s (Printf.sprintf "INSERT INTO r VALUES (%d, %d, %d)" (i mod 3) i (i * 2)))
+  done;
+  (* range on the component after the eq prefix uses the pk index; the
+     +0 variant defeats index selection entirely *)
+  let a = Db.query s "SELECT k FROM r WHERE g = 1 AND k >= 100 AND k < 200 ORDER BY k" in
+  let b =
+    Db.query s "SELECT k FROM r WHERE g + 0 = 1 AND k >= 100 AND k < 200 ORDER BY k"
+  in
+  Alcotest.(check (list int)) "range = full" (col0_ints b) (col0_ints a);
+  Alcotest.(check bool) "nonempty" true (List.length a > 10)
+
+let test_index_scan_matches_full_scan () =
+  (* build a bigger table and compare indexed vs non-indexed access *)
+  let db = Db.create ~ifc:false () in
+  let s = Db.connect_admin db in
+  ignore (Db.exec s "CREATE TABLE big (k INT PRIMARY KEY, grp INT, v INT)");
+  for i = 1 to 500 do
+    ignore
+      (Db.exec s
+         (Printf.sprintf "INSERT INTO big VALUES (%d, %d, %d)" i (i mod 7)
+            (i * 3)))
+  done;
+  ignore (Db.exec s "CREATE INDEX big_grp ON big (grp, k)");
+  (* equality on the pk uses the pk index; compare against predicate
+     that defeats index selection *)
+  let a = Db.query s "SELECT v FROM big WHERE k = 123" in
+  let b = Db.query s "SELECT v FROM big WHERE k + 0 = 123" in
+  Alcotest.(check (list int)) "pk probe" (col0_ints b) (col0_ints a);
+  let a = Db.query s "SELECT k FROM big WHERE grp = 3 ORDER BY k" in
+  let b = Db.query s "SELECT k FROM big WHERE grp + 0 = 3 ORDER BY k" in
+  Alcotest.(check (list int)) "secondary index" (col0_ints b) (col0_ints a);
+  Alcotest.(check int) "nonempty" ((500 / 7) + 1) (List.length a)
+
+let test_index_scan_sees_updates () =
+  let db = Db.create ~ifc:false () in
+  let s = Db.connect_admin db in
+  ignore (Db.exec s "CREATE TABLE t (k INT PRIMARY KEY, v INT)");
+  ignore (Db.exec s "INSERT INTO t VALUES (1, 10)");
+  ignore (Db.exec s "UPDATE t SET v = 20 WHERE k = 1");
+  let row = Db.query_one s "SELECT v FROM t WHERE k = 1" in
+  Alcotest.check check_val "index sees new version only" (Value.Int 20)
+    (Tuple.get row 0);
+  Alcotest.(check int) "one row" 1
+    (List.length (Db.query s "SELECT * FROM t WHERE k = 1"));
+  ignore (Db.exec s "DELETE FROM t WHERE k = 1");
+  Alcotest.(check int) "deleted" 0 (List.length (Db.query s "SELECT * FROM t WHERE k = 1"))
+
+let test_unique_across_updates () =
+  let db = Db.create ~ifc:false () in
+  let s = Db.connect_admin db in
+  ignore (Db.exec s "CREATE TABLE t (k INT PRIMARY KEY, v INT)");
+  ignore (Db.exec s "INSERT INTO t VALUES (1, 10), (2, 20)");
+  (* updating a row to its own key is fine *)
+  ignore (Db.exec s "UPDATE t SET v = 11 WHERE k = 1");
+  (* inserting a deleted key is fine *)
+  ignore (Db.exec s "DELETE FROM t WHERE k = 2");
+  ignore (Db.exec s "INSERT INTO t VALUES (2, 21)");
+  (* but a live duplicate is not *)
+  match Db.exec s "INSERT INTO t VALUES (1, 99)" with
+  | exception Errors.Constraint_violation _ -> ()
+  | _ -> Alcotest.fail "duplicate pk"
+
+let test_multi_statement_script () =
+  let db = Db.create ~ifc:false () in
+  let s = Db.connect_admin db in
+  let results =
+    Db.exec_script s
+      "CREATE TABLE t (a INT); BEGIN; INSERT INTO t VALUES (1); INSERT INTO t \
+       VALUES (2); COMMIT; SELECT COUNT(*) FROM t"
+  in
+  match List.rev results with
+  | Db.Rows { tuples = [ row ]; _ } :: _ ->
+      Alcotest.check check_val "script result" (Value.Int 2) (Tuple.get row 0)
+  | _ -> Alcotest.fail "script shape"
+
+let test_sql_errors_surface () =
+  let db = Db.create ~ifc:false () in
+  let s = Db.connect_admin db in
+  let expect_sql_error text =
+    match Db.exec s text with
+    | exception Errors.Sql_error _ -> ()
+    | _ -> Alcotest.failf "expected Sql_error for %s" text
+  in
+  expect_sql_error "SELECT * FROM missing";
+  expect_sql_error "SELECT nocolumn FROM missing";
+  expect_sql_error "FROB 1";
+  ignore (Db.exec s "CREATE TABLE t (a INT)");
+  ignore (Db.exec s "INSERT INTO t VALUES (1)");
+  expect_sql_error "SELECT nocol FROM t";
+  expect_sql_error "INSERT INTO t (nocol) VALUES (1)";
+  (* function resolution happens at evaluation, so a row must exist *)
+  expect_sql_error "SELECT unknown_fn(a) FROM t";
+  expect_sql_error "COMMIT" (* no open transaction *)
+
+(* Property: hash join equals nested-loop join.  We defeat the equi
+   extraction by wrapping one side in an arithmetic identity. *)
+let join_equivalence_prop =
+  let gen =
+    QCheck.Gen.(
+      pair
+        (list_size (int_bound 30) (pair (int_range 0 5) (int_range 0 50)))
+        (list_size (int_bound 30) (pair (int_range 0 5) (int_range 0 50))))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:40 ~name:"hash join = nested loop join"
+       (QCheck.make gen) (fun (l, r) ->
+         let db = Db.create ~ifc:false () in
+         let s = Db.connect_admin db in
+         ignore (Db.exec s "CREATE TABLE l (k INT, v INT)");
+         ignore (Db.exec s "CREATE TABLE r (k INT, v INT)");
+         List.iter
+           (fun (k, v) ->
+             ignore (Db.exec s (Printf.sprintf "INSERT INTO l VALUES (%d, %d)" k v)))
+           l;
+         List.iter
+           (fun (k, v) ->
+             ignore (Db.exec s (Printf.sprintf "INSERT INTO r VALUES (%d, %d)" k v)))
+           r;
+         let q1 =
+           Db.query s
+             "SELECT l.v, r.v FROM l JOIN r ON l.k = r.k ORDER BY l.v, r.v"
+         in
+         let q2 =
+           Db.query s
+             "SELECT l.v, r.v FROM l JOIN r ON l.k + 0 = r.k ORDER BY l.v, r.v"
+         in
+         List.map Tuple.values q1 = List.map Tuple.values q2))
+
+let suites =
+  [
+    ( "query.select",
+      [
+        Alcotest.test_case "where/order/limit" `Quick test_select_where_order_limit;
+        Alcotest.test_case "projection expressions" `Quick test_projection_expressions;
+        Alcotest.test_case "star & qualified star" `Quick
+          test_select_star_and_qualified_star;
+        Alcotest.test_case "predicates" `Quick test_in_like_null_predicates;
+        Alcotest.test_case "scalar functions" `Quick test_scalar_functions;
+        Alcotest.test_case "FROM-less select" `Quick test_select_without_from;
+      ] );
+    ( "query.joins",
+      [
+        Alcotest.test_case "inner join" `Quick test_inner_join;
+        Alcotest.test_case "left join" `Quick test_left_join;
+        Alcotest.test_case "self join" `Quick test_self_join;
+        Alcotest.test_case "comma join" `Quick test_comma_join_where;
+        join_equivalence_prop;
+      ] );
+    ( "query.aggregates",
+      [
+        Alcotest.test_case "global aggregates" `Quick test_aggregates_global;
+        Alcotest.test_case "empty input" `Quick test_aggregates_empty_input;
+        Alcotest.test_case "group by / having" `Quick test_group_by_having;
+        Alcotest.test_case "expression keys" `Quick test_group_by_expression_key;
+        Alcotest.test_case "distinct" `Quick test_distinct;
+        Alcotest.test_case "subquery in FROM" `Quick test_subquery_in_from;
+      ] );
+    ( "query.dml",
+      [
+        Alcotest.test_case "update with expressions" `Quick test_update_with_expressions;
+        Alcotest.test_case "unique across updates" `Quick test_unique_across_updates;
+        Alcotest.test_case "multi-statement script" `Quick test_multi_statement_script;
+        Alcotest.test_case "errors surface" `Quick test_sql_errors_surface;
+      ] );
+    ( "query.indexes",
+      [
+        Alcotest.test_case "index scan = full scan" `Quick
+          test_index_scan_matches_full_scan;
+        Alcotest.test_case "range scan = full scan" `Quick
+          test_range_scan_matches_full;
+        Alcotest.test_case "index sees updates" `Quick test_index_scan_sees_updates;
+      ] );
+    ( "query.extensions",
+      [
+        Alcotest.test_case "BETWEEN & COUNT(DISTINCT)" `Quick
+          test_between_count_distinct;
+        Alcotest.test_case "UNION / UNION ALL" `Quick test_union;
+        Alcotest.test_case "INSERT ... SELECT" `Quick test_insert_select;
+        Alcotest.test_case "scalar subqueries & EXISTS" `Quick
+          test_scalar_subqueries;
+      ] );
+  ]

@@ -1,0 +1,341 @@
+(* Tests for the relational data model: values, datatypes, schemas,
+   tuples, expressions. *)
+
+open Ifdb_rel
+module Label = Ifdb_difc.Label
+module Tag = Ifdb_difc.Tag
+
+let v_int i = Value.Int i
+let v_txt s = Value.Text s
+
+(* ------------------------------------------------------------------ *)
+(* Value                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_value_equal () =
+  Alcotest.(check bool) "int eq" true (Value.equal (v_int 3) (v_int 3));
+  Alcotest.(check bool) "null eq null" true (Value.equal Value.Null Value.Null);
+  Alcotest.(check bool) "null neq int" false (Value.equal Value.Null (v_int 0));
+  Alcotest.(check bool) "int neq float" false
+    (Value.equal (v_int 1) (Value.Float 1.0))
+
+let test_value_compare () =
+  Alcotest.(check bool) "int < int" true (Value.compare (v_int 1) (v_int 2) < 0);
+  Alcotest.(check int) "int = float numerically" 0
+    (Value.compare (v_int 2) (Value.Float 2.0));
+  Alcotest.(check bool) "float < int numerically" true
+    (Value.compare (Value.Float 1.5) (v_int 2) < 0);
+  Alcotest.(check bool) "null sorts first" true
+    (Value.compare Value.Null (v_int (-100)) < 0);
+  Alcotest.(check bool) "text order" true
+    (Value.compare (v_txt "abc") (v_txt "abd") < 0)
+
+let test_value_coerce () =
+  Alcotest.(check int) "to_int" 5 (Value.to_int (v_int 5));
+  Alcotest.(check int) "float to_int" 3 (Value.to_int (Value.Float 3.7));
+  Alcotest.(check (float 0.001)) "to_float" 5.0 (Value.to_float (v_int 5));
+  Alcotest.(check string) "to_text int" "42" (Value.to_text (v_int 42));
+  Alcotest.(check bool) "to_bool" true (Value.to_bool (Value.Bool true));
+  (match Value.to_int (v_txt "x") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument")
+
+let test_value_byte_size () =
+  Alcotest.(check int) "int" 8 (Value.byte_size (v_int 1));
+  Alcotest.(check int) "null" 0 (Value.byte_size Value.Null);
+  Alcotest.(check int) "text" 9 (Value.byte_size (v_txt "hello"));
+  Alcotest.(check int) "ints" 12 (Value.byte_size (Value.Ints [| 1; 2 |]))
+
+(* ------------------------------------------------------------------ *)
+(* Datatype                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_datatype_accepts () =
+  Alcotest.(check bool) "int" true (Datatype.accepts Datatype.Tint (v_int 1));
+  Alcotest.(check bool) "null anywhere" true (Datatype.accepts Datatype.Tint Value.Null);
+  Alcotest.(check bool) "int widens to float" true
+    (Datatype.accepts Datatype.Tfloat (v_int 1));
+  Alcotest.(check bool) "float not int" false
+    (Datatype.accepts Datatype.Tint (Value.Float 1.0));
+  Alcotest.(check bool) "text" false (Datatype.accepts Datatype.Tbool (v_txt "t"))
+
+let test_datatype_names () =
+  Alcotest.(check (option string)) "INT" (Some "INT")
+    (Option.map Datatype.name (Datatype.of_name "integer"));
+  Alcotest.(check (option string)) "TEXT" (Some "TEXT")
+    (Option.map Datatype.name (Datatype.of_name "VARCHAR"));
+  Alcotest.(check (option string)) "unknown" None
+    (Option.map Datatype.name (Datatype.of_name "blob"))
+
+(* ------------------------------------------------------------------ *)
+(* Schema                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let patients =
+  Schema.make ~name:"patients"
+    ~columns:
+      [ ("name", Datatype.Ttext); ("dob", Datatype.Ttext); ("age", Datatype.Tint) ]
+    ~nullable:[ "age" ] ~primary_key:[ "name"; "dob" ] ()
+
+let test_schema_cols () =
+  Alcotest.(check int) "index" 1 (Schema.col_index patients "dob");
+  Alcotest.(check int) "case-insensitive" 0 (Schema.col_index patients "NAME");
+  Alcotest.(check bool) "has" false (Schema.has_column patients "zip");
+  Alcotest.(check int) "arity" 3 (Schema.arity patients)
+
+let test_schema_check_values () =
+  let ok = Schema.check_values patients [| v_txt "Bob"; v_txt "6/26/78"; v_int 44 |] in
+  Alcotest.(check bool) "ok" true (ok = Ok ());
+  (match Schema.check_values patients [| v_txt "Bob"; Value.Null; v_int 1 |] with
+  | Error msg -> Alcotest.(check bool) "not null msg" true
+      (String.length msg > 0)
+  | Ok () -> Alcotest.fail "expected NOT NULL violation");
+  (match Schema.check_values patients [| v_txt "Bob"; v_txt "x"; v_txt "old" |] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected type violation");
+  (match Schema.check_values patients [| v_txt "Bob" |] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected arity violation");
+  Alcotest.(check bool) "nullable col accepts null" true
+    (Schema.check_values patients [| v_txt "B"; v_txt "d"; Value.Null |] = Ok ())
+
+let test_schema_bad_key () =
+  match
+    Schema.make ~name:"t" ~columns:[ ("a", Datatype.Tint) ] ~primary_key:[ "b" ] ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_schema_all_uniques () =
+  let s =
+    Schema.make ~name:"t"
+      ~columns:[ ("a", Datatype.Tint); ("b", Datatype.Tint) ]
+      ~primary_key:[ "a" ]
+      ~uniques:[ ("t_b_key", [ "b" ]) ]
+      ()
+  in
+  Alcotest.(check (list string)) "names" [ "t_pkey"; "t_b_key" ]
+    (List.map (fun u -> u.Schema.uq_name) (Schema.all_uniques s))
+
+(* ------------------------------------------------------------------ *)
+(* Tuple                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_tuple_sizes () =
+  let lbl = Label.of_list [ Tag.of_int 1; Tag.of_int 2 ] in
+  let t = Tuple.make ~values:[| v_int 1; v_txt "ab" |] ~label:lbl in
+  (* header 24 + int 8 + text (4+2) + label 2*4 *)
+  Alcotest.(check int) "labeled" 46 (Tuple.byte_size t);
+  Alcotest.(check int) "unlabeled" 38 (Tuple.byte_size_unlabeled t);
+  let t0 = Tuple.make ~values:[| v_int 1 |] ~label:Label.empty in
+  Alcotest.(check int) "empty label adds nothing"
+    (Tuple.byte_size_unlabeled t0) (Tuple.byte_size t0)
+
+let test_tuple_project () =
+  let lbl = Label.singleton (Tag.of_int 7) in
+  let t = Tuple.make ~values:[| v_int 1; v_int 2; v_int 3 |] ~label:lbl in
+  let p = Tuple.project t [| 2; 0 |] in
+  Alcotest.(check bool) "values" true
+    (Value.equal (Tuple.get p 0) (v_int 3) && Value.equal (Tuple.get p 1) (v_int 1));
+  Alcotest.(check bool) "label preserved" true (Label.equal (Tuple.label p) lbl)
+
+(* ------------------------------------------------------------------ *)
+(* Expr                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let env = Expr.null_env
+
+let row_label = Label.of_list [ Tag.of_int 3; Tag.of_int 8 ]
+
+let row =
+  Tuple.make
+    ~values:[| v_int 10; v_txt "hello"; Value.Null; Value.Bool true; Value.Float 2.5 |]
+    ~label:row_label
+
+let ev e = Expr.eval env row e
+let check_val = Alcotest.testable Value.pp Value.equal
+
+let test_expr_arith () =
+  let open Expr in
+  Alcotest.check check_val "add" (v_int 13)
+    (ev (Binop (Add, Col 0, Const (v_int 3))));
+  Alcotest.check check_val "mixed float" (Value.Float 12.5)
+    (ev (Binop (Add, Col 0, Col 4)));
+  Alcotest.check check_val "div int" (v_int 3)
+    (ev (Binop (Div, Col 0, Const (v_int 3))));
+  Alcotest.check check_val "mod" (v_int 1)
+    (ev (Binop (Mod, Col 0, Const (v_int 3))));
+  Alcotest.check check_val "neg" (v_int (-10)) (ev (Unop (Neg, Col 0)));
+  (match ev (Expr.Binop (Div, Col 0, Const (v_int 0))) with
+  | exception Expr.Type_error _ -> ()
+  | _ -> Alcotest.fail "expected div by zero error")
+
+let test_expr_null_propagation () =
+  let open Expr in
+  Alcotest.check check_val "null + int" Value.Null
+    (ev (Binop (Add, Col 2, Const (v_int 1))));
+  Alcotest.check check_val "null = null is null" Value.Null
+    (ev (Binop (Eq, Col 2, Col 2)));
+  Alcotest.check check_val "is null" (Value.Bool true) (ev (Is_null (Col 2)));
+  Alcotest.check check_val "is not null" (Value.Bool true) (ev (Is_not_null (Col 0)));
+  Alcotest.check check_val "not null is null" Value.Null (ev (Unop (Not, Col 2)))
+
+let test_expr_kleene () =
+  let open Expr in
+  let null = Const Value.Null and t = Const (Value.Bool true)
+  and f = Const (Value.Bool false) in
+  Alcotest.check check_val "false and null = false" (Value.Bool false)
+    (ev (Binop (And, f, null)));
+  Alcotest.check check_val "null and false = false" (Value.Bool false)
+    (ev (Binop (And, null, f)));
+  Alcotest.check check_val "true and null = null" Value.Null
+    (ev (Binop (And, t, null)));
+  Alcotest.check check_val "true or null = true" (Value.Bool true)
+    (ev (Binop (Or, t, null)));
+  Alcotest.check check_val "null or true = true" (Value.Bool true)
+    (ev (Binop (Or, null, t)));
+  Alcotest.check check_val "false or null = null" Value.Null
+    (ev (Binop (Or, f, null)))
+
+let test_expr_compare_like_in () =
+  let open Expr in
+  Alcotest.check check_val "lt" (Value.Bool true)
+    (ev (Binop (Lt, Col 0, Const (v_int 11))));
+  Alcotest.check check_val "text eq" (Value.Bool true)
+    (ev (Binop (Eq, Col 1, Const (v_txt "hello"))));
+  Alcotest.check check_val "like" (Value.Bool true) (ev (Like (Col 1, "he%o")));
+  Alcotest.check check_val "like underscore" (Value.Bool true)
+    (ev (Like (Col 1, "h_llo")));
+  Alcotest.check check_val "not like" (Value.Bool false) (ev (Like (Col 1, "x%")));
+  Alcotest.check check_val "in" (Value.Bool true)
+    (ev (In_list (Col 0, [ v_int 9; v_int 10 ])));
+  Alcotest.check check_val "not in" (Value.Bool false)
+    (ev (In_list (Col 0, [ v_int 9 ])));
+  Alcotest.check check_val "null in = null" Value.Null
+    (ev (In_list (Col 2, [ v_int 9 ])));
+  Alcotest.check check_val "concat" (v_txt "hello!")
+    (ev (Binop (Concat, Col 1, Const (v_txt "!"))))
+
+let test_expr_case_fn () =
+  let open Expr in
+  let e =
+    Case
+      ( [ (Binop (Gt, Col 0, Const (v_int 100)), Const (v_txt "big"));
+          (Binop (Gt, Col 0, Const (v_int 5)), Const (v_txt "mid")) ],
+        Const (v_txt "small") )
+  in
+  Alcotest.check check_val "case picks mid" (v_txt "mid") (ev e);
+  let env = { Expr.fn = (fun name args ->
+      match (name, args) with
+      | "abs", [ Value.Int i ] -> Value.Int (abs i)
+      | _ -> failwith "no") } in
+  Alcotest.check check_val "fn" (v_int 10)
+    (Expr.eval env row (Fn ("abs", [ Unop (Neg, Col 0) ])))
+
+let test_expr_pred () =
+  let open Expr in
+  Alcotest.(check bool) "true" true
+    (Expr.eval_pred env row (Binop (Gt, Col 0, Const (v_int 1))));
+  Alcotest.(check bool) "null is not true" false
+    (Expr.eval_pred env row (Binop (Gt, Col 2, Const (v_int 1))));
+  Alcotest.(check bool) "false" false
+    (Expr.eval_pred env row (Binop (Lt, Col 0, Const (v_int 1))))
+
+let test_expr_columns_shift () =
+  let open Expr in
+  let e = Binop (And, Binop (Eq, Col 3, Col 1), Like (Col 1, "x")) in
+  Alcotest.(check (list int)) "columns_used" [ 1; 3 ] (Expr.columns_used e);
+  Alcotest.(check (list int)) "shifted" [ 6; 8 ]
+    (Expr.columns_used (Expr.shift_columns ~by:5 e))
+
+let test_expr_row_label () =
+  let open Expr in
+  Alcotest.check check_val "_label reads the row label" (Value.Ints [| 3; 8 |])
+    (ev Row_label);
+  (* exact-label queries (paper section 4.2): _label = {3, 8} *)
+  Alcotest.check check_val "exact label match" (Value.Bool true)
+    (ev (Binop (Eq, Row_label, Const (Value.Ints [| 3; 8 |]))));
+  Alcotest.check check_val "exact label mismatch" (Value.Bool false)
+    (ev (Binop (Eq, Row_label, Const (Value.Ints [| 3 |]))))
+
+let test_expr_type_errors () =
+  let open Expr in
+  (match ev (Binop (Add, Col 1, Const (v_int 1))) with
+  | exception Expr.Type_error _ -> ()
+  | _ -> Alcotest.fail "text + int should fail");
+  (match ev (Binop (Lt, Col 1, Const (v_int 1))) with
+  | exception Expr.Type_error _ -> ()
+  | _ -> Alcotest.fail "text < int should fail")
+
+(* LIKE property: against a reference matcher built on Str-free naive
+   dynamic programming. *)
+let naive_like s p =
+  let ns = String.length s and np = String.length p in
+  let dp = Array.make_matrix (ns + 1) (np + 1) false in
+  dp.(0).(0) <- true;
+  for j = 1 to np do
+    if p.[j - 1] = '%' then dp.(0).(j) <- dp.(0).(j - 1)
+  done;
+  for i = 1 to ns do
+    for j = 1 to np do
+      dp.(i).(j) <-
+        (match p.[j - 1] with
+        | '%' -> dp.(i).(j - 1) || dp.(i - 1).(j)
+        | '_' -> dp.(i - 1).(j - 1)
+        | c -> c = s.[i - 1] && dp.(i - 1).(j - 1))
+    done
+  done;
+  dp.(ns).(np)
+
+let like_prop =
+  let gen =
+    QCheck.Gen.(
+      pair
+        (string_size ~gen:(oneofl [ 'a'; 'b'; 'c' ]) (int_bound 8))
+        (string_size ~gen:(oneofl [ 'a'; 'b'; '%'; '_' ]) (int_bound 6)))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:2000 ~name:"LIKE matches reference matcher"
+       (QCheck.make ~print:(fun (s, p) -> Printf.sprintf "%S ~ %S" s p) gen)
+       (fun (s, p) -> Expr.like_match s ~pattern:p = naive_like s p))
+
+let suites =
+  [
+    ( "rel.value",
+      [
+        Alcotest.test_case "equal" `Quick test_value_equal;
+        Alcotest.test_case "compare" `Quick test_value_compare;
+        Alcotest.test_case "coerce" `Quick test_value_coerce;
+        Alcotest.test_case "byte size" `Quick test_value_byte_size;
+      ] );
+    ( "rel.datatype",
+      [
+        Alcotest.test_case "accepts" `Quick test_datatype_accepts;
+        Alcotest.test_case "names" `Quick test_datatype_names;
+      ] );
+    ( "rel.schema",
+      [
+        Alcotest.test_case "columns" `Quick test_schema_cols;
+        Alcotest.test_case "check_values" `Quick test_schema_check_values;
+        Alcotest.test_case "bad key rejected" `Quick test_schema_bad_key;
+        Alcotest.test_case "all_uniques" `Quick test_schema_all_uniques;
+      ] );
+    ( "rel.tuple",
+      [
+        Alcotest.test_case "byte sizes" `Quick test_tuple_sizes;
+        Alcotest.test_case "project" `Quick test_tuple_project;
+      ] );
+    ( "rel.expr",
+      [
+        Alcotest.test_case "arithmetic" `Quick test_expr_arith;
+        Alcotest.test_case "null propagation" `Quick test_expr_null_propagation;
+        Alcotest.test_case "kleene and/or" `Quick test_expr_kleene;
+        Alcotest.test_case "compare/like/in" `Quick test_expr_compare_like_in;
+        Alcotest.test_case "case & functions" `Quick test_expr_case_fn;
+        Alcotest.test_case "predicates" `Quick test_expr_pred;
+        Alcotest.test_case "columns_used/shift" `Quick test_expr_columns_shift;
+        Alcotest.test_case "_label access" `Quick test_expr_row_label;
+        Alcotest.test_case "type errors" `Quick test_expr_type_errors;
+        like_prop;
+      ] );
+  ]

@@ -1,0 +1,300 @@
+(* Security-focused tests: an executable noninterference property (the
+   paper lists noninterference proofs as future work, section 10 — here
+   it is a randomized check), plus covert-channel regressions for the
+   specific channels sections 4-5 close. *)
+
+module Db = Ifdb_core.Database
+module Errors = Ifdb_core.Errors
+module Label = Ifdb_difc.Label
+module Tag = Ifdb_difc.Tag
+module Value = Ifdb_rel.Value
+module Tuple = Ifdb_rel.Tuple
+
+(* ------------------------------------------------------------------ *)
+(* Noninterference: high-labeled activity must not change what an
+   uncontaminated observer can see.                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The worlds interleave low operations (empty label) and high
+   operations (label {h}).  Running the same low trace with and without
+   the high operations must produce identical low observations. *)
+
+type op =
+  | Low_insert of int * int
+  | Low_update of int * int          (* key, new value *)
+  | Low_delete of int
+  | Low_observe                       (* snapshot what low sees *)
+  | High_insert of int * int          (* may polyinstantiate low keys *)
+  | High_update of int * int
+  | High_delete of int
+  | High_select                       (* reads contaminate only high *)
+  | High_commit_attempt               (* txn that fails the commit-label rule *)
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map2 (fun k v -> Low_insert (k, v)) (int_range 0 9) (int_range 0 99));
+        (2, map2 (fun k v -> Low_update (k, v)) (int_range 0 9) (int_range 0 99));
+        (1, map (fun k -> Low_delete k) (int_range 0 9));
+        (3, return Low_observe);
+        (3, map2 (fun k v -> High_insert (k, v)) (int_range 0 9) (int_range 0 99));
+        (2, map2 (fun k v -> High_update (k, v)) (int_range 0 9) (int_range 0 99));
+        (1, map (fun k -> High_delete k) (int_range 0 9));
+        (1, return High_select);
+        (1, return High_commit_attempt);
+      ])
+
+let print_op = function
+  | Low_insert (k, v) -> Printf.sprintf "Li(%d,%d)" k v
+  | Low_update (k, v) -> Printf.sprintf "Lu(%d,%d)" k v
+  | Low_delete k -> Printf.sprintf "Ld(%d)" k
+  | Low_observe -> "Lo"
+  | High_insert (k, v) -> Printf.sprintf "Hi(%d,%d)" k v
+  | High_update (k, v) -> Printf.sprintf "Hu(%d,%d)" k v
+  | High_delete k -> Printf.sprintf "Hd(%d)" k
+  | High_select -> "Hs"
+  | High_commit_attempt -> "Hc"
+
+type world = {
+  w_low : Db.session;
+  w_high : Db.session;
+  w_htag : Tag.t;
+}
+
+let make_world () =
+  let db = Db.create () in
+  let admin = Db.connect_admin db in
+  let low_p = Db.create_principal admin ~name:"low" in
+  let high_p = Db.create_principal admin ~name:"high" in
+  let high_s = Db.connect db ~principal:high_p in
+  let htag = Db.create_tag high_s ~name:"h" () in
+  Db.add_secrecy high_s htag;
+  ignore
+    (Db.exec admin "CREATE TABLE T (k INT PRIMARY KEY, v INT)");
+  { w_low = Db.connect db ~principal:low_p; w_high = high_s; w_htag = htag }
+
+let swallow f =
+  (* both worlds tolerate expected refusals; what matters is the low
+     observation stream *)
+  match f () with
+  | (_ : Db.result) -> ()
+  | exception Errors.Constraint_violation _ -> ()
+  | exception Errors.Flow_violation _ -> ()
+  | exception Errors.Authority_required _ -> ()
+
+let observe w =
+  List.map
+    (fun row -> Array.to_list (Array.map Value.to_string (Tuple.values row)))
+    (Db.query w.w_low "SELECT k, v FROM T ORDER BY k, v")
+
+let run_op ~with_high w op observations =
+  match op with
+  | Low_insert (k, v) ->
+      swallow (fun () ->
+          Db.exec w.w_low (Printf.sprintf "INSERT INTO T VALUES (%d, %d)" k v))
+  | Low_update (k, v) ->
+      swallow (fun () ->
+          Db.exec w.w_low (Printf.sprintf "UPDATE T SET v = %d WHERE k = %d" v k))
+  | Low_delete k ->
+      swallow (fun () ->
+          Db.exec w.w_low (Printf.sprintf "DELETE FROM T WHERE k = %d" k))
+  | Low_observe -> observations := observe w :: !observations
+  | High_insert (k, v) ->
+      if with_high then
+        swallow (fun () ->
+            Db.exec w.w_high (Printf.sprintf "INSERT INTO T VALUES (%d, %d)" k v))
+  | High_update (k, v) ->
+      if with_high then
+        swallow (fun () ->
+            Db.exec w.w_high
+              (Printf.sprintf "UPDATE T SET v = %d WHERE k = %d" v k))
+  | High_delete k ->
+      if with_high then
+        swallow (fun () ->
+            Db.exec w.w_high (Printf.sprintf "DELETE FROM T WHERE k = %d" k))
+  | High_select ->
+      if with_high then
+        swallow (fun () -> Db.exec w.w_high "SELECT COUNT(*) FROM T")
+  | High_commit_attempt ->
+      if with_high then begin
+        (* the section 5.1 pattern: write low, raise, try to commit *)
+        let s = w.w_high in
+        swallow (fun () ->
+            ignore (Db.exec s "BEGIN");
+            (* already at {h}: writes carry {h}; then observe and
+               commit — legal but must stay invisible to low *)
+            ignore (Db.exec s "INSERT INTO T VALUES (100, 1)");
+            ignore (Db.exec s "SELECT * FROM T");
+            Db.exec s "COMMIT")
+      end
+
+let noninterference_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:60 ~name:"high activity invisible to low observers"
+       (QCheck.make
+          ~print:(fun ops -> String.concat " " (List.map print_op ops))
+          QCheck.Gen.(list_size (int_bound 40) op_gen))
+       (fun ops ->
+         let w1 = make_world () in
+         let w2 = make_world () in
+         let obs1 = ref [] and obs2 = ref [] in
+         List.iter (fun op -> run_op ~with_high:true w1 op obs1) ops;
+         List.iter (fun op -> run_op ~with_high:false w2 op obs2) ops;
+         !obs1 = !obs2))
+
+(* ------------------------------------------------------------------ *)
+(* Covert-channel regressions                                          *)
+(* ------------------------------------------------------------------ *)
+
+let fixture () =
+  let w = make_world () in
+  (* one hidden row and one public row *)
+  ignore (Db.exec w.w_high "INSERT INTO T VALUES (1, 111)");
+  ignore (Db.exec w.w_low "INSERT INTO T VALUES (2, 222)");
+  w
+
+let test_aggregates_do_not_count_hidden () =
+  let w = fixture () in
+  let row = Db.query_one w.w_low "SELECT COUNT(*), SUM(v) FROM T" in
+  Alcotest.(check int) "count" 1 (Value.to_int (Tuple.get row 0));
+  Alcotest.(check int) "sum" 222 (Value.to_int (Tuple.get row 1))
+
+let test_update_delete_report_zero_for_hidden () =
+  let w = fixture () in
+  (match Db.exec w.w_low "UPDATE T SET v = 0 WHERE k = 1" with
+  | Db.Affected 0 -> ()
+  | _ -> Alcotest.fail "hidden row must not be updatable or counted");
+  match Db.exec w.w_low "DELETE FROM T WHERE k = 1" with
+  | Db.Affected 0 -> ()
+  | _ -> Alcotest.fail "hidden row must not be deletable or counted"
+
+let test_unique_probe_does_not_reveal () =
+  let w = fixture () in
+  (* inserting the hidden key must succeed (polyinstantiation) — a
+     refusal would reveal the hidden row's existence *)
+  match Db.exec w.w_low "INSERT INTO T VALUES (1, 999)" with
+  | Db.Affected 1 -> ()
+  | _ -> Alcotest.fail "unique probe revealed the hidden row"
+
+let test_negative_queries_confined () =
+  let w = fixture () in
+  (* the section 4.2 example: asking for rows NOT matching something
+     cannot reveal hidden rows either *)
+  Alcotest.(check int) "negation confined" 1
+    (List.length (Db.query w.w_low "SELECT * FROM T WHERE k <> 99"));
+  Alcotest.(check int) "IS NOT NULL confined" 1
+    (List.length (Db.query w.w_low "SELECT * FROM T WHERE v IS NOT NULL"))
+
+let test_ordering_not_observable () =
+  (* results are orderable only by visible values; physical placement
+     of hidden tuples between visible ones must not matter *)
+  let w = make_world () in
+  ignore (Db.exec w.w_low "INSERT INTO T VALUES (0, 0)");
+  ignore (Db.exec w.w_high "INSERT INTO T VALUES (5, 5)");
+  ignore (Db.exec w.w_low "INSERT INTO T VALUES (9, 9)");
+  let keys =
+    List.map
+      (fun r -> Value.to_int (Tuple.get r 0))
+      (Db.query w.w_low "SELECT k FROM T ORDER BY k")
+  in
+  Alcotest.(check (list int)) "only visible keys, in order" [ 0; 9 ] keys
+
+let test_error_messages_no_hidden_content () =
+  let w = fixture () in
+  (* when low's insert is refused for a VISIBLE conflict, the message
+     may name the constraint — never values of other rows *)
+  match Db.exec w.w_low "INSERT INTO T VALUES (2, 0)" with
+  | exception Errors.Constraint_violation msg ->
+      Alcotest.(check bool) "no row contents in message" false
+        (let contains s sub =
+           let n = String.length s and m = String.length sub in
+           let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+           go 0
+         in
+         contains msg "222" || contains msg "111")
+  | _ -> Alcotest.fail "visible duplicate should be refused"
+
+let test_id_allocation_channel () =
+  (* section 7.3: tag/principal ids must not form a predictable
+     sequence that reveals allocation order *)
+  let db = Db.create () in
+  let admin = Db.connect_admin db in
+  let p = Db.create_principal admin ~name:"p" in
+  let s = Db.connect db ~principal:p in
+  let ids =
+    List.init 20 (fun i ->
+        Tag.to_int (Db.create_tag s ~name:(Printf.sprintf "t%d" i) ()))
+  in
+  let deltas =
+    List.map2 (fun a b -> b - a)
+      (List.filteri (fun i _ -> i < 19) ids)
+      (List.tl ids)
+  in
+  (* a counter would produce constant small deltas *)
+  Alcotest.(check bool) "non-sequential ids" true
+    (List.exists (fun d -> abs d > 1000) deltas);
+  let distinct = List.sort_uniq Int.compare deltas in
+  Alcotest.(check bool) "deltas vary" true (List.length distinct > 10)
+
+(* Invariant: for any observer, no two VISIBLE tuples ever share both a
+   key and a label — polyinstantiated duplicates are always
+   distinguishable by label (section 5.2.1). *)
+let polyinstantiation_invariant_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:40
+       ~name:"visible duplicates always differ in label"
+       (QCheck.make
+          ~print:(fun ops ->
+            String.concat " "
+              (List.map (fun (h, k, v) ->
+                   Printf.sprintf "%s(%d,%d)" (if h then "H" else "L") k v)
+                 ops))
+          QCheck.Gen.(
+            list_size (int_bound 30)
+              (triple bool (int_range 0 5) (int_range 0 99))))
+       (fun ops ->
+         let w = make_world () in
+         List.iter
+           (fun (high, k, v) ->
+             let s = if high then w.w_high else w.w_low in
+             swallow (fun () ->
+                 Db.exec s (Printf.sprintf "INSERT INTO T VALUES (%d, %d)" k v)))
+           ops;
+         (* check from the high observer, who can see everything *)
+         let rows = Db.query w.w_high "SELECT k FROM T" in
+         let seen = Hashtbl.create 16 in
+         List.for_all
+           (fun row ->
+             let key =
+               (Value.to_int (Tuple.get row 0), Label.to_ints (Tuple.label row))
+             in
+             if Hashtbl.mem seen key then false
+             else begin
+               Hashtbl.add seen key ();
+               true
+             end)
+           rows))
+
+let suites =
+  [
+    ("security.noninterference",
+     [ noninterference_prop; polyinstantiation_invariant_prop ]);
+    ( "security.channels",
+      [
+        Alcotest.test_case "aggregates skip hidden rows" `Quick
+          test_aggregates_do_not_count_hidden;
+        Alcotest.test_case "DML counts exclude hidden rows" `Quick
+          test_update_delete_report_zero_for_hidden;
+        Alcotest.test_case "unique probe reveals nothing" `Quick
+          test_unique_probe_does_not_reveal;
+        Alcotest.test_case "negative queries confined" `Quick
+          test_negative_queries_confined;
+        Alcotest.test_case "physical order not observable" `Quick
+          test_ordering_not_observable;
+        Alcotest.test_case "errors carry no hidden content" `Quick
+          test_error_messages_no_hidden_content;
+        Alcotest.test_case "id allocation channel closed" `Quick
+          test_id_allocation_channel;
+      ] );
+  ]

@@ -1,0 +1,421 @@
+(* Tests for the storage layer: pages, buffer pool, MVCC heap, B+tree,
+   WAL. *)
+
+open Ifdb_storage
+module Value = Ifdb_rel.Value
+module Tuple = Ifdb_rel.Tuple
+module Label = Ifdb_difc.Label
+module Tag = Ifdb_difc.Tag
+
+(* ------------------------------------------------------------------ *)
+(* Page                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_page_geometry () =
+  Alcotest.(check int) "8k pages" 8192 Page.size;
+  Alcotest.(check int) "usable" (8192 - 24) Page.usable;
+  (* the paper's 89-byte Order_Line tuples: 87 per page with the
+     4-byte line pointer *)
+  Alcotest.(check int) "89-byte tuples" ((8192 - 24) / 93)
+    (Page.tuples_per_page ~tuple_bytes:89);
+  Alcotest.(check int) "huge tuple still fits one" 1
+    (Page.tuples_per_page ~tuple_bytes:100_000);
+  Alcotest.(check bool) "fits empty" true (Page.fits ~used:0 ~tuple_bytes:100);
+  Alcotest.(check bool) "does not fit" false
+    (Page.fits ~used:Page.usable ~tuple_bytes:1)
+
+let test_page_label_cost () =
+  (* Each tag shrinks tuples-per-page: the Fig. 6 disk mechanism. *)
+  let base = Page.tuples_per_page ~tuple_bytes:89 in
+  let with_10_tags = Page.tuples_per_page ~tuple_bytes:(89 + 40) in
+  Alcotest.(check bool) "fewer tuples per page with labels" true
+    (with_10_tags < base)
+
+(* ------------------------------------------------------------------ *)
+(* Buffer pool                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_unbounded () =
+  let bp = Buffer_pool.create () in
+  let pages = List.init 100 (fun _ -> Buffer_pool.alloc_page bp) in
+  List.iter (Buffer_pool.touch bp) pages;
+  List.iter (Buffer_pool.touch bp) pages;
+  let s = Buffer_pool.stats bp in
+  Alcotest.(check int) "no misses" 0 s.misses;
+  Alcotest.(check int) "all hits" 200 s.hits;
+  Alcotest.(check int) "no io" 0 s.io_ns
+
+let test_pool_lru_eviction () =
+  let bp =
+    Buffer_pool.create ~capacity_pages:(Some 2) ~miss_cost_ns:100 ~write_cost_ns:10 ()
+  in
+  let p0 = Buffer_pool.alloc_page bp in
+  let p1 = Buffer_pool.alloc_page bp in
+  let p2 = Buffer_pool.alloc_page bp in
+  (* p0 was LRU and has been evicted *)
+  Alcotest.(check int) "resident bounded" 2 (Buffer_pool.resident bp);
+  Buffer_pool.touch bp p2;
+  Buffer_pool.touch bp p1;
+  let before = (Buffer_pool.stats bp).misses in
+  Buffer_pool.touch bp p0;
+  let s = Buffer_pool.stats bp in
+  Alcotest.(check int) "miss on evicted page" (before + 1) s.misses;
+  Alcotest.(check bool) "io charged" true (s.io_ns >= 100)
+
+let test_pool_lru_order () =
+  let bp = Buffer_pool.create ~capacity_pages:(Some 2) () in
+  let p0 = Buffer_pool.alloc_page bp in
+  let p1 = Buffer_pool.alloc_page bp in
+  Buffer_pool.touch bp p0;           (* p1 is now LRU *)
+  let _p2 = Buffer_pool.alloc_page bp in (* evicts p1 *)
+  Buffer_pool.reset_stats bp;
+  Buffer_pool.touch bp p0;
+  Alcotest.(check int) "p0 still resident" 0 (Buffer_pool.stats bp).misses;
+  Buffer_pool.touch bp p1;
+  Alcotest.(check int) "p1 was evicted" 1 (Buffer_pool.stats bp).misses
+
+let test_pool_dirty_writeback () =
+  let bp =
+    Buffer_pool.create ~capacity_pages:(Some 1) ~miss_cost_ns:0 ~write_cost_ns:77 ()
+  in
+  let p0 = Buffer_pool.alloc_page bp in
+  Buffer_pool.dirty bp p0;
+  let _p1 = Buffer_pool.alloc_page bp in (* evicts dirty p0: one write *)
+  let s = Buffer_pool.stats bp in
+  Alcotest.(check int) "write on dirty eviction" 1 s.page_writes;
+  Alcotest.(check int) "write cost charged" 77 s.io_ns
+
+let test_pool_flush_all () =
+  let bp = Buffer_pool.create ~write_cost_ns:5 () in
+  let p0 = Buffer_pool.alloc_page bp in
+  let p1 = Buffer_pool.alloc_page bp in
+  Buffer_pool.dirty bp p0;
+  Buffer_pool.dirty bp p1;
+  Buffer_pool.flush_all bp;
+  Alcotest.(check int) "two writes" 2 (Buffer_pool.stats bp).page_writes;
+  Buffer_pool.flush_all bp;
+  Alcotest.(check int) "idempotent" 2 (Buffer_pool.stats bp).page_writes
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let tuple ?(label = Label.empty) vs = Tuple.make ~values:(Array.of_list vs) ~label
+
+let test_heap_insert_get () =
+  let bp = Buffer_pool.create () in
+  let h = Heap.create ~name:"t" ~labeled:true ~pool:bp () in
+  let v = Heap.insert h ~xmin:1 (tuple [ Value.Int 42 ]) in
+  Alcotest.(check int) "vid 0" 0 v.Heap.vid;
+  Alcotest.(check int) "xmin" 1 v.Heap.xmin;
+  Alcotest.(check int) "xmax 0" 0 v.Heap.xmax;
+  let v' = Heap.get h 0 in
+  Alcotest.(check bool) "same tuple" true (Tuple.equal v.Heap.tuple v'.Heap.tuple);
+  Alcotest.(check bool) "get_opt none" true (Heap.get_opt h 99 = None);
+  (match Heap.get h 99 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument")
+
+let test_heap_xmax () =
+  let bp = Buffer_pool.create () in
+  let h = Heap.create ~name:"t" ~labeled:true ~pool:bp () in
+  let v = Heap.insert h ~xmin:1 (tuple [ Value.Int 1 ]) in
+  Heap.set_xmax h ~vid:v.Heap.vid ~xid:5;
+  Alcotest.(check int) "xmax set" 5 (Heap.get h 0).Heap.xmax;
+  Heap.clear_xmax h ~vid:v.Heap.vid ~xid:6;
+  Alcotest.(check int) "clear wrong xid no-op" 5 (Heap.get h 0).Heap.xmax;
+  Heap.clear_xmax h ~vid:v.Heap.vid ~xid:5;
+  Alcotest.(check int) "cleared" 0 (Heap.get h 0).Heap.xmax
+
+let test_heap_page_packing () =
+  (* identical data, labeled vs unlabeled: labels must consume pages *)
+  let count = 2000 in
+  let label = Label.of_ints [| 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 |] in
+  let mk labeled =
+    let bp = Buffer_pool.create () in
+    let h = Heap.create ~name:"t" ~labeled ~pool:bp () in
+    for i = 1 to count do
+      ignore (Heap.insert h ~xmin:1 (tuple ~label [ Value.Int i; Value.Text "xxxxxxxxxx" ]))
+    done;
+    Heap.page_count h
+  in
+  let labeled_pages = mk true and unlabeled_pages = mk false in
+  Alcotest.(check bool)
+    (Printf.sprintf "labeled (%d) > unlabeled (%d) pages" labeled_pages unlabeled_pages)
+    true (labeled_pages > unlabeled_pages)
+
+let test_heap_iter_vacuum () =
+  let bp = Buffer_pool.create () in
+  let h = Heap.create ~name:"t" ~labeled:true ~pool:bp () in
+  for i = 0 to 9 do
+    ignore (Heap.insert h ~xmin:1 (tuple [ Value.Int i ]))
+  done;
+  let seen = ref [] in
+  Heap.iter h (fun v -> seen := Value.to_int (Tuple.get v.Heap.tuple 0) :: !seen);
+  Alcotest.(check (list int)) "iter in order" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !seen);
+  Alcotest.(check int) "count" 10 (Heap.version_count h);
+  let removed =
+    Heap.vacuum h ~dead:(fun v -> Value.to_int (Tuple.get v.Heap.tuple 0) mod 2 = 0)
+  in
+  Alcotest.(check int) "removed" 5 removed;
+  Alcotest.(check int) "count after" 5 (Heap.version_count h);
+  Alcotest.(check bool) "dead slot gone" true (Heap.get_opt h 0 = None);
+  Alcotest.(check bool) "live slot stays" true (Heap.get_opt h 1 <> None)
+
+(* ------------------------------------------------------------------ *)
+(* B+tree                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let k1 i = [| Value.Int i |]
+let k2 i s = [| Value.Int i; Value.Text s |]
+
+let test_btree_basic () =
+  let bt = Btree.create ~order:4 () in
+  for i = 1 to 100 do
+    Btree.insert bt (k1 i) (i * 10)
+  done;
+  Alcotest.(check (list int)) "find" [ 420 ] (Btree.find bt (k1 42));
+  Alcotest.(check (list int)) "absent" [] (Btree.find bt (k1 0));
+  Alcotest.(check int) "entries" 100 (Btree.entry_count bt);
+  Alcotest.(check bool) "deep" true (Btree.depth bt > 1);
+  (match Btree.check_invariants bt with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e)
+
+let test_btree_duplicates () =
+  let bt = Btree.create () in
+  Btree.insert bt (k1 7) 1;
+  Btree.insert bt (k1 7) 2;
+  Btree.insert bt (k1 7) 2;
+  (* duplicate posting ignored *)
+  Alcotest.(check int) "entries" 2 (Btree.entry_count bt);
+  Alcotest.(check (list int)) "both" [ 1; 2 ]
+    (List.sort Int.compare (Btree.find bt (k1 7)));
+  Btree.remove bt (k1 7) 1;
+  Alcotest.(check (list int)) "one left" [ 2 ] (Btree.find bt (k1 7));
+  Btree.remove bt (k1 7) 2;
+  Alcotest.(check (list int)) "empty" [] (Btree.find bt (k1 7));
+  Btree.remove bt (k1 7) 3 (* no-op on absent *)
+
+let test_btree_range () =
+  let bt = Btree.create ~order:4 () in
+  List.iter (fun i -> Btree.insert bt (k1 i) i) [ 5; 1; 9; 3; 7; 2; 8; 4; 6 ];
+  let collect lo hi =
+    let acc = ref [] in
+    Btree.iter_range bt ~lo ~hi (fun _ vid -> acc := vid :: !acc);
+    List.rev !acc
+  in
+  Alcotest.(check (list int)) "incl-incl" [ 3; 4; 5; 6 ]
+    (collect (Btree.Incl (k1 3)) (Btree.Incl (k1 6)));
+  Alcotest.(check (list int)) "excl-excl" [ 4; 5 ]
+    (collect (Btree.Excl (k1 3)) (Btree.Excl (k1 6)));
+  Alcotest.(check (list int)) "unbounded lo" [ 1; 2; 3 ]
+    (collect Btree.Unbounded (Btree.Incl (k1 3)));
+  Alcotest.(check (list int)) "unbounded hi" [ 8; 9 ]
+    (collect (Btree.Incl (k1 8)) Btree.Unbounded);
+  Alcotest.(check (list int)) "all" [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (collect Btree.Unbounded Btree.Unbounded)
+
+let test_btree_prefix () =
+  let bt = Btree.create ~order:4 () in
+  let put i s vid = Btree.insert bt (k2 i s) vid in
+  put 1 "a" 10;
+  put 1 "b" 11;
+  put 2 "a" 20;
+  put 2 "c" 21;
+  put 3 "z" 30;
+  let collect prefix =
+    let acc = ref [] in
+    Btree.iter_prefix bt ~prefix (fun _ vid -> acc := vid :: !acc);
+    List.rev !acc
+  in
+  Alcotest.(check (list int)) "prefix 2" [ 20; 21 ] (collect [| Value.Int 2 |]);
+  Alcotest.(check (list int)) "prefix 1" [ 10; 11 ] (collect [| Value.Int 1 |]);
+  Alcotest.(check (list int)) "prefix absent" [] (collect [| Value.Int 9 |]);
+  Alcotest.(check (list int)) "full-key prefix" [ 21 ] (collect (k2 2 "c"));
+  Alcotest.(check (list int)) "empty prefix = all" [ 10; 11; 20; 21; 30 ] (collect [||])
+
+let test_btree_prefix_range () =
+  let bt = Btree.create ~order:4 () in
+  for g = 0 to 2 do
+    for k = 0 to 19 do
+      Btree.insert bt (k2 g (Printf.sprintf "%02d" k)) ((g * 100) + k)
+    done
+  done;
+  let collect ~lo ~hi =
+    let acc = ref [] in
+    Btree.iter_prefix_range bt ~prefix:[| Value.Int 1 |] ~lo ~hi (fun _ vid ->
+        acc := vid :: !acc);
+    List.rev !acc
+  in
+  Alcotest.(check (list int)) "lo incl"
+    [ 117; 118; 119 ]
+    (collect ~lo:(Some (Value.Text "17", true)) ~hi:None);
+  Alcotest.(check (list int)) "lo excl"
+    [ 118; 119 ]
+    (collect ~lo:(Some (Value.Text "17", false)) ~hi:None);
+  Alcotest.(check (list int)) "window"
+    [ 105; 106; 107 ]
+    (collect ~lo:(Some (Value.Text "05", true)) ~hi:(Some (Value.Text "08", false)));
+  Alcotest.(check int) "no bounds = prefix" 20 (List.length (collect ~lo:None ~hi:None));
+  Alcotest.(check (list int)) "empty window" []
+    (collect ~lo:(Some (Value.Text "30", true)) ~hi:None)
+
+(* property: iter_prefix_range agrees with filtering iter_all *)
+let btree_range_model_prop =
+  let gen =
+    QCheck.Gen.(
+      triple
+        (list_size (int_bound 300) (pair (int_range 0 4) (int_range 0 30)))
+        (pair (int_range 0 4) (option (pair (int_range 0 30) bool)))
+        (option (pair (int_range 0 30) bool)))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:120 ~name:"prefix-range scan matches filtered scan"
+       (QCheck.make gen) (fun (entries, (prefix_g, lo), hi) ->
+         let bt = Btree.create ~order:4 () in
+         List.iteri
+           (fun i (g, k) -> Btree.insert bt [| Value.Int g; Value.Int k |] i)
+           entries;
+         let lo = Option.map (fun (v, incl) -> (Value.Int v, incl)) lo in
+         let hi = Option.map (fun (v, incl) -> (Value.Int v, incl)) hi in
+         let got = ref [] in
+         Btree.iter_prefix_range bt ~prefix:[| Value.Int prefix_g |] ~lo ~hi
+           (fun _ vid -> got := vid :: !got);
+         let want = ref [] in
+         Btree.iter_all bt (fun key vid ->
+             let g = Value.to_int key.(0) and k = Value.to_int key.(1) in
+             let lo_ok =
+               match lo with
+               | None -> true
+               | Some (v, incl) ->
+                   let c = Value.compare (Value.Int k) v in
+                   if incl then c >= 0 else c > 0
+             in
+             let hi_ok =
+               match hi with
+               | None -> true
+               | Some (v, incl) ->
+                   let c = Value.compare (Value.Int k) v in
+                   if incl then c <= 0 else c < 0
+             in
+             if g = prefix_g && lo_ok && hi_ok then want := vid :: !want);
+         List.sort Int.compare !got = List.sort Int.compare !want))
+
+(* Model-based property test: random inserts/removes against a
+   reference association table. *)
+let btree_model_prop =
+  let op_gen =
+    QCheck.Gen.(
+      list_size (int_bound 400)
+        (pair (int_bound 2) (pair (int_range 0 40) (int_range 0 5))))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:60 ~name:"btree matches model under random ops"
+       (QCheck.make op_gen) (fun ops ->
+         let bt = Btree.create ~order:4 () in
+         let model : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+         List.iter
+           (fun (op, (key, vid)) ->
+             let cur = Option.value ~default:[] (Hashtbl.find_opt model key) in
+             if op = 0 || op = 1 then begin
+               Btree.insert bt (k1 key) vid;
+               if not (List.mem vid cur) then Hashtbl.replace model key (vid :: cur)
+             end
+             else begin
+               Btree.remove bt (k1 key) vid;
+               Hashtbl.replace model key (List.filter (fun v -> v <> vid) cur)
+             end)
+           ops;
+         (* full equivalence of contents *)
+         let ok = ref (Btree.check_invariants bt = Ok ()) in
+         Hashtbl.iter
+           (fun key vids ->
+             let got = List.sort Int.compare (Btree.find bt (k1 key)) in
+             let want = List.sort Int.compare vids in
+             if got <> want then ok := false)
+           model;
+         (* and the in-order scan is sorted *)
+         let last = ref min_int in
+         Btree.iter_all bt (fun k _ ->
+             let i = Value.to_int k.(0) in
+             if i < !last then ok := false;
+             last := i);
+         !ok))
+
+let btree_bulk_invariant_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:20 ~name:"btree invariants after bulk load"
+       (QCheck.make QCheck.Gen.(list_size (int_bound 2000) (int_range 0 10_000)))
+       (fun keys ->
+         let bt = Btree.create ~order:8 () in
+         List.iteri (fun i k -> Btree.insert bt (k1 k) i) keys;
+         Btree.check_invariants bt = Ok ()))
+
+(* ------------------------------------------------------------------ *)
+(* WAL                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_wal_accounting () =
+  let w = Wal.create ~fsync_cost_ns:1000 () in
+  Wal.append w (Wal.Begin 1);
+  Wal.append w (Wal.Insert ("t", 0, 50));
+  Wal.append w (Wal.Commit 1);
+  Wal.fsync w;
+  let s = Wal.stats w in
+  Alcotest.(check int) "records" 3 s.Wal.records;
+  Alcotest.(check int) "bytes" (16 + 74 + 16) s.Wal.bytes;
+  Alcotest.(check int) "fsyncs" 1 s.Wal.fsyncs;
+  Alcotest.(check int) "io" 1000 s.Wal.io_ns;
+  Alcotest.(check int) "recent" 3 (List.length (Wal.recent w 10));
+  Wal.reset_stats w;
+  Alcotest.(check int) "reset" 0 (Wal.stats w).Wal.records
+
+let test_wal_bounded_memory () =
+  let w = Wal.create () in
+  for i = 1 to 100_000 do
+    Wal.append w (Wal.Begin i)
+  done;
+  Alcotest.(check int) "all counted" 100_000 (Wal.stats w).Wal.records;
+  Alcotest.(check bool) "recent bounded" true (List.length (Wal.recent w 10_000) <= 1024)
+
+let suites =
+  [
+    ( "storage.page",
+      [
+        Alcotest.test_case "geometry" `Quick test_page_geometry;
+        Alcotest.test_case "label cost" `Quick test_page_label_cost;
+      ] );
+    ( "storage.pool",
+      [
+        Alcotest.test_case "unbounded" `Quick test_pool_unbounded;
+        Alcotest.test_case "lru eviction" `Quick test_pool_lru_eviction;
+        Alcotest.test_case "lru order" `Quick test_pool_lru_order;
+        Alcotest.test_case "dirty writeback" `Quick test_pool_dirty_writeback;
+        Alcotest.test_case "flush_all" `Quick test_pool_flush_all;
+      ] );
+    ( "storage.heap",
+      [
+        Alcotest.test_case "insert/get" `Quick test_heap_insert_get;
+        Alcotest.test_case "xmax stamps" `Quick test_heap_xmax;
+        Alcotest.test_case "label bytes consume pages" `Quick test_heap_page_packing;
+        Alcotest.test_case "iter & vacuum" `Quick test_heap_iter_vacuum;
+      ] );
+    ( "storage.btree",
+      [
+        Alcotest.test_case "basic" `Quick test_btree_basic;
+        Alcotest.test_case "duplicates & remove" `Quick test_btree_duplicates;
+        Alcotest.test_case "range scans" `Quick test_btree_range;
+        Alcotest.test_case "prefix scans" `Quick test_btree_prefix;
+        Alcotest.test_case "prefix-range scans" `Quick test_btree_prefix_range;
+        btree_range_model_prop;
+        btree_model_prop;
+        btree_bulk_invariant_prop;
+      ] );
+    ( "storage.wal",
+      [
+        Alcotest.test_case "accounting" `Quick test_wal_accounting;
+        Alcotest.test_case "bounded memory" `Quick test_wal_bounded_memory;
+      ] );
+  ]

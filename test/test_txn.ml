@@ -1,0 +1,324 @@
+(* Tests for the transaction manager: MVCC visibility, snapshot
+   isolation conflicts, write sets, WAL interaction. *)
+
+open Ifdb_txn
+module Heap = Ifdb_storage.Heap
+module Buffer_pool = Ifdb_storage.Buffer_pool
+module Wal = Ifdb_storage.Wal
+module Value = Ifdb_rel.Value
+module Tuple = Ifdb_rel.Tuple
+module Label = Ifdb_difc.Label
+module Tag = Ifdb_difc.Tag
+
+let fresh () =
+  let bp = Buffer_pool.create () in
+  let h = Heap.create ~name:"t" ~labeled:true ~pool:bp () in
+  let m = Manager.create () in
+  (m, h)
+
+let tuple ?(label = Label.empty) i =
+  Tuple.make ~values:[| Value.Int i |] ~label
+
+let visible_ints m txn h =
+  let acc = ref [] in
+  Heap.iter h (fun v ->
+      if Manager.visible m txn v then
+        acc := Value.to_int (Tuple.get v.Heap.tuple 0) :: !acc);
+  List.sort Int.compare !acc
+
+let test_own_writes_visible () =
+  let m, h = fresh () in
+  let t = Manager.begin_txn m in
+  ignore (Manager.record_insert m t h (tuple 1));
+  Alcotest.(check (list int)) "sees own insert" [ 1 ] (visible_ints m t h);
+  Manager.commit m t;
+  let t2 = Manager.begin_txn m in
+  Alcotest.(check (list int)) "committed visible later" [ 1 ] (visible_ints m t2 h)
+
+let test_snapshot_isolation_reads () =
+  let m, h = fresh () in
+  (* t1 commits before t2 starts: visible.  t3 commits after t2
+     started: invisible to t2. *)
+  let t1 = Manager.begin_txn m in
+  ignore (Manager.record_insert m t1 h (tuple 1));
+  Manager.commit m t1;
+  let t2 = Manager.begin_txn m in
+  let t3 = Manager.begin_txn m in
+  ignore (Manager.record_insert m t3 h (tuple 3));
+  Alcotest.(check (list int)) "uncommitted invisible" [ 1 ] (visible_ints m t2 h);
+  Manager.commit m t3;
+  Alcotest.(check (list int)) "still invisible after commit (snapshot)" [ 1 ]
+    (visible_ints m t2 h);
+  let t4 = Manager.begin_txn m in
+  Alcotest.(check (list int)) "new snapshot sees both" [ 1; 3 ] (visible_ints m t4 h)
+
+let test_concurrent_in_progress_invisible () =
+  let m, h = fresh () in
+  (* t1 starts first, inserts, is still open when t2 starts *)
+  let t1 = Manager.begin_txn m in
+  ignore (Manager.record_insert m t1 h (tuple 7));
+  let t2 = Manager.begin_txn m in
+  Manager.commit m t1;
+  (* t1 was in progress when t2's snapshot was taken *)
+  Alcotest.(check (list int)) "in-progress at snapshot invisible" []
+    (visible_ints m t2 h)
+
+let test_aborted_invisible () =
+  let m, h = fresh () in
+  let t1 = Manager.begin_txn m in
+  ignore (Manager.record_insert m t1 h (tuple 9));
+  Manager.abort m t1;
+  let t2 = Manager.begin_txn m in
+  Alcotest.(check (list int)) "aborted insert invisible" [] (visible_ints m t2 h)
+
+let test_delete_visibility () =
+  let m, h = fresh () in
+  let t1 = Manager.begin_txn m in
+  let v = Manager.record_insert m t1 h (tuple 5) in
+  Manager.commit m t1;
+  let t2 = Manager.begin_txn m in
+  Manager.record_delete m t2 h v;
+  Alcotest.(check (list int)) "deleter no longer sees it" [] (visible_ints m t2 h);
+  (* a reader with an older behavior: new txn before commit of t2 *)
+  let t3 = Manager.begin_txn m in
+  Alcotest.(check (list int)) "concurrent deleter invisible to reader" [ 5 ]
+    (visible_ints m t3 h);
+  Manager.commit m t2;
+  Alcotest.(check (list int)) "snapshot still sees it" [ 5 ] (visible_ints m t3 h);
+  let t4 = Manager.begin_txn m in
+  Alcotest.(check (list int)) "gone for new snapshot" [] (visible_ints m t4 h)
+
+let test_abort_undoes_delete_stamp () =
+  let m, h = fresh () in
+  let t1 = Manager.begin_txn m in
+  let v = Manager.record_insert m t1 h (tuple 5) in
+  Manager.commit m t1;
+  let t2 = Manager.begin_txn m in
+  Manager.record_delete m t2 h v;
+  Manager.abort m t2;
+  Alcotest.(check int) "xmax cleared" 0 (Heap.get h v.Heap.vid).Heap.xmax;
+  let t3 = Manager.begin_txn m in
+  Alcotest.(check (list int)) "tuple survives aborted delete" [ 5 ]
+    (visible_ints m t3 h);
+  (* and a new deleter is not blocked *)
+  Manager.record_delete m t3 h v;
+  Manager.commit m t3
+
+let test_first_updater_wins_in_progress () =
+  let m, h = fresh () in
+  let t0 = Manager.begin_txn m in
+  let v = Manager.record_insert m t0 h (tuple 1) in
+  Manager.commit m t0;
+  let t1 = Manager.begin_txn m in
+  let t2 = Manager.begin_txn m in
+  Manager.record_delete m t1 h v;
+  (match Manager.record_delete m t2 h v with
+  | exception Manager.Serialization_failure _ -> ()
+  | () -> Alcotest.fail "expected Serialization_failure (concurrent writer)");
+  Manager.abort m t2;
+  Manager.commit m t1
+
+let test_first_updater_wins_committed () =
+  let m, h = fresh () in
+  let t0 = Manager.begin_txn m in
+  let v = Manager.record_insert m t0 h (tuple 1) in
+  Manager.commit m t0;
+  let t1 = Manager.begin_txn m in
+  let t2 = Manager.begin_txn m in
+  Manager.record_delete m t1 h v;
+  Manager.commit m t1;
+  (* t2 still sees v (snapshot), but updating it must fail *)
+  (match Manager.record_delete m t2 h v with
+  | exception Manager.Serialization_failure _ -> ()
+  | () -> Alcotest.fail "expected Serialization_failure (committed after snapshot)")
+
+let test_delete_requires_visibility () =
+  let m, h = fresh () in
+  let t1 = Manager.begin_txn m in
+  let v = Manager.record_insert m t1 h (tuple 1) in
+  let t2 = Manager.begin_txn m in
+  (match Manager.record_delete m t2 h v with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "expected Invalid_argument (not visible)");
+  Manager.abort m t2;
+  Manager.commit m t1
+
+let test_write_set_labels () =
+  let m, h = fresh () in
+  let red = Label.singleton (Tag.of_int 1) in
+  let t = Manager.begin_txn m in
+  ignore (Manager.record_insert m t h (tuple ~label:red 1));
+  ignore (Manager.record_insert m t h (tuple 2));
+  let ws = Manager.writes t in
+  Alcotest.(check int) "two writes" 2 (List.length ws);
+  (match ws with
+  | [ w1; w2 ] ->
+      Alcotest.(check bool) "first labeled" true (Label.equal w1.Manager.w_label red);
+      Alcotest.(check bool) "second public" true (Label.is_empty w2.Manager.w_label);
+      Alcotest.(check bool) "kinds" true
+        (w1.Manager.w_kind = `Insert && w2.Manager.w_kind = `Insert)
+  | _ -> Alcotest.fail "write set shape");
+  Manager.commit m t
+
+let test_wal_commit_fsync () =
+  let wal = Wal.create () in
+  let m = Manager.create ~wal () in
+  let bp = Buffer_pool.create () in
+  let h = Heap.create ~name:"t" ~labeled:true ~pool:bp () in
+  let t = Manager.begin_txn m in
+  for i = 1 to 200 do
+    ignore (Manager.record_insert m t h (tuple i))
+  done;
+  Manager.commit m t;
+  let s = Wal.stats wal in
+  Alcotest.(check int) "one fsync for 200 inserts (group commit)" 1 s.Wal.fsyncs;
+  Alcotest.(check int) "202 records" 202 s.Wal.records
+
+let test_with_txn () =
+  let m, h = fresh () in
+  let r = Manager.with_txn m (fun t ->
+      ignore (Manager.record_insert m t h (tuple 1));
+      "ok")
+  in
+  Alcotest.(check string) "result" "ok" r;
+  (match Manager.with_txn m (fun t ->
+       ignore (Manager.record_insert m t h (tuple 2));
+       failwith "boom")
+   with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "exception should propagate");
+  let t = Manager.begin_txn m in
+  Alcotest.(check (list int)) "committed 1, rolled back 2" [ 1 ]
+    (visible_ints m t h)
+
+let test_double_commit_rejected () =
+  let m, _h = fresh () in
+  let t = Manager.begin_txn m in
+  Manager.commit m t;
+  (match Manager.commit m t with
+  | exception Manager.Not_in_progress _ -> ()
+  | () -> Alcotest.fail "expected Not_in_progress");
+  (* abort after commit is a no-op, not an error *)
+  Manager.abort m t
+
+let test_oldest_visible_xid () =
+  let m, h = fresh () in
+  let t1 = Manager.begin_txn m in
+  let old_horizon = Manager.oldest_visible_xid m in
+  Alcotest.(check bool) "horizon at t1" true (old_horizon <= Manager.xid t1);
+  ignore (Manager.record_insert m t1 h (tuple 1));
+  Manager.commit m t1;
+  let t2 = Manager.begin_txn m in
+  Alcotest.(check bool) "horizon advanced" true
+    (Manager.oldest_visible_xid m > Manager.xid t1);
+  Manager.commit m t2;
+  Alcotest.(check int) "no open txns: horizon = next xid"
+    (Manager.xid t2 + 1) (Manager.oldest_visible_xid m)
+
+let test_vacuum_with_horizon () =
+  let m, h = fresh () in
+  let t1 = Manager.begin_txn m in
+  let v = Manager.record_insert m t1 h (tuple 1) in
+  Manager.commit m t1;
+  let t2 = Manager.begin_txn m in
+  Manager.record_delete m t2 h v;
+  Manager.commit m t2;
+  (* version deleted by a committed txn older than every snapshot *)
+  let horizon = Manager.oldest_visible_xid m in
+  let dead (ver : Heap.version) =
+    (ver.Heap.xmax <> 0
+     && Manager.status_of m ver.Heap.xmax = Manager.Committed
+     && ver.Heap.xmax < horizon)
+    || Manager.status_of m ver.Heap.xmin = Manager.Aborted
+  in
+  Alcotest.(check int) "one dead version" 1 (Heap.vacuum h ~dead);
+  Alcotest.(check int) "heap empty" 0 (Heap.version_count h)
+
+(* Model-based MVCC property: a random history of single-operation
+   transactions (insert / delete-by-value, committed or aborted) must
+   leave a fresh snapshot seeing exactly what a naive sequential model
+   of the committed operations predicts. *)
+let mvcc_model_prop =
+  let op_gen =
+    QCheck.Gen.(
+      list_size (int_bound 40)
+        (triple (int_bound 1) (int_range 0 9) bool))
+    (* (0=insert | 1=delete-one), value, commit? *)
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:80 ~name:"snapshot = sequential model"
+       (QCheck.make op_gen) (fun ops ->
+         let m, h = fresh () in
+         let model = ref [] in
+         List.iter
+           (fun (kind, v, commit) ->
+             let t = Manager.begin_txn m in
+             (match kind with
+             | 0 ->
+                 ignore (Manager.record_insert m t h (tuple v));
+                 if commit then model := v :: !model
+             | _ -> (
+                 (* delete one visible tuple holding value v, if any *)
+                 let victim = ref None in
+                 Heap.iter h (fun ver ->
+                     if !victim = None
+                        && Manager.visible m t ver
+                        && Value.to_int (Tuple.get ver.Heap.tuple 0) = v
+                     then victim := Some ver);
+                 match !victim with
+                 | Some ver ->
+                     Manager.record_delete m t h ver;
+                     if commit then begin
+                       (* remove one occurrence from the model *)
+                       let removed = ref false in
+                       model :=
+                         List.filter
+                           (fun x ->
+                             if x = v && not !removed then begin
+                               removed := true;
+                               false
+                             end
+                             else true)
+                           !model
+                     end
+                 | None -> ()));
+             if commit then Manager.commit m t else Manager.abort m t)
+           ops;
+         let t = Manager.begin_txn m in
+         let seen = List.sort Int.compare (visible_ints m t h) in
+         Manager.commit m t;
+         seen = List.sort Int.compare !model))
+
+let suites =
+  [
+    ("txn.properties", [ mvcc_model_prop ]);
+    ( "txn.visibility",
+      [
+        Alcotest.test_case "own writes" `Quick test_own_writes_visible;
+        Alcotest.test_case "snapshot reads" `Quick test_snapshot_isolation_reads;
+        Alcotest.test_case "in-progress at snapshot" `Quick
+          test_concurrent_in_progress_invisible;
+        Alcotest.test_case "aborted invisible" `Quick test_aborted_invisible;
+        Alcotest.test_case "delete visibility" `Quick test_delete_visibility;
+        Alcotest.test_case "abort undoes delete stamp" `Quick
+          test_abort_undoes_delete_stamp;
+      ] );
+    ( "txn.conflicts",
+      [
+        Alcotest.test_case "first-updater-wins (in progress)" `Quick
+          test_first_updater_wins_in_progress;
+        Alcotest.test_case "first-updater-wins (committed)" `Quick
+          test_first_updater_wins_committed;
+        Alcotest.test_case "delete requires visibility" `Quick
+          test_delete_requires_visibility;
+      ] );
+    ( "txn.lifecycle",
+      [
+        Alcotest.test_case "write set labels" `Quick test_write_set_labels;
+        Alcotest.test_case "group commit fsync" `Quick test_wal_commit_fsync;
+        Alcotest.test_case "with_txn" `Quick test_with_txn;
+        Alcotest.test_case "double commit rejected" `Quick test_double_commit_rejected;
+        Alcotest.test_case "oldest visible xid" `Quick test_oldest_visible_xid;
+        Alcotest.test_case "vacuum with horizon" `Quick test_vacuum_with_horizon;
+      ] );
+  ]

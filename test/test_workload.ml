@@ -1,0 +1,235 @@
+(* Tests for the workload generators: RNG/distributions, GPS traces,
+   the CarTel web mix, TPC-C. *)
+
+module Rng = Ifdb_workload.Rng
+module Gps = Ifdb_workload.Gps
+module Cweb = Ifdb_workload.Cartel_web
+module Tpcc = Ifdb_workload.Tpcc
+module Db = Ifdb_core.Database
+module Value = Ifdb_rel.Value
+module Tuple = Ifdb_rel.Tuple
+module Label = Ifdb_difc.Label
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_determinism () =
+  let a = Rng.create ~seed:5 and b = Rng.create ~seed:5 in
+  for _ = 1 to 50 do
+    Alcotest.(check int) "same" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_ranges () =
+  let rng = Rng.create ~seed:1 in
+  for _ = 1 to 1000 do
+    let x = Rng.int_range rng 3 7 in
+    Alcotest.(check bool) "in range" true (x >= 3 && x <= 7);
+    let f = Rng.float rng 2.0 in
+    Alcotest.(check bool) "float range" true (f >= 0.0 && f < 2.0)
+  done
+
+let test_rng_uniformity () =
+  let rng = Rng.create ~seed:2 in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let k = Rng.int rng 10 in
+    counts.(k) <- counts.(k) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let f = float_of_int c /. float_of_int n in
+      Alcotest.(check bool) "roughly uniform" true (f > 0.08 && f < 0.12))
+    counts
+
+let test_rng_weighted () =
+  let rng = Rng.create ~seed:3 in
+  let n = 50_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.weighted rng [ (0.9, `A); (0.1, `B) ] = `A then incr hits
+  done;
+  let f = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "90/10 split" true (f > 0.88 && f < 0.92)
+
+let test_rng_exponential () =
+  let rng = Rng.create ~seed:4 in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    let x = Rng.truncated_exponential rng ~mean:7.0 ~max:70.0 in
+    Alcotest.(check bool) "truncated" true (x >= 0.0 && x <= 70.0);
+    sum := !sum +. x
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.2f near 7" mean)
+    true
+    (mean > 6.0 && mean < 8.0)
+
+let test_rng_nurand_last_name () =
+  let rng = Rng.create ~seed:5 in
+  for _ = 1 to 1000 do
+    let x = Rng.nurand rng ~a:8191 ~c:7911 0 99_999 in
+    Alcotest.(check bool) "nurand in range" true (x >= 0 && x <= 99_999)
+  done;
+  Alcotest.(check string) "name 0" "BARBARBAR" (Rng.last_name 0);
+  Alcotest.(check string) "name 371" "PRICALLYOUGHT" (Rng.last_name 371);
+  Alcotest.(check string) "name 999" "EINGEINGEING" (Rng.last_name 999)
+
+(* ------------------------------------------------------------------ *)
+(* GPS                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_gps_shape () =
+  let rng = Rng.create ~seed:6 in
+  let cfg = { Gps.cars = 3; drives_per_car = 2; points_per_drive = 10; start_ts = 0 } in
+  let points = Gps.generate rng cfg in
+  Alcotest.(check int) "point count" 60 (List.length points);
+  (* per-car timestamps strictly increase and drives are separated by
+     the gap *)
+  let by_car = Hashtbl.create 4 in
+  List.iter
+    (fun p ->
+      let prev = Hashtbl.find_opt by_car p.Gps.car_id in
+      (match prev with
+      | Some last_ts -> Alcotest.(check bool) "monotone ts" true (p.Gps.ts > last_ts)
+      | None -> ());
+      Hashtbl.replace by_car p.Gps.car_id p.Gps.ts)
+    points;
+  (* count gaps per car: drives_per_car - 1 big gaps *)
+  let gaps = ref 0 in
+  let last = Hashtbl.create 4 in
+  List.iter
+    (fun p ->
+      (match Hashtbl.find_opt last p.Gps.car_id with
+      | Some ts when p.Gps.ts - ts > Gps.drive_gap_s -> incr gaps
+      | _ -> ());
+      Hashtbl.replace last p.Gps.car_id p.Gps.ts)
+    points;
+  Alcotest.(check int) "drive boundaries" 3 !gaps
+
+(* ------------------------------------------------------------------ *)
+(* CarTel web mix                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig3_mix () =
+  let rng = Rng.create ~seed:7 in
+  let mix = Cweb.empirical_mix rng ~samples:200_000 in
+  List.iter
+    (fun (spec_f, req) ->
+      let got = List.assoc req mix in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %.3f ~ %.3f" (Cweb.path req) got spec_f)
+        true
+        (Float.abs (got -. spec_f) < 0.01))
+    Cweb.request_mix
+
+let test_sessions () =
+  let rng = Rng.create ~seed:8 in
+  for _ = 1 to 100 do
+    let s = Cweb.generate_session rng ~users:50 in
+    Alcotest.(check bool) "user in range" true (s.Cweb.user >= 0 && s.Cweb.user < 50);
+    Alcotest.(check bool) "nonempty" true (List.length s.Cweb.requests >= 1)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* TPC-C                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let tpcc_fixture ~ifc =
+  let db = Db.create ~ifc () in
+  let s = Db.connect_admin db in
+  let rng = Rng.create ~seed:11 in
+  Tpcc.create_schema s;
+  Tpcc.populate s rng Tpcc.tiny;
+  (db, s, rng)
+
+let test_tpcc_population () =
+  let _, s, _ = tpcc_fixture ~ifc:false in
+  let count q = Value.to_int (Tuple.get (Db.query_one s q) 0) in
+  Alcotest.(check int) "warehouses" 1 (count "SELECT COUNT(*) FROM warehouse");
+  Alcotest.(check int) "districts" 2 (count "SELECT COUNT(*) FROM district");
+  Alcotest.(check int) "customers" 16 (count "SELECT COUNT(*) FROM customer");
+  Alcotest.(check int) "items" 20 (count "SELECT COUNT(*) FROM item");
+  Alcotest.(check int) "stock" 20 (count "SELECT COUNT(*) FROM stock");
+  Alcotest.(check int) "orders" 16 (count "SELECT COUNT(*) FROM orders");
+  Alcotest.(check bool) "order lines populated" true
+    (count "SELECT COUNT(*) FROM order_line" >= 16 * 5)
+
+let test_tpcc_mix_and_consistency () =
+  let _, s, rng = tpcc_fixture ~ifc:false in
+  let counts = Tpcc.run_mix s rng Tpcc.tiny ~txns:300 in
+  let total =
+    counts.Tpcc.new_orders + counts.Tpcc.payments + counts.Tpcc.order_statuses
+    + counts.Tpcc.deliveries + counts.Tpcc.stock_levels + counts.Tpcc.rollbacks
+  in
+  Alcotest.(check int) "all transactions accounted" 300 total;
+  Alcotest.(check bool) "new orders ran" true (counts.Tpcc.new_orders > 80);
+  Alcotest.(check bool) "payments ran" true (counts.Tpcc.payments > 80);
+  (match Tpcc.consistency_check s Tpcc.tiny with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e)
+
+let test_tpcc_with_labels () =
+  let db = Db.create () in
+  let admin = Db.connect_admin db in
+  let bench_p = Db.create_principal admin ~name:"bench" in
+  let s = Db.connect db ~principal:bench_p in
+  (* three tags on every tuple, as in the Figure 6 sweep *)
+  let tags =
+    List.init 3 (fun i ->
+        Db.create_tag s ~name:(Printf.sprintf "tpcc_tag_%d" i) ())
+  in
+  List.iter (fun tag -> Db.add_secrecy s tag) tags;
+  let rng = Rng.create ~seed:12 in
+  Tpcc.create_schema s;
+  Tpcc.populate s rng Tpcc.tiny;
+  let counts = Tpcc.run_mix s rng Tpcc.tiny ~txns:150 in
+  Alcotest.(check bool) "ran with labels" true (counts.Tpcc.new_orders > 30);
+  (match Tpcc.consistency_check s Tpcc.tiny with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* every tuple carries exactly the 3-tag label *)
+  let row = Db.query_one s "SELECT _label FROM warehouse" in
+  Alcotest.(check bool) "labels stored" true
+    (Label.equal (Tuple.label row) (Db.session_label s))
+
+let test_tpcc_rollback_rate () =
+  let _, s, rng = tpcc_fixture ~ifc:false in
+  let counts = Tpcc.run_mix s rng Tpcc.tiny ~txns:2000 in
+  (* ~45% new orders, 1% of those roll back: expect a handful *)
+  Alcotest.(check bool)
+    (Printf.sprintf "some intentional rollbacks (%d)" counts.Tpcc.rollbacks)
+    true
+    (counts.Tpcc.rollbacks > 0 && counts.Tpcc.rollbacks < 50);
+  (match Tpcc.consistency_check s Tpcc.tiny with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e)
+
+let suites =
+  [
+    ( "workload.rng",
+      [
+        Alcotest.test_case "determinism" `Quick test_rng_determinism;
+        Alcotest.test_case "ranges" `Quick test_rng_ranges;
+        Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+        Alcotest.test_case "weighted" `Quick test_rng_weighted;
+        Alcotest.test_case "truncated exponential" `Quick test_rng_exponential;
+        Alcotest.test_case "nurand & last names" `Quick test_rng_nurand_last_name;
+      ] );
+    ("workload.gps", [ Alcotest.test_case "trace shape" `Quick test_gps_shape ]);
+    ( "workload.cartel_web",
+      [
+        Alcotest.test_case "figure 3 mix" `Quick test_fig3_mix;
+        Alcotest.test_case "sessions" `Quick test_sessions;
+      ] );
+    ( "workload.tpcc",
+      [
+        Alcotest.test_case "population" `Quick test_tpcc_population;
+        Alcotest.test_case "mix & consistency" `Quick test_tpcc_mix_and_consistency;
+        Alcotest.test_case "with labels" `Quick test_tpcc_with_labels;
+        Alcotest.test_case "rollback rate" `Slow test_tpcc_rollback_rate;
+      ] );
+  ]
