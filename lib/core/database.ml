@@ -1,4 +1,5 @@
 module Label = Ifdb_difc.Label
+module Label_store = Ifdb_difc.Label_store
 module Tag = Ifdb_difc.Tag
 module Principal = Ifdb_difc.Principal
 module Authority = Ifdb_difc.Authority
@@ -46,6 +47,7 @@ and callable = {
 
 and t = {
   auth : Authority.t;
+  lstore : Label_store.t;
   cat : Catalog.t;
   mgr : Manager.t;
   bp : Buffer_pool.t;
@@ -78,6 +80,7 @@ type result =
 let norm = String.lowercase_ascii
 
 let authority t = t.auth
+let label_store t = t.lstore
 let catalog t = t.cat
 let manager t = t.mgr
 let pool t = t.bp
@@ -192,25 +195,74 @@ let current_txn s what =
   | Some txn -> txn
   | None -> Errors.sql "%s outside a transaction" what
 
-(* The single enforcement point for reads: MVCC visibility plus the
-   Label Confinement Rule (section 4.2).  Every scan — sequential or
-   index-assisted, direct or through views — goes through here. *)
-let version_readable s txn ~extra (v : Heap.version) =
-  Manager.visible s.sdb.mgr txn v
-  && ((not s.sdb.ifc)
-     || Authority.flows s.sdb.auth ~src:(Tuple.label v.Heap.tuple)
-          ~dst:(Label.union s.s_label extra))
+(* The single enforcement point for reads: the Label Confinement Rule
+   (section 4.2).  Every scan — sequential or index-assisted, direct or
+   through views — obtains its label filter here.
+
+   The destination label [s_label ∪ extra] is invariant over a scan, so
+   it is unioned and interned once, not per tuple.  Verdicts are decided
+   per distinct {e label id}, not per tuple: a per-scan table memoizes
+   (tuple-label-id -> visible?), backed by the store's generation-
+   stamped flow cache, so a million-tuple scan over k distinct labels
+   performs k flow derivations (or k cache probes), and every other
+   tuple costs one integer hash lookup.  With [prewarm], the heap's
+   label-partition counts seed the memo up front so scans over
+   label-skewed data take the per-group verdict before touching tuples
+   (the pruning analogue of the paper's 4-byte [_label] column,
+   section 7.1). *)
+let scan_label_filter s ~heap ~extra ~prewarm : Heap.version -> bool =
+  let db = s.sdb in
+  if not db.ifc then fun _ -> true
+  else begin
+    let store = db.lstore in
+    let dst = Label.union s.s_label extra in
+    let dst_id = Label_store.intern store dst in
+    let verdicts : (int, bool) Hashtbl.t = Hashtbl.create 8 in
+    let decide lid =
+      match Hashtbl.find_opt verdicts lid with
+      | Some b -> b
+      | None ->
+          let b = Label_store.flows_id store ~src:lid ~dst:dst_id in
+          Hashtbl.add verdicts lid b;
+          b
+    in
+    if prewarm then
+      Heap.iter_label_counts heap (fun lid _count ->
+          if lid >= 0 then ignore (decide lid));
+    (* runs of identically-labeled tuples (the common physical layout)
+       reduce to one integer compare per tuple *)
+    let last_lid = ref min_int and last_verdict = ref false in
+    fun (v : Heap.version) ->
+      let lid = Tuple.label_id v.Heap.tuple in
+      if lid >= 0 then
+        if lid = !last_lid then !last_verdict
+        else begin
+          let b = decide lid in
+          last_lid := lid;
+          last_verdict := b;
+          b
+        end
+      else
+        (* uninterned tuple (built outside the statement path): fall
+           back to the raw-label derivation *)
+        Authority.flows db.auth ~src:(Tuple.label v.Heap.tuple) ~dst
+  end
 
 let scan_versions s ~table ~extra : Heap.version Seq.t =
   let txn = current_txn s "scan" in
   let tbl = Catalog.table s.sdb.cat table in
-  Manager.note_read s.sdb.mgr txn (Heap.name tbl.Catalog.tbl_heap);
-  Seq.filter (version_readable s txn ~extra) (Heap.to_seq tbl.Catalog.tbl_heap)
+  let heap = tbl.Catalog.tbl_heap in
+  Manager.note_read s.sdb.mgr txn (Heap.name heap);
+  let readable = scan_label_filter s ~heap ~extra ~prewarm:true in
+  Seq.filter
+    (fun v -> Manager.visible s.sdb.mgr txn v && readable v)
+    (Heap.to_seq heap)
 
 let scan_prefix_versions s ~table ~index ~prefix ?(lo = None) ?(hi = None)
     ~extra () : Heap.version Seq.t =
   let txn = current_txn s "scan" in
   let tbl = Catalog.table s.sdb.cat table in
+  let heap = tbl.Catalog.tbl_heap in
   let idx =
     match
       List.find_opt
@@ -220,18 +272,15 @@ let scan_prefix_versions s ~table ~index ~prefix ?(lo = None) ?(hi = None)
     | Some i -> i
     | None -> Errors.sql "no such index: %s" index
   in
-  Manager.note_read s.sdb.mgr txn (Heap.name tbl.Catalog.tbl_heap);
-  let vids = ref [] in
-  (match (lo, hi) with
-  | None, None ->
-      Btree.iter_prefix idx.Catalog.idx_tree ~prefix (fun _ vid ->
-          vids := vid :: !vids)
-  | lo, hi ->
-      Btree.iter_prefix_range idx.Catalog.idx_tree ~prefix ~lo ~hi
-        (fun _ vid -> vids := vid :: !vids));
-  List.to_seq (List.rev !vids)
-  |> Seq.filter_map (fun vid -> Heap.get_opt tbl.Catalog.tbl_heap vid)
-  |> Seq.filter (version_readable s txn ~extra)
+  Manager.note_read s.sdb.mgr txn (Heap.name heap);
+  (* lazy: postings stream straight off the leaf chain, so a consumer
+     that stops early (LIMIT, probe join) walks only what it needs; no
+     per-scan vid list is materialized.  Index scans skip the prewarm —
+     they touch few label groups, and the memo fills on first sight. *)
+  let readable = scan_label_filter s ~heap ~extra ~prewarm:false in
+  Btree.seq_prefix_range idx.Catalog.idx_tree ~prefix ~lo ~hi
+  |> Seq.filter_map (fun (_key, vid) -> Heap.get_opt heap vid)
+  |> Seq.filter (fun v -> Manager.visible s.sdb.mgr txn v && readable v)
 
 (* The declassifying-view label transform: strip tags covered by the
    view's declassify label, then apply a relabeling view's (from, to)
@@ -414,12 +463,17 @@ let do_commit s txn =
   (* transaction commit-label rule (section 5.1): the commit label must
      be no more contaminated than any tuple in the write set *)
   if s.sdb.ifc then begin
+    let store = s.sdb.lstore in
+    let commit_lid = Label_store.intern store s.s_label in
+    (* per write: one memoized id-pair probe; raw derivation only for
+       tuples that never passed through the statement path *)
+    let commit_flows (w : Manager.write) =
+      if w.Manager.w_label_id >= 0 then
+        Label_store.flows_id store ~src:commit_lid ~dst:w.Manager.w_label_id
+      else Authority.flows s.sdb.auth ~src:s.s_label ~dst:w.Manager.w_label
+    in
     let violating =
-      List.find_opt
-        (fun w ->
-          not
-            (Authority.flows s.sdb.auth ~src:s.s_label ~dst:w.Manager.w_label))
-        (Manager.writes txn)
+      List.find_opt (fun w -> not (commit_flows w)) (Manager.writes txn)
     in
     match violating with
     | Some w ->
@@ -462,6 +516,26 @@ let in_statement_txn s f =
 
 let session_write_label s = if s.sdb.ifc then s.s_label else Label.empty
 
+(* Intern a write label and return its canonical representative: all
+   stored tuples carrying the same label share one physical array plus
+   a dense id — the in-memory analogue of the paper's 4-byte [_label]
+   column backed by a label table (section 7.1).  Interned per row, not
+   per statement, because triggers may raise the session label
+   mid-statement. *)
+let interned_label s label =
+  if not s.sdb.ifc then (Label.empty, Label_store.empty_id)
+  else
+    let id = Label_store.intern s.sdb.lstore label in
+    (Label_store.label_of s.sdb.lstore id, id)
+
+(* Compare a stored tuple's label with [label] (whose interned id is
+   [lid]); id equality when both sides are interned, raw equality
+   otherwise. *)
+let tuple_label_matches (v : Heap.version) label lid =
+  let tl = Tuple.label_id v.Heap.tuple in
+  if tl >= 0 && lid >= 0 then tl = lid
+  else Label.equal (Tuple.label v.Heap.tuple) label
+
 let check_schema tbl values =
   match Schema.check_values tbl.Catalog.tbl_schema values with
   | Ok () -> ()
@@ -498,7 +572,7 @@ let check_label_constraints s tbl tuple =
    nothing); a same-key tuple under any other label — hidden or not —
    polyinstantiates instead.  Label constraints (section 5.2.4) are the
    tool for applications that want to forbid that. *)
-let check_uniques s txn tbl values label =
+let check_uniques s txn tbl values label lid =
   List.iter
     (fun idx ->
       if idx.Catalog.idx_unique then begin
@@ -511,8 +585,7 @@ let check_uniques s txn tbl values label =
               | Some v ->
                   if
                     Manager.visible s.sdb.mgr txn v
-                    && ((not s.sdb.ifc)
-                       || Label.equal (Tuple.label v.Heap.tuple) label)
+                    && ((not s.sdb.ifc) || tuple_label_matches v label lid)
                   then
                     constraint_
                       "duplicate key value violates unique constraint %s"
@@ -647,7 +720,8 @@ let resolve_declared_tags s names =
 let insert_tuple s txn tbl tuple ~declared =
   check_schema tbl (Tuple.values tuple);
   check_label_constraints s tbl tuple;
-  check_uniques s txn tbl (Tuple.values tuple) (Tuple.label tuple);
+  check_uniques s txn tbl (Tuple.values tuple) (Tuple.label tuple)
+    (Tuple.label_id tuple);
   check_foreign_keys s txn tbl tuple ~declared;
   let v = Manager.record_insert s.sdb.mgr txn tbl.Catalog.tbl_heap tuple in
   Catalog.insert_into_indexes s.sdb.cat tbl (Tuple.values tuple) v.Heap.vid;
@@ -679,9 +753,17 @@ let dml_targets s txn tbl (pred : Expr.t option) =
 
 (* Write Rule (section 4.2): a process may modify only tuples labeled
    exactly its own label.  Lower-labeled tuples are visible but not
-   writable; higher-labeled tuples were already filtered out. *)
+   writable; higher-labeled tuples were already filtered out.  The
+   session label is re-interned per check (one hash probe) rather than
+   hoisted, because triggers may raise it mid-statement; the comparison
+   itself is two ints. *)
 let check_write_rule s (v : Heap.version) action =
-  if s.sdb.ifc && not (Label.equal (Tuple.label v.Heap.tuple) s.s_label) then
+  let slid =
+    if s.sdb.ifc && Tuple.label_id v.Heap.tuple >= 0 then
+      Label_store.intern s.sdb.lstore s.s_label
+    else -1
+  in
+  if s.sdb.ifc && not (tuple_label_matches v s.s_label slid) then
     flow
       "%s of tuple labeled %s by process labeled %s violates the Write Rule \
        (only exact-label tuples are writable)"
@@ -782,11 +864,10 @@ let exec_insert s txn (stmt : A.stmt) =
             (Array.length row_values) (Array.length positions);
         let values = Array.make (Schema.arity schema) Value.Null in
         Array.iteri (fun i v -> values.(positions.(i)) <- v) row_values;
-        let label =
-          if s.sdb.ifc then Label.union (session_write_label s) view_label
-          else Label.empty
+        let label, label_id =
+          interned_label s (Label.union (session_write_label s) view_label)
         in
-        let tuple = Tuple.make ~values ~label in
+        let tuple = Tuple.make_interned ~values ~label ~label_id in
         insert_tuple s txn tbl tuple ~declared;
         incr n
       in
@@ -835,13 +916,15 @@ let exec_update s txn u_table u_sets u_where =
       let old_tuple = v.Heap.tuple in
       let values = Array.copy (Tuple.values old_tuple) in
       List.iter (fun (i, e) -> values.(i) <- Expr.eval env old_tuple e) sets;
-      let new_tuple = Tuple.make ~values ~label:(session_write_label s) in
+      let wlabel, wlid = interned_label s (session_write_label s) in
+      let new_tuple = Tuple.make_interned ~values ~label:wlabel ~label_id:wlid in
       check_schema tbl values;
       check_label_constraints s tbl new_tuple;
       (* supersede the old version first so the uniqueness probe does
          not see it *)
       Manager.record_delete s.sdb.mgr txn tbl.Catalog.tbl_heap v;
-      check_uniques s txn tbl values (Tuple.label new_tuple);
+      check_uniques s txn tbl values (Tuple.label new_tuple)
+        (Tuple.label_id new_tuple);
       check_foreign_keys s txn tbl new_tuple ~declared:Label.empty;
       let nv = Manager.record_insert s.sdb.mgr txn tbl.Catalog.tbl_heap new_tuple in
       Catalog.insert_into_indexes s.sdb.cat tbl values nv.Heap.vid;
@@ -1214,9 +1297,9 @@ let register_builtin_procedures db =
           Value.Null);
     }
 
-let create ?(ifc = true) ?(isolation = Snapshot) ?(capacity_pages = None)
-    ?(miss_cost_ns = 100_000) ?(write_cost_ns = 60_000)
-    ?(fsync_cost_ns = 200_000) ?(seed = 0x1FDB) () =
+let create ?(ifc = true) ?(label_cache = true) ?(isolation = Snapshot)
+    ?(capacity_pages = None) ?(miss_cost_ns = 100_000)
+    ?(write_cost_ns = 60_000) ?(fsync_cost_ns = 200_000) ?(seed = 0x1FDB) () =
   let bp =
     Buffer_pool.create ~capacity_pages ~miss_cost_ns ~write_cost_ns ()
   in
@@ -1228,6 +1311,7 @@ let create ?(ifc = true) ?(isolation = Snapshot) ?(capacity_pages = None)
   let db =
     {
       auth;
+      lstore = Label_store.create ~flow_cache:label_cache auth;
       cat = Catalog.create ~pool:bp ~labeled:ifc ();
       mgr =
         Manager.create ~wal:the_wal

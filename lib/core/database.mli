@@ -48,6 +48,7 @@ type isolation = Snapshot | Serializable
 
 val create :
   ?ifc:bool ->
+  ?label_cache:bool ->
   ?isolation:isolation ->
   ?capacity_pages:int option ->
   ?miss_cost_ns:int ->
@@ -57,9 +58,19 @@ val create :
   unit ->
   t
 (** Defaults: [ifc:true], [Snapshot] isolation (what the paper's
-    PostgreSQL-based prototype runs), unbounded buffer pool. *)
+    PostgreSQL-based prototype runs), unbounded buffer pool.
+    [label_cache] (default on) controls the label store's memoized
+    flow-check cache; labels are interned either way.  Turning it off
+    exists for the ablation benchmark. *)
 
 val authority : t -> Authority.t
+
+val label_store : t -> Ifdb_difc.Label_store.t
+(** The database's label store: every stored tuple's label is interned
+    here, and all enforcement-point flow checks go through its memoized
+    cache (invalidated wholesale when the authority state's generation
+    moves).  Exposed for stats and tests. *)
+
 val catalog : t -> Ifdb_engine.Catalog.t
 val manager : t -> Ifdb_txn.Manager.t
 val pool : t -> Ifdb_storage.Buffer_pool.t

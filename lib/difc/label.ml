@@ -101,15 +101,6 @@ let merge ~keep_left ~keep_both ~keep_right a b =
     while !j < nb do push b.(!j); incr j done;
   if !k = na + nb then buf else Array.sub buf 0 !k
 
-let union a b =
-  if is_empty a then b
-  else if is_empty b then a
-  else merge ~keep_left:true ~keep_both:true ~keep_right:true a b
-
-let inter a b = merge ~keep_left:false ~keep_both:true ~keep_right:false a b
-let diff a b = merge ~keep_left:true ~keep_both:false ~keep_right:false a b
-let symm_diff a b = merge ~keep_left:true ~keep_both:false ~keep_right:true a b
-
 let subset a b =
   let na = Array.length a and nb = Array.length b in
   if na > nb then false
@@ -125,8 +116,52 @@ let subset a b =
     !ok
   end
 
-let equal a b = a = b
-let compare a b = Stdlib.compare a b
+(* Unions dominate the hot paths (scan filters hoist one per scan, but
+   aggregates and joins still fold labels per row), and the common case
+   is one side already containing the other — e.g. an accumulator that
+   has absorbed every tag in sight.  The subset probes are allocation-
+   free, so testing them first means the steady state allocates
+   nothing and returns an existing (often interned) array. *)
+let union a b =
+  if a == b then a
+  else if is_empty a then b
+  else if is_empty b then a
+  else if subset b a then a
+  else if subset a b then b
+  else merge ~keep_left:true ~keep_both:true ~keep_right:true a b
+
+let inter a b = merge ~keep_left:false ~keep_both:true ~keep_right:false a b
+let diff a b = merge ~keep_left:true ~keep_both:false ~keep_right:false a b
+let symm_diff a b = merge ~keep_left:true ~keep_both:false ~keep_right:true a b
+
+(* Monomorphic int-array comparisons: labels sit on every tuple access,
+   so none of these may fall into the polymorphic runtime. *)
+let equal (a : t) (b : t) =
+  a == b
+  || begin
+       let n = Array.length a in
+       n = Array.length b
+       &&
+       let rec go i = i >= n || (a.(i) = b.(i) && go (i + 1)) in
+       go 0
+     end
+
+(* Lexicographic over the sorted tag ids (element-wise, shorter prefix
+   first) — a total order suitable for Map/Set keys. *)
+let compare (a : t) (b : t) =
+  if a == b then 0
+  else begin
+    let na = Array.length a and nb = Array.length b in
+    let n = if na < nb then na else nb in
+    let rec go i =
+      if i >= n then Int.compare na nb
+      else
+        let c = Int.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+  end
+
 let cardinal = Array.length
 
 let covers ~compounds_of l tag =
@@ -149,7 +184,15 @@ let for_all f l = Array.for_all (fun t -> f (Tag.of_int t)) l
 
 let byte_size l = 4 * Array.length l
 
-let hash = Hashtbl.hash
+(* FNV-1a over the tag ids.  Monomorphic, never truncates the element
+   range (Hashtbl.hash only looks at a bounded prefix of large
+   structures), and keeps the result non-negative for array indexing. *)
+let hash (l : t) =
+  let h = ref 0x811c9dc5 in
+  for i = 0 to Array.length l - 1 do
+    h := (!h lxor l.(i)) * 0x01000193 land 0x3FFFFFFF
+  done;
+  !h
 
 let pp ppf l =
   Format.fprintf ppf "{%a}"

@@ -47,7 +47,14 @@ val subset : t -> t -> bool
 (** [subset a b] is plain set containment [a ⊆ b]. *)
 
 val equal : t -> t -> bool
+(** Structural set equality.  Specialized to a monomorphic int-array
+    loop (no polymorphic [=]); [O(min)] with a physical-equality fast
+    path, so hash-consed labels compare in constant time. *)
+
 val compare : t -> t -> int
+(** Total order: lexicographic over the sorted tag ids, with a shorter
+    strict prefix ordering first ([{1} < {1,2} < {2}]). *)
+
 val cardinal : t -> int
 
 val covers : compounds_of:(Tag.t -> Tag.t list) -> t -> Tag.t -> bool
@@ -78,6 +85,9 @@ val byte_size : t -> int
     per tag (the length byte lives in the tuple header, section 8.3). *)
 
 val hash : t -> int
+(** FNV-1a over the tag ids: monomorphic, consistent with {!equal},
+    non-negative.  Unlike [Hashtbl.hash] it never ignores elements of
+    large labels. *)
 
 val pp : Format.formatter -> t -> unit
 (** Prints as [{#1, #2}]. *)

@@ -1,0 +1,125 @@
+(* Hash-consed label table plus generation-stamped flow cache (the
+   reproduction of the paper's deduplicated label table, section 7.1,
+   and PHP-IF's memoized authority answers, section 7.2). *)
+
+module H = Hashtbl.Make (struct
+  type t = Label.t
+
+  let equal = Label.equal
+  let hash = Label.hash
+end)
+
+type id = int
+
+let empty_id = 0
+
+type stats = {
+  interned : int;
+  flow_hits : int;
+  flow_misses : int;
+  invalidations : int;
+}
+
+type t = {
+  auth : Authority.t;
+  flow_cache : bool;
+  ids : id H.t; (* label -> id *)
+  mutable labels : Label.t array; (* id -> canonical label *)
+  mutable next : int;
+  (* (src_id, dst_id) -> verdict, key packed as src lsl 31 lor dst.
+     Dense ids keep the packing collision-free for < 2^31 labels. *)
+  verdicts : (int, bool) Hashtbl.t;
+  mutable valid_generation : int;
+  mutable flow_hits : int;
+  mutable flow_misses : int;
+  mutable invalidations : int;
+}
+
+let create ?(flow_cache = true) auth =
+  let t =
+    {
+      auth;
+      flow_cache;
+      ids = H.create 256;
+      labels = Array.make 64 Label.empty;
+      next = 0;
+      verdicts = Hashtbl.create 1024;
+      valid_generation = Authority.generation auth;
+      flow_hits = 0;
+      flow_misses = 0;
+      invalidations = 0;
+    }
+  in
+  (* slot 0 is the public label, unconditionally *)
+  H.replace t.ids Label.empty empty_id;
+  t.next <- 1;
+  t
+
+let authority t = t.auth
+let size t = t.next
+
+let intern t l =
+  if Label.is_empty l then empty_id
+  else
+    match H.find_opt t.ids l with
+    | Some id -> id
+    | None ->
+        let id = t.next in
+        if id >= Array.length t.labels then begin
+          let bigger = Array.make (2 * Array.length t.labels) Label.empty in
+          Array.blit t.labels 0 bigger 0 id;
+          t.labels <- bigger
+        end;
+        t.labels.(id) <- l;
+        H.replace t.ids l id;
+        t.next <- id + 1;
+        id
+
+let label_of t id =
+  if id < 0 || id >= t.next then
+    invalid_arg (Printf.sprintf "Label_store.label_of: unknown id %d" id)
+  else t.labels.(id)
+
+(* Invalidation discipline shared with Auth_cache: verdicts are valid
+   only for the generation they were computed under; any authority
+   mutation (tag/principal creation, delegation, revocation) bumps the
+   generation and the whole cache is dropped on the next probe. *)
+let revalidate t =
+  let g = Authority.generation t.auth in
+  if g <> t.valid_generation then begin
+    if Hashtbl.length t.verdicts > 0 then
+      t.invalidations <- t.invalidations + 1;
+    Hashtbl.reset t.verdicts;
+    t.valid_generation <- g
+  end
+
+let flows_id t ~src ~dst =
+  if src = dst || src = empty_id then true
+  else begin
+    revalidate t;
+    let key = (src lsl 31) lor dst in
+    match if t.flow_cache then Hashtbl.find_opt t.verdicts key else None with
+    | Some verdict ->
+        t.flow_hits <- t.flow_hits + 1;
+        verdict
+    | None ->
+        t.flow_misses <- t.flow_misses + 1;
+        let verdict =
+          Authority.flows t.auth ~src:(label_of t src) ~dst:(label_of t dst)
+        in
+        if t.flow_cache then Hashtbl.replace t.verdicts key verdict;
+        verdict
+  end
+
+let stats t =
+  {
+    interned = t.next;
+    flow_hits = t.flow_hits;
+    flow_misses = t.flow_misses;
+    invalidations = t.invalidations;
+  }
+
+let reset_stats t =
+  t.flow_hits <- 0;
+  t.flow_misses <- 0;
+  t.invalidations <- 0

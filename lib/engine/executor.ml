@@ -22,11 +22,33 @@ let one_row =
   Tuple.make ~values:[||] ~label:Label.empty
 
 let concat_rows a b =
-  Tuple.make
-    ~values:(Array.append (Tuple.values a) (Tuple.values b))
-    ~label:(Label.union (Tuple.label a) (Tuple.label b))
+  let values = Array.append (Tuple.values a) (Tuple.values b) in
+  (* joined rows usually pair tuples of the same interned label (or one
+     side is unlabeled): the union is then the label itself and the id
+     carries over, skipping both the union and re-interning downstream *)
+  let la = Tuple.label a and lb = Tuple.label b in
+  let ida = Tuple.label_id a and idb = Tuple.label_id b in
+  if ida >= 0 && (ida = idb || Label.is_empty lb) then
+    Tuple.make_interned ~values ~label:la ~label_id:ida
+  else if idb >= 0 && Label.is_empty la then
+    Tuple.make_interned ~values ~label:lb ~label_id:idb
+  else Tuple.make ~values ~label:(Label.union la lb)
 
 let null_row arity = Tuple.make ~values:(Array.make arity Value.Null) ~label:Label.empty
+
+(* Contamination accumulator for row streams.  Interned tuples sharing
+   a label share one physical array, so remembering the last absorbed
+   label makes the per-row step a pointer compare in the common case
+   (a scan over few distinct labels); the union fast paths catch the
+   rest without allocating. *)
+type label_acc = { mutable acc_label : Label.t; mutable acc_last : Label.t }
+
+let absorb_label la row =
+  let l = Tuple.label row in
+  if l != la.acc_last then begin
+    la.acc_last <- l;
+    la.acc_label <- Label.union la.acc_label l
+  end
 
 (* --- aggregation ------------------------------------------------- *)
 
@@ -214,9 +236,11 @@ let rec run ctx (plan : Plan.t) : Tuple.t Seq.t =
   | Plan.Project (src, exprs) ->
       Seq.map
         (fun row ->
-          Tuple.make
-            ~values:(Array.map (fun e -> Expr.eval ctx.fenv row e) exprs)
-            ~label:(Tuple.label row))
+          let values = Array.map (fun e -> Expr.eval ctx.fenv row e) exprs in
+          let lid = Tuple.label_id row in
+          if lid >= 0 then
+            Tuple.make_interned ~values ~label:(Tuple.label row) ~label_id:lid
+          else Tuple.make ~values ~label:(Tuple.label row))
         (run ctx src)
   | Plan.Join
       { left; right; kind; cond; left_arity = _; right_arity; equi; probe } -> (
@@ -228,7 +252,7 @@ let rec run ctx (plan : Plan.t) : Tuple.t Seq.t =
           join ctx ~left_rows:(run ctx left) ~right:(run ctx right) ~kind ~cond
             ~right_arity ~equi ())
   | Plan.Aggregate { src; keys; aggs } ->
-      let groups : (Value.t list, agg_state array * Label.t ref) Hashtbl.t =
+      let groups : (Value.t list, agg_state array * label_acc) Hashtbl.t =
         Hashtbl.create 64
       in
       let order = ref [] in
@@ -240,13 +264,14 @@ let rec run ctx (plan : Plan.t) : Tuple.t Seq.t =
             | Some s -> s
             | None ->
                 let s =
-                  (Array.map (fun _ -> new_agg_state ()) aggs, ref Label.empty)
+                  ( Array.map (fun _ -> new_agg_state ()) aggs,
+                    { acc_label = Label.empty; acc_last = Label.empty } )
                 in
                 Hashtbl.replace groups k s;
                 order := k :: !order;
                 s
           in
-          lbl := Label.union !lbl (Tuple.label row);
+          absorb_label lbl row;
           Array.iteri (fun i kind -> feed_agg ctx row kind states.(i)) aggs)
         (run ctx src);
       let emit k (states, lbl) =
@@ -254,7 +279,7 @@ let rec run ctx (plan : Plan.t) : Tuple.t Seq.t =
           ~values:
             (Array.append (Array.of_list k)
                (Array.mapi (fun i kind -> finish_agg kind states.(i)) aggs))
-          ~label:!lbl
+          ~label:lbl.acc_label
       in
       if Hashtbl.length groups = 0 && Array.length keys = 0 then
         (* SQL: aggregates over an empty input with no GROUP BY yield

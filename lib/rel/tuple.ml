@@ -1,8 +1,22 @@
-type t = { values : Value.t array; label : Ifdb_difc.Label.t }
+type t = {
+  values : Value.t array;
+  label : Ifdb_difc.Label.t;
+  label_id : int;
+}
 
-let make ~values ~label = { values; label }
+(* Every store interns the empty label as id 0 (Label_store.empty_id),
+   so publicly-labeled tuples are born interned even off the storage
+   path; any other label needs an explicit store id. *)
+let make ~values ~label =
+  { values; label; label_id = (if Ifdb_difc.Label.is_empty label then 0 else -1) }
+
+let make_interned ~values ~label ~label_id =
+  if label_id < 0 then invalid_arg "Tuple.make_interned: negative label id";
+  { values; label; label_id }
+
 let values t = t.values
 let label t = t.label
+let label_id t = t.label_id
 let get t i = t.values.(i)
 let arity t = Array.length t.values
 

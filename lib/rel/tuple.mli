@@ -4,11 +4,32 @@
 type t = private {
   values : Value.t array;
   label : Ifdb_difc.Label.t;
+  label_id : int;
+      (** the label's {!Ifdb_difc.Label_store} id, or [-1] when the
+          tuple was built without interning (derived query rows).
+          Mirrors the paper's 4-byte [_label] reference into the
+          deduplicated label table (section 7.1). *)
 }
 
 val make : values:Value.t array -> label:Ifdb_difc.Label.t -> t
+(** An uninterned tuple ([label_id = -1]) — except that the empty
+    label is always id 0 in every store, so public tuples are born
+    interned. *)
+
+val make_interned :
+  values:Value.t array -> label:Ifdb_difc.Label.t -> label_id:int -> t
+(** A tuple whose label has been interned; [label] should be the
+    store's canonical value for [label_id] so equality checks hit the
+    pointer fast path.  Raises [Invalid_argument] on a negative id. *)
+
 val values : t -> Value.t array
 val label : t -> Ifdb_difc.Label.t
+
+val label_id : t -> int
+(** The interned label id, or [-1] if unknown.  Storage and the
+    enforcement paths compare label ids instead of labels whenever
+    both sides are interned. *)
+
 val get : t -> int -> Value.t
 val arity : t -> int
 

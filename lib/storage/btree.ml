@@ -217,30 +217,6 @@ let iter_range t ~lo ~hi f =
   in
   walk start_leaf start_idx
 
-let iter_prefix t ~prefix f =
-  if Array.length prefix = 0 then
-    iter_range t ~lo:Unbounded ~hi:Unbounded f
-  else begin
-    (* Descend as if prefix were a full key (missing components rank
-       lowest, which matches compare_key's shorter-first rule). *)
-    let l = find_leaf t.root prefix in
-    let i = lower_bound l.keys prefix in
-    let rec walk leaf idx =
-      if idx >= Array.length leaf.keys then
-        match leaf.next with None -> () | Some nx -> walk nx 0
-      else begin
-        let k = leaf.keys.(idx) in
-        let c = compare_to_prefix k prefix in
-        if c < 0 then walk leaf (idx + 1)
-        else if c = 0 then begin
-          List.iter (fun vid -> f k vid) (List.rev leaf.postings.(idx));
-          walk leaf (idx + 1)
-        end
-      end
-    in
-    walk l i
-  end
-
 let iter_all t f = iter_range t ~lo:Unbounded ~hi:Unbounded f
 
 let entry_count t = t.entries
@@ -316,7 +292,11 @@ let check_invariants t =
   in
   match check t.root None None 1 with Ok _ -> Ok () | Error e -> Error e
 
-let iter_prefix_range t ~prefix ~lo ~hi f =
+(* Lazy prefix-range walk: the same leaf chase as the eager iterators,
+   but demand-driven — a consumer that stops early (LIMIT, a probe join
+   finding its match) never visits the remaining leaves, and nothing is
+   materialized per scan. *)
+let seq_prefix_range t ~prefix ~lo ~hi : (key * int) Seq.t =
   let np = Array.length prefix in
   let component k = if Array.length k > np then Some k.(np) else None in
   let below_lo k =
@@ -343,20 +323,31 @@ let iter_prefix_range t ~prefix ~lo ~hi f =
   in
   let l = find_leaf t.root seek_key in
   let i = lower_bound l.keys seek_key in
-  let rec walk leaf idx =
+  let rec walk leaf idx () =
     if idx >= Array.length leaf.keys then
-      match leaf.next with None -> () | Some nx -> walk nx 0
+      match leaf.next with None -> Seq.Nil | Some nx -> walk nx 0 ()
     else begin
       let k = leaf.keys.(idx) in
       let c = compare_to_prefix k prefix in
-      if c < 0 then walk leaf (idx + 1)
-      else if c > 0 then () (* left the prefix region: sorted, so done *)
-      else if above_hi k then ()
-      else begin
-        if not (below_lo k) then
-          List.iter (fun vid -> f k vid) (List.rev leaf.postings.(idx));
-        walk leaf (idx + 1)
-      end
+      if c < 0 then walk leaf (idx + 1) ()
+      else if c > 0 then Seq.Nil (* left the prefix region: sorted, so done *)
+      else if above_hi k then Seq.Nil
+      else if below_lo k then walk leaf (idx + 1) ()
+      else
+        let rec postings ps () =
+          match ps with
+          | [] -> walk leaf (idx + 1) ()
+          | vid :: rest -> Seq.Cons ((k, vid), postings rest)
+        in
+        postings (List.rev leaf.postings.(idx)) ()
     end
   in
   walk l i
+
+let seq_prefix t ~prefix = seq_prefix_range t ~prefix ~lo:None ~hi:None
+
+let iter_prefix_range t ~prefix ~lo ~hi f =
+  Seq.iter (fun (k, vid) -> f k vid) (seq_prefix_range t ~prefix ~lo ~hi)
+
+let iter_prefix t ~prefix f =
+  Seq.iter (fun (k, vid) -> f k vid) (seq_prefix t ~prefix)

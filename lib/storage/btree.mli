@@ -67,3 +67,18 @@ val iter_prefix_range :
     falls within the given bounds (each [(v, incl)] pair is a bound and
     whether it is inclusive).  With both bounds [None] this is
     {!iter_prefix}. *)
+
+val seq_prefix : t -> prefix:key -> (key * int) Seq.t
+(** Lazy {!iter_prefix}: postings are produced on demand, so consumers
+    that stop early (LIMIT, probe joins) never walk the rest of the
+    leaf chain and nothing is materialized per scan.  The sequence
+    reads the live tree; restart it rather than reusing it across
+    mutations. *)
+
+val seq_prefix_range :
+  t ->
+  prefix:key ->
+  lo:(Ifdb_rel.Value.t * bool) option ->
+  hi:(Ifdb_rel.Value.t * bool) option ->
+  (key * int) Seq.t
+(** Lazy {!iter_prefix_range}. *)

@@ -15,6 +15,12 @@ type t = {
   mutable current_page : int;
   mutable page_used : int;
   mutable pages : int;
+  (* label-id partition counts: how many (non-vacuumed) versions carry
+     each interned label id (-1 groups the uninterned).  A sequential
+     scan reads this to decide each distinct label once instead of
+     per tuple; distinct labels are few (the paper saw 0-2 tags per
+     tuple and a handful of label shapes per table). *)
+  label_counts : (int, int) Hashtbl.t;
 }
 
 let create ~name ~labeled ~pool () =
@@ -27,7 +33,17 @@ let create ~name ~labeled ~pool () =
     current_page = Buffer_pool.alloc_page pool;
     page_used = 0;
     pages = 1;
+    label_counts = Hashtbl.create 8;
   }
+
+let bump_label_count t lid delta =
+  let cur = Option.value ~default:0 (Hashtbl.find_opt t.label_counts lid) in
+  let now = cur + delta in
+  if now <= 0 then Hashtbl.remove t.label_counts lid
+  else Hashtbl.replace t.label_counts lid now
+
+let iter_label_counts t f = Hashtbl.iter f t.label_counts
+let distinct_label_count t = Hashtbl.length t.label_counts
 
 let name t = t.heap_name
 let pool t = t.bp
@@ -55,6 +71,7 @@ let insert t ~xmin tuple =
   let v = { vid = t.len; tuple; xmin; xmax = 0; page = t.current_page } in
   t.slots.(t.len) <- Some v;
   t.len <- t.len + 1;
+  bump_label_count t (Ifdb_rel.Tuple.label_id tuple) 1;
   Buffer_pool.dirty t.bp v.page;
   v
 
@@ -114,6 +131,7 @@ let vacuum t ~dead =
     match t.slots.(i) with
     | Some v when dead v ->
         t.slots.(i) <- None;
+        bump_label_count t (Ifdb_rel.Tuple.label_id v.tuple) (-1);
         incr removed
     | Some _ | None -> ()
   done;

@@ -64,3 +64,15 @@ val tuple_bytes : t -> Ifdb_rel.Tuple.t -> int
 val to_seq : t -> version Seq.t
 (** Lazy sequential scan in version order; like {!iter}, charges each
     distinct page once per scan run. *)
+
+val iter_label_counts : t -> (int -> int -> unit) -> unit
+(** [iter_label_counts t f] calls [f label_id count] for each label-id
+    partition with live (non-vacuumed) versions; uninterned tuples
+    ([Tuple.label_id = -1]) are grouped under [-1].  A sequential scan
+    uses this to decide the visibility of every distinct label once up
+    front and skip whole invisible groups, instead of re-deciding per
+    tuple.  Counts include versions awaiting vacuum, so the partition
+    set is a superset of the visible labels — safe for pruning. *)
+
+val distinct_label_count : t -> int
+(** Number of distinct label-id partitions currently present. *)

@@ -8,6 +8,7 @@ type write = {
   w_vid : int;
   w_kind : [ `Insert | `Delete ];
   w_label : Ifdb_difc.Label.t;
+  w_label_id : int;
 }
 
 type txn = {
@@ -136,7 +137,8 @@ let record_insert t txn heap tuple =
         Ifdb_storage.Heap.tuple_bytes heap tuple));
   txn.t_writes <-
     { w_heap = heap; w_vid = v.vid; w_kind = `Insert;
-      w_label = Ifdb_rel.Tuple.label tuple }
+      w_label = Ifdb_rel.Tuple.label tuple;
+      w_label_id = Ifdb_rel.Tuple.label_id tuple }
     :: txn.t_writes;
   v
 
@@ -168,7 +170,8 @@ let record_delete t txn heap (v : Ifdb_storage.Heap.version) =
     (Ifdb_storage.Wal.Delete (Ifdb_storage.Heap.name heap, v.vid));
   txn.t_writes <-
     { w_heap = heap; w_vid = v.vid; w_kind = `Delete;
-      w_label = Ifdb_rel.Tuple.label v.tuple }
+      w_label = Ifdb_rel.Tuple.label v.tuple;
+      w_label_id = Ifdb_rel.Tuple.label_id v.tuple }
     :: txn.t_writes
 
 let writes txn = List.rev txn.t_writes

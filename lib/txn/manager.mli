@@ -33,6 +33,10 @@ type write = {
   w_vid : int;
   w_kind : [ `Insert | `Delete ];
   w_label : Ifdb_difc.Label.t;  (** label of the tuple written *)
+  w_label_id : int;
+      (** the tuple's interned label id ([-1] if uninterned), so the
+          commit-label rule can compare ids and hit the flow cache
+          instead of re-deriving flows from raw labels *)
 }
 
 type txn

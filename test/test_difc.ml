@@ -68,6 +68,44 @@ let test_label_byte_size () =
 let test_label_pp () =
   Alcotest.(check string) "pp" "{#1, #2}" (Label.to_string (lbl [ 2; 1 ]))
 
+(* The monomorphic equal/compare/hash specializations: pin their
+   semantics so the int-array loops cannot drift from the old
+   structural behaviour where it matters (equality, total order,
+   hash/equal agreement). *)
+
+let test_label_equal_semantics () =
+  Alcotest.(check bool) "physical fast path" true
+    (let l = lbl [ 1; 2; 3 ] in
+     Label.equal l l);
+  Alcotest.(check bool) "structural equality" true
+    (Label.equal (lbl [ 1; 2; 3 ]) (lbl [ 1; 2; 3 ]));
+  Alcotest.(check bool) "length mismatch" false
+    (Label.equal (lbl [ 1; 2 ]) (lbl [ 1; 2; 3 ]));
+  Alcotest.(check bool) "element mismatch" false
+    (Label.equal (lbl [ 1; 2; 4 ]) (lbl [ 1; 2; 3 ]));
+  Alcotest.(check bool) "empty vs empty" true (Label.equal (lbl []) Label.empty)
+
+let test_label_compare_semantics () =
+  let sign x = Stdlib.compare x 0 in
+  (* lexicographic over sorted tag ids: element-wise first, length only
+     breaks ties on a shared prefix *)
+  Alcotest.(check int) "equal" 0 (Label.compare (lbl [ 1; 2 ]) (lbl [ 1; 2 ]));
+  Alcotest.(check int) "element-wise before length" (-1)
+    (sign (Label.compare (lbl [ 1; 2 ]) (lbl [ 3 ])));
+  Alcotest.(check int) "prefix sorts first" (-1)
+    (sign (Label.compare (lbl [ 1 ]) (lbl [ 1; 2 ])));
+  Alcotest.(check int) "empty first" (-1)
+    (sign (Label.compare Label.empty (lbl [ 1 ])));
+  Alcotest.(check int) "antisymmetric" 1
+    (sign (Label.compare (lbl [ 3 ]) (lbl [ 1; 2 ])))
+
+let test_label_hash_semantics () =
+  Alcotest.(check int) "hash agrees with equal"
+    (Label.hash (Label.of_list [ tag 3; tag 1; tag 2; tag 1 ]))
+    (Label.hash (lbl [ 1; 2; 3 ]));
+  Alcotest.(check bool) "hash is non-negative (usable as Hashtbl key)" true
+    (Label.hash (lbl [ max_int; 1 ]) >= 0 && Label.hash Label.empty >= 0)
+
 (* ------------------------------------------------------------------ *)
 (* Label property tests                                                *)
 (* ------------------------------------------------------------------ *)
@@ -118,6 +156,18 @@ let label_props =
       (fun (a, i) -> not (Label.mem (tag i) (Label.remove (tag i) a)));
     prop "flows_to with no compounds = subset" arb_label2 (fun (a, b) ->
         Label.flows_to ~compounds_of:(fun _ -> []) a b = Label.subset a b);
+    prop "compare zero iff equal" arb_label2 (fun (a, b) ->
+        (Label.compare a b = 0) = Label.equal a b);
+    prop "compare antisymmetric" arb_label2 (fun (a, b) ->
+        Stdlib.compare (Label.compare a b) 0
+        = - (Stdlib.compare (Label.compare b a) 0));
+    prop "compare transitive" arb_label3 (fun (a, b, c) ->
+        let sorted = List.sort Label.compare [ a; b; c ] in
+        match sorted with
+        | [ x; _; z ] -> Label.compare x z <= 0
+        | _ -> false);
+    prop "equal implies same hash" arb_label2 (fun (a, b) ->
+        (not (Label.equal a b)) || Label.hash a = Label.hash b);
     prop "model check vs IntSet" arb_label2 (fun (a, b) ->
         let module S = Set.Make (Int) in
         let s l = S.of_list (Array.to_list (Label.to_ints l)) in
@@ -361,6 +411,9 @@ let suites =
         Alcotest.test_case "covers/compounds" `Quick test_label_covers_compounds;
         Alcotest.test_case "byte size" `Quick test_label_byte_size;
         Alcotest.test_case "pp" `Quick test_label_pp;
+        Alcotest.test_case "equal semantics" `Quick test_label_equal_semantics;
+        Alcotest.test_case "compare semantics" `Quick test_label_compare_semantics;
+        Alcotest.test_case "hash semantics" `Quick test_label_hash_semantics;
       ] );
     ("difc.label.props", label_props);
     ( "difc.idgen",

@@ -1,6 +1,7 @@
 let () =
   Alcotest.run "ifdb"
-    (Test_difc.suites @ Test_rel.suites @ Test_storage.suites @ Test_txn.suites
+    (Test_difc.suites @ Test_label_store.suites @ Test_rel.suites
+   @ Test_storage.suites @ Test_txn.suites
    @ Test_sql.suites @ Test_core.suites @ Test_query.suites
    @ Test_platform.suites @ Test_workload.suites @ Test_apps.suites
    @ Test_security.suites @ Test_engine.suites @ Test_dump.suites @ Test_edge.suites)
