@@ -137,12 +137,13 @@ let run_command st line =
   | cmd :: _ -> Printf.printf "unknown command %s\n" cmd
   | [] -> ()
 
-let repl ~ifc =
-  let db = Db.create ~ifc () in
+let repl ~ifc ~parallelism =
+  let db = Db.create ~ifc ~parallelism () in
   let admin = Db.connect_admin db in
   let st = { db; session = admin } in
-  Printf.printf "IFDB shell (ifc %s). \\q quits, \\label shows the session label.\n"
-    (if ifc then "on" else "off");
+  Printf.printf "IFDB shell (ifc %s%s). \\q quits, \\label shows the session label.\n"
+    (if ifc then "on" else "off")
+    (if parallelism > 1 then Printf.sprintf ", %d domains" parallelism else "");
   let interactive = Unix.isatty Unix.stdin in
   (try
      while true do
@@ -173,10 +174,18 @@ open Cmdliner
 let no_ifc =
   Arg.(value & flag & info [ "no-ifc" ] ~doc:"Run the baseline engine (no labels).")
 
+let parallelism =
+  Arg.(
+    value & opt int 1
+    & info [ "parallelism" ]
+        ~doc:"Domains per query (morsel-parallel scans); 1 = serial.")
+
 let cmd =
   let doc = "interactive shell over the IFDB engine" in
   Cmd.v
     (Cmd.info "ifdb_shell" ~doc)
-    Term.(const (fun no_ifc -> repl ~ifc:(not no_ifc)) $ no_ifc)
+    Term.(
+      const (fun no_ifc parallelism -> repl ~ifc:(not no_ifc) ~parallelism)
+      $ no_ifc $ parallelism)
 
 let () = exit (Cmd.eval cmd)

@@ -17,6 +17,7 @@ module Catalog = Ifdb_engine.Catalog
 module Planner = Ifdb_engine.Planner
 module Plan = Ifdb_engine.Plan
 module Executor = Ifdb_engine.Executor
+module Domain_pool = Ifdb_engine.Domain_pool
 module A = Ifdb_sql.Ast
 module Parser = Ifdb_sql.Parser
 
@@ -59,6 +60,10 @@ and t = {
   mutable triggers : trigger list;
   mutable commits_since_vacuum : int;
   autovacuum_every : int;
+  parallelism : int;
+      (* domains used per query (caller included); 1 = serial *)
+  morsel : int; (* slots per morsel for parallel sequential scans *)
+  dpool : Domain_pool.t option; (* Some iff parallelism > 1 *)
 }
 
 and session = {
@@ -258,6 +263,66 @@ let scan_versions s ~table ~extra : Heap.version Seq.t =
     (fun v -> Manager.visible s.sdb.mgr txn v && readable v)
     (Heap.to_seq heap)
 
+(* Label filter for morsel-parallel scans.  Confinement still lives
+   only here, at the tuple access layer — workers never see a tuple the
+   serial scan would hide.  Unlike [scan_label_filter], the returned
+   closure is shared by several domains, so it keeps no mutable
+   fast-path state: every label-id partition is decided {e serially,
+   before workers launch} (the heap's label counts cover every live
+   slot), and worker-side probes are lock-free reads of that frozen
+   table.  The fallbacks ([flows_id] for an id interned mid-scan,
+   [Authority.flows] for uninterned tuples) are themselves
+   thread-safe. *)
+let par_scan_filter s ~heap ~extra : Heap.version -> bool =
+  let db = s.sdb in
+  if not db.ifc then fun _ -> true
+  else begin
+    let store = db.lstore in
+    let dst = Label.union s.s_label extra in
+    let dst_id = Label_store.intern store dst in
+    let verdicts : (int, bool) Hashtbl.t = Hashtbl.create 8 in
+    Heap.iter_label_counts heap (fun lid _count ->
+        if lid >= 0 && not (Hashtbl.mem verdicts lid) then
+          Hashtbl.add verdicts lid
+            (Label_store.flows_id store ~src:lid ~dst:dst_id));
+    fun (v : Heap.version) ->
+      let lid = Tuple.label_id v.Heap.tuple in
+      if lid >= 0 then
+        match Hashtbl.find_opt verdicts lid with
+        | Some b -> b
+        | None -> Label_store.flows_id store ~src:lid ~dst:dst_id
+      else Authority.flows db.auth ~src:(Tuple.label v.Heap.tuple) ~dst
+  end
+
+(* Cut a table into morsels for the parallel executor.  Returns [None]
+   for tables too small to amortize the fork/join barrier — the
+   executor then runs the serial path.  Visibility is the same
+   [Manager.visible] as the serial scan: snapshots and the status table
+   are read-only while a read-only parallel section runs. *)
+let morsel_scan s ~table ~extra : Executor.morsel_source option =
+  let txn = current_txn s "scan" in
+  let tbl = Catalog.table s.sdb.cat table in
+  let heap = tbl.Catalog.tbl_heap in
+  let morsel = s.sdb.morsel in
+  let slots = Heap.slot_count heap in
+  if slots < 2 * morsel then None
+  else begin
+    Manager.note_read s.sdb.mgr txn (Heap.name heap);
+    let readable = par_scan_filter s ~heap ~extra in
+    let mgr = s.sdb.mgr in
+    Some
+      {
+        Executor.ms_morsels = (slots + morsel - 1) / morsel;
+        ms_run =
+          (fun i emit ->
+            Heap.scan_range heap ~lo:(i * morsel)
+              ~hi:((i + 1) * morsel)
+              (fun v ->
+                if Manager.visible mgr txn v && readable v then
+                  emit v.Heap.tuple));
+      }
+  end
+
 let scan_prefix_versions s ~table ~index ~prefix ?(lo = None) ?(hi = None)
     ~extra () : Heap.version Seq.t =
   let txn = current_txn s "scan" in
@@ -348,6 +413,16 @@ let exec_ctx s : Executor.ctx =
         Seq.map (fun v -> v.Heap.tuple)
           (scan_prefix_versions s ~table ~index ~prefix ~lo ~hi ~extra ()));
     strip = (fun d relabel l -> strip_label s.sdb d relabel l);
+    par =
+      (match s.sdb.dpool with
+      | None -> None
+      | Some pool ->
+          Some
+            {
+              Executor.par_pool = pool;
+              par_width = s.sdb.parallelism;
+              par_scan = (fun ~table ~extra -> morsel_scan s ~table ~extra);
+            });
   }
 
 let pctx s =
@@ -1299,7 +1374,10 @@ let register_builtin_procedures db =
 
 let create ?(ifc = true) ?(label_cache = true) ?(isolation = Snapshot)
     ?(capacity_pages = None) ?(miss_cost_ns = 100_000)
-    ?(write_cost_ns = 60_000) ?(fsync_cost_ns = 200_000) ?(seed = 0x1FDB) () =
+    ?(write_cost_ns = 60_000) ?(fsync_cost_ns = 200_000) ?(seed = 0x1FDB)
+    ?(parallelism = 1) ?(morsel_size = 1024) () =
+  let parallelism = max 1 parallelism in
+  let morsel_size = max 16 morsel_size in
   let bp =
     Buffer_pool.create ~capacity_pages ~miss_cost_ns ~write_cost_ns ()
   in
@@ -1325,6 +1403,10 @@ let create ?(ifc = true) ?(label_cache = true) ?(isolation = Snapshot)
       triggers = [];
       commits_since_vacuum = 0;
       autovacuum_every = 256;
+      parallelism;
+      morsel = morsel_size;
+      dpool =
+        (if parallelism > 1 then Some (Domain_pool.get ~parallelism) else None);
     }
   in
   register_builtin_procedures db;

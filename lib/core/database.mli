@@ -55,13 +55,24 @@ val create :
   ?write_cost_ns:int ->
   ?fsync_cost_ns:int ->
   ?seed:int ->
+  ?parallelism:int ->
+  ?morsel_size:int ->
   unit ->
   t
 (** Defaults: [ifc:true], [Snapshot] isolation (what the paper's
     PostgreSQL-based prototype runs), unbounded buffer pool.
     [label_cache] (default on) controls the label store's memoized
     flow-check cache; labels are interned either way.  Turning it off
-    exists for the ablation benchmark. *)
+    exists for the ablation benchmark.
+
+    [parallelism] (default 1) sets how many OCaml domains a query may
+    use: sequential scans, scan-shaped pipelines, aggregations and
+    hash-join probes over them run morsel-parallel on a process-wide
+    shared worker pool.  Parallelism is read-only within the session's
+    snapshot — writes stay single-threaded — and the Label Confinement
+    Rule is still applied per tuple at the access layer, by the same
+    code path.  [morsel_size] (default 1024 slots, floor 16) sets the
+    scan partition grain; tables under two morsels run serially. *)
 
 val authority : t -> Authority.t
 

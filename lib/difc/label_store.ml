@@ -1,6 +1,16 @@
 (* Hash-consed label table plus generation-stamped flow cache (the
    reproduction of the paper's deduplicated label table, section 7.1,
-   and PHP-IF's memoized authority answers, section 7.2). *)
+   and PHP-IF's memoized authority answers, section 7.2).
+
+   Thread-safety (for morsel-parallel scans): the table and the global
+   verdict cache are guarded by [lock]; statistics are atomics.  On top
+   of the global cache each domain keeps a {e domain-local} verdict
+   memo (via [Domain.DLS]) keyed by store identity and stamped with the
+   authority generation, so the steady-state per-tuple-group probe on a
+   worker domain is a lock-free hashtable lookup; only genuine misses
+   take the lock.  Local memos are dropped the moment their generation
+   falls behind the authority state, exactly like the global cache, so
+   a revocation is never outlived by a stale domain-local verdict. *)
 
 module H = Hashtbl.Make (struct
   type t = Label.t
@@ -23,6 +33,8 @@ type stats = {
 type t = {
   auth : Authority.t;
   flow_cache : bool;
+  uid : int; (* process-unique store identity, keys the DLS memos *)
+  lock : Mutex.t;
   ids : id H.t; (* label -> id *)
   mutable labels : Label.t array; (* id -> canonical label *)
   mutable next : int;
@@ -30,24 +42,28 @@ type t = {
      Dense ids keep the packing collision-free for < 2^31 labels. *)
   verdicts : (int, bool) Hashtbl.t;
   mutable valid_generation : int;
-  mutable flow_hits : int;
-  mutable flow_misses : int;
-  mutable invalidations : int;
+  flow_hits : int Atomic.t;
+  flow_misses : int Atomic.t;
+  invalidations : int Atomic.t;
 }
+
+let next_uid = Atomic.make 0
 
 let create ?(flow_cache = true) auth =
   let t =
     {
       auth;
       flow_cache;
+      uid = Atomic.fetch_and_add next_uid 1;
+      lock = Mutex.create ();
       ids = H.create 256;
       labels = Array.make 64 Label.empty;
       next = 0;
       verdicts = Hashtbl.create 1024;
       valid_generation = Authority.generation auth;
-      flow_hits = 0;
-      flow_misses = 0;
-      invalidations = 0;
+      flow_hits = Atomic.make 0;
+      flow_misses = Atomic.make 0;
+      invalidations = Atomic.make 0;
     }
   in
   (* slot 0 is the public label, unconditionally *)
@@ -60,20 +76,26 @@ let size t = t.next
 
 let intern t l =
   if Label.is_empty l then empty_id
-  else
-    match H.find_opt t.ids l with
-    | Some id -> id
-    | None ->
-        let id = t.next in
-        if id >= Array.length t.labels then begin
-          let bigger = Array.make (2 * Array.length t.labels) Label.empty in
-          Array.blit t.labels 0 bigger 0 id;
-          t.labels <- bigger
-        end;
-        t.labels.(id) <- l;
-        H.replace t.ids l id;
-        t.next <- id + 1;
-        id
+  else begin
+    Mutex.lock t.lock;
+    let id =
+      match H.find_opt t.ids l with
+      | Some id -> id
+      | None ->
+          let id = t.next in
+          if id >= Array.length t.labels then begin
+            let bigger = Array.make (2 * Array.length t.labels) Label.empty in
+            Array.blit t.labels 0 bigger 0 id;
+            t.labels <- bigger
+          end;
+          t.labels.(id) <- l;
+          H.replace t.ids l id;
+          t.next <- id + 1;
+          id
+    in
+    Mutex.unlock t.lock;
+    id
+  end
 
 let label_of t id =
   if id < 0 || id >= t.next then
@@ -87,39 +109,80 @@ let label_of t id =
 let revalidate t =
   let g = Authority.generation t.auth in
   if g <> t.valid_generation then begin
-    if Hashtbl.length t.verdicts > 0 then
-      t.invalidations <- t.invalidations + 1;
+    if Hashtbl.length t.verdicts > 0 then Atomic.incr t.invalidations;
     Hashtbl.reset t.verdicts;
     t.valid_generation <- g
   end
 
-let flows_id t ~src ~dst =
-  if src = dst || src = empty_id then true
-  else begin
-    revalidate t;
-    let key = (src lsl 31) lor dst in
+(* Domain-local memos: store uid -> (generation, packed-pair -> verdict).
+   One small table per domain; reset per store whenever its generation
+   moves.  Never shared across domains, so reads/writes need no lock. *)
+type local = { mutable l_gen : int; l_verdicts : (int, bool) Hashtbl.t }
+
+let dls_key : (int, local) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4)
+
+let local_memo t ~generation =
+  let per_store = Domain.DLS.get dls_key in
+  match Hashtbl.find_opt per_store t.uid with
+  | Some l ->
+      if l.l_gen <> generation then begin
+        Hashtbl.reset l.l_verdicts;
+        l.l_gen <- generation
+      end;
+      l
+  | None ->
+      let l = { l_gen = generation; l_verdicts = Hashtbl.create 64 } in
+      Hashtbl.replace per_store t.uid l;
+      l
+
+(* Global probe/derive, under the lock. *)
+let flows_id_slow t ~key ~src ~dst =
+  Mutex.lock t.lock;
+  revalidate t;
+  let verdict =
     match if t.flow_cache then Hashtbl.find_opt t.verdicts key else None with
     | Some verdict ->
-        t.flow_hits <- t.flow_hits + 1;
+        Atomic.incr t.flow_hits;
         verdict
     | None ->
-        t.flow_misses <- t.flow_misses + 1;
+        Atomic.incr t.flow_misses;
         let verdict =
           Authority.flows t.auth ~src:(label_of t src) ~dst:(label_of t dst)
         in
         if t.flow_cache then Hashtbl.replace t.verdicts key verdict;
         verdict
+  in
+  Mutex.unlock t.lock;
+  verdict
+
+let flows_id t ~src ~dst =
+  if src = dst || src = empty_id then true
+  else begin
+    let key = (src lsl 31) lor dst in
+    if not t.flow_cache then flows_id_slow t ~key ~src ~dst
+    else begin
+      let l = local_memo t ~generation:(Authority.generation t.auth) in
+      match Hashtbl.find_opt l.l_verdicts key with
+      | Some verdict ->
+          Atomic.incr t.flow_hits;
+          verdict
+      | None ->
+          let verdict = flows_id_slow t ~key ~src ~dst in
+          Hashtbl.replace l.l_verdicts key verdict;
+          verdict
+    end
   end
 
 let stats t =
   {
     interned = t.next;
-    flow_hits = t.flow_hits;
-    flow_misses = t.flow_misses;
-    invalidations = t.invalidations;
+    flow_hits = Atomic.get t.flow_hits;
+    flow_misses = Atomic.get t.flow_misses;
+    invalidations = Atomic.get t.invalidations;
   }
 
 let reset_stats t =
-  t.flow_hits <- 0;
-  t.flow_misses <- 0;
-  t.invalidations <- 0
+  Atomic.set t.flow_hits 0;
+  Atomic.set t.flow_misses 0;
+  Atomic.set t.invalidations 0

@@ -17,7 +17,14 @@
     a stale "visible" answer can never outlive the authority change
     that would retract it.  This is deliberately conservative:
     compound links are immutable after tag creation, but the cache
-    must stay sound even if that invariant is ever relaxed. *)
+    must stay sound even if that invariant is ever relaxed.
+
+    {!flows_id} and {!intern} are thread-safe and may be called from
+    worker domains during morsel-parallel scans: the global table and
+    verdict cache are mutex-guarded, statistics are atomic, and each
+    domain keeps a generation-stamped {e domain-local} verdict memo so
+    steady-state probes are lock-free.  Authority-state mutations and
+    {!label_of} remain single-writer (the main thread). *)
 
 type t
 

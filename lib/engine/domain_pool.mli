@@ -1,0 +1,45 @@
+(** A reusable pool of worker domains for morsel-driven parallel query
+    execution (OCaml 5 [Domain]s).
+
+    The pool owns [workers t] long-lived domains; the calling thread is
+    worker [0], so a pool with [w] workers executes with parallelism
+    [w + 1].  Work is submitted as a batch of [tasks] indexed
+    [0 .. tasks-1]; idle workers pull indices from a shared atomic
+    counter (morsel stealing), so uneven morsels balance automatically.
+    Only one batch runs at a time — queries are single-threaded above
+    the executor, so the pool never needs a queue of jobs.
+
+    Domains are a scarce resource (the runtime caps them at ~128 and
+    each is an OS thread), so pools are not created per database:
+    {!get} returns a process-wide shared pool, growing it on demand and
+    never past [Domain.recommended_domain_count () - 1] workers unless
+    the caller explicitly asks for more (useful for correctness tests
+    on small machines).  Worker domains block on a condition variable
+    between batches and are joined at process exit. *)
+
+type t
+
+val get : parallelism:int -> t
+(** The shared pool, grown (never shrunk) so that {!parallelism}
+    [t >= min parallelism (max_parallelism ())] — on a machine with
+    fewer cores than requested the pool still provides the requested
+    worker count, so multi-domain scheduling is exercised; speedup is
+    naturally bounded by the hardware. *)
+
+val parallelism : t -> int
+(** Workers + 1 (the calling thread participates). *)
+
+val max_parallelism : unit -> int
+(** [Domain.recommended_domain_count ()]: the pool's natural size. *)
+
+val parallel_for : t -> ?width:int -> tasks:int -> (worker:int -> int -> unit) -> unit
+(** [parallel_for t ~tasks f] runs [f ~worker i] for every
+    [i in 0 .. tasks-1], distributing indices over the caller
+    (worker 0) and the pool's domains (workers [1 .. w]).  [worker] is
+    a stable slot id < {!parallelism}[ t], usable to index per-worker
+    accumulators without locking.  [?width] caps how many workers
+    participate (default: all).  Blocks until every index has run.  If
+    any task raises, remaining indices are abandoned and the first
+    exception is re-raised in the caller.  Not reentrant: [f] must not
+    itself call {!parallel_for} on the same pool (nested calls fall
+    back to inline execution). *)

@@ -3,6 +3,17 @@ module Expr = Ifdb_rel.Expr
 module Label = Ifdb_difc.Label
 module Value = Ifdb_rel.Value
 
+type morsel_source = {
+  ms_morsels : int;
+  ms_run : int -> (Tuple.t -> unit) -> unit;
+}
+
+type par = {
+  par_pool : Domain_pool.t;
+  par_width : int;
+  par_scan : table:string -> extra:Label.t -> morsel_source option;
+}
+
 type ctx = {
   fenv : Expr.env;
   scan_table : string -> extra:Label.t -> Tuple.t Seq.t;
@@ -12,6 +23,7 @@ type ctx = {
     extra:Label.t -> Tuple.t Seq.t;
   strip :
     Label.t -> (Ifdb_difc.Tag.t * Ifdb_difc.Tag.t) list -> Label.t -> Label.t;
+  par : par option;
 }
 
 exception Exec_error of string
@@ -113,6 +125,45 @@ let feed_agg ctx row (kind : Plan.agg_kind) st =
           if Value.is_null st.extreme || Value.compare v st.extreme > 0 then
             st.extreme <- v)
 
+(* Fold worker-partial state [b] into [a] — the merge half of parallel
+   partial aggregation.  Every field combines associatively, so partial
+   states over disjoint row sets merge to exactly the serial state
+   (floating-point sums aside, where only association order differs). *)
+let merge_agg (kind : Plan.agg_kind) a b =
+  match kind with
+  | Plan.Count_star | Plan.Count _ -> a.count <- a.count + b.count
+  | Plan.Count_distinct _ -> (
+      match b.distinct_seen with
+      | None -> ()
+      | Some seen_b -> (
+          match a.distinct_seen with
+          | None ->
+              a.distinct_seen <- Some seen_b;
+              a.count <- b.count
+          | Some seen_a ->
+              Hashtbl.iter
+                (fun v () ->
+                  if not (Hashtbl.mem seen_a v) then begin
+                    Hashtbl.add seen_a v ();
+                    a.count <- a.count + 1
+                  end)
+                seen_b))
+  | Plan.Sum _ | Plan.Avg _ ->
+      a.count <- a.count + b.count;
+      a.sum_int <- a.sum_int + b.sum_int;
+      a.sum_float <- a.sum_float +. b.sum_float;
+      a.saw_float <- a.saw_float || b.saw_float
+  | Plan.Min _ ->
+      a.count <- a.count + b.count;
+      if not (Value.is_null b.extreme) then
+        if Value.is_null a.extreme || Value.compare b.extreme a.extreme < 0 then
+          a.extreme <- b.extreme
+  | Plan.Max _ ->
+      a.count <- a.count + b.count;
+      if not (Value.is_null b.extreme) then
+        if Value.is_null a.extreme || Value.compare b.extreme a.extreme > 0 then
+          a.extreme <- b.extreme
+
 let finish_agg (kind : Plan.agg_kind) st : Value.t =
   match kind with
   | Plan.Count_star | Plan.Count _ | Plan.Count_distinct _ -> Value.Int st.count
@@ -124,6 +175,36 @@ let finish_agg (kind : Plan.agg_kind) st : Value.t =
       if st.count = 0 then Value.Null
       else Value.Float (st.sum_float /. float_of_int st.count)
   | Plan.Min _ | Plan.Max _ -> st.extreme
+
+(* --- parallel-safety --------------------------------------------- *)
+
+(* An expression may be evaluated on a worker domain only when it
+   cannot re-enter session state: [Fn] resolves through the session's
+   function environment (user scalars may mutate labels or run
+   queries), and [Lazy_const] wraps a subquery whose [Lazy.force] is
+   not safe to race from several domains.  Everything else is pure
+   computation over the row. *)
+let rec par_safe_expr (e : Expr.t) =
+  match e with
+  | Expr.Const _ | Expr.Col _ | Expr.Row_label -> true
+  | Expr.Fn _ | Expr.Lazy_const _ -> false
+  | Expr.Binop (_, a, b) -> par_safe_expr a && par_safe_expr b
+  | Expr.Unop (_, a)
+  | Expr.Is_null a
+  | Expr.Is_not_null a
+  | Expr.In_list (a, _)
+  | Expr.Like (a, _) ->
+      par_safe_expr a
+  | Expr.Case (branches, default) ->
+      List.for_all (fun (c, v) -> par_safe_expr c && par_safe_expr v) branches
+      && par_safe_expr default
+
+let par_safe_agg (kind : Plan.agg_kind) =
+  match kind with
+  | Plan.Count_star -> true
+  | Plan.Count e | Plan.Count_distinct e | Plan.Sum e | Plan.Avg e
+  | Plan.Min e | Plan.Max e ->
+      par_safe_expr e
 
 (* --- joins -------------------------------------------------------- *)
 
@@ -151,10 +232,13 @@ let probe_join ctx ~left_rows ~table ~index ~extra ~probe_exprs ~kind ~cond
       in
       match kind with
       | `Inner -> matches
-      | `Left ->
-          if Seq.is_empty matches then
-            Seq.return (concat_rows lrow (null_row right_arity))
-          else matches)
+      | `Left -> (
+          (* force the head once: [Seq.is_empty matches] followed by a
+             second consumption of [matches] would re-run the index
+             probe and filter from scratch for every outer row *)
+          match matches () with
+          | Seq.Nil -> Seq.return (concat_rows lrow (null_row right_arity))
+          | Seq.Cons (first, rest) -> fun () -> Seq.Cons (first, rest)))
     left_rows
 
 (* Hash join on extracted equality pairs when available, otherwise
@@ -220,9 +304,258 @@ let join ctx ~left_rows ~right ~kind ~cond ~right_arity ~equi () =
           | `Left, ms -> List.to_seq ms)
         left_rows
 
+(* --- parallel pipelines ------------------------------------------- *)
+
+(* Compile a plan subtree into a morsel source when every operator in
+   it is morsel-local: a sequential scan at the leaf, with filters,
+   projections and declassification fused on top.  Per-row work then
+   runs on the worker domain that owns the morsel.  Anything else
+   (index scans, sorts, limits, subqueries, user functions) returns
+   [None] and executes serially. *)
+let rec compile_pipe ctx par (plan : Plan.t) : morsel_source option =
+  match plan with
+  | Plan.Scan { sc_table; sc_extra; sc_prefix = None; _ } ->
+      par.par_scan ~table:sc_table ~extra:sc_extra
+  | Plan.Filter (src, pred) when par_safe_expr pred ->
+      Option.map
+        (fun ms ->
+          { ms with
+            ms_run =
+              (fun i emit ->
+                ms.ms_run i (fun row ->
+                    if Expr.eval_pred ctx.fenv row pred then emit row)) })
+        (compile_pipe ctx par src)
+  | Plan.Project (src, exprs) when Array.for_all par_safe_expr exprs ->
+      Option.map
+        (fun ms ->
+          { ms with
+            ms_run =
+              (fun i emit ->
+                ms.ms_run i (fun row ->
+                    let values =
+                      Array.map (fun e -> Expr.eval ctx.fenv row e) exprs
+                    in
+                    let lid = Tuple.label_id row in
+                    emit
+                      (if lid >= 0 then
+                         Tuple.make_interned ~values ~label:(Tuple.label row)
+                           ~label_id:lid
+                       else Tuple.make ~values ~label:(Tuple.label row)))) })
+        (compile_pipe ctx par src)
+  | Plan.Declassify (src, lbl, relabel) ->
+      (* ctx.strip only reads authority state (compound membership),
+         which is immutable during a read-only parallel section *)
+      Option.map
+        (fun ms ->
+          { ms with
+            ms_run =
+              (fun i emit ->
+                ms.ms_run i (fun row ->
+                    emit
+                      (Tuple.make ~values:(Tuple.values row)
+                         ~label:(ctx.strip lbl relabel (Tuple.label row))))) })
+        (compile_pipe ctx par src)
+  | _ -> None
+
+(* Run a pipe to completion, keeping per-morsel buffers so the
+   concatenated output preserves scan (version) order — byte-identical
+   to the serial executor's output for the same plan. *)
+let par_collect par ms : Tuple.t list =
+  let buckets = Array.make ms.ms_morsels [] in
+  Domain_pool.parallel_for par.par_pool ~width:par.par_width
+    ~tasks:ms.ms_morsels (fun ~worker:_ i ->
+      let acc = ref [] in
+      ms.ms_run i (fun row -> acc := row :: !acc);
+      buckets.(i) <- List.rev !acc);
+  List.concat (Array.to_list buckets)
+
+(* Parallel partial aggregation: each worker folds its morsels into a
+   private group table; the single barrier is the merge, which combines
+   per-group partial states with [merge_agg].  Group output order is
+   whichever worker saw the group first — SQL leaves it unspecified,
+   and the equivalence tests compare multisets. *)
+let par_aggregate ctx par ms ~keys ~aggs : Tuple.t list =
+  let nslots = Domain_pool.parallelism par.par_pool in
+  let slots =
+    Array.init nslots (fun _ ->
+        (Hashtbl.create 64
+          : (Value.t list, agg_state array * label_acc) Hashtbl.t))
+  in
+  let orders = Array.make nslots [] in
+  Domain_pool.parallel_for par.par_pool ~width:par.par_width
+    ~tasks:ms.ms_morsels (fun ~worker i ->
+      let groups = slots.(worker) in
+      ms.ms_run i (fun row ->
+          let k =
+            Array.to_list (Array.map (fun e -> Expr.eval ctx.fenv row e) keys)
+          in
+          let states, lbl =
+            match Hashtbl.find_opt groups k with
+            | Some s -> s
+            | None ->
+                let s =
+                  ( Array.map (fun _ -> new_agg_state ()) aggs,
+                    { acc_label = Label.empty; acc_last = Label.empty } )
+                in
+                Hashtbl.replace groups k s;
+                orders.(worker) <- k :: orders.(worker);
+                s
+          in
+          absorb_label lbl row;
+          Array.iteri (fun i kind -> feed_agg ctx row kind states.(i)) aggs));
+  let merged : (Value.t list, agg_state array * label_acc) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let order = ref [] in
+  for w = 0 to nslots - 1 do
+    List.iter
+      (fun k ->
+        let states_w, lbl_w = Hashtbl.find slots.(w) k in
+        match Hashtbl.find_opt merged k with
+        | None ->
+            Hashtbl.replace merged k (states_w, lbl_w);
+            order := k :: !order
+        | Some (states, lbl) ->
+            Array.iteri
+              (fun i kind -> merge_agg kind states.(i) states_w.(i))
+              aggs;
+            lbl.acc_last <- Label.empty;
+            lbl.acc_label <- Label.union lbl.acc_label lbl_w.acc_label)
+      (List.rev orders.(w))
+  done;
+  let emit k (states, lbl) =
+    Tuple.make
+      ~values:
+        (Array.append (Array.of_list k)
+           (Array.mapi (fun i kind -> finish_agg kind states.(i)) aggs))
+      ~label:lbl.acc_label
+  in
+  if Hashtbl.length merged = 0 && Array.length keys = 0 then
+    [
+      Tuple.make
+        ~values:(Array.map (fun kind -> finish_agg kind (new_agg_state ())) aggs)
+        ~label:Label.empty;
+    ]
+  else List.rev_map (fun k -> emit k (Hashtbl.find merged k)) !order
+
+(* Parallel hash join: partitioned build, then a morsel-parallel probe
+   over the left pipe.  The right side is materialized first (itself
+   through [run], so a scan-shaped right side parallelizes too); build
+   hashes each row's key once, then one worker per partition inserts
+   its share, so the partition tables are immutable — and read
+   lock-free — before the probe barrier. *)
+let par_hash_join ctx par ~left_ms ~right_rows ~kind ~cond ~right_arity ~pairs :
+    Tuple.t list =
+  let eval_cond merged =
+    match cond with None -> true | Some e -> Expr.eval_pred ctx.fenv merged e
+  in
+  let rkey rrow = List.map (fun (_, re) -> Expr.eval ctx.fenv rrow re) pairs in
+  let lkey lrow = List.map (fun (le, _) -> Expr.eval ctx.fenv lrow le) pairs in
+  let rows = Array.of_list right_rows in
+  let nparts = max 1 par.par_width in
+  (* build phase 1: evaluate every right key (cheap, parallel over
+     chunks); NULL keys join nothing *)
+  let keyed = Array.make (Array.length rows) None in
+  let chunk = 4096 in
+  let nchunks = (Array.length rows + chunk - 1) / chunk in
+  Domain_pool.parallel_for par.par_pool ~width:par.par_width ~tasks:nchunks
+    (fun ~worker:_ c ->
+      let lo = c * chunk and hi = min (Array.length rows) ((c + 1) * chunk) in
+      for i = lo to hi - 1 do
+        let k = rkey rows.(i) in
+        if not (List.exists Value.is_null k) then
+          keyed.(i) <- Some (k, Hashtbl.hash k)
+      done);
+  (* build phase 2: one worker owns one partition; rows are visited in
+     index order, so per-key chains match the serial build exactly *)
+  let parts =
+    Array.init nparts (fun _ ->
+        (Hashtbl.create 256 : (Value.t list, Tuple.t list) Hashtbl.t))
+  in
+  Domain_pool.parallel_for par.par_pool ~width:par.par_width ~tasks:nparts
+    (fun ~worker:_ p ->
+      let tbl = parts.(p) in
+      Array.iteri
+        (fun i entry ->
+          match entry with
+          | Some (k, h) when h mod nparts = p ->
+              Hashtbl.replace tbl k
+                (rows.(i) :: Option.value ~default:[] (Hashtbl.find_opt tbl k))
+          | Some _ | None -> ())
+        keyed);
+  (* probe: morsel-parallel over the left pipe; per-morsel buffers keep
+     the output in left-scan order, as the serial join emits it *)
+  let buckets = Array.make left_ms.ms_morsels [] in
+  Domain_pool.parallel_for par.par_pool ~width:par.par_width
+    ~tasks:left_ms.ms_morsels (fun ~worker:_ i ->
+      let acc = ref [] in
+      left_ms.ms_run i (fun lrow ->
+          let k = lkey lrow in
+          let candidates =
+            if List.exists Value.is_null k then []
+            else
+              let tbl = parts.(Hashtbl.hash k mod nparts) in
+              List.rev (Option.value ~default:[] (Hashtbl.find_opt tbl k))
+          in
+          let matches =
+            List.filter_map
+              (fun rrow ->
+                let merged = concat_rows lrow rrow in
+                if eval_cond merged then Some merged else None)
+              candidates
+          in
+          match (kind, matches) with
+          | `Inner, ms -> List.iter (fun m -> acc := m :: !acc) ms
+          | `Left, [] -> acc := concat_rows lrow (null_row right_arity) :: !acc
+          | `Left, ms -> List.iter (fun m -> acc := m :: !acc) ms);
+      buckets.(i) <- List.rev !acc);
+  List.concat (Array.to_list buckets)
+
 (* --- main interpreter --------------------------------------------- *)
 
+(* [run] gives every subtree a chance to execute as a parallel
+   pipeline; [run_serial] is the one-domain interpreter it falls back
+   to.  The parallel paths materialize eagerly, so [Limit] pins its
+   immediate child to the serial (lazy) interpreter — early exit there
+   is worth more than parallelism. *)
 let rec run ctx (plan : Plan.t) : Tuple.t Seq.t =
+  match par_run ctx plan with
+  | Some rows -> List.to_seq rows
+  | None -> run_serial ctx plan
+
+and par_run ctx (plan : Plan.t) : Tuple.t list option =
+  match ctx.par with
+  | None -> None
+  | Some par -> (
+      match plan with
+      | Plan.Scan _ | Plan.Filter _ | Plan.Project _ | Plan.Declassify _ -> (
+          match compile_pipe ctx par plan with
+          | Some ms when ms.ms_morsels >= 2 -> Some (par_collect par ms)
+          | Some _ | None -> None)
+      | Plan.Aggregate { src; keys; aggs }
+        when Array.for_all par_safe_expr keys
+             && Array.for_all par_safe_agg aggs -> (
+          match compile_pipe ctx par src with
+          | Some ms when ms.ms_morsels >= 2 ->
+              Some (par_aggregate ctx par ms ~keys ~aggs)
+          | Some _ | None -> None)
+      | Plan.Join
+          { left; right; kind; cond; left_arity = _; right_arity;
+            equi = _ :: _ as pairs; probe = None }
+        when (match cond with Some c -> par_safe_expr c | None -> true)
+             && List.for_all
+                  (fun (le, re) -> par_safe_expr le && par_safe_expr re)
+                  pairs -> (
+          match compile_pipe ctx par left with
+          | Some left_ms when left_ms.ms_morsels >= 2 ->
+              let right_rows = List.of_seq (run ctx right) in
+              Some
+                (par_hash_join ctx par ~left_ms ~right_rows ~kind ~cond
+                   ~right_arity ~pairs)
+          | Some _ | None -> None)
+      | _ -> None)
+
+and run_serial ctx (plan : Plan.t) : Tuple.t Seq.t =
   match plan with
   | Plan.One_row -> Seq.return one_row
   | Plan.Scan { sc_table; sc_extra; sc_prefix; sc_lo; sc_hi } -> (
@@ -324,7 +657,9 @@ let rec run ctx (plan : Plan.t) : Tuple.t Seq.t =
       in
       List.to_seq (List.map snd (List.stable_sort cmp decorated))
   | Plan.Limit (src, limit, offset) ->
-      let s = run ctx src in
+      (* keep the child lazy: a parallel child would materialize the
+         whole input before the limit could stop it *)
+      let s = run_serial ctx src in
       let s = match offset with Some n -> Seq.drop n s | None -> s in
       (match limit with Some n -> Seq.take n s | None -> s)
   | Plan.Declassify (src, lbl, relabel) ->

@@ -13,6 +13,32 @@ module Expr = Ifdb_rel.Expr
 module Label = Ifdb_difc.Label
 module Value = Ifdb_rel.Value
 
+type morsel_source = {
+  ms_morsels : int;
+      (** number of morsels; the executor schedules task ids
+          [0 .. ms_morsels - 1] over the domain pool *)
+  ms_run : int -> (Tuple.t -> unit) -> unit;
+      (** [ms_run i emit]: push every row of morsel [i] through [emit].
+          Called concurrently from worker domains, so the
+          implementation must apply visibility and the Label
+          Confinement Rule with thread-safe machinery only. *)
+}
+(** One table scan cut into independently runnable row ranges
+    (morsel-driven parallelism).  Morsel order concatenated equals the
+    serial scan order. *)
+
+type par = {
+  par_pool : Domain_pool.t;
+  par_width : int;  (** domains to use, including the caller *)
+  par_scan : table:string -> extra:Label.t -> morsel_source option;
+      (** morsel-cut counterpart of [scan_table]; [None] when the table
+          is too small to be worth cutting (the executor then falls
+          back to the serial path) *)
+}
+(** Parallel-execution hooks.  Parallelism is read-only within the
+    session's snapshot: the core only installs [par] for plans that
+    cannot write, and all writes stay single-threaded. *)
+
 type ctx = {
   fenv : Expr.env;
   scan_table : string -> extra:Label.t -> Tuple.t Seq.t;
@@ -30,6 +56,11 @@ type ctx = {
       (** [strip declassified relabel row_label]: remove tags covered by
           the declassified label (compound-aware), then apply the
           relabeling view's (from, to) replacements *)
+  par : par option;
+      (** when set, scan/filter/project/declassify pipelines,
+          aggregations over them, and hash-join probes run
+          morsel-parallel on the domain pool.  [None] reproduces the
+          single-domain executor exactly. *)
 }
 
 exception Exec_error of string

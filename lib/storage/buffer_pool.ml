@@ -1,5 +1,14 @@
 (* LRU via an intrusive doubly-linked list over nodes stored in a
-   hashtable keyed by page id.  All operations are O(1). *)
+   hashtable keyed by page id.  All operations are O(1).
+
+   Thread-safety (for morsel-parallel scans): the statistics counters
+   are atomics, and every structural operation takes [lock].  The one
+   exception is the unbounded-pool read fast path: with no capacity
+   there is never an eviction, so recency order is irrelevant and a
+   touch of a resident page reduces to a lock-free hashtable probe plus
+   an atomic hit count.  Pages are only inserted by [alloc_page], which
+   runs on the (single) writer thread, never concurrently with a
+   parallel scan — so the unlocked probe cannot race a table resize. *)
 
 type node = {
   page : int;
@@ -15,13 +24,14 @@ type t = {
   miss_cost_ns : int;
   write_cost_ns : int;
   nodes : (int, node) Hashtbl.t;
+  lock : Mutex.t;
   mutable head : node option; (* most recently used *)
   mutable tail : node option; (* least recently used *)
   mutable next_page : int;
-  mutable hits : int;
-  mutable misses : int;
-  mutable page_writes : int;
-  mutable io_ns : int;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  page_writes : int Atomic.t;
+  io_ns : int Atomic.t;
 }
 
 let create ?(capacity_pages = None) ?(miss_cost_ns = 100_000)
@@ -34,13 +44,14 @@ let create ?(capacity_pages = None) ?(miss_cost_ns = 100_000)
     miss_cost_ns;
     write_cost_ns;
     nodes = Hashtbl.create 4096;
+    lock = Mutex.create ();
     head = None;
     tail = None;
     next_page = 0;
-    hits = 0;
-    misses = 0;
-    page_writes = 0;
-    io_ns = 0;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    page_writes = Atomic.make 0;
+    io_ns = Atomic.make 0;
   }
 
 let unlink t n =
@@ -57,8 +68,8 @@ let push_front t n =
 
 let write_back t n =
   if n.is_dirty then begin
-    t.page_writes <- t.page_writes + 1;
-    t.io_ns <- t.io_ns + t.write_cost_ns;
+    Atomic.incr t.page_writes;
+    ignore (Atomic.fetch_and_add t.io_ns t.write_cost_ns);
     n.is_dirty <- false
   end
 
@@ -83,46 +94,72 @@ let insert_resident t page =
   n
 
 let alloc_page t =
+  Mutex.lock t.lock;
   let page = t.next_page in
   t.next_page <- t.next_page + 1;
   ignore (insert_resident t page);
+  Mutex.unlock t.lock;
   page
 
-let access t page =
+(* caller holds [lock] *)
+let access_locked t page =
   match Hashtbl.find_opt t.nodes page with
   | Some n ->
-      t.hits <- t.hits + 1;
+      Atomic.incr t.hits;
       if t.head != Some n then begin
         unlink t n;
         push_front t n
       end;
       n
   | None ->
-      t.misses <- t.misses + 1;
-      t.io_ns <- t.io_ns + t.miss_cost_ns;
+      Atomic.incr t.misses;
+      ignore (Atomic.fetch_and_add t.io_ns t.miss_cost_ns);
       insert_resident t page
 
-let touch t page = ignore (access t page)
+let access t page =
+  Mutex.lock t.lock;
+  let n = access_locked t page in
+  Mutex.unlock t.lock;
+  n
+
+let touch t page =
+  match t.capacity with
+  | None -> (
+      (* unbounded: every allocated page stays resident, recency is
+         moot — lock-free probe + atomic hit *)
+      match Hashtbl.find_opt t.nodes page with
+      | Some _ -> Atomic.incr t.hits
+      | None -> ignore (access t page))
+  | Some _ -> ignore (access t page)
 
 let dirty t page =
-  let n = access t page in
-  n.is_dirty <- true
+  Mutex.lock t.lock;
+  let n = access_locked t page in
+  n.is_dirty <- true;
+  Mutex.unlock t.lock
 
 let flush_all t =
-  Hashtbl.iter (fun _ n -> write_back t n) t.nodes
+  Mutex.lock t.lock;
+  Hashtbl.iter (fun _ n -> write_back t n) t.nodes;
+  Mutex.unlock t.lock
 
 let resident t = Hashtbl.length t.nodes
 
 let stats t =
-  { hits = t.hits; misses = t.misses; page_writes = t.page_writes; io_ns = t.io_ns }
+  {
+    hits = Atomic.get t.hits;
+    misses = Atomic.get t.misses;
+    page_writes = Atomic.get t.page_writes;
+    io_ns = Atomic.get t.io_ns;
+  }
 
 let reset_stats t =
-  t.hits <- 0;
-  t.misses <- 0;
-  t.page_writes <- 0;
-  t.io_ns <- 0
+  Atomic.set t.hits 0;
+  Atomic.set t.misses 0;
+  Atomic.set t.page_writes 0;
+  Atomic.set t.io_ns 0
 
-let io_ns t = t.io_ns
+let io_ns t = Atomic.get t.io_ns
 
 let pp_stats ppf (s : stats) =
   Format.fprintf ppf "hits=%d misses=%d writes=%d io=%.3fms" s.hits s.misses

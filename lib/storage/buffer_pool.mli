@@ -8,7 +8,14 @@
     disk-bound vs in-memory regimes (sections 8.2-8.3) without a disk.
 
     A pool with [capacity_pages = None] is unbounded: after first
-    allocation every access hits — the in-memory regime. *)
+    allocation every access hits — the in-memory regime.
+
+    Concurrent reads: {!touch} may be called from multiple domains at
+    once (morsel-parallel scans).  Counters are atomic; bounded pools
+    serialize LRU maintenance behind a mutex, unbounded pools answer
+    resident touches lock-free.  Mutating operations ({!alloc_page},
+    {!dirty}, {!flush_all}) remain single-writer: the engine only
+    parallelizes read-only plans within a snapshot. *)
 
 type t
 

@@ -116,6 +116,22 @@ let iter t f =
         f v
   done
 
+let slot_count t = t.len
+
+let scan_range t ~lo ~hi f =
+  let lo = max 0 lo and hi = min hi t.len in
+  let last_page = ref (-1) in
+  for i = lo to hi - 1 do
+    match t.slots.(i) with
+    | None -> ()
+    | Some v ->
+        if v.page <> !last_page then begin
+          Buffer_pool.touch t.bp v.page;
+          last_page := v.page
+        end;
+        f v
+  done
+
 let version_count t =
   let n = ref 0 in
   for i = 0 to t.len - 1 do

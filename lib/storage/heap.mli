@@ -48,6 +48,22 @@ val iter : t -> (version -> unit) -> unit
 (** Sequential scan in version order; charges each distinct page once
     per scan run. *)
 
+val slot_count : t -> int
+(** Upper bound of the version-id space: the partition domain for
+    morsel-parallel scans (includes vacuumed holes, which scan as
+    empty). *)
+
+val scan_range : t -> lo:int -> hi:int -> (version -> unit) -> unit
+(** [scan_range t ~lo ~hi f]: {!iter} restricted to version ids in
+    [\[lo, hi)] — one morsel of a parallel scan.  Charges each distinct
+    page once per call; morsels are called concurrently from worker
+    domains, which is safe because versions are appended in page order
+    (disjoint ranges touch mostly disjoint pages) and {!Buffer_pool}
+    touches are thread-safe.  The [version] record fields read here
+    ([vid], [tuple], [page]) are immutable after insert; [xmin]/[xmax]
+    are mutated only by writer transactions, which never run
+    concurrently with a read-only parallel scan. *)
+
 val version_count : t -> int
 (** Number of versions ever created and not vacuumed. *)
 
