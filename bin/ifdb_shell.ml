@@ -16,6 +16,7 @@
      \tables                 list tables
      \dt NAME                describe a table
      \vacuum                 reclaim dead versions
+     \wal                    WAL and group-commit statistics
      \dump [TABLE]           label-preserving SQL dump (pg_dump analogue)
      \q                      quit
    Anything else is executed as SQL. *)
@@ -132,13 +133,29 @@ let run_command st line =
       | None -> Printf.printf "no such table: %s\n" name)
   | [ "\\vacuum" ] ->
       Printf.printf "vacuum removed %d dead version(s)\n" (Db.vacuum st.db)
+  | [ "\\wal" ] ->
+      let module Wal = Ifdb_storage.Wal in
+      let module Group_commit = Ifdb_txn.Group_commit in
+      let wal = Db.wal st.db in
+      let ws = Wal.stats wal in
+      let gc = Db.group_commit st.db in
+      let gs = Group_commit.stats gc in
+      Printf.printf
+        "wal: %d records, %d bytes, %d fsyncs, %d simulated io ns\n"
+        ws.Wal.records ws.Wal.bytes ws.Wal.fsyncs (Wal.io_ns wal);
+      Printf.printf
+        "group commit: batch %d, %d commits in %d batches (largest %d), %d \
+         pending\n"
+        (Group_commit.batch gc) gs.Group_commit.gc_submitted
+        gs.Group_commit.gc_batches gs.Group_commit.gc_max_batch
+        (Group_commit.pending gc)
   | [ "\\dump" ] -> print_string (Ifdb_core.Dump.dump st.db)
   | [ "\\dump"; table ] -> print_string (Ifdb_core.Dump.dump_table st.db table)
   | cmd :: _ -> Printf.printf "unknown command %s\n" cmd
   | [] -> ()
 
-let repl ~ifc ~parallelism =
-  let db = Db.create ~ifc ~parallelism () in
+let repl ~ifc ~parallelism ~commit_batch =
+  let db = Db.create ~ifc ~parallelism ~commit_batch () in
   let admin = Db.connect_admin db in
   let st = { db; session = admin } in
   Printf.printf "IFDB shell (ifc %s%s). \\q quits, \\label shows the session label.\n"
@@ -180,12 +197,21 @@ let parallelism =
     & info [ "parallelism" ]
         ~doc:"Domains per query (morsel-parallel scans); 1 = serial.")
 
+let commit_batch =
+  Arg.(
+    value & opt int 1
+    & info [ "commit-batch" ]
+        ~doc:
+          "Group-commit coalescing degree: fsync the WAL once per N commit \
+           records; 1 = every commit.")
+
 let cmd =
   let doc = "interactive shell over the IFDB engine" in
   Cmd.v
     (Cmd.info "ifdb_shell" ~doc)
     Term.(
-      const (fun no_ifc parallelism -> repl ~ifc:(not no_ifc) ~parallelism)
-      $ no_ifc $ parallelism)
+      const (fun no_ifc parallelism commit_batch ->
+          repl ~ifc:(not no_ifc) ~parallelism ~commit_batch)
+      $ no_ifc $ parallelism $ commit_batch)
 
 let () = exit (Cmd.eval cmd)

@@ -90,6 +90,8 @@ let catalog t = t.cat
 let manager t = t.mgr
 let pool t = t.bp
 let wal t = Manager.wal t.mgr
+let group_commit t = Manager.group_commit t.mgr
+let flush_wal t = Manager.flush_wal t.mgr
 let ifc_enabled t = t.ifc
 let isolation t = t.iso
 let admin t = t.admin_p
@@ -540,11 +542,23 @@ let do_commit s txn =
   if s.sdb.ifc then begin
     let store = s.sdb.lstore in
     let commit_lid = Label_store.intern store s.s_label in
-    (* per write: one memoized id-pair probe; raw derivation only for
-       tuples that never passed through the statement path *)
+    (* label-grouped check: a bulk write set of N tuples under K
+       distinct labels costs K flow-cache probes, not N — the verdict
+       per interned label id is memoized for the duration of this
+       commit.  Raw derivation only for tuples that never passed
+       through the statement path. *)
+    let verdicts : (int, bool) Hashtbl.t = Hashtbl.create 8 in
     let commit_flows (w : Manager.write) =
       if w.Manager.w_label_id >= 0 then
-        Label_store.flows_id store ~src:commit_lid ~dst:w.Manager.w_label_id
+        match Hashtbl.find_opt verdicts w.Manager.w_label_id with
+        | Some ok -> ok
+        | None ->
+            let ok =
+              Label_store.flows_id store ~src:commit_lid
+                ~dst:w.Manager.w_label_id
+            in
+            Hashtbl.add verdicts w.Manager.w_label_id ok;
+            ok
       else Authority.flows s.sdb.auth ~src:s.s_label ~dst:w.Manager.w_label
     in
     let violating =
@@ -804,6 +818,119 @@ let insert_tuple s txn tbl tuple ~declared =
     ~table:tbl.Catalog.tbl_schema.Schema.table_name
     ~kind:`Insert ~old_:None ~new_:(Some tuple)
 
+(* --- the batched write path ----------------------------------------
+
+   [insert_tuples_batch] inserts a whole run in three phases: validate
+   every row, then one heap pass with the WAL records through a single
+   buffered batch append, then one sorted bulk load per index.  It is
+   taken only when batching cannot be observed mid-statement:
+
+   - no insert trigger on the table (a trigger could read the table, or
+     move the session label, between rows);
+   - no self-referencing foreign key (row i's reference could be
+     satisfied by row j < i of the same statement under sequential
+     insertion);
+   - (for SQL VALUES rows) no expression whose evaluation could observe
+     database state — function calls and subqueries fall back.
+
+   Under those conditions it is equivalent to inserting each row with
+   {!insert_tuple} in order: identical heap versions, WAL accounting,
+   index contents, uniqueness/polyinstantiation behavior and error
+   outcomes (any failure aborts the statement's transaction either
+   way, so partial sequential effects are never visible). *)
+
+let has_insert_trigger s tbl =
+  let table = norm tbl.Catalog.tbl_schema.Schema.table_name in
+  List.exists
+    (fun trg -> trg.trg_table = table && List.mem `Insert trg.trg_kinds)
+    s.sdb.triggers
+
+let self_referencing_fk (tbl : Catalog.table) =
+  let my = norm tbl.Catalog.tbl_schema.Schema.table_name in
+  List.exists
+    (fun fk -> norm fk.Schema.fk_ref_table = my)
+    tbl.Catalog.tbl_schema.Schema.foreign_keys
+
+(* Could evaluating this VALUES expression observe database state (or
+   otherwise care about evaluation order)?  Scalar/function calls and
+   subqueries can; pure arithmetic over constants cannot. *)
+let rec pure_values_expr (e : A.expr) =
+  match e with
+  | A.E_const _ | A.E_label_lit _ | A.E_count_star -> true
+  | A.E_col _ -> true (* VALUES rows cannot reference columns anyway *)
+  | A.E_fn _ | A.E_scalar_subquery _ | A.E_exists _ -> false
+  | A.E_binop (_, a, b) -> pure_values_expr a && pure_values_expr b
+  | A.E_not a | A.E_neg a | A.E_is_null a | A.E_is_not_null a
+  | A.E_count_distinct a ->
+      pure_values_expr a
+  | A.E_in (a, xs) -> pure_values_expr a && List.for_all pure_values_expr xs
+  | A.E_like (a, _) -> pure_values_expr a
+  | A.E_case (arms, else_) ->
+      List.for_all (fun (c, r) -> pure_values_expr c && pure_values_expr r) arms
+      && (match else_ with None -> true | Some e -> pure_values_expr e)
+
+let insert_tuples_batch s txn tbl tuples ~declared =
+  (* phase 1: validate every row before touching the heap.  Uniqueness
+     against rows earlier in this batch is tracked on the side, since
+     the index does not hold them yet; the conflict identity is
+     (key, label) exactly as in [check_uniques]. *)
+  let batch_keys : (string * Value.t array * int, unit) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  List.iter
+    (fun tuple ->
+      let values = Tuple.values tuple in
+      check_schema tbl values;
+      check_label_constraints s tbl tuple;
+      check_uniques s txn tbl values (Tuple.label tuple) (Tuple.label_id tuple);
+      List.iter
+        (fun idx ->
+          if idx.Catalog.idx_unique then begin
+            let key = Catalog.index_key idx values in
+            if not (Array.exists Value.is_null key) then begin
+              let k =
+                ( idx.Catalog.idx_name,
+                  key,
+                  if s.sdb.ifc then Tuple.label_id tuple else 0 )
+              in
+              if Hashtbl.mem batch_keys k then
+                constraint_
+                  "duplicate key value violates unique constraint %s"
+                  idx.Catalog.idx_name;
+              Hashtbl.add batch_keys k ()
+            end
+          end)
+        tbl.Catalog.tbl_indexes;
+      check_foreign_keys s txn tbl tuple ~declared)
+    tuples;
+  (* phase 2: heap + WAL in one run *)
+  let versions =
+    Manager.record_inserts s.sdb.mgr txn tbl.Catalog.tbl_heap tuples
+  in
+  (* phase 3: bulk index maintenance *)
+  Catalog.bulk_insert_into_indexes s.sdb.cat tbl
+    (List.map2
+       (fun tuple (v : Heap.version) -> (Tuple.values tuple, v.Heap.vid))
+       tuples versions)
+
+(* Programmatic bulk insert: the batched path above when safe, the
+   per-row path otherwise (insert triggers, self-referencing FK). *)
+let insert_many s ~table rows =
+  in_statement_txn s (fun txn ->
+      let tbl = Catalog.table s.sdb.cat table in
+      let label, label_id = interned_label s (session_write_label s) in
+      let tuples =
+        List.map (fun values -> Tuple.make_interned ~values ~label ~label_id)
+          rows
+      in
+      if has_insert_trigger s tbl || self_referencing_fk tbl then
+        List.iter
+          (fun tuple -> insert_tuple s txn tbl tuple ~declared:Label.empty)
+          tuples
+      else if tuples <> [] then
+        insert_tuples_batch s txn tbl tuples ~declared:Label.empty;
+      List.length rows)
+
 (* Shared write-target lookup for UPDATE/DELETE: visible, confined rows
    matching the predicate, via the best index prefix when one exists. *)
 let dml_targets s txn tbl (pred : Expr.t option) =
@@ -932,43 +1059,81 @@ let exec_insert s txn (stmt : A.stmt) =
                        Errors.sql "column %s of %s does not exist" c i_table)
                  cols)
       in
-      let n = ref 0 in
-      let insert_values row_values =
+      let widen row_values =
         if Array.length row_values <> Array.length positions then
           Errors.sql "INSERT has %d expressions but %d target columns"
             (Array.length row_values) (Array.length positions);
         let values = Array.make (Schema.arity schema) Value.Null in
         Array.iteri (fun i v -> values.(positions.(i)) <- v) row_values;
+        values
+      in
+      let eval_row row_exprs =
+        Array.of_list
+          (List.map
+             (fun e ->
+               let lowered = Planner.lower_expr_for_table (pctx s) schema e in
+               (* VALUES rows cannot reference columns *)
+               Expr.eval env empty_row lowered)
+             row_exprs)
+      in
+      let batchable =
+        (not (has_insert_trigger s tbl))
+        && (not (self_referencing_fk tbl))
+        && (match i_select with
+           | Some _ ->
+               (* the SELECT is fully materialized before any insert on
+                  both paths, so batching cannot change what it reads *)
+               true
+           | None -> List.for_all (List.for_all pure_values_expr) i_rows)
+      in
+      if batchable then begin
+        let rows =
+          match i_select with
+          | Some sel ->
+              let plan, _names = Planner.plan_select (pctx s) sel in
+              List.map
+                (fun row -> widen (Tuple.values row))
+                (Executor.run_list (exec_ctx s) plan)
+          | None -> List.map (fun row_exprs -> widen (eval_row row_exprs)) i_rows
+        in
+        (* one interning per statement: no trigger can move the session
+           label mid-statement on this path *)
         let label, label_id =
           interned_label s (Label.union (session_write_label s) view_label)
         in
-        let tuple = Tuple.make_interned ~values ~label ~label_id in
-        insert_tuple s txn tbl tuple ~declared;
-        incr n
-      in
-      (match i_select with
-      | Some sel ->
-          (* INSERT … SELECT: rows are read under Query by Label, then
-             written with the session's current label like any insert *)
-          let plan, _names = Planner.plan_select (pctx s) sel in
-          List.iter
-            (fun row -> insert_values (Tuple.values row))
-            (Executor.run_list (exec_ctx s) plan)
-      | None ->
-          List.iter
-            (fun row_exprs ->
-              insert_values
-                (Array.of_list
-                   (List.map
-                      (fun e ->
-                        let lowered =
-                          Planner.lower_expr_for_table (pctx s) schema e
-                        in
-                        (* VALUES rows cannot reference columns *)
-                        Expr.eval env empty_row lowered)
-                      row_exprs)))
-            i_rows);
-      Affected !n
+        let tuples =
+          List.map
+            (fun values -> Tuple.make_interned ~values ~label ~label_id)
+            rows
+        in
+        if tuples <> [] then insert_tuples_batch s txn tbl tuples ~declared;
+        Affected (List.length tuples)
+      end
+      else begin
+        let n = ref 0 in
+        let insert_values row_values =
+          let values = widen row_values in
+          let label, label_id =
+            interned_label s (Label.union (session_write_label s) view_label)
+          in
+          let tuple = Tuple.make_interned ~values ~label ~label_id in
+          insert_tuple s txn tbl tuple ~declared;
+          incr n
+        in
+        (match i_select with
+        | Some sel ->
+            (* INSERT … SELECT: rows are read under Query by Label, then
+               written with the session's current label like any insert *)
+            let plan, _names = Planner.plan_select (pctx s) sel in
+            List.iter
+              (fun row -> insert_values (Tuple.values row))
+              (Executor.run_list (exec_ctx s) plan)
+        | None ->
+            List.iter
+              (fun row_exprs -> insert_values (eval_row row_exprs))
+              i_rows);
+        Affected !n
+      end
   | _ -> assert false
 
 let exec_update s txn u_table u_sets u_where =
@@ -1375,7 +1540,8 @@ let register_builtin_procedures db =
 let create ?(ifc = true) ?(label_cache = true) ?(isolation = Snapshot)
     ?(capacity_pages = None) ?(miss_cost_ns = 100_000)
     ?(write_cost_ns = 60_000) ?(fsync_cost_ns = 200_000) ?(seed = 0x1FDB)
-    ?(parallelism = 1) ?(morsel_size = 1024) () =
+    ?(parallelism = 1) ?(morsel_size = 1024) ?(commit_batch = 1)
+    ?(sync_commit = false) () =
   let parallelism = max 1 parallelism in
   let morsel_size = max 16 morsel_size in
   let bp =
@@ -1393,7 +1559,8 @@ let create ?(ifc = true) ?(label_cache = true) ?(isolation = Snapshot)
       cat = Catalog.create ~pool:bp ~labeled:ifc ();
       mgr =
         Manager.create ~wal:the_wal
-          ~serializable_locking:(isolation = Serializable) ();
+          ~serializable_locking:(isolation = Serializable) ~commit_batch
+          ~sync_commit ();
       bp;
       ifc;
       iso = isolation;

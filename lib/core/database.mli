@@ -57,6 +57,8 @@ val create :
   ?seed:int ->
   ?parallelism:int ->
   ?morsel_size:int ->
+  ?commit_batch:int ->
+  ?sync_commit:bool ->
   unit ->
   t
 (** Defaults: [ifc:true], [Snapshot] isolation (what the paper's
@@ -72,7 +74,18 @@ val create :
     snapshot — writes stay single-threaded — and the Label Confinement
     Rule is still applied per tuple at the access layer, by the same
     code path.  [morsel_size] (default 1024 slots, floor 16) sets the
-    scan partition grain; tables under two morsels run serially. *)
+    scan partition grain; tables under two morsels run serially.
+
+    [commit_batch] (default 1) sets the group-commit coalescing degree:
+    one WAL fsync covers up to that many write-transaction commits.
+    With [sync_commit:false] (default) coalescing is deterministic —
+    every [commit_batch]-th commit flushes, earlier ones become durable
+    with the batch (asynchronous-commit semantics; call {!flush_wal} to
+    force the remainder).  With [sync_commit:true] committers use the
+    blocking leader/follower protocol instead: each commit returns only
+    once an fsync covers it, but concurrent committers (sessions driven
+    from {!Ifdb_engine.Domain_pool} tasks) share one flush.  See
+    {!Ifdb_txn.Group_commit}. *)
 
 val authority : t -> Authority.t
 
@@ -86,6 +99,15 @@ val catalog : t -> Ifdb_engine.Catalog.t
 val manager : t -> Ifdb_txn.Manager.t
 val pool : t -> Ifdb_storage.Buffer_pool.t
 val wal : t -> Ifdb_storage.Wal.t
+
+val group_commit : t -> Ifdb_txn.Group_commit.t
+(** The commit coalescer sitting between {!commit} and the WAL, for
+    inspecting its batching statistics. *)
+
+val flush_wal : t -> unit
+(** Force an fsync over commit records still buffered by group commit
+    (deterministic mode leaves up to [commit_batch - 1] pending). *)
+
 val ifc_enabled : t -> bool
 val isolation : t -> isolation
 
@@ -173,6 +195,18 @@ val query_one : session -> string -> Tuple.t
 
 val insert_returning_count : session -> string -> int
 (** {!exec} restricted to DML; returns the affected-row count. *)
+
+val insert_many : session -> table:string -> Value.t array list -> int
+(** Programmatic bulk insert: every row is labeled with the session's
+    current label (the Write Rule), validated, then written through the
+    batched path — Write Rule and commit-label verdicts once per
+    distinct interned label id, WAL records through one buffered batch
+    append, secondary indexes maintained by sorted bulk load.
+    Equivalent to one [INSERT] per row (same visible tuples, labels,
+    index contents and polyinstantiation behavior); tables with insert
+    triggers or self-referencing foreign keys fall back to the per-row
+    path.  Runs in the session's open transaction, or an implicit one.
+    Returns the row count. *)
 
 (** {1 Triggers, procedures, scalar functions, label constraints} *)
 

@@ -139,6 +139,14 @@ let insert_into_indexes _t tbl values vid =
     (fun idx -> Btree.insert idx.idx_tree (index_key idx values) vid)
     tbl.tbl_indexes
 
+let bulk_insert_into_indexes _t tbl rows =
+  (* one sorted bulk load per index rather than one descent per row *)
+  List.iter
+    (fun idx ->
+      Btree.insert_many idx.idx_tree
+        (List.map (fun (values, vid) -> (index_key idx values, vid)) rows))
+    tbl.tbl_indexes
+
 let remove_from_indexes _t tbl values vid =
   List.iter
     (fun idx -> Btree.remove idx.idx_tree (index_key idx values) vid)

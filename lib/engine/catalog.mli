@@ -88,6 +88,12 @@ val index_key : index -> Value.t array -> Value.t array
 val insert_into_indexes : t -> table -> Value.t array -> int -> unit
 (** Post a new heap version id under every index of the table. *)
 
+val bulk_insert_into_indexes : t -> table -> (Value.t array * int) list -> unit
+(** Post a whole run of (row values, vid) pairs: each index is loaded
+    via {!Btree.insert_many} (sort once, one descent per subtree)
+    instead of one root-to-leaf walk per row.  Equivalent to calling
+    {!insert_into_indexes} per row. *)
+
 val remove_from_indexes : t -> table -> Value.t array -> int -> unit
 
 (** {1 Views} *)

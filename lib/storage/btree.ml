@@ -147,6 +147,227 @@ let insert t k vid =
   | Some (sep, right) ->
       t.root <- Internal { seps = [| sep |]; children = [| t.root; right |] }
 
+(* ---- sorted bulk load ----------------------------------------------
+
+   [insert_many] sorts the run once, groups postings per key, and makes
+   a single descent per subtree instead of one root-to-leaf walk per
+   key.  Leaves are rebuilt by merging sorted arrays; an overfull node
+   splits into several near-equal chunks at once (a "multi-split"),
+   with the extra (separator, sibling) pairs propagated up in one pass.
+   The result is observably identical to inserting each pair with
+   {!insert} in run order. *)
+
+(* Near-equal chunk sizes, each <= order (and >= order/2 when the total
+   exceeds order, keeping nodes respectably full). *)
+let chunk_sizes n order =
+  let nchunks = (n + order - 1) / order in
+  let base = n / nchunks and rem = n mod nchunks in
+  List.init nchunks (fun i -> if i < rem then base + 1 else base)
+
+let take_chunks xs sizes =
+  let rec take n acc xs =
+    if n = 0 then (List.rev acc, xs)
+    else
+      match xs with
+      | [] -> (List.rev acc, [])
+      | x :: rest -> take (n - 1) (x :: acc) rest
+  in
+  let rec go xs = function
+    | [] -> []
+    | s :: sizes ->
+        let chunk, rest = take s [] xs in
+        chunk :: go rest sizes
+  in
+  go xs sizes
+
+let insert_many t pairs =
+  if pairs <> [] then begin
+    (* stable sort on the key alone: vids keep their run order within a
+       key, so the prepend fold below builds exactly the postings list
+       sequential inserts would (latest arrival first) *)
+    let sorted =
+      List.stable_sort (fun (k1, _) (k2, _) -> compare_key k1 k2) pairs
+    in
+    let groups =
+      let rec go acc = function
+        | [] -> List.rev_map (fun (k, vs) -> (k, List.rev vs)) acc
+        | (k, v) :: rest -> (
+            match acc with
+            | (k', vs) :: acc' when compare_key k' k = 0 ->
+                if List.mem v vs then go acc rest
+                else go ((k', v :: vs) :: acc') rest
+            | _ -> go ((k, [ v ]) :: acc) rest)
+      in
+      go [] sorted
+    in
+    let added = ref 0 in
+    let merge_postings existing vids =
+      List.fold_left
+        (fun ps v ->
+          if List.mem v ps then ps
+          else begin
+            incr added;
+            v :: ps
+          end)
+        existing vids
+    in
+    (* A "cell" is a child with the separator to its left (None for the
+       leftmost).  [node_of_cells] turns a run of cells back into the
+       (seps, children) arrays of an internal node. *)
+    let node_of_cells cells =
+      let children = Array.of_list (List.map snd cells) in
+      let seps =
+        Array.of_list
+          (List.map (fun (s, _) -> Option.get s) (List.tl cells))
+      in
+      (seps, children)
+    in
+    (* Split an overfull cell run: the first chunk stays in place (the
+       caller keeps its existing parent pointer), later chunks become
+       new right siblings whose leading separator is promoted. *)
+    let split_cells cells =
+      match take_chunks cells (chunk_sizes (List.length cells) t.order) with
+      | [] -> assert false
+      | first :: rest ->
+          let extras =
+            List.map
+              (fun chunk ->
+                match chunk with
+                | (Some promoted, _) :: _ ->
+                    let seps, children = node_of_cells chunk in
+                    (promoted, Internal { seps; children })
+                | _ -> assert false)
+              rest
+          in
+          (first, extras)
+    in
+    (* Returns the (separator, new right sibling) pairs this subtree
+       spilled, ascending; [] when everything fit. *)
+    let rec bulk node groups =
+      match node with
+      | Leaf l ->
+          let n = Array.length l.keys in
+          (* merge the sorted existing entries with the sorted groups *)
+          let merged =
+            let rec go i groups acc =
+              match groups with
+              | [] ->
+                  let rec rest j acc =
+                    if j >= n then List.rev acc
+                    else rest (j + 1) ((l.keys.(j), l.postings.(j)) :: acc)
+                  in
+                  rest i acc
+              | (gk, vids) :: gr ->
+                  if i >= n then
+                    go i gr ((gk, merge_postings [] vids) :: acc)
+                  else
+                    let c = compare_key l.keys.(i) gk in
+                    if c < 0 then
+                      go (i + 1) groups ((l.keys.(i), l.postings.(i)) :: acc)
+                    else if c = 0 then
+                      go (i + 1) gr
+                        ((gk, merge_postings l.postings.(i) vids) :: acc)
+                    else go i gr ((gk, merge_postings [] vids) :: acc)
+            in
+            go 0 groups []
+          in
+          let total = List.length merged in
+          if total <= t.order then begin
+            l.keys <- Array.of_list (List.map fst merged);
+            l.postings <- Array.of_list (List.map snd merged);
+            []
+          end
+          else begin
+            match take_chunks merged (chunk_sizes total t.order) with
+            | [] -> assert false
+            | first :: rest ->
+                l.keys <- Array.of_list (List.map fst first);
+                l.postings <- Array.of_list (List.map snd first);
+                let after = l.next in
+                (* build right-to-left so each new leaf chains forward *)
+                let rec build = function
+                  | [] -> (after, [])
+                  | chunk :: more ->
+                      let nx, extras = build more in
+                      let leaf =
+                        {
+                          keys = Array.of_list (List.map fst chunk);
+                          postings = Array.of_list (List.map snd chunk);
+                          next = nx;
+                        }
+                      in
+                      (Some leaf, (leaf.keys.(0), Leaf leaf) :: extras)
+                in
+                let nx, extras = build rest in
+                l.next <- nx;
+                extras
+          end
+      | Internal nd ->
+          let nseps = Array.length nd.seps in
+          let slices = Array.make (Array.length nd.children) [] in
+          (* child i takes keys < seps.(i) (a key equal to a separator
+             routes right, matching [child_index]) *)
+          let rec distribute i groups =
+            if i >= nseps then slices.(i) <- groups
+            else begin
+              let rec span acc = function
+                | ((k, _) as g) :: rest when compare_key k nd.seps.(i) < 0 ->
+                    span (g :: acc) rest
+                | rest -> (List.rev acc, rest)
+              in
+              let mine, rest = span [] groups in
+              slices.(i) <- mine;
+              distribute (i + 1) rest
+            end
+          in
+          distribute 0 groups;
+          let cells = ref [] in
+          Array.iteri
+            (fun i child ->
+              let sep = if i = 0 then None else Some nd.seps.(i - 1) in
+              cells := (sep, child) :: !cells;
+              if slices.(i) <> [] then
+                List.iter
+                  (fun (s, spilled) -> cells := (Some s, spilled) :: !cells)
+                  (bulk child slices.(i)))
+            nd.children;
+          let cells = List.rev !cells in
+          if List.length cells <= t.order then begin
+            let seps, children = node_of_cells cells in
+            nd.seps <- seps;
+            nd.children <- children;
+            []
+          end
+          else begin
+            let first, extras = split_cells cells in
+            let seps, children = node_of_cells first in
+            nd.seps <- seps;
+            nd.children <- children;
+            extras
+          end
+    in
+    let rec grow extras =
+      match extras with
+      | [] -> ()
+      | _ ->
+          let cells =
+            (None, t.root) :: List.map (fun (s, nd) -> (Some s, nd)) extras
+          in
+          if List.length cells <= t.order then begin
+            let seps, children = node_of_cells cells in
+            t.root <- Internal { seps; children }
+          end
+          else begin
+            let first, extras' = split_cells cells in
+            let seps, children = node_of_cells first in
+            t.root <- Internal { seps; children };
+            grow extras'
+          end
+    in
+    grow (bulk t.root groups);
+    t.entries <- t.entries + !added
+  end
+
 let rec find_leaf node k =
   match node with
   | Leaf l -> l

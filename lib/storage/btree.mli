@@ -27,6 +27,14 @@ val compare_key : key -> key -> int
 val insert : t -> key -> int -> unit
 (** Add a (key, vid) posting.  Duplicate postings are ignored. *)
 
+val insert_many : t -> (key * int) list -> unit
+(** Sorted bulk load: sort the run once, group postings per key, and
+    descend each subtree once instead of once per pair, rebuilding
+    leaves by sorted merge and splitting overfull nodes into several
+    siblings in one pass.  Observably equivalent to {!insert} applied
+    to each pair in run order (same postings, same iteration order,
+    same {!entry_count}); duplicates are ignored likewise. *)
+
 val remove : t -> key -> int -> unit
 (** Remove one posting (no-op if absent). *)
 

@@ -10,6 +10,7 @@ type stats = { records : int; bytes : int; fsyncs : int; io_ns : int }
 
 type t = {
   fsync_cost_ns : int;
+  mu : Mutex.t;
   mutable log : record list; (* newest first; bounded by [keep] *)
   mutable kept : int;
   mutable records : int;
@@ -23,6 +24,7 @@ let keep = 1024
 let create ?(fsync_cost_ns = 200_000) () =
   {
     fsync_cost_ns;
+    mu = Mutex.create ();
     log = [];
     kept = 0;
     records = 0;
@@ -36,7 +38,7 @@ let record_bytes = function
   | Delete (_, _) -> 24
   | Insert (_, _, payload) -> 24 + payload
 
-let append t r =
+let append_locked t r =
   t.records <- t.records + 1;
   t.bytes <- t.bytes + record_bytes r;
   if t.kept >= keep then begin
@@ -54,20 +56,30 @@ let append t r =
     t.kept <- t.kept + 1
   end
 
+let append t r = Mutex.protect t.mu (fun () -> append_locked t r)
+
+let append_batch t rs =
+  (* one lock acquisition for the whole run; byte and record accounting
+     is per record, identical to [List.iter (append t)] *)
+  Mutex.protect t.mu (fun () -> List.iter (append_locked t) rs)
+
 let fsync t =
-  t.fsyncs <- t.fsyncs + 1;
-  t.io_ns <- t.io_ns + t.fsync_cost_ns
+  Mutex.protect t.mu (fun () ->
+      t.fsyncs <- t.fsyncs + 1;
+      t.io_ns <- t.io_ns + t.fsync_cost_ns)
 
 let stats t =
-  { records = t.records; bytes = t.bytes; fsyncs = t.fsyncs; io_ns = t.io_ns }
+  Mutex.protect t.mu (fun () ->
+      { records = t.records; bytes = t.bytes; fsyncs = t.fsyncs; io_ns = t.io_ns })
 
 let reset_stats t =
-  t.records <- 0;
-  t.bytes <- 0;
-  t.fsyncs <- 0;
-  t.io_ns <- 0
+  Mutex.protect t.mu (fun () ->
+      t.records <- 0;
+      t.bytes <- 0;
+      t.fsyncs <- 0;
+      t.io_ns <- 0)
 
-let io_ns t = t.io_ns
+let io_ns t = Mutex.protect t.mu (fun () -> t.io_ns)
 
 let recent t n =
   let rec take n = function
@@ -75,4 +87,4 @@ let recent t n =
     | _ when n = 0 -> []
     | x :: rest -> x :: take (n - 1) rest
   in
-  take n t.log
+  Mutex.protect t.mu (fun () -> take n t.log)

@@ -5,7 +5,14 @@
     charging a simulated latency.  CarTel batches 200 inserts per
     transaction "partly to compensate for the lack of group commit in
     PostgreSQL" (section 8.2.2) — with this model, larger transactions
-    amortize the per-commit fsync exactly as they do there. *)
+    amortize the per-commit fsync exactly as they do there, and
+    {!Ifdb_txn.Group_commit} coalesces the commit fsyncs of {e small}
+    transactions the same way.
+
+    All operations are thread-safe: appends, fsyncs and stats reads are
+    serialized on an internal mutex, so concurrent committers (the
+    group-commit leader/follower protocol) and aborting sessions may
+    touch one log. *)
 
 type record =
   | Begin of int                       (** xid *)
@@ -29,8 +36,14 @@ val create : ?fsync_cost_ns:int -> unit -> t
 
 val append : t -> record -> unit
 
+val append_batch : t -> record list -> unit
+(** Append a run of records under one lock acquisition — the buffered
+    batch append used by bulk inserts.  Record and byte accounting is
+    identical to appending each record individually. *)
+
 val fsync : t -> unit
-(** Force the log; called at commit. *)
+(** Force the log; called at commit (possibly once for a whole batch of
+    coalesced commits). *)
 
 val stats : t -> stats
 val reset_stats : t -> unit

@@ -1,0 +1,54 @@
+(** Group commit: coalescing the per-transaction commit fsync.
+
+    The paper's CarTel deployment batched 200 inserts per transaction
+    "partly to compensate for the lack of group commit in PostgreSQL"
+    (section 8.2.2).  This module supplies the missing group commit: a
+    commit queue in front of {!Ifdb_storage.Wal} that lets one fsync
+    cover the commit records of several transactions.
+
+    Two coalescing modes, selected at {!create}:
+
+    - {b deterministic} ([synchronous = false], the default): every
+      [batch]-th submitted commit triggers the fsync; earlier commits
+      in the window return immediately and become durable with the
+      batch (asynchronous-commit semantics, like PostgreSQL's
+      [synchronous_commit = off] with [commit_delay]).  This mode is
+      deterministic on a single core, so the container can still
+      measure coalescing through {!Ifdb_storage.Wal.stats}.
+    - {b synchronous leader/follower} ([synchronous = true]): the
+      first committer to arrive becomes the leader, opens a short
+      gather window so concurrent sessions (e.g. tasks on
+      {!Ifdb_engine.Domain_pool}) can append their commit records
+      behind it, then issues one fsync for the whole batch; followers
+      block until an fsync covers their record, preserving durability
+      on return.
+
+    [batch = 1] degenerates to the classic one-fsync-per-commit path. *)
+
+type t
+
+type stats = {
+  gc_submitted : int;  (** commit records submitted *)
+  gc_batches : int;    (** fsyncs issued (coalesced flushes) *)
+  gc_max_batch : int;  (** most commits covered by a single fsync *)
+}
+
+val create : ?batch:int -> ?synchronous:bool -> Ifdb_storage.Wal.t -> t
+(** [batch] is the coalescing degree (default 1); raises
+    [Invalid_argument] if < 1. *)
+
+val batch : t -> int
+
+val submit : t -> xid:int -> unit
+(** Append the transaction's [Commit] record and arrange for its fsync
+    per the mode above.  Thread-safe. *)
+
+val flush : t -> unit
+(** Force an fsync over any still-buffered commit records (no-op when
+    none are pending).  Used at checkpoint/shutdown and by tests. *)
+
+val pending : t -> int
+(** Commit records appended but not yet covered by an fsync. *)
+
+val stats : t -> stats
+val reset_stats : t -> unit

@@ -16,12 +16,18 @@ type txn = {
   snapshot : Snapshot.t;
   mutable t_writes : write list; (* newest first *)
   mutable t_state : status;
+  mutable t_logged : bool; (* Begin record reached the WAL *)
   mutable t_read_tables : string list;  (* S2PL read locks (serializable) *)
   mutable t_write_tables : string list; (* S2PL write locks (serializable) *)
 }
 
 type t = {
   the_wal : Ifdb_storage.Wal.t;
+  gc : Group_commit.t;
+  mu : Mutex.t;
+      (* guards commit/abort bookkeeping (statuses, open_txns) so
+         concurrent committers on the domain pool stay sound; begin and
+         the record_* paths run on the session thread as before *)
   statuses : (int, status) Hashtbl.t;
   mutable next_xid : int;
   mutable open_txns : txn list;
@@ -31,12 +37,23 @@ type t = {
          prototype runs snapshot isolation instead (section 5.1) *)
 }
 
-let create ?wal ?(serializable_locking = false) () =
+let create ?wal ?(serializable_locking = false) ?(commit_batch = 1)
+    ?(sync_commit = false) () =
   let the_wal = match wal with Some w -> w | None -> Ifdb_storage.Wal.create () in
-  { the_wal; statuses = Hashtbl.create 1024; next_xid = 1; open_txns = [];
-    locking = serializable_locking }
+  {
+    the_wal;
+    gc = Group_commit.create ~batch:commit_batch ~synchronous:sync_commit the_wal;
+    mu = Mutex.create ();
+    statuses = Hashtbl.create 1024;
+    next_xid = 1;
+    open_txns = [];
+    locking = serializable_locking;
+  }
 
 let wal t = t.the_wal
+let group_commit t = t.gc
+
+let flush_wal t = Group_commit.flush t.gc
 
 let status_of t xid =
   match Hashtbl.find_opt t.statuses xid with
@@ -58,16 +75,25 @@ let begin_txn t =
       snapshot = Snapshot.make ~snap_xmax:xid ~in_progress:(live_xids t);
       t_writes = [];
       t_state = In_progress;
+      t_logged = false;
       t_read_tables = [];
       t_write_tables = [];
     }
   in
   t.open_txns <- txn :: t.open_txns;
-  Ifdb_storage.Wal.append t.the_wal (Ifdb_storage.Wal.Begin xid);
   txn
 
 let xid txn = txn.t_xid
 let state txn = txn.t_state
+
+(* The Begin record is logged lazily, on the transaction's first write:
+   a read-only transaction therefore never touches the WAL — not at
+   begin, not at commit, not at abort. *)
+let log_begin t txn =
+  if not txn.t_logged then begin
+    txn.t_logged <- true;
+    Ifdb_storage.Wal.append t.the_wal (Ifdb_storage.Wal.Begin txn.t_xid)
+  end
 
 let require_open txn what =
   if txn.t_state <> In_progress then
@@ -130,6 +156,7 @@ let note_write t txn table =
 let record_insert t txn heap tuple =
   require_open txn "record_insert";
   note_write t txn (Ifdb_storage.Heap.name heap);
+  log_begin t txn;
   let v = Ifdb_storage.Heap.insert heap ~xmin:txn.t_xid tuple in
   Ifdb_storage.Wal.append t.the_wal
     (Ifdb_storage.Wal.Insert
@@ -142,9 +169,43 @@ let record_insert t txn heap tuple =
     :: txn.t_writes;
   v
 
+(* Batched variant of [record_insert]: one heap pass, then the WAL
+   records of the whole run through a single buffered batch append.
+   Returns the new versions in tuple order. *)
+let record_inserts t txn heap tuples =
+  require_open txn "record_inserts";
+  note_write t txn (Ifdb_storage.Heap.name heap);
+  log_begin t txn;
+  let name = Ifdb_storage.Heap.name heap in
+  let versions =
+    List.map (fun tuple -> Ifdb_storage.Heap.insert heap ~xmin:txn.t_xid tuple)
+      tuples
+  in
+  let records =
+    List.map2
+      (fun tuple (v : Ifdb_storage.Heap.version) ->
+        Ifdb_storage.Wal.Insert
+          (name, v.vid, Ifdb_storage.Heap.tuple_bytes heap tuple))
+      tuples versions
+  in
+  Ifdb_storage.Wal.append_batch t.the_wal records;
+  let ws =
+    List.map2
+      (fun tuple (v : Ifdb_storage.Heap.version) ->
+        { w_heap = heap; w_vid = v.vid; w_kind = `Insert;
+          w_label = Ifdb_rel.Tuple.label tuple;
+          w_label_id = Ifdb_rel.Tuple.label_id tuple })
+      tuples versions
+  in
+  (* [t_writes] is newest-first: prepending the reversed run keeps the
+     overall order identical to per-tuple [record_insert] calls *)
+  txn.t_writes <- List.rev_append ws txn.t_writes;
+  versions
+
 let record_delete t txn heap (v : Ifdb_storage.Heap.version) =
   require_open txn "record_delete";
   note_write t txn (Ifdb_storage.Heap.name heap);
+  log_begin t txn;
   if not (visible t txn v) then
     invalid_arg "record_delete: version not visible to this transaction";
   (match v.xmax with
@@ -181,16 +242,20 @@ let close t txn =
 
 let commit t txn =
   require_open txn "commit";
-  txn.t_state <- Committed;
-  Hashtbl.replace t.statuses txn.t_xid Committed;
-  Ifdb_storage.Wal.append t.the_wal (Ifdb_storage.Wal.Commit txn.t_xid);
-  Ifdb_storage.Wal.fsync t.the_wal;
-  close t txn
+  Mutex.protect t.mu (fun () ->
+      txn.t_state <- Committed;
+      Hashtbl.replace t.statuses txn.t_xid Committed;
+      close t txn);
+  (* Read-only transactions never logged a Begin, so there is nothing
+     to make durable: skip the WAL (and its fsync) entirely. *)
+  if txn.t_logged then Group_commit.submit t.gc ~xid:txn.t_xid
 
 let abort t txn =
   if txn.t_state = In_progress then begin
-    txn.t_state <- Aborted;
-    Hashtbl.replace t.statuses txn.t_xid Aborted;
+    Mutex.protect t.mu (fun () ->
+        txn.t_state <- Aborted;
+        Hashtbl.replace t.statuses txn.t_xid Aborted;
+        close t txn);
     (* Undo delete stamps so later writers are not blocked by a ghost;
        inserted versions die via their aborted xmin. *)
     List.iter
@@ -199,8 +264,8 @@ let abort t txn =
         | `Delete -> Ifdb_storage.Heap.clear_xmax w.w_heap ~vid:w.w_vid ~xid:txn.t_xid
         | `Insert -> ())
       txn.t_writes;
-    Ifdb_storage.Wal.append t.the_wal (Ifdb_storage.Wal.Abort txn.t_xid);
-    close t txn
+    if txn.t_logged then
+      Ifdb_storage.Wal.append t.the_wal (Ifdb_storage.Wal.Abort txn.t_xid)
   end
 
 let with_txn t f =

@@ -11,14 +11,16 @@
     - keep per-transaction write sets for rollback and for the IFDB
       commit-label rule (each write remembers the tuple's label so the
       rule in section 5.1 can be checked without touching pages);
-    - drive the {!Ifdb_storage.Wal}: records per write, one fsync per
-      commit (group commit falls out of batching writes per
-      transaction).
+    - drive the {!Ifdb_storage.Wal}: the [Begin] record is logged
+      lazily on the transaction's first write, so read-only
+      transactions never touch the WAL (no records, no commit fsync);
+      write transactions commit through {!Group_commit}, which can
+      coalesce several commit records into one fsync.
 
-    Interleaving model: the engine is single-threaded, but any number
-    of transactions may be open at once and their operations may
-    interleave arbitrarily — which is exactly what the concurrency
-    rules are about. *)
+    Interleaving model: begins and the record_* paths run on the
+    session thread, but {!commit} and {!abort} are safe to call from
+    concurrent domains (e.g. tasks on a domain pool): their
+    bookkeeping is mutex-guarded and the WAL serializes internally. *)
 
 exception Serialization_failure of string
 (** A write-write conflict under snapshot isolation. *)
@@ -43,15 +45,34 @@ type txn
 
 type t
 
-val create : ?wal:Ifdb_storage.Wal.t -> ?serializable_locking:bool -> unit -> t
+val create :
+  ?wal:Ifdb_storage.Wal.t ->
+  ?serializable_locking:bool ->
+  ?commit_batch:int ->
+  ?sync_commit:bool ->
+  unit ->
+  t
 (** With [serializable_locking:true] the manager additionally enforces
     table-granularity strict two-phase locking with no-wait conflict
     handling — a conservative but sound implementation of serializable
     isolation (the paper's prototype instead runs snapshot isolation
     plus the clearance rule; section 5.1).  Reads must be reported via
-    {!note_read}; writes lock automatically. *)
+    {!note_read}; writes lock automatically.
+
+    [commit_batch] (default 1) and [sync_commit] (default false)
+    configure the {!Group_commit} queue: commit fsyncs are coalesced so
+    one flush covers up to [commit_batch] transactions — see
+    {!Group_commit} for the deterministic vs leader/follower modes. *)
 
 val wal : t -> Ifdb_storage.Wal.t
+
+val group_commit : t -> Group_commit.t
+(** The commit queue in front of the WAL. *)
+
+val flush_wal : t -> unit
+(** Force an fsync over any commit records still buffered by the group
+    commit queue (deterministic mode leaves up to [commit_batch - 1]
+    pending). *)
 
 val begin_txn : t -> txn
 val xid : txn -> int
@@ -77,6 +98,17 @@ val record_insert :
 (** Insert a new version stamped with this xid; logs to the WAL and
     adds to the write set. *)
 
+val record_inserts :
+  t ->
+  txn ->
+  Ifdb_storage.Heap.t ->
+  Ifdb_rel.Tuple.t list ->
+  Ifdb_storage.Heap.version list
+(** Batched {!record_insert}: one heap pass for the run, WAL records
+    through a single buffered batch append.  Equivalent to calling
+    {!record_insert} per tuple (same versions, same write-set order,
+    same WAL accounting) with less per-row overhead. *)
+
 val record_delete :
   t -> txn -> Ifdb_storage.Heap.t -> Ifdb_storage.Heap.version -> unit
 (** Stamp a version as deleted by this transaction.  Raises
@@ -88,11 +120,14 @@ val writes : txn -> write list
 (** The write set, oldest first. *)
 
 val commit : t -> txn -> unit
-(** Commit: mark committed, log, fsync. *)
+(** Commit: mark committed, then submit the commit record to the group
+    commit queue (which decides when the fsync happens).  Read-only
+    transactions skip the WAL entirely — no record, no fsync. *)
 
 val abort : t -> txn -> unit
 (** Abort: mark aborted and undo xmax stamps (inserted versions become
-    invisible through their aborted xmin). *)
+    invisible through their aborted xmin).  Logs an [Abort] record only
+    if the transaction ever wrote. *)
 
 val with_txn : t -> (txn -> 'a) -> 'a
 (** Run [f] in a transaction; commit on return, abort on exception. *)

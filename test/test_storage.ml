@@ -353,6 +353,63 @@ let btree_bulk_invariant_prop =
          List.iteri (fun i k -> Btree.insert bt (k1 k) i) keys;
          Btree.check_invariants bt = Ok ()))
 
+(* Full tree contents including postings order (iter emits postings
+   oldest-first via the List.rev in the leaf walk). *)
+let tree_contents bt =
+  let acc = ref [] in
+  Btree.iter_all bt (fun k vid -> acc := (Value.to_int k.(0), vid) :: !acc);
+  List.rev !acc
+
+let test_btree_insert_many_basic () =
+  (* a run big enough to force multi-splits and root growth at order 4,
+     with duplicate keys and duplicate postings *)
+  let run =
+    List.concat_map (fun i -> [ (i mod 97, i); (i mod 97, i); (42, i) ])
+      (List.init 500 Fun.id)
+  in
+  let seq = Btree.create ~order:4 () and blk = Btree.create ~order:4 () in
+  List.iter (fun (k, v) -> Btree.insert seq (k1 k) v) run;
+  Btree.insert_many blk (List.map (fun (k, v) -> (k1 k, v)) run);
+  (match Btree.check_invariants blk with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "same entry count" (Btree.entry_count seq)
+    (Btree.entry_count blk);
+  Alcotest.(check bool) "identical contents and postings order" true
+    (tree_contents seq = tree_contents blk);
+  Alcotest.(check bool) "bulk tree is deep" true (Btree.depth blk > 1);
+  (* bulk load into a non-empty tree *)
+  Btree.insert_many blk [ (k1 1000, 1); (k1 7, 999) ];
+  Btree.insert seq (k1 1000) 1;
+  Btree.insert seq (k1 7) 999;
+  Alcotest.(check bool) "incremental bulk load matches" true
+    (tree_contents seq = tree_contents blk);
+  Btree.insert_many blk [];
+  Alcotest.(check int) "empty run is a no-op" (Btree.entry_count seq)
+    (Btree.entry_count blk)
+
+let btree_insert_many_equiv_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:100
+       ~name:"insert_many = sequential inserts (contents & order)"
+       (QCheck.make
+          QCheck.Gen.(
+            pair
+              (list_size (int_bound 120) (pair (int_bound 40) (int_bound 15)))
+              (list_size (int_bound 400) (pair (int_bound 40) (int_bound 15)))))
+       (fun (seed, run) ->
+         let a = Btree.create ~order:8 () and b = Btree.create ~order:8 () in
+         List.iter
+           (fun (k, v) ->
+             Btree.insert a (k1 k) v;
+             Btree.insert b (k1 k) v)
+           seed;
+         List.iter (fun (k, v) -> Btree.insert a (k1 k) v) run;
+         Btree.insert_many b (List.map (fun (k, v) -> (k1 k, v)) run);
+         Btree.check_invariants b = Ok ()
+         && Btree.entry_count a = Btree.entry_count b
+         && tree_contents a = tree_contents b))
+
 (* ------------------------------------------------------------------ *)
 (* WAL                                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -379,6 +436,28 @@ let test_wal_bounded_memory () =
   done;
   Alcotest.(check int) "all counted" 100_000 (Wal.stats w).Wal.records;
   Alcotest.(check bool) "recent bounded" true (List.length (Wal.recent w 10_000) <= 1024)
+
+let test_wal_batch_append () =
+  let records =
+    [ Wal.Begin 1; Wal.Insert ("t", 0, 50); Wal.Insert ("t", 1, 10); Wal.Commit 1 ]
+  in
+  let w = Wal.create ~fsync_cost_ns:1000 () in
+  Wal.append_batch w records;
+  let s = Wal.stats w in
+  Alcotest.(check int) "records" 4 s.Wal.records;
+  Alcotest.(check int) "bytes" (16 + (24 + 50) + (24 + 10) + 16) s.Wal.bytes;
+  Alcotest.(check int) "no fsync from append" 0 s.Wal.fsyncs;
+  (* byte-for-byte identical accounting to per-record appends *)
+  let w2 = Wal.create ~fsync_cost_ns:1000 () in
+  List.iter (Wal.append w2) records;
+  Alcotest.(check bool) "same stats as sequential" true (Wal.stats w2 = s);
+  (* recent is newest first, batch order preserved *)
+  (match Wal.recent w 2 with
+  | [ Wal.Commit 1; Wal.Insert ("t", 1, 10) ] -> ()
+  | _ -> Alcotest.fail "recent should return the batch tail newest first");
+  Alcotest.(check int) "empty batch is a no-op" 4
+    (Wal.append_batch w [];
+     (Wal.stats w).Wal.records)
 
 let suites =
   [
@@ -412,10 +491,13 @@ let suites =
         btree_range_model_prop;
         btree_model_prop;
         btree_bulk_invariant_prop;
+        Alcotest.test_case "sorted bulk load" `Quick test_btree_insert_many_basic;
+        btree_insert_many_equiv_prop;
       ] );
     ( "storage.wal",
       [
         Alcotest.test_case "accounting" `Quick test_wal_accounting;
         Alcotest.test_case "bounded memory" `Quick test_wal_bounded_memory;
+        Alcotest.test_case "batched append" `Quick test_wal_batch_append;
       ] );
   ]

@@ -174,6 +174,115 @@ let test_wal_commit_fsync () =
   Alcotest.(check int) "one fsync for 200 inserts (group commit)" 1 s.Wal.fsyncs;
   Alcotest.(check int) "202 records" 202 s.Wal.records
 
+(* Regression (PR 3 satellite): a read-only transaction must be
+   WAL-free end to end — the Begin record is logged lazily on the first
+   write, so commit has nothing to make durable and charges no fsync. *)
+let test_readonly_commit_walfree () =
+  let wal = Wal.create () in
+  let m = Manager.create ~wal () in
+  let t = Manager.begin_txn m in
+  Manager.commit m t;
+  let s = Wal.stats wal in
+  Alcotest.(check int) "read-only commit: no records" 0 s.Wal.records;
+  Alcotest.(check int) "read-only commit: no fsync" 0 s.Wal.fsyncs;
+  let t2 = Manager.begin_txn m in
+  Manager.abort m t2;
+  Alcotest.(check int) "read-only abort: no records" 0 (Wal.stats wal).Wal.records;
+  (* a writing transaction still logs Begin, the write, and Commit *)
+  let bp = Buffer_pool.create () in
+  let h = Heap.create ~name:"t" ~labeled:true ~pool:bp () in
+  let t3 = Manager.begin_txn m in
+  ignore (Manager.record_insert m t3 h (tuple 1));
+  Manager.commit m t3;
+  let s = Wal.stats wal in
+  Alcotest.(check int) "writer: Begin+Insert+Commit" 3 s.Wal.records;
+  Alcotest.(check int) "writer: one fsync" 1 s.Wal.fsyncs
+
+let test_abort_path_records () =
+  let wal = Wal.create () in
+  let m = Manager.create ~wal () in
+  let bp = Buffer_pool.create () in
+  let h = Heap.create ~name:"t" ~labeled:true ~pool:bp () in
+  let t = Manager.begin_txn m in
+  ignore (Manager.record_insert m t h (tuple 1));
+  Manager.abort m t;
+  let s = Wal.stats wal in
+  Alcotest.(check int) "Begin+Insert+Abort" 3 s.Wal.records;
+  Alcotest.(check int) "abort never fsyncs" 0 s.Wal.fsyncs;
+  (match Wal.recent wal 3 with
+  | [ Wal.Abort a; Wal.Insert ("t", _, _); Wal.Begin b ] ->
+      Alcotest.(check int) "abort xid" (Manager.xid t) a;
+      Alcotest.(check int) "begin xid" (Manager.xid t) b
+  | _ -> Alcotest.fail "unexpected WAL tail for aborted writer")
+
+let test_record_inserts_batch () =
+  (* batched insert path: identical WAL accounting and write set as the
+     per-tuple path *)
+  let wal_a = Wal.create () and wal_b = Wal.create () in
+  let ma = Manager.create ~wal:wal_a () and mb = Manager.create ~wal:wal_b () in
+  let bp = Buffer_pool.create () in
+  let ha = Heap.create ~name:"t" ~labeled:true ~pool:bp () in
+  let hb = Heap.create ~name:"t" ~labeled:true ~pool:bp () in
+  let rows = List.init 5 (fun i -> tuple (i + 1)) in
+  let ta = Manager.begin_txn ma in
+  List.iter (fun tp -> ignore (Manager.record_insert ma ta ha tp)) rows;
+  Manager.commit ma ta;
+  let tb = Manager.begin_txn mb in
+  let versions = Manager.record_inserts mb tb hb rows in
+  Alcotest.(check (list int)) "vids in order" [ 0; 1; 2; 3; 4 ]
+    (List.map (fun (v : Heap.version) -> v.Heap.vid) versions);
+  Alcotest.(check int) "write set size" 5 (List.length (Manager.writes tb));
+  Manager.commit mb tb;
+  let sa = Wal.stats wal_a and sb = Wal.stats wal_b in
+  Alcotest.(check int) "same records" sa.Wal.records sb.Wal.records;
+  Alcotest.(check int) "same bytes" sa.Wal.bytes sb.Wal.bytes;
+  Alcotest.(check int) "same fsyncs" sa.Wal.fsyncs sb.Wal.fsyncs
+
+let test_group_commit_deterministic () =
+  let wal = Wal.create () in
+  let m = Manager.create ~wal ~commit_batch:4 () in
+  let bp = Buffer_pool.create () in
+  let h = Heap.create ~name:"t" ~labeled:true ~pool:bp () in
+  for i = 1 to 10 do
+    let t = Manager.begin_txn m in
+    ignore (Manager.record_insert m t h (tuple i));
+    Manager.commit m t
+  done;
+  (* every 4th commit flushes: commits 4 and 8; 9 and 10 still pending *)
+  Alcotest.(check int) "coalesced fsyncs" 2 (Wal.stats wal).Wal.fsyncs;
+  Alcotest.(check int) "pending commits" 2
+    (Group_commit.pending (Manager.group_commit m));
+  Manager.flush_wal m;
+  Alcotest.(check int) "flush forces the remainder" 3 (Wal.stats wal).Wal.fsyncs;
+  Alcotest.(check int) "nothing pending" 0
+    (Group_commit.pending (Manager.group_commit m));
+  let gs = Group_commit.stats (Manager.group_commit m) in
+  Alcotest.(check int) "submitted" 10 gs.Group_commit.gc_submitted;
+  Alcotest.(check int) "batches" 3 gs.Group_commit.gc_batches;
+  Alcotest.(check int) "max batch" 4 gs.Group_commit.gc_max_batch;
+  (* read-only commits do not enter the queue at all *)
+  let t = Manager.begin_txn m in
+  Manager.commit m t;
+  Alcotest.(check int) "read-only not submitted" 10
+    (Group_commit.stats (Manager.group_commit m)).Group_commit.gc_submitted
+
+let test_group_commit_sync_durable () =
+  (* synchronous leader/follower mode on a single thread: each commit
+     returns durable (it leads its own batch of one) *)
+  let wal = Wal.create () in
+  let m = Manager.create ~wal ~commit_batch:4 ~sync_commit:true () in
+  let bp = Buffer_pool.create () in
+  let h = Heap.create ~name:"t" ~labeled:true ~pool:bp () in
+  for i = 1 to 3 do
+    let t = Manager.begin_txn m in
+    ignore (Manager.record_insert m t h (tuple i));
+    Manager.commit m t;
+    Alcotest.(check int) "durable on return" 0
+      (Group_commit.pending (Manager.group_commit m))
+  done;
+  Alcotest.(check int) "no coalescing without concurrency" 3
+    (Wal.stats wal).Wal.fsyncs
+
 let test_with_txn () =
   let m, h = fresh () in
   let r = Manager.with_txn m (fun t ->
@@ -316,6 +425,15 @@ let suites =
       [
         Alcotest.test_case "write set labels" `Quick test_write_set_labels;
         Alcotest.test_case "group commit fsync" `Quick test_wal_commit_fsync;
+        Alcotest.test_case "read-only commit WAL-free" `Quick
+          test_readonly_commit_walfree;
+        Alcotest.test_case "abort path records" `Quick test_abort_path_records;
+        Alcotest.test_case "batched record_inserts" `Quick
+          test_record_inserts_batch;
+        Alcotest.test_case "group commit coalescing" `Quick
+          test_group_commit_deterministic;
+        Alcotest.test_case "group commit sync mode" `Quick
+          test_group_commit_sync_durable;
         Alcotest.test_case "with_txn" `Quick test_with_txn;
         Alcotest.test_case "double commit rejected" `Quick test_double_commit_rejected;
         Alcotest.test_case "oldest visible xid" `Quick test_oldest_visible_xid;

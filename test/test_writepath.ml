@@ -1,0 +1,306 @@
+(* The batched write path (PR 3): equivalence of [insert_many] with
+   sequential inserts, label-grouped commit-label verdicts, and the
+   security of the commit-label rule under group commit.
+
+   [IFDB_TEST_PARALLELISM] overrides the domain count, matching
+   test_parallel.ml: CI runs the suite at 1 and at a multi-domain
+   setting. *)
+
+module Db = Ifdb_core.Database
+module Errors = Ifdb_core.Errors
+module Label = Ifdb_difc.Label
+module Label_store = Ifdb_difc.Label_store
+module Value = Ifdb_rel.Value
+module Tuple = Ifdb_rel.Tuple
+module Catalog = Ifdb_engine.Catalog
+module Btree = Ifdb_storage.Btree
+module Domain_pool = Ifdb_engine.Domain_pool
+
+let par_width =
+  match Sys.getenv_opt "IFDB_TEST_PARALLELISM" with
+  | Some s -> ( try max 1 (int_of_string s) with _ -> 4)
+  | None -> 4
+
+let row_key t =
+  ( List.map Value.to_string (Array.to_list (Tuple.values t)),
+    Label.to_string (Tuple.label t) )
+
+(* ------------------------------------------------------------------ *)
+(* insert_many = N sequential inserts                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* One database with a primary key and a secondary index; rows land
+   under the session's label, so a (pre, batch) scenario exercises
+   polyinstantiation (same id, different label) as well as genuine
+   unique conflicts (same id, same label). *)
+let mk_db ~parallelism =
+  let db = Db.create ~parallelism ~morsel_size:16 () in
+  let admin = Db.connect_admin db in
+  let owner = Db.create_principal admin ~name:"owner" in
+  let os = Db.connect db ~principal:owner in
+  let tag = Db.create_tag os ~name:"t" () in
+  ignore (Db.exec admin "CREATE TABLE pts (id INT PRIMARY KEY, v INT)");
+  ignore (Db.exec admin "CREATE INDEX pts_v ON pts (v)");
+  (db, os, tag)
+
+let visible_state db tag =
+  let reader = Db.connect_admin db in
+  Db.add_secrecy reader tag;
+  let rows = Db.query reader "SELECT id, v FROM pts ORDER BY id, v" in
+  List.map row_key rows
+
+(* Physical index contents including vids — comparable across the two
+   databases only when no transaction aborted (aborted sequential
+   inserts leave dead versions the batch path never creates). *)
+let index_contents db =
+  match Catalog.find_table (Db.catalog db) "pts" with
+  | None -> []
+  | Some tbl ->
+      List.map
+        (fun idx ->
+          let acc = ref [] in
+          Btree.iter_all idx.Catalog.idx_tree (fun k vid ->
+              acc := (List.map Value.to_string (Array.to_list k), vid) :: !acc);
+          (idx.Catalog.idx_name, List.rev !acc))
+        tbl.Catalog.tbl_indexes
+
+(* Visible index-served lookups: equal even across an abort, because
+   dead versions are invisible on both sides. *)
+let probe_indexes db tag =
+  let reader = Db.connect_admin db in
+  Db.add_secrecy reader tag;
+  List.concat_map
+    (fun id ->
+      List.map row_key
+        (Db.query reader
+           (Printf.sprintf "SELECT id, v FROM pts WHERE id = %d ORDER BY v" id)))
+    (List.init 13 Fun.id)
+  @ List.concat_map
+      (fun v ->
+        List.map row_key
+          (Db.query reader
+             (Printf.sprintf "SELECT id, v FROM pts WHERE v = %d ORDER BY id" v)))
+      (List.init 6 Fun.id)
+
+let run_equivalence ~parallelism (pre, batch) =
+  let db_a, sa, tag_a = mk_db ~parallelism in
+  let db_b, sb, tag_b = mk_db ~parallelism in
+  (* seed phase: public rows, one implicit transaction per row on both
+     sides (identical heaps, dead versions included) *)
+  List.iter
+    (fun (id, v) ->
+      let stmt = Printf.sprintf "INSERT INTO pts VALUES (%d, %d)" id v in
+      (try ignore (Db.exec sa stmt) with Errors.Constraint_violation _ -> ());
+      try ignore (Db.exec sb stmt) with Errors.Constraint_violation _ -> ())
+    pre;
+  (* batch phase under a raised label: insert_many vs N sequential
+     inserts in one transaction *)
+  Db.add_secrecy sa tag_a;
+  Db.add_secrecy sb tag_b;
+  let rows = List.map (fun (id, v) -> [| Value.Int id; Value.Int v |]) batch in
+  let out_a =
+    try Ok (Db.insert_many sa ~table:"pts" rows)
+    with Errors.Constraint_violation _ -> Error `Constraint
+  in
+  let out_b =
+    try
+      ignore (Db.exec sb "BEGIN");
+      List.iter
+        (fun (id, v) ->
+          ignore
+            (Db.exec sb (Printf.sprintf "INSERT INTO pts VALUES (%d, %d)" id v)))
+        batch;
+      ignore (Db.exec sb "COMMIT");
+      Ok (List.length batch)
+    with Errors.Constraint_violation _ -> Error `Constraint
+  in
+  out_a = out_b
+  && visible_state db_a tag_a = visible_state db_b tag_b
+  && probe_indexes db_a tag_a = probe_indexes db_b tag_b
+  && (out_a = Error `Constraint
+     || index_contents db_a = index_contents db_b)
+
+let equiv_prop ~parallelism =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:40
+       ~name:
+         (Printf.sprintf "insert_many = sequential inserts (parallelism %d)"
+            parallelism)
+       (QCheck.make
+          QCheck.Gen.(
+            pair
+              (list_size (int_bound 15) (pair (int_bound 12) (int_bound 5)))
+              (list_size (int_bound 25) (pair (int_bound 12) (int_bound 5)))))
+       (fun scenario -> run_equivalence ~parallelism scenario))
+
+(* ------------------------------------------------------------------ *)
+(* Label-grouped commit-label verdicts: O(K), not O(N)                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_label_grouped_commit_check () =
+  let db = Db.create () in
+  let admin = Db.connect_admin db in
+  let owner = Db.create_principal admin ~name:"owner" in
+  let s = Db.connect db ~principal:owner in
+  let base = Db.create_tag s ~name:"base" () in
+  let k = 4 and per_group = 50 in
+  let tags =
+    Array.init k (fun i -> Db.create_tag s ~name:(Printf.sprintf "g%d" i) ())
+  in
+  ignore (Db.exec admin "CREATE TABLE readings (id INT, val INT)");
+  ignore (Db.exec s "BEGIN");
+  Db.add_secrecy s base;
+  let inserted = ref 0 in
+  Array.iteri
+    (fun gi tag ->
+      (* each group's tuples carry {base, g<gi>}; the commit label ends
+         at {base}, which flows to every one of them *)
+      Db.add_secrecy s tag;
+      let rows =
+        List.init per_group (fun i ->
+            [| Value.Int ((gi * per_group) + i); Value.Int i |])
+      in
+      inserted := !inserted + Db.insert_many s ~table:"readings" rows;
+      Db.declassify s tag)
+    tags;
+  Alcotest.(check int) "all rows inserted" (k * per_group) !inserted;
+  let store = Db.label_store db in
+  Label_store.reset_stats store;
+  ignore (Db.exec s "COMMIT");
+  let st = Label_store.stats store in
+  let probes = st.Label_store.flow_hits + st.Label_store.flow_misses in
+  (* the write set holds k * per_group tuples under k distinct labels:
+     the commit-label rule must cost K verdict lookups, not N *)
+  Alcotest.(check int) "O(K) flow-cache probes at commit" k probes;
+  let reader = Db.connect_admin db in
+  Db.add_secrecy reader base;
+  Array.iter (Db.add_secrecy reader) tags;
+  Alcotest.(check int) "all committed rows visible" (k * per_group)
+    (List.length (Db.query reader "SELECT id FROM readings"))
+
+(* ------------------------------------------------------------------ *)
+(* Security: the commit-label rule stays closed under group commit     *)
+(* ------------------------------------------------------------------ *)
+
+(* Each scenario transaction inserts a public row, then the odd ones
+   raise their label so their commit label no longer flows to the
+   written tuple — the rule must reject exactly those, whatever batch
+   they are coalesced into. *)
+let run_rule_scenario db tag n =
+  let admin = Db.connect_admin db in
+  let owner = Db.find_principal db "owner" in
+  List.init n (fun i ->
+      let s = Db.connect db ~principal:owner in
+      ignore (Db.exec s "BEGIN");
+      ignore (Db.exec s (Printf.sprintf "INSERT INTO t VALUES (%d)" i));
+      if i mod 2 = 1 then Db.add_secrecy s tag;
+      match Db.exec s "COMMIT" with
+      | _ -> `Committed
+      | exception Errors.Flow_violation _ -> `Rejected)
+  |> fun outcomes ->
+  Db.flush_wal db;
+  let reader = Db.connect_admin db in
+  Db.add_secrecy reader tag;
+  let visible =
+    List.map
+      (fun t -> Value.to_int (Tuple.get t 0))
+      (Db.query reader "SELECT a FROM t ORDER BY a")
+  in
+  ignore admin;
+  (outcomes, visible)
+
+let mk_rule_db ?(parallelism = 1) ?(commit_batch = 1) ?(sync_commit = false) ()
+    =
+  let db = Db.create ~parallelism ~commit_batch ~sync_commit () in
+  let admin = Db.connect_admin db in
+  let owner = Db.create_principal admin ~name:"owner" in
+  let os = Db.connect db ~principal:owner in
+  let tag = Db.create_tag os ~name:"secret" () in
+  ignore (Db.exec admin "CREATE TABLE t (a INT)");
+  (db, tag)
+
+let test_commit_label_rule_coalesced () =
+  let n = 8 in
+  (* coalesced: one fsync may cover several commits *)
+  let db_c, tag_c = mk_rule_db ~commit_batch:4 () in
+  let outcomes_c, visible_c = run_rule_scenario db_c tag_c n in
+  (* solo: the classic one-fsync-per-commit path *)
+  let db_s, tag_s = mk_rule_db ~commit_batch:1 () in
+  let outcomes_s, visible_s = run_rule_scenario db_s tag_s n in
+  List.iteri
+    (fun i o ->
+      Alcotest.(check bool)
+        (Printf.sprintf "txn %d outcome" i)
+        true
+        (o = if i mod 2 = 1 then `Rejected else `Committed))
+    outcomes_c;
+  (* no leakage through co-batching: every member's outcome is exactly
+     its solo outcome *)
+  Alcotest.(check bool) "outcomes = solo outcomes" true
+    (outcomes_c = outcomes_s);
+  Alcotest.(check (list int)) "only rule-abiding rows visible" [ 0; 2; 4; 6 ]
+    visible_c;
+  Alcotest.(check (list int)) "same visible set as solo" visible_s visible_c;
+  (* and the batch really coalesced: 4 good commits shared one fsync *)
+  let fsyncs = (Ifdb_storage.Wal.stats (Db.wal db_c)).Ifdb_storage.Wal.fsyncs in
+  Alcotest.(check int) "good commits coalesced into one fsync" 1 fsyncs
+
+let test_commit_label_rule_concurrent () =
+  let width = max 2 par_width in
+  let db, tag =
+    mk_rule_db ~parallelism:width ~commit_batch:width ~sync_commit:true ()
+  in
+  let owner = Db.find_principal db "owner" in
+  let n = 4 in
+  let sessions =
+    Array.init n (fun i ->
+        let s = Db.connect db ~principal:owner in
+        ignore (Db.exec s "BEGIN");
+        ignore (Db.exec s (Printf.sprintf "INSERT INTO t VALUES (%d)" i));
+        if i mod 2 = 1 then Db.add_secrecy s tag;
+        s)
+  in
+  let outcomes = Array.make n `Pending in
+  let pool = Domain_pool.get ~parallelism:width in
+  (* commit all sessions concurrently through the leader/follower
+     protocol; violations must be caught inside the task so one
+     rejection cannot cancel a sibling's commit *)
+  Domain_pool.parallel_for pool ~tasks:n (fun ~worker:_ i ->
+      match Db.exec sessions.(i) "COMMIT" with
+      | _ -> outcomes.(i) <- `Committed
+      | exception Errors.Flow_violation _ -> outcomes.(i) <- `Rejected);
+  Db.flush_wal db;
+  Array.iteri
+    (fun i o ->
+      Alcotest.(check bool)
+        (Printf.sprintf "concurrent txn %d outcome" i)
+        true
+        (o = if i mod 2 = 1 then `Rejected else `Committed))
+    outcomes;
+  let reader = Db.connect_admin db in
+  Db.add_secrecy reader tag;
+  let visible =
+    List.map
+      (fun t -> Value.to_int (Tuple.get t 0))
+      (Db.query reader "SELECT a FROM t ORDER BY a")
+  in
+  Alcotest.(check (list int)) "only rule-abiding rows committed" [ 0; 2 ]
+    visible
+
+let suites =
+  [
+    ( "writepath.equivalence",
+      [ equiv_prop ~parallelism:1; equiv_prop ~parallelism:par_width ] );
+    ( "writepath.labels",
+      [
+        Alcotest.test_case "commit-label verdicts are label-grouped" `Quick
+          test_label_grouped_commit_check;
+      ] );
+    ( "writepath.security",
+      [
+        Alcotest.test_case "commit-label rule under coalescing" `Quick
+          test_commit_label_rule_coalesced;
+        Alcotest.test_case "commit-label rule under concurrent commit" `Quick
+          test_commit_label_rule_concurrent;
+      ] );
+  ]
