@@ -1,0 +1,94 @@
+(* ifdb_lint: static label-flow analysis over SQL scripts, without
+   executing anything against a real database.  Wraps
+   {!Ifdb_core.Lint}, which replays each script against a fresh
+   in-memory database: clean statements execute (so later statements
+   are analyzed against realistic catalog and data state), statements
+   with Error-severity diagnostics do not.
+
+     ifdb_lint script.sql ...          lint SQL scripts
+     ifdb_lint --ml examples/foo.ml    lint the SQL embedded in OCaml
+     ifdb_lint --golden script.sql     compare against script.sql.expected
+     ifdb_lint --update-golden ...     (re)write the .expected files
+
+   Exit status is 1 when any file has an unexpected Error-severity
+   diagnostic, a missing expected diagnostic (see the [-- lint: expect
+   CODE] convention), or golden-file drift. *)
+
+module Lint = Ifdb_core.Lint
+
+let read_file path =
+  In_channel.with_open_bin path In_channel.input_all
+
+let is_ml path = Filename.check_suffix path ".ml"
+
+let lint_file ~ml ~golden ~update_golden path =
+  let text = read_file path in
+  let outcome =
+    if ml || is_ml path then Lint.lint_ml Lint.ml_mode text
+    else Lint.lint_script Lint.sql_mode text
+  in
+  let failed = ref (outcome.Lint.o_failures <> []) in
+  Printf.printf "== %s ==\n%s" path outcome.Lint.o_report;
+  List.iter (fun f -> Printf.printf "FAIL %s\n" f) outcome.Lint.o_failures;
+  let expected_path = path ^ ".expected" in
+  if update_golden then (
+    Out_channel.with_open_bin expected_path (fun oc ->
+        Out_channel.output_string oc outcome.Lint.o_report);
+    Printf.printf "wrote %s\n" expected_path)
+  else if golden then (
+    match read_file expected_path with
+    | expected ->
+        if expected <> outcome.Lint.o_report then (
+          failed := true;
+          Printf.printf
+            "FAIL %s: report drifted from %s (re-run with --update-golden \
+             and review the diff)\n"
+            path expected_path)
+    | exception Sys_error m ->
+        failed := true;
+        Printf.printf "FAIL %s: cannot read golden file: %s\n" path m);
+  !failed
+
+let run ml golden update_golden files =
+  let any_failed =
+    List.fold_left
+      (fun acc path -> lint_file ~ml ~golden ~update_golden path || acc)
+      false files
+  in
+  if any_failed then 1 else 0
+
+open Cmdliner
+
+let ml =
+  Arg.(
+    value & flag
+    & info [ "ml" ]
+        ~doc:
+          "Treat every input as OCaml source: extract the SQL string \
+           literals and lint those.  Files ending in .ml get this \
+           treatment automatically.")
+
+let golden =
+  Arg.(
+    value & flag
+    & info [ "golden" ]
+        ~doc:
+          "Compare each file's report against FILE.expected and fail on \
+           drift.")
+
+let update_golden =
+  Arg.(
+    value & flag
+    & info [ "update-golden" ]
+        ~doc:"Write each file's report to FILE.expected.")
+
+let files =
+  Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE")
+
+let cmd =
+  let doc = "static label-flow linter for IFDB SQL" in
+  Cmd.v
+    (Cmd.info "ifdb_lint" ~doc)
+    Term.(const run $ ml $ golden $ update_golden $ files)
+
+let () = exit (Cmd.eval' cmd)

@@ -15,6 +15,7 @@
      \delegate TAG NAME      delegate TAG to principal NAME
      \tables                 list tables
      \dt NAME                describe a table
+     \check SQL              static label-flow analysis, no execution
      \vacuum                 reclaim dead versions
      \wal                    WAL and group-commit statistics
      \dump [TABLE]           label-preserving SQL dump (pg_dump analogue)
@@ -131,6 +132,19 @@ let run_command st line =
                 (if idx.Catalog.idx_unique then " (unique)" else ""))
             tbl.Catalog.tbl_indexes
       | None -> Printf.printf "no such table: %s\n" name)
+  | "\\check" :: _ ->
+      (* Reparse from the raw line: the SQL may contain runs of spaces. *)
+      let text =
+        String.trim (String.sub line 6 (String.length line - 6))
+      in
+      if text = "" then print_endline "usage: \\check SQL"
+      else (
+        match Db.analyze st.session text with
+        | [] -> print_endline "no issues found"
+        | diags ->
+            List.iter
+              (fun d -> print_endline (Ifdb_analysis.Diag.to_string d))
+              diags)
   | [ "\\vacuum" ] ->
       Printf.printf "vacuum removed %d dead version(s)\n" (Db.vacuum st.db)
   | [ "\\wal" ] ->

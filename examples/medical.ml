@@ -96,7 +96,9 @@ let () =
       else None);
   Printf.printf "  clerk repeats the insert: %s\n"
     (blocked (fun () ->
-         Db.exec clerk "INSERT INTO HIVPatients VALUES ('Alice', '2/1/60')"));
+         Db.exec clerk
+           "INSERT INTO HIVPatients VALUES ('Alice', '2/1/60') -- lint: \
+            expect runtime-error"));
 
   step 7 "the Foreign Key Rule (section 5.2.2)";
   ignore
@@ -111,7 +113,7 @@ let () =
   (match
      Db.exec bob
        "INSERT INTO HIVRecords VALUES (1, 'Bob', '6/26/78') DECLASSIFYING \
-        (bob_medical)"
+        (bob_medical) -- lint: expect runtime-error"
    with
   | Db.Affected 1 -> print_endline "accepted"
   | _ -> print_endline "unexpected");
@@ -120,6 +122,8 @@ let () =
   Db.add_secrecy bob bob_medical;
   Printf.printf "  deleting Bob's patient row while a record refers to it: %s\n"
     (blocked (fun () ->
-         Db.exec bob "DELETE FROM HIVPatients WHERE patient_name = 'Bob'"));
+         Db.exec bob
+           "DELETE FROM HIVPatients WHERE patient_name = 'Bob' -- lint: \
+            expect runtime-error"));
   print_endline "\ndone.";
   ignore (session alice_p)

@@ -1,0 +1,917 @@
+module A = Ifdb_sql.Ast
+module Label = Ifdb_difc.Label
+module Tag = Ifdb_difc.Tag
+module Principal = Ifdb_difc.Principal
+module Authority = Ifdb_difc.Authority
+module Label_store = Ifdb_difc.Label_store
+module Value = Ifdb_rel.Value
+module Schema = Ifdb_rel.Schema
+module Catalog = Ifdb_engine.Catalog
+module Heap = Ifdb_storage.Heap
+
+type ctx = {
+  an_catalog : Catalog.t;
+  an_auth : Authority.t;
+  an_store : Label_store.t;
+  an_principal : Principal.t;
+  an_label : Label.t;
+  an_write_labels : Label.t list;
+}
+
+let norm = String.lowercase_ascii
+let lbl ctx l = Authority.label_to_string ctx.an_auth l
+
+let tag_str ctx t =
+  match Authority.tag_name ctx.an_auth t with
+  | "" -> Format.asprintf "%a" Tag.pp t
+  | n -> n
+  | exception Authority.Unknown _ -> Format.asprintf "%a" Tag.pp t
+
+let principal_str ctx =
+  match Authority.principal_name ctx.an_auth ctx.an_principal with
+  | "" -> Format.asprintf "%a" Principal.pp ctx.an_principal
+  | n -> n
+  | exception Authority.Unknown _ ->
+      Format.asprintf "%a" Principal.pp ctx.an_principal
+
+let flows ctx ~src ~dst =
+  Label_store.flows_id ctx.an_store
+    ~src:(Label_store.intern ctx.an_store src)
+    ~dst:(Label_store.intern ctx.an_store dst)
+
+(* ------------------------------------------------------------------ *)
+(* Live label partitions                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The analyzer's view of a table: its live label partitions (from the
+   heap's per-label version counts, the same source PR 1's scan prewarm
+   uses), split by whether each partition flows to the destination
+   label.  Counts include versions awaiting vacuum, so they are a
+   conservative superset of what any snapshot sees; [p_unknown] counts
+   live versions whose label was never interned (tuples built outside
+   the statement path), about which nothing can be claimed. *)
+type parts = {
+  p_visible : (Label.t * int) list;
+  p_hidden : (Label.t * int) list;
+  p_unknown : int;
+}
+
+let partitions ctx (tbl : Catalog.table) ~dst =
+  let dst_id = Label_store.intern ctx.an_store dst in
+  let vis = ref [] and hid = ref [] and unknown = ref 0 in
+  Heap.iter_label_counts tbl.Catalog.tbl_heap (fun lid count ->
+      if count > 0 then
+        if lid < 0 then unknown := !unknown + count
+        else begin
+          let l = Label_store.label_of ctx.an_store lid in
+          if Label_store.flows_id ctx.an_store ~src:lid ~dst:dst_id then
+            vis := (l, count) :: !vis
+          else hid := (l, count) :: !hid
+        end);
+  (* heap iteration order is not deterministic; diagnostics are *)
+  let sort = List.sort (fun (a, _) (b, _) -> Label.compare a b) in
+  { p_visible = sort !vis; p_hidden = sort !hid; p_unknown = !unknown }
+
+let total xs = List.fold_left (fun acc (_, n) -> acc + n) 0 xs
+
+let labels_str ctx xs =
+  String.concat ", " (List.map (fun (l, _) -> lbl ctx l) xs)
+
+let table_name (tbl : Catalog.table) =
+  tbl.Catalog.tbl_schema.Schema.table_name
+
+let interval_of_parts parts ~dst =
+  if parts.p_unknown > 0 then
+    Interval.range ~lo:Label.empty ~hi:(Interval.Finite dst)
+  else
+    match parts.p_visible with
+    | [] -> Interval.bottom
+    | (l0, _) :: rest ->
+        let lo = List.fold_left (fun acc (l, _) -> Label.inter acc l) l0 rest in
+        let hi = List.fold_left (fun acc (l, _) -> Label.union acc l) l0 rest in
+        Interval.range ~lo ~hi:(Interval.Finite hi)
+
+(* The declassifying-view label transform, mirroring the executor's
+   [strip]: drop tags covered by the declassify label, then apply the
+   relabeling view's (from, to) replacements. *)
+let strip ctx declassified relabel l =
+  let after =
+    List.filter
+      (fun tag -> not (Authority.covers ctx.an_auth declassified tag))
+      (Label.to_list l)
+  in
+  let replaced =
+    List.concat_map
+      (fun tag ->
+        match List.assoc_opt tag relabel with
+        | Some to_tag -> [ to_tag ]
+        | None -> [ tag ])
+      after
+  in
+  let additions =
+    List.filter_map
+      (fun (from_tag, to_tag) ->
+        if Label.mem from_tag l then Some to_tag else None)
+      relabel
+  in
+  Label.of_list (replaced @ additions)
+
+(* ------------------------------------------------------------------ *)
+(* AST utilities                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* One-pass expression walk firing [lits] on every label literal and
+   [subs] on every nested SELECT. *)
+let rec walk_expr (e : A.expr) ~lits ~subs =
+  match e with
+  | A.E_label_lit names -> lits names
+  | A.E_scalar_subquery s | A.E_exists s -> subs s
+  | A.E_const _ | A.E_col _ | A.E_count_star -> ()
+  | A.E_binop (_, a, b) ->
+      walk_expr a ~lits ~subs;
+      walk_expr b ~lits ~subs
+  | A.E_not a
+  | A.E_neg a
+  | A.E_is_null a
+  | A.E_is_not_null a
+  | A.E_like (a, _)
+  | A.E_count_distinct a ->
+      walk_expr a ~lits ~subs
+  | A.E_in (a, xs) ->
+      walk_expr a ~lits ~subs;
+      List.iter (fun x -> walk_expr x ~lits ~subs) xs
+  | A.E_fn (_, args) -> List.iter (fun x -> walk_expr x ~lits ~subs) args
+  | A.E_case (arms, els) ->
+      List.iter
+        (fun (c, v) ->
+          walk_expr c ~lits ~subs;
+          walk_expr v ~lits ~subs)
+        arms;
+      Option.iter (fun e -> walk_expr e ~lits ~subs) els
+
+let resolve_tag ctx name =
+  match Authority.find_tag ctx.an_auth name with
+  | t -> Ok t
+  | exception Authority.Unknown _ ->
+      Error (Diag.error Diag.Name_error "unknown tag %S" name)
+
+let resolve_label ctx names =
+  let rec go acc = function
+    | [] -> Ok (Label.of_list acc)
+    | n :: rest -> (
+        match resolve_tag ctx n with
+        | Ok t -> go (t :: acc) rest
+        | Error d -> Error d)
+  in
+  go [] names
+
+let rec conjuncts (e : A.expr) =
+  match e with
+  | A.E_binop (A.And, a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+let is_label_col = function
+  | A.E_col (_, c) -> norm c = "_label"
+  | _ -> false
+
+(* Split a WHERE clause into [_label = {…}] equalities and everything
+   else. *)
+let split_label_eqs (where : A.expr option) =
+  match where with
+  | None -> ([], [])
+  | Some e ->
+      List.partition_map
+        (fun c ->
+          match c with
+          | A.E_binop (A.Eq, l, A.E_label_lit names) when is_label_col l ->
+              Either.Left names
+          | A.E_binop (A.Eq, A.E_label_lit names, r) when is_label_col r ->
+              Either.Left names
+          | c -> Either.Right c)
+        (conjuncts e)
+
+(* ------------------------------------------------------------------ *)
+(* SELECT analysis                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type sel_info = { si_interval : Interval.t; si_vacuous : bool }
+
+let rec analyze_select_acc ctx ~extra ~seen ~add (sel : A.select) : sel_info =
+  let walk e = walk_expr_diags ctx ~extra ~seen ~add e in
+  List.iter
+    (function A.Sel_expr (e, _) -> walk e | A.Sel_star | A.Sel_table_star _ -> ())
+    sel.A.items;
+  Option.iter walk sel.A.where;
+  Option.iter walk sel.A.having;
+  List.iter walk sel.A.group_by;
+  List.iter (fun (e, _) -> walk e) sel.A.order_by;
+  let from_info =
+    match sel.A.from with
+    | None -> { si_interval = Interval.exact Label.empty; si_vacuous = false }
+    | Some r -> analyze_ref ctx ~extra ~seen ~add r
+  in
+  let dst = Label.union ctx.an_label extra in
+  (* [_label = {…}] equality against a single base-table scan *)
+  let scans_base_table =
+    match sel.A.from with
+    | Some (A.T_table (name, _)) ->
+        Catalog.find_table ctx.an_catalog name <> None
+    | _ -> false
+  in
+  let lits, _others = split_label_eqs sel.A.where in
+  let lit_labels =
+    List.filter_map
+      (fun names -> Result.to_option (resolve_label ctx names))
+      lits
+  in
+  let vac_lit, itv =
+    match lit_labels with
+    | [] -> (false, from_info.si_interval)
+    | l :: rest when not (List.for_all (Label.equal l) rest) ->
+        add
+          (Diag.warning Diag.Vacuous_query
+             "contradictory _label equalities (%s) can match no row"
+             (String.concat " vs "
+                (List.map (lbl ctx) (List.sort_uniq Label.compare lit_labels))));
+        (true, Interval.bottom)
+    | l :: _ when scans_base_table ->
+        if not (flows ctx ~src:l ~dst) then begin
+          add
+            (Diag.warning Diag.Vacuous_query
+               "the _label = %s filter is invisible under the session label \
+                %s: the predicate can match no stored row"
+               (lbl ctx l) (lbl ctx dst));
+          (true, Interval.bottom)
+        end
+        else (false, Interval.meet from_info.si_interval (Interval.exact l))
+    | _ -> (false, from_info.si_interval)
+  in
+  let vacuous = from_info.si_vacuous || vac_lit in
+  let members =
+    List.map (fun (_k, m) -> analyze_select_acc ctx ~extra ~seen ~add m)
+      sel.A.unions
+  in
+  {
+    si_interval =
+      List.fold_left (fun acc i -> Interval.join acc i.si_interval) itv members;
+    si_vacuous = List.fold_left (fun acc i -> acc && i.si_vacuous) vacuous members;
+  }
+
+and walk_expr_diags ctx ~extra ~seen ~add e =
+  walk_expr e
+    ~lits:(fun names ->
+      List.iter
+        (fun n ->
+          match resolve_tag ctx n with Ok _ -> () | Error d -> add d)
+        names)
+    ~subs:(fun s -> ignore (analyze_select_acc ctx ~extra ~seen ~add s))
+
+and analyze_ref ctx ~extra ~seen ~add (r : A.table_ref) : sel_info =
+  match r with
+  | A.T_table (name, _) -> analyze_relation ctx ~extra ~seen ~add name
+  | A.T_join (l, kind, rr, cond) ->
+      let li = analyze_ref ctx ~extra ~seen ~add l in
+      let ri = analyze_ref ctx ~extra ~seen ~add rr in
+      Option.iter (walk_expr_diags ctx ~extra ~seen ~add) cond;
+      let vac =
+        match kind with
+        | A.Inner -> li.si_vacuous || ri.si_vacuous
+        | A.Left -> li.si_vacuous
+      in
+      {
+        si_interval = Interval.combine li.si_interval ri.si_interval;
+        si_vacuous = vac;
+      }
+  | A.T_subquery (s, _) -> analyze_select_acc ctx ~extra ~seen ~add s
+
+and analyze_relation ctx ~extra ~seen ~add name : sel_info =
+  match Catalog.find_table ctx.an_catalog name with
+  | Some tbl ->
+      let dst = Label.union ctx.an_label extra in
+      let parts = partitions ctx tbl ~dst in
+      let vacuous =
+        parts.p_visible = [] && parts.p_unknown = 0 && parts.p_hidden <> []
+      in
+      if vacuous then
+        add
+          (Diag.warning Diag.Vacuous_query
+             "scan of %s is vacuous: all %d stored row(s) carry labels (%s) \
+              that cannot flow to the session label %s"
+             (table_name tbl) (total parts.p_hidden)
+             (labels_str ctx parts.p_hidden)
+             (lbl ctx dst));
+      { si_interval = interval_of_parts parts ~dst; si_vacuous = vacuous }
+  | None -> (
+      match Catalog.find_view ctx.an_catalog name with
+      | Some vw ->
+          if List.mem (norm name) seen then
+            { si_interval = Interval.top; si_vacuous = false }
+          else begin
+            let relabel = vw.Catalog.vw_relabel in
+            let from_tags = Label.of_list (List.map fst relabel) in
+            let extra' =
+              Label.union extra (Label.union vw.Catalog.vw_declassify from_tags)
+            in
+            let info =
+              analyze_select_acc ctx ~extra:extra' ~seen:(norm name :: seen)
+                ~add vw.Catalog.vw_query
+            in
+            {
+              info with
+              si_interval =
+                Interval.map
+                  (strip ctx vw.Catalog.vw_declassify relabel)
+                  info.si_interval;
+            }
+          end
+      | None ->
+          add (Diag.error Diag.Name_error "unknown relation %s" name);
+          { si_interval = Interval.top; si_vacuous = false })
+
+(* ------------------------------------------------------------------ *)
+(* Write analysis (UPDATE / DELETE)                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Decide the Write-Rule fate of an UPDATE/DELETE.  [Error] only when
+   the failure is guaranteed: the statement's matched rows provably
+   include a row the session cannot write (no restricting predicate
+   beyond the [_label] equality, and the offending partitions are
+   live).  Anything data- or predicate-dependent is a [Warning]. *)
+let analyze_write_target ctx ~add ~table ~where ~verb : Catalog.table option =
+  match Catalog.find_table ctx.an_catalog table with
+  | None ->
+      (match Catalog.find_view ctx.an_catalog table with
+      | Some _ ->
+          add
+            (Diag.error Diag.Name_error
+               "%s is a view; %s targets a base table" table verb)
+      | None -> add (Diag.error Diag.Name_error "unknown relation %s" table));
+      None
+  | Some tbl ->
+      let ls = ctx.an_label in
+      let tname = table_name tbl in
+      let parts = partitions ctx tbl ~dst:ls in
+      let lits, others = split_label_eqs where in
+      let lit_labels =
+        List.filter_map
+          (fun names -> Result.to_option (resolve_label ctx names))
+          lits
+      in
+      (match lit_labels with
+      | l :: rest when not (List.for_all (Label.equal l) rest) ->
+          add
+            (Diag.warning Diag.Vacuous_query
+               "contradictory _label equalities in %s of %s can match no row"
+               verb tname)
+      | l :: _ ->
+          if not (flows ctx ~src:l ~dst:ls) then
+            add
+              (Diag.warning Diag.Vacuous_query
+                 "%s of %s is restricted to _label = %s, which is invisible \
+                  under the session label %s: it matches nothing"
+                 verb tname (lbl ctx l) (lbl ctx ls))
+          else if not (Label.equal l ls) then begin
+            let count =
+              List.fold_left
+                (fun acc (pl, n) -> if Label.equal pl l then acc + n else acc)
+                0 parts.p_visible
+            in
+            if count > 0 && others = [] then
+              add
+                (Diag.error Diag.Doomed_write
+                   "%s of %s is doomed: it matches %d visible row(s) labeled \
+                    %s, but the session label is %s and the Write Rule only \
+                    allows writing exact-label rows"
+                   verb tname count (lbl ctx l) (lbl ctx ls))
+            else
+              add
+                (Diag.warning Diag.Doomed_write
+                   "%s of %s can only match rows labeled %s, which the \
+                    session (label %s) cannot write under the Write Rule"
+                   verb tname (lbl ctx l) (lbl ctx ls))
+          end
+      | [] ->
+          if parts.p_unknown > 0 then ()
+          else if parts.p_visible = [] then begin
+            if parts.p_hidden <> [] then
+              add
+                (Diag.warning Diag.Vacuous_query
+                   "%s of %s matches nothing: all %d stored row(s) carry \
+                    labels (%s) invisible to the session label %s"
+                   verb tname (total parts.p_hidden)
+                   (labels_str ctx parts.p_hidden)
+                   (lbl ctx ls))
+          end
+          else if
+            not (List.exists (fun (l, _) -> Label.equal l ls) parts.p_visible)
+          then begin
+            if others = [] then
+              add
+                (Diag.error Diag.Doomed_write
+                   "%s of %s is doomed: every visible row carries a label \
+                    (%s) different from the session label %s, and the Write \
+                    Rule forbids writing any of them"
+                   verb tname
+                   (labels_str ctx parts.p_visible)
+                   (lbl ctx ls))
+            else
+              add
+                (Diag.warning Diag.Doomed_write
+                   "%s of %s cannot modify any row: no visible row of %s \
+                    carries the session label %s"
+                   verb tname tname (lbl ctx ls))
+          end
+          else begin
+            let wrong =
+              List.filter
+                (fun (l, _) -> not (Label.equal l ls))
+                parts.p_visible
+            in
+            if wrong <> [] then
+              if others = [] then
+                add
+                  (Diag.error Diag.Doomed_write
+                     "%s of %s without a restricting predicate touches every \
+                      visible row, including %d row(s) labeled %s that the \
+                      session (label %s) cannot write"
+                     verb tname (total wrong) (labels_str ctx wrong)
+                     (lbl ctx ls))
+              else
+                add
+                  (Diag.warning Diag.Doomed_write
+                     "%s of %s may touch rows labeled %s that the session \
+                      (label %s) cannot write under the Write Rule"
+                     verb tname (labels_str ctx wrong) (lbl ctx ls))
+          end);
+      Some tbl
+
+(* ------------------------------------------------------------------ *)
+(* INSERT analysis                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let analyze_insert ctx ~add ~i_table ~i_columns ~i_rows ~i_select
+    ~i_declassifying =
+  List.iter
+    (List.iter (fun e -> walk_expr_diags ctx ~extra:Label.empty ~seen:[] ~add e))
+    i_rows;
+  (* resolve the target: a base table, or an updatable view (which adds
+     its declassify label to the stored tuples) *)
+  let target =
+    match Catalog.find_table ctx.an_catalog i_table with
+    | Some tbl -> Some (tbl, Label.empty, false)
+    | None -> (
+        match Catalog.find_view ctx.an_catalog i_table with
+        | Some vw ->
+            if vw.Catalog.vw_relabel <> [] then begin
+              add
+                (Diag.error Diag.Name_error
+                   "INSERT through relabeling view %s is not supported" i_table);
+              None
+            end
+            else begin
+              match vw.Catalog.vw_query with
+              | {
+               A.from = Some (A.T_table (base, _));
+               where = None;
+               group_by = [];
+               having = None;
+               distinct = false;
+               unions = [];
+               _;
+              } -> (
+                  match Catalog.find_table ctx.an_catalog base with
+                  | Some tbl -> Some (tbl, vw.Catalog.vw_declassify, true)
+                  | None ->
+                      add
+                        (Diag.error Diag.Name_error
+                           "view %s references unknown table %s" i_table base);
+                      None)
+              | _ ->
+                  add
+                    (Diag.error Diag.Name_error "view %s is not updatable"
+                       i_table);
+                  None
+            end
+        | None ->
+            add (Diag.error Diag.Name_error "unknown relation %s" i_table);
+            None)
+  in
+  let declared_tags =
+    List.filter_map
+      (fun name ->
+        match resolve_tag ctx name with
+        | Error d ->
+            add d;
+            None
+        | Ok t ->
+            if not (Authority.has_authority ctx.an_auth ctx.an_principal t)
+            then
+              add
+                (Diag.error Diag.Overbroad_declassify
+                   "INSERT ... DECLASSIFYING (%s): principal %s lacks \
+                    authority for the tag (no ownership, compound, or live \
+                    delegation chain reaches it)"
+                   name (principal_str ctx));
+            Some t)
+      i_declassifying
+  in
+  let declared = Label.of_list declared_tags in
+  Option.iter
+    (fun sel ->
+      let info = analyze_select_acc ctx ~extra:Label.empty ~seen:[] ~add sel in
+      if info.si_vacuous then
+        add
+          (Diag.warning Diag.Vacuous_query
+             "INSERT ... SELECT into %s inserts nothing: the source query is \
+              vacuous under the session label %s"
+             i_table (lbl ctx ctx.an_label)))
+    i_select;
+  match target with
+  | None -> ()
+  | Some (tbl, view_label, via_view) ->
+      let schema = tbl.Catalog.tbl_schema in
+      if not via_view then
+        Option.iter
+          (List.iter (fun c ->
+               if Schema.col_index_opt schema c = None then
+                 add
+                   (Diag.error Diag.Name_error
+                      "column %s of %s does not exist" c i_table)))
+          i_columns;
+      let lw = Label.union ctx.an_label view_label in
+      (* Foreign Key Rule feasibility: value-independent — if no live
+         referenced partition's label difference from the write label is
+         covered by the DECLASSIFYING clause, no inserted row naming a
+         non-NULL key can ever satisfy the FK. *)
+      let row_expr_for row col =
+        match i_columns with
+        | Some cs ->
+            let rec idx i = function
+              | [] -> None
+              | c :: rest -> if norm c = norm col then Some i else idx (i + 1) rest
+            in
+            (match idx 0 cs with
+            | None -> Some (A.E_const Value.Null) (* column omitted: NULL *)
+            | Some i -> List.nth_opt row i)
+        | None -> (
+            match Schema.col_index_opt schema col with
+            | None -> None
+            | Some i -> List.nth_opt row i)
+      in
+      let classify_row fk row =
+        let exprs = List.map (row_expr_for row) fk.Schema.fk_cols in
+        if
+          List.exists
+            (function
+              | Some (A.E_const v) -> Value.is_null v
+              | _ -> false)
+            exprs
+        then `Null
+        else if
+          List.for_all
+            (function Some (A.E_const _) -> true | _ -> false)
+            exprs
+        then `Definite
+        else `May
+      in
+      if not via_view then
+        List.iter
+          (fun fk ->
+            match Catalog.find_table ctx.an_catalog fk.Schema.fk_ref_table with
+            | None -> ()
+            | Some rtbl ->
+                let rparts = partitions ctx rtbl ~dst:Label.empty in
+                let all = rparts.p_visible @ rparts.p_hidden in
+                if all <> [] && rparts.p_unknown = 0 then begin
+                  let feasible =
+                    List.exists
+                      (fun (lb, _) ->
+                        Label.subset (Label.symm_diff lw lb) declared)
+                      all
+                  in
+                  if not feasible then begin
+                    let engagement =
+                      if i_select <> None then `May
+                      else
+                        List.fold_left
+                          (fun acc row ->
+                            match (acc, classify_row fk row) with
+                            | `Definite, _ | _, `Definite -> `Definite
+                            | `May, _ | _, `May -> `May
+                            | `Null, `Null -> `Null)
+                          `Null i_rows
+                    in
+                    let all_sorted =
+                      List.sort_uniq Label.compare (List.map fst all)
+                    in
+                    let labels =
+                      String.concat ", " (List.map (lbl ctx) all_sorted)
+                    in
+                    match engagement with
+                    | `Null -> ()
+                    | `Definite ->
+                        add
+                          (Diag.error Diag.Fk_leak
+                             "INSERT into %s labeled %s cannot satisfy \
+                              foreign key %s: every live %s row carries a \
+                              label (%s) whose difference from the write \
+                              label is not covered by DECLASSIFYING (%s) — \
+                              the Foreign Key Rule forbids the reference"
+                             (table_name tbl) (lbl ctx lw) fk.Schema.fk_name
+                             fk.Schema.fk_ref_table labels (lbl ctx declared))
+                    | `May ->
+                        add
+                          (Diag.warning Diag.Fk_leak
+                             "INSERT into %s labeled %s may violate foreign \
+                              key %s: live %s rows carry labels (%s) whose \
+                              difference from the write label is not covered \
+                              by DECLASSIFYING (%s)"
+                             (table_name tbl) (lbl ctx lw) fk.Schema.fk_name
+                             fk.Schema.fk_ref_table labels (lbl ctx declared))
+                  end
+                end)
+          schema.Schema.foreign_keys
+
+(* ------------------------------------------------------------------ *)
+(* DDL and transaction analysis                                        *)
+(* ------------------------------------------------------------------ *)
+
+let base_tables_of_select ctx sel =
+  let acc = ref [] in
+  let rec go_sel seen (s : A.select) =
+    Option.iter (go_ref seen) s.A.from;
+    List.iter (fun (_, m) -> go_sel seen m) s.A.unions
+  and go_ref seen = function
+    | A.T_table (name, _) -> (
+        match Catalog.find_table ctx.an_catalog name with
+        | Some tbl -> if not (List.memq tbl !acc) then acc := tbl :: !acc
+        | None -> (
+            match Catalog.find_view ctx.an_catalog name with
+            | Some vw when not (List.mem (norm name) seen) ->
+                go_sel (norm name :: seen) vw.Catalog.vw_query
+            | Some _ | None -> ()))
+    | A.T_join (l, _, r, _) ->
+        go_ref seen l;
+        go_ref seen r
+    | A.T_subquery (s, _) -> go_sel seen s
+  in
+  go_sel [] sel;
+  List.rev !acc
+
+let analyze_create_view ctx ~add ~cv_name ~cv_query ~cv_declassifying =
+  (* problems inside the view body are warnings: CREATE VIEW itself
+     succeeds even if the query cannot run yet *)
+  let soften d =
+    add { d with Diag.d_severity = Diag.Warning }
+  in
+  let declared =
+    Label.of_list
+      (List.filter_map
+         (fun n -> Result.to_option (resolve_tag ctx n))
+         cv_declassifying)
+  in
+  ignore
+    (analyze_select_acc ctx ~extra:declared ~seen:[] ~add:soften cv_query);
+  if cv_declassifying <> [] then begin
+    if not (Label.is_empty ctx.an_label) then
+      add
+        (Diag.error Diag.Overbroad_declassify
+           "CREATE VIEW %s WITH DECLASSIFYING requires an empty session \
+            label (the view definition is public state); the session label \
+            is %s"
+           cv_name
+           (lbl ctx ctx.an_label));
+    List.iter
+      (fun name ->
+        match resolve_tag ctx name with
+        | Error d -> add d
+        | Ok t ->
+            if not (Authority.has_authority ctx.an_auth ctx.an_principal t)
+            then
+              add
+                (Diag.error Diag.Overbroad_declassify
+                   "view %s declassifies tag %s, but principal %s lacks \
+                    authority for it (no ownership, compound, or live \
+                    delegation chain reaches it)"
+                   cv_name name (principal_str ctx))
+            else begin
+              (* authorized, but does the tag ever occur (compound-aware)
+                 in the base tables' live label partitions? *)
+              let tables = base_tables_of_select ctx cv_query in
+              let any_rows = ref false and occurs = ref false in
+              List.iter
+                (fun tbl ->
+                  let parts = partitions ctx tbl ~dst:Label.empty in
+                  if parts.p_unknown > 0 then begin
+                    any_rows := true;
+                    occurs := true
+                  end;
+                  List.iter
+                    (fun (l, _) ->
+                      any_rows := true;
+                      if
+                        Label.exists
+                          (fun m ->
+                            Authority.covers ctx.an_auth (Label.singleton t) m)
+                          l
+                      then occurs := true)
+                    (parts.p_visible @ parts.p_hidden))
+                tables;
+              if !any_rows && not !occurs then
+                add
+                  (Diag.warning Diag.Overbroad_declassify
+                     "view %s declassifies tag %s, but no live row of its \
+                      base table(s) carries it: the clause currently \
+                      declassifies nothing"
+                     cv_name name)
+            end)
+      cv_declassifying
+  end
+
+let analyze_create_table ctx ~add ~ct_name ~ct_constraints =
+  List.iter
+    (function
+      | A.C_foreign_key { c_cols; c_ref_table; c_ref_cols = _ } -> (
+          match Catalog.find_table ctx.an_catalog c_ref_table with
+          | None ->
+              add
+                (Diag.error Diag.Name_error
+                   "foreign key on %s references unknown table %s" ct_name
+                   c_ref_table)
+          | Some rtbl ->
+              let parts = partitions ctx rtbl ~dst:Label.empty in
+              let labeled =
+                List.filter
+                  (fun (l, _) -> not (Label.is_empty l))
+                  (parts.p_visible @ parts.p_hidden)
+              in
+              if labeled <> [] then
+                add
+                  (Diag.warning Diag.Fk_leak
+                     "foreign key %s(%s) references %s, whose rows carry \
+                      label(s) %s: inserting a reference from a session \
+                      under another label requires DECLASSIFYING the \
+                      difference, and deleting a referenced row can be \
+                      restricted by referencing rows the deleter cannot see \
+                      (Foreign Key Rule)"
+                     ct_name (String.concat ", " c_cols) c_ref_table
+                     (labels_str ctx labeled)))
+      | A.C_primary_key _ | A.C_unique _ -> ())
+    ct_constraints
+
+let analyze_commit ctx ~add =
+  let ls = ctx.an_label in
+  let seen = ref [] in
+  List.iter
+    (fun w ->
+      if not (List.exists (Label.equal w) !seen) then begin
+        seen := w :: !seen;
+        if not (flows ctx ~src:ls ~dst:w) then begin
+          let missing =
+            List.filter
+              (fun t -> not (Authority.covers ctx.an_auth w t))
+              (Label.to_list ls)
+          in
+          let fixable =
+            missing <> []
+            && List.for_all
+                 (fun t -> Authority.has_authority ctx.an_auth ctx.an_principal t)
+                 missing
+          in
+          let mstr = String.concat ", " (List.map (tag_str ctx) missing) in
+          add
+            (Diag.error Diag.Commit_trap
+               (if fixable then
+                  "COMMIT is doomed: the commit label %s does not flow to \
+                   written tuple label %s; the session holds authority for \
+                   %s and could declassify them before committing"
+                else
+                  "COMMIT is doomed: the commit label %s does not flow to \
+                   written tuple label %s, and the session lacks authority \
+                   for %s — the transaction can only roll back")
+               (lbl ctx ls) (lbl ctx w) mstr)
+        end
+      end)
+    ctx.an_write_labels
+
+let perform_tag_arg (args : A.expr list) =
+  match args with
+  | [ A.E_col (None, n) ] -> Some n
+  | [ A.E_const (Value.Text n) ] -> Some n
+  | _ -> None
+
+let analyze_perform ctx ~add name args =
+  match (norm name, perform_tag_arg args) with
+  | "addsecrecy", Some n -> (
+      match resolve_tag ctx n with Ok _ -> () | Error d -> add d)
+  | "declassify", Some n -> (
+      match resolve_tag ctx n with
+      | Error d -> add d
+      | Ok t ->
+          if not (Authority.has_authority ctx.an_auth ctx.an_principal t) then
+            add
+              (Diag.error Diag.Overbroad_declassify
+                 "PERFORM declassify(%s): principal %s lacks authority for \
+                  the tag"
+                 n (principal_str ctx)))
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let analyze_stmt ctx (stmt : A.stmt) : Diag.t list =
+  let out = ref [] in
+  let add d = out := d :: !out in
+  let walk e = walk_expr_diags ctx ~extra:Label.empty ~seen:[] ~add e in
+  (match stmt with
+  | A.S_select sel ->
+      ignore (analyze_select_acc ctx ~extra:Label.empty ~seen:[] ~add sel)
+  | A.S_update { u_table; u_sets; u_where } -> (
+      List.iter (fun (_, e) -> walk e) u_sets;
+      Option.iter walk u_where;
+      match
+        analyze_write_target ctx ~add ~table:u_table ~where:u_where
+          ~verb:"UPDATE"
+      with
+      | Some tbl ->
+          let schema = tbl.Catalog.tbl_schema in
+          List.iter
+            (fun (c, _) ->
+              if Schema.col_index_opt schema c = None then
+                add
+                  (Diag.error Diag.Name_error
+                     "column %s of %s does not exist" c u_table))
+            u_sets
+      | None -> ())
+  | A.S_delete { d_table; d_where } ->
+      Option.iter walk d_where;
+      ignore
+        (analyze_write_target ctx ~add ~table:d_table ~where:d_where
+           ~verb:"DELETE")
+  | A.S_insert { i_table; i_columns; i_rows; i_select; i_declassifying } ->
+      analyze_insert ctx ~add ~i_table ~i_columns ~i_rows ~i_select
+        ~i_declassifying
+  | A.S_create_view { cv_name; cv_query; cv_declassifying } ->
+      analyze_create_view ctx ~add ~cv_name ~cv_query ~cv_declassifying
+  | A.S_create_table { ct_name; ct_columns = _; ct_constraints } ->
+      analyze_create_table ctx ~add ~ct_name ~ct_constraints
+  | A.S_commit -> analyze_commit ctx ~add
+  | A.S_perform (name, args) -> analyze_perform ctx ~add name args
+  | A.S_begin | A.S_rollback | A.S_create_index _ | A.S_drop _ -> ());
+  let diags = List.rev !out in
+  List.stable_sort
+    (fun a b -> compare (not (Diag.is_error a)) (not (Diag.is_error b)))
+    diags
+
+let select_interval ctx sel =
+  let add _ = () in
+  let info = analyze_select_acc ctx ~extra:Label.empty ~seen:[] ~add sel in
+  Interval.normalize
+    ~flows:(fun ~src ~dst -> flows ctx ~src ~dst)
+    (Interval.intern ctx.an_store info.si_interval)
+
+let referenced_tags (stmt : A.stmt) : string list =
+  let acc = ref [] in
+  let push n = if not (List.mem n !acc) then acc := n :: !acc in
+  let rec go_expr e = walk_expr e ~lits:(List.iter push) ~subs:go_sel
+  and go_sel (s : A.select) =
+    List.iter
+      (function
+        | A.Sel_expr (e, _) -> go_expr e
+        | A.Sel_star | A.Sel_table_star _ -> ())
+      s.A.items;
+    Option.iter go_ref s.A.from;
+    Option.iter go_expr s.A.where;
+    Option.iter go_expr s.A.having;
+    List.iter go_expr s.A.group_by;
+    List.iter (fun (e, _) -> go_expr e) s.A.order_by;
+    List.iter (fun (_, m) -> go_sel m) s.A.unions
+  and go_ref = function
+    | A.T_table _ -> ()
+    | A.T_join (l, _, r, c) ->
+        go_ref l;
+        go_ref r;
+        Option.iter go_expr c
+    | A.T_subquery (s, _) -> go_sel s
+  in
+  (match stmt with
+  | A.S_select s -> go_sel s
+  | A.S_insert { i_rows; i_select; i_declassifying; _ } ->
+      List.iter push i_declassifying;
+      List.iter (List.iter go_expr) i_rows;
+      Option.iter go_sel i_select
+  | A.S_update { u_sets; u_where; _ } ->
+      List.iter (fun (_, e) -> go_expr e) u_sets;
+      Option.iter go_expr u_where
+  | A.S_delete { d_where; _ } -> Option.iter go_expr d_where
+  | A.S_create_view { cv_query; cv_declassifying; _ } ->
+      List.iter push cv_declassifying;
+      go_sel cv_query
+  | A.S_perform (name, args)
+    when List.mem (norm name) [ "addsecrecy"; "declassify" ] ->
+      Option.iter push (perform_tag_arg args)
+  | A.S_perform _ | A.S_create_table _ | A.S_create_index _ | A.S_drop _
+  | A.S_begin | A.S_commit | A.S_rollback ->
+      ());
+  List.rev !acc

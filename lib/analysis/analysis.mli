@@ -1,0 +1,57 @@
+(** The static label-flow analyzer (prepare-time Query-by-Label lint).
+
+    Runs over the SQL AST, the catalog (schemas, views, live label
+    partitions via {!Ifdb_storage.Heap.iter_label_counts}), and the
+    authority state — {e without executing anything} — and produces
+    {!Diag.t} diagnostics:
+
+    - {b doomed writes}: UPDATE/DELETE whose target labels can never
+      equal the session label under the Write Rule;
+    - {b vacuous queries}: scans or [_label = {…}] predicates
+      restricted to partitions that cannot flow to the session label;
+    - {b over-broad declassification}: [DECLASSIFYING] clauses the
+      acting principal lacks authority for (including via the
+      delegation graph), or that declassify tags absent from the base
+      tables' label partitions;
+    - {b commit-label traps}: a COMMIT whose write-set labels make the
+      commit-label rule unsatisfiable for the current session label;
+    - {b FK leak patterns}: foreign keys whose referenced rows sit
+      under labels the referencing side cannot bridge.
+
+    Precision contract: [Error]-severity diagnostics are decided
+    against the {e exact} live partition sets and authority state, not
+    the interval domain, so a clean verdict is never produced for a
+    statement that must fail, and an [Error] means the statement
+    cannot succeed under the current committed data (partition counts
+    include versions awaiting vacuum, so "current data" is read
+    conservatively).  The interval facts ({!select_interval}) feed
+    propagation, diagnostics context and the planner's invisible-scan
+    pruning. *)
+
+module A := Ifdb_sql.Ast
+module Label := Ifdb_difc.Label
+
+type ctx = {
+  an_catalog : Ifdb_engine.Catalog.t;
+  an_auth : Ifdb_difc.Authority.t;
+  an_store : Ifdb_difc.Label_store.t;
+  an_principal : Ifdb_difc.Principal.t;
+  an_label : Label.t;  (** the session label the statement would run under *)
+  an_write_labels : Label.t list;
+      (** labels already in the open transaction's write set (for
+          COMMIT analysis); empty outside a transaction *)
+}
+
+val analyze_stmt : ctx -> A.stmt -> Diag.t list
+(** Diagnostics for one statement, errors first.  Never raises on
+    malformed input — unknown names come back as [Name_error]
+    diagnostics. *)
+
+val select_interval : ctx -> A.select -> Interval.t
+(** The label interval inferred for the SELECT's output rows. *)
+
+val referenced_tags : A.stmt -> string list
+(** Every tag name the statement mentions ([{…}] label literals,
+    [DECLASSIFYING] clauses, [PERFORM addsecrecy/declassify]
+    arguments), deduplicated — the lint driver uses this to
+    pre-create tags when linting scripts against a fresh database. *)

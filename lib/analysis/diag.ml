@@ -1,0 +1,50 @@
+type code =
+  | Doomed_write
+  | Vacuous_query
+  | Overbroad_declassify
+  | Commit_trap
+  | Fk_leak
+  | Name_error
+  | Parse_error
+  | Runtime_error
+
+type severity = Error | Warning
+
+type t = { d_code : code; d_severity : severity; d_message : string }
+
+let code_string = function
+  | Doomed_write -> "doomed-write"
+  | Vacuous_query -> "vacuous-query"
+  | Overbroad_declassify -> "overbroad-declassify"
+  | Commit_trap -> "commit-trap"
+  | Fk_leak -> "fk-leak"
+  | Name_error -> "name-error"
+  | Parse_error -> "parse-error"
+  | Runtime_error -> "runtime-error"
+
+let code_of_string = function
+  | "doomed-write" -> Some Doomed_write
+  | "vacuous-query" -> Some Vacuous_query
+  | "overbroad-declassify" -> Some Overbroad_declassify
+  | "commit-trap" -> Some Commit_trap
+  | "fk-leak" -> Some Fk_leak
+  | "name-error" -> Some Name_error
+  | "parse-error" -> Some Parse_error
+  | "runtime-error" -> Some Runtime_error
+  | _ -> None
+
+let make code severity fmt =
+  Format.kasprintf
+    (fun msg -> { d_code = code; d_severity = severity; d_message = msg })
+    fmt
+
+let error code fmt = make code Error fmt
+let warning code fmt = make code Warning fmt
+let is_error d = d.d_severity = Error
+
+let to_string d =
+  Printf.sprintf "%s %s: %s" (code_string d.d_code)
+    (match d.d_severity with Error -> "error" | Warning -> "warning")
+    d.d_message
+
+let pp fmt d = Format.pp_print_string fmt (to_string d)

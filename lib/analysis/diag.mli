@@ -1,0 +1,63 @@
+(** Typed diagnostics for the static label-flow analyzer.
+
+    Each diagnostic carries a stable {!code} (the string form appears in
+    [-- lint: expect <code>] annotations and golden files), a severity,
+    and a human-readable message rendered with the authority state's
+    name-resolving label formatter ({!Ifdb_difc.Authority.label_to_string}).
+
+    Severity semantics:
+    - [Error]: the statement is {e guaranteed} to fail (or to be
+      rejected) at runtime under the current committed data and
+      authority state — e.g. a doomed write, a declassification the
+      principal cannot back, an unsatisfiable commit label;
+    - [Warning]: the statement can run, but is suspicious — e.g. a
+      vacuous predicate, a declassified tag that declassifies nothing,
+      an FK whose label shapes can leak. *)
+
+type code =
+  | Doomed_write
+      (** UPDATE/DELETE/INSERT whose target labels can never satisfy the
+          Write Rule under the session label. *)
+  | Vacuous_query
+      (** A predicate or scan restricted to partitions invisible under
+          the session label: provably matches nothing. *)
+  | Overbroad_declassify
+      (** A [DECLASSIFYING] clause (view, INSERT, or [PERFORM
+          declassify]) the acting principal lacks authority for, or one
+          that declassifies tags never present in the data. *)
+  | Commit_trap
+      (** A transaction whose write-set labels make the commit-label
+          rule unsatisfiable for the current session label. *)
+  | Fk_leak
+      (** A foreign-key shape that leaks across labels: referenced rows
+          under labels the referencing side cannot reach, or an insert
+          whose label difference no [DECLASSIFYING] clause covers. *)
+  | Name_error
+      (** Static name-resolution failure: unknown relation, column, tag
+          — a certain SQL error at runtime. *)
+  | Parse_error  (** The lint driver could not parse the statement. *)
+  | Runtime_error
+      (** Driver-level code: executing the statement raised.  Never
+          produced by {!Analysis}; exists so scripts can annotate
+          intentional runtime failures. *)
+
+type severity = Error | Warning
+
+type t = { d_code : code; d_severity : severity; d_message : string }
+
+val code_string : code -> string
+(** Stable kebab-case form: ["doomed-write"], ["vacuous-query"],
+    ["overbroad-declassify"], ["commit-trap"], ["fk-leak"],
+    ["name-error"], ["parse-error"], ["runtime-error"]. *)
+
+val code_of_string : string -> code option
+
+val error : code -> ('a, Format.formatter, unit, t) format4 -> 'a
+val warning : code -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+val is_error : t -> bool
+val to_string : t -> string
+(** [<code> <severity>: <message>] — the one-line form the shell,
+    [ifdb_lint] and the golden files all print. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,89 @@
+module Label = Ifdb_difc.Label
+
+type bound = Finite of Label.t | Top
+
+type t = Bottom | Range of { lo : Label.t; hi : bound }
+
+let top = Range { lo = Label.empty; hi = Top }
+let bottom = Bottom
+let exact l = Range { lo = l; hi = Finite l }
+let range ~lo ~hi = Range { lo; hi }
+let is_bottom t = t = Bottom
+
+let exact_label = function
+  | Range { lo; hi = Finite h } when Label.equal lo h -> Some lo
+  | Range _ | Bottom -> None
+
+let bound_union a b =
+  match (a, b) with
+  | Top, _ | _, Top -> Top
+  | Finite x, Finite y -> Finite (Label.union x y)
+
+let bound_inter a b =
+  match (a, b) with
+  | Top, b -> b
+  | a, Top -> a
+  | Finite x, Finite y -> Finite (Label.inter x y)
+
+let join a b =
+  match (a, b) with
+  | Bottom, x | x, Bottom -> x
+  | Range a, Range b ->
+      Range { lo = Label.inter a.lo b.lo; hi = bound_union a.hi b.hi }
+
+let meet a b =
+  match (a, b) with
+  | Bottom, _ | _, Bottom -> Bottom
+  | Range a, Range b ->
+      Range { lo = Label.union a.lo b.lo; hi = bound_inter a.hi b.hi }
+
+let combine a b =
+  match (a, b) with
+  | Bottom, _ | _, Bottom -> Bottom
+  | Range a, Range b ->
+      Range { lo = Label.union a.lo b.lo; hi = bound_union a.hi b.hi }
+
+let map f = function
+  | Bottom -> Bottom
+  | Range { lo; hi } ->
+      Range
+        { lo = f lo; hi = (match hi with Top -> Top | Finite h -> Finite (f h)) }
+
+let cap t d = meet t (Range { lo = Label.empty; hi = Finite d })
+
+let intern store = function
+  | Bottom -> Bottom
+  | Range { lo; hi } ->
+      let canon l =
+        Ifdb_difc.Label_store.label_of store
+          (Ifdb_difc.Label_store.intern store l)
+      in
+      Range
+        {
+          lo = canon lo;
+          hi = (match hi with Top -> Top | Finite h -> Finite (canon h));
+        }
+
+let normalize ~flows = function
+  | Bottom -> Bottom
+  | Range { lo; hi = Finite h } when not (flows ~src:lo ~dst:h) -> Bottom
+  | t -> t
+
+let equal a b =
+  match (a, b) with
+  | Bottom, Bottom -> true
+  | Range a, Range b ->
+      Label.equal a.lo b.lo
+      && (match (a.hi, b.hi) with
+         | Top, Top -> true
+         | Finite x, Finite y -> Label.equal x y
+         | Top, Finite _ | Finite _, Top -> false)
+  | Bottom, Range _ | Range _, Bottom -> false
+
+let to_string ~names = function
+  | Bottom -> "bottom"
+  | Range { lo; hi } ->
+      Printf.sprintf "[%s, %s]" (names lo)
+        (match hi with Top -> "top" | Finite h -> names h)
+
+let pp ~names fmt t = Format.pp_print_string fmt (to_string ~names t)

@@ -1,0 +1,74 @@
+(** The label-interval abstract domain.
+
+    An interval [\[lo, hi\]] abstracts the set of labels a plan node's
+    output rows may carry: [lo] is the {e must-flow lower bound} (every
+    concrete row label is a superset of it — tags provably on every
+    row) and [hi] is the {e may-flow upper bound} (every concrete row
+    label flows to it; [Top] when nothing is known).  A base-table scan
+    under destination label [d] starts from the table's live label
+    partitions: [lo] is their intersection, [hi] their union capped by
+    [d] (the Label Confinement Rule guarantees visible rows flow to
+    [d]).  [Bottom] is the empty set of rows — a scan provably
+    returning nothing.
+
+    Soundness caveat, deliberate: with {e compound} tags, a tag can be
+    covered by two different compounds, so intersecting two valid upper
+    bounds ({!meet}, {!cap}) does not always yield a valid upper bound
+    under compound-aware flow.  The analyzer therefore never derives an
+    [Error]-severity diagnostic from interval arithmetic alone — hard
+    verdicts (doomed writes, vacuous scans) re-check against the exact
+    partition sets with {!Ifdb_difc.Authority.flows} — and intervals
+    serve as propagation facts, planner pruning input and diagnostics
+    context.  For compound-free labels the algebra is exact. *)
+
+module Label = Ifdb_difc.Label
+
+type bound = Finite of Label.t | Top
+
+type t = Bottom | Range of { lo : Label.t; hi : bound }
+
+val top : t
+(** [\[{}, Top\]]: any label at all. *)
+
+val bottom : t
+val exact : Label.t -> t
+(** [\[l, l\]]: every row carries exactly [l]. *)
+
+val range : lo:Label.t -> hi:bound -> t
+
+val is_bottom : t -> bool
+
+val exact_label : t -> Label.t option
+(** [Some l] iff the interval pins the label to exactly [l]. *)
+
+val join : t -> t -> t
+(** Least upper bound: rows coming from {e either} side (UNION). *)
+
+val meet : t -> t -> t
+(** Rows satisfying {e both} constraints (e.g. a scan further
+    restricted by a [_label = {…}] equality).  See the compound-tag
+    caveat above. *)
+
+val combine : t -> t -> t
+(** Row-label union of a pair of rows, one from each side — the join
+    node's label semantics (result label = union of input labels). *)
+
+val map : (Label.t -> Label.t) -> t -> t
+(** Apply a monotone label transform to both bounds — the
+    declassifying-view boundary ([strip]). *)
+
+val cap : t -> Label.t -> t
+(** [cap t d] meets the upper bound with [Finite d] — the confinement
+    cap at a scan under destination label [d]. *)
+
+val intern : Ifdb_difc.Label_store.t -> t -> t
+(** Replace both bounds by their canonical interned representatives so
+    downstream comparisons hit the store's pointer fast paths. *)
+
+val normalize : flows:(src:Label.t -> dst:Label.t -> bool) -> t -> t
+(** Collapse an infeasible range (finite [hi] with [not (lo flows hi)])
+    to {!bottom}. *)
+
+val equal : t -> t -> bool
+val pp : names:(Label.t -> string) -> Format.formatter -> t -> unit
+val to_string : names:(Label.t -> string) -> t -> string

@@ -1,0 +1,264 @@
+type kind = Meta of string * string list | Stmt
+
+type item = {
+  it_line : int;
+  it_text : string;
+  it_kind : kind;
+  mutable it_expects : string list;
+}
+
+let split_ws s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+(* "lint: expect doomed-write, fk-leak" (the text after "--") *)
+let expects_of_comment body =
+  let body = String.trim body in
+  let prefix = "lint:" in
+  if not (String.length body >= String.length prefix
+          && String.sub body 0 (String.length prefix) = prefix)
+  then None
+  else
+    let rest =
+      String.trim
+        (String.sub body (String.length prefix)
+           (String.length body - String.length prefix))
+    in
+    match split_ws rest with
+    | "expect" :: codes ->
+        Some
+          (List.concat_map (String.split_on_char ',') codes
+          |> List.map String.trim
+          |> List.filter (fun c -> c <> ""))
+    | _ -> None
+
+let split_script text =
+  let items = ref [] in
+  let pending = ref [] in
+  let buf = Buffer.create 64 in
+  let buf_line = ref 1 in
+  let line = ref 1 in
+  let n = String.length text in
+  let last_item_line = ref 0 in
+  let emit () =
+    let s = String.trim (Buffer.contents buf) in
+    Buffer.clear buf;
+    if s <> "" then begin
+      let kind =
+        if s.[0] = '\\' then
+          match split_ws (String.sub s 1 (String.length s - 1)) with
+          | name :: args -> Meta (name, args)
+          | [] -> Meta ("", [])
+        else Stmt
+      in
+      let it =
+        { it_line = !buf_line; it_text = s; it_kind = kind; it_expects = !pending }
+      in
+      pending := [];
+      last_item_line := !line;
+      items := it :: !items
+    end
+  in
+  let buf_blank () = String.trim (Buffer.contents buf) = "" in
+  let i = ref 0 in
+  while !i < n do
+    let c = text.[!i] in
+    if buf_blank () then buf_line := !line;
+    (match c with
+    | '-' when !i + 1 < n && text.[!i + 1] = '-' ->
+        (* comment to end of line *)
+        let j = ref (!i + 2) in
+        while !j < n && text.[!j] <> '\n' do incr j done;
+        let body = String.sub text (!i + 2) (!j - !i - 2) in
+        (match expects_of_comment body with
+        | Some codes -> (
+            (* trailing a just-emitted statement on the same line, or
+               ahead of the next one *)
+            match !items with
+            | it :: _ when buf_blank () && !last_item_line = !line ->
+                it.it_expects <- it.it_expects @ codes
+            | _ -> pending := !pending @ codes)
+        | None -> ());
+        i := !j - 1
+    | '\'' ->
+        (* string literal: copy verbatim, '' is an escaped quote *)
+        Buffer.add_char buf c;
+        let j = ref (!i + 1) in
+        let fin = ref false in
+        while (not !fin) && !j < n do
+          Buffer.add_char buf text.[!j];
+          if text.[!j] = '\n' then incr line;
+          if text.[!j] = '\'' then
+            if !j + 1 < n && text.[!j + 1] = '\'' then begin
+              Buffer.add_char buf '\'';
+              incr j
+            end
+            else fin := true;
+          incr j
+        done;
+        i := !j - 1
+    | ';' -> emit ()
+    | '\n' ->
+        (* meta commands are one line *)
+        (match String.trim (Buffer.contents buf) with
+        | s when s <> "" && s.[0] = '\\' -> emit ()
+        | _ -> Buffer.add_char buf ' ');
+        incr line
+    | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  emit ();
+  List.rev !items
+
+let sql_keywords =
+  [
+    "select"; "insert"; "update"; "delete"; "create"; "drop"; "begin";
+    "commit"; "rollback"; "perform"; "call";
+  ]
+
+let looks_like_sql s =
+  match split_ws (String.map (function '\n' | '\r' -> ' ' | c -> c) s) with
+  | w :: _ -> List.mem (String.lowercase_ascii w) sql_keywords
+  | [] -> false
+
+(* A '%' directly before a letter *outside* any '...' literal marks the
+   string as a printf template, not executable SQL.  (Inside quotes it
+   is a LIKE wildcard or data and stays fair game.) *)
+let is_template s =
+  let n = String.length s in
+  let rec go i inq =
+    if i >= n then false
+    else
+      match s.[i] with
+      | '\'' -> go (i + 1) (not inq)
+      | '%'
+        when (not inq)
+             && i + 1 < n
+             && (match s.[i + 1] with
+                | 'a' .. 'z' | 'A' .. 'Z' -> true
+                | _ -> false) ->
+          true
+      | _ -> go (i + 1) inq
+  in
+  go 0 false
+
+(* A small scanner for OCaml source: collect string literals with their
+   start line, skipping (possibly nested) comments. *)
+let extract_ml_sql src =
+  let out = ref [] in
+  let n = String.length src in
+  let line = ref 1 in
+  let i = ref 0 in
+  let bump c = if c = '\n' then incr line in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      (* comment, nesting-aware; strings inside are ignored wholesale *)
+      let depth = ref 1 in
+      let j = ref (!i + 2) in
+      while !depth > 0 && !j < n do
+        if !j + 1 < n && src.[!j] = '(' && src.[!j + 1] = '*' then begin
+          incr depth;
+          bump src.[!j];
+          j := !j + 2
+        end
+        else if !j + 1 < n && src.[!j] = '*' && src.[!j + 1] = ')' then begin
+          decr depth;
+          j := !j + 2
+        end
+        else begin
+          bump src.[!j];
+          incr j
+        end
+      done;
+      i := !j
+    end
+    else if c = '"' then begin
+      let start_line = !line in
+      let b = Buffer.create 64 in
+      let j = ref (!i + 1) in
+      let fin = ref false in
+      while (not !fin) && !j < n do
+        let d = src.[!j] in
+        if d = '\\' && !j + 1 < n then begin
+          (match src.[!j + 1] with
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | '\\' -> Buffer.add_char b '\\'
+          | '"' -> Buffer.add_char b '"'
+          | '\'' -> Buffer.add_char b '\''
+          | '\n' ->
+              (* line continuation: skip leading whitespace on the
+                 next line *)
+              incr line;
+              let k = ref (!j + 2) in
+              while !k < n && (src.[!k] = ' ' || src.[!k] = '\t') do incr k done;
+              j := !k - 2
+          | d2 ->
+              Buffer.add_char b '\\';
+              Buffer.add_char b d2);
+          j := !j + 2
+        end
+        else if d = '"' then begin
+          fin := true;
+          incr j
+        end
+        else begin
+          bump d;
+          Buffer.add_char b d;
+          incr j
+        end
+      done;
+      let s = Buffer.contents b in
+      if looks_like_sql s && not (is_template s) then
+        out := (start_line, s) :: !out;
+      i := !j
+    end
+    else if c = '{' then begin
+      (* {|...|} or {id|...|id} quoted string *)
+      let j = ref (!i + 1) in
+      while
+        !j < n
+        && (match src.[!j] with 'a' .. 'z' | '_' -> true | _ -> false)
+      do
+        incr j
+      done;
+      if !j < n && src.[!j] = '|' then begin
+        let id = String.sub src (!i + 1) (!j - !i - 1) in
+        let closing = "|" ^ id ^ "}" in
+        let start_line = !line in
+        let body_start = !j + 1 in
+        let k = ref body_start in
+        let stop = ref (-1) in
+        while !stop < 0 && !k + String.length closing <= n do
+          if String.sub src !k (String.length closing) = closing then
+            stop := !k
+          else begin
+            bump src.[!k];
+            incr k
+          end
+        done;
+        if !stop >= 0 then begin
+          let s = String.sub src body_start (!stop - body_start) in
+          if looks_like_sql s && not (is_template s) then
+            out := (start_line, s) :: !out;
+          i := !stop + String.length closing
+        end
+        else begin
+          bump c;
+          i := !i + 1
+        end
+      end
+      else begin
+        bump c;
+        i := !i + 1
+      end
+    end
+    else begin
+      bump c;
+      incr i
+    end
+  done;
+  List.rev !out

@@ -1,0 +1,37 @@
+(** Splitting lint input into checkable units.
+
+    A lint script is a sequence of semicolon-terminated SQL statements
+    interleaved with one-line [\meta] commands (principal switching,
+    tag management — interpreted by the driver, not here) and [--]
+    comments.  A comment of the form
+
+    {[ -- lint: expect doomed-write, fk-leak ]}
+
+    attaches expected diagnostic codes to the {e next} statement — or,
+    when it trails a statement on the same line, to {e that} statement. *)
+
+type kind =
+  | Meta of string * string list  (** [\name arg…] driver command *)
+  | Stmt  (** SQL text to parse, analyze and (optionally) execute *)
+
+type item = {
+  it_line : int;  (** 1-based line where the unit starts *)
+  it_text : string;  (** raw text (SQL sans trailing [;]) *)
+  it_kind : kind;
+  mutable it_expects : string list;
+      (** diagnostic codes from [-- lint: expect] annotations *)
+}
+
+val split_script : string -> item list
+(** Split script text.  Semicolons inside ['…'] string literals do not
+    terminate statements; blank and comment-only runs produce no
+    items. *)
+
+val extract_ml_sql : string -> (int * string) list
+(** Scan OCaml source text and return [(line, contents)] for every
+    string literal (["…"], [{|…|}] and [{id|…|id}] forms, OCaml
+    comments skipped) that {!looks_like_sql}.  Each contents may hold
+    several statements — feed it back through {!split_script}. *)
+
+val looks_like_sql : string -> bool
+(** Does the text start with a SQL keyword the engine knows? *)

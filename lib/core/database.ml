@@ -20,6 +20,8 @@ module Executor = Ifdb_engine.Executor
 module Domain_pool = Ifdb_engine.Domain_pool
 module A = Ifdb_sql.Ast
 module Parser = Ifdb_sql.Parser
+module Analysis = Ifdb_analysis.Analysis
+module Diag = Ifdb_analysis.Diag
 
 open Errors
 
@@ -54,6 +56,7 @@ and t = {
   bp : Buffer_pool.t;
   ifc : bool;
   iso : isolation;
+  strict : bool; (* static-analysis errors reject statements at prepare *)
   admin_p : Principal.t;
   scalars : (string, callable) Hashtbl.t;
   procedures : (string, callable) Hashtbl.t;
@@ -75,6 +78,9 @@ and session = {
   mutable s_deferred : (trigger * trigger_event * Label.t * Principal.t) list;
       (* queued newest-first; each entry captured the statement's label
          and principal, per section 5.2.3 *)
+  mutable s_warnings : Diag.t list;
+      (* diagnostics the prepare-time analyzer attached to the most
+         recently executed statement *)
 }
 
 type result =
@@ -104,12 +110,18 @@ let connect t ~principal =
     s_txn = None;
     s_implicit = false;
     s_deferred = [];
+    s_warnings = [];
   }
 
 let connect_admin t = connect t ~principal:t.admin_p
 let database s = s.sdb
 let session_principal s = s.s_principal
 let session_label s = s.s_label
+let session_warnings s = s.s_warnings
+
+(* Shared label renderer for IFC error messages and lint diagnostics:
+   tag names instead of raw ids. *)
+let label_string db l = Authority.label_to_string db.auth l
 
 (* ------------------------------------------------------------------ *)
 (* Label manipulation                                                  *)
@@ -125,8 +137,9 @@ let add_secrecy s tag =
     then
       Errors.authority
         "clearance rule: adding tag %s to the label of a serializable \
-         transaction requires authority for it"
-        (Format.asprintf "%a" Tag.pp tag)
+         transaction requires authority for it (session label %s)"
+        (label_string db (Label.singleton tag))
+        (label_string db s.s_label)
   end;
   s.s_label <- Label.add tag s.s_label
 
@@ -216,10 +229,17 @@ let current_txn s what =
    label-partition counts seed the memo up front so scans over
    label-skewed data take the per-group verdict before touching tuples
    (the pruning analogue of the paper's 4-byte [_label] column,
-   section 7.1). *)
-let scan_label_filter s ~heap ~extra ~prewarm : Heap.version -> bool =
+   section 7.1).
+
+   The second component of the result is the static-analysis fact the
+   prewarm pass proves as a side effect: [false] means {e no} live
+   partition of this heap can flow to the destination label, so the
+   scan provably returns nothing and the caller may skip it without
+   touching a page.  Uninterned partitions (and skipped prewarms) keep
+   it [true]. *)
+let scan_label_filter s ~heap ~extra ~prewarm : (Heap.version -> bool) * bool =
   let db = s.sdb in
-  if not db.ifc then fun _ -> true
+  if not db.ifc then ((fun _ -> true), true)
   else begin
     let store = db.lstore in
     let dst = Label.union s.s_label extra in
@@ -233,37 +253,48 @@ let scan_label_filter s ~heap ~extra ~prewarm : Heap.version -> bool =
           Hashtbl.add verdicts lid b;
           b
     in
+    let any_visible = ref (not prewarm) in
     if prewarm then
       Heap.iter_label_counts heap (fun lid _count ->
-          if lid >= 0 then ignore (decide lid));
+          if lid >= 0 then begin
+            if decide lid then any_visible := true
+          end
+          else any_visible := true);
     (* runs of identically-labeled tuples (the common physical layout)
        reduce to one integer compare per tuple *)
     let last_lid = ref min_int and last_verdict = ref false in
-    fun (v : Heap.version) ->
-      let lid = Tuple.label_id v.Heap.tuple in
-      if lid >= 0 then
-        if lid = !last_lid then !last_verdict
-        else begin
-          let b = decide lid in
-          last_lid := lid;
-          last_verdict := b;
-          b
-        end
-      else
-        (* uninterned tuple (built outside the statement path): fall
-           back to the raw-label derivation *)
-        Authority.flows db.auth ~src:(Tuple.label v.Heap.tuple) ~dst
+    ( (fun (v : Heap.version) ->
+        let lid = Tuple.label_id v.Heap.tuple in
+        if lid >= 0 then
+          if lid = !last_lid then !last_verdict
+          else begin
+            let b = decide lid in
+            last_lid := lid;
+            last_verdict := b;
+            b
+          end
+        else
+          (* uninterned tuple (built outside the statement path): fall
+             back to the raw-label derivation *)
+          Authority.flows db.auth ~src:(Tuple.label v.Heap.tuple) ~dst),
+      !any_visible )
   end
 
 let scan_versions s ~table ~extra : Heap.version Seq.t =
   let txn = current_txn s "scan" in
   let tbl = Catalog.table s.sdb.cat table in
   let heap = tbl.Catalog.tbl_heap in
+  (* the read must be noted even when the scan is pruned away: under
+     serializable locking an invisible-today partition may be written
+     by a concurrent transaction, and the conflict check needs this
+     read in the footprint *)
   Manager.note_read s.sdb.mgr txn (Heap.name heap);
-  let readable = scan_label_filter s ~heap ~extra ~prewarm:true in
-  Seq.filter
-    (fun v -> Manager.visible s.sdb.mgr txn v && readable v)
-    (Heap.to_seq heap)
+  let readable, any_visible = scan_label_filter s ~heap ~extra ~prewarm:true in
+  if not any_visible then Seq.empty
+  else
+    Seq.filter
+      (fun v -> Manager.visible s.sdb.mgr txn v && readable v)
+      (Heap.to_seq heap)
 
 (* Label filter for morsel-parallel scans.  Confinement still lives
    only here, at the tuple access layer — workers never see a tuple the
@@ -275,25 +306,31 @@ let scan_versions s ~table ~extra : Heap.version Seq.t =
    table.  The fallbacks ([flows_id] for an id interned mid-scan,
    [Authority.flows] for uninterned tuples) are themselves
    thread-safe. *)
-let par_scan_filter s ~heap ~extra : Heap.version -> bool =
+let par_scan_filter s ~heap ~extra : (Heap.version -> bool) * bool =
   let db = s.sdb in
-  if not db.ifc then fun _ -> true
+  if not db.ifc then ((fun _ -> true), true)
   else begin
     let store = db.lstore in
     let dst = Label.union s.s_label extra in
     let dst_id = Label_store.intern store dst in
     let verdicts : (int, bool) Hashtbl.t = Hashtbl.create 8 in
+    let any_visible = ref false in
     Heap.iter_label_counts heap (fun lid _count ->
-        if lid >= 0 && not (Hashtbl.mem verdicts lid) then
-          Hashtbl.add verdicts lid
-            (Label_store.flows_id store ~src:lid ~dst:dst_id));
-    fun (v : Heap.version) ->
-      let lid = Tuple.label_id v.Heap.tuple in
-      if lid >= 0 then
-        match Hashtbl.find_opt verdicts lid with
-        | Some b -> b
-        | None -> Label_store.flows_id store ~src:lid ~dst:dst_id
-      else Authority.flows db.auth ~src:(Tuple.label v.Heap.tuple) ~dst
+        if lid >= 0 then begin
+          (if not (Hashtbl.mem verdicts lid) then
+             Hashtbl.add verdicts lid
+               (Label_store.flows_id store ~src:lid ~dst:dst_id));
+          if Hashtbl.find verdicts lid then any_visible := true
+        end
+        else any_visible := true);
+    ( (fun (v : Heap.version) ->
+        let lid = Tuple.label_id v.Heap.tuple in
+        if lid >= 0 then
+          match Hashtbl.find_opt verdicts lid with
+          | Some b -> b
+          | None -> Label_store.flows_id store ~src:lid ~dst:dst_id
+        else Authority.flows db.auth ~src:(Tuple.label v.Heap.tuple) ~dst),
+      !any_visible )
   end
 
 (* Cut a table into morsels for the parallel executor.  Returns [None]
@@ -310,7 +347,12 @@ let morsel_scan s ~table ~extra : Executor.morsel_source option =
   if slots < 2 * morsel then None
   else begin
     Manager.note_read s.sdb.mgr txn (Heap.name heap);
-    let readable = par_scan_filter s ~heap ~extra in
+    let readable, any_visible = par_scan_filter s ~heap ~extra in
+    (* every live partition proven invisible: fall back to the serial
+       path, whose own prewarm prunes the scan to an empty sequence
+       without forking workers or touching pages *)
+    if not any_visible then None
+    else
     let mgr = s.sdb.mgr in
     Some
       {
@@ -344,7 +386,7 @@ let scan_prefix_versions s ~table ~index ~prefix ?(lo = None) ?(hi = None)
      that stops early (LIMIT, probe join) walks only what it needs; no
      per-scan vid list is materialized.  Index scans skip the prewarm —
      they touch few label groups, and the memo fills on first sight. *)
-  let readable = scan_label_filter s ~heap ~extra ~prewarm:false in
+  let readable, _any = scan_label_filter s ~heap ~extra ~prewarm:false in
   Btree.seq_prefix_range idx.Catalog.idx_tree ~prefix ~lo ~hi
   |> Seq.filter_map (fun (_key, vid) -> Heap.get_opt heap vid)
   |> Seq.filter (fun v -> Manager.visible s.sdb.mgr txn v && readable v)
@@ -570,8 +612,8 @@ let do_commit s txn =
         flow
           "commit label %s is more contaminated than written tuple label %s: \
            committing would leak through the abort/commit channel"
-          (Label.to_string s.s_label)
-          (Label.to_string w.Manager.w_label)
+          (label_string s.sdb s.s_label)
+          (label_string s.sdb w.Manager.w_label)
     | None -> ()
   end;
   Manager.commit s.sdb.mgr txn;
@@ -641,15 +683,15 @@ let check_label_constraints s tbl tuple =
               constraint_
                 "label constraint %s: tuple label %s must be exactly %s"
                 lc.Catalog.lc_name
-                (Label.to_string (Tuple.label tuple))
-                (Label.to_string required)
+                (label_string s.sdb (Tuple.label tuple))
+                (label_string s.sdb required)
         | Some (Catalog.Superset required) ->
             if not (Label.subset required (Tuple.label tuple)) then
               constraint_
                 "label constraint %s: tuple label %s must include %s"
                 lc.Catalog.lc_name
-                (Label.to_string (Tuple.label tuple))
-                (Label.to_string required))
+                (label_string s.sdb (Tuple.label tuple))
+                (label_string s.sdb required))
       (Catalog.label_constraints_for s.sdb.cat
          tbl.Catalog.tbl_schema.Schema.table_name)
 
@@ -749,10 +791,12 @@ let check_foreign_keys s txn tbl tuple ~declared =
           in
           if not satisfied then
             Errors.authority
-              "foreign key %s: the referencing and referenced labels differ; \
-               the differing tags must be listed in a DECLASSIFYING clause \
-               (and the process must have authority for them)"
-              fk.Schema.fk_name
+              "foreign key %s: the referencing label %s differs from every \
+               visible referenced row's label beyond DECLASSIFYING (%s); the \
+               differing tags must be listed there (and the process must \
+               have authority for them)"
+              fk.Schema.fk_name (label_string s.sdb la)
+              (label_string s.sdb declared)
         end
       end)
     schema.Schema.foreign_keys
@@ -970,8 +1014,8 @@ let check_write_rule s (v : Heap.version) action =
       "%s of tuple labeled %s by process labeled %s violates the Write Rule \
        (only exact-label tuples are writable)"
       action
-      (Label.to_string (Tuple.label v.Heap.tuple))
-      (Label.to_string s.s_label)
+      (label_string s.sdb (Tuple.label v.Heap.tuple))
+      (label_string s.sdb s.s_label)
 
 (* Updatable declassifying views (paper section 4.3 mentions these via
    rewrite rules): an INSERT through a simple view — single base table,
@@ -1352,12 +1396,62 @@ let exec_stmt s (stmt : A.stmt) : result =
       Done "DROP INDEX"
   | A.S_perform (name, args) -> exec_perform s name args
 
+(* ------------------------------------------------------------------ *)
+(* Static analysis (prepare-time lint)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let analysis_ctx s : Analysis.ctx =
+  {
+    Analysis.an_catalog = s.sdb.cat;
+    an_auth = s.sdb.auth;
+    an_store = s.sdb.lstore;
+    an_principal = s.s_principal;
+    an_label = s.s_label;
+    an_write_labels =
+      (match s.s_txn with
+      | None -> []
+      | Some txn ->
+          List.map (fun w -> w.Manager.w_label) (Manager.writes txn));
+  }
+
+let analyze_stmt s stmt : Diag.t list =
+  if not s.sdb.ifc then [] else Analysis.analyze_stmt (analysis_ctx s) stmt
+
+let analyze s sql_text : Diag.t list =
+  match Parser.parse sql_text with
+  | stmts -> List.concat_map (analyze_stmt s) stmts
+  | exception Ifdb_sql.Parser.Parse_error msg ->
+      [ Diag.error Diag.Parse_error "%s" msg ]
+  | exception Ifdb_sql.Lexer.Lex_error (msg, _) ->
+      [ Diag.error Diag.Parse_error "%s" msg ]
+
+(* Map an analyzer verdict onto the exception the runtime failure it
+   predicts would raise, so [strict] mode is a drop-in early version of
+   the runtime error. *)
+let diag_exn (d : Diag.t) =
+  let msg = "static analysis: " ^ Diag.to_string d in
+  match d.Diag.d_code with
+  | Diag.Overbroad_declassify -> Errors.Authority_required msg
+  | Diag.Name_error | Diag.Parse_error | Diag.Runtime_error ->
+      Errors.Sql_error msg
+  | Diag.Doomed_write | Diag.Vacuous_query | Diag.Commit_trap | Diag.Fk_leak ->
+      Errors.Flow_violation msg
+
 (* A failed statement aborts the enclosing explicit transaction, like
    PostgreSQL's "current transaction is aborted" state with the forced
    rollback folded in.  (Implicit transactions already abort inside
    [in_statement_txn].) *)
 let exec_stmt_guarded s stmt =
-  try exec_stmt s stmt
+  try
+    if s.sdb.ifc then begin
+      let diags = analyze_stmt s stmt in
+      s.s_warnings <- diags;
+      if s.sdb.strict then
+        match List.find_opt Diag.is_error diags with
+        | Some d -> raise (diag_exn d)
+        | None -> ()
+    end;
+    exec_stmt s stmt
   with
   | ( Flow_violation _ | Authority_required _ | Constraint_violation _
     | Sql_error _ | Manager.Serialization_failure _
@@ -1389,6 +1483,12 @@ let exec s sql_text =
 let exec_script s sql_text =
   wrap_errors (fun () ->
       List.map (fun stmt -> exec_stmt_guarded s stmt) (Parser.parse sql_text))
+
+(* Pre-parsed entry point (the lint driver separates parsing from
+   execution to attribute diagnostics to source lines).  Shadows the
+   internal dispatcher on purpose: external callers always get the
+   guarded, error-normalized path. *)
+let exec_stmt s stmt = wrap_errors (fun () -> exec_stmt_guarded s stmt)
 
 let query s sql_text =
   match exec s sql_text with
@@ -1541,7 +1641,7 @@ let create ?(ifc = true) ?(label_cache = true) ?(isolation = Snapshot)
     ?(capacity_pages = None) ?(miss_cost_ns = 100_000)
     ?(write_cost_ns = 60_000) ?(fsync_cost_ns = 200_000) ?(seed = 0x1FDB)
     ?(parallelism = 1) ?(morsel_size = 1024) ?(commit_batch = 1)
-    ?(sync_commit = false) () =
+    ?(sync_commit = false) ?(strict_analysis = false) () =
   let parallelism = max 1 parallelism in
   let morsel_size = max 16 morsel_size in
   let bp =
@@ -1564,6 +1664,7 @@ let create ?(ifc = true) ?(label_cache = true) ?(isolation = Snapshot)
       bp;
       ifc;
       iso = isolation;
+      strict = strict_analysis;
       admin_p;
       scalars = Hashtbl.create 16;
       procedures = Hashtbl.create 16;

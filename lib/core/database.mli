@@ -59,6 +59,7 @@ val create :
   ?morsel_size:int ->
   ?commit_batch:int ->
   ?sync_commit:bool ->
+  ?strict_analysis:bool ->
   unit ->
   t
 (** Defaults: [ifc:true], [Snapshot] isolation (what the paper's
@@ -85,7 +86,14 @@ val create :
     blocking leader/follower protocol instead: each commit returns only
     once an fsync covers it, but concurrent committers (sessions driven
     from {!Ifdb_engine.Domain_pool} tasks) share one flush.  See
-    {!Ifdb_txn.Group_commit}. *)
+    {!Ifdb_txn.Group_commit}.
+
+    [strict_analysis] (default off) makes the prepare-time static
+    analyzer ({!analyze_stmt}) reject statements it proves doomed:
+    [Error]-severity diagnostics raise the exception the predicted
+    runtime failure would have raised, before any effect.  With it off,
+    analyzer output is still attached to the session
+    ({!session_warnings}). *)
 
 val authority : t -> Authority.t
 
@@ -187,6 +195,10 @@ val exec : session -> string -> result
 val exec_script : session -> string -> result list
 (** Execute a semicolon-separated script, statement by statement. *)
 
+val exec_stmt : session -> Ifdb_sql.Ast.stmt -> result
+(** Execute one pre-parsed statement (same guarding and error
+    normalization as {!exec}). *)
+
 val query : session -> string -> Tuple.t list
 (** {!exec} restricted to row-returning statements. *)
 
@@ -277,6 +289,27 @@ val add_label_constraint :
   table:string ->
   (Tuple.t -> Ifdb_engine.Catalog.label_rule option) ->
   unit
+
+(** {1 Static analysis}
+
+    The prepare-time label-flow analyzer ({!Ifdb_analysis.Analysis})
+    wired to a session: every statement executed through {!exec},
+    {!exec_script} or {!exec_stmt} is analyzed against the current
+    catalog, live label partitions and authority state before it runs.
+    Diagnostics are attached to the session; with [strict_analysis]
+    they also reject provably-failing statements at prepare time. *)
+
+val analyze : session -> string -> Ifdb_analysis.Diag.t list
+(** Analyze a statement (or script) without executing it.  Parse
+    failures come back as [parse-error] diagnostics, not exceptions.
+    Returns [] when the database runs with [~ifc:false]. *)
+
+val analyze_stmt : session -> Ifdb_sql.Ast.stmt -> Ifdb_analysis.Diag.t list
+(** Analyze one pre-parsed statement without executing it. *)
+
+val session_warnings : session -> Ifdb_analysis.Diag.t list
+(** The diagnostics the analyzer attached to the most recent statement
+    executed on this session (empty for clean statements). *)
 
 (** {1 Maintenance} *)
 

@@ -1,0 +1,223 @@
+module Label = Ifdb_difc.Label
+module Authority = Ifdb_difc.Authority
+module Principal = Ifdb_difc.Principal
+module Parser = Ifdb_sql.Parser
+module Diag = Ifdb_analysis.Diag
+module Analysis = Ifdb_analysis.Analysis
+module Sqlscript = Ifdb_analysis.Sqlscript
+
+type mode = { m_auto_tags : bool; m_lenient_names : bool }
+
+let sql_mode = { m_auto_tags = false; m_lenient_names = false }
+let ml_mode = { m_auto_tags = true; m_lenient_names = true }
+
+type outcome = { o_report : string; o_failures : string list }
+
+type st = {
+  db : Database.t;
+  world : Principal.t;
+  sessions : (string, Database.session) Hashtbl.t;
+  mutable sess : Database.session;
+  buf : Buffer.t;
+  mutable failures : string list;
+}
+
+let norm = String.lowercase_ascii
+
+let make_state () =
+  let db = Database.create () in
+  let admin = Database.connect_admin db in
+  let world = Database.create_principal admin ~name:"lint_world" in
+  let p = Database.create_principal admin ~name:"lint" in
+  let sess = Database.connect db ~principal:p in
+  let sessions = Hashtbl.create 4 in
+  Hashtbl.add sessions "lint" sess;
+  { db; world; sessions; sess; buf = Buffer.create 256; failures = [] }
+
+(* Tags the statement references but nobody declared: mint them under
+   [lint_world] and delegate to the current principal, so scripts
+   extracted from programs that create tags in host code analyze
+   without spurious unknown-tag or missing-authority verdicts. *)
+let auto_tags st stmt =
+  let auth = Database.authority st.db in
+  List.iter
+    (fun name ->
+      match Authority.find_tag auth name with
+      | _ -> ()
+      | exception Authority.Unknown _ ->
+          let tag =
+            Authority.create_tag auth ~actor_label:Label.empty ~owner:st.world
+              ~name ()
+          in
+          Authority.delegate auth ~actor:st.world ~actor_label:Label.empty ~tag
+            ~grantee:(Database.session_principal st.sess))
+    (Analysis.referenced_tags stmt)
+
+let run_meta st name args : Diag.t list =
+  match (norm name, args) with
+  | "principal", [ n ] ->
+      let sess =
+        match Hashtbl.find_opt st.sessions (norm n) with
+        | Some s -> s
+        | None ->
+            let p =
+              match Authority.find_principal (Database.authority st.db) n with
+              | p -> p
+              | exception Authority.Unknown _ ->
+                  Database.create_principal
+                    (Database.connect_admin st.db)
+                    ~name:n
+            in
+            let s = Database.connect st.db ~principal:p in
+            Hashtbl.add st.sessions (norm n) s;
+            s
+      in
+      st.sess <- sess;
+      []
+  | "newtag", [ n ] ->
+      ignore (Database.create_tag st.sess ~name:n ());
+      []
+  | "addsecrecy", [ n ] ->
+      Database.add_secrecy st.sess (Database.find_tag st.db n);
+      []
+  | "declassify", [ n ] ->
+      Database.declassify st.sess (Database.find_tag st.db n);
+      []
+  | "delegate", [ tag; grantee ] ->
+      Database.delegate st.sess
+        ~tag:(Database.find_tag st.db tag)
+        ~grantee:(Database.find_principal st.db grantee);
+      []
+  | "revoke", [ tag; grantee ] ->
+      Database.revoke st.sess
+        ~tag:(Database.find_tag st.db tag)
+        ~grantee:(Database.find_principal st.db grantee);
+      []
+  | _, _ ->
+      [
+        Diag.error Diag.Name_error "unknown or malformed meta command \\%s"
+          name;
+      ]
+
+let split_ws s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let stmt_summary text =
+  let text =
+    String.concat " "
+      (split_ws (String.map (function '\n' | '\r' -> ' ' | c -> c) text))
+  in
+  if String.length text > 72 then String.sub text 0 69 ^ "..." else text
+
+let demote_name_errors diags =
+  List.map
+    (fun (d : Diag.t) ->
+      if d.Diag.d_code = Diag.Name_error then
+        { d with Diag.d_severity = Diag.Warning }
+      else d)
+    diags
+
+let process_item st mode (it : Sqlscript.item) ~line_offset =
+  let line = it.Sqlscript.it_line + line_offset in
+  let runtime_diag m = Diag.error Diag.Runtime_error "%s" m in
+  let diags =
+    match it.Sqlscript.it_kind with
+    | Sqlscript.Meta (name, args) -> (
+        try run_meta st name args with
+        | Errors.Flow_violation m
+        | Errors.Authority_required m
+        | Errors.Constraint_violation m
+        | Errors.Sql_error m
+        | Authority.Denied m
+        | Authority.Not_public m ->
+            [ runtime_diag m ]
+        | Authority.Unknown m ->
+            [ Diag.error Diag.Name_error "unknown %s" m ])
+    | Sqlscript.Stmt -> (
+        match Parser.parse it.Sqlscript.it_text with
+        | exception Parser.Parse_error m ->
+            [ Diag.error Diag.Parse_error "%s" m ]
+        | exception Ifdb_sql.Lexer.Lex_error (m, _) ->
+            [ Diag.error Diag.Parse_error "%s" m ]
+        | [] -> []
+        | stmt :: _ ->
+            if mode.m_auto_tags then auto_tags st stmt;
+            let diags = Database.analyze_stmt st.sess stmt in
+            let diags =
+              if mode.m_lenient_names then demote_name_errors diags else diags
+            in
+            let skip_exec =
+              List.exists Diag.is_error diags
+              || List.exists
+                   (fun (d : Diag.t) -> d.Diag.d_code = Diag.Name_error)
+                   diags
+            in
+            if skip_exec then diags
+            else (
+              match Database.exec_stmt st.sess stmt with
+              | _ -> diags
+              | exception
+                  ( Errors.Flow_violation m
+                  | Errors.Authority_required m
+                  | Errors.Constraint_violation m
+                  | Errors.Sql_error m ) ->
+                  diags @ [ runtime_diag m ]))
+  in
+  if diags <> [] then begin
+    Buffer.add_string st.buf
+      (Printf.sprintf "line %d: %s\n" line
+         (stmt_summary it.Sqlscript.it_text));
+    List.iter
+      (fun d -> Buffer.add_string st.buf ("  " ^ Diag.to_string d ^ "\n"))
+      diags
+  end;
+  let codes =
+    List.map (fun (d : Diag.t) -> Diag.code_string d.Diag.d_code) diags
+  in
+  List.iter
+    (fun e ->
+      if not (List.mem e codes) then
+        st.failures <-
+          st.failures
+          @ [
+              Printf.sprintf
+                "line %d: expected %s, but the analyzer did not produce it"
+                line e;
+            ])
+    it.Sqlscript.it_expects;
+  List.iter
+    (fun (d : Diag.t) ->
+      if
+        Diag.is_error d
+        && not (List.mem (Diag.code_string d.Diag.d_code) it.Sqlscript.it_expects)
+      then
+        st.failures <-
+          st.failures
+          @ [
+              Printf.sprintf "line %d: unexpected %s" line (Diag.to_string d);
+            ])
+    diags
+
+let finish st =
+  let report = Buffer.contents st.buf in
+  let report = if report = "" then "no diagnostics\n" else report in
+  { o_report = report; o_failures = st.failures }
+
+let lint_script mode text =
+  let st = make_state () in
+  List.iter
+    (fun it -> process_item st mode it ~line_offset:0)
+    (Sqlscript.split_script text);
+  finish st
+
+let lint_ml mode text =
+  let st = make_state () in
+  List.iter
+    (fun (line, sql) ->
+      List.iter
+        (fun it -> process_item st mode it ~line_offset:(line - 1))
+        (Sqlscript.split_script sql))
+    (Sqlscript.extract_ml_sql text);
+  finish st

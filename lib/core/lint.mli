@@ -1,0 +1,51 @@
+(** The lint driver behind [ifdb_lint] and the shell's [\check]: runs
+    the static analyzer ({!Ifdb_analysis.Analysis}) over a SQL script
+    (or the SQL embedded in an OCaml source file) against a fresh
+    database, executing clean statements along the way so later ones
+    are analyzed against the data state earlier ones produced.
+
+    Script conventions ({!Ifdb_analysis.Sqlscript}): one-line [\meta]
+    commands drive session state — [\principal NAME] (connect/create
+    and switch), [\newtag NAME] (owned by the current principal),
+    [\addsecrecy TAG], [\declassify TAG], [\delegate TAG PRINCIPAL],
+    [\revoke TAG PRINCIPAL] — and [-- lint: expect code…] comments
+    declare the diagnostics a statement is meant to trigger.
+
+    Failure rules: an expected code the analyzer does not produce is a
+    failure; an [Error]-severity diagnostic that is not expected is a
+    failure; warnings never need annotations.  Statements with
+    [Error]-severity (or unknown-name) diagnostics are not executed;
+    clean statements that still fail at runtime surface the failure as
+    a [runtime-error] diagnostic, which obeys the same rules. *)
+
+type mode = {
+  m_auto_tags : bool;
+      (** create tags the script references but never declares, owned
+          by a synthetic [lint_world] principal and delegated to the
+          current session principal — for linting SQL extracted from
+          programs that manage tags outside SQL *)
+  m_lenient_names : bool;
+      (** demote unknown-name errors to warnings (the schema may live
+          outside the linted text); affected statements are analyzed
+          but not executed *)
+}
+
+val sql_mode : mode
+(** Strict: for self-contained [.sql] scripts (the lint corpus). *)
+
+val ml_mode : mode
+(** Lenient + auto-tags: for SQL extracted from [.ml] examples. *)
+
+type outcome = {
+  o_report : string;
+      (** deterministic rendering of every diagnostic, one [line N:]
+          header per offending statement — the golden-file payload *)
+  o_failures : string list;  (** expect-rule violations, in order *)
+}
+
+val lint_script : mode -> string -> outcome
+(** Lint SQL script text against a fresh in-memory database. *)
+
+val lint_ml : mode -> string -> outcome
+(** Extract the SQL literals from OCaml source text and lint them in
+    order, with diagnostics attributed to the [.ml] source lines. *)

@@ -183,6 +183,18 @@ let covers t label tag =
 
 let flows t ~src ~dst = Label.for_all (fun tag -> covers t dst tag) src
 
+let label_to_string t label =
+  if Label.is_empty label then "{}"
+  else
+    let name tag =
+      match Hashtbl.find_opt t.tags (Tag.to_int tag) with
+      | Some { tag_name = n; _ } when n <> "" -> n
+      | _ -> Format.asprintf "%a" Tag.pp tag
+    in
+    "{" ^ String.concat ", " (List.map name (Label.to_list label)) ^ "}"
+
+let pp_label t fmt label = Format.pp_print_string fmt (label_to_string t label)
+
 let all_tags t =
   Hashtbl.fold (fun id _ acc -> Tag.of_int id :: acc) t.tags []
   |> List.sort Tag.compare

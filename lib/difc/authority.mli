@@ -118,5 +118,15 @@ val covers : t -> Label.t -> Tag.t -> bool
 val flows : t -> src:Label.t -> dst:Label.t -> bool
 (** Compound-aware information flow check: see {!Label.flows_to}. *)
 
+val label_to_string : t -> Label.t -> string
+(** Render a label with tag {e names} where known ([{alice_medical}]),
+    falling back to [#id] for anonymous tags; the empty label prints as
+    [{}].  This is the formatter every user-facing flow-violation
+    message, the shell and [ifdb_lint] share, so diagnostics name the
+    tags people declared rather than internal ids. *)
+
+val pp_label : t -> Format.formatter -> Label.t -> unit
+(** [Format]-friendly {!label_to_string}. *)
+
 val all_tags : t -> Tag.t list
 val all_principals : t -> Principal.t list

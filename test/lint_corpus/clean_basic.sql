@@ -1,0 +1,18 @@
+-- A well-behaved script: labeled writes at the session label, reads
+-- within clearance, a declassifying view backed by real authority.
+-- The linter must stay silent.
+\principal alice
+\newtag alice_medical
+CREATE TABLE patients (id INT, name TEXT);
+INSERT INTO patients VALUES (1, 'public record');
+\addsecrecy alice_medical
+INSERT INTO patients VALUES (2, 'alice private');
+SELECT * FROM patients;
+UPDATE patients SET name = 'renamed' WHERE _label = {alice_medical};
+\declassify alice_medical
+SELECT id FROM patients;
+CREATE VIEW names AS SELECT name FROM patients WITH DECLASSIFYING (alice_medical);
+SELECT * FROM names;
+BEGIN;
+INSERT INTO patients VALUES (3, 'also public');
+COMMIT;

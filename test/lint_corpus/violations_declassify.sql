@@ -1,0 +1,18 @@
+-- Over-broad declassification: DECLASSIFYING clauses the acting
+-- principal cannot back with authority, and clauses that declassify
+-- tags absent from the data.
+\principal alice
+\newtag alice_medical
+CREATE TABLE charts (id INT, entry TEXT);
+\addsecrecy alice_medical
+INSERT INTO charts VALUES (1, 'chart');
+\declassify alice_medical
+-- mallory holds no authority for alice_medical
+\principal mallory
+CREATE VIEW leak AS SELECT entry FROM charts WITH DECLASSIFYING (alice_medical); -- lint: expect overbroad-declassify
+PERFORM declassify(alice_medical); -- lint: expect overbroad-declassify
+-- the owner can declassify, but declassifying a tag that labels no row
+-- is suspicious (warning)
+\principal alice
+\newtag unused_tag
+CREATE VIEW pointless AS SELECT entry FROM charts WITH DECLASSIFYING (unused_tag);

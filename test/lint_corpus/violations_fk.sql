@@ -1,0 +1,17 @@
+-- Foreign Key Rule leaks: references whose label difference no
+-- DECLASSIFYING clause covers.
+\principal carol
+\newtag carol_medical
+CREATE TABLE doctors (id INT NOT NULL, PRIMARY KEY (id));
+\addsecrecy carol_medical
+INSERT INTO doctors VALUES (1);
+\declassify carol_medical
+-- every live doctors row is {carol_medical}: referencing them from an
+-- unlabeled child table is shape-suspicious at DDL time (warning)...
+CREATE TABLE appointments (id INT, doctor_id INT, FOREIGN KEY (doctor_id) REFERENCES doctors (id));
+-- ...and a definite unlabeled reference is infeasible outright
+INSERT INTO appointments VALUES (10, 1); -- lint: expect fk-leak
+-- a NULL reference never engages the rule
+INSERT INTO appointments VALUES (11, NULL);
+-- declassifying the difference makes the reference legal
+INSERT INTO appointments VALUES (12, 1) DECLASSIFYING (carol_medical);

@@ -1,0 +1,11 @@
+-- Commit-label trap: raising the session label after writing less
+-- contaminated tuples makes the commit-label rule unsatisfiable.
+\principal bob
+\newtag bob_medical
+CREATE TABLE visits (id INT);
+BEGIN;
+INSERT INTO visits VALUES (1);
+\addsecrecy bob_medical
+COMMIT; -- lint: expect commit-trap
+\declassify bob_medical
+COMMIT;

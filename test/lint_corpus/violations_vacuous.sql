@@ -1,0 +1,21 @@
+-- Vacuous queries: predicates restricted to partitions the session
+-- label cannot see, or to contradictory label equalities.  These are
+-- warnings (the statements run, matching nothing).
+\principal dave
+\newtag dave_medical
+\newtag dave_financial
+CREATE TABLE records (id INT, kind TEXT);
+\addsecrecy dave_medical
+INSERT INTO records VALUES (1, 'medical');
+\declassify dave_medical
+-- the session label is {} again: the {dave_medical} partition is invisible
+SELECT * FROM records WHERE _label = {dave_medical};
+UPDATE records SET kind = 'x' WHERE _label = {dave_medical};
+-- contradictory equalities can match no row at all
+SELECT * FROM records WHERE _label = {dave_medical} AND _label = {dave_financial};
+-- a table whose every row is hidden scans to nothing
+CREATE TABLE hidden (id INT);
+\addsecrecy dave_medical
+INSERT INTO hidden VALUES (1);
+\declassify dave_medical
+SELECT * FROM hidden;

@@ -1,0 +1,18 @@
+-- Doomed writes: statements whose matched rows provably include a row
+-- the session cannot write under the Write Rule.
+\principal alice
+\newtag alice_medical
+CREATE TABLE notes (id INT, body TEXT);
+INSERT INTO notes VALUES (1, 'public');
+\addsecrecy alice_medical
+INSERT INTO notes VALUES (2, 'private');
+-- session {alice_medical} sees both partitions, but can only write its
+-- own: a bare UPDATE must hit the public row and die
+UPDATE notes SET body = 'x'; -- lint: expect doomed-write
+DELETE FROM notes; -- lint: expect doomed-write
+-- explicitly targeting the foreign partition is just as doomed
+DELETE FROM notes WHERE _label = {}; -- lint: expect doomed-write
+-- a restricting predicate makes it data-dependent: warning only
+UPDATE notes SET body = 'y' WHERE id > 100;
+-- exact-label writes are fine
+UPDATE notes SET body = 'z' WHERE _label = {alice_medical};
