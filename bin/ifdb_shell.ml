@@ -18,6 +18,10 @@
      \check SQL              static label-flow analysis, no execution
      \vacuum                 reclaim dead versions
      \wal                    WAL and group-commit statistics
+     \metrics [reset]        metrics registry in Prometheus text format
+     \explain [analyze] SQL  plan tree / traced execution report
+     \slow [N]               recent slow queries (enable with --slow-ms)
+     \audit [N]              recent IFC audit events
      \dump [TABLE]           label-preserving SQL dump (pg_dump analogue)
      \q                      quit
    Anything else is executed as SQL. *)
@@ -30,6 +34,8 @@ module Value = Ifdb_rel.Value
 module Tuple = Ifdb_rel.Tuple
 module Schema = Ifdb_rel.Schema
 module Catalog = Ifdb_engine.Catalog
+module Trace = Ifdb_obs.Trace
+module Audit = Ifdb_obs.Audit
 
 type state = { db : Db.t; mutable session : Db.session }
 
@@ -77,6 +83,16 @@ let print_rows st columns tuples =
 
 let run_sql st text =
   match Db.exec st.session text with
+  | Db.Rows { columns = [ "QUERY PLAN" ]; tuples } ->
+      (* EXPLAIN output: plain report lines, no table chrome or label
+         column *)
+      List.iter
+        (fun row ->
+          print_endline
+            (match Tuple.get row 0 with
+            | Value.Text s -> s
+            | v -> Value.to_string v))
+        tuples
   | Db.Rows { columns; tuples } -> print_rows st columns tuples
   | Db.Affected n -> Printf.printf "OK, %d row%s\n" n (if n = 1 then "" else "s")
   | Db.Done msg -> print_endline msg
@@ -147,29 +163,75 @@ let run_command st line =
               diags)
   | [ "\\vacuum" ] ->
       Printf.printf "vacuum removed %d dead version(s)\n" (Db.vacuum st.db)
-  | [ "\\wal" ] ->
-      let module Wal = Ifdb_storage.Wal in
+  | [ "\\wal" ] -> (
+      (* the same numbers every other consumer sees: read through the
+         metrics registry instead of the component stat blocks *)
       let module Group_commit = Ifdb_txn.Group_commit in
-      let wal = Db.wal st.db in
-      let ws = Wal.stats wal in
-      let gc = Db.group_commit st.db in
-      let gs = Group_commit.stats gc in
-      Printf.printf
-        "wal: %d records, %d bytes, %d fsyncs, %d simulated io ns\n"
-        ws.Wal.records ws.Wal.bytes ws.Wal.fsyncs (Wal.io_ns wal);
-      Printf.printf
-        "group commit: batch %d, %d commits in %d batches (largest %d), %d \
-         pending\n"
-        (Group_commit.batch gc) gs.Group_commit.gc_submitted
-        gs.Group_commit.gc_batches gs.Group_commit.gc_max_batch
-        (Group_commit.pending gc)
+      match Db.metrics_snapshot st.db with
+      | [] -> print_endline "metrics registry is disabled"
+      | snap ->
+          let v name =
+            match List.assoc_opt name snap with
+            | Some f -> int_of_float f
+            | None -> 0
+          in
+          Printf.printf
+            "wal: %d records, %d bytes, %d fsyncs, %d simulated io ns\n"
+            (v "ifdb_wal_records_total") (v "ifdb_wal_bytes_total")
+            (v "ifdb_wal_fsyncs_total") (v "ifdb_wal_io_ns_total");
+          Printf.printf
+            "group commit: batch %d, %d commits in %d batches (largest %d), \
+             %d pending\n"
+            (Group_commit.batch (Db.group_commit st.db))
+            (v "ifdb_group_commit_submitted_total")
+            (v "ifdb_group_commit_batches_total")
+            (v "ifdb_group_commit_max_batch")
+            (v "ifdb_group_commit_pending"))
+  | [ "\\metrics" ] -> print_string (Db.metrics_prometheus st.db)
+  | [ "\\metrics"; "reset" ] ->
+      Db.reset_stats st.db;
+      print_endline "statistics reset"
+  | "\\explain" :: _ ->
+      (* Reparse from the raw line, like \check: the SQL keeps its
+         internal spacing and the ANALYZE keyword stays part of it. *)
+      let text = String.trim (String.sub line 8 (String.length line - 8)) in
+      if text = "" then print_endline "usage: \\explain [analyze] SQL"
+      else run_sql st ("EXPLAIN " ^ text)
+  | "\\slow" :: rest -> (
+      let n =
+        match rest with
+        | [ n ] -> Option.value (int_of_string_opt n) ~default:20
+        | _ -> 20
+      in
+      match Db.slow_queries ~n st.db with
+      | [] -> print_endline "slow-query log is empty (enable with --slow-ms)"
+      | entries ->
+          List.iter
+            (fun e ->
+              Printf.printf "#%d  %.3f ms  %d row(s)  %s\n" e.Trace.sq_seq
+                (float_of_int e.Trace.sq_ns /. 1e6)
+                e.Trace.sq_rows e.Trace.sq_sql)
+            entries)
+  | "\\audit" :: rest ->
+      let n =
+        match rest with
+        | [ n ] -> Option.value (int_of_string_opt n) ~default:20
+        | _ -> 20
+      in
+      let log = Db.audit_log st.db in
+      (match Audit.recent log n with
+      | [] -> print_endline "audit log is empty"
+      | events ->
+          List.iter (fun e -> print_endline (Audit.event_to_string e)) events);
+      Printf.printf "(%d event%s recorded in total)\n" (Audit.count log)
+        (if Audit.count log = 1 then "" else "s")
   | [ "\\dump" ] -> print_string (Ifdb_core.Dump.dump st.db)
   | [ "\\dump"; table ] -> print_string (Ifdb_core.Dump.dump_table st.db table)
   | cmd :: _ -> Printf.printf "unknown command %s\n" cmd
   | [] -> ()
 
-let repl ~ifc ~parallelism ~commit_batch =
-  let db = Db.create ~ifc ~parallelism ~commit_batch () in
+let repl ~ifc ~parallelism ~commit_batch ~slow_ms =
+  let db = Db.create ~ifc ~parallelism ~commit_batch ?slow_query_ms:slow_ms () in
   let admin = Db.connect_admin db in
   let st = { db; session = admin } in
   Printf.printf "IFDB shell (ifc %s%s). \\q quits, \\label shows the session label.\n"
@@ -219,13 +281,22 @@ let commit_batch =
           "Group-commit coalescing degree: fsync the WAL once per N commit \
            records; 1 = every commit.")
 
+let slow_ms =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "slow-ms" ]
+        ~doc:
+          "Slow-query threshold in milliseconds: statements at or above it \
+           land in the \\\\slow ring buffer.  Unset disables the log.")
+
 let cmd =
   let doc = "interactive shell over the IFDB engine" in
   Cmd.v
     (Cmd.info "ifdb_shell" ~doc)
     Term.(
-      const (fun no_ifc parallelism commit_batch ->
-          repl ~ifc:(not no_ifc) ~parallelism ~commit_batch)
-      $ no_ifc $ parallelism $ commit_batch)
+      const (fun no_ifc parallelism commit_batch slow_ms ->
+          repl ~ifc:(not no_ifc) ~parallelism ~commit_batch ~slow_ms)
+      $ no_ifc $ parallelism $ commit_batch $ slow_ms)
 
 let () = exit (Cmd.eval cmd)

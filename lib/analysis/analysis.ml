@@ -820,7 +820,7 @@ let analyze_perform ctx ~add name args =
 (* Entry points                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let analyze_stmt ctx (stmt : A.stmt) : Diag.t list =
+let rec analyze_stmt ctx (stmt : A.stmt) : Diag.t list =
   let out = ref [] in
   let add d = out := d :: !out in
   let walk e = walk_expr_diags ctx ~extra:Label.empty ~seen:[] ~add e in
@@ -858,6 +858,10 @@ let analyze_stmt ctx (stmt : A.stmt) : Diag.t list =
       analyze_create_table ctx ~add ~ct_name ~ct_constraints
   | A.S_commit -> analyze_commit ctx ~add
   | A.S_perform (name, args) -> analyze_perform ctx ~add name args
+  | A.S_explain { x_stmt; _ } ->
+      (* EXPLAIN inherits the diagnostics of the statement it wraps
+         (already sorted; re-sorting below is stable). *)
+      List.iter add (analyze_stmt ctx x_stmt)
   | A.S_begin | A.S_rollback | A.S_create_index _ | A.S_drop _ -> ());
   let diags = List.rev !out in
   List.stable_sort
@@ -871,7 +875,7 @@ let select_interval ctx sel =
     ~flows:(fun ~src ~dst -> flows ctx ~src ~dst)
     (Interval.intern ctx.an_store info.si_interval)
 
-let referenced_tags (stmt : A.stmt) : string list =
+let rec referenced_tags (stmt : A.stmt) : string list =
   let acc = ref [] in
   let push n = if not (List.mem n !acc) then acc := n :: !acc in
   let rec go_expr e = walk_expr e ~lits:(List.iter push) ~subs:go_sel
@@ -911,6 +915,7 @@ let referenced_tags (stmt : A.stmt) : string list =
   | A.S_perform (name, args)
     when List.mem (norm name) [ "addsecrecy"; "declassify" ] ->
       Option.iter push (perform_tag_arg args)
+  | A.S_explain { x_stmt; _ } -> List.iter push (referenced_tags x_stmt)
   | A.S_perform _ | A.S_create_table _ | A.S_create_index _ | A.S_drop _
   | A.S_begin | A.S_commit | A.S_rollback ->
       ());

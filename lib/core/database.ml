@@ -20,12 +20,29 @@ module Executor = Ifdb_engine.Executor
 module Domain_pool = Ifdb_engine.Domain_pool
 module A = Ifdb_sql.Ast
 module Parser = Ifdb_sql.Parser
+module Printer = Ifdb_sql.Printer
 module Analysis = Ifdb_analysis.Analysis
 module Diag = Ifdb_analysis.Diag
+module Metrics = Ifdb_obs.Metrics
+module Trace = Ifdb_obs.Trace
+module Audit = Ifdb_obs.Audit
+module Group_commit = Ifdb_txn.Group_commit
 
 open Errors
 
 type isolation = Snapshot | Serializable
+
+(* Instruments the statement path updates directly.  Everything else in
+   the registry is a pull gauge over component stats, so the hot path
+   pays nothing for it. *)
+type mx = {
+  mx_statements : Metrics.counter;
+  mx_errors : Metrics.counter;
+  mx_commits : Metrics.counter;
+  mx_aborts : Metrics.counter;
+  mx_slow : Metrics.counter;
+  mx_latency : Metrics.histogram;
+}
 
 type trigger_event = {
   ev_table : string;
@@ -67,6 +84,13 @@ and t = {
       (* domains used per query (caller included); 1 = serial *)
   morsel : int; (* slots per morsel for parallel sequential scans *)
   dpool : Domain_pool.t option; (* Some iff parallelism > 1 *)
+  metrics : Metrics.t;
+  mx : mx;
+  audit : Audit.t;
+  slow : Trace.slow_log;
+  slow_ns : int;
+      (* statements at/above this duration land in the slow-query log;
+         [max_int] disables the log (and its clock reads) entirely *)
 }
 
 and session = {
@@ -81,6 +105,12 @@ and session = {
   mutable s_warnings : Diag.t list;
       (* diagnostics the prepare-time analyzer attached to the most
          recently executed statement *)
+  mutable s_stmt : A.stmt option;
+      (* statement being executed, so audit events can name their
+         originating SQL without rendering it unless an event fires *)
+  mutable s_trace : Trace.t option;
+      (* active EXPLAIN ANALYZE trace; threaded into the executor ctx
+         and the label-confinement scan filters *)
 }
 
 type result =
@@ -101,6 +131,18 @@ let flush_wal t = Manager.flush_wal t.mgr
 let ifc_enabled t = t.ifc
 let isolation t = t.iso
 let admin t = t.admin_p
+let metrics t = t.metrics
+let metrics_snapshot t = Metrics.snapshot t.metrics
+let metrics_prometheus t = Metrics.to_prometheus t.metrics
+let audit_log t = t.audit
+let slow_queries ?(n = 20) t = Trace.slow_log_recent t.slow n
+
+let reset_stats t =
+  Metrics.reset t.metrics;
+  ignore (Label_store.take_stats t.lstore);
+  ignore (Buffer_pool.take_stats t.bp);
+  Wal.reset_stats (wal t);
+  Group_commit.reset_stats (group_commit t)
 
 let connect t ~principal =
   {
@@ -111,6 +153,8 @@ let connect t ~principal =
     s_implicit = false;
     s_deferred = [];
     s_warnings = [];
+    s_stmt = None;
+    s_trace = None;
   }
 
 let connect_admin t = connect t ~principal:t.admin_p
@@ -122,6 +166,34 @@ let session_warnings s = s.s_warnings
 (* Shared label renderer for IFC error messages and lint diagnostics:
    tag names instead of raw ids. *)
 let label_string db l = Authority.label_to_string db.auth l
+
+(* ------------------------------------------------------------------ *)
+(* Audit helpers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let tag_string db tag =
+  match Authority.tag_name db.auth tag with
+  | "" -> Format.asprintf "%a" Tag.pp tag
+  | name -> name
+  | exception _ -> Format.asprintf "%a" Tag.pp tag
+
+let principal_string db p =
+  match Authority.principal_name db.auth p with
+  | "" -> Format.asprintf "%a" Principal.pp p
+  | name -> name
+  | exception _ -> Format.asprintf "%a" Principal.pp p
+
+(* The statement text is rendered only when an event actually fires;
+   stamping [s_stmt] per statement is just a pointer write. *)
+let audit_emit s ~kind ?(tags = []) ?(detail = "") () =
+  let db = s.sdb in
+  let stmt =
+    match s.s_stmt with Some st -> Printer.stmt_to_string st | None -> ""
+  in
+  Audit.emit db.audit ~kind
+    ~principal:(principal_string db s.s_principal)
+    ~tags:(List.map (tag_string db) tags)
+    ~stmt ~detail ()
 
 (* ------------------------------------------------------------------ *)
 (* Label manipulation                                                  *)
@@ -141,11 +213,15 @@ let add_secrecy s tag =
         (label_string db (Label.singleton tag))
         (label_string db s.s_label)
   end;
+  if db.ifc && not (Label.mem tag s.s_label) then
+    audit_emit s ~kind:Audit.Clearance_raise ~tags:[ tag ] ();
   s.s_label <- Label.add tag s.s_label
 
 let declassify s tag =
   let db = s.sdb in
   if db.ifc then Authority.check_authority db.auth s.s_principal tag;
+  if db.ifc && Label.mem tag s.s_label then
+    audit_emit s ~kind:Audit.Session_declassify ~tags:[ tag ] ();
   s.s_label <- Label.remove tag s.s_label
 
 let set_label s target =
@@ -192,11 +268,17 @@ let create_tag s ~name ?compounds () =
 
 let delegate s ~tag ~grantee =
   Authority.delegate s.sdb.auth ~actor:s.s_principal ~actor_label:s.s_label ~tag
-    ~grantee
+    ~grantee;
+  audit_emit s ~kind:Audit.Delegate ~tags:[ tag ]
+    ~detail:("grantee=" ^ principal_string s.sdb grantee)
+    ()
 
 let revoke s ~tag ~grantee =
   Authority.revoke s.sdb.auth ~actor:s.s_principal ~actor_label:s.s_label ~tag
-    ~grantee
+    ~grantee;
+  audit_emit s ~kind:Audit.Revoke ~tags:[ tag ]
+    ~detail:("grantee=" ^ principal_string s.sdb grantee)
+    ()
 
 let find_tag t name = Authority.find_tag t.auth name
 let find_principal t name = Authority.find_principal t.auth name
@@ -237,6 +319,27 @@ let current_txn s what =
    scan provably returns nothing and the caller may skip it without
    touching a page.  Uninterned partitions (and skipped prewarms) keep
    it [true]. *)
+(* When an EXPLAIN ANALYZE trace is active, wrap a scan's label filter
+   so every confinement decision is tallied per table.  Atomic counters
+   make one wrapper safe for both the serial and the morsel-parallel
+   paths; untraced statements never reach this closure. *)
+let trace_scan_filter s ~heap readable =
+  match s.s_trace with
+  | None -> readable
+  | Some tr ->
+      let sc = Trace.scan_entry tr (Heap.name heap) in
+      fun v ->
+        let ok = readable v in
+        Atomic.incr sc.Trace.sc_scanned;
+        if not ok then Atomic.incr sc.Trace.sc_pruned;
+        ok
+
+let trace_scan_skipped s ~heap =
+  match s.s_trace with
+  | None -> ()
+  | Some tr ->
+      Atomic.incr (Trace.scan_entry tr (Heap.name heap)).Trace.sc_skipped
+
 let scan_label_filter s ~heap ~extra ~prewarm : (Heap.version -> bool) * bool =
   let db = s.sdb in
   if not db.ifc then ((fun _ -> true), true)
@@ -263,20 +366,20 @@ let scan_label_filter s ~heap ~extra ~prewarm : (Heap.version -> bool) * bool =
     (* runs of identically-labeled tuples (the common physical layout)
        reduce to one integer compare per tuple *)
     let last_lid = ref min_int and last_verdict = ref false in
-    ( (fun (v : Heap.version) ->
-        let lid = Tuple.label_id v.Heap.tuple in
-        if lid >= 0 then
-          if lid = !last_lid then !last_verdict
-          else begin
-            let b = decide lid in
-            last_lid := lid;
-            last_verdict := b;
-            b
-          end
-        else
-          (* uninterned tuple (built outside the statement path): fall
-             back to the raw-label derivation *)
-          Authority.flows db.auth ~src:(Tuple.label v.Heap.tuple) ~dst),
+    ( trace_scan_filter s ~heap (fun (v : Heap.version) ->
+          let lid = Tuple.label_id v.Heap.tuple in
+          if lid >= 0 then
+            if lid = !last_lid then !last_verdict
+            else begin
+              let b = decide lid in
+              last_lid := lid;
+              last_verdict := b;
+              b
+            end
+          else
+            (* uninterned tuple (built outside the statement path): fall
+               back to the raw-label derivation *)
+            Authority.flows db.auth ~src:(Tuple.label v.Heap.tuple) ~dst),
       !any_visible )
   end
 
@@ -290,7 +393,10 @@ let scan_versions s ~table ~extra : Heap.version Seq.t =
      read in the footprint *)
   Manager.note_read s.sdb.mgr txn (Heap.name heap);
   let readable, any_visible = scan_label_filter s ~heap ~extra ~prewarm:true in
-  if not any_visible then Seq.empty
+  if not any_visible then begin
+    trace_scan_skipped s ~heap;
+    Seq.empty
+  end
   else
     Seq.filter
       (fun v -> Manager.visible s.sdb.mgr txn v && readable v)
@@ -323,13 +429,13 @@ let par_scan_filter s ~heap ~extra : (Heap.version -> bool) * bool =
           if Hashtbl.find verdicts lid then any_visible := true
         end
         else any_visible := true);
-    ( (fun (v : Heap.version) ->
-        let lid = Tuple.label_id v.Heap.tuple in
-        if lid >= 0 then
-          match Hashtbl.find_opt verdicts lid with
-          | Some b -> b
-          | None -> Label_store.flows_id store ~src:lid ~dst:dst_id
-        else Authority.flows db.auth ~src:(Tuple.label v.Heap.tuple) ~dst),
+    ( trace_scan_filter s ~heap (fun (v : Heap.version) ->
+          let lid = Tuple.label_id v.Heap.tuple in
+          if lid >= 0 then
+            match Hashtbl.find_opt verdicts lid with
+            | Some b -> b
+            | None -> Label_store.flows_id store ~src:lid ~dst:dst_id
+          else Authority.flows db.auth ~src:(Tuple.label v.Heap.tuple) ~dst),
       !any_visible )
   end
 
@@ -467,11 +573,31 @@ let exec_ctx s : Executor.ctx =
               par_width = s.sdb.parallelism;
               par_scan = (fun ~table ~extra -> morsel_scan s ~table ~extra);
             });
+    trace = s.s_trace;
   }
 
 let pctx s =
   { Planner.pc_catalog = s.sdb.cat; pc_auth = s.sdb.auth;
     pc_exec = Some (exec_ctx s) }
+
+(* One audit event per declassifying-view boundary a statement can
+   exercise: planning resolved each view reference to a [Declassify]
+   node, so walking the finished plan finds exactly the
+   declassifications this execution performs (section 4.3). *)
+let rec audit_plan_declassify s plan =
+  (match plan with
+  | Plan.Declassify (_, lbl, relabel) ->
+      let tags =
+        Label.to_list lbl @ List.concat_map (fun (f, t) -> [ f; t ]) relabel
+      in
+      audit_emit s ~kind:Audit.View_declassify ~tags
+        ~detail:
+          (if relabel = [] then "declassifying view" else "relabeling view")
+        ()
+  | _ -> ());
+  List.iter (audit_plan_declassify s) (Plan.children plan)
+
+let audit_declassify s plan = if s.sdb.ifc then audit_plan_declassify s plan
 
 (* ------------------------------------------------------------------ *)
 (* Triggers                                                            *)
@@ -480,7 +606,11 @@ let pctx s =
 let run_trigger s trg ev =
   let invoke () = trg.trg_fn s ev in
   match trg.trg_authority with
-  | Some p -> with_principal s p invoke
+  | Some p ->
+      audit_emit s ~kind:Audit.Closure_call
+        ~detail:("trigger " ^ trg.trg_name)
+        ();
+      with_principal s p invoke
   | None -> invoke ()
 
 (* Run a deferred trigger with the label captured when the triggering
@@ -566,6 +696,7 @@ let vacuum t =
 
 let do_abort s txn =
   Manager.abort s.sdb.mgr txn;
+  Metrics.incr s.sdb.mx.mx_aborts;
   s.s_txn <- None;
   s.s_implicit <- false;
   s.s_deferred <- []
@@ -608,6 +739,11 @@ let do_commit s txn =
     in
     match violating with
     | Some w ->
+        audit_emit s ~kind:Audit.Commit_rejection
+          ~tags:(Label.to_list s.s_label)
+          ~detail:
+            ("written tuple label " ^ label_string s.sdb w.Manager.w_label)
+          ();
         do_abort s txn;
         flow
           "commit label %s is more contaminated than written tuple label %s: \
@@ -617,6 +753,7 @@ let do_commit s txn =
     | None -> ()
   end;
   Manager.commit s.sdb.mgr txn;
+  Metrics.incr s.sdb.mx.mx_commits;
   s.s_txn <- None;
   s.s_implicit <- false;
   let db = s.sdb in
@@ -1009,13 +1146,21 @@ let check_write_rule s (v : Heap.version) action =
       Label_store.intern s.sdb.lstore s.s_label
     else -1
   in
-  if s.sdb.ifc && not (tuple_label_matches v s.s_label slid) then
+  if s.sdb.ifc && not (tuple_label_matches v s.s_label slid) then begin
+    audit_emit s ~kind:Audit.Write_rule_rejection
+      ~tags:(Label.to_list (Tuple.label v.Heap.tuple))
+      ~detail:
+        (Printf.sprintf "%s of tuple labeled %s (session label %s)" action
+           (label_string s.sdb (Tuple.label v.Heap.tuple))
+           (label_string s.sdb s.s_label))
+      ();
     flow
       "%s of tuple labeled %s by process labeled %s violates the Write Rule \
        (only exact-label tuples are writable)"
       action
       (label_string s.sdb (Tuple.label v.Heap.tuple))
       (label_string s.sdb s.s_label)
+  end
 
 (* Updatable declassifying views (paper section 4.3 mentions these via
    rewrite rules): an INSERT through a simple view — single base table,
@@ -1135,6 +1280,7 @@ let exec_insert s txn (stmt : A.stmt) =
           match i_select with
           | Some sel ->
               let plan, _names = Planner.plan_select (pctx s) sel in
+              audit_declassify s plan;
               List.map
                 (fun row -> widen (Tuple.values row))
                 (Executor.run_list (exec_ctx s) plan)
@@ -1169,6 +1315,7 @@ let exec_insert s txn (stmt : A.stmt) =
             (* INSERT … SELECT: rows are read under Query by Label, then
                written with the session's current label like any insert *)
             let plan, _names = Planner.plan_select (pctx s) sel in
+            audit_declassify s plan;
             List.iter
               (fun row -> insert_values (Tuple.values row))
               (Executor.run_list (exec_ctx s) plan)
@@ -1323,9 +1470,75 @@ let exec_perform s name args =
       let vargs = List.map (perform_arg_value s) args in
       let run () = ignore (c.c_fn s vargs) in
       (match c.c_authority with
-      | Some p -> with_principal s p run
+      | Some p ->
+          audit_emit s ~kind:Audit.Closure_call
+            ~detail:("procedure " ^ norm name)
+            ();
+          with_principal s p run
       | None -> run ());
       Done "PERFORM"
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN [ANALYZE]                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let plan_lines plan =
+  let rec go depth p acc =
+    let line = String.make (2 * depth) ' ' ^ Plan.describe p in
+    List.fold_left
+      (fun acc c -> go (depth + 1) c acc)
+      (line :: acc) (Plan.children p)
+  in
+  List.rev (go 0 plan [])
+
+(* Run a SELECT with a trace installed and render the per-operator
+   report.  The flow-check figures are the [Label_store] stats delta
+   around the execution, so they count exactly this query's label
+   machinery (memoized and missed alike). *)
+let explain_analyze_select s sel : string list * result =
+  in_statement_txn s (fun _txn ->
+      let plan, columns = Planner.plan_select (pctx s) sel in
+      audit_declassify s plan;
+      let db = s.sdb in
+      let fs0 = Label_store.stats db.lstore in
+      let tr = Trace.create () in
+      s.s_trace <- Some tr;
+      Fun.protect
+        ~finally:(fun () -> s.s_trace <- None)
+        (fun () ->
+          let t0 = Trace.now_ns () in
+          let tuples = Executor.run_list (exec_ctx s) plan in
+          let total_ns = Trace.now_ns () - t0 in
+          let fs1 = Label_store.stats db.lstore in
+          let hits = fs1.Label_store.flow_hits - fs0.Label_store.flow_hits in
+          let misses =
+            fs1.Label_store.flow_misses - fs0.Label_store.flow_misses
+          in
+          let report =
+            Trace.report tr ~total_ns ~rows:(List.length tuples)
+              ~flow_checks:(hits + misses) ~flow_hits:hits
+          in
+          (report, Rows { columns; tuples })))
+
+let explain_rows lines =
+  Rows
+    {
+      columns = [ "QUERY PLAN" ];
+      tuples =
+        List.map
+          (fun l -> Tuple.make ~values:[| Value.Text l |] ~label:Label.empty)
+          lines;
+    }
+
+let exec_explain s ~analyze stmt =
+  match stmt with
+  | A.S_select sel ->
+      if analyze then explain_rows (fst (explain_analyze_select s sel))
+      else
+        in_statement_txn s (fun _txn ->
+            let plan, _columns = Planner.plan_select (pctx s) sel in
+            explain_rows (plan_lines plan))
+  | _ -> Errors.sql "EXPLAIN supports only SELECT statements"
 
 let exec_stmt s (stmt : A.stmt) : result =
   match stmt with
@@ -1349,8 +1562,10 @@ let exec_stmt s (stmt : A.stmt) : result =
   | A.S_select sel ->
       in_statement_txn s (fun _txn ->
           let plan, columns = Planner.plan_select (pctx s) sel in
+          audit_declassify s plan;
           let tuples = Executor.run_list (exec_ctx s) plan in
           Rows { columns; tuples })
+  | A.S_explain { x_analyze; x_stmt } -> exec_explain s ~analyze:x_analyze x_stmt
   | A.S_insert _ -> in_statement_txn s (fun txn -> exec_insert s txn stmt)
   | A.S_update { u_table; u_sets; u_where } ->
       in_statement_txn s (fun txn -> exec_update s txn u_table u_sets u_where)
@@ -1442,24 +1657,52 @@ let diag_exn (d : Diag.t) =
    rollback folded in.  (Implicit transactions already abort inside
    [in_statement_txn].) *)
 let exec_stmt_guarded s stmt =
-  try
-    if s.sdb.ifc then begin
-      let diags = analyze_stmt s stmt in
-      s.s_warnings <- diags;
-      if s.sdb.strict then
-        match List.find_opt Diag.is_error diags with
-        | Some d -> raise (diag_exn d)
-        | None -> ()
-    end;
-    exec_stmt s stmt
-  with
-  | ( Flow_violation _ | Authority_required _ | Constraint_violation _
-    | Sql_error _ | Manager.Serialization_failure _
-    | Ifdb_engine.Planner.Plan_error _ | Ifdb_engine.Executor.Exec_error _
-    | Catalog.Catalog_error _ | Expr.Type_error _ | Authority.Denied _
-    | Authority.Not_public _ | Authority.Unknown _ ) as e ->
-    (match s.s_txn with Some txn -> do_abort s txn | None -> ());
-    raise e
+  let db = s.sdb in
+  (* clock reads only when someone will consume them: the latency
+     histogram (metrics on) or the slow-query log (threshold set) *)
+  let timed = Metrics.enabled db.metrics || db.slow_ns <> max_int in
+  let t0 = if timed then Trace.now_ns () else 0 in
+  s.s_stmt <- Some stmt;
+  Fun.protect
+    ~finally:(fun () -> s.s_stmt <- None)
+    (fun () ->
+      try
+        if db.ifc then begin
+          let diags = analyze_stmt s stmt in
+          s.s_warnings <- diags;
+          if db.strict then
+            match List.find_opt Diag.is_error diags with
+            | Some d -> raise (diag_exn d)
+            | None -> ()
+        end;
+        let result = exec_stmt s stmt in
+        Metrics.incr db.mx.mx_statements;
+        if timed then begin
+          let ns = Trace.now_ns () - t0 in
+          Metrics.observe db.mx.mx_latency (float_of_int ns /. 1e9);
+          if ns >= db.slow_ns then begin
+            Metrics.incr db.mx.mx_slow;
+            let rows =
+              match result with
+              | Rows { tuples; _ } -> List.length tuples
+              | Affected n -> n
+              | Done _ -> 0
+            in
+            Trace.slow_log_add db.slow ~sql:(Printer.stmt_to_string stmt) ~ns
+              ~rows
+          end
+        end;
+        result
+      with
+      | ( Flow_violation _ | Authority_required _ | Constraint_violation _
+        | Sql_error _ | Manager.Serialization_failure _
+        | Ifdb_engine.Planner.Plan_error _ | Ifdb_engine.Executor.Exec_error _
+        | Catalog.Catalog_error _ | Expr.Type_error _ | Authority.Denied _
+        | Authority.Not_public _ | Authority.Unknown _ ) as e ->
+        Metrics.incr db.mx.mx_statements;
+        Metrics.incr db.mx.mx_errors;
+        (match s.s_txn with Some txn -> do_abort s txn | None -> ());
+        raise e)
 
 let wrap_errors f =
   try f () with
@@ -1489,6 +1732,23 @@ let exec_script s sql_text =
    internal dispatcher on purpose: external callers always get the
    guarded, error-normalized path. *)
 let exec_stmt s stmt = wrap_errors (fun () -> exec_stmt_guarded s stmt)
+
+(* Programmatic EXPLAIN ANALYZE: the rendered report plus the query's
+   ordinary result, so callers can assert the traced execution returns
+   exactly what the untraced one would. *)
+let explain_analyze s sql_text =
+  wrap_errors (fun () ->
+      let sel =
+        match Parser.parse_one sql_text with
+        | A.S_select sel -> sel
+        | A.S_explain { x_stmt = A.S_select sel; _ } -> sel
+        | _ -> Errors.sql "explain_analyze expects a single SELECT"
+      in
+      let stmt = A.S_select sel in
+      s.s_stmt <- Some stmt;
+      Fun.protect
+        ~finally:(fun () -> s.s_stmt <- None)
+        (fun () -> explain_analyze_select s sel))
 
 let query s sql_text =
   match exec s sql_text with
@@ -1576,6 +1836,7 @@ let query_each s ?(extra = Label.empty) sql_text f =
       | A.S_select sel ->
           in_statement_txn s (fun _txn ->
               let plan, _names = Planner.plan_select (pctx s) ~extra sel in
+              audit_declassify s plan;
               let rows = Executor.run_list (exec_ctx s) plan in
               List.iter
                 (fun row ->
@@ -1637,11 +1898,65 @@ let register_builtin_procedures db =
           Value.Null);
     }
 
+(* Pull gauges over the component stat blocks: the hot paths keep their
+   existing cheap counters and the registry reads them only at scrape
+   time.  Monotone ones are exported with Prometheus TYPE counter. *)
+let register_component_metrics reg ~lstore ~bp ~the_wal ~gc ~audit =
+  let c name help read = ignore (Metrics.gauge reg ~help ~kind:`Counter name read) in
+  let g name help read = ignore (Metrics.gauge reg ~help ~kind:`Gauge name read) in
+  let ls f = float_of_int (f (Label_store.stats lstore)) in
+  g "ifdb_labels_interned" "distinct labels interned" (fun () ->
+      ls (fun st -> st.Label_store.interned));
+  c "ifdb_flow_memo_hits_total" "flow checks answered from the memo"
+    (fun () -> ls (fun st -> st.Label_store.flow_hits));
+  c "ifdb_flow_memo_misses_total" "flow checks computed from authority state"
+    (fun () -> ls (fun st -> st.Label_store.flow_misses));
+  c "ifdb_flow_cache_invalidations_total"
+    "flow-memo flushes forced by authority changes" (fun () ->
+      ls (fun st -> st.Label_store.invalidations));
+  let bs f = float_of_int (f (Buffer_pool.stats bp)) in
+  c "ifdb_bufpool_hits_total" "buffer pool page hits" (fun () ->
+      bs (fun st -> st.Buffer_pool.hits));
+  c "ifdb_bufpool_misses_total" "buffer pool page misses" (fun () ->
+      bs (fun st -> st.Buffer_pool.misses));
+  c "ifdb_bufpool_page_writes_total" "pages written back" (fun () ->
+      bs (fun st -> st.Buffer_pool.page_writes));
+  c "ifdb_bufpool_io_ns_total" "modeled buffer pool I/O time (ns)" (fun () ->
+      bs (fun st -> st.Buffer_pool.io_ns));
+  let ws f = float_of_int (f (Wal.stats the_wal)) in
+  c "ifdb_wal_records_total" "WAL records appended" (fun () ->
+      ws (fun st -> st.Wal.records));
+  c "ifdb_wal_bytes_total" "WAL bytes appended" (fun () ->
+      ws (fun st -> st.Wal.bytes));
+  c "ifdb_wal_fsyncs_total" "WAL fsync calls" (fun () ->
+      ws (fun st -> st.Wal.fsyncs));
+  c "ifdb_wal_io_ns_total" "modeled WAL I/O time (ns)" (fun () ->
+      ws (fun st -> st.Wal.io_ns));
+  let gs f = float_of_int (f (Group_commit.stats gc)) in
+  c "ifdb_group_commit_submitted_total" "transactions through group commit"
+    (fun () -> gs (fun st -> st.Group_commit.gc_submitted));
+  c "ifdb_group_commit_batches_total" "group-commit fsync batches" (fun () ->
+      gs (fun st -> st.Group_commit.gc_batches));
+  g "ifdb_group_commit_max_batch" "largest batch flushed in one fsync"
+    (fun () -> gs (fun st -> st.Group_commit.gc_max_batch));
+  g "ifdb_group_commit_pending" "commits waiting for the next flush"
+    (fun () -> float_of_int (Group_commit.pending gc));
+  let ds f = float_of_int (f (Domain_pool.stats ())) in
+  c "ifdb_domain_pool_batches_total" "parallel_for invocations" (fun () ->
+      ds (fun st -> st.Domain_pool.dp_batches));
+  c "ifdb_domain_pool_tasks_total" "morsels executed by the pool" (fun () ->
+      ds (fun st -> st.Domain_pool.dp_tasks));
+  c "ifdb_domain_pool_steals_total" "morsels run off the submitting domain"
+    (fun () -> ds (fun st -> st.Domain_pool.dp_stolen));
+  c "ifdb_audit_events_total" "IFC audit events recorded" (fun () ->
+      float_of_int (Audit.count audit))
+
 let create ?(ifc = true) ?(label_cache = true) ?(isolation = Snapshot)
     ?(capacity_pages = None) ?(miss_cost_ns = 100_000)
     ?(write_cost_ns = 60_000) ?(fsync_cost_ns = 200_000) ?(seed = 0x1FDB)
     ?(parallelism = 1) ?(morsel_size = 1024) ?(commit_batch = 1)
-    ?(sync_commit = false) ?(strict_analysis = false) () =
+    ?(sync_commit = false) ?(strict_analysis = false) ?(metrics = true)
+    ?slow_query_ms ?(audit_wal = false) ?(audit_capacity = 4096) () =
   let parallelism = max 1 parallelism in
   let morsel_size = max 16 morsel_size in
   let bp =
@@ -1652,15 +1967,52 @@ let create ?(ifc = true) ?(label_cache = true) ?(isolation = Snapshot)
   let admin_p =
     Authority.create_principal auth ~actor_label:Label.empty ~name:"admin"
   in
+  let lstore = Label_store.create ~flow_cache:label_cache auth in
+  let mgr =
+    Manager.create ~wal:the_wal
+      ~serializable_locking:(isolation = Serializable) ~commit_batch
+      ~sync_commit ()
+  in
+  let reg = Metrics.create ~enabled:metrics () in
+  let audit =
+    let sink =
+      if audit_wal then
+        Some (fun ev -> Wal.append the_wal (Wal.Audit (Audit.event_to_string ev)))
+      else None
+    in
+    Audit.create ~capacity:audit_capacity ?sink ()
+  in
+  register_component_metrics reg ~lstore ~bp ~the_wal
+    ~gc:(Manager.group_commit mgr) ~audit;
+  let mx =
+    {
+      mx_statements =
+        Metrics.counter reg ~help:"SQL statements executed"
+          "ifdb_statements_total";
+      mx_errors =
+        Metrics.counter reg ~help:"statements that raised an error"
+          "ifdb_statement_errors_total";
+      mx_commits =
+        Metrics.counter reg ~help:"transactions committed"
+          "ifdb_txn_commits_total";
+      mx_aborts =
+        Metrics.counter reg ~help:"transactions aborted"
+          "ifdb_txn_aborts_total";
+      mx_slow =
+        Metrics.counter reg
+          ~help:"statements at or above the slow-query threshold"
+          "ifdb_slow_queries_total";
+      mx_latency =
+        Metrics.histogram reg ~help:"statement latency in seconds"
+          "ifdb_statement_seconds";
+    }
+  in
   let db =
     {
       auth;
-      lstore = Label_store.create ~flow_cache:label_cache auth;
+      lstore;
       cat = Catalog.create ~pool:bp ~labeled:ifc ();
-      mgr =
-        Manager.create ~wal:the_wal
-          ~serializable_locking:(isolation = Serializable) ~commit_batch
-          ~sync_commit ();
+      mgr;
       bp;
       ifc;
       iso = isolation;
@@ -1675,6 +2027,14 @@ let create ?(ifc = true) ?(label_cache = true) ?(isolation = Snapshot)
       morsel = morsel_size;
       dpool =
         (if parallelism > 1 then Some (Domain_pool.get ~parallelism) else None);
+      metrics = reg;
+      mx;
+      audit;
+      slow = Trace.slow_log_create ();
+      slow_ns =
+        (match slow_query_ms with
+        | None -> max_int
+        | Some ms -> int_of_float (ms *. 1e6));
     }
   in
   register_builtin_procedures db;

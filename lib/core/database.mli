@@ -60,6 +60,10 @@ val create :
   ?commit_batch:int ->
   ?sync_commit:bool ->
   ?strict_analysis:bool ->
+  ?metrics:bool ->
+  ?slow_query_ms:float ->
+  ?audit_wal:bool ->
+  ?audit_capacity:int ->
   unit ->
   t
 (** Defaults: [ifc:true], [Snapshot] isolation (what the paper's
@@ -93,7 +97,23 @@ val create :
     [Error]-severity diagnostics raise the exception the predicted
     runtime failure would have raised, before any effect.  With it off,
     analyzer output is still attached to the session
-    ({!session_warnings}). *)
+    ({!session_warnings}).
+
+    [metrics] (default on) controls the metrics registry.  On, the
+    statement path maintains counters and a latency histogram and the
+    registry exports component stats (label store, buffer pool, WAL,
+    group commit, domain pool, audit log) as pull gauges; off, every
+    instrument is a no-op and {!metrics_snapshot} returns [[]].
+
+    [slow_query_ms] (default unset) enables the slow-query ring buffer:
+    statements at or above the threshold are recorded with their SQL,
+    duration and row count ({!slow_queries}).  Unset, the statement
+    path never reads a clock for it.
+
+    [audit_wal] (default off) additionally appends every IFC audit
+    event to the WAL as an [Audit] record, making the security stream
+    durable alongside the data it concerns.  [audit_capacity] (default
+    4096) bounds the in-memory audit ring. *)
 
 val authority : t -> Authority.t
 
@@ -321,3 +341,57 @@ val checkpoint : t -> unit
 (** Flush dirty pages (charges simulated write I/O). *)
 
 val table_names : t -> string list
+
+(** {1 Observability}
+
+    One registry per database instance unifies the engine's scattered
+    statistics (label store, buffer pool, WAL, group commit, domain
+    pool, audit log) behind stable [ifdb_*] metric names, plus counters
+    and a latency histogram maintained by the statement path itself.
+    Created with [~metrics:false] every instrument is a no-op whose
+    cost is one immediate boolean test. *)
+
+val metrics : t -> Ifdb_obs.Metrics.t
+(** The instance's metrics registry, for registering extra instruments
+    (e.g. the platform's authority cache). *)
+
+val metrics_snapshot : t -> (string * float) list
+(** Current value of every metric, in registration order.  Histograms
+    contribute [name_count] and [name_sum].  Empty when the registry is
+    disabled. *)
+
+val metrics_prometheus : t -> string
+(** The registry in Prometheus text exposition format ([# HELP] /
+    [# TYPE] / samples; histograms with cumulative [_bucket\{le=…\}]
+    series). *)
+
+val reset_stats : t -> unit
+(** Zero the registry's counters and histograms {e and} the component
+    stat blocks behind the pull gauges (label store, buffer pool, WAL,
+    group commit) in one sweep, using their atomic take-and-reset
+    entry points.  Gauges of current state (e.g. interned labels,
+    pending commits) are unaffected. *)
+
+val explain_analyze : session -> string -> string list * result
+(** Execute a SELECT with per-operator tracing and return the rendered
+    report (one line per string) alongside the ordinary result.  The
+    report shows each operator's rows and inclusive wall time, morsel
+    and per-worker attribution for parallel fan-outs, per-table label
+    confinement counts (tuples scanned, pruned, whole scans skipped as
+    label-empty), and the flow-check count and memo hit rate for
+    exactly this execution.  Tracing is per-session and per-query:
+    concurrent untraced statements pay nothing.  SQL-level access:
+    [EXPLAIN ANALYZE SELECT …] (and [EXPLAIN SELECT …] for the plan
+    tree alone), returning the report as [QUERY PLAN] rows. *)
+
+val slow_queries : ?n:int -> t -> Ifdb_obs.Trace.slow_entry list
+(** Most recent slow-query entries, newest first (default 20).  Only
+    populated when {!create} was given [slow_query_ms]. *)
+
+val audit_log : t -> Ifdb_obs.Audit.t
+(** The instance's IFC audit stream: declassifications (view and
+    session), authority closure invocations, delegations/revocations,
+    Write-Rule and commit-label rejections, and clearance raises, each
+    stamped with the acting principal, the tags involved and the
+    originating statement.  Always on — security events are rare enough
+    that recording them is free relative to executing them. *)

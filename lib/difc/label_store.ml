@@ -182,7 +182,17 @@ let stats t =
     invalidations = Atomic.get t.invalidations;
   }
 
-let reset_stats t =
-  Atomic.set t.flow_hits 0;
-  Atomic.set t.flow_misses 0;
-  Atomic.set t.invalidations 0
+(* Read-and-zero each counter with [Atomic.exchange] so an increment
+   racing the reset lands in exactly one epoch: either the returned
+   snapshot or the fresh count, never neither (the [Atomic.set]-based
+   reset lost increments that arrived between the read and the set,
+   letting a concurrent reader observe hits > lookups mid-update). *)
+let take_stats t =
+  {
+    interned = t.next;
+    flow_hits = Atomic.exchange t.flow_hits 0;
+    flow_misses = Atomic.exchange t.flow_misses 0;
+    invalidations = Atomic.exchange t.invalidations 0;
+  }
+
+let reset_stats t = ignore (take_stats t)

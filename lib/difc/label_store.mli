@@ -72,4 +72,14 @@ val flows_id : t -> src:id -> dst:id -> bool
     generation bump always recomputes. *)
 
 val stats : t -> stats
+
+val take_stats : t -> stats
+(** Read and zero the counters as one atomic pair per counter
+    ([Atomic.exchange]): an increment racing the call is charged to
+    exactly one epoch — the returned snapshot or the fresh counts —
+    never lost and never double-counted.  Use this (not {!stats}
+    followed by {!reset_stats}) when sampling deltas concurrently with
+    running queries. *)
+
 val reset_stats : t -> unit
+(** [reset_stats t = ignore (take_stats t)]. *)

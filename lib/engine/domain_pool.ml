@@ -30,6 +30,24 @@ type t = {
 
 let max_parallelism () = Domain.recommended_domain_count ()
 
+(* Lifetime accounting, process-wide like the pool itself: batches
+   submitted, tasks (morsels) executed, and tasks stolen — claimed by a
+   pool worker rather than the submitting thread (worker 0).  Kept as
+   plain atomics so the observability layer can expose them as gauges
+   without the pool depending on it. *)
+type stats = { dp_batches : int; dp_tasks : int; dp_stolen : int }
+
+let stat_batches = Atomic.make 0
+let stat_tasks = Atomic.make 0
+let stat_stolen = Atomic.make 0
+
+let stats () =
+  {
+    dp_batches = Atomic.get stat_batches;
+    dp_tasks = Atomic.get stat_tasks;
+    dp_stolen = Atomic.get stat_stolen;
+  }
+
 (* Claim indices until exhausted or cancelled.  Any exception cancels
    the batch; the first one is kept and re-raised by the caller. *)
 let run_share job ~worker =
@@ -37,6 +55,8 @@ let run_share job ~worker =
     if not (Atomic.get job.j_cancelled) then begin
       let i = Atomic.fetch_and_add job.j_next 1 in
       if i < job.j_tasks then begin
+        Atomic.incr stat_tasks;
+        if worker <> 0 then Atomic.incr stat_stolen;
         (try job.j_f ~worker i
          with e ->
            Atomic.set job.j_cancelled true;
@@ -135,12 +155,16 @@ let parallel_for t ?width ~tasks f =
       | Some w -> max 1 (min w (parallelism t))
       | None -> parallelism t
     in
-    if width = 1 || tasks = 1 || t.nworkers = 0 || t.busy then
+    if width = 1 || tasks = 1 || t.nworkers = 0 || t.busy then begin
       (* inline: no workers, a single morsel, or a nested call *)
+      Atomic.incr stat_batches;
+      ignore (Atomic.fetch_and_add stat_tasks tasks);
       for i = 0 to tasks - 1 do
         f ~worker:0 i
       done
+    end
     else begin
+      Atomic.incr stat_batches;
       let job =
         {
           j_tasks = tasks;

@@ -32,6 +32,16 @@ val parallelism : t -> int
 val max_parallelism : unit -> int
 (** [Domain.recommended_domain_count ()]: the pool's natural size. *)
 
+type stats = {
+  dp_batches : int;  (** [parallel_for] batches submitted (incl. inline) *)
+  dp_tasks : int;  (** tasks (morsels) executed *)
+  dp_stolen : int;  (** tasks claimed by a pool worker, not the caller *)
+}
+
+val stats : unit -> stats
+(** Process-wide lifetime counters (the pool is process-wide too).
+    Monotone; never reset. *)
+
 val parallel_for : t -> ?width:int -> tasks:int -> (worker:int -> int -> unit) -> unit
 (** [parallel_for t ~tasks f] runs [f ~worker i] for every
     [i in 0 .. tasks-1], distributing indices over the caller

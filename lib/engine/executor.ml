@@ -2,6 +2,7 @@ module Tuple = Ifdb_rel.Tuple
 module Expr = Ifdb_rel.Expr
 module Label = Ifdb_difc.Label
 module Value = Ifdb_rel.Value
+module Trace = Ifdb_obs.Trace
 
 type morsel_source = {
   ms_morsels : int;
@@ -24,6 +25,7 @@ type ctx = {
   strip :
     Label.t -> (Ifdb_difc.Tag.t * Ifdb_difc.Tag.t) list -> Label.t -> Label.t;
   par : par option;
+  trace : Trace.t option;
 }
 
 exception Exec_error of string
@@ -357,12 +359,27 @@ let rec compile_pipe ctx par (plan : Plan.t) : morsel_source option =
         (compile_pipe ctx par src)
   | _ -> None
 
+(* [parallel_for], with per-worker task attribution recorded into the
+   trace node when one is active (EXPLAIN ANALYZE): one atomic bump per
+   morsel, nothing per row. *)
+let traced_parallel_for tnode pool ~width ~tasks f =
+  match tnode with
+  | None -> Domain_pool.parallel_for pool ~width ~tasks f
+  | Some node ->
+      let counts =
+        Array.init (Domain_pool.parallelism pool) (fun _ -> Atomic.make 0)
+      in
+      Domain_pool.parallel_for pool ~width ~tasks (fun ~worker i ->
+          Atomic.incr counts.(worker);
+          f ~worker i);
+      Trace.add_morsels node ~per_worker:(Array.map Atomic.get counts)
+
 (* Run a pipe to completion, keeping per-morsel buffers so the
    concatenated output preserves scan (version) order — byte-identical
    to the serial executor's output for the same plan. *)
-let par_collect par ms : Tuple.t list =
+let par_collect ?(tnode = None) par ms : Tuple.t list =
   let buckets = Array.make ms.ms_morsels [] in
-  Domain_pool.parallel_for par.par_pool ~width:par.par_width
+  traced_parallel_for tnode par.par_pool ~width:par.par_width
     ~tasks:ms.ms_morsels (fun ~worker:_ i ->
       let acc = ref [] in
       ms.ms_run i (fun row -> acc := row :: !acc);
@@ -374,7 +391,7 @@ let par_collect par ms : Tuple.t list =
    per-group partial states with [merge_agg].  Group output order is
    whichever worker saw the group first — SQL leaves it unspecified,
    and the equivalence tests compare multisets. *)
-let par_aggregate ctx par ms ~keys ~aggs : Tuple.t list =
+let par_aggregate ?(tnode = None) ctx par ms ~keys ~aggs : Tuple.t list =
   let nslots = Domain_pool.parallelism par.par_pool in
   let slots =
     Array.init nslots (fun _ ->
@@ -382,7 +399,7 @@ let par_aggregate ctx par ms ~keys ~aggs : Tuple.t list =
           : (Value.t list, agg_state array * label_acc) Hashtbl.t))
   in
   let orders = Array.make nslots [] in
-  Domain_pool.parallel_for par.par_pool ~width:par.par_width
+  traced_parallel_for tnode par.par_pool ~width:par.par_width
     ~tasks:ms.ms_morsels (fun ~worker i ->
       let groups = slots.(worker) in
       ms.ms_run i (fun row ->
@@ -444,8 +461,8 @@ let par_aggregate ctx par ms ~keys ~aggs : Tuple.t list =
    hashes each row's key once, then one worker per partition inserts
    its share, so the partition tables are immutable — and read
    lock-free — before the probe barrier. *)
-let par_hash_join ctx par ~left_ms ~right_rows ~kind ~cond ~right_arity ~pairs :
-    Tuple.t list =
+let par_hash_join ?(tnode = None) ctx par ~left_ms ~right_rows ~kind ~cond
+    ~right_arity ~pairs : Tuple.t list =
   let eval_cond merged =
     match cond with None -> true | Some e -> Expr.eval_pred ctx.fenv merged e
   in
@@ -484,9 +501,11 @@ let par_hash_join ctx par ~left_ms ~right_rows ~kind ~cond ~right_arity ~pairs :
           | Some _ | None -> ())
         keyed);
   (* probe: morsel-parallel over the left pipe; per-morsel buffers keep
-     the output in left-scan order, as the serial join emits it *)
+     the output in left-scan order, as the serial join emits it.  Only
+     the probe is attributed to the trace — its tasks are the left
+     pipe's morsels; the build fan-outs above are bookkeeping chunks. *)
   let buckets = Array.make left_ms.ms_morsels [] in
-  Domain_pool.parallel_for par.par_pool ~width:par.par_width
+  traced_parallel_for tnode par.par_pool ~width:par.par_width
     ~tasks:left_ms.ms_morsels (fun ~worker:_ i ->
       let acc = ref [] in
       left_ms.ms_run i (fun lrow ->
@@ -519,25 +538,61 @@ let par_hash_join ctx par ~left_ms ~right_rows ~kind ~cond ~right_arity ~pairs :
    immediate child to the serial (lazy) interpreter — early exit there
    is worth more than parallelism. *)
 let rec run ctx (plan : Plan.t) : Tuple.t Seq.t =
-  match par_run ctx plan with
-  | Some rows -> List.to_seq rows
-  | None -> run_serial ctx plan
+  match ctx.trace with
+  | None -> (
+      match par_run ctx None plan with
+      | Some rows -> List.to_seq rows
+      | None -> run_serial ctx plan)
+  | Some tr ->
+      (* Plan translation is eager (children recurse here before the
+         parent's seq is returned), so enter/exit around it builds the
+         operator tree; the wall time added below covers the eager work
+         (parallel sections, aggregate folds), and [wrap_seq] adds the
+         lazy per-pull time afterwards.  Times are inclusive of
+         children, as in Postgres EXPLAIN ANALYZE. *)
+      let node = Trace.enter tr (Plan.describe plan) in
+      let t0 = Trace.now_ns () in
+      let result =
+        match par_run ctx (Some node) plan with
+        | Some rows -> Either.Left rows
+        | None -> Either.Right (run_serial ctx plan)
+      in
+      Trace.add_ns node (Trace.now_ns () - t0);
+      Trace.exit_node tr node;
+      (match result with
+      | Either.Left rows ->
+          Trace.add_rows node (List.length rows);
+          List.to_seq rows
+      | Either.Right s -> Trace.wrap_seq node s)
 
-and par_run ctx (plan : Plan.t) : Tuple.t list option =
+(* Serial-only evaluation that still gives the subtree trace nodes —
+   for operators that must keep their child lazy (Limit). *)
+and run_lazy ctx (plan : Plan.t) : Tuple.t Seq.t =
+  match ctx.trace with
+  | None -> run_serial ctx plan
+  | Some tr ->
+      let node = Trace.enter tr (Plan.describe plan) in
+      let t0 = Trace.now_ns () in
+      let s = run_serial ctx plan in
+      Trace.add_ns node (Trace.now_ns () - t0);
+      Trace.exit_node tr node;
+      Trace.wrap_seq node s
+
+and par_run ctx tnode (plan : Plan.t) : Tuple.t list option =
   match ctx.par with
   | None -> None
   | Some par -> (
       match plan with
       | Plan.Scan _ | Plan.Filter _ | Plan.Project _ | Plan.Declassify _ -> (
           match compile_pipe ctx par plan with
-          | Some ms when ms.ms_morsels >= 2 -> Some (par_collect par ms)
+          | Some ms when ms.ms_morsels >= 2 -> Some (par_collect ~tnode par ms)
           | Some _ | None -> None)
       | Plan.Aggregate { src; keys; aggs }
         when Array.for_all par_safe_expr keys
              && Array.for_all par_safe_agg aggs -> (
           match compile_pipe ctx par src with
           | Some ms when ms.ms_morsels >= 2 ->
-              Some (par_aggregate ctx par ms ~keys ~aggs)
+              Some (par_aggregate ~tnode ctx par ms ~keys ~aggs)
           | Some _ | None -> None)
       | Plan.Join
           { left; right; kind; cond; left_arity = _; right_arity;
@@ -550,7 +605,7 @@ and par_run ctx (plan : Plan.t) : Tuple.t list option =
           | Some left_ms when left_ms.ms_morsels >= 2 ->
               let right_rows = List.of_seq (run ctx right) in
               Some
-                (par_hash_join ctx par ~left_ms ~right_rows ~kind ~cond
+                (par_hash_join ~tnode ctx par ~left_ms ~right_rows ~kind ~cond
                    ~right_arity ~pairs)
           | Some _ | None -> None)
       | _ -> None)
@@ -659,7 +714,7 @@ and run_serial ctx (plan : Plan.t) : Tuple.t Seq.t =
   | Plan.Limit (src, limit, offset) ->
       (* keep the child lazy: a parallel child would materialize the
          whole input before the limit could stop it *)
-      let s = run_serial ctx src in
+      let s = run_lazy ctx src in
       let s = match offset with Some n -> Seq.drop n s | None -> s in
       (match limit with Some n -> Seq.take n s | None -> s)
   | Plan.Declassify (src, lbl, relabel) ->

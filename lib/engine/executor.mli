@@ -61,6 +61,11 @@ type ctx = {
           aggregations over them, and hash-join probes run
           morsel-parallel on the domain pool.  [None] reproduces the
           single-domain executor exactly. *)
+  trace : Ifdb_obs.Trace.t option;
+      (** when set (EXPLAIN ANALYZE), every operator gets a trace node
+          recording rows yielded and inclusive wall time, and parallel
+          fan-outs record per-worker morsel attribution.  [None] (the
+          default for every other statement) adds no per-row work. *)
 }
 
 exception Exec_error of string

@@ -115,3 +115,51 @@ let rec pp ppf = function
         pp a pp b
 
 let to_string p = Format.asprintf "%a" pp p
+
+(* One-line head-only description of an operator, without recursing
+   into children — the label EXPLAIN prints per tree node. *)
+let describe = function
+  | One_row -> "OneRow"
+  | Scan { sc_table; sc_extra; sc_prefix; sc_lo; sc_hi } ->
+      Printf.sprintf "Scan(%s%s%s%s)" sc_table
+        (match sc_prefix with None -> "" | Some (idx, _) -> " via " ^ idx)
+        (if sc_lo <> None || sc_hi <> None then " range" else "")
+        (if Label.is_empty sc_extra then ""
+         else " extra=" ^ Label.to_string sc_extra)
+  | Filter (_, e) -> Format.asprintf "Filter(%a)" Expr.pp e
+  | Project (_, es) -> Printf.sprintf "Project(%d cols)" (Array.length es)
+  | Join { kind; probe; equi; _ } ->
+      let prefix = match kind with `Inner -> "" | `Left -> "Left" in
+      (match probe with
+      | Some (table, idx, _, _) ->
+          Printf.sprintf "%sIndexJoin(%s via %s)" prefix table idx
+      | None ->
+          if equi <> [] then Printf.sprintf "%sHashJoin(%d keys)" prefix (List.length equi)
+          else prefix ^ "NestedLoopJoin")
+  | Aggregate { keys; aggs; _ } ->
+      Printf.sprintf "Aggregate(keys=%d aggs=%d)" (Array.length keys)
+        (Array.length aggs)
+  | Distinct _ -> "Distinct"
+  | Sort (_, specs) -> Printf.sprintf "Sort(%d keys)" (Array.length specs)
+  | Limit (_, l, o) ->
+      Printf.sprintf "Limit(%s offset=%s)"
+        (match l with Some n -> string_of_int n | None -> "-")
+        (match o with Some n -> string_of_int n | None -> "-")
+  | Declassify (_, lbl, relabel) ->
+      Format.asprintf "Declassify(%a%s)" Label.pp lbl
+        (if relabel = [] then "" else " relabel")
+  | Union (_, _, kind) ->
+      (match kind with `All -> "UnionAll" | `Distinct -> "Union")
+
+(* Direct children in execution order.  An index-nested-loop join's
+   right side is fetched per left row through the index, not run as a
+   plan, so only the left child appears. *)
+let children = function
+  | One_row | Scan _ -> []
+  | Filter (p, _) | Project (p, _) | Distinct p | Sort (p, _)
+  | Limit (p, _, _) | Declassify (p, _, _) ->
+      [ p ]
+  | Join { left; probe = Some _; _ } -> [ left ]
+  | Join { left; right; _ } -> [ left; right ]
+  | Aggregate { src; _ } -> [ src ]
+  | Union (a, b, _) -> [ a; b ]

@@ -1,0 +1,83 @@
+type kind =
+  | View_declassify
+  | Closure_call
+  | Delegate
+  | Revoke
+  | Write_rule_rejection
+  | Commit_rejection
+  | Clearance_raise
+  | Session_declassify
+
+let kind_name = function
+  | View_declassify -> "view_declassify"
+  | Closure_call -> "closure_call"
+  | Delegate -> "delegate"
+  | Revoke -> "revoke"
+  | Write_rule_rejection -> "write_rule_rejection"
+  | Commit_rejection -> "commit_rejection"
+  | Clearance_raise -> "clearance_raise"
+  | Session_declassify -> "session_declassify"
+
+type event = {
+  ev_seq : int;
+  ev_kind : kind;
+  ev_principal : string;
+  ev_tags : string list;
+  ev_stmt : string;
+  ev_detail : string;
+}
+
+let event_to_string e =
+  let tags =
+    match e.ev_tags with
+    | [] -> ""
+    | ts -> Printf.sprintf " tags={%s}" (String.concat ", " ts)
+  in
+  let detail = if e.ev_detail = "" then "" else " " ^ e.ev_detail in
+  let stmt = if e.ev_stmt = "" then "" else Printf.sprintf " stmt=[%s]" e.ev_stmt in
+  Printf.sprintf "#%d %s principal=%s%s%s%s" e.ev_seq (kind_name e.ev_kind)
+    e.ev_principal tags detail stmt
+
+type t = {
+  mu : Mutex.t;
+  cap : int;
+  ring : event option array;
+  mutable total : int;
+  sink : (event -> unit) option;
+}
+
+let create ?(capacity = 4096) ?sink () =
+  let capacity = max 1 capacity in
+  { mu = Mutex.create (); cap = capacity; ring = Array.make capacity None; total = 0; sink }
+
+let emit t ~kind ~principal ?(tags = []) ?(stmt = "") ?(detail = "") () =
+  Mutex.protect t.mu (fun () ->
+      let e =
+        {
+          ev_seq = t.total;
+          ev_kind = kind;
+          ev_principal = principal;
+          ev_tags = tags;
+          ev_stmt = stmt;
+          ev_detail = detail;
+        }
+      in
+      t.ring.(t.total mod t.cap) <- Some e;
+      t.total <- t.total + 1;
+      match t.sink with None -> () | Some f -> f e)
+
+let count t = Mutex.protect t.mu (fun () -> t.total)
+
+let recent t n =
+  Mutex.protect t.mu (fun () ->
+      let avail = min t.total t.cap in
+      let n = min n avail in
+      List.init n (fun i ->
+          match t.ring.((t.total - 1 - i) mod t.cap) with
+          | Some e -> e
+          | None -> assert false))
+
+let events t = List.rev (recent t max_int)
+
+let count_kind t kind =
+  List.length (List.filter (fun e -> e.ev_kind = kind) (events t))

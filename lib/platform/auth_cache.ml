@@ -49,3 +49,14 @@ let stats t = { hits = t.hits; misses = t.misses }
 let reset_stats t =
   t.hits <- 0;
   t.misses <- 0
+
+(* The core registers its own components' gauges; the platform cache
+   lives a layer above the core, so it hooks itself in. *)
+let register_metrics reg t =
+  let c name help read =
+    ignore (Ifdb_obs.Metrics.gauge reg ~help ~kind:`Counter name read)
+  in
+  c "ifdb_auth_cache_hits_total" "authority checks answered from the cache"
+    (fun () -> float_of_int t.hits);
+  c "ifdb_auth_cache_misses_total" "authority checks computed from state"
+    (fun () -> float_of_int t.misses)

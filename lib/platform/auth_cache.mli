@@ -24,3 +24,9 @@ val can_declassify_label :
 
 val stats : t -> stats
 val reset_stats : t -> unit
+
+val register_metrics : Ifdb_obs.Metrics.t -> t -> unit
+(** Export hit/miss counts as pull gauges (Prometheus TYPE counter)
+    under [ifdb_auth_cache_*].  Typically called with
+    {!Ifdb_core.Database.metrics}; registering the same cache twice
+    raises (duplicate metric names). *)

@@ -107,6 +107,9 @@ type stmt =
   | S_commit
   | S_rollback
   | S_perform of string * expr list  (* PERFORM/CALL procedure *)
+  | S_explain of { x_analyze : bool; x_stmt : stmt }
+      (* EXPLAIN [ANALYZE] stmt: plan (and, with ANALYZE, execution
+         trace) instead of the statement's own result *)
 
 let select_defaults =
   {

@@ -607,8 +607,13 @@ let parse_perform st =
   in
   Ast.S_perform (name, args)
 
-let parse_stmt st =
-  if is_kw st "select" then Ast.S_select (parse_select st)
+let rec parse_stmt st =
+  if is_kw st "explain" then begin
+    advance st;
+    let x_analyze = eat_kw st "analyze" in
+    Ast.S_explain { x_analyze; x_stmt = parse_stmt st }
+  end
+  else if is_kw st "select" then Ast.S_select (parse_select st)
   else if is_kw st "insert" then parse_insert st
   else if is_kw st "update" then parse_update st
   else if is_kw st "delete" then parse_delete st

@@ -140,7 +140,7 @@ let constraint_to_string = function
       Printf.sprintf "FOREIGN KEY (%s) REFERENCES %s (%s)"
         (String.concat ", " c_cols) c_ref_table (String.concat ", " c_ref_cols)
 
-let stmt_to_string = function
+let rec stmt_to_string = function
   | S_select s -> select_to_string s
   | S_insert { i_table; i_columns; i_rows; i_select; i_declassifying } ->
       let cols =
@@ -205,5 +205,9 @@ let stmt_to_string = function
   | S_perform (name, args) ->
       Printf.sprintf "PERFORM %s(%s)" name
         (String.concat ", " (List.map expr_to_string args))
+  | S_explain { x_analyze; x_stmt } ->
+      Printf.sprintf "EXPLAIN %s%s"
+        (if x_analyze then "ANALYZE " else "")
+        (stmt_to_string x_stmt)
 
 let pp_stmt ppf s = Format.pp_print_string ppf (stmt_to_string s)

@@ -153,11 +153,20 @@ let stats t =
     io_ns = Atomic.get t.io_ns;
   }
 
-let reset_stats t =
-  Atomic.set t.hits 0;
-  Atomic.set t.misses 0;
-  Atomic.set t.page_writes 0;
-  Atomic.set t.io_ns 0
+(* Read-and-zero with [Atomic.exchange] per counter: a concurrent
+   [touch] lands in either the returned snapshot or the fresh epoch,
+   never between the read and the zeroing (the old [Atomic.set] reset
+   could drop such increments, letting a reader observe more hits than
+   lookups across the reset). *)
+let take_stats t =
+  {
+    hits = Atomic.exchange t.hits 0;
+    misses = Atomic.exchange t.misses 0;
+    page_writes = Atomic.exchange t.page_writes 0;
+    io_ns = Atomic.exchange t.io_ns 0;
+  }
+
+let reset_stats t = ignore (take_stats t)
 
 let io_ns t = Atomic.get t.io_ns
 

@@ -53,7 +53,17 @@ val resident : t -> int
 (** Number of resident pages. *)
 
 val stats : t -> stats
+
+val take_stats : t -> stats
+(** Read and zero the counters as one atomic pair per counter
+    ([Atomic.exchange]): an increment racing the call lands in exactly
+    one epoch — the returned snapshot or the fresh counts.  Use this
+    (not {!stats} + {!reset_stats}) when sampling deltas concurrently
+    with parallel scans. *)
+
 val reset_stats : t -> unit
+(** [reset_stats t = ignore (take_stats t)]. *)
+
 val io_ns : t -> int
 (** Shorthand for [(stats t).io_ns]. *)
 

@@ -5,6 +5,7 @@ type record =
   | Commit of int
   | Abort of int
   | Checkpoint
+  | Audit of string
 
 type stats = { records : int; bytes : int; fsyncs : int; io_ns : int }
 
@@ -37,6 +38,7 @@ let record_bytes = function
   | Begin _ | Commit _ | Abort _ | Checkpoint -> 16
   | Delete (_, _) -> 24
   | Insert (_, _, payload) -> 24 + payload
+  | Audit line -> 16 + String.length line
 
 let append_locked t r =
   t.records <- t.records + 1;

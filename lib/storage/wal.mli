@@ -21,6 +21,7 @@ type record =
   | Commit of int
   | Abort of int
   | Checkpoint
+  | Audit of string                   (** rendered IFC audit event *)
 
 type stats = {
   records : int;

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Validate Prometheus scrapes embedded in ifdb_shell output.
+
+Reads shell transcript from stdin, locates the metric dumps produced
+by `\\metrics` (every dump starts with the same HELP/TYPE line, since
+registration order is deterministic), and checks:
+
+  * exactly two scrapes are present,
+  * no scrape contains a duplicate sample key (name + label set),
+  * every TYPE-counter sample is monotone non-decreasing between the
+    scrapes, and the statement counter strictly increased (statements
+    ran between them).
+"""
+
+import re
+import sys
+
+SAMPLE = re.compile(
+    r"^([a-zA-Z_][a-zA-Z0-9_]*(?:\{[^}]*\})?) (-?[0-9.+eE]+|NaN|\+Inf)$"
+)
+TYPE = re.compile(r"^# TYPE ([a-zA-Z_][a-zA-Z0-9_]*) (counter|gauge|histogram)$")
+
+
+def parse(lines):
+    kinds, samples = {}, {}
+    for line in lines:
+        m = TYPE.match(line)
+        if m:
+            kinds[m.group(1)] = m.group(2)
+        m = SAMPLE.match(line)
+        if m:
+            key = m.group(1)
+            if key in samples:
+                sys.exit(f"duplicate sample in one scrape: {key}")
+            samples[key] = float(m.group(2).replace("+Inf", "inf"))
+    return kinds, samples
+
+
+def main():
+    lines = sys.stdin.read().splitlines()
+    first = next((l for l in lines if l.startswith("# ")), None)
+    if first is None:
+        sys.exit("no metric dump found in shell output")
+    starts = [i for i, l in enumerate(lines) if l == first]
+    if len(starts) != 2:
+        sys.exit(f"expected 2 metric scrapes, found {len(starts)}")
+    kinds, s1 = parse(lines[starts[0] : starts[1]])
+    _, s2 = parse(lines[starts[1] :])
+    if not s1 or not s2:
+        sys.exit("empty scrape")
+    regressed = [
+        key
+        for key, v in s1.items()
+        if kinds.get(key.split("{")[0]) == "counter"
+        and key in s2
+        and s2[key] < v
+    ]
+    if regressed:
+        sys.exit(f"counters went backwards between scrapes: {regressed}")
+    if not s2["ifdb_statements_total"] > s1["ifdb_statements_total"]:
+        sys.exit("statement counter did not advance between scrapes")
+    print(
+        f"ok: 2 scrapes, {len(s1)} samples, "
+        f"{sum(1 for k in kinds.values() if k == 'counter')} counter families monotone"
+    )
+
+
+if __name__ == "__main__":
+    main()
