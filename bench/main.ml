@@ -1064,6 +1064,156 @@ let writepath () =
      on RAID-5: ingest is fsync-bound, which is the regime group commit \
      and statement batching recover\n"
 
+(* ------------------------------------------------------------------ *)
+(* Incremental view maintenance: crossover vs recompute-per-read       *)
+(* ------------------------------------------------------------------ *)
+
+(* A CarTel-shaped declassifying aggregate — per-car mileage totals
+   over labeled telemetry, read by a public analyst — under read:write
+   mixes from read-heavy (the website) to write-heavy (ingest).  The
+   same view body runs twice per mix: MATERIALIZED (commit-time deltas)
+   and plain (recompute per read).  Reads and writes are timed
+   separately so the two acceptance numbers fall out directly:
+   read speedup at 100:1 and write-path overhead at 1:1. *)
+let views () =
+  hr "Incremental view maintenance: materialized vs recompute-per-read";
+  let cars = 8 in
+  let base_rows = if !quick then 800 else 4000 in
+  let mixes =
+    (* (label, reads, writes) *)
+    if !quick then [ ("100:1", 1000, 10); ("10:1", 500, 50); ("1:1", 400, 400) ]
+    else [ ("100:1", 5000, 50); ("10:1", 2000, 200); ("1:1", 1500, 1500) ]
+  in
+  let tag_list =
+    String.concat ", " (List.init cars (Printf.sprintf "car%d"))
+  in
+  let run ~materialized (mix, reads, writes) =
+    let db = Db.create () in
+    let admin = Db.connect_admin db in
+    ignore
+      (Db.exec admin "CREATE TABLE obs (id INT PRIMARY KEY, car INT, mi INT)");
+    let tags =
+      Array.init cars (fun i ->
+          Db.create_tag admin ~name:(Printf.sprintf "car%d" i) ())
+    in
+    (* labeled base load: one writer session per car *)
+    let writers =
+      Array.map
+        (fun tag ->
+          let w = Db.connect_admin db in
+          Db.add_secrecy w tag;
+          w)
+        tags
+    in
+    let next_id = ref 0 in
+    let insert_row () =
+      let id = !next_id in
+      incr next_id;
+      let car = id mod cars in
+      ignore
+        (Db.exec writers.(car)
+           (Printf.sprintf "INSERT INTO obs VALUES (%d, %d, %d)" id car
+              (id mod 97)))
+    in
+    for _ = 1 to base_rows do
+      insert_row ()
+    done;
+    ignore
+      (Db.exec admin
+         (Printf.sprintf
+            "CREATE %sVIEW fleet AS SELECT car, COUNT(*) AS n, SUM(mi) AS \
+             total FROM obs GROUP BY car WITH DECLASSIFYING (%s)"
+            (if materialized then "MATERIALIZED " else "")
+            tag_list));
+    let analyst =
+      Db.connect db ~principal:(Db.create_principal admin ~name:"analyst")
+    in
+    (* interleave: spread the writes evenly through the read stream *)
+    Gc.full_major ();
+    let t_read = ref 0.0 and t_write = ref 0.0 in
+    let reads_done = ref 0 and writes_done = ref 0 in
+    let total = reads + writes in
+    for op = 0 to total - 1 do
+      (* Bresenham-style interleave keeps the mix steady throughout *)
+      let want_writes = (op + 1) * writes / total in
+      if !writes_done < want_writes then begin
+        let t0 = now () in
+        insert_row ();
+        t_write := !t_write +. (now () -. t0);
+        incr writes_done
+      end
+      else begin
+        let t0 = now () in
+        ignore (Db.query analyst "SELECT * FROM fleet");
+        t_read := !t_read +. (now () -. t0);
+        incr reads_done
+      end
+    done;
+    let read_us = !t_read /. float_of_int (max 1 !reads_done) *. 1e6 in
+    let write_us = !t_write /. float_of_int (max 1 !writes_done) *. 1e6 in
+    let served, recomputed, deltas =
+      match Db.view_stats db with
+      | s :: _ ->
+          Ifdb_engine.Ivm.(s.vs_served, s.vs_recomputes, s.vs_deltas)
+      | [] -> (0, !reads_done, 0) (* plain view: every read recomputes *)
+    in
+    Printf.printf "%-6s %-12s %12.1f %12.1f %10d %10d %10d\n%!" mix
+      (if materialized then "materialized" else "plain")
+      read_us write_us served recomputed deltas;
+    record_json
+      [
+        ("workload", jstr "views");
+        ("mix", jstr mix);
+        ("materialized", if materialized then "true" else "false");
+        ("reads", jint !reads_done);
+        ("writes", jint !writes_done);
+        ("base_rows", jint base_rows);
+        ("read_us", jfloat read_us);
+        ("write_us", jfloat write_us);
+        ("reads_served_incremental", jint served);
+        ("reads_recomputed", jint recomputed);
+        ("deltas_applied", jint deltas);
+        ("metrics", metrics_json ~txns:(base_rows + !writes_done) db);
+      ];
+    (read_us, write_us)
+  in
+  Printf.printf "%-6s %-12s %12s %12s %10s %10s %10s\n" "mix" "view" "read_us"
+    "write_us" "served" "recomp" "deltas";
+  let results =
+    List.map
+      (fun mix ->
+        let plain = run ~materialized:false mix in
+        let mat = run ~materialized:true mix in
+        (mix, plain, mat))
+      mixes
+  in
+  let speedup_at m =
+    match
+      List.find_opt (fun ((mix, _, _), _, _) -> mix = m) results
+    with
+    | Some (_, (pr, _), (mr, _)) -> pr /. mr
+    | None -> Float.nan
+  in
+  let overhead_at m =
+    match
+      List.find_opt (fun ((mix, _, _), _, _) -> mix = m) results
+    with
+    | Some (_, (_, pw), (_, mw)) -> (mw -. pw) /. pw
+    | None -> Float.nan
+  in
+  let speedup = speedup_at "100:1" in
+  let overhead = overhead_at "1:1" in
+  Printf.printf
+    "\nacceptance: read speedup at 100:1 = %.1fx (>= 10x: %b); write \
+     overhead at 1:1 = %+.1f%% (<= 15%%: %b)\n"
+    speedup (speedup >= 10.0) (overhead *. 100.0) (overhead <= 0.15);
+  record_json
+    [
+      ("workload", jstr "views_acceptance");
+      ("read_speedup_100_1", jfloat speedup);
+      ("write_overhead_1_1", jfloat overhead);
+    ]
+
 let ablations () =
   ablation_auth_cache ();
   ablation_exact_label ();
@@ -1131,7 +1281,7 @@ let micro () =
 
 let all =
   [ "fig3"; "fig4"; "fig5"; "sensor"; "fig6"; "ablations"; "labelcache";
-    "parallel"; "writepath"; "obs"; "micro" ]
+    "parallel"; "writepath"; "views"; "obs"; "micro" ]
 
 let run_one = function
   | "fig3" -> fig3 ()
@@ -1143,6 +1293,7 @@ let run_one = function
   | "labelcache" -> ablation_labelcache ()
   | "parallel" -> parallel_sweep ()
   | "writepath" -> writepath ()
+  | "views" -> views ()
   | "obs" -> ablation_metrics ()
   | "micro" -> micro ()
   | other ->

@@ -14,6 +14,7 @@
      \label                  show the session label
      \delegate TAG NAME      delegate TAG to principal NAME
      \tables                 list tables
+     \views                  list views with materialization state
      \dt NAME                describe a table
      \check SQL              static label-flow analysis, no execution
      \vacuum                 reclaim dead versions
@@ -138,6 +139,55 @@ let run_command st line =
       Printf.printf "delegated %s to %s\n" tag grantee
   | [ "\\tables" ] ->
       List.iter print_endline (Db.table_names st.db)
+  | [ "\\views" ] -> (
+      let module Ivm = Ifdb_engine.Ivm in
+      match Catalog.all_views (Db.catalog st.db) with
+      | [] -> print_endline "no views"
+      | views ->
+          let stats = Db.view_stats st.db in
+          List.iter
+            (fun (vw : Catalog.view) ->
+              let flavor =
+                match
+                  ( Label.is_empty vw.Catalog.vw_declassify,
+                    vw.Catalog.vw_relabel )
+                with
+                | true, [] -> ""
+                | false, [] ->
+                    Printf.sprintf " declassifying %s"
+                      (label_string st vw.Catalog.vw_declassify)
+                | _, _ -> " relabeling"
+              in
+              if not vw.Catalog.vw_materialized then
+                Printf.printf "%s: plain%s\n" vw.Catalog.vw_name flavor
+              else
+                match
+                  List.find_opt
+                    (fun s ->
+                      String.lowercase_ascii s.Ivm.vs_name
+                      = String.lowercase_ascii vw.Catalog.vw_name)
+                    stats
+                with
+                | None ->
+                    Printf.printf "%s: materialized%s (not registered)\n"
+                      vw.Catalog.vw_name flavor
+                | Some s when not s.Ivm.vs_supported ->
+                    Printf.printf
+                      "%s: materialized%s, recompute-only (%s); %d \
+                       recomputed read(s)\n"
+                      vw.Catalog.vw_name flavor s.Ivm.vs_reason
+                      s.Ivm.vs_recomputes
+                | Some s ->
+                    Printf.printf
+                      "%s: materialized%s, %d row(s) in %d label \
+                       partition(s)%s; %d delta(s) applied, %d refresh(es), \
+                       %d read(s) served incrementally, %d recomputed\n"
+                      vw.Catalog.vw_name flavor s.Ivm.vs_rows
+                      s.Ivm.vs_partitions
+                      (if s.Ivm.vs_stale then ", stale" else "")
+                      s.Ivm.vs_deltas s.Ivm.vs_refreshes s.Ivm.vs_served
+                      s.Ivm.vs_recomputes)
+            views)
   | [ "\\dt"; name ] -> (
       match Catalog.find_table (Db.catalog st.db) name with
       | Some tbl ->

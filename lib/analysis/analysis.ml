@@ -658,7 +658,8 @@ let base_tables_of_select ctx sel =
   go_sel [] sel;
   List.rev !acc
 
-let analyze_create_view ctx ~add ~cv_name ~cv_query ~cv_declassifying =
+let analyze_create_view ctx ~add ~cv_name ~cv_query ~cv_declassifying
+    ~cv_materialized =
   (* problems inside the view body are warnings: CREATE VIEW itself
      succeeds even if the query cannot run yet *)
   let soften d =
@@ -672,6 +673,28 @@ let analyze_create_view ctx ~add ~cv_name ~cv_query ~cv_declassifying =
   in
   ignore
     (analyze_select_acc ctx ~extra:declared ~seen:[] ~add:soften cv_query);
+  (* a MATERIALIZED view outside the delta compiler's supported shapes
+     silently degrades to per-read recomputation: worth a warning at
+     definition time, with the compiler's own reason *)
+  (if cv_materialized then
+     let pctx =
+       { Ifdb_engine.Planner.pc_catalog = ctx.an_catalog;
+         pc_auth = ctx.an_auth; pc_exec = None }
+     in
+     match Ifdb_engine.Planner.plan_select pctx ~extra:declared cv_query with
+     | plan, _columns -> (
+         match Ifdb_engine.Ivm.plan_supported plan with
+         | Ok () -> ()
+         | Error reason ->
+             add
+               (Diag.warning Diag.Recompute_fallback
+                  "materialized view %s cannot be maintained incrementally \
+                   (%s): every read will recompute it from the base tables"
+                  cv_name reason))
+     | exception _ ->
+         (* body does not even plan here (unknown names are reported
+            above; subqueries need an executor) — nothing to add *)
+         ());
   if cv_declassifying <> [] then begin
     if not (Label.is_empty ctx.an_label) then
       add
@@ -852,8 +875,9 @@ let rec analyze_stmt ctx (stmt : A.stmt) : Diag.t list =
   | A.S_insert { i_table; i_columns; i_rows; i_select; i_declassifying } ->
       analyze_insert ctx ~add ~i_table ~i_columns ~i_rows ~i_select
         ~i_declassifying
-  | A.S_create_view { cv_name; cv_query; cv_declassifying } ->
+  | A.S_create_view { cv_name; cv_query; cv_declassifying; cv_materialized } ->
       analyze_create_view ctx ~add ~cv_name ~cv_query ~cv_declassifying
+        ~cv_materialized
   | A.S_create_table { ct_name; ct_columns = _; ct_constraints } ->
       analyze_create_table ctx ~add ~ct_name ~ct_constraints
   | A.S_commit -> analyze_commit ctx ~add

@@ -5,6 +5,7 @@ type code =
   | Commit_trap
   | Fk_leak
   | Name_error
+  | Recompute_fallback
   | Parse_error
   | Runtime_error
 
@@ -18,6 +19,7 @@ let code_string = function
   | Overbroad_declassify -> "overbroad-declassify"
   | Commit_trap -> "commit-trap"
   | Fk_leak -> "fk-leak"
+  | Recompute_fallback -> "recompute-fallback"
   | Name_error -> "name-error"
   | Parse_error -> "parse-error"
   | Runtime_error -> "runtime-error"
@@ -28,6 +30,7 @@ let code_of_string = function
   | "overbroad-declassify" -> Some Overbroad_declassify
   | "commit-trap" -> Some Commit_trap
   | "fk-leak" -> Some Fk_leak
+  | "recompute-fallback" -> Some Recompute_fallback
   | "name-error" -> Some Name_error
   | "parse-error" -> Some Parse_error
   | "runtime-error" -> Some Runtime_error

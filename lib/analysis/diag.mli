@@ -35,6 +35,10 @@ type code =
   | Name_error
       (** Static name-resolution failure: unknown relation, column, tag
           — a certain SQL error at runtime. *)
+  | Recompute_fallback
+      (** A [CREATE MATERIALIZED VIEW] whose body the incremental
+          maintenance compiler does not support: the view works, but
+          every read will recompute it from its base tables. *)
   | Parse_error  (** The lint driver could not parse the statement. *)
   | Runtime_error
       (** Driver-level code: executing the statement raised.  Never
@@ -48,7 +52,8 @@ type t = { d_code : code; d_severity : severity; d_message : string }
 val code_string : code -> string
 (** Stable kebab-case form: ["doomed-write"], ["vacuous-query"],
     ["overbroad-declassify"], ["commit-trap"], ["fk-leak"],
-    ["name-error"], ["parse-error"], ["runtime-error"]. *)
+    ["recompute-fallback"], ["name-error"], ["parse-error"],
+    ["runtime-error"]. *)
 
 val code_of_string : string -> code option
 

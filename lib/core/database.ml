@@ -17,6 +17,7 @@ module Catalog = Ifdb_engine.Catalog
 module Planner = Ifdb_engine.Planner
 module Plan = Ifdb_engine.Plan
 module Executor = Ifdb_engine.Executor
+module Ivm = Ifdb_engine.Ivm
 module Domain_pool = Ifdb_engine.Domain_pool
 module A = Ifdb_sql.Ast
 module Parser = Ifdb_sql.Parser
@@ -71,6 +72,9 @@ and t = {
   cat : Catalog.t;
   mgr : Manager.t;
   bp : Buffer_pool.t;
+  ivm : Ivm.t;
+      (* incrementally maintained materialized views; fed from the
+         commit path, served from the executor's view hook *)
   ifc : bool;
   iso : isolation;
   strict : bool; (* static-analysis errors reject statements at prepare *)
@@ -135,6 +139,7 @@ let metrics t = t.metrics
 let metrics_snapshot t = Metrics.snapshot t.metrics
 let metrics_prometheus t = Metrics.to_prometheus t.metrics
 let audit_log t = t.audit
+let view_stats t = Ivm.stats t.ivm
 let slow_queries ?(n = 20) t = Trace.slow_log_recent t.slow n
 
 let reset_stats t =
@@ -501,10 +506,10 @@ let scan_prefix_versions s ~table ~index ~prefix ?(lo = None) ?(hi = None)
    view's declassify label, then apply a relabeling view's (from, to)
    replacements — each matching [from] is removed and its [to] added
    (the paper's billing-view pattern, section 4.3). *)
-let strip_label db declassified relabel l =
+let strip_label_with auth declassified relabel l =
   let after_strip =
     List.filter
-      (fun tag -> not (Authority.covers db.auth declassified tag))
+      (fun tag -> not (Authority.covers auth declassified tag))
       (Label.to_list l)
   in
   let replaced =
@@ -522,6 +527,8 @@ let strip_label db declassified relabel l =
       relabel
   in
   Label.of_list (replaced @ additions)
+
+let strip_label db = strip_label_with db.auth
 
 let builtin_scalar name (args : Value.t list) : Value.t option =
   match (name, args) with
@@ -563,6 +570,53 @@ let exec_ctx s : Executor.ctx =
         Seq.map (fun v -> v.Heap.tuple)
           (scan_prefix_versions s ~table ~index ~prefix ~lo ~hi ~extra ()));
     strip = (fun d relabel l -> strip_label s.sdb d relabel l);
+    mv_read =
+      (fun ~view ~extra ->
+        let db = s.sdb in
+        (* serve only implicit single-statement transactions: their
+           snapshot is exactly the committed-now state the registry
+           maintains.  An explicit transaction may pin an older
+           snapshot, so it recomputes through the view's plan. *)
+        if not s.s_implicit then begin
+          Ivm.note_recompute db.ivm view;
+          None
+        end
+        else
+          match Catalog.find_view db.cat view with
+          | None -> None
+          | Some vw -> (
+              (* the reader's scan destination label, exactly as the
+                 base scans under the view boundary would compute it:
+                 session label ∪ outer extra ∪ the view's declassify
+                 label ∪ a relabeling view's [from] tags *)
+              let dst =
+                if not db.ifc then Label_store.empty_id
+                else
+                  Label_store.intern db.lstore
+                    (Label.union s.s_label
+                       (Label.union extra
+                          (Label.union vw.Catalog.vw_declassify
+                             (Label.of_list
+                                (List.map fst vw.Catalog.vw_relabel)))))
+              in
+              match Ivm.read db.ivm ~view ~dst with
+              | None -> None
+              | Some rows ->
+                  (* under serializable locking the conflict check
+                     needs the base reads this serve replaced in the
+                     transaction footprint *)
+                  (match s.s_txn with
+                  | Some txn ->
+                      List.iter
+                        (fun tbl ->
+                          match Catalog.find_table db.cat tbl with
+                          | Some t ->
+                              Manager.note_read db.mgr txn
+                                (Heap.name t.Catalog.tbl_heap)
+                          | None -> ())
+                        (Ivm.base_tables db.ivm view)
+                  | None -> ());
+                  Some rows));
     par =
       (match s.sdb.dpool with
       | None -> None
@@ -598,6 +652,31 @@ let rec audit_plan_declassify s plan =
   List.iter (audit_plan_declassify s) (Plan.children plan)
 
 let audit_declassify s plan = if s.sdb.ifc then audit_plan_declassify s plan
+
+(* Register a freshly created materialized view with the IVM registry:
+   plan its body (without the Declassify boundary — the registry
+   applies [strip] itself, per partition, at read time) and hand the
+   plan over.  The planning extra mirrors [plan_table_ref]'s inner
+   extra: the view's declassify label plus a relabeling view's [from]
+   tags.  A body that cannot even be planned outside a statement
+   (e.g. it needs an executable subquery) registers as permanently
+   recompute-only — CREATE VIEW has never validated the body. *)
+let register_materialized s name =
+  let db = s.sdb in
+  match Catalog.find_view db.cat name with
+  | None -> ()
+  | Some vw -> (
+      let extra =
+        Label.union vw.Catalog.vw_declassify
+          (Label.of_list (List.map fst vw.Catalog.vw_relabel))
+      in
+      match Planner.plan_select (pctx s) ~extra vw.Catalog.vw_query with
+      | plan, _columns ->
+          Ivm.register db.ivm ~name ~plan ~declassify:vw.Catalog.vw_declassify
+            ~relabel:vw.Catalog.vw_relabel
+      | exception _ ->
+          Ivm.register_unsupported db.ivm ~name
+            ~reason:"body could not be planned at definition time")
 
 (* ------------------------------------------------------------------ *)
 (* Triggers                                                            *)
@@ -757,6 +836,41 @@ let do_commit s txn =
   s.s_txn <- None;
   s.s_implicit <- false;
   let db = s.sdb in
+  (* incremental view maintenance: fold this transaction's write set
+     into every materialized view over the written tables (insert +1,
+     delete −1; an UPDATE contributes both and the signs compose).
+     After [Manager.commit] so the registry's committed-now scans see
+     the new state, before autovacuum so every written version is
+     still resolvable. *)
+  (if Ivm.count db.ivm > 0 then
+     let ws = Manager.writes txn in
+     let table_of (w : Manager.write) = norm (Heap.name w.Manager.w_heap) in
+     if List.exists (fun w -> Ivm.interested db.ivm (table_of w)) ws then begin
+       let deltas =
+         List.filter_map
+           (fun (w : Manager.write) ->
+             let table = table_of w in
+             if not (Ivm.interested db.ivm table) then None
+             else
+               match Heap.get_opt w.Manager.w_heap w.Manager.w_vid with
+               | Some v ->
+                   let sign =
+                     match w.Manager.w_kind with `Insert -> 1 | `Delete -> -1
+                   in
+                   let lid =
+                     if w.Manager.w_label_id >= 0 then w.Manager.w_label_id
+                     else Label_store.intern db.lstore w.Manager.w_label
+                   in
+                   Some (table, sign, v.Heap.tuple, lid)
+               | None ->
+                   (* version reclaimed under us: this delta is
+                      unrecoverable, so force a refresh instead *)
+                   Ivm.invalidate_table db.ivm table;
+                   None)
+           ws
+       in
+       Ivm.apply db.ivm deltas
+     end);
   db.commits_since_vacuum <- db.commits_since_vacuum + 1;
   if db.commits_since_vacuum >= db.autovacuum_every then begin
     db.commits_since_vacuum <- 0;
@@ -1579,7 +1693,7 @@ let exec_stmt s (stmt : A.stmt) : result =
         schema.Schema.foreign_keys;
       ignore (Catalog.create_table s.sdb.cat schema);
       Done "CREATE TABLE"
-  | A.S_create_view { cv_name; cv_query; cv_declassifying } ->
+  | A.S_create_view { cv_name; cv_query; cv_declassifying; cv_materialized } ->
       let declassify =
         if cv_declassifying = [] then Label.empty
         else begin
@@ -1593,8 +1707,11 @@ let exec_stmt s (stmt : A.stmt) : result =
       in
       ignore
         (Catalog.create_view s.sdb.cat ~name:cv_name ~query:cv_query
-           ~declassify ());
-      Done "CREATE VIEW"
+           ~declassify ~materialized:cv_materialized ());
+      if cv_materialized then register_materialized s cv_name;
+      Done
+        (if cv_materialized then "CREATE MATERIALIZED VIEW"
+         else "CREATE VIEW")
   | A.S_create_index { ci_name; ci_table; ci_cols } ->
       ignore
         (Catalog.create_index s.sdb.cat ~name:ci_name ~table:ci_table
@@ -1602,9 +1719,11 @@ let exec_stmt s (stmt : A.stmt) : result =
       Done "CREATE INDEX"
   | A.S_drop (`Table, name) ->
       Catalog.drop_table s.sdb.cat name;
+      Ivm.invalidate_table s.sdb.ivm (norm name);
       Done "DROP TABLE"
   | A.S_drop (`View, name) ->
       Catalog.drop_view s.sdb.cat name;
+      Ivm.unregister s.sdb.ivm name;
       Done "DROP VIEW"
   | A.S_drop (`Index, name) ->
       Catalog.drop_index s.sdb.cat name;
@@ -1647,7 +1766,8 @@ let diag_exn (d : Diag.t) =
   let msg = "static analysis: " ^ Diag.to_string d in
   match d.Diag.d_code with
   | Diag.Overbroad_declassify -> Errors.Authority_required msg
-  | Diag.Name_error | Diag.Parse_error | Diag.Runtime_error ->
+  | Diag.Name_error | Diag.Parse_error | Diag.Runtime_error
+  | Diag.Recompute_fallback ->
       Errors.Sql_error msg
   | Diag.Doomed_write | Diag.Vacuous_query | Diag.Commit_trap | Diag.Fk_leak ->
       Errors.Flow_violation msg
@@ -1805,7 +1925,7 @@ let register_procedure s ~name ?authority fn =
    boundary — e.g. a billing view swapping p_medical for p_billing.
    The creator must hold authority for every [from] tag (it is being
    declassified) and be uncontaminated. *)
-let create_relabeling_view s ~name ~query ~replace =
+let create_relabeling_view ?(materialized = false) s ~name ~query ~replace =
   let db = s.sdb in
   if db.ifc then begin
     if not (Label.is_empty s.s_label) then
@@ -1822,7 +1942,8 @@ let create_relabeling_view s ~name ~query ~replace =
   in
   ignore
     (Catalog.create_view db.cat ~name ~query ~declassify:Label.empty
-       ~relabel:replace ())
+       ~relabel:replace ~materialized ());
+  if materialized then register_materialized s name
 
 (* The per-tuple iterator sketched in the paper's future work
    (section 10): run a query with [extra] additional readable tags and
@@ -1901,7 +2022,7 @@ let register_builtin_procedures db =
 (* Pull gauges over the component stat blocks: the hot paths keep their
    existing cheap counters and the registry reads them only at scrape
    time.  Monotone ones are exported with Prometheus TYPE counter. *)
-let register_component_metrics reg ~lstore ~bp ~the_wal ~gc ~audit =
+let register_component_metrics reg ~lstore ~bp ~the_wal ~gc ~audit ~ivm =
   let c name help read = ignore (Metrics.gauge reg ~help ~kind:`Counter name read) in
   let g name help read = ignore (Metrics.gauge reg ~help ~kind:`Gauge name read) in
   let ls f = float_of_int (f (Label_store.stats lstore)) in
@@ -1949,7 +2070,30 @@ let register_component_metrics reg ~lstore ~bp ~the_wal ~gc ~audit =
   c "ifdb_domain_pool_steals_total" "morsels run off the submitting domain"
     (fun () -> ds (fun st -> st.Domain_pool.dp_stolen));
   c "ifdb_audit_events_total" "IFC audit events recorded" (fun () ->
-      float_of_int (Audit.count audit))
+      float_of_int (Audit.count audit));
+  (* materialized-view maintenance, summed over the registry.  These
+     are per-view aggregates correlated only with commit activity that
+     is already observable through ifdb_txn_commits_total — they never
+     reveal which label partition a delta touched. *)
+  let vs f =
+    float_of_int (List.fold_left (fun acc st -> acc + f st) 0 (Ivm.stats ivm))
+  in
+  g "ifdb_mat_views" "materialized views registered" (fun () ->
+      float_of_int (Ivm.count ivm));
+  g "ifdb_mat_view_rows" "entries materialized across all views" (fun () ->
+      vs (fun st -> st.Ivm.vs_rows));
+  g "ifdb_mat_view_stale" "materialized views awaiting a refresh" (fun () ->
+      vs (fun st -> if st.Ivm.vs_stale then 1 else 0));
+  c "ifdb_mat_view_deltas_total" "commit-time delta applications" (fun () ->
+      vs (fun st -> st.Ivm.vs_deltas));
+  c "ifdb_mat_view_refreshes_total" "full recomputations of view state"
+    (fun () -> vs (fun st -> st.Ivm.vs_refreshes));
+  c "ifdb_mat_view_reads_incremental_total"
+    "view reads served from materialized state" (fun () ->
+      vs (fun st -> st.Ivm.vs_served));
+  c "ifdb_mat_view_reads_recompute_total"
+    "view reads answered by recomputation" (fun () ->
+      vs (fun st -> st.Ivm.vs_recomputes))
 
 let create ?(ifc = true) ?(label_cache = true) ?(isolation = Snapshot)
     ?(capacity_pages = None) ?(miss_cost_ns = 100_000)
@@ -1973,6 +2117,35 @@ let create ?(ifc = true) ?(label_cache = true) ?(isolation = Snapshot)
       ~serializable_locking:(isolation = Serializable) ~commit_batch
       ~sync_commit ()
   in
+  let cat = Catalog.create ~pool:bp ~labeled:ifc () in
+  let ivm =
+    (* the registry's base scans are committed-now and label-blind:
+       the state must hold every partition, visibility is decided per
+       partition at read time *)
+    Ivm.create ~lstore
+      ~strip:(strip_label_with auth)
+      ~scan:(fun table ->
+        let tbl = Catalog.table cat table in
+        Seq.filter_map
+          (fun (v : Heap.version) ->
+            let live =
+              (match Manager.status_of mgr v.Heap.xmin with
+              | Manager.Committed -> true
+              | Manager.Aborted | Manager.In_progress -> false)
+              && (v.Heap.xmax = 0
+                 || Manager.status_of mgr v.Heap.xmax <> Manager.Committed)
+            in
+            if not live then None
+            else
+              let lid = Tuple.label_id v.Heap.tuple in
+              let lid =
+                if lid >= 0 then lid
+                else Label_store.intern lstore (Tuple.label v.Heap.tuple)
+              in
+              Some (v.Heap.tuple, lid))
+          (Heap.to_seq tbl.Catalog.tbl_heap))
+      ()
+  in
   let reg = Metrics.create ~enabled:metrics () in
   let audit =
     let sink =
@@ -1983,7 +2156,7 @@ let create ?(ifc = true) ?(label_cache = true) ?(isolation = Snapshot)
     Audit.create ~capacity:audit_capacity ?sink ()
   in
   register_component_metrics reg ~lstore ~bp ~the_wal
-    ~gc:(Manager.group_commit mgr) ~audit;
+    ~gc:(Manager.group_commit mgr) ~audit ~ivm;
   let mx =
     {
       mx_statements =
@@ -2011,9 +2184,10 @@ let create ?(ifc = true) ?(label_cache = true) ?(isolation = Snapshot)
     {
       auth;
       lstore;
-      cat = Catalog.create ~pool:bp ~labeled:ifc ();
+      cat;
       mgr;
       bp;
+      ivm;
       ifc;
       iso = isolation;
       strict = strict_analysis;

@@ -275,6 +275,7 @@ val register_procedure :
     [authority], a stored authority closure (section 4.3). *)
 
 val create_relabeling_view :
+  ?materialized:bool ->
   session ->
   name:string ->
   query:string ->
@@ -283,7 +284,9 @@ val create_relabeling_view :
 (** The sophisticated declassifying views of section 4.3: the view
     replaces each [from] tag with its [to] tag at its boundary (e.g. a
     billing view swapping [p_medical] for [p_billing]).  Requires an
-    uncontaminated session with authority for every [from] tag. *)
+    uncontaminated session with authority for every [from] tag.
+    [materialized] (default false) additionally registers it for
+    incremental maintenance, like [CREATE MATERIALIZED VIEW]. *)
 
 val query_each :
   session ->
@@ -387,6 +390,15 @@ val explain_analyze : session -> string -> string list * result
 val slow_queries : ?n:int -> t -> Ifdb_obs.Trace.slow_entry list
 (** Most recent slow-query entries, newest first (default 20).  Only
     populated when {!create} was given [slow_query_ms]. *)
+
+val view_stats : t -> Ifdb_engine.Ivm.view_stats list
+(** Per-materialized-view maintenance statistics from the IVM
+    registry, sorted by name: whether delta maintenance is on (and the
+    reason when it is not), materialized entry and label-partition
+    counts, staleness, and the delta-applied / refreshed / served /
+    recomputed counters.  The same counters back the registry's
+    [ifdb_mat_view_*] gauges.  Views created without [MATERIALIZED]
+    never appear here. *)
 
 val audit_log : t -> Ifdb_obs.Audit.t
 (** The instance's IFC audit stream: declassifications (view and

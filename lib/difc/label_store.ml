@@ -174,6 +174,11 @@ let flows_id t ~src ~dst =
     end
   end
 
+let union_id t a b =
+  if a = b || b = empty_id then a
+  else if a = empty_id then b
+  else intern t (Label.union (label_of t a) (label_of t b))
+
 let stats t =
   {
     interned = t.next;

@@ -71,6 +71,12 @@ val flows_id : t -> src:id -> dst:id -> bool
     touching the cache.  The first call after an authority-state
     generation bump always recomputes. *)
 
+val union_id : t -> id -> id -> id
+(** The id of the union of two interned labels.  Equal or empty
+    operands short-circuit without touching the table; otherwise one
+    union + {!intern}.  Used by incremental view maintenance to key
+    joined delta rows by partition. *)
+
 val stats : t -> stats
 
 val take_stats : t -> stats

@@ -31,6 +31,9 @@ type view = {
   vw_relabel : (Ifdb_difc.Tag.t * Ifdb_difc.Tag.t) list;
       (* replace (from, to): strip [from] and add [to] when [from] was
          present — the "billing view" pattern of paper section 4.3 *)
+  vw_materialized : bool;
+      (* registered for incremental maintenance (CREATE MATERIALIZED
+         VIEW); the IVM registry in the core owns the actual state *)
 }
 
 type label_rule = Exactly of Label.t | Superset of Label.t
@@ -152,11 +155,12 @@ let remove_from_indexes _t tbl values vid =
     (fun idx -> Btree.remove idx.idx_tree (index_key idx values) vid)
     tbl.tbl_indexes
 
-let create_view t ~name ~query ~declassify ?(relabel = []) () =
+let create_view t ~name ~query ~declassify ?(relabel = []) ?(materialized = false)
+    () =
   if name_taken t name then fail "relation %s already exists" name;
   let vw =
     { vw_name = name; vw_query = query; vw_declassify = declassify;
-      vw_relabel = relabel }
+      vw_relabel = relabel; vw_materialized = materialized }
   in
   Hashtbl.replace t.views (norm name) vw;
   vw
@@ -164,6 +168,11 @@ let create_view t ~name ~query ~declassify ?(relabel = []) () =
 let drop_view t name =
   if find_view t name = None then fail "no such view: %s" name;
   Hashtbl.remove t.views (norm name)
+
+let all_views t =
+  List.sort
+    (fun a b -> String.compare (norm a.vw_name) (norm b.vw_name))
+    (Hashtbl.fold (fun _ vw acc -> vw :: acc) t.views [])
 
 let add_label_constraint t lc =
   ignore (table t lc.lc_table);

@@ -39,6 +39,9 @@ type view = {
   vw_query : Ifdb_sql.Ast.select;
   vw_declassify : Label.t;
   vw_relabel : (Ifdb_difc.Tag.t * Ifdb_difc.Tag.t) list;
+  vw_materialized : bool;
+      (** registered for incremental maintenance; the IVM registry in
+          the core owns the materialized state *)
 }
 
 (** Label constraints (section 5.2.4): given a candidate tuple, return
@@ -104,10 +107,14 @@ val create_view :
   query:Ifdb_sql.Ast.select ->
   declassify:Label.t ->
   ?relabel:(Ifdb_difc.Tag.t * Ifdb_difc.Tag.t) list ->
+  ?materialized:bool ->
   unit ->
   view
 val drop_view : t -> string -> unit
 val find_view : t -> string -> view option
+
+val all_views : t -> view list
+(** Every view definition, sorted by name. *)
 
 (** {1 Label constraints} *)
 

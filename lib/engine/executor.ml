@@ -24,6 +24,7 @@ type ctx = {
     extra:Label.t -> Tuple.t Seq.t;
   strip :
     Label.t -> (Ifdb_difc.Tag.t * Ifdb_difc.Tag.t) list -> Label.t -> Label.t;
+  mv_read : view:string -> extra:Label.t -> Tuple.t list option;
   par : par option;
   trace : Trace.t option;
 }
@@ -740,5 +741,29 @@ and run_serial ctx (plan : Plan.t) : Tuple.t Seq.t =
                 true
               end)
             both)
+  | Plan.View { v_name; v_mat; v_extra; v_child } -> (
+      (* serving from maintained state is an optimization the core may
+         decline (staleness, unsupported shape, explicit transaction):
+         [v_child] is always an equivalent recompute path *)
+      let marker desc rows =
+        match ctx.trace with
+        | None -> ()
+        | Some tr ->
+            let node = Trace.enter tr desc in
+            (match rows with
+            | Some n -> Trace.add_rows node n
+            | None -> ());
+            Trace.exit_node tr node
+      in
+      let served =
+        if v_mat then ctx.mv_read ~view:v_name ~extra:v_extra else None
+      in
+      match served with
+      | Some rows ->
+          marker "(served from materialized state)" (Some (List.length rows));
+          List.to_seq rows
+      | None ->
+          if v_mat then marker "(recomputed)" None;
+          run ctx v_child)
 
 let run_list ctx plan = List.of_seq (run ctx plan)

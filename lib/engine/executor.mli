@@ -56,6 +56,14 @@ type ctx = {
       (** [strip declassified relabel row_label]: remove tags covered by
           the declassified label (compound-aware), then apply the
           relabeling view's (from, to) replacements *)
+  mv_read : view:string -> extra:Label.t -> Tuple.t list option;
+      (** [mv_read ~view ~extra]: the rows of a materialized view as the
+          core's IVM registry would serve them to the current session
+          ([extra] being the enclosing declassification context of the
+          reference), or [None] to force recomputation through the
+          view's expansion.  Like [scan_table], the implementation is
+          responsible for visibility and declassification — the
+          executor emits whatever it returns. *)
   par : par option;
       (** when set, scan/filter/project/declassify pipelines,
           aggregations over them, and hash-join probes run

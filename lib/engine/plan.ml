@@ -66,6 +66,21 @@ type t =
          (compound-aware) label from each row's label, and apply the
          (from, to) tag replacements of a relabeling view *)
   | Union of t * t * [ `All | `Distinct ]
+  | View of {
+      v_name : string;
+      v_mat : bool;
+          (* the view was created MATERIALIZED: the executor may serve
+             it from incrementally-maintained state instead of running
+             [v_child] *)
+      v_extra : Label.t;
+          (* the extra label in force at the reference point (from
+             *enclosing* declassifying views), before this view's own
+             declassification — the materialized read needs it to
+             decide partition visibility the same way a scan would *)
+      v_child : t;
+          (* the expanded view query, Declassify boundary included;
+             always a valid recompute path *)
+    }
 
 let rec pp ppf = function
   | One_row -> Format.pp_print_string ppf "OneRow"
@@ -113,6 +128,10 @@ let rec pp ppf = function
       Format.fprintf ppf "Union%s(%a, %a)"
         (match kind with `All -> "All" | `Distinct -> "")
         pp a pp b
+  | View { v_name; v_mat; v_child; _ } ->
+      Format.fprintf ppf "%sView(%s, %a)"
+        (if v_mat then "Materialized" else "")
+        v_name pp v_child
 
 let to_string p = Format.asprintf "%a" pp p
 
@@ -150,6 +169,8 @@ let describe = function
         (if relabel = [] then "" else " relabel")
   | Union (_, _, kind) ->
       (match kind with `All -> "UnionAll" | `Distinct -> "Union")
+  | View { v_name; v_mat; _ } ->
+      Printf.sprintf "%sView(%s)" (if v_mat then "Materialized" else "") v_name
 
 (* Direct children in execution order.  An index-nested-loop join's
    right side is fetched per left row through the index, not run as a
@@ -157,7 +178,7 @@ let describe = function
 let children = function
   | One_row | Scan _ -> []
   | Filter (p, _) | Project (p, _) | Distinct p | Sort (p, _)
-  | Limit (p, _, _) | Declassify (p, _, _) ->
+  | Limit (p, _, _) | Declassify (p, _, _) | View { v_child = p; _ } ->
       [ p ]
   | Join { left; probe = Some _; _ } -> [ left ]
   | Join { left; right; _ } -> [ left; right ]

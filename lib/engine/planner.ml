@@ -261,14 +261,14 @@ let choose_probe ctx ~equi right_plan =
             best)
   | Plan.One_row | Plan.Scan _ | Plan.Filter _ | Plan.Project _ | Plan.Join _
   | Plan.Aggregate _ | Plan.Distinct _ | Plan.Sort _ | Plan.Limit _
-  | Plan.Declassify _ | Plan.Union _ ->
+  | Plan.Declassify _ | Plan.Union _ | Plan.View _ ->
       None
 
 let is_bare_scan = function
   | Plan.Scan { sc_prefix = None; _ } -> true
   | Plan.One_row | Plan.Scan _ | Plan.Filter _ | Plan.Project _ | Plan.Join _
   | Plan.Aggregate _ | Plan.Distinct _ | Plan.Sort _ | Plan.Limit _
-  | Plan.Declassify _ | Plan.Union _ ->
+  | Plan.Declassify _ | Plan.Union _ | Plan.View _ ->
       false
 
 (* Predicate pushdown: route WHERE conjuncts (and, for inner joins, ON
@@ -372,9 +372,17 @@ let rec push_predicate ctx plan conjs =
       (match and_all rest with
       | None -> join'
       | Some pred -> Plan.Filter (join', pred))
+  | Plan.View ({ v_mat = false; v_child; _ } as v) ->
+      (* an ordinary view is transparent: route the conjuncts into its
+         expansion (they stop at the Project/Declassify boundary inside,
+         exactly as they did before the View wrapper existed) *)
+      Plan.View { v with v_child = push_predicate ctx v_child conjs }
   | Plan.One_row | Plan.Scan _ | Plan.Project _ | Plan.Aggregate _
   | Plan.Distinct _ | Plan.Sort _ | Plan.Limit _ | Plan.Declassify _
-  | Plan.Union _ -> (
+  | Plan.Union _ | Plan.View { v_mat = true; _ } -> (
+      (* a materialized view must keep predicates above the View node:
+         when the read is served from maintained state, anything pushed
+         inside [v_child] would silently not apply *)
       match and_all conjs with
       | None -> plan
       | Some pred -> Plan.Filter (plan, pred))
@@ -411,13 +419,18 @@ let rec plan_table_ref ctx ~extra (tref : A.table_ref) : Plan.t * binding =
                   (Label.union vw.Catalog.vw_declassify from_tags)
               in
               let sub, names = plan_select ctx ~extra:inner_extra vw.Catalog.vw_query in
-              let plan =
+              let inner =
                 if Label.is_empty vw.Catalog.vw_declassify
                    && vw.Catalog.vw_relabel = []
                 then sub
                 else
                   Plan.Declassify
                     (sub, vw.Catalog.vw_declassify, vw.Catalog.vw_relabel)
+              in
+              let plan =
+                Plan.View
+                  { v_name = norm name; v_mat = vw.Catalog.vw_materialized;
+                    v_extra = extra; v_child = inner }
               in
               (plan, binding_of_names (Some (norm qual)) names)
           | None -> fail "relation %s does not exist" name))

@@ -100,6 +100,10 @@ type stmt =
       cv_name : string;
       cv_query : select;
       cv_declassifying : string list;  (* tag names bound to the view *)
+      cv_materialized : bool;
+          (* CREATE MATERIALIZED VIEW: ask the engine to keep an
+             incrementally-maintained result instead of re-running the
+             query per read *)
     }
   | S_create_index of { ci_name : string; ci_table : string; ci_cols : string list }
   | S_drop of [ `Table | `View | `Index ] * string

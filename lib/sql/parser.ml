@@ -556,21 +556,28 @@ let parse_create_table st =
   Ast.S_create_table
     { ct_name = name; ct_columns = List.rev !cols; ct_constraints = List.rev !cons }
 
+let parse_create_view st ~materialized =
+  let name = ident st in
+  expect_kw st "as";
+  let q = parse_select st in
+  let declassifying =
+    if eat_kw st "with" then begin
+      expect_kw st "declassifying";
+      paren_ident_list st
+    end
+    else []
+  in
+  Ast.S_create_view
+    { cv_name = name; cv_query = q; cv_declassifying = declassifying;
+      cv_materialized = materialized }
+
 let parse_create st =
   expect_kw st "create";
   if eat_kw st "table" then parse_create_table st
-  else if eat_kw st "view" then begin
-    let name = ident st in
-    expect_kw st "as";
-    let q = parse_select st in
-    let declassifying =
-      if eat_kw st "with" then begin
-        expect_kw st "declassifying";
-        paren_ident_list st
-      end
-      else []
-    in
-    Ast.S_create_view { cv_name = name; cv_query = q; cv_declassifying = declassifying }
+  else if eat_kw st "view" then parse_create_view st ~materialized:false
+  else if eat_kw st "materialized" then begin
+    expect_kw st "view";
+    parse_create_view st ~materialized:true
   end
   else if eat_kw st "index" then begin
     let name = ident st in
@@ -579,7 +586,7 @@ let parse_create st =
     let cols = paren_ident_list st in
     Ast.S_create_index { ci_name = name; ci_table = table; ci_cols = cols }
   end
-  else fail "CREATE expects TABLE, VIEW or INDEX"
+  else fail "CREATE expects TABLE, [MATERIALIZED] VIEW or INDEX"
 
 let parse_drop st =
   expect_kw st "drop";

@@ -186,13 +186,15 @@ let rec stmt_to_string = function
         @ List.map constraint_to_string ct_constraints
       in
       Printf.sprintf "CREATE TABLE %s (%s)" ct_name (String.concat ", " items)
-  | S_create_view { cv_name; cv_query; cv_declassifying } ->
+  | S_create_view { cv_name; cv_query; cv_declassifying; cv_materialized } ->
       let decl =
         match cv_declassifying with
         | [] -> ""
         | tags -> Printf.sprintf " WITH DECLASSIFYING (%s)" (String.concat ", " tags)
       in
-      Printf.sprintf "CREATE VIEW %s AS %s%s" cv_name (select_to_string cv_query) decl
+      Printf.sprintf "CREATE %sVIEW %s AS %s%s"
+        (if cv_materialized then "MATERIALIZED " else "")
+        cv_name (select_to_string cv_query) decl
   | S_create_index { ci_name; ci_table; ci_cols } ->
       Printf.sprintf "CREATE INDEX %s ON %s (%s)" ci_name ci_table
         (String.concat ", " ci_cols)

@@ -1,0 +1,17 @@
+-- Materialized views: shapes outside the delta compiler's grammar
+-- fall back to recompute-per-read (warning, so the fallback is never
+-- silent), and the declassification checks cover materialized views
+-- exactly as they do plain ones.
+\principal alice
+\newtag fleet_data
+CREATE TABLE points (id INT, car INT, mi INT);
+\addsecrecy fleet_data
+INSERT INTO points VALUES (1, 1, 10);
+\declassify fleet_data
+-- supported aggregate shape: maintained incrementally, no warning
+CREATE MATERIALIZED VIEW mileage AS SELECT car, SUM(mi) AS total FROM points GROUP BY car WITH DECLASSIFYING (fleet_data);
+-- DISTINCT is outside the delta grammar: recompute-only
+CREATE MATERIALIZED VIEW cars AS SELECT DISTINCT car FROM points WITH DECLASSIFYING (fleet_data); -- lint: expect recompute-fallback
+-- mallory holds no authority; materialized changes nothing here
+\principal mallory
+CREATE MATERIALIZED VIEW leak AS SELECT mi FROM points WITH DECLASSIFYING (fleet_data); -- lint: expect overbroad-declassify

@@ -34,7 +34,8 @@ let rec plan_exists pred plan =
   match (plan : Plan.t) with
   | Plan.One_row | Plan.Scan _ -> false
   | Plan.Filter (p, _) | Plan.Project (p, _) | Plan.Distinct p
-  | Plan.Sort (p, _) | Plan.Limit (p, _, _) | Plan.Declassify (p, _, _) ->
+  | Plan.Sort (p, _) | Plan.Limit (p, _, _) | Plan.Declassify (p, _, _)
+  | Plan.View { v_child = p; _ } ->
       plan_exists pred p
   | Plan.Join { left; right; _ } | Plan.Union (left, right, _) ->
       plan_exists pred left || plan_exists pred right

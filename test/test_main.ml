@@ -5,4 +5,5 @@ let () =
    @ Test_sql.suites @ Test_core.suites @ Test_query.suites
    @ Test_platform.suites @ Test_workload.suites @ Test_apps.suites
    @ Test_security.suites @ Test_engine.suites @ Test_dump.suites @ Test_edge.suites
-   @ Test_parallel.suites @ Test_writepath.suites @ Test_analysis.suites @ Test_obs.suites)
+   @ Test_parallel.suites @ Test_writepath.suites @ Test_analysis.suites @ Test_obs.suites
+   @ Test_views_ivm.suites)

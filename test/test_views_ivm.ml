@@ -1,0 +1,320 @@
+(* Incremental maintenance of declassifying materialized views.
+
+   The central property: a MATERIALIZED view answers every read with
+   exactly what per-read recomputation would produce — the same visible
+   tuples, the same labels, and the same audit-event sequence (one
+   view_declassify per read, whichever path served it).  Each case
+   creates a twin pair over the same base data — [mv] materialized,
+   [pv] plain, identical body and DECLASSIFYING clause — drives a
+   random DML trace through labeled sessions, and compares the views
+   after every statement, at parallelism 1 and the CI multi-domain
+   setting ([IFDB_TEST_PARALLELISM]).
+
+   Explicit cases cover polyinstantiated duplicates (separate entries
+   per label partition), delegation/revocation churn (the registry's
+   per-reader cache is generation-stamped, so authority changes can
+   never be outlived by a cached serve), explicit-transaction
+   fallback, and the recompute-only path for unsupported shapes. *)
+
+module Db = Ifdb_core.Database
+module Label = Ifdb_difc.Label
+module Value = Ifdb_rel.Value
+module Tuple = Ifdb_rel.Tuple
+module Audit = Ifdb_obs.Audit
+module Ivm = Ifdb_engine.Ivm
+
+let par_width =
+  match Sys.getenv_opt "IFDB_TEST_PARALLELISM" with
+  | Some s -> ( try max 1 (int_of_string s) with _ -> 4)
+  | None -> 4
+
+let row_key t =
+  ( List.map Value.to_string (Array.to_list (Tuple.values t)),
+    Label.to_string (Tuple.label t) )
+
+let multiset rows = List.sort compare (List.map row_key rows)
+
+(* ------------------------------------------------------------------ *)
+(* Fixture: two tables, two tags, twin views                           *)
+(* ------------------------------------------------------------------ *)
+
+type fixture = {
+  fx_db : Db.t;
+  fx_owner : Db.session; (* owns t0 and t1; the DML writer *)
+  fx_tags : Ifdb_difc.Tag.t array;
+  fx_readers : Db.session list; (* public, and contaminated with t1 *)
+}
+
+(* Shapes the property test draws from.  The last one (DISTINCT) is
+   deliberately outside the delta compiler's support, so the trace
+   also exercises the recompute-only fallback end to end. *)
+let shapes =
+  [|
+    "SELECT k, v FROM r";
+    "SELECT k, v FROM r WHERE v > 10 ORDER BY k, v";
+    "SELECT k, COUNT(*) AS n, SUM(v) AS s FROM r GROUP BY k";
+    "SELECT COUNT(*) AS n, AVG(v) AS a FROM r";
+    "SELECT k, MIN(v) AS lo, MAX(v) AS hi FROM r GROUP BY k";
+    "SELECT r.k, r.v, b.w FROM r JOIN b ON r.k = b.k";
+    "SELECT DISTINCT k FROM r";
+  |]
+
+let build ~parallelism shape =
+  let db = Db.create ~parallelism ~morsel_size:16 () in
+  let admin = Db.connect_admin db in
+  let owner = Db.connect db ~principal:(Db.create_principal admin ~name:"owner") in
+  let fx_tags =
+    Array.init 2 (fun i -> Db.create_tag owner ~name:(Printf.sprintf "t%d" i) ())
+  in
+  ignore (Db.exec admin "CREATE TABLE r (k INT, v INT)");
+  ignore (Db.exec admin "CREATE TABLE b (k INT, w INT)");
+  for k = 0 to 5 do
+    ignore (Db.exec admin (Printf.sprintf "INSERT INTO b VALUES (%d, %d)" k (100 + k)))
+  done;
+  (* twin views: same body, same declassification, one materialized *)
+  ignore
+    (Db.exec owner
+       (Printf.sprintf "CREATE MATERIALIZED VIEW mv AS %s WITH DECLASSIFYING (t0)" shape));
+  ignore
+    (Db.exec owner
+       (Printf.sprintf "CREATE VIEW pv AS %s WITH DECLASSIFYING (t0)" shape));
+  let rd_pub = Db.connect db ~principal:(Db.session_principal owner) in
+  let rd_t1 = Db.connect db ~principal:(Db.session_principal owner) in
+  Db.add_secrecy rd_t1 fx_tags.(1);
+  { fx_db = db; fx_owner = owner; fx_tags; fx_readers = [ rd_pub; rd_t1 ] }
+
+(* ------------------------------------------------------------------ *)
+(* Random DML traces                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type op =
+  | Ins of int * int * int (* k, v, label choice: 0 = t0, 1 = t1, 2 = public *)
+  | Upd of int * int * int (* k, new v, label choice *)
+  | Del of int * int       (* k, label choice *)
+
+let label_of fx = function
+  | 2 -> Label.empty
+  | i -> Label.singleton fx.fx_tags.(i)
+
+let run_op fx op =
+  let lbl, sql =
+    match op with
+    | Ins (k, v, l) ->
+        (label_of fx l, Printf.sprintf "INSERT INTO r VALUES (%d, %d)" k v)
+    | Upd (k, v, l) ->
+        (label_of fx l, Printf.sprintf "UPDATE r SET v = %d WHERE k = %d" v k)
+    | Del (k, l) ->
+        (label_of fx l, Printf.sprintf "DELETE FROM r WHERE k = %d" k)
+  in
+  Db.set_label fx.fx_owner lbl;
+  (* Write Rule rejections (e.g. an update visible-but-differently-
+     labeled) are part of the semantics being compared, not a test
+     failure: both twins sit over exactly the same base data either
+     way *)
+  (try ignore (Db.exec fx.fx_owner sql) with _ -> ());
+  Db.set_label fx.fx_owner Label.empty
+
+(* One equivalence check: same multiset of (values, label), and exactly
+   one view_declassify audit event per read of either twin. *)
+let check_equiv fx =
+  List.iter
+    (fun rd ->
+      let count () = Audit.count_kind (Db.audit_log fx.fx_db) Audit.View_declassify in
+      let c0 = count () in
+      let got = Db.query rd "SELECT * FROM mv" in
+      let c1 = count () in
+      Alcotest.(check int) "one view_declassify per materialized read" (c0 + 1) c1;
+      let want = Db.query rd "SELECT * FROM pv" in
+      let c2 = count () in
+      Alcotest.(check int) "one view_declassify per recomputed read" (c1 + 1) c2;
+      Alcotest.(check (list (pair (list string) string)))
+        "materialized = recomputed (values and labels)" (multiset want)
+        (multiset got))
+    fx.fx_readers
+
+let run_case ~parallelism shape_idx trace =
+  let fx = build ~parallelism shapes.(shape_idx) in
+  check_equiv fx;
+  List.iter
+    (fun op ->
+      run_op fx op;
+      check_equiv fx)
+    trace;
+  (* the ORDER BY shape must also come back sorted from the
+     materialized path *)
+  if shape_idx = 1 then begin
+    let rows =
+      List.map
+        (fun t ->
+          match Array.to_list (Tuple.values t) with
+          | Value.Int k :: Value.Int v :: _ -> (k, v)
+          | _ -> Alcotest.fail "unexpected row shape")
+        (Db.query (List.hd fx.fx_readers) "SELECT * FROM mv")
+    in
+    Alcotest.(check bool)
+      "materialized ORDER BY is sorted" true
+      (List.sort compare rows = rows)
+  end
+
+let gen_op =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map3 (fun k v l -> Ins (k, v, l)) (int_bound 5) (int_bound 30) (int_bound 2));
+        (3, map3 (fun k v l -> Upd (k, v, l)) (int_bound 5) (int_bound 30) (int_bound 2));
+        (2, map2 (fun k l -> Del (k, l)) (int_bound 5) (int_bound 2));
+      ])
+
+let gen_trace =
+  QCheck.Gen.(
+    pair (int_bound (Array.length shapes - 1)) (list_size (int_range 4 18) gen_op))
+
+let print_trace (shape_idx, ops) =
+  Printf.sprintf "shape %d (%s); %s" shape_idx shapes.(shape_idx)
+    (String.concat "; "
+       (List.map
+          (function
+            | Ins (k, v, l) -> Printf.sprintf "INS(%d,%d,l%d)" k v l
+            | Upd (k, v, l) -> Printf.sprintf "UPD(%d,%d,l%d)" k v l
+            | Del (k, l) -> Printf.sprintf "DEL(%d,l%d)" k l)
+          ops))
+
+let prop_equiv =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:25
+       ~name:"incremental = recompute over random traces and shapes"
+       (QCheck.make ~print:print_trace gen_trace)
+       (fun (shape_idx, trace) ->
+         run_case ~parallelism:1 shape_idx trace;
+         run_case ~parallelism:par_width shape_idx trace;
+         true))
+
+(* ------------------------------------------------------------------ *)
+(* Explicit cases                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let find_stats db name =
+  match List.find_opt (fun s -> s.Ivm.vs_name = name) (Db.view_stats db) with
+  | Some s -> s
+  | None -> Alcotest.failf "no stats for view %s" name
+
+(* Polyinstantiated duplicates stay separate entries: the same primary
+   key under two labels materializes as two partition entries, and a
+   reader sees exactly the partitions that flow to it. *)
+let test_polyinstantiation () =
+  let fx = build ~parallelism:1 "SELECT k, v FROM r" in
+  ignore (Db.exec fx.fx_owner "INSERT INTO r VALUES (1, 10)");
+  Db.set_label fx.fx_owner (Label.singleton fx.fx_tags.(1));
+  ignore (Db.exec fx.fx_owner "INSERT INTO r VALUES (1, 20)");
+  Db.set_label fx.fx_owner Label.empty;
+  check_equiv fx;
+  let pub = List.nth fx.fx_readers 0 and con = List.nth fx.fx_readers 1 in
+  Alcotest.(check int) "public reader: 1 row" 1
+    (List.length (Db.query pub "SELECT * FROM mv"));
+  Alcotest.(check int) "contaminated reader: both duplicates" 2
+    (List.length (Db.query con "SELECT * FROM mv"));
+  let s = find_stats fx.fx_db "mv" in
+  Alcotest.(check int) "two label partitions in the state" 2 s.Ivm.vs_partitions;
+  Alcotest.(check bool) "reads were served incrementally" true (s.Ivm.vs_served > 0)
+
+(* Authority churn: delegation, revocation and tag creation each bump
+   the authority generation, which invalidates the registry's
+   per-reader cache — a serve can never outlive the authority change.
+   Equivalence with recomputation must hold across every step. *)
+let test_revocation_invalidation () =
+  let fx = build ~parallelism:1 "SELECT k, COUNT(*) AS n, SUM(v) AS s FROM r GROUP BY k" in
+  Db.set_label fx.fx_owner (Label.singleton fx.fx_tags.(0));
+  ignore (Db.exec fx.fx_owner "INSERT INTO r VALUES (1, 5)");
+  ignore (Db.exec fx.fx_owner "INSERT INTO r VALUES (1, 7)");
+  Db.set_label fx.fx_owner Label.empty;
+  check_equiv fx;
+  let bob = Db.create_principal fx.fx_owner ~name:"bob" in
+  Db.delegate fx.fx_owner ~tag:fx.fx_tags.(0) ~grantee:bob;
+  check_equiv fx;
+  run_op fx (Ins (2, 9, 0));
+  check_equiv fx;
+  Db.revoke fx.fx_owner ~tag:fx.fx_tags.(0) ~grantee:bob;
+  check_equiv fx;
+  ignore (Db.create_tag fx.fx_owner ~name:"fresh" ());
+  check_equiv fx
+
+(* Explicit transactions may pin an older snapshot, so they recompute
+   through the view's plan — and still agree with the plain twin. *)
+let test_explicit_txn_fallback () =
+  let fx = build ~parallelism:1 "SELECT k, v FROM r" in
+  ignore (Db.exec fx.fx_owner "INSERT INTO r VALUES (1, 5)");
+  check_equiv fx;
+  let before = (find_stats fx.fx_db "mv").Ivm.vs_recomputes in
+  let rd = List.hd fx.fx_readers in
+  ignore (Db.exec rd "BEGIN");
+  let got = Db.query rd "SELECT * FROM mv" in
+  let want = Db.query rd "SELECT * FROM pv" in
+  ignore (Db.exec rd "COMMIT");
+  Alcotest.(check (list (pair (list string) string)))
+    "in-transaction read agrees" (multiset want) (multiset got);
+  Alcotest.(check bool) "read was counted as a recompute" true
+    ((find_stats fx.fx_db "mv").Ivm.vs_recomputes > before)
+
+(* Unsupported shapes register as recompute-only and stay correct. *)
+let test_unsupported_shape () =
+  let fx = build ~parallelism:1 "SELECT DISTINCT k FROM r" in
+  ignore (Db.exec fx.fx_owner "INSERT INTO r VALUES (1, 5)");
+  ignore (Db.exec fx.fx_owner "INSERT INTO r VALUES (1, 6)");
+  check_equiv fx;
+  let s = find_stats fx.fx_db "mv" in
+  Alcotest.(check bool) "registered as unsupported" false s.Ivm.vs_supported;
+  Alcotest.(check bool) "reason names the construct" true
+    (s.Ivm.vs_reason <> "");
+  Alcotest.(check bool) "reads recomputed" true (s.Ivm.vs_recomputes > 0);
+  Alcotest.(check int) "nothing served" 0 s.Ivm.vs_served
+
+(* The registry's counters surface through the metrics registry under
+   stable names (the \views / \metrics satellite). *)
+let test_metrics_surface () =
+  let fx = build ~parallelism:1 "SELECT k, v FROM r" in
+  ignore (Db.exec fx.fx_owner "INSERT INTO r VALUES (1, 5)");
+  ignore (Db.query (List.hd fx.fx_readers) "SELECT * FROM mv");
+  let snap = Db.metrics_snapshot fx.fx_db in
+  let v name =
+    match List.assoc_opt name snap with
+    | Some f -> int_of_float f
+    | None -> Alcotest.failf "metric %s missing" name
+  in
+  Alcotest.(check int) "one materialized view" 1 (v "ifdb_mat_views");
+  Alcotest.(check bool) "deltas counted" true (v "ifdb_mat_view_deltas_total" > 0);
+  Alcotest.(check bool) "incremental reads counted" true
+    (v "ifdb_mat_view_reads_incremental_total" > 0);
+  Alcotest.(check int) "no stale views" 0 (v "ifdb_mat_view_stale")
+
+(* DROP VIEW unregisters; DROP TABLE invalidates dependents. *)
+let test_drop_invalidation () =
+  let fx = build ~parallelism:1 "SELECT k, v FROM r" in
+  ignore (Db.exec fx.fx_owner "INSERT INTO r VALUES (1, 5)");
+  check_equiv fx;
+  ignore (Db.exec fx.fx_owner "DROP VIEW mv");
+  Alcotest.(check int) "unregistered" 0 (List.length (Db.view_stats fx.fx_db));
+  ignore
+    (Db.exec fx.fx_owner
+       "CREATE MATERIALIZED VIEW mv2 AS SELECT k, v FROM r WITH DECLASSIFYING (t0)");
+  ignore (Db.exec fx.fx_owner "DROP TABLE r");
+  let s = find_stats fx.fx_db "mv2" in
+  Alcotest.(check bool) "state dropped with the base table" true s.Ivm.vs_stale
+
+let suites =
+  [
+    ( "views-ivm",
+      [
+        Alcotest.test_case "polyinstantiated duplicates" `Quick
+          test_polyinstantiation;
+        Alcotest.test_case "delegation/revocation churn" `Quick
+          test_revocation_invalidation;
+        Alcotest.test_case "explicit-transaction fallback" `Quick
+          test_explicit_txn_fallback;
+        Alcotest.test_case "unsupported shape recomputes" `Quick
+          test_unsupported_shape;
+        Alcotest.test_case "metrics surface" `Quick test_metrics_surface;
+        Alcotest.test_case "drop view / drop table" `Quick
+          test_drop_invalidation;
+        prop_equiv;
+      ] );
+  ]
