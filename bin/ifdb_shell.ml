@@ -17,6 +17,7 @@
      \views                  list views with materialization state
      \dt NAME                describe a table
      \check SQL              static label-flow analysis, no execution
+     \partitions [TABLE]     label partition directory (versions/live/pages)
      \vacuum                 reclaim dead versions
      \wal                    WAL and group-commit statistics
      \metrics [reset]        metrics registry in Prometheus text format
@@ -211,6 +212,42 @@ let run_command st line =
             List.iter
               (fun d -> print_endline (Ifdb_analysis.Diag.to_string d))
               diags)
+  | "\\partitions" :: rest -> (
+      let module Heap = Ifdb_storage.Heap in
+      let module Label_store = Ifdb_difc.Label_store in
+      let report =
+        match rest with
+        | [ table ] ->
+            List.filter
+              (fun tp ->
+                String.lowercase_ascii tp.Db.tp_table
+                = String.lowercase_ascii table)
+              (Db.partition_report st.db)
+        | _ -> Db.partition_report st.db
+      in
+      match report with
+      | [] -> print_endline "no partitions (empty tables hold none)"
+      | tables ->
+          Printf.printf "layout: %s; %d partition(s) pruned from scans so far\n"
+            (if Db.partitioned st.db then "label-sharded" else
+               "flat (directory only)")
+            (Db.partitions_pruned st.db);
+          let lstore = Db.label_store st.db in
+          List.iter
+            (fun tp ->
+              Printf.printf "%s:\n" tp.Db.tp_table;
+              List.iter
+                (fun ps ->
+                  let label =
+                    if ps.Heap.ps_lid < 0 then "(uninterned)"
+                    else
+                      label_string st (Label_store.label_of lstore ps.Heap.ps_lid)
+                  in
+                  Printf.printf
+                    "  %-24s %6d version(s) %6d live %5d page(s)\n" label
+                    ps.Heap.ps_versions ps.Heap.ps_live ps.Heap.ps_pages)
+                tp.Db.tp_stats)
+            tables)
   | [ "\\vacuum" ] ->
       Printf.printf "vacuum removed %d dead version(s)\n" (Db.vacuum st.db)
   | [ "\\wal" ] -> (

@@ -23,6 +23,7 @@ module A = Ifdb_sql.Ast
 module Parser = Ifdb_sql.Parser
 module Printer = Ifdb_sql.Printer
 module Analysis = Ifdb_analysis.Analysis
+module Interval = Ifdb_analysis.Interval
 module Diag = Ifdb_analysis.Diag
 module Metrics = Ifdb_obs.Metrics
 module Trace = Ifdb_obs.Trace
@@ -87,6 +88,12 @@ and t = {
   parallelism : int;
       (* domains used per query (caller included); 1 = serial *)
   morsel : int; (* slots per morsel for parallel sequential scans *)
+  partitioned : bool;
+      (* label-sharded storage: scans enumerate heap partitions whose
+         label flows to the session instead of filtering per tuple *)
+  pruned_parts : int Atomic.t;
+      (* partitions pruned from scans by label confinement (atomic:
+         bumped from parallel scan setup too) *)
   dpool : Domain_pool.t option; (* Some iff parallelism > 1 *)
   metrics : Metrics.t;
   mx : mx;
@@ -141,6 +148,24 @@ let metrics_prometheus t = Metrics.to_prometheus t.metrics
 let audit_log t = t.audit
 let view_stats t = Ivm.stats t.ivm
 let slow_queries ?(n = 20) t = Trace.slow_log_recent t.slow n
+let partitioned t = t.partitioned
+let partitions_pruned t = Atomic.get t.pruned_parts
+
+type table_partitions = {
+  tp_table : string;
+  tp_stats : Heap.partition_stats list;
+}
+
+let partition_report t =
+  List.sort
+    (fun a b -> String.compare a.tp_table b.tp_table)
+    (List.filter_map
+       (fun tbl ->
+         let heap = tbl.Catalog.tbl_heap in
+         match Heap.partition_stats heap with
+         | [] -> None
+         | stats -> Some { tp_table = Heap.name heap; tp_stats = stats })
+       (Catalog.all_tables t.cat))
 
 let reset_stats t =
   Metrics.reset t.metrics;
@@ -388,24 +413,115 @@ let scan_label_filter s ~heap ~extra ~prewarm : (Heap.version -> bool) * bool =
       !any_visible )
   end
 
+(* Partitioned-scan analogue of [scan_label_filter]: decide every label
+   partition of the heap once against the destination label and freeze
+   the keep-set a merged scan will enumerate.  The per-tuple verdict
+   probe disappears from the hot path — a pruned partition's slots and
+   pages are simply never visited — and the returned residual filter
+   only re-derives flows for uninterned tuples (built outside the
+   statement path), which a partitioned database does not normally
+   hold.  The residual keeps no per-call mutable state, so one closure
+   serves the serial and the morsel-parallel paths alike.
+
+   Returns (keep, residual, any_visible, visited): [keep] is frozen
+   membership for the merged-scan primitives, [visited] the label ids
+   whose partitions the scan will read (its serializability
+   footprint). *)
+let partition_scan_filter s ~heap ~extra :
+    (int -> bool) * (Heap.version -> bool) * bool * int list =
+  let db = s.sdb in
+  if not db.ifc then begin
+    (* no confinement: every partition is kept, and the footprint still
+       names them so partition-level write locks conflict correctly *)
+    let visited = ref [] in
+    Heap.iter_label_counts heap (fun lid _ -> visited := lid :: !visited);
+    ((fun _ -> true), trace_scan_filter s ~heap (fun _ -> true), true, !visited)
+  end
+  else begin
+    let store = db.lstore in
+    let dst = Label.union s.s_label extra in
+    let dst_id = Label_store.intern store dst in
+    let kept : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+    let visited = ref [] in
+    let pruned = ref 0 and pruned_tuples = ref 0 in
+    Heap.iter_label_counts heap (fun lid count ->
+        if lid < 0 || Label_store.flows_id store ~src:lid ~dst:dst_id then begin
+          Hashtbl.replace kept lid ();
+          visited := lid :: !visited
+        end
+        else begin
+          incr pruned;
+          pruned_tuples := !pruned_tuples + count
+        end);
+    if !pruned > 0 then
+      ignore (Atomic.fetch_and_add db.pruned_parts !pruned);
+    (* an EXPLAIN ANALYZE trace still reports the tuples confinement
+       kept from this statement, even though they were pruned without
+       being scanned *)
+    (match s.s_trace with
+    | Some tr when !pruned_tuples > 0 ->
+        ignore
+          (Atomic.fetch_and_add
+             (Trace.scan_entry tr (Heap.name heap)).Trace.sc_pruned
+             !pruned_tuples)
+    | Some _ | None -> ());
+    let residual =
+      trace_scan_filter s ~heap (fun (v : Heap.version) ->
+          Tuple.label_id v.Heap.tuple >= 0
+          || Authority.flows db.auth ~src:(Tuple.label v.Heap.tuple) ~dst)
+    in
+    ((fun lid -> Hashtbl.mem kept lid), residual, !visited <> [], !visited)
+  end
+
+(* The serializability footprint of a pruned scan: the directory key
+   (a partition created later might carry a label this scan should
+   have conflicted with) plus each visited partition.  Pruned
+   partitions stay out — a write under a label that provably does not
+   flow to this session cannot change what the scan returned. *)
+let note_partition_reads s txn heap visited =
+  let mgr = s.sdb.mgr in
+  let name = Heap.name heap in
+  Manager.note_read mgr txn (Manager.directory_key name);
+  List.iter
+    (fun lid -> Manager.note_read mgr txn (Manager.partition_key name lid))
+    visited
+
 let scan_versions s ~table ~extra : Heap.version Seq.t =
   let txn = current_txn s "scan" in
   let tbl = Catalog.table s.sdb.cat table in
   let heap = tbl.Catalog.tbl_heap in
-  (* the read must be noted even when the scan is pruned away: under
-     serializable locking an invisible-today partition may be written
-     by a concurrent transaction, and the conflict check needs this
-     read in the footprint *)
-  Manager.note_read s.sdb.mgr txn (Heap.name heap);
-  let readable, any_visible = scan_label_filter s ~heap ~extra ~prewarm:true in
-  if not any_visible then begin
-    trace_scan_skipped s ~heap;
-    Seq.empty
+  if s.sdb.partitioned then begin
+    let keep, residual, any_visible, visited =
+      partition_scan_filter s ~heap ~extra
+    in
+    note_partition_reads s txn heap visited;
+    if not any_visible then begin
+      trace_scan_skipped s ~heap;
+      Seq.empty
+    end
+    else
+      Seq.filter
+        (fun v -> Manager.visible s.sdb.mgr txn v && residual v)
+        (Heap.seq_merge heap ~keep)
   end
-  else
-    Seq.filter
-      (fun v -> Manager.visible s.sdb.mgr txn v && readable v)
-      (Heap.to_seq heap)
+  else begin
+    (* the read must be noted even when the scan is pruned away: under
+       serializable locking an invisible-today partition may be written
+       by a concurrent transaction, and the conflict check needs this
+       read in the footprint *)
+    Manager.note_read s.sdb.mgr txn (Heap.name heap);
+    let readable, any_visible =
+      scan_label_filter s ~heap ~extra ~prewarm:true
+    in
+    if not any_visible then begin
+      trace_scan_skipped s ~heap;
+      Seq.empty
+    end
+    else
+      Seq.filter
+        (fun v -> Manager.visible s.sdb.mgr txn v && readable v)
+        (Heap.to_seq heap)
+  end
 
 (* Label filter for morsel-parallel scans.  Confinement still lives
    only here, at the tuple access layer — workers never see a tuple the
@@ -456,6 +572,32 @@ let morsel_scan s ~table ~extra : Executor.morsel_source option =
   let morsel = s.sdb.morsel in
   let slots = Heap.slot_count heap in
   if slots < 2 * morsel then None
+  else if s.sdb.partitioned then begin
+    let keep, residual, any_visible, visited =
+      partition_scan_filter s ~heap ~extra
+    in
+    note_partition_reads s txn heap visited;
+    if not any_visible then None
+    else
+      let mgr = s.sdb.mgr in
+      Some
+        {
+          (* morsels stay global vid ranges: each worker merge-scans
+             only the kept partitions' slice of its range, and the
+             per-morsel buffers downstream keep the output order
+             byte-identical to the serial merged scan.  [keep] and
+             [residual] are frozen before workers launch — lock-free
+             reads thereafter. *)
+          Executor.ms_morsels = (slots + morsel - 1) / morsel;
+          ms_run =
+            (fun i emit ->
+              Heap.iter_merge_range heap ~keep ~lo:(i * morsel)
+                ~hi:((i + 1) * morsel)
+                (fun v ->
+                  if Manager.visible mgr txn v && residual v then
+                    emit v.Heap.tuple));
+        }
+  end
   else begin
     Manager.note_read s.sdb.mgr txn (Heap.name heap);
     let readable, any_visible = par_scan_filter s ~heap ~extra in
@@ -492,15 +634,32 @@ let scan_prefix_versions s ~table ~index ~prefix ?(lo = None) ?(hi = None)
     | Some i -> i
     | None -> Errors.sql "no such index: %s" index
   in
-  Manager.note_read s.sdb.mgr txn (Heap.name heap);
-  (* lazy: postings stream straight off the leaf chain, so a consumer
-     that stops early (LIMIT, probe join) walks only what it needs; no
-     per-scan vid list is materialized.  Index scans skip the prewarm —
-     they touch few label groups, and the memo fills on first sight. *)
-  let readable, _any = scan_label_filter s ~heap ~extra ~prewarm:false in
-  Btree.seq_prefix_range idx.Catalog.idx_tree ~prefix ~lo ~hi
-  |> Seq.filter_map (fun (_key, vid) -> Heap.get_opt heap vid)
-  |> Seq.filter (fun v -> Manager.visible s.sdb.mgr txn v && readable v)
+  if s.sdb.partitioned then begin
+    (* enumerate only the index segments whose label flows to the
+       session: pruning applies to index scans exactly as to heap
+       scans, and the per-segment streams merge back into the flat
+       tree's (key, vid) order *)
+    let keep, residual, any_visible, visited =
+      partition_scan_filter s ~heap ~extra
+    in
+    note_partition_reads s txn heap visited;
+    if not any_visible then Seq.empty
+    else
+      Catalog.seq_index_prefix idx ~keep ~prefix ~lo ~hi
+      |> Seq.filter_map (fun (_key, vid) -> Heap.get_opt heap vid)
+      |> Seq.filter (fun v -> Manager.visible s.sdb.mgr txn v && residual v)
+  end
+  else begin
+    Manager.note_read s.sdb.mgr txn (Heap.name heap);
+    (* lazy: postings stream straight off the leaf chain, so a consumer
+       that stops early (LIMIT, probe join) walks only what it needs; no
+       per-scan vid list is materialized.  Index scans skip the prewarm —
+       they touch few label groups, and the memo fills on first sight. *)
+    let readable, _any = scan_label_filter s ~heap ~extra ~prewarm:false in
+    Btree.seq_prefix_range idx.Catalog.idx_tree ~prefix ~lo ~hi
+    |> Seq.filter_map (fun (_key, vid) -> Heap.get_opt heap vid)
+    |> Seq.filter (fun v -> Manager.visible s.sdb.mgr txn v && readable v)
+  end
 
 (* The declassifying-view label transform: strip tags covered by the
    view's declassify label, then apply a relabeling view's (from, to)
@@ -611,8 +770,21 @@ let exec_ctx s : Executor.ctx =
                         (fun tbl ->
                           match Catalog.find_table db.cat tbl with
                           | Some t ->
-                              Manager.note_read db.mgr txn
-                                (Heap.name t.Catalog.tbl_heap)
+                              let heap = t.Catalog.tbl_heap in
+                              if Heap.partitioned heap then begin
+                                (* the view read logically covers every
+                                   partition the base scan could have
+                                   visited, so lock at the same
+                                   granularity writers use *)
+                                let name = Heap.name heap in
+                                Manager.note_read db.mgr txn
+                                  (Manager.directory_key name);
+                                Heap.iter_label_counts heap (fun lid _ ->
+                                    Manager.note_read db.mgr txn
+                                      (Manager.partition_key name lid))
+                              end
+                              else
+                                Manager.note_read db.mgr txn (Heap.name heap)
                           | None -> ())
                         (Ivm.base_tables db.ivm view)
                   | None -> ());
@@ -661,6 +833,68 @@ let audit_declassify s plan = if s.sdb.ifc then audit_plan_declassify s plan
    tags.  A body that cannot even be planned outside a statement
    (e.g. it needs an executable subquery) registers as permanently
    recompute-only — CREATE VIEW has never validated the body. *)
+(* Derive the view's write-relevance predicate from its plan: when
+   every scan of a base table sits directly under a filter whose
+   conjuncts pin [_label] to one literal, only that label's partition
+   can feed the view's state, so commit deltas under any other label
+   are provably no-ops (satellite of the partition-pruning work;
+   intervals from the PR 4 analysis carry the pin).  Conservative by
+   construction: a table scanned anywhere without such a pin — or with
+   two different pins — stays fully relevant, and uninterned writes
+   (lid < 0) are never pruned. *)
+let derive_view_affects db plan =
+  let pins : (string, Interval.t option) Hashtbl.t = Hashtbl.create 4 in
+  let note table iv =
+    let key = norm table in
+    let merged =
+      match (Hashtbl.find_opt pins key, iv) with
+      | None, _ -> iv
+      | Some None, _ | Some _, None -> None
+      | Some (Some prev), Some cur ->
+          if Interval.equal prev cur then Some prev else None
+    in
+    Hashtbl.replace pins key merged
+  in
+  (* the exact-label interval a filter predicate pins rows to: a
+     top-level conjunct [_label = {…}] (either operand order) *)
+  let rec exact_of_pred (e : Expr.t) : Interval.t option =
+    match e with
+    | Expr.Binop (Expr.And, a, b) -> (
+        match exact_of_pred a with Some _ as r -> r | None -> exact_of_pred b)
+    | Expr.Binop (Expr.Eq, Expr.Row_label, Expr.Const (Value.Ints ints))
+    | Expr.Binop (Expr.Eq, Expr.Const (Value.Ints ints), Expr.Row_label) ->
+        Some (Interval.exact (Label.of_ints ints))
+    | _ -> None
+  in
+  let rec walk (p : Plan.t) =
+    match p with
+    | Plan.Filter (Plan.Scan { sc_table; _ }, pred) ->
+        note sc_table (exact_of_pred pred)
+    | Plan.Scan { sc_table; _ } -> note sc_table None
+    | _ -> List.iter walk (Plan.children p)
+  in
+  walk plan;
+  let pinned =
+    Hashtbl.fold
+      (fun table iv acc ->
+        match iv with
+        | Some iv -> (
+            match Interval.exact_label iv with
+            | Some l -> (table, l) :: acc
+            | None -> acc)
+        | None -> acc)
+      pins []
+  in
+  if pinned = [] then None
+  else
+    Some
+      (fun table lid ->
+        match List.assoc_opt (norm table) pinned with
+        | None -> true
+        | Some pin ->
+            lid < 0
+            || Label.equal pin (Label_store.label_of db.lstore lid))
+
 let register_materialized s name =
   let db = s.sdb in
   match Catalog.find_view db.cat name with
@@ -673,7 +907,8 @@ let register_materialized s name =
       match Planner.plan_select (pctx s) ~extra vw.Catalog.vw_query with
       | plan, _columns ->
           Ivm.register db.ivm ~name ~plan ~declassify:vw.Catalog.vw_declassify
-            ~relabel:vw.Catalog.vw_relabel
+            ~relabel:vw.Catalog.vw_relabel;
+          Ivm.set_affects db.ivm ~view:name (derive_view_affects db plan)
       | exception _ ->
           Ivm.register_unsupported db.ivm ~name
             ~reason:"body could not be planned at definition time")
@@ -760,7 +995,7 @@ let vacuum t =
           if dead then begin
             Hashtbl.replace dead_vids v.Heap.vid ();
             Catalog.remove_from_indexes t.cat tbl (Tuple.values v.Heap.tuple)
-              v.Heap.vid
+              ~lid:(Tuple.label_id v.Heap.tuple) v.Heap.vid
           end);
       removed :=
         !removed
@@ -972,7 +1207,7 @@ let check_uniques s txn tbl values label lid =
                     constraint_
                       "duplicate key value violates unique constraint %s"
                       idx.Catalog.idx_name)
-            (Btree.find idx.Catalog.idx_tree key)
+            (Catalog.index_find_label idx key ~lid:(if s.sdb.ifc then lid else 0))
       end)
     tbl.Catalog.tbl_indexes
 
@@ -994,7 +1229,7 @@ let visible_matches s txn (tbl : Catalog.table) (cols : int array) key =
     | Some idx when Array.length idx.Catalog.idx_cols = Array.length cols ->
         List.filter_map
           (fun vid -> Heap.get_opt tbl.Catalog.tbl_heap vid)
-          (Btree.find idx.Catalog.idx_tree key)
+          (Catalog.index_find idx key)
     | _ ->
         List.of_seq
           (Seq.filter
@@ -1108,7 +1343,8 @@ let insert_tuple s txn tbl tuple ~declared =
     (Tuple.label_id tuple);
   check_foreign_keys s txn tbl tuple ~declared;
   let v = Manager.record_insert s.sdb.mgr txn tbl.Catalog.tbl_heap tuple in
-  Catalog.insert_into_indexes s.sdb.cat tbl (Tuple.values tuple) v.Heap.vid;
+  Catalog.insert_into_indexes s.sdb.cat tbl (Tuple.values tuple)
+    ~lid:(Tuple.label_id tuple) v.Heap.vid;
   fire_triggers s
     ~table:tbl.Catalog.tbl_schema.Schema.table_name
     ~kind:`Insert ~old_:None ~new_:(Some tuple)
@@ -1205,7 +1441,8 @@ let insert_tuples_batch s txn tbl tuples ~declared =
   (* phase 3: bulk index maintenance *)
   Catalog.bulk_insert_into_indexes s.sdb.cat tbl
     (List.map2
-       (fun tuple (v : Heap.version) -> (Tuple.values tuple, v.Heap.vid))
+       (fun tuple (v : Heap.version) ->
+         (Tuple.values tuple, Tuple.label_id tuple, v.Heap.vid))
        tuples versions)
 
 (* Programmatic bulk insert: the batched path above when safe, the
@@ -1472,7 +1709,8 @@ let exec_update s txn u_table u_sets u_where =
         (Tuple.label_id new_tuple);
       check_foreign_keys s txn tbl new_tuple ~declared:Label.empty;
       let nv = Manager.record_insert s.sdb.mgr txn tbl.Catalog.tbl_heap new_tuple in
-      Catalog.insert_into_indexes s.sdb.cat tbl values nv.Heap.vid;
+      Catalog.insert_into_indexes s.sdb.cat tbl values
+        ~lid:(Tuple.label_id new_tuple) nv.Heap.vid;
       fire_triggers s ~table:u_table ~kind:`Update ~old_:(Some old_tuple)
         ~new_:(Some new_tuple))
     targets;
@@ -2022,7 +2260,8 @@ let register_builtin_procedures db =
 (* Pull gauges over the component stat blocks: the hot paths keep their
    existing cheap counters and the registry reads them only at scrape
    time.  Monotone ones are exported with Prometheus TYPE counter. *)
-let register_component_metrics reg ~lstore ~bp ~the_wal ~gc ~audit ~ivm =
+let register_component_metrics reg ~lstore ~bp ~the_wal ~gc ~audit ~ivm ~cat
+    ~pruned =
   let c name help read = ignore (Metrics.gauge reg ~help ~kind:`Counter name read) in
   let g name help read = ignore (Metrics.gauge reg ~help ~kind:`Gauge name read) in
   let ls f = float_of_int (f (Label_store.stats lstore)) in
@@ -2093,14 +2332,31 @@ let register_component_metrics reg ~lstore ~bp ~the_wal ~gc ~audit ~ivm =
       vs (fun st -> st.Ivm.vs_served));
   c "ifdb_mat_view_reads_recompute_total"
     "view reads answered by recomputation" (fun () ->
-      vs (fun st -> st.Ivm.vs_recomputes))
+      vs (fun st -> st.Ivm.vs_recomputes));
+  c "ifdb_mat_view_skipped_total"
+    "commit deltas skipped by label-interval analysis" (fun () ->
+      vs (fun st -> st.Ivm.vs_skipped));
+  (* label partitions, summed over every table: a whole-database count
+     correlated only with the set of labels ever written — the same
+     information ifdb_labels_interned already exposes, so no new
+     covert channel *)
+  g "ifdb_partitions" "label partitions across all tables" (fun () ->
+      float_of_int
+        (List.fold_left
+           (fun acc tbl ->
+             acc + Heap.distinct_label_count tbl.Catalog.tbl_heap)
+           0 (Catalog.all_tables cat)));
+  c "ifdb_partition_pruned_total"
+    "partitions skipped by label confinement during scans" (fun () ->
+      float_of_int (Atomic.get pruned))
 
 let create ?(ifc = true) ?(label_cache = true) ?(isolation = Snapshot)
     ?(capacity_pages = None) ?(miss_cost_ns = 100_000)
     ?(write_cost_ns = 60_000) ?(fsync_cost_ns = 200_000) ?(seed = 0x1FDB)
     ?(parallelism = 1) ?(morsel_size = 1024) ?(commit_batch = 1)
     ?(sync_commit = false) ?(strict_analysis = false) ?(metrics = true)
-    ?slow_query_ms ?(audit_wal = false) ?(audit_capacity = 4096) () =
+    ?slow_query_ms ?(audit_wal = false) ?(audit_capacity = 4096)
+    ?(partitioned = true) () =
   let parallelism = max 1 parallelism in
   let morsel_size = max 16 morsel_size in
   let bp =
@@ -2117,7 +2373,7 @@ let create ?(ifc = true) ?(label_cache = true) ?(isolation = Snapshot)
       ~serializable_locking:(isolation = Serializable) ~commit_batch
       ~sync_commit ()
   in
-  let cat = Catalog.create ~pool:bp ~labeled:ifc () in
+  let cat = Catalog.create ~pool:bp ~labeled:ifc ~partitioned () in
   let ivm =
     (* the registry's base scans are committed-now and label-blind:
        the state must hold every partition, visibility is decided per
@@ -2155,8 +2411,9 @@ let create ?(ifc = true) ?(label_cache = true) ?(isolation = Snapshot)
     in
     Audit.create ~capacity:audit_capacity ?sink ()
   in
+  let pruned_parts = Atomic.make 0 in
   register_component_metrics reg ~lstore ~bp ~the_wal
-    ~gc:(Manager.group_commit mgr) ~audit ~ivm;
+    ~gc:(Manager.group_commit mgr) ~audit ~ivm ~cat ~pruned:pruned_parts;
   let mx =
     {
       mx_statements =
@@ -2199,6 +2456,8 @@ let create ?(ifc = true) ?(label_cache = true) ?(isolation = Snapshot)
       autovacuum_every = 256;
       parallelism;
       morsel = morsel_size;
+      partitioned;
+      pruned_parts;
       dpool =
         (if parallelism > 1 then Some (Domain_pool.get ~parallelism) else None);
       metrics = reg;

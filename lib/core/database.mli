@@ -64,6 +64,7 @@ val create :
   ?slow_query_ms:float ->
   ?audit_wal:bool ->
   ?audit_capacity:int ->
+  ?partitioned:bool ->
   unit ->
   t
 (** Defaults: [ifc:true], [Snapshot] isolation (what the paper's
@@ -113,7 +114,15 @@ val create :
     [audit_wal] (default off) additionally appends every IFC audit
     event to the WAL as an [Audit] record, making the security stream
     durable alongside the data it concerns.  [audit_capacity] (default
-    4096) bounds the in-memory audit ring. *)
+    4096) bounds the in-memory audit ring.
+
+    [partitioned] (default on) selects label-sharded storage: each
+    table's heap pages and index entries are physically grouped by
+    interned label id, and scans enumerate only the partitions whose
+    label flows to the session — the per-tuple confinement verdict
+    disappears from the hot path (it is decided once per partition).
+    Turn it off to A/B against the flat layout; query results, audit
+    events and error outcomes are identical in both. *)
 
 val authority : t -> Authority.t
 
@@ -407,3 +416,28 @@ val audit_log : t -> Ifdb_obs.Audit.t
     stamped with the acting principal, the tags involved and the
     originating statement.  Always on — security events are rare enough
     that recording them is free relative to executing them. *)
+
+(** {1 Label partitions}
+
+    Introspection over the label-sharded storage layout (the partition
+    directory is maintained in both layouts, so these work — and report
+    the same numbers — with [partitioned] off). *)
+
+val partitioned : t -> bool
+(** Whether storage is label-sharded (the {!create} toggle). *)
+
+val partitions_pruned : t -> int
+(** Total partitions skipped by label confinement across all scans
+    since startup — the counter behind [ifdb_partition_pruned_total].
+    Zero under a scan-everything workload or with IFC off. *)
+
+type table_partitions = {
+  tp_table : string;
+  tp_stats : Ifdb_storage.Heap.partition_stats list;
+}
+
+val partition_report : t -> table_partitions list
+(** Per-table partition directory, tables sorted by name, partitions by
+    interned label id: version count, live (uncommitted-delete) count
+    and page count per partition.  Tables that never held a row are
+    omitted. *)

@@ -16,6 +16,15 @@ type index = {
   idx_cols : int array;
   idx_unique : bool;
   idx_tree : Btree.t;
+      (* flat layout: the single tree holding every posting.
+         Partitioned layout: unused (stays empty) — postings live in
+         [idx_segs] instead *)
+  idx_segs : (int, Btree.t) Hashtbl.t option;
+      (* [Some segs] iff the table's heap is partitioned: one B-tree
+         segment per interned label id (-1 groups the uninterned), so
+         an index scan enumerates only the segments whose label flows
+         to the session — the index analogue of per-partition page
+         runs *)
 }
 
 type table = {
@@ -47,6 +56,7 @@ type label_constraint = {
 type t = {
   cat_pool : Ifdb_storage.Buffer_pool.t;
   cat_labeled : bool;
+  cat_partitioned : bool;
   tables : (string, table) Hashtbl.t;
   views : (string, view) Hashtbl.t;
   mutable lcs : label_constraint list;
@@ -54,10 +64,11 @@ type t = {
 
 let norm = String.lowercase_ascii
 
-let create ~pool ~labeled () =
+let create ~pool ~labeled ?(partitioned = false) () =
   {
     cat_pool = pool;
     cat_labeled = labeled;
+    cat_partitioned = partitioned;
     tables = Hashtbl.create 32;
     views = Hashtbl.create 16;
     lcs = [];
@@ -65,6 +76,7 @@ let create ~pool ~labeled () =
 
 let pool t = t.cat_pool
 let labeled t = t.cat_labeled
+let partitioned t = t.cat_partitioned
 
 let find_table t name = Hashtbl.find_opt t.tables (norm name)
 let find_view t name = Hashtbl.find_opt t.views (norm name)
@@ -78,9 +90,26 @@ let name_taken t name = find_table t name <> None || find_view t name <> None
 
 let index_key idx values = Array.map (fun i -> values.(i)) idx.idx_cols
 
+(* The segment holding postings for label id [lid] (created on first
+   use).  Flat indexes route everything to the single tree. *)
+let seg_of idx lid =
+  match idx.idx_segs with
+  | None -> idx.idx_tree
+  | Some segs -> (
+      match Hashtbl.find_opt segs lid with
+      | Some tree -> tree
+      | None ->
+          let tree = Btree.create () in
+          Hashtbl.add segs lid tree;
+          tree)
+
+let index_segment_count idx =
+  match idx.idx_segs with None -> 1 | Some segs -> Hashtbl.length segs
+
 let build_index_over_heap tbl idx =
   Heap.iter tbl.tbl_heap (fun v ->
-      Btree.insert idx.idx_tree
+      Btree.insert
+        (seg_of idx (Tuple.label_id v.Heap.tuple))
         (index_key idx (Tuple.values v.Heap.tuple))
         v.Heap.vid)
 
@@ -104,6 +133,9 @@ let mk_index t ~name ~table_name ~cols ~unique =
       idx_cols;
       idx_unique = unique;
       idx_tree = Btree.create ();
+      idx_segs =
+        (if Heap.partitioned tbl.tbl_heap then Some (Hashtbl.create 8)
+         else None);
     }
   in
   build_index_over_heap tbl idx;
@@ -114,7 +146,8 @@ let create_table t schema =
   let name = schema.Schema.table_name in
   if name_taken t name then fail "relation %s already exists" name;
   let heap =
-    Heap.create ~name ~labeled:t.cat_labeled ~pool:t.cat_pool ()
+    Heap.create ~name ~labeled:t.cat_labeled ~pool:t.cat_pool
+      ~partitioned:t.cat_partitioned ()
   in
   let tbl = { tbl_schema = schema; tbl_heap = heap; tbl_indexes = [] } in
   Hashtbl.replace t.tables (norm name) tbl;
@@ -137,23 +170,141 @@ let all_tables t = Hashtbl.fold (fun _ tbl acc -> tbl :: acc) t.tables []
 let create_index t ~name ~table:table_name ~cols ~unique =
   mk_index t ~name ~table_name ~cols ~unique
 
-let insert_into_indexes _t tbl values vid =
+let insert_into_indexes _t tbl values ~lid vid =
   List.iter
-    (fun idx -> Btree.insert idx.idx_tree (index_key idx values) vid)
+    (fun idx -> Btree.insert (seg_of idx lid) (index_key idx values) vid)
     tbl.tbl_indexes
 
 let bulk_insert_into_indexes _t tbl rows =
-  (* one sorted bulk load per index rather than one descent per row *)
+  (* one sorted bulk load per index (and per touched segment) rather
+     than one descent per row *)
   List.iter
     (fun idx ->
-      Btree.insert_many idx.idx_tree
-        (List.map (fun (values, vid) -> (index_key idx values, vid)) rows))
+      match idx.idx_segs with
+      | None ->
+          Btree.insert_many idx.idx_tree
+            (List.map
+               (fun (values, _lid, vid) -> (index_key idx values, vid))
+               rows)
+      | Some _ ->
+          (* group the run by label id, preserving row order within
+             each group (insert_many is order-sensitive only per key,
+             and rows of one segment keep their relative order) *)
+          let by_lid : (int, (Btree.key * int) list ref) Hashtbl.t =
+            Hashtbl.create 4
+          in
+          let order = ref [] in
+          List.iter
+            (fun (values, lid, vid) ->
+              let entry = (index_key idx values, vid) in
+              match Hashtbl.find_opt by_lid lid with
+              | Some l -> l := entry :: !l
+              | None ->
+                  Hashtbl.add by_lid lid (ref [ entry ]);
+                  order := lid :: !order)
+            rows;
+          List.iter
+            (fun lid ->
+              let entries = Hashtbl.find by_lid lid in
+              Btree.insert_many (seg_of idx lid) (List.rev !entries))
+            (List.rev !order))
     tbl.tbl_indexes
 
-let remove_from_indexes _t tbl values vid =
+let remove_from_indexes _t tbl values ~lid vid =
   List.iter
-    (fun idx -> Btree.remove idx.idx_tree (index_key idx values) vid)
+    (fun idx -> Btree.remove (seg_of idx lid) (index_key idx values) vid)
     tbl.tbl_indexes
+
+(* --- index lookups across segments ---------------------------------
+
+   Readers go through these instead of touching [idx_tree] directly, so
+   one call site works for both layouts.  Point lookups treat the
+   result as a set; ordered scans merge the per-segment streams back
+   into the flat tree's (key, vid) order, so downstream consumers see
+   an identical sequence. *)
+
+let index_find idx key =
+  match idx.idx_segs with
+  | None -> Btree.find idx.idx_tree key
+  | Some segs ->
+      Hashtbl.fold (fun _ tree acc -> Btree.find tree key @ acc) segs []
+
+let index_find_label idx key ~lid =
+  match idx.idx_segs with
+  | None -> Btree.find idx.idx_tree key
+  | Some _ when lid < 0 ->
+      (* uninterned probe label: the caller re-checks labels, so give
+         it every candidate *)
+      index_find idx key
+  | Some _ ->
+      (* the (key, label) identity confines a uniqueness probe to the
+         probe label's own segment (plus the uninterned residue, whose
+         raw labels the caller compares) *)
+      Btree.find (seg_of idx lid) key @ Btree.find (seg_of idx (-1)) key
+
+(* k-way merge of ephemeral sequences under [cmp]; ties resolve to the
+   earlier sequence, which is irrelevant here because (key, vid) pairs
+   are unique across segments *)
+let merge_seqs cmp (seqs : 'a Seq.t list) : 'a Seq.t =
+  match seqs with
+  | [] -> Seq.empty
+  | [ s ] -> s
+  | _ ->
+      let heads = Array.of_list (List.map Seq.uncons seqs) in
+      let rec next () =
+        let best = ref (-1) in
+        Array.iteri
+          (fun i st ->
+            match st with
+            | None -> ()
+            | Some (h, _) -> (
+                match (if !best < 0 then None else heads.(!best)) with
+                | None -> best := i
+                | Some (bh, _) -> if cmp h bh < 0 then best := i))
+          heads;
+        if !best < 0 then Seq.Nil
+        else
+          match heads.(!best) with
+          | None -> assert false
+          | Some (h, rest) ->
+              heads.(!best) <- Seq.uncons rest;
+              Seq.Cons (h, next)
+      in
+      next
+
+let compare_posting (k1, v1) (k2, v2) =
+  let c = Btree.compare_key k1 k2 in
+  if c <> 0 then c else compare (v1 : int) v2
+
+let seq_index_prefix idx ~keep ~prefix ~lo ~hi : (Btree.key * int) Seq.t =
+  match idx.idx_segs with
+  | None -> Btree.seq_prefix_range idx.idx_tree ~prefix ~lo ~hi
+  | Some segs ->
+      let streams =
+        Hashtbl.fold
+          (fun lid tree acc ->
+            if keep lid then Btree.seq_prefix_range tree ~prefix ~lo ~hi :: acc
+            else acc)
+          segs []
+      in
+      merge_seqs compare_posting streams
+
+let iter_index_entries idx f =
+  match idx.idx_segs with
+  | None -> Btree.iter_all idx.idx_tree f
+  | Some segs ->
+      Seq.iter
+        (fun (k, vid) -> f k vid)
+        (merge_seqs compare_posting
+           (Hashtbl.fold
+              (fun _ tree acc -> Btree.seq_prefix tree ~prefix:[||] :: acc)
+              segs []))
+
+let index_entry_count idx =
+  match idx.idx_segs with
+  | None -> Btree.entry_count idx.idx_tree
+  | Some segs ->
+      Hashtbl.fold (fun _ tree acc -> acc + Btree.entry_count tree) segs 0
 
 let create_view t ~name ~query ~declassify ?(relabel = []) ?(materialized = false)
     () =

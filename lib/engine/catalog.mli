@@ -20,6 +20,13 @@ type index = {
   idx_cols : int array;       (** column positions in the table schema *)
   idx_unique : bool;
   idx_tree : Ifdb_storage.Btree.t;
+      (** flat layout: the single tree; unused (empty) when the table
+          is partitioned *)
+  idx_segs : (int, Ifdb_storage.Btree.t) Hashtbl.t option;
+      (** [Some _] iff the table's heap is partitioned: one B-tree
+          segment per interned label id (-1 groups the uninterned).
+          Go through {!index_find} / {!seq_index_prefix} rather than
+          reading either field directly. *)
 }
 
 type table = {
@@ -59,11 +66,20 @@ type label_constraint = {
 
 type t
 
-val create : pool:Ifdb_storage.Buffer_pool.t -> labeled:bool -> unit -> t
-(** [labeled] selects the storage size model (see {!Ifdb_storage.Heap.create}). *)
+val create :
+  pool:Ifdb_storage.Buffer_pool.t ->
+  labeled:bool ->
+  ?partitioned:bool ->
+  unit ->
+  t
+(** [labeled] selects the storage size model (see
+    {!Ifdb_storage.Heap.create}).  [partitioned] (default false) makes
+    every table label-sharded: per-partition heap page runs and
+    per-partition index segments. *)
 
 val pool : t -> Ifdb_storage.Buffer_pool.t
 val labeled : t -> bool
+val partitioned : t -> bool
 
 (** {1 Tables} *)
 
@@ -88,16 +104,57 @@ val create_index :
 val index_key : index -> Value.t array -> Value.t array
 (** Extract the index key from a row of table values. *)
 
-val insert_into_indexes : t -> table -> Value.t array -> int -> unit
-(** Post a new heap version id under every index of the table. *)
+val insert_into_indexes : t -> table -> Value.t array -> lid:int -> int -> unit
+(** Post a new heap version id under every index of the table; [lid]
+    is the tuple's interned label id (-1 when uninterned), selecting
+    the segment in the partitioned layout. *)
 
-val bulk_insert_into_indexes : t -> table -> (Value.t array * int) list -> unit
-(** Post a whole run of (row values, vid) pairs: each index is loaded
-    via {!Btree.insert_many} (sort once, one descent per subtree)
-    instead of one root-to-leaf walk per row.  Equivalent to calling
-    {!insert_into_indexes} per row. *)
+val bulk_insert_into_indexes :
+  t -> table -> (Value.t array * int * int) list -> unit
+(** Post a whole run of (row values, label id, vid) triples: each index
+    is loaded via {!Btree.insert_many} (sort once, one descent per
+    subtree) instead of one root-to-leaf walk per row.  Equivalent to
+    calling {!insert_into_indexes} per row. *)
 
-val remove_from_indexes : t -> table -> Value.t array -> int -> unit
+val remove_from_indexes : t -> table -> Value.t array -> lid:int -> int -> unit
+
+(** {2 Lookups}
+
+    Readers go through these rather than touching [idx_tree]/[idx_segs]
+    directly, so one call site serves both layouts.  Ordered scans
+    merge per-segment streams back into the flat tree's (key, vid)
+    order — downstream consumers observe an identical sequence. *)
+
+val index_find : index -> Value.t array -> int list
+(** Every vid posted under exactly this key, across all segments (the
+    label-blind probe: foreign-key checks reason about tuples the
+    process may not see). *)
+
+val index_find_label : index -> Value.t array -> lid:int -> int list
+(** Candidates for a uniqueness probe under label id [lid]: in the
+    partitioned layout only [lid]'s segment (plus the uninterned
+    residue) is consulted — the (key, label) identity of
+    polyinstantiation confines the probe by construction.  Callers
+    still re-check labels per candidate. *)
+
+val seq_index_prefix :
+  index ->
+  keep:(int -> bool) ->
+  prefix:Value.t array ->
+  lo:(Value.t * bool) option ->
+  hi:(Value.t * bool) option ->
+  (Value.t array * int) Seq.t
+(** Lazy prefix/range scan in (key, vid) order over the segments whose
+    label id [keep] accepts ([keep] is ignored in the flat layout —
+    the caller's per-tuple label filter still applies there). *)
+
+val iter_index_entries : index -> (Value.t array -> int -> unit) -> unit
+(** Every posting in (key, vid) order, across all segments. *)
+
+val index_entry_count : index -> int
+
+val index_segment_count : index -> int
+(** Number of label segments materialized (1 in the flat layout). *)
 
 (** {1 Views} *)
 

@@ -217,6 +217,16 @@ type view = {
   mutable mv_refreshes : int;   (* full recomputations of the state *)
   mutable mv_served : int;      (* reads answered from the state *)
   mutable mv_recomputes : int;  (* reads that fell back to the plan *)
+  mutable mv_skips : int;
+      (* commit deltas skipped because label analysis proved no write
+         could affect the view's partitions *)
+  mutable mv_affects : (string -> int -> bool) option;
+      (* [Some f]: [f table lid] says whether a committed write to
+         [table] under label id [lid] can affect the view's state.
+         Derived from the static label-interval analysis of the view
+         body (a filter pinning [_label] to one literal confines the
+         view to that single partition); [None] means every write to a
+         base table is assumed relevant. *)
   mv_cache : (int, int * Tuple.t list) Hashtbl.t;
       (* dst label id -> (authority generation, served rows): the
          declassified, visibility-filtered result for one reader
@@ -512,6 +522,8 @@ let register t ~name ~plan ~declassify ~relabel =
       mv_refreshes = 0;
       mv_served = 0;
       mv_recomputes = 0;
+      mv_skips = 0;
+      mv_affects = None;
       mv_cache = Hashtbl.create 8;
     }
   in
@@ -537,6 +549,8 @@ let register_unsupported t ~name ~reason =
       mv_refreshes = 0;
       mv_served = 0;
       mv_recomputes = 0;
+      mv_skips = 0;
+      mv_affects = None;
       mv_cache = Hashtbl.create 1;
     }
   in
@@ -545,6 +559,12 @@ let register_unsupported t ~name ~reason =
 let unregister t name = with_lock t (fun () -> Hashtbl.remove t.views (norm name))
 
 let find t name = Hashtbl.find_opt t.views (norm name)
+
+let set_affects t ~view pred =
+  with_lock t (fun () ->
+      match find t view with
+      | Some vw -> vw.mv_affects <- pred
+      | None -> ())
 
 let base_tables t name =
   with_lock t (fun () ->
@@ -588,24 +608,43 @@ let apply t (writes : (string * int * Tuple.t * int) list) =
             | Error _, _ | _, None -> ()
             | Ok c, Some state ->
                 if not vw.mv_stale then begin
+                  let base table =
+                    Array.exists (fun tb -> norm tb = norm table) c.c_tables
+                  in
                   let touched =
-                    List.exists
-                      (fun (table, _, _, _) ->
-                        Array.exists
-                          (fun tb -> norm tb = norm table)
-                          c.c_tables)
-                      writes
+                    List.exists (fun (table, _, _, _) -> base table) writes
                   in
                   if touched then begin
-                    (match absorb c state (core_delta t c writes) with
-                    | () -> vw.mv_deltas <- vw.mv_deltas + 1
-                    | exception _ ->
-                        (* anything the delta path cannot absorb —
-                           MIN/MAX deletes, an evaluation error — falls
-                           back to a full refresh at the next read; the
-                           commit itself already succeeded *)
-                        vw.mv_stale <- true);
-                    Hashtbl.reset vw.mv_cache
+                    (* label pruning: when static analysis pinned the
+                       view to specific partitions, writes under labels
+                       that provably cannot reach the view's state are
+                       no-op deltas — drop them before evaluation.  A
+                       commit whose base-table writes are all pruned
+                       leaves the state (and the per-reader cache)
+                       untouched. *)
+                    let relevant =
+                      match vw.mv_affects with
+                      | None -> writes
+                      | Some f ->
+                          List.filter
+                            (fun (table, _, _, lid) ->
+                              (not (base table)) || f table lid)
+                            writes
+                    in
+                    if not (List.exists (fun (table, _, _, _) -> base table)
+                              relevant)
+                    then vw.mv_skips <- vw.mv_skips + 1
+                    else begin
+                      (match absorb c state (core_delta t c relevant) with
+                      | () -> vw.mv_deltas <- vw.mv_deltas + 1
+                      | exception _ ->
+                          (* anything the delta path cannot absorb —
+                             MIN/MAX deletes, an evaluation error — falls
+                             back to a full refresh at the next read; the
+                             commit itself already succeeded *)
+                          vw.mv_stale <- true);
+                      Hashtbl.reset vw.mv_cache
+                    end
                   end
                 end)
           t.views)
@@ -780,6 +819,7 @@ type view_stats = {
   vs_refreshes : int;
   vs_served : int;
   vs_recomputes : int;
+  vs_skipped : int;    (* deltas skipped by label-interval analysis *)
 }
 
 let view_stats_of vw =
@@ -806,6 +846,7 @@ let view_stats_of vw =
     vs_refreshes = vw.mv_refreshes;
     vs_served = vw.mv_served;
     vs_recomputes = vw.mv_recomputes;
+    vs_skipped = vw.mv_skips;
   }
 
 let stats t =

@@ -9,7 +9,19 @@
 
     Versions are packed into {!Page}-sized pages; every access charges
     the owning page to the {!Buffer_pool}, which is how label bytes
-    translate into extra I/O in the disk-bound benchmarks. *)
+    translate into extra I/O in the disk-bound benchmarks.
+
+    {b Label partitions.}  The heap keeps a partition directory keyed
+    by interned label id (-1 groups the uninterned): each partition
+    records its slice of the vid space in ascending order, maintained
+    incrementally on insert/vacuum — never rebuilt by scanning.  With
+    [partitioned], each partition additionally owns its page run, so
+    tuples under different labels never share a page and label
+    confinement prunes whole page runs by construction; without it the
+    heap keeps the classic shared append layout (the A/B baseline).
+    The merged-scan primitives enumerate only the partitions a caller
+    keeps, in global vid order — observably identical output to a flat
+    scan plus a per-tuple label filter. *)
 
 type version = {
   vid : int;                (** stable version id within this heap *)
@@ -22,9 +34,17 @@ type version = {
 type t
 
 val create :
-  name:string -> labeled:bool -> pool:Buffer_pool.t -> unit -> t
+  name:string ->
+  labeled:bool ->
+  pool:Buffer_pool.t ->
+  ?partitioned:bool ->
+  unit ->
+  t
 (** [labeled] selects the tuple size model: with IFC on, labels cost
-    4 bytes per tag on the page; the baseline stores no label bytes. *)
+    4 bytes per tag on the page; the baseline stores no label bytes.
+    [partitioned] (default false) selects per-label-id page runs. *)
+
+val partitioned : t -> bool
 
 val name : t -> string
 val pool : t -> Buffer_pool.t
@@ -81,6 +101,8 @@ val to_seq : t -> version Seq.t
 (** Lazy sequential scan in version order; like {!iter}, charges each
     distinct page once per scan run. *)
 
+(** {1 The label-partition directory} *)
+
 val iter_label_counts : t -> (int -> int -> unit) -> unit
 (** [iter_label_counts t f] calls [f label_id count] for each label-id
     partition with live (non-vacuumed) versions; uninterned tuples
@@ -92,3 +114,42 @@ val iter_label_counts : t -> (int -> int -> unit) -> unit
 
 val distinct_label_count : t -> int
 (** Number of distinct label-id partitions currently present. *)
+
+val has_partition : t -> int -> bool
+(** Does a partition with non-vacuumed versions exist for this label
+    id?  Writers consult this {e before} inserting to decide whether
+    the insert creates a new partition (which must conflict with
+    concurrent full-table scans under serializable locking). *)
+
+val retire_version : t -> lid:int -> unit
+(** A version under [lid] stopped being live (its deleter committed,
+    or its creating transaction aborted): decrement the partition's
+    live count.  Stats only — scan pruning keys on the non-vacuumed
+    count, which stays a sound superset for every open snapshot. *)
+
+type partition_stats = {
+  ps_lid : int;
+  ps_versions : int; (** non-vacuumed versions *)
+  ps_live : int;     (** versions not deleted-and-committed *)
+  ps_pages : int;    (** pages owned (0 in the flat layout) *)
+}
+
+val partition_stats : t -> partition_stats list
+(** Per-partition stats, sorted by label id; partitions whose versions
+    were all vacuumed are omitted. *)
+
+(** {1 Merged scans over selected partitions} *)
+
+val iter_merge : t -> keep:(int -> bool) -> (version -> unit) -> unit
+(** Scan only the partitions whose label id [keep] accepts, merged into
+    global vid order — the same versions, in the same order, as {!iter}
+    followed by a per-tuple label filter, but without ever touching a
+    pruned partition's slots or pages. *)
+
+val iter_merge_range :
+  t -> keep:(int -> bool) -> lo:int -> hi:int -> (version -> unit) -> unit
+(** {!iter_merge} restricted to vids in [\[lo, hi)] — one morsel of a
+    pruned parallel scan.  Thread-safety mirrors {!scan_range}. *)
+
+val seq_merge : t -> keep:(int -> bool) -> version Seq.t
+(** Lazy {!iter_merge}. *)

@@ -117,9 +117,30 @@ let visible t txn (v : Ifdb_storage.Heap.version) =
   else if status_of t v.xmax = Aborted then true
   else true (* deleter is concurrent: still visible to us *)
 
-(* Table-granularity strict 2PL (no-wait: a conflict with another open
-   transaction raises immediately — blocking cannot work in a
-   single-threaded interleaving).  Locks die with the transaction. *)
+(* Strict 2PL over string lock keys (no-wait: a conflict with another
+   open transaction raises immediately — blocking cannot work in a
+   single-threaded interleaving).  Locks die with the transaction.
+
+   Flat heaps lock at table granularity.  Partitioned heaps lock at
+   {e label-partition} granularity — "table#lid" — so differently
+   labeled writers and readers never conflict; a per-table directory
+   key "table@dir" closes the phantom-partition window: every full
+   scan read-locks it, and an insert that creates a brand-new
+   partition write-locks it (a partition born after a scan decided its
+   pruning could otherwise carry a label the scan should have
+   conflicted with). *)
+let partition_key table lid = table ^ "#" ^ string_of_int lid
+let directory_key table = table ^ "@dir"
+
+(* Lock keys for a write of label id [lid] into [heap]; computed
+   {e before} the insert so a new partition is still observable. *)
+let write_lock_keys heap lid =
+  let name = Ifdb_storage.Heap.name heap in
+  if Ifdb_storage.Heap.partitioned heap then
+    if Ifdb_storage.Heap.has_partition heap lid then [ partition_key name lid ]
+    else [ partition_key name lid; directory_key name ]
+  else [ name ]
+
 let note_read t txn table =
   if t.locking && not (List.mem table txn.t_read_tables) then begin
     List.iter
@@ -155,7 +176,9 @@ let note_write t txn table =
 
 let record_insert t txn heap tuple =
   require_open txn "record_insert";
-  note_write t txn (Ifdb_storage.Heap.name heap);
+  List.iter
+    (note_write t txn)
+    (write_lock_keys heap (Ifdb_rel.Tuple.label_id tuple));
   log_begin t txn;
   let v = Ifdb_storage.Heap.insert heap ~xmin:txn.t_xid tuple in
   Ifdb_storage.Wal.append t.the_wal
@@ -174,7 +197,18 @@ let record_insert t txn heap tuple =
    Returns the new versions in tuple order. *)
 let record_inserts t txn heap tuples =
   require_open txn "record_inserts";
-  note_write t txn (Ifdb_storage.Heap.name heap);
+  (if t.locking then
+     (* one key set per distinct label in the run, computed before any
+        insert lands *)
+     let seen = Hashtbl.create 4 in
+     List.iter
+       (fun tuple ->
+         let lid = Ifdb_rel.Tuple.label_id tuple in
+         if not (Hashtbl.mem seen lid) then begin
+           Hashtbl.add seen lid ();
+           List.iter (note_write t txn) (write_lock_keys heap lid)
+         end)
+       tuples);
   log_begin t txn;
   let name = Ifdb_storage.Heap.name heap in
   let versions =
@@ -204,7 +238,11 @@ let record_inserts t txn heap tuples =
 
 let record_delete t txn heap (v : Ifdb_storage.Heap.version) =
   require_open txn "record_delete";
-  note_write t txn (Ifdb_storage.Heap.name heap);
+  (if Ifdb_storage.Heap.partitioned heap then
+     note_write t txn
+       (partition_key (Ifdb_storage.Heap.name heap)
+          (Ifdb_rel.Tuple.label_id v.tuple))
+   else note_write t txn (Ifdb_storage.Heap.name heap));
   log_begin t txn;
   if not (visible t txn v) then
     invalid_arg "record_delete: version not visible to this transaction";
@@ -246,6 +284,15 @@ let commit t txn =
       txn.t_state <- Committed;
       Hashtbl.replace t.statuses txn.t_xid Committed;
       close t txn);
+  (* committed deletes retire their versions from the partition live
+     counts (directory stats; scan pruning keys on the non-vacuumed
+     counts, which only vacuum shrinks) *)
+  List.iter
+    (fun w ->
+      match w.w_kind with
+      | `Delete -> Ifdb_storage.Heap.retire_version w.w_heap ~lid:w.w_label_id
+      | `Insert -> ())
+    txn.t_writes;
   (* Read-only transactions never logged a Begin, so there is nothing
      to make durable: skip the WAL (and its fsync) entirely. *)
   if txn.t_logged then Group_commit.submit t.gc ~xid:txn.t_xid
@@ -257,12 +304,13 @@ let abort t txn =
         Hashtbl.replace t.statuses txn.t_xid Aborted;
         close t txn);
     (* Undo delete stamps so later writers are not blocked by a ghost;
-       inserted versions die via their aborted xmin. *)
+       inserted versions die via their aborted xmin (and retire from
+       the partition live counts now). *)
     List.iter
       (fun w ->
         match w.w_kind with
         | `Delete -> Ifdb_storage.Heap.clear_xmax w.w_heap ~vid:w.w_vid ~xid:txn.t_xid
-        | `Insert -> ())
+        | `Insert -> Ifdb_storage.Heap.retire_version w.w_heap ~lid:w.w_label_id)
       txn.t_writes;
     if txn.t_logged then
       Ifdb_storage.Wal.append t.the_wal (Ifdb_storage.Wal.Abort txn.t_xid)

@@ -83,15 +83,29 @@ val visible : t -> txn -> Ifdb_storage.Heap.version -> bool
 (** MVCC visibility of a heap version to this transaction. *)
 
 val note_read : t -> txn -> string -> unit
-(** Report that the transaction read the named table.  Under
+(** Report that the transaction read the named lock key (a table, or a
+    partition/directory key — see {!partition_key}).  Under
     [serializable_locking], acquires the shared lock and raises
     {!Serialization_failure} if another open transaction holds the
     exclusive lock.  No-op otherwise. *)
 
 val note_write : t -> txn -> string -> unit
-(** Acquire the exclusive table lock (called internally by
+(** Acquire the exclusive lock on a key (called internally by
     {!record_insert}/{!record_delete}; exposed for constraint checks
     that write logically). *)
+
+val partition_key : string -> int -> string
+(** The lock key for one label partition of a table ("table#lid").
+    Writes to partitioned heaps lock at this granularity, so
+    differently labeled transactions never conflict; a pruned scan
+    read-locks only the partitions it visits. *)
+
+val directory_key : string -> string
+(** The per-table partition-directory key ("table@dir").  Full scans of
+    a partitioned heap read-lock it; an insert creating a brand-new
+    partition write-locks it — closing the phantom-partition window
+    (a partition born after a scan froze its pruning could otherwise
+    carry a label the scan should have conflicted with). *)
 
 val record_insert :
   t -> txn -> Ifdb_storage.Heap.t -> Ifdb_rel.Tuple.t -> Ifdb_storage.Heap.version

@@ -1,0 +1,240 @@
+(* Label-sharded storage (PR 7): the partitioned layout is physically
+   different — per-label heap page runs, per-label index segments,
+   partition-granularity locks — but must be observationally identical
+   to the flat layout.  A random labeled DML + query trace is replayed
+   against one database of each layout and every outcome is compared:
+   result values, result labels, error outcomes, the audit stream and
+   the final visible state.  CI runs the suite at parallelism 1 and at
+   a multi-domain setting ([IFDB_TEST_PARALLELISM]), so the merged
+   morsel path is compared against the flat morsel path too. *)
+
+module Db = Ifdb_core.Database
+module Label = Ifdb_difc.Label
+module Tag = Ifdb_difc.Tag
+module Value = Ifdb_rel.Value
+module Tuple = Ifdb_rel.Tuple
+module Audit = Ifdb_obs.Audit
+module Heap = Ifdb_storage.Heap
+
+let par_width =
+  match Sys.getenv_opt "IFDB_TEST_PARALLELISM" with
+  | Some s -> ( try max 1 (int_of_string s) with _ -> 4)
+  | None -> 4
+
+(* ------------------------------------------------------------------ *)
+(* Trace language                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Labels are masks over two tags, so traces exercise the empty
+   partition, both singletons and the union — enough to make pruning,
+   polyinstantiation and Write-Rule rejections all reachable. *)
+type op =
+  | Insert of int * int * int  (* id, v, session label mask *)
+  | Update of int * int * int  (* id, new v, session label mask *)
+  | Delete of int * int        (* id, session label mask *)
+  | Query of int               (* reader label mask *)
+
+let pp_op = function
+  | Insert (id, v, m) -> Printf.sprintf "Insert(%d,%d,%d)" id v m
+  | Update (id, v, m) -> Printf.sprintf "Update(%d,%d,%d)" id v m
+  | Delete (id, m) -> Printf.sprintf "Delete(%d,%d)" id m
+  | Query m -> Printf.sprintf "Query(%d)" m
+
+let gen_op =
+  QCheck.Gen.(
+    let id = int_bound 7 and v = int_bound 9 and mask = int_bound 3 in
+    frequency
+      [
+        (4, map3 (fun i x m -> Insert (i, x, m)) id v mask);
+        (2, map3 (fun i x m -> Update (i, x, m)) id v mask);
+        (2, map2 (fun i m -> Delete (i, m)) id mask);
+        (3, map (fun m -> Query m) mask);
+      ])
+
+let gen_trace = QCheck.Gen.(list_size (int_range 5 30) gen_op)
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* One op's observable outcome: the rows it returned (values + label)
+   or the error it raised, rendered to strings so the two layouts can
+   be diffed structurally. *)
+type outcome =
+  | Rows of (string list * string) list
+  | Count of int
+  | Error of string
+
+let row_key t =
+  ( List.map Value.to_string (Array.to_list (Tuple.values t)),
+    Label.to_string (Tuple.label t) )
+
+let replay ~partitioned ~parallelism ops =
+  let db = Db.create ~partitioned ~parallelism ~morsel_size:16 () in
+  let admin = Db.connect_admin db in
+  let owner = Db.create_principal admin ~name:"owner" in
+  let os = Db.connect db ~principal:owner in
+  let ta = Db.create_tag os ~name:"ta" () in
+  let tb = Db.create_tag os ~name:"tb" () in
+  ignore (Db.exec admin "CREATE TABLE t (id INT PRIMARY KEY, v INT)");
+  let session mask =
+    let s = Db.connect db ~principal:owner in
+    if mask land 1 <> 0 then Db.add_secrecy s ta;
+    if mask land 2 <> 0 then Db.add_secrecy s tb;
+    s
+  in
+  let run mask sql =
+    match Db.exec (session mask) sql with
+    | Db.Rows { tuples; _ } -> Rows (List.map row_key tuples)
+    | Db.Affected n -> Count n
+    | Db.Done _ -> Count 0
+    | exception e -> Error (Printexc.to_string e)
+  in
+  let outcomes =
+    List.map
+      (fun op ->
+        match op with
+        | Insert (id, v, m) ->
+            run m (Printf.sprintf "INSERT INTO t VALUES (%d, %d)" id v)
+        | Update (id, v, m) ->
+            run m (Printf.sprintf "UPDATE t SET v = %d WHERE id = %d" v id)
+        | Delete (id, m) ->
+            run m (Printf.sprintf "DELETE FROM t WHERE id = %d" id)
+        | Query m -> run m "SELECT id, v FROM t ORDER BY id, v")
+      ops
+  in
+  let final =
+    match run 3 "SELECT id, v FROM t ORDER BY id, v" with
+    | Rows rows -> rows
+    | Count _ | Error _ -> assert false
+  in
+  let audit =
+    List.map
+      (fun ev -> (ev.Audit.ev_kind, ev.Audit.ev_principal, ev.Audit.ev_tags))
+      (Audit.events (Db.audit_log db))
+  in
+  (outcomes, final, audit)
+
+let check_equivalence ~parallelism ops =
+  let a = replay ~partitioned:true ~parallelism ops in
+  let b = replay ~partitioned:false ~parallelism ops in
+  if a <> b then
+    QCheck.Test.fail_reportf "partitioned /= flat on@ [%s]"
+      (String.concat "; " (List.map pp_op ops));
+  true
+
+let qcheck_equivalence ~count ~parallelism name =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count ~name
+       (QCheck.make
+          ~print:(fun ops -> String.concat "; " (List.map pp_op ops))
+          gen_trace)
+       (fun ops -> check_equivalence ~parallelism ops))
+
+(* ------------------------------------------------------------------ *)
+(* Pruning is observable                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A low reader over a mixed-label table must skip the high partitions
+   without touching their tuples: the pruned-partition counter moves,
+   the directory reports every partition, and results stay correct. *)
+let test_pruning_observable () =
+  let db = Db.create () in
+  let admin = Db.connect_admin db in
+  let owner = Db.create_principal admin ~name:"owner" in
+  let os = Db.connect db ~principal:owner in
+  let tag = Db.create_tag os ~name:"secret" () in
+  ignore (Db.exec admin "CREATE TABLE r (id INT PRIMARY KEY, v INT)");
+  Alcotest.(check bool) "partitioned by default" true (Db.partitioned db);
+  ignore (Db.exec admin "INSERT INTO r VALUES (1, 10)");
+  ignore (Db.exec admin "INSERT INTO r VALUES (2, 20)");
+  let hs = Db.connect db ~principal:owner in
+  Db.add_secrecy hs tag;
+  ignore (Db.exec hs "INSERT INTO r VALUES (3, 30)");
+  let before = Db.partitions_pruned db in
+  let low = Db.query admin "SELECT id FROM r ORDER BY id" in
+  Alcotest.(check int) "low reader sees public rows" 2 (List.length low);
+  Alcotest.(check bool) "secret partition was pruned" true
+    (Db.partitions_pruned db > before);
+  let high = Db.connect db ~principal:owner in
+  Db.add_secrecy high tag;
+  let all = Db.query high "SELECT id FROM r ORDER BY id" in
+  Alcotest.(check int) "high reader sees all rows" 3 (List.length all);
+  match Db.partition_report db with
+  | [ { Db.tp_table = "r"; tp_stats } ] ->
+      Alcotest.(check int) "two partitions in the directory" 2
+        (List.length tp_stats);
+      Alcotest.(check int) "three versions across partitions" 3
+        (List.fold_left
+           (fun acc ps -> acc + ps.Heap.ps_versions)
+           0 tp_stats)
+  | report ->
+      Alcotest.failf "unexpected partition report (%d tables)"
+        (List.length report)
+
+(* ------------------------------------------------------------------ *)
+(* IVM deltas skip foreign partitions                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A materialized view pinned to one label partition by an exact
+   [_label = {…}] filter must ignore commits that only write other
+   partitions — the satellite wiring label intervals into the commit
+   hook.  Correctness first: the view still reflects writes to its own
+   partition. *)
+let test_ivm_partition_skip () =
+  let db = Db.create () in
+  let admin = Db.connect_admin db in
+  let owner = Db.create_principal admin ~name:"owner" in
+  let os = Db.connect db ~principal:owner in
+  let ta = Db.create_tag os ~name:"ta" () in
+  let _tb = Db.create_tag os ~name:"tb" () in
+  ignore (Db.exec admin "CREATE TABLE m (id INT PRIMARY KEY, v INT)");
+  let sa = Db.connect db ~principal:owner in
+  Db.add_secrecy sa ta;
+  ignore (Db.exec sa "INSERT INTO m VALUES (1, 10)");
+  ignore
+    (Db.exec sa
+       "CREATE MATERIALIZED VIEW mv AS SELECT id, v FROM m WHERE _label = \
+        {ta}");
+  let stat () =
+    match List.filter (fun st -> st.Ifdb_engine.Ivm.vs_name = "mv")
+            (Db.view_stats db) with
+    | [ st ] -> st
+    | _ -> Alcotest.fail "mv not registered"
+  in
+  Alcotest.(check bool) "delta maintenance on" true (stat ()).Ifdb_engine.Ivm.vs_supported;
+  (* a commit entirely in another partition: provably irrelevant *)
+  let sb = Db.connect db ~principal:owner in
+  Db.add_secrecy sb _tb;
+  ignore (Db.exec sb "INSERT INTO m VALUES (2, 20)");
+  let st = stat () in
+  Alcotest.(check bool) "foreign-partition commit skipped" true
+    (st.Ifdb_engine.Ivm.vs_skipped >= 1);
+  (* a commit in the pinned partition must still be applied *)
+  ignore (Db.exec sa "INSERT INTO m VALUES (3, 30)");
+  let reader = Db.connect db ~principal:owner in
+  Db.add_secrecy reader ta;
+  let rows = Db.query reader "SELECT id, v FROM mv ORDER BY id" in
+  Alcotest.(check (list (list string)))
+    "view reflects its own partition only"
+    [ [ "1"; "10" ]; [ "3"; "30" ] ]
+    (List.map
+       (fun t -> List.map Value.to_string (Array.to_list (Tuple.values t)))
+       rows);
+  let st = stat () in
+  Alcotest.(check bool) "own-partition commit applied" true
+    (st.Ifdb_engine.Ivm.vs_deltas >= 1)
+
+let suites =
+  [
+    ( "partition",
+      [
+        qcheck_equivalence ~count:40 ~parallelism:1
+          "partitioned = flat (serial)";
+        qcheck_equivalence ~count:12 ~parallelism:par_width
+          "partitioned = flat (parallel)";
+        Alcotest.test_case "pruning observable" `Quick test_pruning_observable;
+        Alcotest.test_case "IVM skips foreign partitions" `Quick
+          test_ivm_partition_skip;
+      ] );
+  ]

@@ -59,7 +59,7 @@ let index_contents db =
       List.map
         (fun idx ->
           let acc = ref [] in
-          Btree.iter_all idx.Catalog.idx_tree (fun k vid ->
+          Catalog.iter_index_entries idx (fun k vid ->
               acc := (List.map Value.to_string (Array.to_list k), vid) :: !acc);
           (idx.Catalog.idx_name, List.rev !acc))
         tbl.Catalog.tbl_indexes
