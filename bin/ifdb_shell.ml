@@ -23,6 +23,7 @@
      \metrics [reset]        metrics registry in Prometheus text format
      \explain [analyze] SQL  plan tree / traced execution report
      \slow [N]               recent slow queries (enable with --slow-ms)
+     \prepared               this session's prepared statements
      \audit [N]              recent IFC audit events
      \dump [TABLE]           label-preserving SQL dump (pg_dump analogue)
      \q                      quit
@@ -299,6 +300,20 @@ let run_command st line =
                 (float_of_int e.Trace.sq_ns /. 1e6)
                 e.Trace.sq_rows e.Trace.sq_sql)
             entries)
+  | [ "\\prepared" ] -> (
+      match Db.prepared_statements st.session with
+      | [] -> print_endline "no prepared statements"
+      | infos ->
+          List.iter
+            (fun (pi : Db.prepared_info) ->
+              Printf.printf
+                "%s (%d param%s): %s\n  %d cached-plan hit(s), %d plan(s); \
+                 stamps: catalog v%d, authority gen %d\n"
+                pi.Db.pi_name pi.Db.pi_nparams
+                (if pi.Db.pi_nparams = 1 then "" else "s")
+                pi.Db.pi_text pi.Db.pi_hits pi.Db.pi_plans pi.Db.pi_cat_version
+                pi.Db.pi_generation)
+            infos)
   | "\\audit" :: rest ->
       let n =
         match rest with

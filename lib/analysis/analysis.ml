@@ -126,7 +126,7 @@ let rec walk_expr (e : A.expr) ~lits ~subs =
   match e with
   | A.E_label_lit names -> lits names
   | A.E_scalar_subquery s | A.E_exists s -> subs s
-  | A.E_const _ | A.E_col _ | A.E_count_star -> ()
+  | A.E_const _ | A.E_col _ | A.E_count_star | A.E_param _ -> ()
   | A.E_binop (_, a, b) ->
       walk_expr a ~lits ~subs;
       walk_expr b ~lits ~subs
@@ -886,6 +886,30 @@ let rec analyze_stmt ctx (stmt : A.stmt) : Diag.t list =
       (* EXPLAIN inherits the diagnostics of the statement it wraps
          (already sorted; re-sorting below is stable). *)
       List.iter add (analyze_stmt ctx x_stmt)
+  | A.S_prepare { pr_stmt; _ } ->
+      (* Analyze the body once, at PREPARE time.  With placeholders in
+         play, value-dependent verdicts (doomed writes, vacuous scans,
+         FK leaks, commit traps) hold only for *some* bindings — demote
+         them to warnings so a prepared statement is not rejected for a
+         binding it may never receive.  Name errors stay errors: no
+         binding can repair an unknown relation or column. *)
+      let param_dependent = function
+        | Diag.Doomed_write | Diag.Vacuous_query | Diag.Fk_leak
+        | Diag.Commit_trap ->
+            true
+        | Diag.Overbroad_declassify | Diag.Name_error
+        | Diag.Recompute_fallback | Diag.Parse_error | Diag.Runtime_error ->
+            false
+      in
+      let soften_params d =
+        if A.has_param pr_stmt && param_dependent d.Diag.d_code then
+          add { d with Diag.d_severity = Diag.Warning }
+        else add d
+      in
+      List.iter soften_params (analyze_stmt ctx pr_stmt)
+  | A.S_execute _ | A.S_deallocate _
+  (* EXECUTE reuses the diagnostics stored at PREPARE time (the session
+     re-analyzes when authority or catalog stamps move). *)
   | A.S_begin | A.S_rollback | A.S_create_index _ | A.S_drop _ -> ());
   let diags = List.rev !out in
   List.stable_sort
@@ -940,7 +964,9 @@ let rec referenced_tags (stmt : A.stmt) : string list =
     when List.mem (norm name) [ "addsecrecy"; "declassify" ] ->
       Option.iter push (perform_tag_arg args)
   | A.S_explain { x_stmt; _ } -> List.iter push (referenced_tags x_stmt)
+  | A.S_prepare { pr_stmt; _ } -> List.iter push (referenced_tags pr_stmt)
+  | A.S_execute { ex_args; _ } -> List.iter go_expr ex_args
   | A.S_perform _ | A.S_create_table _ | A.S_create_index _ | A.S_drop _
-  | A.S_begin | A.S_commit | A.S_rollback ->
+  | A.S_begin | A.S_commit | A.S_rollback | A.S_deallocate _ ->
       ());
   List.rev !acc

@@ -44,6 +44,52 @@ type mx = {
   mx_aborts : Metrics.counter;
   mx_slow : Metrics.counter;
   mx_latency : Metrics.histogram;
+  mx_pc_hits : Metrics.counter;
+  mx_pc_misses : Metrics.counter;
+  mx_pc_invalidations : Metrics.counter;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Plan cache                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* One cached plan.  Plans are name-based (scans resolve tables through
+   the executor context at run time) and parameter slots are [Expr.Param]
+   leaves, so a single plan serves every binding — but view expansion,
+   declassify labels and index choice were all resolved against a
+   specific catalog and authority state, so every entry is stamped with
+   the versions it was planned under and discarded when either moves.
+   Scan-time confinement ([partition_scan_filter]) is re-derived per
+   execution from the session, never baked into the plan. *)
+type plan_entry = {
+  pe_plan : Plan.t;
+  pe_columns : string list;
+  pe_cat_version : int;
+  pe_generation : int;  (* Authority.generation at plan time *)
+}
+
+(* A prepared statement's cached artifacts: the parsed body ($n
+   placeholders intact), its prepare-time diagnostics, and plans keyed
+   by the interned session-label id — sessions under different labels
+   may see different view expansions, so they never share an entry
+   (mirroring the IVM reader cache).  [sc_lock] is set only for entries
+   in the database-wide implicit cache, which sessions on other domains
+   may touch concurrently; per-session prepared statements need none. *)
+type stmt_cache = {
+  sc_stmt : A.stmt;
+  sc_text : string;  (* canonical rendering, placeholders intact *)
+  sc_nparams : int;
+  sc_cacheable : bool;
+      (* SELECT without expression-position subqueries: those lower to
+         memoizing [Expr.Lazy_const] thunks capturing one execution's
+         context, so such plans must be rebuilt every execution *)
+  mutable sc_diags : Diag.t list;
+  mutable sc_stamp : int * int * int;
+      (* (catalog version, authority generation, session-label id) the
+         diagnostics were computed under *)
+  sc_plans : (int, plan_entry) Hashtbl.t;  (* session-label id → plan *)
+  mutable sc_hits : int;
+  sc_lock : Mutex.t option;
 }
 
 type trigger_event = {
@@ -102,6 +148,13 @@ and t = {
   slow_ns : int;
       (* statements at/above this duration land in the slow-query log;
          [max_int] disables the log (and its clock reads) entirely *)
+  plan_cache_on : bool;
+  pc_mu : Mutex.t;
+  pc_alias : (string, string) Hashtbl.t;
+      (* trimmed raw statement text → canonical printed text, so the
+         implicit cache is keyed on what applications actually send *)
+  pc_stmts : (string, stmt_cache) Hashtbl.t;
+      (* canonical text → cached statement (implicit, database-wide) *)
 }
 
 and session = {
@@ -122,6 +175,11 @@ and session = {
   mutable s_trace : Trace.t option;
       (* active EXPLAIN ANALYZE trace; threaded into the executor ctx
          and the label-confinement scan filters *)
+  mutable s_params : Value.t array;
+      (* the current EXECUTE's bindings, frozen before execution starts;
+         [Expr.Param n] reads slot n-1.  Empty outside EXECUTE. *)
+  s_prepared : (string, stmt_cache) Hashtbl.t;
+      (* session-local prepared statements, keyed by normalized name *)
 }
 
 type result =
@@ -185,6 +243,8 @@ let connect t ~principal =
     s_warnings = [];
     s_stmt = None;
     s_trace = None;
+    s_params = [||];
+    s_prepared = Hashtbl.create 8;
   }
 
 let connect_admin t = connect t ~principal:t.admin_p
@@ -213,12 +273,24 @@ let principal_string db p =
   | name -> name
   | exception _ -> Format.asprintf "%a" Principal.pp p
 
+(* How a statement appears in the audit trail and the slow-query log.
+   EXECUTE renders as its prepared body with the [$n] placeholders
+   intact — never the bound values: both logs outlive the session's
+   label, so leaking a parameter there would bypass confinement. *)
+let stmt_display s (st : A.stmt) =
+  match st with
+  | A.S_execute { ex_name; _ } -> (
+      match Hashtbl.find_opt s.s_prepared (norm ex_name) with
+      | Some sc -> Printf.sprintf "EXECUTE %s AS %s" ex_name sc.sc_text
+      | None -> "EXECUTE " ^ ex_name)
+  | _ -> Printer.stmt_to_string st
+
 (* The statement text is rendered only when an event actually fires;
    stamping [s_stmt] per statement is just a pointer write. *)
 let audit_emit s ~kind ?(tags = []) ?(detail = "") () =
   let db = s.sdb in
   let stmt =
-    match s.s_stmt with Some st -> Printer.stmt_to_string st | None -> ""
+    match s.s_stmt with Some st -> stmt_display s st | None -> ""
   in
   Audit.emit db.audit ~kind
     ~principal:(principal_string db s.s_principal)
@@ -716,6 +788,7 @@ let fenv s : Expr.env =
                 | Some p -> with_principal s p (fun () -> c.c_fn s args)
                 | None -> c.c_fn s args)
             | None -> Errors.sql "unknown function %s" name));
+    params = s.s_params;
   }
 
 let exec_ctx s : Executor.ctx =
@@ -1388,6 +1461,7 @@ let self_referencing_fk (tbl : Catalog.table) =
 let rec pure_values_expr (e : A.expr) =
   match e with
   | A.E_const _ | A.E_label_lit _ | A.E_count_star -> true
+  | A.E_param _ -> true (* reads a frozen binding slot *)
   | A.E_col _ -> true (* VALUES rows cannot reference columns anyway *)
   | A.E_fn _ | A.E_scalar_subquery _ | A.E_exists _ -> false
   | A.E_binop (_, a, b) -> pure_values_expr a && pure_values_expr b
@@ -1470,9 +1544,30 @@ let dml_targets s txn tbl (pred : Expr.t option) =
   let source =
     match Option.map (fun p -> Planner.best_prefix tbl p) pred with
     | Some (Some (index, prefix, range)) ->
-        let lo, hi = Option.value ~default:(None, None) range in
-        scan_prefix_versions s ~table:table_name ~index ~prefix ~lo ~hi
-          ~extra:Label.empty ()
+        (* prefix keys and range bounds are expressions now (they may be
+           [$n] parameters); evaluate them against the empty row.  A
+           NULL key component matches nothing: the bound derives from an
+           equality/comparison conjunct of the predicate. *)
+        let env = fenv s in
+        let one_row = Tuple.make ~values:[||] ~label:Label.empty in
+        let key = Array.map (fun e -> Expr.eval env one_row e) prefix in
+        let bound =
+          Option.map (fun (e, incl) -> (Expr.eval env one_row e, incl))
+        in
+        let lo, hi =
+          match range with
+          | None -> (None, None)
+          | Some (l, h) -> (bound l, bound h)
+        in
+        let null_bound = function
+          | Some (v, _) -> Value.is_null v
+          | None -> false
+        in
+        if Array.exists Value.is_null key || null_bound lo || null_bound hi
+        then Seq.empty
+        else
+          scan_prefix_versions s ~table:table_name ~index ~prefix:key ~lo ~hi
+            ~extra:Label.empty ()
     | Some None | None -> scan_versions s ~table:table_name ~extra:Label.empty
   in
   ignore txn;
@@ -1831,6 +1926,162 @@ let exec_perform s name args =
       Done "PERFORM"
 
 (* ------------------------------------------------------------------ *)
+(* Static analysis (prepare-time lint)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let analysis_ctx s : Analysis.ctx =
+  {
+    Analysis.an_catalog = s.sdb.cat;
+    an_auth = s.sdb.auth;
+    an_store = s.sdb.lstore;
+    an_principal = s.s_principal;
+    an_label = s.s_label;
+    an_write_labels =
+      (match s.s_txn with
+      | None -> []
+      | Some txn ->
+          List.map (fun w -> w.Manager.w_label) (Manager.writes txn));
+  }
+
+let analyze_stmt s stmt : Diag.t list =
+  if not s.sdb.ifc then [] else Analysis.analyze_stmt (analysis_ctx s) stmt
+
+let analyze s sql_text : Diag.t list =
+  match Parser.parse sql_text with
+  | stmts -> List.concat_map (analyze_stmt s) stmts
+  | exception Ifdb_sql.Parser.Parse_error msg ->
+      [ Diag.error Diag.Parse_error "%s" msg ]
+  | exception Ifdb_sql.Lexer.Lex_error (msg, _) ->
+      [ Diag.error Diag.Parse_error "%s" msg ]
+
+(* Map an analyzer verdict onto the exception the runtime failure it
+   predicts would raise, so [strict] mode is a drop-in early version of
+   the runtime error. *)
+let diag_exn (d : Diag.t) =
+  let msg = "static analysis: " ^ Diag.to_string d in
+  match d.Diag.d_code with
+  | Diag.Overbroad_declassify -> Errors.Authority_required msg
+  | Diag.Name_error | Diag.Parse_error | Diag.Runtime_error
+  | Diag.Recompute_fallback ->
+      Errors.Sql_error msg
+  | Diag.Doomed_write | Diag.Vacuous_query | Diag.Commit_trap | Diag.Fk_leak ->
+      Errors.Flow_violation msg
+
+(* ------------------------------------------------------------------ *)
+(* Plan cache                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let with_cache_lock sc f =
+  match sc.sc_lock with
+  | None -> f ()
+  | Some mu ->
+      Mutex.lock mu;
+      Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let session_label_id s =
+  if s.sdb.ifc then Label_store.intern s.sdb.lstore s.s_label
+  else Label_store.empty_id
+
+let make_stmt_cache ?lock (stmt : A.stmt) ~diags ~stamp =
+  {
+    sc_stmt = stmt;
+    sc_text = Printer.stmt_to_string stmt;
+    sc_nparams = A.max_param stmt;
+    sc_cacheable =
+      (match stmt with
+      | A.S_select _ -> not (A.has_expr_subquery stmt)
+      | _ -> false);
+    sc_diags = diags;
+    sc_stamp = stamp;
+    sc_plans = Hashtbl.create 4;
+    sc_hits = 0;
+    sc_lock = lock;
+  }
+
+(* Fetch (or build) the plan for a cached SELECT under the current
+   session label.  A stale stamp — any DDL, or any authority mutation
+   (delegation, revocation, tag mint) — discards the entry and re-plans:
+   view expansion and label-literal resolution may have changed.
+   Returns whether the plan came from the cache. *)
+let cached_plan s sc (sel : A.select) : Plan.t * string list * bool =
+  let db = s.sdb in
+  let lid = session_label_id s in
+  let cat_v = Catalog.version db.cat in
+  let gen = Authority.generation db.auth in
+  let hit =
+    with_cache_lock sc (fun () ->
+        match Hashtbl.find_opt sc.sc_plans lid with
+        | Some pe when pe.pe_cat_version = cat_v && pe.pe_generation = gen ->
+            sc.sc_hits <- sc.sc_hits + 1;
+            Some pe
+        | Some _ ->
+            Metrics.incr db.mx.mx_pc_invalidations;
+            Hashtbl.remove sc.sc_plans lid;
+            None
+        | None -> None)
+  in
+  match hit with
+  | Some pe ->
+      Metrics.incr db.mx.mx_pc_hits;
+      (pe.pe_plan, pe.pe_columns, true)
+  | None ->
+      Metrics.incr db.mx.mx_pc_misses;
+      let plan, columns = Planner.plan_select (pctx s) sel in
+      with_cache_lock sc (fun () ->
+          Hashtbl.replace sc.sc_plans lid
+            {
+              pe_plan = plan;
+              pe_columns = columns;
+              pe_cat_version = cat_v;
+              pe_generation = gen;
+            });
+      (plan, columns, false)
+
+(* The implicit cache: [exec] keys cached statements on the trimmed raw
+   text clients send, with a bounded canonical-text table behind it.
+   Only parameter-free SELECTs are admitted — their plans re-serve
+   verbatim; everything else re-plans anyway, so caching the parse
+   alone is not worth a shared-table entry. *)
+let implicit_cache_cap = 512
+
+let implicit_cache_find db key =
+  Mutex.lock db.pc_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock db.pc_mu)
+    (fun () ->
+      match Hashtbl.find_opt db.pc_alias key with
+      | Some canon -> Hashtbl.find_opt db.pc_stmts canon
+      | None -> None)
+
+let implicit_cache_admit db key (stmt : A.stmt) =
+  match stmt with
+  | A.S_select _
+    when (not (A.has_expr_subquery stmt)) && A.max_param stmt = 0 ->
+      Mutex.lock db.pc_mu;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock db.pc_mu)
+        (fun () ->
+          if Hashtbl.length db.pc_stmts >= implicit_cache_cap then begin
+            Hashtbl.reset db.pc_stmts;
+            Hashtbl.reset db.pc_alias
+          end;
+          let canon = Printer.stmt_to_string stmt in
+          let sc =
+            match Hashtbl.find_opt db.pc_stmts canon with
+            | Some sc -> sc
+            | None ->
+                let sc =
+                  make_stmt_cache ~lock:db.pc_mu stmt ~diags:[]
+                    ~stamp:(-1, -1, -1)
+                in
+                Hashtbl.add db.pc_stmts canon sc;
+                sc
+          in
+          Hashtbl.replace db.pc_alias key canon;
+          Some sc)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
 (* EXPLAIN [ANALYZE]                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -1849,9 +2100,26 @@ let plan_lines plan =
    machinery (memoized and missed alike). *)
 let explain_analyze_select s sel : string list * result =
   in_statement_txn s (fun _txn ->
-      let plan, columns = Planner.plan_select (pctx s) sel in
-      audit_declassify s plan;
       let db = s.sdb in
+      (* probe the implicit plan cache exactly as [exec] would, so the
+         report shows what a real execution of this text pays *)
+      let stmt = A.S_select sel in
+      let cache =
+        if db.plan_cache_on then
+          implicit_cache_admit db (Printer.stmt_to_string stmt) stmt
+        else None
+      in
+      let plan, columns, notes =
+        match cache with
+        | Some sc when sc.sc_cacheable ->
+            let plan, columns, hit = cached_plan s sc sel in
+            (plan, columns,
+             [ Printf.sprintf "plan cache: %s" (if hit then "hit" else "miss") ])
+        | _ ->
+            let plan, columns = Planner.plan_select (pctx s) sel in
+            (plan, columns, [])
+      in
+      audit_declassify s plan;
       let fs0 = Label_store.stats db.lstore in
       let tr = Trace.create () in
       s.s_trace <- Some tr;
@@ -1867,7 +2135,7 @@ let explain_analyze_select s sel : string list * result =
             fs1.Label_store.flow_misses - fs0.Label_store.flow_misses
           in
           let report =
-            Trace.report tr ~total_ns ~rows:(List.length tuples)
+            Trace.report ~notes tr ~total_ns ~rows:(List.length tuples)
               ~flow_checks:(hits + misses) ~flow_hits:hits
           in
           (report, Rows { columns; tuples })))
@@ -1892,7 +2160,18 @@ let exec_explain s ~analyze stmt =
             explain_rows (plan_lines plan))
   | _ -> Errors.sql "EXPLAIN supports only SELECT statements"
 
-let exec_stmt s (stmt : A.stmt) : result =
+(* Evaluate an EXECUTE argument: a constant expression (label literals
+   included), evaluated against the empty row.  Placeholders cannot
+   appear in argument position. *)
+let eval_param_arg s (e : A.expr) : Value.t =
+  let lowered =
+    Planner.lower_expr_for_table (pctx s)
+      (Schema.make ~name:"_args" ~columns:[] ())
+      e
+  in
+  Expr.eval (fenv s) (Tuple.make ~values:[||] ~label:Label.empty) lowered
+
+let rec exec_stmt ?cache s (stmt : A.stmt) : result =
   match stmt with
   | A.S_begin ->
       if s.s_txn <> None then Errors.sql "already inside a transaction";
@@ -1913,7 +2192,13 @@ let exec_stmt s (stmt : A.stmt) : result =
           Done "ROLLBACK")
   | A.S_select sel ->
       in_statement_txn s (fun _txn ->
-          let plan, columns = Planner.plan_select (pctx s) sel in
+          let plan, columns =
+            match cache with
+            | Some sc when sc.sc_cacheable ->
+                let plan, columns, _hit = cached_plan s sc sel in
+                (plan, columns)
+            | _ -> Planner.plan_select (pctx s) sel
+          in
           audit_declassify s plan;
           let tuples = Executor.run_list (exec_ctx s) plan in
           Rows { columns; tuples })
@@ -1967,54 +2252,77 @@ let exec_stmt s (stmt : A.stmt) : result =
       Catalog.drop_index s.sdb.cat name;
       Done "DROP INDEX"
   | A.S_perform (name, args) -> exec_perform s name args
+  | A.S_prepare { pr_name; pr_stmt } -> exec_prepare s pr_name pr_stmt
+  | A.S_execute { ex_name; ex_args } -> exec_execute s ex_name ex_args
+  | A.S_deallocate None ->
+      Hashtbl.reset s.s_prepared;
+      Done "DEALLOCATE ALL"
+  | A.S_deallocate (Some name) ->
+      if not (Hashtbl.mem s.s_prepared (norm name)) then
+        Errors.sql "prepared statement %s does not exist" name;
+      Hashtbl.remove s.s_prepared (norm name);
+      Done "DEALLOCATE"
 
-(* ------------------------------------------------------------------ *)
-(* Static analysis (prepare-time lint)                                 *)
-(* ------------------------------------------------------------------ *)
+and exec_prepare s pr_name pr_stmt : result =
+  (match pr_stmt with
+  | A.S_prepare _ | A.S_execute _ | A.S_deallocate _ ->
+      Errors.sql "cannot PREPARE a PREPARE, EXECUTE or DEALLOCATE"
+  | _ -> ());
+  let db = s.sdb in
+  let key = norm pr_name in
+  if Hashtbl.mem s.s_prepared key then
+    Errors.sql "prepared statement %s already exists" pr_name;
+  (* [exec_stmt_guarded] already ran the analyzer over this PREPARE
+     (with parameter-dependent verdicts demoted); keep its diagnostics
+     so later EXECUTEs can re-attach them without re-analyzing. *)
+  Hashtbl.replace s.s_prepared key
+    (make_stmt_cache pr_stmt ~diags:s.s_warnings
+       ~stamp:
+         (Catalog.version db.cat, Authority.generation db.auth,
+          session_label_id s));
+  Done "PREPARE"
 
-let analysis_ctx s : Analysis.ctx =
-  {
-    Analysis.an_catalog = s.sdb.cat;
-    an_auth = s.sdb.auth;
-    an_store = s.sdb.lstore;
-    an_principal = s.s_principal;
-    an_label = s.s_label;
-    an_write_labels =
-      (match s.s_txn with
-      | None -> []
-      | Some txn ->
-          List.map (fun w -> w.Manager.w_label) (Manager.writes txn));
-  }
-
-let analyze_stmt s stmt : Diag.t list =
-  if not s.sdb.ifc then [] else Analysis.analyze_stmt (analysis_ctx s) stmt
-
-let analyze s sql_text : Diag.t list =
-  match Parser.parse sql_text with
-  | stmts -> List.concat_map (analyze_stmt s) stmts
-  | exception Ifdb_sql.Parser.Parse_error msg ->
-      [ Diag.error Diag.Parse_error "%s" msg ]
-  | exception Ifdb_sql.Lexer.Lex_error (msg, _) ->
-      [ Diag.error Diag.Parse_error "%s" msg ]
-
-(* Map an analyzer verdict onto the exception the runtime failure it
-   predicts would raise, so [strict] mode is a drop-in early version of
-   the runtime error. *)
-let diag_exn (d : Diag.t) =
-  let msg = "static analysis: " ^ Diag.to_string d in
-  match d.Diag.d_code with
-  | Diag.Overbroad_declassify -> Errors.Authority_required msg
-  | Diag.Name_error | Diag.Parse_error | Diag.Runtime_error
-  | Diag.Recompute_fallback ->
-      Errors.Sql_error msg
-  | Diag.Doomed_write | Diag.Vacuous_query | Diag.Commit_trap | Diag.Fk_leak ->
-      Errors.Flow_violation msg
+and exec_execute s ex_name ex_args : result =
+  let db = s.sdb in
+  match Hashtbl.find_opt s.s_prepared (norm ex_name) with
+  | None -> Errors.sql "prepared statement %s does not exist" ex_name
+  | Some sc ->
+      let given = List.length ex_args in
+      if given <> sc.sc_nparams then
+        Errors.sql "prepared statement %s expects %d parameter%s, got %d"
+          ex_name sc.sc_nparams
+          (if sc.sc_nparams = 1 then "" else "s")
+          given;
+      let bindings = Array.of_list (List.map (eval_param_arg s) ex_args) in
+      (* prepare-time diagnostics stay valid while the catalog, the
+         authority state and the session label all stand still; when
+         any stamp moves, re-analyze the body (same demotions as at
+         PREPARE) before trusting them again *)
+      let stamp =
+        (Catalog.version db.cat, Authority.generation db.auth,
+         session_label_id s)
+      in
+      if stamp <> sc.sc_stamp then begin
+        sc.sc_diags <-
+          analyze_stmt s (A.S_prepare { pr_name = ex_name; pr_stmt = sc.sc_stmt });
+        sc.sc_stamp <- stamp
+      end;
+      s.s_warnings <- sc.sc_diags;
+      (if db.strict then
+         match List.find_opt Diag.is_error sc.sc_diags with
+         | Some d -> raise (diag_exn d)
+         | None -> ());
+      let saved = s.s_params in
+      s.s_params <- bindings;
+      Fun.protect
+        ~finally:(fun () -> s.s_params <- saved)
+        (fun () -> exec_stmt ~cache:sc s sc.sc_stmt)
 
 (* A failed statement aborts the enclosing explicit transaction, like
    PostgreSQL's "current transaction is aborted" state with the forced
    rollback folded in.  (Implicit transactions already abort inside
    [in_statement_txn].) *)
-let exec_stmt_guarded s stmt =
+let exec_stmt_guarded ?cache s stmt =
   let db = s.sdb in
   (* clock reads only when someone will consume them: the latency
      histogram (metrics on) or the slow-query log (threshold set) *)
@@ -2033,7 +2341,7 @@ let exec_stmt_guarded s stmt =
             | Some d -> raise (diag_exn d)
             | None -> ()
         end;
-        let result = exec_stmt s stmt in
+        let result = exec_stmt ?cache s stmt in
         Metrics.incr db.mx.mx_statements;
         if timed then begin
           let ns = Trace.now_ns () - t0 in
@@ -2046,8 +2354,7 @@ let exec_stmt_guarded s stmt =
               | Affected n -> n
               | Done _ -> 0
             in
-            Trace.slow_log_add db.slow ~sql:(Printer.stmt_to_string stmt) ~ns
-              ~rows
+            Trace.slow_log_add db.slow ~sql:(stmt_display s stmt) ~ns ~rows
           end
         end;
         result
@@ -2076,10 +2383,27 @@ let wrap_errors f =
 
 let exec s sql_text =
   wrap_errors (fun () ->
-      match Parser.parse sql_text with
-      | [ stmt ] -> exec_stmt_guarded s stmt
-      | [] -> Errors.sql "empty statement"
-      | _ -> Errors.sql "exec expects a single statement; use exec_script")
+      let db = s.sdb in
+      let key = if db.plan_cache_on then String.trim sql_text else sql_text in
+      match
+        if db.plan_cache_on then implicit_cache_find db key else None
+      with
+      | Some sc ->
+          (* text-level hit: parse skipped entirely.  The analyzer still
+             runs per execution inside the guarded path, so diagnostics,
+             strict-mode behavior and [s_warnings] are byte-identical to
+             a cold execution of the same text. *)
+          exec_stmt_guarded ~cache:sc s sc.sc_stmt
+      | None -> (
+          match Parser.parse sql_text with
+          | [ stmt ] ->
+              let cache =
+                if db.plan_cache_on then implicit_cache_admit db key stmt
+                else None
+              in
+              exec_stmt_guarded ?cache s stmt
+          | [] -> Errors.sql "empty statement"
+          | _ -> Errors.sql "exec expects a single statement; use exec_script"))
 
 let exec_script s sql_text =
   wrap_errors (fun () ->
@@ -2090,6 +2414,47 @@ let exec_script s sql_text =
    internal dispatcher on purpose: external callers always get the
    guarded, error-normalized path. *)
 let exec_stmt s stmt = wrap_errors (fun () -> exec_stmt_guarded s stmt)
+
+(* ------------------------------------------------------------------ *)
+(* Prepared statements (programmatic API)                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Bind [args] positionally and run the prepared statement — the
+   programmatic twin of [EXECUTE name (…)], taking values directly so
+   drivers and workloads skip rendering literals into SQL text. *)
+let execute_prepared s name (args : Value.t list) =
+  wrap_errors (fun () ->
+      exec_stmt_guarded s
+        (A.S_execute
+           { ex_name = name; ex_args = List.map (fun v -> A.E_const v) args }))
+
+type prepared_info = {
+  pi_name : string;
+  pi_text : string;  (* statement body, placeholders intact *)
+  pi_nparams : int;
+  pi_hits : int;  (* executions served by a cached plan *)
+  pi_plans : int;  (* plan entries cached (one per session-label id) *)
+  pi_cat_version : int;  (* catalog stamp of the prepare-time analysis *)
+  pi_generation : int;  (* authority stamp of the prepare-time analysis *)
+}
+
+let prepared_statements s =
+  List.sort
+    (fun a b -> String.compare a.pi_name b.pi_name)
+    (Hashtbl.fold
+       (fun name sc acc ->
+         let cat_v, gen, _lid = sc.sc_stamp in
+         {
+           pi_name = name;
+           pi_text = sc.sc_text;
+           pi_nparams = sc.sc_nparams;
+           pi_hits = sc.sc_hits;
+           pi_plans = Hashtbl.length sc.sc_plans;
+           pi_cat_version = cat_v;
+           pi_generation = gen;
+         }
+         :: acc)
+       s.s_prepared [])
 
 (* Programmatic EXPLAIN ANALYZE: the rendered report plus the query's
    ordinary result, so callers can assert the traced execution returns
@@ -2356,7 +2721,7 @@ let create ?(ifc = true) ?(label_cache = true) ?(isolation = Snapshot)
     ?(parallelism = 1) ?(morsel_size = 1024) ?(commit_batch = 1)
     ?(sync_commit = false) ?(strict_analysis = false) ?(metrics = true)
     ?slow_query_ms ?(audit_wal = false) ?(audit_capacity = 4096)
-    ?(partitioned = true) () =
+    ?(partitioned = true) ?(plan_cache = true) () =
   let parallelism = max 1 parallelism in
   let morsel_size = max 16 morsel_size in
   let bp =
@@ -2435,6 +2800,22 @@ let create ?(ifc = true) ?(label_cache = true) ?(isolation = Snapshot)
       mx_latency =
         Metrics.histogram reg ~help:"statement latency in seconds"
           "ifdb_statement_seconds";
+      (* plan-cache traffic.  Covert-channel note: hit/miss/invalidation
+         totals are whole-database aggregates; invalidations correlate
+         only with DDL and authority mutations, both already observable
+         through the audit log and ifdb_flow_cache_invalidations_total,
+         so no new channel is opened (see DESIGN.md §6.8). *)
+      mx_pc_hits =
+        Metrics.counter reg ~help:"statements planned from the plan cache"
+          "ifdb_plan_cache_hits_total";
+      mx_pc_misses =
+        Metrics.counter reg
+          ~help:"plan-cache lookups that had to plan fresh"
+          "ifdb_plan_cache_misses_total";
+      mx_pc_invalidations =
+        Metrics.counter reg
+          ~help:"cached plans discarded for stale catalog/authority stamps"
+          "ifdb_plan_cache_invalidations_total";
     }
   in
   let db =
@@ -2468,6 +2849,10 @@ let create ?(ifc = true) ?(label_cache = true) ?(isolation = Snapshot)
         (match slow_query_ms with
         | None -> max_int
         | Some ms -> int_of_float (ms *. 1e6));
+      plan_cache_on = plan_cache;
+      pc_mu = Mutex.create ();
+      pc_alias = Hashtbl.create 64;
+      pc_stmts = Hashtbl.create 64;
     }
   in
   register_builtin_procedures db;

@@ -65,6 +65,7 @@ val create :
   ?audit_wal:bool ->
   ?audit_capacity:int ->
   ?partitioned:bool ->
+  ?plan_cache:bool ->
   unit ->
   t
 (** Defaults: [ifc:true], [Snapshot] isolation (what the paper's
@@ -122,7 +123,18 @@ val create :
     label flows to the session — the per-tuple confinement verdict
     disappears from the hot path (it is decided once per partition).
     Turn it off to A/B against the flat layout; query results, audit
-    events and error outcomes are identical in both. *)
+    events and error outcomes are identical in both.
+
+    [plan_cache] (default on) enables the generation-stamped plan
+    cache: [PREPARE]d statements keep their parsed body, prepare-time
+    diagnostics and one parameterized plan per session-label id, and
+    {!exec} maintains an implicit database-wide cache keyed on raw
+    statement text for parameter-free SELECTs.  Every cached plan is
+    stamped with the catalog version and authority generation it was
+    planned under and silently re-planned when either moves, and
+    scan-time label confinement is always re-derived per execution —
+    results, labels, audit events and errors are identical with the
+    cache off. *)
 
 val authority : t -> Authority.t
 
@@ -236,6 +248,36 @@ val query_one : session -> string -> Tuple.t
 
 val insert_returning_count : session -> string -> int
 (** {!exec} restricted to DML; returns the affected-row count. *)
+
+(** {2 Prepared statements}
+
+    [PREPARE name AS <stmt>] parses, analyzes and registers a statement
+    once per session; [$n] placeholders (1-based) mark parameter slots.
+    [EXECUTE name (args…)] binds arguments positionally and runs it —
+    SELECT bodies without expression-position subqueries execute from a
+    cached parameterized plan (one per session-label id, stamped with
+    the catalog version and authority generation).  [DEALLOCATE name] /
+    [DEALLOCATE ALL] drop registrations.  The audit log and slow-query
+    log render executions as [EXECUTE name AS <body>] with the
+    placeholders intact — bound values never appear there. *)
+
+val execute_prepared : session -> string -> Value.t list -> result
+(** Programmatic [EXECUTE]: bind [args] (positionally, as values) and
+    run the named prepared statement. *)
+
+type prepared_info = {
+  pi_name : string;
+  pi_text : string;  (** statement body, placeholders intact *)
+  pi_nparams : int;
+  pi_hits : int;  (** executions served by a cached plan *)
+  pi_plans : int;  (** plan entries cached (one per session-label id) *)
+  pi_cat_version : int;  (** catalog stamp of the prepare-time analysis *)
+  pi_generation : int;  (** authority stamp of the prepare-time analysis *)
+}
+
+val prepared_statements : session -> prepared_info list
+(** This session's prepared statements, sorted by name (the shell's
+    [\prepared] listing). *)
 
 val insert_many : session -> table:string -> Value.t array list -> int
 (** Programmatic bulk insert: every row is labeled with the session's

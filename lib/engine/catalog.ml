@@ -60,6 +60,9 @@ type t = {
   tables : (string, table) Hashtbl.t;
   views : (string, view) Hashtbl.t;
   mutable lcs : label_constraint list;
+  mutable cat_version : int;
+      (* bumped by every DDL mutation; plan-cache entries are stamped
+         with the version they were planned under *)
 }
 
 let norm = String.lowercase_ascii
@@ -72,7 +75,11 @@ let create ~pool ~labeled ?(partitioned = false) () =
     tables = Hashtbl.create 32;
     views = Hashtbl.create 16;
     lcs = [];
+    cat_version = 0;
   }
+
+let version t = t.cat_version
+let bump_version t = t.cat_version <- t.cat_version + 1
 
 let pool t = t.cat_pool
 let labeled t = t.cat_labeled
@@ -140,6 +147,7 @@ let mk_index t ~name ~table_name ~cols ~unique =
   in
   build_index_over_heap tbl idx;
   tbl.tbl_indexes <- tbl.tbl_indexes @ [ idx ];
+  bump_version t;
   idx
 
 let create_table t schema =
@@ -158,12 +166,14 @@ let create_table t schema =
         (mk_index t ~name:u.Schema.uq_name ~table_name:name ~cols:u.Schema.uq_cols
            ~unique:true))
     (Schema.all_uniques schema);
+  bump_version t;
   tbl
 
 let drop_table t name =
   if find_table t name = None then fail "no such table: %s" name;
   Hashtbl.remove t.tables (norm name);
-  t.lcs <- List.filter (fun lc -> lc.lc_table <> norm name) t.lcs
+  t.lcs <- List.filter (fun lc -> lc.lc_table <> norm name) t.lcs;
+  bump_version t
 
 let all_tables t = Hashtbl.fold (fun _ tbl acc -> tbl :: acc) t.tables []
 
@@ -314,11 +324,13 @@ let create_view t ~name ~query ~declassify ?(relabel = []) ?(materialized = fals
       vw_relabel = relabel; vw_materialized = materialized }
   in
   Hashtbl.replace t.views (norm name) vw;
+  bump_version t;
   vw
 
 let drop_view t name =
   if find_view t name = None then fail "no such view: %s" name;
-  Hashtbl.remove t.views (norm name)
+  Hashtbl.remove t.views (norm name);
+  bump_version t
 
 let all_views t =
   List.sort
@@ -327,7 +339,8 @@ let all_views t =
 
 let add_label_constraint t lc =
   ignore (table t lc.lc_table);
-  t.lcs <- t.lcs @ [ { lc with lc_table = norm lc.lc_table } ]
+  t.lcs <- t.lcs @ [ { lc with lc_table = norm lc.lc_table } ];
+  bump_version t
 
 let label_constraints_for t table_name =
   List.filter (fun lc -> lc.lc_table = norm table_name) t.lcs
@@ -342,4 +355,5 @@ let drop_index t name =
           List.filter (fun i -> norm i.idx_name <> norm name) tbl.tbl_indexes
       end)
     t.tables;
-  if not !found then fail "no such index: %s" name
+  if not !found then fail "no such index: %s" name;
+  bump_version t

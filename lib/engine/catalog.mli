@@ -81,6 +81,12 @@ val pool : t -> Ifdb_storage.Buffer_pool.t
 val labeled : t -> bool
 val partitioned : t -> bool
 
+val version : t -> int
+(** Monotone counter bumped by every DDL mutation (table/view/index
+    create and drop, label-constraint registration).  Plan-cache
+    entries stamp the version they were planned under and re-plan when
+    it moves. *)
+
 (** {1 Tables} *)
 
 val create_table : t -> Schema.t -> table

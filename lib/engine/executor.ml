@@ -190,6 +190,9 @@ let finish_agg (kind : Plan.agg_kind) st : Value.t =
 let rec par_safe_expr (e : Expr.t) =
   match e with
   | Expr.Const _ | Expr.Col _ | Expr.Row_label -> true
+  (* a pure read of the bound-parameter slot array, which is frozen for
+     the duration of the statement *)
+  | Expr.Param _ -> true
   | Expr.Fn _ | Expr.Lazy_const _ -> false
   | Expr.Binop (_, a, b) -> par_safe_expr a && par_safe_expr b
   | Expr.Unop (_, a)
@@ -618,8 +621,24 @@ and run_serial ctx (plan : Plan.t) : Tuple.t Seq.t =
       match sc_prefix with
       | None -> ctx.scan_table sc_table ~extra:sc_extra
       | Some (index, prefix) ->
-          ctx.scan_prefix ~table:sc_table ~index ~prefix ~lo:sc_lo ~hi:sc_hi
-            ~extra:sc_extra)
+          (* key exprs (literals or $n parameters) are evaluated at scan
+             start.  A NULL component means the originating equality or
+             range conjunct is NULL — no row satisfies it — so the scan
+             is provably empty without touching the index. *)
+          let key = Array.map (fun e -> Expr.eval ctx.fenv one_row e) prefix in
+          let bound b =
+            Option.map (fun (e, incl) -> (Expr.eval ctx.fenv one_row e, incl)) b
+          in
+          let lo = bound sc_lo and hi = bound sc_hi in
+          let null_bound = function
+            | Some (v, _) -> Value.is_null v
+            | None -> false
+          in
+          if Array.exists Value.is_null key || null_bound lo || null_bound hi
+          then Seq.empty
+          else
+            ctx.scan_prefix ~table:sc_table ~index ~prefix:key ~lo ~hi
+              ~extra:sc_extra)
   | Plan.Filter (src, pred) ->
       Seq.filter (fun row -> Expr.eval_pred ctx.fenv row pred) (run ctx src)
   | Plan.Project (src, exprs) ->

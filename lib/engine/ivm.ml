@@ -60,7 +60,7 @@ let unsupported fmt = Format.kasprintf (fun s -> raise (Unsupported s)) fmt
 let rec pure_expr (e : Expr.t) =
   match e with
   | Expr.Const _ | Expr.Col _ | Expr.Row_label -> true
-  | Expr.Fn _ | Expr.Lazy_const _ -> false
+  | Expr.Fn _ | Expr.Lazy_const _ | Expr.Param _ -> false
   | Expr.Binop (_, a, b) -> pure_expr a && pure_expr b
   | Expr.Unop (_, a)
   | Expr.Is_null a

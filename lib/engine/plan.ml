@@ -17,9 +17,10 @@ type agg_kind =
 
 type order_spec = { key : Expr.t; descending : bool }
 
-type range_bound = (Value.t * bool) option
+type range_bound = (Expr.t * bool) option
 (* a bound on the index component right after the equality prefix:
-   (value, inclusive) *)
+   (expr, inclusive).  Exprs rather than values so a cached plan can
+   carry $n placeholders; the executor evaluates them at scan start. *)
 
 type t =
   | One_row
@@ -29,9 +30,9 @@ type t =
       sc_extra : Label.t;
           (* additional readable tags granted by enclosing
              declassifying views (paper section 4.3) *)
-      sc_prefix : (string * Value.t array) option;
-          (* index name and equality-prefix key, when the planner found
-             a usable index *)
+      sc_prefix : (string * Expr.t array) option;
+          (* index name and equality-prefix key exprs, when the planner
+             found a usable index *)
       sc_lo : range_bound;
       sc_hi : range_bound;
           (* optional range on the index component following the
@@ -94,7 +95,7 @@ let rec pp ppf = function
             Format.asprintf " via %s[%a]" idx
               (Format.pp_print_list
                  ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
-                 Value.pp)
+                 Expr.pp)
               (Array.to_list key))
   | Filter (p, e) -> Format.fprintf ppf "Filter(%a, %a)" Expr.pp e pp p
   | Project (p, es) ->

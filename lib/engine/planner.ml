@@ -94,6 +94,7 @@ let rec norm_ast (e : A.expr) : A.expr =
   | A.E_label_lit names -> A.E_label_lit names
   | A.E_scalar_subquery sel -> A.E_scalar_subquery sel
   | A.E_exists sel -> A.E_exists sel
+  | A.E_param n -> A.E_param n
 
 (* ------------------------------------------------------------------ *)
 (* Index selection                                                     *)
@@ -104,33 +105,46 @@ let rec conjuncts (e : Expr.t) =
   | Expr.Binop (Expr.And, a, b) -> conjuncts a @ conjuncts b
   | e -> [ e ]
 
-(* column → constant equalities present in the predicate *)
+(* An expression usable as an index key at plan time: a non-NULL
+   literal or a $n placeholder.  NULL literals never match an index
+   probe, so they are dropped here; a NULL-valued parameter is only
+   discovered at execution, where the scan yields nothing and the
+   residual filter preserves semantics. *)
+let index_key_leaf = function
+  | Expr.Const v -> not (Value.is_null v)
+  | Expr.Param _ -> true
+  | _ -> false
+
+(* column → constant/parameter equalities present in the predicate *)
 let eq_consts pred =
   List.filter_map
     (function
-      | Expr.Binop (Expr.Eq, Expr.Col i, Expr.Const v)
-      | Expr.Binop (Expr.Eq, Expr.Const v, Expr.Col i) ->
-          if Value.is_null v then None else Some (i, v)
+      | Expr.Binop (Expr.Eq, Expr.Col i, ((Expr.Const _ | Expr.Param _) as e))
+      | Expr.Binop (Expr.Eq, ((Expr.Const _ | Expr.Param _) as e), Expr.Col i)
+        when index_key_leaf e ->
+          Some (i, e)
       | _ -> None)
     (conjuncts pred)
 
-(* range conditions (col <op> const) present in the predicate *)
+(* range conditions (col <op> const-or-param) present in the predicate *)
 let range_consts pred =
   List.filter_map
     (function
-      | Expr.Binop (op, Expr.Col i, Expr.Const v) when not (Value.is_null v) -> (
+      | Expr.Binop (op, Expr.Col i, ((Expr.Const _ | Expr.Param _) as e))
+        when index_key_leaf e -> (
           match op with
-          | Expr.Ge -> Some (i, `Lo (v, true))
-          | Expr.Gt -> Some (i, `Lo (v, false))
-          | Expr.Le -> Some (i, `Hi (v, true))
-          | Expr.Lt -> Some (i, `Hi (v, false))
+          | Expr.Ge -> Some (i, `Lo (e, true))
+          | Expr.Gt -> Some (i, `Lo (e, false))
+          | Expr.Le -> Some (i, `Hi (e, true))
+          | Expr.Lt -> Some (i, `Hi (e, false))
           | _ -> None)
-      | Expr.Binop (op, Expr.Const v, Expr.Col i) when not (Value.is_null v) -> (
+      | Expr.Binop (op, ((Expr.Const _ | Expr.Param _) as e), Expr.Col i)
+        when index_key_leaf e -> (
           match op with
-          | Expr.Le -> Some (i, `Lo (v, true))
-          | Expr.Lt -> Some (i, `Lo (v, false))
-          | Expr.Ge -> Some (i, `Hi (v, true))
-          | Expr.Gt -> Some (i, `Hi (v, false))
+          | Expr.Le -> Some (i, `Lo (e, true))
+          | Expr.Lt -> Some (i, `Lo (e, false))
+          | Expr.Ge -> Some (i, `Hi (e, true))
+          | Expr.Gt -> Some (i, `Hi (e, false))
           | _ -> None)
       | _ -> None)
     (conjuncts pred)
@@ -476,6 +490,7 @@ and lower_expr ctx binding (e : A.expr) : Expr.t =
   let lower = lower_expr ctx binding in
   match e with
   | A.E_const v -> Expr.Const v
+  | A.E_param n -> Expr.Param n
   | A.E_col (_, name) when norm name = "_label" -> Expr.Row_label
   | A.E_col (qual, name) -> Expr.Col (resolve binding qual name)
   | A.E_binop (op, a, b) -> Expr.Binop (lower_binop op, lower a, lower b)
@@ -552,6 +567,7 @@ and lower_post_agg ctx binding ~keys_ast ~aggs (e : A.expr) : Expr.t =
     | Some i -> Expr.Col i
     | None -> (
         match e with
+        | A.E_param n -> Expr.Param n
         | A.E_count_star -> register Plan.Count_star
         | A.E_count_distinct e ->
             register (Plan.Count_distinct (lower_expr ctx binding e))

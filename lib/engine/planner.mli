@@ -39,13 +39,16 @@ val best_prefix :
   Catalog.table ->
   Expr.t ->
   (string
-  * Value.t array
-  * ((Value.t * bool) option * (Value.t * bool) option) option)
+  * Expr.t array
+  * ((Expr.t * bool) option * (Expr.t * bool) option) option)
   option
 (** Given a lowered predicate over a table's rows, find the index with
     the longest equality-prefix usable for a lookup: returns the index
-    name, the prefix key values, and an optional range (lo, hi bounds,
-    each [(value, inclusive)]) on the component after the prefix. *)
+    name, the prefix key expressions (non-NULL literals or [$n]
+    placeholders), and an optional range (lo, hi bounds, each
+    [(expr, inclusive)]) on the component after the prefix.  Key
+    expressions are evaluated at scan start, so one plan serves every
+    parameter binding. *)
 
 val conjuncts : Expr.t -> Expr.t list
 (** Split a predicate on top-level ANDs. *)

@@ -126,7 +126,7 @@ let node_line node =
   in
   base ^ morsels ^ ")"
 
-let report t ~total_ns ~rows ~flow_checks ~flow_hits =
+let report ?(notes = []) t ~total_ns ~rows ~flow_checks ~flow_hits =
   let tree = List.rev_map node_line t.nodes in
   let scans =
     List.rev_map
@@ -150,6 +150,7 @@ let report t ~total_ns ~rows ~flow_checks ~flow_hits =
   in
   tree
   @ scans
+  @ notes
   @ [
       flows;
       Printf.sprintf "execution: %s, %d row%s" (ms total_ns) rows

@@ -65,6 +65,7 @@ val scan_entry : t -> string -> scan
     record's atomics may then be hit concurrently. *)
 
 val report :
+  ?notes:string list ->
   t ->
   total_ns:int ->
   rows:int ->
@@ -72,8 +73,9 @@ val report :
   flow_hits:int ->
   string list
 (** Render the trace: indented operator tree with per-node rows/time
-    and morsel attribution, per-table label-confinement lines, the
-    flow-check/memo summary, and a total line. *)
+    and morsel attribution, per-table label-confinement lines, any
+    caller [notes] (e.g. the plan-cache verdict), the flow-check/memo
+    summary, and a total line. *)
 
 (** {1 Slow-query log} *)
 

@@ -11,6 +11,7 @@ type t =
   | Col of int
   | Row_label
   | Lazy_const of Value.t Lazy.t
+  | Param of int
   | Binop of binop * t * t
   | Unop of unop * t
   | Is_null of t
@@ -20,9 +21,13 @@ type t =
   | Fn of string * t list
   | Case of (t * t) list * t
 
-type env = { fn : string -> Value.t list -> Value.t }
+type env = {
+  fn : string -> Value.t list -> Value.t;
+  mutable params : Value.t array;
+}
 
-let null_env = { fn = (fun name _ -> failwith ("unknown function " ^ name)) }
+let null_env =
+  { fn = (fun name _ -> failwith ("unknown function " ^ name)); params = [||] }
 
 exception Type_error of string
 
@@ -80,6 +85,10 @@ let rec eval env row e : Value.t =
   | Row_label ->
       Value.Ints (Ifdb_difc.Label.to_ints (Tuple.label row))
   | Lazy_const v -> Lazy.force v
+  | Param n ->
+      let ps = env.params in
+      if n >= 1 && n <= Array.length ps then ps.(n - 1)
+      else type_error "unbound parameter $%d" n
   | Is_null e -> Value.Bool (Value.is_null (eval env row e))
   | Is_not_null e -> Value.Bool (not (Value.is_null (eval env row e)))
   | Unop (Not, e) -> (
@@ -165,7 +174,7 @@ let eval_pred env row e =
 let columns_used e =
   let acc = ref [] in
   let rec go = function
-    | Const _ | Row_label | Lazy_const _ -> ()
+    | Const _ | Row_label | Lazy_const _ | Param _ -> ()
     | Col i -> acc := i :: !acc
     | Binop (_, a, b) -> go a; go b
     | Unop (_, a) | Is_null a | Is_not_null a | In_list (a, _) | Like (a, _) -> go a
@@ -184,6 +193,7 @@ let rec shift_columns ~by e =
   | Col i -> Col (i + by)
   | Row_label -> Row_label
   | Lazy_const v -> Lazy_const v
+  | Param n -> Param n
   | Binop (op, a, b) -> Binop (op, f a, f b)
   | Unop (op, a) -> Unop (op, f a)
   | Is_null a -> Is_null (f a)
@@ -203,7 +213,8 @@ let rec pp ppf = function
   | Const v -> Value.pp ppf v
   | Col i -> Format.fprintf ppf "$%d" i
   | Row_label -> Format.pp_print_string ppf "_label"
-  | Lazy_const _ -> Format.pp_print_string ppf "<subquery>" 
+  | Lazy_const _ -> Format.pp_print_string ppf "<subquery>"
+  | Param n -> Format.fprintf ppf "?%d" n
   | Binop (op, a, b) ->
       Format.fprintf ppf "(%a %s %a)" pp a (binop_name op) pp b
   | Unop (Not, a) -> Format.fprintf ppf "(NOT %a)" pp a
@@ -237,6 +248,7 @@ let rec map_columns f e =
   | Col i -> Col (f i)
   | Row_label -> Row_label
   | Lazy_const v -> Lazy_const v
+  | Param n -> Param n
   | Binop (op, a, b) -> Binop (op, go a, go b)
   | Unop (op, a) -> Unop (op, go a)
   | Is_null a -> Is_null (go a)

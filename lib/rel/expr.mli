@@ -23,6 +23,9 @@ type t =
   | Lazy_const of Value.t Lazy.t
       (** a value computed at most once per statement — how the planner
           lowers uncorrelated scalar subqueries and EXISTS *)
+  | Param of int
+      (** [$n] prepared-statement placeholder (1-based): a pure read of
+          the environment's parameter slot array, bound per execution *)
   | Binop of binop * t * t
   | Unop of unop * t
   | Is_null of t
@@ -32,9 +35,14 @@ type t =
   | Fn of string * t list       (** scalar function from the environment *)
   | Case of (t * t) list * t    (** WHEN cond THEN v …, ELSE v *)
 
-type env = { fn : string -> Value.t list -> Value.t }
+type env = {
+  fn : string -> Value.t list -> Value.t;
+  mutable params : Value.t array;
+}
 (** Scalar-function environment.  [fn name args] evaluates a named
-    function; it should raise [Failure] for unknown names. *)
+    function; it should raise [Failure] for unknown names.  [params]
+    holds the current EXECUTE call's bound values; [Param n] reads slot
+    [n-1] and raises {!Type_error} when unbound. *)
 
 val null_env : env
 (** Environment with no functions (any call fails). *)

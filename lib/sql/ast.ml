@@ -29,6 +29,7 @@ type expr =
   | E_label_lit of string list              (* {tag_name, …} *)
   | E_scalar_subquery of select             (* uncorrelated (SELECT …) *)
   | E_exists of select                      (* EXISTS (SELECT …) *)
+  | E_param of int                          (* $n placeholder, 1-based *)
 
 and order_dir = Asc | Desc
 
@@ -114,6 +115,12 @@ type stmt =
   | S_explain of { x_analyze : bool; x_stmt : stmt }
       (* EXPLAIN [ANALYZE] stmt: plan (and, with ANALYZE, execution
          trace) instead of the statement's own result *)
+  | S_prepare of { pr_name : string; pr_stmt : stmt }
+      (* PREPARE name AS stmt, with $n placeholders in the body *)
+  | S_execute of { ex_name : string; ex_args : expr list }
+      (* EXECUTE name (args…) *)
+  | S_deallocate of string option
+      (* DEALLOCATE name | ALL *)
 
 let select_defaults =
   {
@@ -137,7 +144,7 @@ let is_aggregate_name name =
 
 (* Does the expression contain an aggregate call? *)
 let rec has_aggregate = function
-  | E_const _ | E_col _ | E_label_lit _ -> false
+  | E_const _ | E_col _ | E_label_lit _ | E_param _ -> false
   | E_count_star | E_count_distinct _ -> true
   | E_fn (name, args) -> is_aggregate_name name || List.exists has_aggregate args
   | E_binop (_, a, b) -> has_aggregate a || has_aggregate b
@@ -148,3 +155,89 @@ let rec has_aggregate = function
       List.exists (fun (c, v) -> has_aggregate c || has_aggregate v) branches
       || (match default with Some d -> has_aggregate d | None -> false)
   | E_scalar_subquery _ | E_exists _ -> false (* their own scope *)
+
+(* Visit every expression in a statement, subquery bodies included —
+   powers parameter counting and plan-cache eligibility checks. *)
+let rec iter_exprs_expr f e =
+  f e;
+  match e with
+  | E_const _ | E_col _ | E_label_lit _ | E_count_star | E_param _ -> ()
+  | E_binop (_, a, b) ->
+      iter_exprs_expr f a;
+      iter_exprs_expr f b
+  | E_not a | E_neg a | E_is_null a | E_is_not_null a | E_like (a, _)
+  | E_count_distinct a ->
+      iter_exprs_expr f a
+  | E_in (a, vs) ->
+      iter_exprs_expr f a;
+      List.iter (iter_exprs_expr f) vs
+  | E_fn (_, args) -> List.iter (iter_exprs_expr f) args
+  | E_case (branches, default) ->
+      List.iter
+        (fun (c, v) ->
+          iter_exprs_expr f c;
+          iter_exprs_expr f v)
+        branches;
+      Option.iter (iter_exprs_expr f) default
+  | E_scalar_subquery sel | E_exists sel -> iter_exprs_select f sel
+
+and iter_exprs_select f sel =
+  List.iter
+    (function
+      | Sel_expr (e, _) -> iter_exprs_expr f e
+      | Sel_star | Sel_table_star _ -> ())
+    sel.items;
+  Option.iter (iter_exprs_from f) sel.from;
+  Option.iter (iter_exprs_expr f) sel.where;
+  List.iter (iter_exprs_expr f) sel.group_by;
+  Option.iter (iter_exprs_expr f) sel.having;
+  List.iter (fun (e, _) -> iter_exprs_expr f e) sel.order_by;
+  List.iter (fun (_, s) -> iter_exprs_select f s) sel.unions
+
+and iter_exprs_from f = function
+  | T_table _ -> ()
+  | T_join (l, _, r, cond) ->
+      iter_exprs_from f l;
+      iter_exprs_from f r;
+      Option.iter (iter_exprs_expr f) cond
+  | T_subquery (sel, _) -> iter_exprs_select f sel
+
+let rec iter_exprs f (st : stmt) =
+  match st with
+  | S_select sel -> iter_exprs_select f sel
+  | S_insert { i_rows; i_select; _ } ->
+      List.iter (List.iter (iter_exprs_expr f)) i_rows;
+      Option.iter (iter_exprs_select f) i_select
+  | S_update { u_sets; u_where; _ } ->
+      List.iter (fun (_, e) -> iter_exprs_expr f e) u_sets;
+      Option.iter (iter_exprs_expr f) u_where
+  | S_delete { d_where; _ } -> Option.iter (iter_exprs_expr f) d_where
+  | S_perform (_, args) -> List.iter (iter_exprs_expr f) args
+  | S_explain { x_stmt; _ } -> iter_exprs f x_stmt
+  | S_prepare { pr_stmt; _ } -> iter_exprs f pr_stmt
+  | S_execute { ex_args; _ } -> List.iter (iter_exprs_expr f) ex_args
+  | S_create_view { cv_query; _ } -> iter_exprs_select f cv_query
+  | S_create_table _ | S_create_index _ | S_drop _ | S_begin | S_commit
+  | S_rollback | S_deallocate _ ->
+      ()
+
+(* Highest $n referenced anywhere in the statement; 0 = no parameters. *)
+let max_param st =
+  let m = ref 0 in
+  iter_exprs (function E_param n -> if n > !m then m := n | _ -> ()) st;
+  !m
+
+let has_param st =
+  let found = ref false in
+  iter_exprs (function E_param _ -> found := true | _ -> ()) st;
+  !found
+
+(* Expression-position subqueries lower to memoizing lazy thunks, so
+   plans containing them must be rebuilt per execution (FROM-clause
+   subqueries inline into the plan tree and are fine). *)
+let has_expr_subquery st =
+  let found = ref false in
+  iter_exprs
+    (function E_scalar_subquery _ | E_exists _ -> found := true | _ -> ())
+    st;
+  !found

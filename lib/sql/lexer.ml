@@ -67,6 +67,14 @@ let tokenize input =
       done;
       emit (Token.String_lit (Buffer.contents buf))
     end
+    else if c = '$' then begin
+      incr i;
+      let start = !i in
+      while !i < n && is_digit input.[!i] do incr i done;
+      if !i = start then
+        raise (Lex_error ("expected digits after $ placeholder", !i));
+      emit (Token.Param (int_of_string (String.sub input start (!i - start))))
+    end
     else begin
       let two = if !i + 1 < n then String.sub input !i 2 else "" in
       match two with

@@ -176,6 +176,10 @@ and parse_unary st =
 
 and parse_primary st =
   match peek st with
+  | Token.Param n ->
+      advance st;
+      if n < 1 then fail "parameter placeholders are numbered from $1";
+      Ast.E_param n
   | Token.Int_lit i -> advance st; Ast.E_const (Ifdb_rel.Value.Int i)
   | Token.Float_lit f -> advance st; Ast.E_const (Ifdb_rel.Value.Float f)
   | Token.String_lit s -> advance st; Ast.E_const (Ifdb_rel.Value.Text s)
@@ -639,6 +643,34 @@ let rec parse_stmt st =
   else if is_kw st "perform" || is_kw st "call" then begin
     advance st;
     parse_perform st
+  end
+  else if is_kw st "prepare" then begin
+    advance st;
+    let name = ident st in
+    expect_kw st "as";
+    Ast.S_prepare { pr_name = name; pr_stmt = parse_stmt st }
+  end
+  else if is_kw st "execute" then begin
+    advance st;
+    let name = ident st in
+    let args =
+      if peek st = Token.Lparen then begin
+        advance st;
+        if peek st = Token.Rparen then begin advance st; [] end
+        else begin
+          let args = comma_separated st parse_or in
+          expect st Token.Rparen;
+          args
+        end
+      end
+      else []
+    in
+    Ast.S_execute { ex_name = name; ex_args = args }
+  end
+  else if is_kw st "deallocate" then begin
+    advance st;
+    if eat_kw st "all" then Ast.S_deallocate None
+    else Ast.S_deallocate (Some (ident st))
   end
   else fail "unexpected start of statement: %s" (Token.to_string (peek st))
 

@@ -62,6 +62,7 @@ let rec expr_to_string = function
   | E_label_lit tags -> "{" ^ String.concat ", " tags ^ "}"
   | E_scalar_subquery sel -> "(" ^ select_to_string sel ^ ")"
   | E_exists sel -> "EXISTS (" ^ select_to_string sel ^ ")"
+  | E_param n -> "$" ^ string_of_int n
 
 and item_to_string = function
   | Sel_star -> "*"
@@ -211,5 +212,13 @@ let rec stmt_to_string = function
       Printf.sprintf "EXPLAIN %s%s"
         (if x_analyze then "ANALYZE " else "")
         (stmt_to_string x_stmt)
+  | S_prepare { pr_name; pr_stmt } ->
+      Printf.sprintf "PREPARE %s AS %s" pr_name (stmt_to_string pr_stmt)
+  | S_execute { ex_name; ex_args = [] } -> "EXECUTE " ^ ex_name
+  | S_execute { ex_name; ex_args } ->
+      Printf.sprintf "EXECUTE %s (%s)" ex_name
+        (String.concat ", " (List.map expr_to_string ex_args))
+  | S_deallocate None -> "DEALLOCATE ALL"
+  | S_deallocate (Some n) -> "DEALLOCATE " ^ n
 
 let pp_stmt ppf s = Format.pp_print_string ppf (stmt_to_string s)

@@ -27,6 +27,7 @@ type t =
   | Gt
   | Ge
   | Concat (* || *)
+  | Param of int (* $n placeholder, 1-based *)
   | Eof
 
 let to_string = function
@@ -40,4 +41,5 @@ let to_string = function
   | Star -> "*" | Plus -> "+" | Minus -> "-" | Slash -> "/" | Percent -> "%"
   | Eq -> "=" | Neq -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
   | Concat -> "||"
+  | Param n -> "$" ^ string_of_int n
   | Eof -> "<eof>"

@@ -15,6 +15,141 @@ let small = { warehouses = 2; districts = 4; customers = 40; items = 200 }
 
 let sqlf s fmt = Format.kasprintf (fun q -> ignore (Db.exec s q)) fmt
 
+(* ------------------------------------------------------------------ *)
+(* Statement templates                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Every per-transaction statement exists once, as a [$n] template.  In
+   prepared mode the templates are PREPAREd on the session and each call
+   binds values through {!Db.execute_prepared}; in direct mode the
+   values are rendered into the text (the historical path).  Both modes
+   issue byte-equivalent SQL semantics — the A/B is exactly the
+   parse/analyze/plan amortization. *)
+let templates =
+  [
+    (* New-Order *)
+    ("no_get_district",
+     "SELECT d_next_o_id, d_tax FROM district WHERE d_w_id = $1 AND d_id = $2");
+    ("no_set_district",
+     "UPDATE district SET d_next_o_id = $1 WHERE d_w_id = $2 AND d_id = $3");
+    ("no_ins_order",
+     "INSERT INTO orders VALUES ($1, $2, $3, $4, 1, NULL, $5, 1)");
+    ("no_ins_new_order", "INSERT INTO new_order VALUES ($1, $2, $3)");
+    ("no_get_item", "SELECT i_price FROM item WHERE i_id = $1");
+    ("no_ins_line",
+     "INSERT INTO order_line VALUES ($1, $2, $3, $4, $5, $6, 0, $7, $8, \
+      'dist-info-dist-info-dist')");
+    ("no_upd_stock",
+     "UPDATE stock SET s_quantity = CASE WHEN s_quantity > $1 THEN \
+      s_quantity - $2 ELSE s_quantity - $2 + 91 END, s_ytd = s_ytd + $2, \
+      s_order_cnt = s_order_cnt + 1 WHERE s_w_id = $3 AND s_i_id = $4");
+    (* Payment *)
+    ("pay_upd_warehouse",
+     "UPDATE warehouse SET w_ytd = w_ytd + $1 WHERE w_id = $2");
+    ("pay_upd_district",
+     "UPDATE district SET d_ytd = d_ytd + $1 WHERE d_w_id = $2 AND d_id = $3");
+    ("pay_cust_by_last",
+     "SELECT c_id FROM customer WHERE c_w_id = $1 AND c_d_id = $2 AND c_last \
+      = $3 ORDER BY c_first");
+    ("pay_upd_customer",
+     "UPDATE customer SET c_balance = c_balance - $1, c_ytd_payment = \
+      c_ytd_payment + $1, c_payment_cnt = c_payment_cnt + 1 WHERE c_w_id = \
+      $2 AND c_d_id = $3 AND c_id = $4");
+    ("pay_ins_history",
+     "INSERT INTO history VALUES ($1, $2, $3, $4, $5, 2, $6, 'payment')");
+    (* Order-Status *)
+    ("os_last_order",
+     "SELECT o_id, o_carrier_id FROM orders WHERE o_w_id = $1 AND o_d_id = \
+      $2 AND o_c_id = $3 ORDER BY o_id DESC LIMIT 1");
+    ("os_lines",
+     "SELECT ol_i_id, ol_quantity, ol_amount FROM order_line WHERE ol_w_id = \
+      $1 AND ol_d_id = $2 AND ol_o_id = $3");
+    (* Delivery *)
+    ("dl_oldest",
+     "SELECT MIN(no_o_id) FROM new_order WHERE no_w_id = $1 AND no_d_id = $2");
+    ("dl_del_new_order",
+     "DELETE FROM new_order WHERE no_w_id = $1 AND no_d_id = $2 AND no_o_id \
+      = $3");
+    ("dl_upd_order",
+     "UPDATE orders SET o_carrier_id = $1 WHERE o_w_id = $2 AND o_d_id = $3 \
+      AND o_id = $4");
+    ("dl_sum_lines",
+     "SELECT SUM(ol_amount), MIN(o_c_id) FROM order_line, orders WHERE \
+      ol_w_id = $1 AND ol_d_id = $2 AND ol_o_id = $3 AND o_w_id = ol_w_id \
+      AND o_d_id = ol_d_id AND o_id = ol_o_id");
+    ("dl_upd_customer",
+     "UPDATE customer SET c_balance = c_balance + $1, c_delivery_cnt = \
+      c_delivery_cnt + 1 WHERE c_w_id = $2 AND c_d_id = $3 AND c_id = $4");
+    (* Stock-Level *)
+    ("sl_next_oid",
+     "SELECT d_next_o_id FROM district WHERE d_w_id = $1 AND d_id = $2");
+    ("sl_count",
+     "SELECT COUNT(DISTINCT ol_i_id) FROM order_line, stock WHERE ol_w_id = \
+      $1 AND ol_d_id = $2 AND ol_o_id >= $3 AND s_w_id = $4 AND s_i_id = \
+      ol_i_id AND s_quantity < $5");
+  ]
+
+let template name = List.assoc name templates
+
+(* Render a value as a SQL literal for direct mode. *)
+let lit = function
+  | Value.Int i -> string_of_int i
+  | Value.Float f -> Printf.sprintf "%f" f
+  | Value.Text t ->
+      "'" ^ String.concat "''" (String.split_on_char '\'' t) ^ "'"
+  | Value.Null -> "NULL"
+  | v -> Value.to_string v
+
+(* Substitute [$n] placeholders with rendered literals. *)
+let subst text args =
+  let n = String.length text in
+  let buf = Buffer.create (n + 32) in
+  let is_digit c = c >= '0' && c <= '9' in
+  let i = ref 0 in
+  while !i < n do
+    if text.[!i] = '$' && !i + 1 < n && is_digit text.[!i + 1] then begin
+      incr i;
+      let start = !i in
+      while !i < n && is_digit text.[!i] do
+        incr i
+      done;
+      let k = int_of_string (String.sub text start (!i - start)) in
+      Buffer.add_string buf (lit (List.nth args (k - 1)))
+    end
+    else begin
+      Buffer.add_char buf text.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let prepare_statements s =
+  let already =
+    List.map (fun (pi : Db.prepared_info) -> pi.Db.pi_name)
+      (Db.prepared_statements s)
+  in
+  List.iter
+    (fun (name, sql) ->
+      if not (List.mem name already) then
+        ignore (Db.exec s (Printf.sprintf "PREPARE %s AS %s" name sql)))
+    templates
+
+let run_stmt ~prepared s name args =
+  if prepared then Db.execute_prepared s name args
+  else Db.exec s (subst (template name) args)
+
+let stmt_unit ~prepared s name args = ignore (run_stmt ~prepared s name args)
+
+let stmt_rows ~prepared s name args =
+  match run_stmt ~prepared s name args with
+  | Db.Rows { tuples; _ } -> tuples
+  | Db.Affected _ | Db.Done _ -> Errors.sql "statement %s returned no rows" name
+
+let stmt_row ~prepared s name args =
+  match stmt_rows ~prepared s name args with
+  | row :: _ -> row
+  | [] -> Errors.sql "no rows returned by %s" name
+
 let create_schema s =
   List.iter
     (fun q -> ignore (Db.exec s q))
@@ -149,7 +284,7 @@ let pick_district rng config = Rng.int_range rng 1 config.districts
 
 (* --- New-Order ----------------------------------------------------- *)
 
-let new_order s rng config counts =
+let new_order ~prepared s rng config counts =
   let w = pick_wh rng config in
   let d = pick_district rng config in
   let c = nurand_customer rng config.customers in
@@ -161,19 +296,16 @@ let new_order s rng config counts =
   ignore (Db.exec s "BEGIN");
   match
     let row =
-      Db.query_one s
-        (Printf.sprintf
-           "SELECT d_next_o_id, d_tax FROM district WHERE d_w_id = %d AND \
-            d_id = %d"
-           w d)
+      stmt_row ~prepared s "no_get_district" [ Value.Int w; Value.Int d ]
     in
     let o_id = get_int row 0 in
-    sqlf s
-      "UPDATE district SET d_next_o_id = %d WHERE d_w_id = %d AND d_id = %d"
-      (o_id + 1) w d;
-    sqlf s "INSERT INTO orders VALUES (%d, %d, %d, %d, 1, NULL, %d, 1)" w d
-      o_id c ol_cnt;
-    sqlf s "INSERT INTO new_order VALUES (%d, %d, %d)" w d o_id;
+    stmt_unit ~prepared s "no_set_district"
+      [ Value.Int (o_id + 1); Value.Int w; Value.Int d ];
+    stmt_unit ~prepared s "no_ins_order"
+      [ Value.Int w; Value.Int d; Value.Int o_id; Value.Int c;
+        Value.Int ol_cnt ];
+    stmt_unit ~prepared s "no_ins_new_order"
+      [ Value.Int w; Value.Int d; Value.Int o_id ];
     for ol = 1 to ol_cnt do
       let item =
         if break_at = Some (ol - 1) then config.items + 999_999
@@ -183,22 +315,15 @@ let new_order s rng config counts =
       let price =
         if break_at = Some (ol - 1) then 1.0
         else
-          get_float
-            (Db.query_one s
-               (Printf.sprintf "SELECT i_price FROM item WHERE i_id = %d" item))
-            0
+          get_float (stmt_row ~prepared s "no_get_item" [ Value.Int item ]) 0
       in
       (* the invalid item makes this INSERT violate the FK and abort *)
-      sqlf s
-        "INSERT INTO order_line VALUES (%d, %d, %d, %d, %d, %d, 0, %d, %f, \
-         'dist-info-dist-info-dist')"
-        w d o_id ol item w qty
-        (float_of_int qty *. price);
-      sqlf s
-        "UPDATE stock SET s_quantity = CASE WHEN s_quantity > %d THEN \
-         s_quantity - %d ELSE s_quantity - %d + 91 END, s_ytd = s_ytd + %d, \
-         s_order_cnt = s_order_cnt + 1 WHERE s_w_id = %d AND s_i_id = %d"
-        (qty + 10) qty qty qty w item
+      stmt_unit ~prepared s "no_ins_line"
+        [ Value.Int w; Value.Int d; Value.Int o_id; Value.Int ol;
+          Value.Int item; Value.Int w; Value.Int qty;
+          Value.Float (float_of_int qty *. price) ];
+      stmt_unit ~prepared s "no_upd_stock"
+        [ Value.Int (qty + 10); Value.Int qty; Value.Int w; Value.Int item ]
     done;
     ignore (Db.exec s "COMMIT")
   with
@@ -211,14 +336,14 @@ let new_order s rng config counts =
 
 (* --- Payment ------------------------------------------------------- *)
 
-let payment s rng config counts =
+let payment ~prepared s rng config counts =
   let w = pick_wh rng config in
   let d = pick_district rng config in
   let amount = 1.0 +. Rng.float rng 4999.0 in
   ignore (Db.exec s "BEGIN");
-  sqlf s "UPDATE warehouse SET w_ytd = w_ytd + %f WHERE w_id = %d" amount w;
-  sqlf s "UPDATE district SET d_ytd = d_ytd + %f WHERE d_w_id = %d AND d_id = %d"
-    amount w d;
+  stmt_unit ~prepared s "pay_upd_warehouse" [ Value.Float amount; Value.Int w ];
+  stmt_unit ~prepared s "pay_upd_district"
+    [ Value.Float amount; Value.Int w; Value.Int d ];
   (* 60% select the customer by last name, 40% by id *)
   let c_id =
     if Rng.int rng 100 < 60 then begin
@@ -226,11 +351,8 @@ let payment s rng config counts =
         Rng.last_name (Rng.int rng (min 1000 (config.customers * 3)))
       in
       let rows =
-        Db.query s
-          (Printf.sprintf
-             "SELECT c_id FROM customer WHERE c_w_id = %d AND c_d_id = %d AND \
-              c_last = '%s' ORDER BY c_first"
-             w d last)
+        stmt_rows ~prepared s "pay_cust_by_last"
+          [ Value.Int w; Value.Int d; Value.Text last ]
       in
       match rows with
       | [] -> nurand_customer rng config.customers
@@ -238,82 +360,58 @@ let payment s rng config counts =
     end
     else nurand_customer rng config.customers
   in
-  sqlf s
-    "UPDATE customer SET c_balance = c_balance - %f, c_ytd_payment = \
-     c_ytd_payment + %f, c_payment_cnt = c_payment_cnt + 1 WHERE c_w_id = %d \
-     AND c_d_id = %d AND c_id = %d"
-    amount amount w d c_id;
-  sqlf s "INSERT INTO history VALUES (%d, %d, %d, %d, %d, 2, %f, 'payment')"
-    c_id d w d w amount;
+  stmt_unit ~prepared s "pay_upd_customer"
+    [ Value.Float amount; Value.Int w; Value.Int d; Value.Int c_id ];
+  stmt_unit ~prepared s "pay_ins_history"
+    [ Value.Int c_id; Value.Int d; Value.Int w; Value.Int d; Value.Int w;
+      Value.Float amount ];
   ignore (Db.exec s "COMMIT");
   counts.payments <- counts.payments + 1
 
 (* --- Order-Status -------------------------------------------------- *)
 
-let order_status s rng config counts =
+let order_status ~prepared s rng config counts =
   let w = pick_wh rng config in
   let d = pick_district rng config in
   let c = nurand_customer rng config.customers in
   ignore (Db.exec s "BEGIN");
   let last_order =
-    Db.query s
-      (Printf.sprintf
-         "SELECT o_id, o_carrier_id FROM orders WHERE o_w_id = %d AND o_d_id \
-          = %d AND o_c_id = %d ORDER BY o_id DESC LIMIT 1"
-         w d c)
+    stmt_rows ~prepared s "os_last_order"
+      [ Value.Int w; Value.Int d; Value.Int c ]
   in
   (match last_order with
   | [] -> ()
   | row :: _ ->
       let o_id = get_int row 0 in
       ignore
-        (Db.query s
-           (Printf.sprintf
-              "SELECT ol_i_id, ol_quantity, ol_amount FROM order_line WHERE \
-               ol_w_id = %d AND ol_d_id = %d AND ol_o_id = %d"
-              w d o_id)));
+        (stmt_rows ~prepared s "os_lines"
+           [ Value.Int w; Value.Int d; Value.Int o_id ]));
   ignore (Db.exec s "COMMIT");
   counts.order_statuses <- counts.order_statuses + 1
 
 (* --- Delivery ------------------------------------------------------ *)
 
-let delivery s rng config counts =
+let delivery ~prepared s rng config counts =
   let w = pick_wh rng config in
   let carrier = Rng.int_range rng 1 10 in
   ignore (Db.exec s "BEGIN");
   for d = 1 to config.districts do
-    let oldest =
-      Db.query s
-        (Printf.sprintf
-           "SELECT MIN(no_o_id) FROM new_order WHERE no_w_id = %d AND no_d_id \
-            = %d"
-           w d)
-    in
+    let oldest = stmt_rows ~prepared s "dl_oldest" [ Value.Int w; Value.Int d ] in
     match oldest with
     | row :: _ when not (Value.is_null (Tuple.get row 0)) ->
         let o_id = get_int row 0 in
-        sqlf s
-          "DELETE FROM new_order WHERE no_w_id = %d AND no_d_id = %d AND \
-           no_o_id = %d"
-          w d o_id;
-        sqlf s
-          "UPDATE orders SET o_carrier_id = %d WHERE o_w_id = %d AND o_d_id = \
-           %d AND o_id = %d"
-          carrier w d o_id;
+        stmt_unit ~prepared s "dl_del_new_order"
+          [ Value.Int w; Value.Int d; Value.Int o_id ];
+        stmt_unit ~prepared s "dl_upd_order"
+          [ Value.Int carrier; Value.Int w; Value.Int d; Value.Int o_id ];
         let sum_row =
-          Db.query_one s
-            (Printf.sprintf
-               "SELECT SUM(ol_amount), MIN(o_c_id) FROM order_line, orders \
-                WHERE ol_w_id = %d AND ol_d_id = %d AND ol_o_id = %d AND \
-                o_w_id = ol_w_id AND o_d_id = ol_d_id AND o_id = ol_o_id"
-               w d o_id)
+          stmt_row ~prepared s "dl_sum_lines"
+            [ Value.Int w; Value.Int d; Value.Int o_id ]
         in
         let total = get_float sum_row 0 in
         let c_id = get_int sum_row 1 in
-        sqlf s
-          "UPDATE customer SET c_balance = c_balance + %f, c_delivery_cnt = \
-           c_delivery_cnt + 1 WHERE c_w_id = %d AND c_d_id = %d AND c_id = %d"
-          total w d c_id
+        stmt_unit ~prepared s "dl_upd_customer"
+          [ Value.Float total; Value.Int w; Value.Int d; Value.Int c_id ]
     | _ -> ()
   done;
   ignore (Db.exec s "COMMIT");
@@ -321,43 +419,37 @@ let delivery s rng config counts =
 
 (* --- Stock-Level --------------------------------------------------- *)
 
-let stock_level s rng config counts =
+let stock_level ~prepared s rng config counts =
   let w = pick_wh rng config in
   let d = pick_district rng config in
   let threshold = Rng.int_range rng 10 20 in
   ignore (Db.exec s "BEGIN");
-  let next_row =
-    Db.query_one s
-      (Printf.sprintf
-         "SELECT d_next_o_id FROM district WHERE d_w_id = %d AND d_id = %d" w d)
-  in
+  let next_row = stmt_row ~prepared s "sl_next_oid" [ Value.Int w; Value.Int d ] in
   let next_o = get_int next_row 0 in
   (* the DBT-2 query: recent order lines joined to low stock *)
   ignore
-    (Db.query s
-       (Printf.sprintf
-          "SELECT COUNT(DISTINCT ol_i_id) FROM order_line, stock WHERE \
-           ol_w_id = %d AND ol_d_id = %d AND ol_o_id >= %d AND s_w_id = %d \
-           AND s_i_id = ol_i_id AND s_quantity < %d"
-          w d (max 1 (next_o - 20)) w threshold));
+    (stmt_rows ~prepared s "sl_count"
+       [ Value.Int w; Value.Int d; Value.Int (max 1 (next_o - 20));
+         Value.Int w; Value.Int threshold ]);
   ignore (Db.exec s "COMMIT");
   counts.stock_levels <- counts.stock_levels + 1
 
 (* --- Mix ----------------------------------------------------------- *)
 
-let run_transaction s rng config counts =
+let run_transaction ?(prepared = false) s rng config counts =
   (* the standard 45/43/4/4/4 mix *)
   let k = Rng.int rng 100 in
-  if k < 45 then new_order s rng config counts
-  else if k < 88 then payment s rng config counts
-  else if k < 92 then order_status s rng config counts
-  else if k < 96 then delivery s rng config counts
-  else stock_level s rng config counts
+  if k < 45 then new_order ~prepared s rng config counts
+  else if k < 88 then payment ~prepared s rng config counts
+  else if k < 92 then order_status ~prepared s rng config counts
+  else if k < 96 then delivery ~prepared s rng config counts
+  else stock_level ~prepared s rng config counts
 
-let run_mix s rng config ~txns =
+let run_mix ?(prepared = false) s rng config ~txns =
   let counts = zero_counts () in
+  if prepared then prepare_statements s;
   for _ = 1 to txns do
-    run_transaction s rng config counts
+    run_transaction ~prepared s rng config counts
   done;
   counts
 

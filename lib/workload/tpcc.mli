@@ -42,11 +42,21 @@ type counts = {
 
 val zero_counts : unit -> counts
 
-val run_transaction : Db.session -> Rng.t -> config -> counts -> unit
-(** One transaction drawn from the standard mix
-    (45/43/4/4/4 new-order/payment/order-status/delivery/stock-level). *)
+val prepare_statements : Db.session -> unit
+(** PREPARE every transaction template on [s] (idempotent: names already
+    prepared on the session are skipped).  Called automatically by
+    {!run_mix} when [prepared] is set. *)
 
-val run_mix : Db.session -> Rng.t -> config -> txns:int -> counts
+val run_transaction :
+  ?prepared:bool -> Db.session -> Rng.t -> config -> counts -> unit
+(** One transaction drawn from the standard mix
+    (45/43/4/4/4 new-order/payment/order-status/delivery/stock-level).
+    With [~prepared:true] every statement runs through
+    {!Db.execute_prepared} (requires {!prepare_statements}); otherwise
+    the same templates are rendered to literal SQL and parsed per
+    execution.  Both modes issue semantically identical statements. *)
+
+val run_mix : ?prepared:bool -> Db.session -> Rng.t -> config -> txns:int -> counts
 
 val consistency_check : Db.session -> config -> (unit, string) result
 (** TPC-C consistency conditions: W_YTD = Σ D_YTD per warehouse, and

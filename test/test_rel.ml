@@ -228,7 +228,8 @@ let test_expr_case_fn () =
   let env = { Expr.fn = (fun name args ->
       match (name, args) with
       | "abs", [ Value.Int i ] -> Value.Int (abs i)
-      | _ -> failwith "no") } in
+      | _ -> failwith "no");
+    params = [||] } in
   Alcotest.check check_val "fn" (v_int 10)
     (Expr.eval env row (Fn ("abs", [ Unop (Neg, Col 0) ])))
 
