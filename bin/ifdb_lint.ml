@@ -1,18 +1,29 @@
 (* ifdb_lint: static label-flow analysis over SQL scripts, without
    executing anything against a real database.  Wraps
-   {!Ifdb_core.Lint}, which replays each script against a fresh
-   in-memory database: clean statements execute (so later statements
-   are analyzed against realistic catalog and data state), statements
-   with Error-severity diagnostics do not.
+   {!Ifdb_core.Lint}.
 
-     ifdb_lint script.sql ...          lint SQL scripts
+   Two modes.  The default for .sql scripts is --trace: one symbolic
+   trace is threaded through the whole script (nothing executes), so
+   cross-statement verdicts — declassify-after-revoke, txn-commit-trap,
+   dead-write, stale-prepare, unreachable-stmt — surface alongside the
+   per-statement ones.  --stmt restores per-statement linting, which
+   replays each script against a fresh in-memory database: clean
+   statements execute (so later statements are analyzed against
+   realistic catalog and data state), statements with Error-severity
+   diagnostics do not.  --ml always lints per statement.
+
+     ifdb_lint script.sql ...          lint SQL scripts (trace mode)
+     ifdb_lint --stmt script.sql       lint per statement
+     ifdb_lint --bind '1,alice' x.sql  substitute $1,$2,… before analysis
      ifdb_lint --ml examples/foo.ml    lint the SQL embedded in OCaml
      ifdb_lint --golden script.sql     compare against script.sql.expected
-     ifdb_lint --update-golden ...     (re)write the .expected files
+                                       (--stmt: script.sql.stmt.expected)
+     ifdb_lint --update-golden ...     (re)write the golden files
 
    Exit status is 1 when any file has an unexpected Error-severity
    diagnostic, a missing expected diagnostic (see the [-- lint: expect
-   CODE] convention), or golden-file drift. *)
+   CODE] convention; expect-trace/expect-stmt scope a code to one
+   mode), or golden-file drift. *)
 
 module Lint = Ifdb_core.Lint
 
@@ -21,16 +32,22 @@ let read_file path =
 
 let is_ml path = Filename.check_suffix path ".ml"
 
-let lint_file ~ml ~golden ~update_golden path =
+let lint_file ~ml ~stmt ~bindings ~golden ~update_golden path =
   let text = read_file path in
   let outcome =
     if ml || is_ml path then Lint.lint_ml Lint.ml_mode text
-    else Lint.lint_script Lint.sql_mode text
+    else
+      Lint.lint_script ?bindings
+        (if stmt then Lint.sql_mode else Lint.trace_mode)
+        text
   in
   let failed = ref (outcome.Lint.o_failures <> []) in
   Printf.printf "== %s ==\n%s" path outcome.Lint.o_report;
   List.iter (fun f -> Printf.printf "FAIL %s\n" f) outcome.Lint.o_failures;
-  let expected_path = path ^ ".expected" in
+  let expected_path =
+    if stmt && not (ml || is_ml path) then path ^ ".stmt.expected"
+    else path ^ ".expected"
+  in
   if update_golden then (
     Out_channel.with_open_bin expected_path (fun oc ->
         Out_channel.output_string oc outcome.Lint.o_report);
@@ -49,10 +66,12 @@ let lint_file ~ml ~golden ~update_golden path =
         Printf.printf "FAIL %s: cannot read golden file: %s\n" path m);
   !failed
 
-let run ml golden update_golden files =
+let run ml stmt bind golden update_golden files =
+  let bindings = Option.map Lint.parse_bindings bind in
   let any_failed =
     List.fold_left
-      (fun acc path -> lint_file ~ml ~golden ~update_golden path || acc)
+      (fun acc path ->
+        lint_file ~ml ~stmt ~bindings ~golden ~update_golden path || acc)
       false files
   in
   if any_failed then 1 else 0
@@ -65,30 +84,64 @@ let ml =
     & info [ "ml" ]
         ~doc:
           "Treat every input as OCaml source: extract the SQL string \
-           literals and lint those.  Files ending in .ml get this \
-           treatment automatically.")
+           literals and lint those (always per statement).  Files ending \
+           in .ml get this treatment automatically.")
+
+let stmt =
+  Arg.(
+    value & flag
+    & info [ "stmt" ]
+        ~doc:
+          "Lint per statement (analyze each statement in isolation, \
+           executing clean ones) instead of the default whole-script \
+           trace mode.  Goldens live in FILE.stmt.expected.")
+
+let trace =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Whole-script trace mode (the default for .sql): thread one \
+           symbolic trace through the script without executing anything.")
+
+let bind =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "bind" ] ~docv:"V1,V2,…"
+        ~doc:
+          "Substitute \\$1,\\$2,… with these constants before analysis \
+           (ints, floats, null, or text), so parameterized templates are \
+           linted as the statements they would execute as.")
 
 let golden =
   Arg.(
     value & flag
     & info [ "golden" ]
         ~doc:
-          "Compare each file's report against FILE.expected and fail on \
+          "Compare each file's report against its golden file and fail on \
            drift.")
 
 let update_golden =
   Arg.(
     value & flag
     & info [ "update-golden" ]
-        ~doc:"Write each file's report to FILE.expected.")
+        ~doc:"Write each file's report to its golden file.")
 
 let files =
   Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE")
 
 let cmd =
   let doc = "static label-flow linter for IFDB SQL" in
+  let run ml stmt trace bind golden update_golden files =
+    if stmt && trace then (
+      prerr_endline "ifdb_lint: --stmt and --trace are mutually exclusive";
+      2)
+    else run ml stmt bind golden update_golden files
+  in
   Cmd.v
     (Cmd.info "ifdb_lint" ~doc)
-    Term.(const run $ ml $ golden $ update_golden $ files)
+    Term.(
+      const run $ ml $ stmt $ trace $ bind $ golden $ update_golden $ files)
 
 let () = exit (Cmd.eval' cmd)

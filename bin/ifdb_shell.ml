@@ -13,10 +13,14 @@
      \declassify NAME        lower it (requires authority)
      \label                  show the session label
      \delegate TAG NAME      delegate TAG to principal NAME
+     \revoke TAG NAME        revoke a delegation
      \tables                 list tables
      \views                  list views with materialization state
      \dt NAME                describe a table
-     \check SQL              static label-flow analysis, no execution
+     \check [SQL]            whole-script label-flow analysis (trace),
+                             no execution.  \check alone reads a
+                             multi-line script (statements and \meta
+                             commands) until a lone \end
      \partitions [TABLE]     label partition directory (versions/live/pages)
      \vacuum                 reclaim dead versions
      \wal                    WAL and group-commit statistics
@@ -40,7 +44,12 @@ module Catalog = Ifdb_engine.Catalog
 module Trace = Ifdb_obs.Trace
 module Audit = Ifdb_obs.Audit
 
-type state = { db : Db.t; mutable session : Db.session }
+type state = {
+  db : Db.t;
+  mutable session : Db.session;
+  input : prompt:string -> string option;
+      (* read one more input line (used by multi-line \check) *)
+}
 
 let label_string st l =
   let auth = Db.authority st.db in
@@ -139,6 +148,10 @@ let run_command st line =
       Db.delegate st.session ~tag:(Db.find_tag st.db tag)
         ~grantee:(find_or_create_principal st grantee);
       Printf.printf "delegated %s to %s\n" tag grantee
+  | [ "\\revoke"; tag; grantee ] ->
+      Db.revoke st.session ~tag:(Db.find_tag st.db tag)
+        ~grantee:(Db.find_principal st.db grantee);
+      Printf.printf "revoked %s from %s\n" tag grantee
   | [ "\\tables" ] ->
       List.iter print_endline (Db.table_names st.db)
   | [ "\\views" ] -> (
@@ -205,14 +218,49 @@ let run_command st line =
       let text =
         String.trim (String.sub line 6 (String.length line - 6))
       in
-      if text = "" then print_endline "usage: \\check SQL"
-      else (
-        match Db.analyze st.session text with
-        | [] -> print_endline "no issues found"
-        | diags ->
-            List.iter
-              (fun d -> print_endline (Ifdb_analysis.Diag.to_string d))
-              diags)
+      let text =
+        if text <> "" then text
+        else begin
+          (* multi-line script (statements and \meta commands), read
+             until a lone \end or EOF *)
+          let b = Buffer.create 256 in
+          let fin = ref false in
+          while not !fin do
+            match st.input ~prompt:"check> " with
+            | None -> fin := true
+            | Some l ->
+                if String.trim l = "\\end" then fin := true
+                else begin
+                  Buffer.add_string b l;
+                  Buffer.add_char b '\n'
+                end
+          done;
+          Buffer.contents b
+        end
+      in
+      if String.trim text = "" then
+        print_endline
+          "usage: \\check SQL  —  or \\check alone, then script lines \
+           terminated by \\end"
+      else begin
+        (* whole-script trace analysis against the live session state;
+           nothing executes *)
+        let items = Db.check_script st.session text in
+        let any = ref false in
+        List.iter
+          (fun (ck : Db.check_item) ->
+            if ck.Db.ck_diags <> [] then begin
+              any := true;
+              Printf.printf "statement %d (line %d): %s\n" ck.Db.ck_index
+                ck.Db.ck_line ck.Db.ck_text;
+              List.iter
+                (fun d ->
+                  Printf.printf "  %s\n" (Ifdb_analysis.Diag.to_string d))
+                ck.Db.ck_diags
+            end)
+          items;
+        if not !any then print_endline "no issues found"
+      end
   | "\\partitions" :: rest -> (
       let module Heap = Ifdb_storage.Heap in
       let module Label_store = Ifdb_difc.Label_store in
@@ -335,15 +383,18 @@ let run_command st line =
 let repl ~ifc ~parallelism ~commit_batch ~slow_ms =
   let db = Db.create ~ifc ~parallelism ~commit_batch ?slow_query_ms:slow_ms () in
   let admin = Db.connect_admin db in
-  let st = { db; session = admin } in
+  let interactive = Unix.isatty Unix.stdin in
+  let input ~prompt =
+    if interactive then (print_string prompt; flush stdout);
+    In_channel.input_line stdin
+  in
+  let st = { db; session = admin; input } in
   Printf.printf "IFDB shell (ifc %s%s). \\q quits, \\label shows the session label.\n"
     (if ifc then "on" else "off")
     (if parallelism > 1 then Printf.sprintf ", %d domains" parallelism else "");
-  let interactive = Unix.isatty Unix.stdin in
   (try
      while true do
-       if interactive then (print_string "ifdb> "; flush stdout);
-       match In_channel.input_line stdin with
+       match input ~prompt:"ifdb> " with
        | None -> raise Exit
        | Some line ->
            let line = String.trim line in

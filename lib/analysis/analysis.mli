@@ -40,6 +40,20 @@ type ctx = {
   an_write_labels : Label.t list;
       (** labels already in the open transaction's write set (for
           COMMIT analysis); empty outside a transaction *)
+  an_clearance : bool;
+      (** the clearance rule is active (serializable isolation):
+          [addsecrecy] inside an explicit transaction requires
+          authority for the tag *)
+  an_in_txn : bool;
+      (** an explicit transaction is open at analysis time *)
+  an_trace : Trace_state.t option;
+      (** trace-level state.  A {e symbolic} trace (lint [--trace],
+          shell [\check]) overlays the catalog, label partitions and
+          authority graph with the script's own effects; a
+          non-symbolic trace is the thin shadow a live session keeps
+          for its open transaction, used only to attribute COMMIT
+          diagnostics to the statement that wrote the offending
+          label. *)
 }
 
 val analyze_stmt : ctx -> A.stmt -> Diag.t list
@@ -55,3 +69,46 @@ val referenced_tags : A.stmt -> string list
     [DECLASSIFYING] clauses, [PERFORM addsecrecy/declassify]
     arguments), deduplicated — the lint driver uses this to
     pre-create tags when linting scripts against a fresh database. *)
+
+val subst_params :
+  Ifdb_rel.Value.t array -> A.stmt -> A.stmt
+(** Replace every [$n] with [bindings.(n-1)] as a constant; out-of-range
+    placeholders are left intact.  Powers [ifdb_lint --bind] and the
+    trace interpreter's analysis of [EXECUTE] with constant
+    arguments. *)
+
+(** {1 Trace-level abstract interpretation}
+
+    The [trace_] entry points thread one {!Trace_state.t} through a
+    whole script: [trace_begin] seeds it from the session context (an
+    already-open transaction's write set included), then each statement
+    goes through {!analyze_trace_stmt} (and each meta command through
+    {!trace_meta}), and {!trace_finish} runs the whole-script passes
+    (dead-write, stale-prepare) once the end of the script is known.
+
+    Statement indices are 1-based and every item — statement or meta —
+    consumes one, so index [i] always names the [i]-th item. *)
+
+val trace_begin : ctx -> Trace_state.t
+val analyze_trace_stmt : ctx -> Trace_state.t -> A.stmt -> Diag.t list
+(** Diagnostics for the next statement of the script, under the
+    symbolic state accumulated so far; applies the statement's state
+    effects unless it is certain to fail.  Adds the cross-statement
+    verdicts per-statement linting cannot see: guaranteed
+    transaction-control failures ([Runtime_error]),
+    [Declassify_after_revoke], [Txn_commit_trap], [Unreachable_stmt],
+    and EXECUTE-of-doomed-template ([EXECUTE] with constant arguments
+    analyzes as the fully bound statement). *)
+
+val trace_meta :
+  ctx -> Trace_state.t -> name:string -> args:string list -> Diag.t list
+(** A shell/lint meta command ([principal], [newtag], [addsecrecy],
+    [declassify], [delegate], [revoke]); unrecognized names are
+    ignored. *)
+
+val trace_finish : ctx -> Trace_state.t -> (int * Diag.t list) list
+(** Whole-script diagnostics, grouped by the 1-based item index they
+    attach to, in index order: [Dead_write] (a labeled write no later
+    statement reads and no principal can ever declassify) and
+    [Stale_prepare] (a catalog/authority change between PREPARE and
+    its first EXECUTE). *)

@@ -8,6 +8,11 @@ type code =
   | Recompute_fallback
   | Parse_error
   | Runtime_error
+  | Declassify_after_revoke
+  | Txn_commit_trap
+  | Dead_write
+  | Stale_prepare
+  | Unreachable_stmt
 
 type severity = Error | Warning
 
@@ -23,6 +28,11 @@ let code_string = function
   | Name_error -> "name-error"
   | Parse_error -> "parse-error"
   | Runtime_error -> "runtime-error"
+  | Declassify_after_revoke -> "declassify-after-revoke"
+  | Txn_commit_trap -> "txn-commit-trap"
+  | Dead_write -> "dead-write"
+  | Stale_prepare -> "stale-prepare"
+  | Unreachable_stmt -> "unreachable-stmt"
 
 let code_of_string = function
   | "doomed-write" -> Some Doomed_write
@@ -34,6 +44,11 @@ let code_of_string = function
   | "name-error" -> Some Name_error
   | "parse-error" -> Some Parse_error
   | "runtime-error" -> Some Runtime_error
+  | "declassify-after-revoke" -> Some Declassify_after_revoke
+  | "txn-commit-trap" -> Some Txn_commit_trap
+  | "dead-write" -> Some Dead_write
+  | "stale-prepare" -> Some Stale_prepare
+  | "unreachable-stmt" -> Some Unreachable_stmt
   | _ -> None
 
 let make code severity fmt =

@@ -41,9 +41,32 @@ type code =
           every read will recompute it from its base tables. *)
   | Parse_error  (** The lint driver could not parse the statement. *)
   | Runtime_error
-      (** Driver-level code: executing the statement raised.  Never
-          produced by {!Analysis}; exists so scripts can annotate
-          intentional runtime failures. *)
+      (** Driver-level code: executing the statement raised — or, in
+          trace mode, a statement the trace interpreter can prove will
+          raise a plain SQL error (COMMIT outside a transaction, BEGIN
+          inside one, EXECUTE of an unknown prepared name). *)
+  | Declassify_after_revoke
+      (** Trace mode: a declassification (or delegation) whose backing
+          authority is provably gone by the time the statement runs —
+          an earlier statement in the same script revoked the covering
+          grant. *)
+  | Txn_commit_trap
+      (** Trace mode: an explicit [BEGIN…COMMIT] whose accumulated
+          write labels guarantee the commit-label rule fails at the
+          [COMMIT] — visible only across statements. *)
+  | Dead_write
+      (** Trace mode: a write whose partition is provably unreadable by
+          every later statement in the script {e and} every principal
+          in the final authority graph. *)
+  | Stale_prepare
+      (** Trace mode: a [PREPARE] whose plan-relevant catalog or
+          authority state is guaranteed invalidated before its first
+          [EXECUTE], so the prepare-time plan is never used. *)
+  | Unreachable_stmt
+      (** Trace mode: a statement after a guaranteed-failing one in the
+          same explicit transaction — the failure aborts the
+          transaction, so this statement runs outside it (or its
+          effects are certain to be rolled back). *)
 
 type severity = Error | Warning
 
@@ -53,7 +76,8 @@ val code_string : code -> string
 (** Stable kebab-case form: ["doomed-write"], ["vacuous-query"],
     ["overbroad-declassify"], ["commit-trap"], ["fk-leak"],
     ["recompute-fallback"], ["name-error"], ["parse-error"],
-    ["runtime-error"]. *)
+    ["runtime-error"], ["declassify-after-revoke"], ["txn-commit-trap"],
+    ["dead-write"], ["stale-prepare"], ["unreachable-stmt"]. *)
 
 val code_of_string : string -> code option
 

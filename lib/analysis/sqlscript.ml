@@ -12,7 +12,10 @@ let split_ws s =
   |> List.concat_map (String.split_on_char '\t')
   |> List.filter (fun w -> w <> "")
 
-(* "lint: expect doomed-write, fk-leak" (the text after "--") *)
+(* "lint: expect doomed-write, fk-leak" (the text after "--").
+   [expect] applies in every lint mode; [expect-trace] / [expect-stmt]
+   scope the codes to trace- or per-statement-mode runs, recorded here
+   with a "trace:" / "stmt:" prefix the driver strips. *)
 let expects_of_comment body =
   let body = String.trim body in
   let prefix = "lint:" in
@@ -25,13 +28,46 @@ let expects_of_comment body =
         (String.sub body (String.length prefix)
            (String.length body - String.length prefix))
     in
+    let codes_with tag codes =
+      Some
+        (List.concat_map (String.split_on_char ',') codes
+        |> List.map String.trim
+        |> List.filter (fun c -> c <> "")
+        |> List.map (fun c -> tag ^ c))
+    in
     match split_ws rest with
-    | "expect" :: codes ->
-        Some
-          (List.concat_map (String.split_on_char ',') codes
-          |> List.map String.trim
-          |> List.filter (fun c -> c <> ""))
+    | "expect" :: codes -> codes_with "" codes
+    | "expect-trace" :: codes -> codes_with "trace:" codes
+    | "expect-stmt" :: codes -> codes_with "stmt:" codes
     | _ -> None
+
+(* "-- lint: bind 1,alice" names the default parameter bindings for the
+   whole script, so a checked-in parameterized template lints as the
+   statement it would execute as.  The first directive wins; callers
+   with explicit bindings (ifdb_lint --bind) override it. *)
+let bind_directive text =
+  String.split_on_char '\n' text
+  |> List.find_map (fun l ->
+         let l = String.trim l in
+         if String.length l >= 2 && String.sub l 0 2 = "--" then
+           let body =
+             String.trim (String.sub l 2 (String.length l - 2))
+           in
+           let prefix = "lint:" in
+           if
+             String.length body >= String.length prefix
+             && String.sub body 0 (String.length prefix) = prefix
+           then
+             let rest =
+               String.trim
+                 (String.sub body (String.length prefix)
+                    (String.length body - String.length prefix))
+             in
+             match split_ws rest with
+             | "bind" :: spec -> Some (String.concat " " spec)
+             | _ -> None
+           else None
+         else None)
 
 let split_script text =
   let items = ref [] in
@@ -81,6 +117,21 @@ let split_script text =
             | _ -> pending := !pending @ codes)
         | None -> ());
         i := !j - 1
+    | '/' when !i + 1 < n && text.[!i + 1] = '*' ->
+        (* block comment, skipped wholesale (expect-annotations are
+           line-comment only); newlines inside still count *)
+        let j = ref (!i + 2) in
+        let fin = ref false in
+        while (not !fin) && !j < n do
+          if text.[!j] = '\n' then incr line;
+          if !j + 1 < n && text.[!j] = '*' && text.[!j + 1] = '/' then begin
+            fin := true;
+            incr j
+          end;
+          incr j
+        done;
+        i := !j - 1
+    | '\r' -> Buffer.add_char buf ' '
     | '\'' ->
         (* string literal: copy verbatim, '' is an escaped quote *)
         Buffer.add_char buf c;

@@ -8,7 +8,11 @@
     {[ -- lint: expect doomed-write, fk-leak ]}
 
     attaches expected diagnostic codes to the {e next} statement — or,
-    when it trails a statement on the same line, to {e that} statement. *)
+    when it trails a statement on the same line, to {e that} statement.
+    [expect-trace] / [expect-stmt] variants scope the codes to one lint
+    mode; they are stored with a ["trace:"] / ["stmt:"] prefix the
+    driver strips.  [/* … */] block comments are skipped (they cannot
+    carry annotations). *)
 
 type kind =
   | Meta of string * string list  (** [\name arg…] driver command *)
@@ -26,6 +30,12 @@ val split_script : string -> item list
 (** Split script text.  Semicolons inside ['…'] string literals do not
     terminate statements; blank and comment-only runs produce no
     items. *)
+
+val bind_directive : string -> string option
+(** The argument of the first [-- lint: bind V1,V2,…] line comment, if
+    any: the script's default parameter bindings, so a checked-in
+    parameterized template lints as the statement it would execute as.
+    Callers with explicit bindings override it. *)
 
 val extract_ml_sql : string -> (int * string) list
 (** Scan OCaml source text and return [(line, contents)] for every

@@ -1,0 +1,302 @@
+(* Symbolic session state threaded statement-by-statement through a
+   whole SQL script by the trace-level analyzer (the [trace_] entry
+   points in [Analysis]).
+
+   The state is deliberately a *data* module: classification logic
+   (what is an Error, how partitions merge with the catalog) lives in
+   Analysis, which owns the catalog/authority context.  Everything
+   here is exact or explicitly three-valued:
+
+   - catalog deltas: tables/views created or dropped by the script,
+     layered over the real catalog;
+   - per-table label-partition delta events from analyzed DML, each
+     tagged [`Def] (provably at least one row) or [`Maybe];
+   - an authority-edge overlay (net added/removed grants) evaluated
+     through {!Ifdb_difc.Authority.has_authority_hyp}, plus an ordered
+     event log so revocations can be cited by statement index;
+   - the open explicit transaction: begin index, accumulated write
+     records, and whether a guaranteed-failing statement broke it;
+   - prepared-statement templates with first-EXECUTE tracking for the
+     stale-prepare pass;
+   - read/write records for the whole-script dead-write pass. *)
+
+module Label = Ifdb_difc.Label
+module Tag = Ifdb_difc.Tag
+module Principal = Ifdb_difc.Principal
+module Schema = Ifdb_rel.Schema
+module A = Ifdb_sql.Ast
+
+type delta_event = Ins_def of Label.t | Ins_maybe of Label.t | Del of Label.t
+
+type abs_table = {
+  at_name : string;
+  at_schema : Schema.t;
+  at_constrained : bool;
+      (* any PK/unique/FK: an insert may fail, so its partition effects
+         are never [Ins_def] *)
+}
+
+type abs_view = {
+  av_name : string;
+  av_query : A.select;
+  av_declassify : Label.t;
+  av_materialized : bool;
+}
+
+type auth_event = {
+  ae_kind : [ `Delegate | `Revoke ];
+  ae_grantor : Principal.t;
+  ae_grantee : Principal.t;
+  ae_tag : Tag.t;
+  ae_index : int;
+}
+
+type txn = {
+  tx_begin : int;
+  mutable tx_writes : (int * string * Label.t * bool) list;
+      (* statement index, table, written tuple label, definite? *)
+  mutable tx_broken : int option;
+      (* index of the first guaranteed-failing statement, if any *)
+}
+
+type prep = {
+  pp_stmt : A.stmt;
+  pp_index : int;
+  mutable pp_first_exec : int option;
+}
+
+type read_rec = { rd_index : int; rd_table : string; rd_dst : Label.t }
+
+type t = {
+  ts_symbolic : bool;
+  mutable ts_index : int;
+  mutable ts_principal : Principal.t;
+  mutable ts_label : Label.t;
+  ts_session_labels : (int, Label.t) Hashtbl.t;
+      (* per-principal symbolic labels, so \principal switches restore
+         each session's own clearance *)
+  ts_tables : (string, abs_table) Hashtbl.t;
+  ts_views : (string, abs_view) Hashtbl.t;
+  ts_dropped : (string, unit) Hashtbl.t;
+  ts_deltas : (string, (int * delta_event) list) Hashtbl.t;
+      (* newest first; indices identify the originating statement *)
+  mutable ts_added : (Principal.t * Principal.t * Tag.t) list;
+  mutable ts_removed : (Principal.t * Principal.t * Tag.t) list;
+  mutable ts_auth_events : auth_event list; (* newest first *)
+  mutable ts_txn : txn option;
+  ts_prepared : (string, prep) Hashtbl.t;
+  mutable ts_reads : read_rec list;
+  mutable ts_stamp_events : int list;
+      (* statement indices of catalog or authority mutations — exactly
+         the events that move the runtime plan/diagnostic stamp *)
+}
+
+let norm = String.lowercase_ascii
+
+let create ?(symbolic = true) ~principal ~label () =
+  {
+    ts_symbolic = symbolic;
+    ts_index = 0;
+    ts_principal = principal;
+    ts_label = label;
+    ts_session_labels = Hashtbl.create 4;
+    ts_tables = Hashtbl.create 8;
+    ts_views = Hashtbl.create 8;
+    ts_dropped = Hashtbl.create 4;
+    ts_deltas = Hashtbl.create 8;
+    ts_added = [];
+    ts_removed = [];
+    ts_auth_events = [];
+    ts_txn = None;
+    ts_prepared = Hashtbl.create 4;
+    ts_reads = [];
+    ts_stamp_events = [];
+  }
+
+let symbolic t = t.ts_symbolic
+let index t = t.ts_index
+
+let next_index t =
+  t.ts_index <- t.ts_index + 1;
+  t.ts_index
+
+let principal t = t.ts_principal
+let label t = t.ts_label
+let set_label t l = t.ts_label <- l
+
+let switch_principal t p =
+  Hashtbl.replace t.ts_session_labels (Principal.to_int t.ts_principal)
+    t.ts_label;
+  t.ts_principal <- p;
+  t.ts_label <-
+    Option.value ~default:Label.empty
+      (Hashtbl.find_opt t.ts_session_labels (Principal.to_int p))
+
+(* --- catalog overlay ------------------------------------------------ *)
+
+let dropped t name = Hashtbl.mem t.ts_dropped (norm name)
+let find_table t name = Hashtbl.find_opt t.ts_tables (norm name)
+let find_view t name = Hashtbl.find_opt t.ts_views (norm name)
+
+let define_table t at =
+  Hashtbl.remove t.ts_dropped (norm at.at_name);
+  Hashtbl.replace t.ts_tables (norm at.at_name) at
+
+let define_view t av =
+  Hashtbl.remove t.ts_dropped (norm av.av_name);
+  Hashtbl.replace t.ts_views (norm av.av_name) av
+
+let drop t name =
+  let key = norm name in
+  Hashtbl.remove t.ts_tables key;
+  Hashtbl.remove t.ts_views key;
+  Hashtbl.remove t.ts_deltas key;
+  Hashtbl.replace t.ts_dropped key ()
+
+(* --- partition deltas ----------------------------------------------- *)
+
+let deltas t name =
+  List.rev (Option.value ~default:[] (Hashtbl.find_opt t.ts_deltas (norm name)))
+
+let add_delta t name ~index ev =
+  let key = norm name in
+  let prev = Option.value ~default:[] (Hashtbl.find_opt t.ts_deltas key) in
+  Hashtbl.replace t.ts_deltas key ((index, ev) :: prev)
+
+(* Delete every delta event recorded at statement index >= [since]:
+   the transaction containing them is certain to abort. *)
+let revert_deltas_since t ~since =
+  Hashtbl.iter
+    (fun key evs ->
+      Hashtbl.replace t.ts_deltas key
+        (List.filter (fun (i, _) -> i < since) evs))
+    (Hashtbl.copy t.ts_deltas)
+
+(* Downgrade definite inserts at index >= [since] to maybe: the
+   transaction containing them may abort. *)
+let soften_deltas_since t ~since =
+  Hashtbl.iter
+    (fun key evs ->
+      Hashtbl.replace t.ts_deltas key
+        (List.map
+           (fun (i, ev) ->
+             match ev with
+             | Ins_def l when i >= since -> (i, Ins_maybe l)
+             | _ -> (i, ev))
+           evs))
+    (Hashtbl.copy t.ts_deltas)
+
+(* --- authority overlay ---------------------------------------------- *)
+
+let overlay t = (t.ts_added, t.ts_removed)
+let overlay_empty t = t.ts_added = [] && t.ts_removed = []
+
+let delegate_edge t ~grantor ~grantee ~tag ~index =
+  let edge = (grantor, grantee, tag) in
+  t.ts_removed <- List.filter (fun e -> e <> edge) t.ts_removed;
+  if not (List.mem edge t.ts_added) then t.ts_added <- edge :: t.ts_added;
+  t.ts_auth_events <-
+    { ae_kind = `Delegate; ae_grantor = grantor; ae_grantee = grantee;
+      ae_tag = tag; ae_index = index }
+    :: t.ts_auth_events;
+  t.ts_stamp_events <- index :: t.ts_stamp_events
+
+let revoke_edge t ~grantor ~grantee ~tag ~index =
+  let edge = (grantor, grantee, tag) in
+  t.ts_added <- List.filter (fun e -> e <> edge) t.ts_added;
+  if not (List.mem edge t.ts_removed) then t.ts_removed <- edge :: t.ts_removed;
+  t.ts_auth_events <-
+    { ae_kind = `Revoke; ae_grantor = grantor; ae_grantee = grantee;
+      ae_tag = tag; ae_index = index }
+    :: t.ts_auth_events;
+  t.ts_stamp_events <- index :: t.ts_stamp_events
+
+let auth_events t = List.rev t.ts_auth_events
+
+let note_stamp_event t ~index =
+  t.ts_stamp_events <- index :: t.ts_stamp_events
+
+let stamp_events t = List.rev t.ts_stamp_events
+
+(* --- transaction ---------------------------------------------------- *)
+
+let txn t = t.ts_txn
+
+let begin_txn t ~index ?(writes = []) () =
+  t.ts_txn <- Some { tx_begin = index; tx_writes = writes; tx_broken = None }
+
+let in_open_txn t =
+  match t.ts_txn with Some { tx_broken = None; _ } -> true | _ -> false
+
+let broken t = match t.ts_txn with Some { tx_broken; _ } -> tx_broken | None -> None
+
+let mark_broken t ~index =
+  match t.ts_txn with
+  | Some ({ tx_broken = None; _ } as tx) ->
+      tx.tx_broken <- Some index;
+      (* the abort is certain: the transaction's provisional partition
+         effects never become visible *)
+      revert_deltas_since t ~since:tx.tx_begin
+  | Some _ | None -> ()
+
+let record_txn_write t ~index ~table ~label ~definite =
+  match t.ts_txn with
+  | Some ({ tx_broken = None; _ } as tx) ->
+      tx.tx_writes <- (index, table, label, definite) :: tx.tx_writes
+  | Some _ | None -> ()
+
+let txn_writes t =
+  match t.ts_txn with Some tx -> List.rev tx.tx_writes | None -> []
+
+let close_txn t ~outcome =
+  (match (t.ts_txn, outcome) with
+  | Some { tx_broken = Some _; _ }, _ ->
+      (* the break already reverted the transaction's deltas; events
+         after it belong to implicit transactions and must survive *)
+      ()
+  | Some tx, `Abort -> revert_deltas_since t ~since:tx.tx_begin
+  | Some tx, `Maybe -> soften_deltas_since t ~since:tx.tx_begin
+  | Some _, `Commit | None, _ -> ());
+  t.ts_txn <- None
+
+(* --- prepared statements -------------------------------------------- *)
+
+let find_prepared t name = Hashtbl.find_opt t.ts_prepared (norm name)
+
+let define_prepared t ~name ~stmt ~index =
+  Hashtbl.replace t.ts_prepared (norm name)
+    { pp_stmt = stmt; pp_index = index; pp_first_exec = None }
+
+let note_execute t ~name ~index =
+  match find_prepared t name with
+  | Some p -> if p.pp_first_exec = None then p.pp_first_exec <- Some index
+  | None -> ()
+
+let remove_prepared t name = Hashtbl.remove t.ts_prepared (norm name)
+let clear_prepared t = Hashtbl.reset t.ts_prepared
+
+let prepared t =
+  Hashtbl.fold (fun name p acc -> (name, p) :: acc) t.ts_prepared []
+
+(* --- whole-script read/write records -------------------------------- *)
+
+let note_read t ~table ~dst =
+  t.ts_reads <- { rd_index = t.ts_index; rd_table = norm table; rd_dst = dst }
+                :: t.ts_reads
+
+let reads t = List.rev t.ts_reads
+
+(* Surviving insert events, for the dead-write pass: (index, table,
+   label, definite).  Aborted transactions' events were reverted. *)
+let insert_events t =
+  Hashtbl.fold
+    (fun table evs acc ->
+      List.fold_left
+        (fun acc (i, ev) ->
+          match ev with
+          | Ins_def l -> (i, table, l, true) :: acc
+          | Ins_maybe l -> (i, table, l, false) :: acc
+          | Del _ -> acc)
+        acc evs)
+    t.ts_deltas []
+  |> List.sort compare

@@ -1,0 +1,188 @@
+(** Symbolic session state for the trace-level analyzer.
+
+    One value of {!t} represents everything the abstract interpreter
+    knows about a session part-way through a script: which relations
+    exist (catalog overlay), which label partitions of each table are
+    provably or possibly non-empty (delta events over the committed
+    heap counts), which authority edges were added or removed by the
+    script (overlay evaluated via
+    {!Ifdb_difc.Authority.has_authority_hyp}), the open explicit
+    transaction's accumulated write labels, and the prepared-statement
+    templates — each fact tagged with the 1-based statement index that
+    produced it so cross-statement diagnostics can cite their origin.
+
+    The driving logic lives in {!Analysis.analyze_trace_stmt}; this
+    module only stores and reverts state. *)
+
+module Label := Ifdb_difc.Label
+module Tag := Ifdb_difc.Tag
+module Principal := Ifdb_difc.Principal
+module Schema := Ifdb_rel.Schema
+module A := Ifdb_sql.Ast
+
+type delta_event =
+  | Ins_def of Label.t
+      (** at least one row provably inserted under this label *)
+  | Ins_maybe of Label.t  (** possibly inserted (params, SELECT source,
+                              constrained table, open transaction) *)
+  | Del of Label.t  (** rows under this label possibly deleted *)
+
+type abs_table = {
+  at_name : string;
+  at_schema : Schema.t;
+  at_constrained : bool;
+}
+
+type abs_view = {
+  av_name : string;
+  av_query : A.select;
+  av_declassify : Label.t;
+  av_materialized : bool;
+}
+
+type auth_event = {
+  ae_kind : [ `Delegate | `Revoke ];
+  ae_grantor : Principal.t;
+  ae_grantee : Principal.t;
+  ae_tag : Tag.t;
+  ae_index : int;
+}
+
+type txn = {
+  tx_begin : int;
+  mutable tx_writes : (int * string * Label.t * bool) list;
+  mutable tx_broken : int option;
+}
+
+type prep = {
+  pp_stmt : A.stmt;
+  pp_index : int;
+  mutable pp_first_exec : int option;
+}
+
+type read_rec = { rd_index : int; rd_table : string; rd_dst : Label.t }
+
+type t
+
+val create :
+  ?symbolic:bool -> principal:Principal.t -> label:Label.t -> unit -> t
+(** [symbolic] (default [true]) marks a fully symbolic interpretation
+    (lint [--trace], shell [\check]): statements are never executed and
+    partition deltas are layered over the committed heap counts.  A
+    non-symbolic trace is the thin runtime shadow the session keeps for
+    an open explicit transaction — only write records (for diagnostic
+    index attribution) are populated, never catalog or partition
+    overlays, because the runtime heap already holds the real state. *)
+
+val symbolic : t -> bool
+
+val index : t -> int
+(** Index of the item currently being analyzed (0 before the first). *)
+
+val next_index : t -> int
+(** Advance to the next item (statement or meta command) and return its
+    1-based index.  Every item consumes an index, so index [i] is
+    always the [i]-th item of the script. *)
+
+val principal : t -> Principal.t
+val label : t -> Label.t
+val set_label : t -> Label.t -> unit
+
+val switch_principal : t -> Principal.t -> unit
+(** Save the current principal's symbolic label and restore (or start
+    empty) the new one's — mirrors the lint driver's per-principal
+    sessions. *)
+
+(** {1 Catalog overlay} *)
+
+val dropped : t -> string -> bool
+val find_table : t -> string -> abs_table option
+val find_view : t -> string -> abs_view option
+val define_table : t -> abs_table -> unit
+val define_view : t -> abs_view -> unit
+val drop : t -> string -> unit
+
+(** {1 Partition deltas} *)
+
+val deltas : t -> string -> (int * delta_event) list
+(** Events for a table in statement order. *)
+
+val add_delta : t -> string -> index:int -> delta_event -> unit
+
+(** {1 Authority overlay} *)
+
+val overlay :
+  t ->
+  (Principal.t * Principal.t * Tag.t) list
+  * (Principal.t * Principal.t * Tag.t) list
+(** Net (added, removed) grant edges, for
+    {!Ifdb_difc.Authority.has_authority_hyp}. *)
+
+val overlay_empty : t -> bool
+
+val delegate_edge :
+  t -> grantor:Principal.t -> grantee:Principal.t -> tag:Tag.t ->
+  index:int -> unit
+
+val revoke_edge :
+  t -> grantor:Principal.t -> grantee:Principal.t -> tag:Tag.t ->
+  index:int -> unit
+
+val auth_events : t -> auth_event list
+(** All delegate/revoke events in statement order. *)
+
+val note_stamp_event : t -> index:int -> unit
+(** Record a catalog mutation (DDL) at [index]; delegate/revoke events
+    record themselves.  These are exactly the events that move the
+    runtime plan/diagnostic stamp (catalog version × authority
+    generation), which the stale-prepare pass checks. *)
+
+val stamp_events : t -> int list
+
+(** {1 Open explicit transaction} *)
+
+val txn : t -> txn option
+val begin_txn :
+  t -> index:int -> ?writes:(int * string * Label.t * bool) list -> unit -> unit
+
+val in_open_txn : t -> bool
+(** An explicit transaction is open and not broken. *)
+
+val broken : t -> int option
+(** Index of the statement that broke the open transaction, if any. *)
+
+val mark_broken : t -> index:int -> unit
+(** A guaranteed-failing statement at [index] aborts the open
+    transaction: its provisional delta events are reverted (the abort
+    is certain) and later statements are flagged unreachable. *)
+
+val record_txn_write :
+  t -> index:int -> table:string -> label:Label.t -> definite:bool -> unit
+
+val txn_writes : t -> (int * string * Label.t * bool) list
+
+val close_txn : t -> outcome:[ `Commit | `Abort | `Maybe ] -> unit
+(** End the open transaction.  [`Abort] reverts its delta events,
+    [`Maybe] (a COMMIT that may be rejected) downgrades its definite
+    inserts to maybe, [`Commit] keeps them. *)
+
+(** {1 Prepared statements} *)
+
+val find_prepared : t -> string -> prep option
+val define_prepared : t -> name:string -> stmt:A.stmt -> index:int -> unit
+val note_execute : t -> name:string -> index:int -> unit
+val remove_prepared : t -> string -> unit
+val clear_prepared : t -> unit
+val prepared : t -> (string * prep) list
+
+(** {1 Whole-script records (dead-write / stale-prepare passes)} *)
+
+val note_read : t -> table:string -> dst:Label.t -> unit
+(** Record that the current statement reads [table] with destination
+    label [dst] (scans, and the rows a write statement matches). *)
+
+val reads : t -> read_rec list
+
+val insert_events : t -> (int * string * Label.t * bool) list
+(** Surviving insert events — (index, table, label, definite) — in
+    index order; events of aborted transactions are gone. *)

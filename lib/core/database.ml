@@ -23,6 +23,7 @@ module A = Ifdb_sql.Ast
 module Parser = Ifdb_sql.Parser
 module Printer = Ifdb_sql.Printer
 module Analysis = Ifdb_analysis.Analysis
+module Trace_state = Ifdb_analysis.Trace_state
 module Interval = Ifdb_analysis.Interval
 module Diag = Ifdb_analysis.Diag
 module Metrics = Ifdb_obs.Metrics
@@ -180,6 +181,11 @@ and session = {
          [Expr.Param n] reads slot n-1.  Empty outside EXECUTE. *)
   s_prepared : (string, stmt_cache) Hashtbl.t;
       (* session-local prepared statements, keyed by normalized name *)
+  mutable s_flow : Trace_state.t option;
+      (* non-symbolic trace shadowing the open explicit transaction:
+         statement indices and per-statement write records, so COMMIT
+         diagnostics can cite the statement that trapped the
+         transaction.  None outside an explicit transaction. *)
 }
 
 type result =
@@ -245,6 +251,7 @@ let connect t ~principal =
     s_trace = None;
     s_params = [||];
     s_prepared = Hashtbl.create 8;
+    s_flow = None;
   }
 
 let connect_admin t = connect t ~principal:t.admin_p
@@ -1086,6 +1093,7 @@ let do_abort s txn =
   Metrics.incr s.sdb.mx.mx_aborts;
   s.s_txn <- None;
   s.s_implicit <- false;
+  s.s_flow <- None;
   s.s_deferred <- []
 
 let do_commit s txn =
@@ -1143,6 +1151,7 @@ let do_commit s txn =
   Metrics.incr s.sdb.mx.mx_commits;
   s.s_txn <- None;
   s.s_implicit <- false;
+  s.s_flow <- None;
   let db = s.sdb in
   (* incremental view maintenance: fold this transaction's write set
      into every materialized view over the written tables (insert +1,
@@ -1941,6 +1950,9 @@ let analysis_ctx s : Analysis.ctx =
       | None -> []
       | Some txn ->
           List.map (fun w -> w.Manager.w_label) (Manager.writes txn));
+    an_clearance = (s.sdb.iso = Serializable);
+    an_in_txn = s.s_txn <> None;
+    an_trace = s.s_flow;
   }
 
 let analyze_stmt s stmt : Diag.t list =
@@ -1960,11 +1972,13 @@ let analyze s sql_text : Diag.t list =
 let diag_exn (d : Diag.t) =
   let msg = "static analysis: " ^ Diag.to_string d in
   match d.Diag.d_code with
-  | Diag.Overbroad_declassify -> Errors.Authority_required msg
+  | Diag.Overbroad_declassify | Diag.Declassify_after_revoke ->
+      Errors.Authority_required msg
   | Diag.Name_error | Diag.Parse_error | Diag.Runtime_error
-  | Diag.Recompute_fallback ->
+  | Diag.Recompute_fallback | Diag.Stale_prepare | Diag.Unreachable_stmt ->
       Errors.Sql_error msg
-  | Diag.Doomed_write | Diag.Vacuous_query | Diag.Commit_trap | Diag.Fk_leak ->
+  | Diag.Doomed_write | Diag.Vacuous_query | Diag.Commit_trap
+  | Diag.Txn_commit_trap | Diag.Dead_write | Diag.Fk_leak ->
       Errors.Flow_violation msg
 
 (* ------------------------------------------------------------------ *)
@@ -2177,6 +2191,17 @@ let rec exec_stmt ?cache s (stmt : A.stmt) : result =
       if s.s_txn <> None then Errors.sql "already inside a transaction";
       s.s_txn <- Some (Manager.begin_txn s.sdb.mgr);
       s.s_implicit <- false;
+      if s.sdb.ifc then begin
+        (* shadow trace for the explicit transaction: statement indices
+           and write records, so COMMIT diagnostics can cite the
+           statement that trapped the transaction *)
+        let ts =
+          Trace_state.create ~symbolic:false ~principal:s.s_principal
+            ~label:s.s_label ()
+        in
+        Trace_state.begin_txn ts ~index:0 ();
+        s.s_flow <- Some ts
+      end;
       Done "BEGIN"
   | A.S_commit -> (
       match s.s_txn with
@@ -2333,6 +2358,11 @@ let exec_stmt_guarded ?cache s stmt =
     ~finally:(fun () -> s.s_stmt <- None)
     (fun () ->
       try
+        (* each statement inside an explicit transaction consumes one
+           shadow-trace index, 1-based from the BEGIN *)
+        (match s.s_flow with
+        | Some ts -> ignore (Trace_state.next_index ts)
+        | None -> ());
         if db.ifc then begin
           let diags = analyze_stmt s stmt in
           s.s_warnings <- diags;
@@ -2342,6 +2372,17 @@ let exec_stmt_guarded ?cache s stmt =
             | None -> ()
         end;
         let result = exec_stmt ?cache s stmt in
+        (match (s.s_flow, stmt) with
+        | Some ts, A.S_insert { i_table; _ } ->
+            Trace_state.record_txn_write ts ~index:(Trace_state.index ts)
+              ~table:i_table ~label:s.s_label ~definite:true
+        | Some ts, A.S_update { u_table; _ } ->
+            Trace_state.record_txn_write ts ~index:(Trace_state.index ts)
+              ~table:u_table ~label:s.s_label ~definite:false
+        | Some ts, A.S_delete { d_table; _ } ->
+            Trace_state.record_txn_write ts ~index:(Trace_state.index ts)
+              ~table:d_table ~label:s.s_label ~definite:false
+        | _ -> ());
         Metrics.incr db.mx.mx_statements;
         if timed then begin
           let ns = Trace.now_ns () - t0 in
@@ -2472,6 +2513,73 @@ let explain_analyze s sql_text =
       Fun.protect
         ~finally:(fun () -> s.s_stmt <- None)
         (fun () -> explain_analyze_select s sel))
+
+(* ------------------------------------------------------------------ *)
+(* Trace-level analysis (shell \check, ifdb_lint --trace)              *)
+(* ------------------------------------------------------------------ *)
+
+let trace_begin s =
+  let ts = Analysis.trace_begin (analysis_ctx s) in
+  (* the session's prepared templates are part of its state: an EXECUTE
+     mid-script must resolve against them *)
+  Hashtbl.iter
+    (fun name sc -> Trace_state.define_prepared ts ~name ~stmt:sc.sc_stmt ~index:0)
+    s.s_prepared;
+  ts
+
+let trace_stmt s ts stmt =
+  if s.sdb.ifc then Analysis.analyze_trace_stmt (analysis_ctx s) ts stmt else []
+
+let trace_meta s ts ~name ~args =
+  if s.sdb.ifc then Analysis.trace_meta (analysis_ctx s) ts ~name ~args else []
+
+let trace_finish s ts =
+  if s.sdb.ifc then Analysis.trace_finish (analysis_ctx s) ts else []
+
+type check_item = {
+  ck_index : int;  (* 1-based item index within the script *)
+  ck_line : int;
+  ck_text : string;
+  ck_diags : Diag.t list;
+}
+
+(* Symbolically analyze a whole script against the live session state
+   without executing anything: split, thread one trace through every
+   item, then fold the whole-script passes back onto their statements. *)
+let check_script s text =
+  let module Sq = Ifdb_analysis.Sqlscript in
+  let items = Sq.split_script text in
+  let ts = trace_begin s in
+  let checked =
+    List.map
+      (fun (it : Sq.item) ->
+        let diags =
+          match it.Sq.it_kind with
+          | Sq.Meta (name, args) -> trace_meta s ts ~name ~args
+          | Sq.Stmt -> (
+              match Parser.parse_one it.Sq.it_text with
+              | stmt -> trace_stmt s ts stmt
+              | exception
+                  ( Ifdb_sql.Parser.Parse_error msg
+                  | Ifdb_sql.Lexer.Lex_error (msg, _) ) ->
+                  ignore (Trace_state.next_index ts);
+                  [ Diag.error Diag.Parse_error "%s" msg ])
+        in
+        (it, diags))
+      items
+  in
+  let finals = trace_finish s ts in
+  List.mapi
+    (fun i ((it : Sq.item), diags) ->
+      let idx = i + 1 in
+      let extra = Option.value ~default:[] (List.assoc_opt idx finals) in
+      {
+        ck_index = idx;
+        ck_line = it.Sq.it_line;
+        ck_text = it.Sq.it_text;
+        ck_diags = diags @ extra;
+      })
+    checked
 
 let query s sql_text =
   match exec s sql_text with
@@ -2619,6 +2727,31 @@ let register_builtin_procedures db =
       c_fn =
         (fun s args ->
           declassify s (find_tag s.sdb (text_arg "declassify" args));
+          Value.Null);
+    };
+  let two_text_args name args =
+    match args with
+    | [ Value.Text a; Value.Text b ] -> (a, b)
+    | _ -> Errors.sql "%s expects (tag_name, principal_name)" name
+  in
+  Hashtbl.replace db.procedures "delegate"
+    {
+      c_authority = None;
+      c_fn =
+        (fun s args ->
+          let tag_name, grantee_name = two_text_args "delegate" args in
+          delegate s ~tag:(find_tag s.sdb tag_name)
+            ~grantee:(find_principal s.sdb grantee_name);
+          Value.Null);
+    };
+  Hashtbl.replace db.procedures "revoke"
+    {
+      c_authority = None;
+      c_fn =
+        (fun s args ->
+          let tag_name, grantee_name = two_text_args "revoke" args in
+          revoke s ~tag:(find_tag s.sdb tag_name)
+            ~grantee:(find_principal s.sdb grantee_name);
           Value.Null);
     }
 

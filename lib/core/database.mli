@@ -385,6 +385,57 @@ val session_warnings : session -> Ifdb_analysis.Diag.t list
 (** The diagnostics the analyzer attached to the most recent statement
     executed on this session (empty for clean statements). *)
 
+(** {2 Trace-level analysis}
+
+    Whole-script abstract interpretation ({!Ifdb_analysis.Analysis}'s
+    [trace_] entry points) wired to a session: the symbolic trace is
+    seeded from the session's live state — principal, label, an
+    already-open transaction's write set, prepared templates — and each
+    item of the script is analyzed against the state the script itself
+    has built up.  Nothing is executed. *)
+
+val trace_begin : session -> Ifdb_analysis.Trace_state.t
+(** A fresh symbolic trace seeded from the session. *)
+
+val trace_stmt :
+  session ->
+  Ifdb_analysis.Trace_state.t ->
+  Ifdb_sql.Ast.stmt ->
+  Ifdb_analysis.Diag.t list
+(** Analyze the next statement of the script and apply its symbolic
+    effects.  [[]] when the database runs with [~ifc:false]. *)
+
+val trace_meta :
+  session ->
+  Ifdb_analysis.Trace_state.t ->
+  name:string ->
+  args:string list ->
+  Ifdb_analysis.Diag.t list
+(** Analyze a shell meta command ([\principal], [\newtag],
+    [\addsecrecy], [\declassify], [\delegate], [\revoke]) symbolically. *)
+
+val trace_finish :
+  session ->
+  Ifdb_analysis.Trace_state.t ->
+  (int * Ifdb_analysis.Diag.t list) list
+(** Whole-script diagnostics (dead-write, stale-prepare), grouped by
+    the 1-based item index they attach to. *)
+
+type check_item = {
+  ck_index : int;  (** 1-based item index within the script *)
+  ck_line : int;  (** source line of the item *)
+  ck_text : string;
+  ck_diags : Ifdb_analysis.Diag.t list;
+}
+
+val check_script : session -> string -> check_item list
+(** The shell's [\check]: split [text] with {!Ifdb_analysis.Sqlscript},
+    thread one symbolic trace through every statement and meta command,
+    and return per-item diagnostics with the whole-script passes folded
+    back in.  Parse failures become [parse-error] diagnostics on the
+    offending item.  Nothing is executed and the session is left
+    untouched. *)
+
 (** {1 Maintenance} *)
 
 val vacuum : t -> int

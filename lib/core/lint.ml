@@ -4,14 +4,40 @@ module Principal = Ifdb_difc.Principal
 module Parser = Ifdb_sql.Parser
 module Diag = Ifdb_analysis.Diag
 module Analysis = Ifdb_analysis.Analysis
+module Trace_state = Ifdb_analysis.Trace_state
 module Sqlscript = Ifdb_analysis.Sqlscript
+module Value = Ifdb_rel.Value
 
-type mode = { m_auto_tags : bool; m_lenient_names : bool }
+type mode = { m_auto_tags : bool; m_lenient_names : bool; m_trace : bool }
 
-let sql_mode = { m_auto_tags = false; m_lenient_names = false }
-let ml_mode = { m_auto_tags = true; m_lenient_names = true }
+let sql_mode = { m_auto_tags = false; m_lenient_names = false; m_trace = false }
+let ml_mode = { m_auto_tags = true; m_lenient_names = true; m_trace = false }
+let trace_mode = { sql_mode with m_trace = true }
 
 type outcome = { o_report : string; o_failures : string list }
+
+(* "1,3.5,null,alice" (an optional <...> wrapper is stripped): ints and
+   floats parse as numbers, "null" as NULL, anything else as text. *)
+let parse_bindings spec =
+  let spec = String.trim spec in
+  let spec =
+    let n = String.length spec in
+    if n >= 2 && spec.[0] = '<' && spec.[n - 1] = '>' then
+      String.sub spec 1 (n - 2)
+    else spec
+  in
+  String.split_on_char ',' spec
+  |> List.map (fun v ->
+         let v = String.trim v in
+         if String.lowercase_ascii v = "null" then Value.Null
+         else
+           match int_of_string_opt v with
+           | Some i -> Value.Int i
+           | None -> (
+               match float_of_string_opt v with
+               | Some f -> Value.Float f
+               | None -> Value.Text v))
+  |> Array.of_list
 
 type st = {
   db : Database.t;
@@ -53,26 +79,29 @@ let auto_tags st stmt =
             ~grantee:(Database.session_principal st.sess))
     (Analysis.referenced_tags stmt)
 
+(* Connect (creating if necessary) the named principal's session and
+   make it current. *)
+let switch_session st n =
+  let sess =
+    match Hashtbl.find_opt st.sessions (norm n) with
+    | Some s -> s
+    | None ->
+        let p =
+          match Authority.find_principal (Database.authority st.db) n with
+          | p -> p
+          | exception Authority.Unknown _ ->
+              Database.create_principal (Database.connect_admin st.db) ~name:n
+        in
+        let s = Database.connect st.db ~principal:p in
+        Hashtbl.add st.sessions (norm n) s;
+        s
+  in
+  st.sess <- sess
+
 let run_meta st name args : Diag.t list =
   match (norm name, args) with
   | "principal", [ n ] ->
-      let sess =
-        match Hashtbl.find_opt st.sessions (norm n) with
-        | Some s -> s
-        | None ->
-            let p =
-              match Authority.find_principal (Database.authority st.db) n with
-              | p -> p
-              | exception Authority.Unknown _ ->
-                  Database.create_principal
-                    (Database.connect_admin st.db)
-                    ~name:n
-            in
-            let s = Database.connect st.db ~principal:p in
-            Hashtbl.add st.sessions (norm n) s;
-            s
-      in
-      st.sess <- sess;
+      switch_session st n;
       []
   | "newtag", [ n ] ->
       ignore (Database.create_tag st.sess ~name:n ());
@@ -119,60 +148,46 @@ let demote_name_errors diags =
       else d)
     diags
 
-let process_item st mode (it : Sqlscript.item) ~line_offset =
-  let line = it.Sqlscript.it_line + line_offset in
-  let runtime_diag m = Diag.error Diag.Runtime_error "%s" m in
-  let diags =
-    match it.Sqlscript.it_kind with
-    | Sqlscript.Meta (name, args) -> (
-        try run_meta st name args with
-        | Errors.Flow_violation m
-        | Errors.Authority_required m
-        | Errors.Constraint_violation m
-        | Errors.Sql_error m
-        | Authority.Denied m
-        | Authority.Not_public m ->
-            [ runtime_diag m ]
-        | Authority.Unknown m ->
-            [ Diag.error Diag.Name_error "unknown %s" m ])
-    | Sqlscript.Stmt -> (
-        match Parser.parse it.Sqlscript.it_text with
-        | exception Parser.Parse_error m ->
-            [ Diag.error Diag.Parse_error "%s" m ]
-        | exception Ifdb_sql.Lexer.Lex_error (m, _) ->
-            [ Diag.error Diag.Parse_error "%s" m ]
-        | [] -> []
-        | stmt :: _ ->
-            if mode.m_auto_tags then auto_tags st stmt;
-            let diags = Database.analyze_stmt st.sess stmt in
-            let diags =
-              if mode.m_lenient_names then demote_name_errors diags else diags
-            in
-            let skip_exec =
-              List.exists Diag.is_error diags
-              || List.exists
-                   (fun (d : Diag.t) -> d.Diag.d_code = Diag.Name_error)
-                   diags
-            in
-            if skip_exec then diags
-            else (
-              match Database.exec_stmt st.sess stmt with
-              | _ -> diags
-              | exception
-                  ( Errors.Flow_violation m
-                  | Errors.Authority_required m
-                  | Errors.Constraint_violation m
-                  | Errors.Sql_error m ) ->
-                  diags @ [ runtime_diag m ]))
+let runtime_diag m = Diag.error Diag.Runtime_error "%s" m
+
+let meta_errors f =
+  try f () with
+  | Errors.Flow_violation m
+  | Errors.Authority_required m
+  | Errors.Constraint_violation m
+  | Errors.Sql_error m
+  | Authority.Denied m
+  | Authority.Not_public m ->
+      [ runtime_diag m ]
+  | Authority.Unknown m -> [ Diag.error Diag.Name_error "unknown %s" m ]
+
+(* An [expect] annotation applies everywhere; [expect-trace] /
+   [expect-stmt] (stored with a prefix) only to the matching mode. *)
+let applicable_expects mode expects =
+  let scoped prefix c =
+    let n = String.length prefix in
+    if String.length c > n && String.sub c 0 n = prefix then
+      Some (String.sub c n (String.length c - n))
+    else None
   in
+  List.filter_map
+    (fun c ->
+      match (scoped "trace:" c, scoped "stmt:" c) with
+      | Some code, _ -> if mode.m_trace then Some code else None
+      | _, Some code -> if not mode.m_trace then Some code else None
+      | None, None -> Some c)
+    expects
+
+(* Render one item's diagnostics and check its expect-rules. *)
+let record_item st mode (it : Sqlscript.item) ~line diags =
   if diags <> [] then begin
     Buffer.add_string st.buf
-      (Printf.sprintf "line %d: %s\n" line
-         (stmt_summary it.Sqlscript.it_text));
+      (Printf.sprintf "line %d: %s\n" line (stmt_summary it.Sqlscript.it_text));
     List.iter
       (fun d -> Buffer.add_string st.buf ("  " ^ Diag.to_string d ^ "\n"))
       diags
   end;
+  let expects = applicable_expects mode it.Sqlscript.it_expects in
   let codes =
     List.map (fun (d : Diag.t) -> Diag.code_string d.Diag.d_code) diags
   in
@@ -186,38 +201,157 @@ let process_item st mode (it : Sqlscript.item) ~line_offset =
                 "line %d: expected %s, but the analyzer did not produce it"
                 line e;
             ])
-    it.Sqlscript.it_expects;
+    expects;
   List.iter
     (fun (d : Diag.t) ->
-      if
-        Diag.is_error d
-        && not (List.mem (Diag.code_string d.Diag.d_code) it.Sqlscript.it_expects)
+      if Diag.is_error d && not (List.mem (Diag.code_string d.Diag.d_code) expects)
       then
         st.failures <-
           st.failures
-          @ [
-              Printf.sprintf "line %d: unexpected %s" line (Diag.to_string d);
-            ])
+          @ [ Printf.sprintf "line %d: unexpected %s" line (Diag.to_string d) ])
     diags
+
+(* --- per-statement mode --------------------------------------------- *)
+
+let stmt_mode_diags st mode ?bindings (it : Sqlscript.item) : Diag.t list =
+  match it.Sqlscript.it_kind with
+  | Sqlscript.Meta (name, args) -> meta_errors (fun () -> run_meta st name args)
+  | Sqlscript.Stmt -> (
+      match Parser.parse it.Sqlscript.it_text with
+      | exception Parser.Parse_error m ->
+          [ Diag.error Diag.Parse_error "%s" m ]
+      | exception Ifdb_sql.Lexer.Lex_error (m, _) ->
+          [ Diag.error Diag.Parse_error "%s" m ]
+      | [] -> []
+      | stmt :: _ ->
+          let stmt =
+            match bindings with
+            | Some b -> Analysis.subst_params b stmt
+            | None -> stmt
+          in
+          if mode.m_auto_tags then auto_tags st stmt;
+          let diags = Database.analyze_stmt st.sess stmt in
+          let diags =
+            if mode.m_lenient_names then demote_name_errors diags else diags
+          in
+          let skip_exec =
+            List.exists Diag.is_error diags
+            || List.exists
+                 (fun (d : Diag.t) -> d.Diag.d_code = Diag.Name_error)
+                 diags
+          in
+          if skip_exec then diags
+          else (
+            match Database.exec_stmt st.sess stmt with
+            | _ -> diags
+            | exception
+                ( Errors.Flow_violation m
+                | Errors.Authority_required m
+                | Errors.Constraint_violation m
+                | Errors.Sql_error m ) ->
+                diags @ [ runtime_diag m ]))
+
+(* --- trace mode ------------------------------------------------------ *)
+
+(* In trace mode nothing executes.  The two metas that create state
+   (\principal, \newtag) still take real effect against the fresh lint
+   database — principals and tags must exist for the symbolic trace to
+   reference them — and everything else (including all SQL and the
+   label/authority metas) is interpreted symbolically by the trace. *)
+let trace_mode_diags st ts ?bindings (it : Sqlscript.item) : Diag.t list =
+  match it.Sqlscript.it_kind with
+  | Sqlscript.Meta (name, args) ->
+      let known =
+        match (norm name, args) with
+        | "principal", [ _ ]
+        | "newtag", [ _ ]
+        | "addsecrecy", [ _ ]
+        | "declassify", [ _ ]
+        | "delegate", [ _; _ ]
+        | "revoke", [ _; _ ] ->
+            true
+        | _ -> false
+      in
+      let pre =
+        match (norm name, args) with
+        | ("principal" | "newtag"), [ _ ] ->
+            meta_errors (fun () -> run_meta st name args)
+        | _ -> []
+      in
+      let tdiags = Database.trace_meta st.sess ts ~name ~args in
+      let unknown =
+        if known then []
+        else
+          [
+            Diag.error Diag.Name_error "unknown or malformed meta command \\%s"
+              name;
+          ]
+      in
+      pre @ tdiags @ unknown
+  | Sqlscript.Stmt -> (
+      match Parser.parse it.Sqlscript.it_text with
+      | exception Parser.Parse_error m ->
+          ignore (Trace_state.next_index ts);
+          [ Diag.error Diag.Parse_error "%s" m ]
+      | exception Ifdb_sql.Lexer.Lex_error (m, _) ->
+          ignore (Trace_state.next_index ts);
+          [ Diag.error Diag.Parse_error "%s" m ]
+      | [] ->
+          ignore (Trace_state.next_index ts);
+          []
+      | stmt :: _ ->
+          let stmt =
+            match bindings with
+            | Some b -> Analysis.subst_params b stmt
+            | None -> stmt
+          in
+          Database.trace_stmt st.sess ts stmt)
 
 let finish st =
   let report = Buffer.contents st.buf in
   let report = if report = "" then "no diagnostics\n" else report in
   { o_report = report; o_failures = st.failures }
 
-let lint_script mode text =
+let lint_script ?bindings mode text =
+  let bindings =
+    match bindings with
+    | Some _ -> bindings
+    | None -> Option.map parse_bindings (Sqlscript.bind_directive text)
+  in
   let st = make_state () in
-  List.iter
-    (fun it -> process_item st mode it ~line_offset:0)
-    (Sqlscript.split_script text);
+  let items = Sqlscript.split_script text in
+  if not mode.m_trace then
+    List.iter
+      (fun it ->
+        record_item st mode it ~line:it.Sqlscript.it_line
+          (stmt_mode_diags st mode ?bindings it))
+      items
+  else begin
+    let ts = Database.trace_begin st.sess in
+    let checked =
+      List.map (fun it -> (it, trace_mode_diags st ts ?bindings it)) items
+    in
+    let finals = Database.trace_finish st.sess ts in
+    List.iteri
+      (fun i (it, diags) ->
+        let extra =
+          Option.value ~default:[] (List.assoc_opt (i + 1) finals)
+        in
+        record_item st mode it ~line:it.Sqlscript.it_line (diags @ extra))
+      checked
+  end;
   finish st
 
 let lint_ml mode text =
+  let mode = { mode with m_trace = false } in
   let st = make_state () in
   List.iter
     (fun (line, sql) ->
       List.iter
-        (fun it -> process_item st mode it ~line_offset:(line - 1))
+        (fun it ->
+          record_item st mode it
+            ~line:(it.Sqlscript.it_line + line - 1)
+            (stmt_mode_diags st mode it))
         (Sqlscript.split_script sql))
     (Sqlscript.extract_ml_sql text);
   finish st

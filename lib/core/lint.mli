@@ -1,22 +1,37 @@
 (** The lint driver behind [ifdb_lint] and the shell's [\check]: runs
     the static analyzer ({!Ifdb_analysis.Analysis}) over a SQL script
     (or the SQL embedded in an OCaml source file) against a fresh
-    database, executing clean statements along the way so later ones
-    are analyzed against the data state earlier ones produced.
+    database.
+
+    Two modes:
+
+    - {b per-statement} ([--stmt], and always for [--ml]): each
+      statement is analyzed in isolation against the live database
+      state, and clean statements are executed so later ones see the
+      data state earlier ones produced;
+    - {b trace} ([--trace], the default for [.sql] scripts): nothing
+      executes — one symbolic trace ({!Ifdb_analysis.Trace_state}) is
+      threaded through the whole script, adding the cross-statement
+      verdicts per-statement linting cannot see (declassify-after-
+      revoke, txn-commit-trap, dead-write, stale-prepare,
+      unreachable-stmt, guaranteed transaction-control failures, and
+      EXECUTE analyzed as its fully bound statement).
 
     Script conventions ({!Ifdb_analysis.Sqlscript}): one-line [\meta]
     commands drive session state — [\principal NAME] (connect/create
     and switch), [\newtag NAME] (owned by the current principal),
     [\addsecrecy TAG], [\declassify TAG], [\delegate TAG PRINCIPAL],
     [\revoke TAG PRINCIPAL] — and [-- lint: expect code…] comments
-    declare the diagnostics a statement is meant to trigger.
+    declare the diagnostics a statement is meant to trigger
+    ([expect-trace] / [expect-stmt] scope the codes to one mode).
 
     Failure rules: an expected code the analyzer does not produce is a
     failure; an [Error]-severity diagnostic that is not expected is a
-    failure; warnings never need annotations.  Statements with
-    [Error]-severity (or unknown-name) diagnostics are not executed;
-    clean statements that still fail at runtime surface the failure as
-    a [runtime-error] diagnostic, which obeys the same rules. *)
+    failure; warnings never need annotations.  In per-statement mode,
+    statements with [Error]-severity (or unknown-name) diagnostics are
+    not executed; clean statements that still fail at runtime surface
+    the failure as a [runtime-error] diagnostic, which obeys the same
+    rules. *)
 
 type mode = {
   m_auto_tags : bool;
@@ -28,13 +43,21 @@ type mode = {
       (** demote unknown-name errors to warnings (the schema may live
           outside the linted text); affected statements are analyzed
           but not executed *)
+  m_trace : bool;
+      (** trace mode: thread one symbolic trace through the whole
+          script instead of analyzing and executing statement by
+          statement *)
 }
 
 val sql_mode : mode
-(** Strict: for self-contained [.sql] scripts (the lint corpus). *)
+(** Strict per-statement: for self-contained [.sql] scripts. *)
 
 val ml_mode : mode
-(** Lenient + auto-tags: for SQL extracted from [.ml] examples. *)
+(** Lenient + auto-tags, per-statement: for SQL extracted from [.ml]
+    examples. *)
+
+val trace_mode : mode
+(** Strict trace-level: the default for [.sql] scripts. *)
 
 type outcome = {
   o_report : string;
@@ -43,9 +66,21 @@ type outcome = {
   o_failures : string list;  (** expect-rule violations, in order *)
 }
 
-val lint_script : mode -> string -> outcome
-(** Lint SQL script text against a fresh in-memory database. *)
+val parse_bindings : string -> Ifdb_rel.Value.t array
+(** Parse a ["1,3.5,null,alice"] binding spec (an optional [<...>]
+    wrapper is stripped): ints and floats parse as numbers, ["null"] as
+    NULL, anything else as text. *)
+
+val lint_script :
+  ?bindings:Ifdb_rel.Value.t array -> mode -> string -> outcome
+(** Lint SQL script text against a fresh in-memory database.
+    [bindings] (from [ifdb_lint --bind]) substitutes [$n] placeholders
+    with constants before analysis, so parameterized templates are
+    linted as the concrete statements they would execute as.  When
+    absent, a [-- lint: bind V1,V2,…] directive in the script supplies
+    the default bindings. *)
 
 val lint_ml : mode -> string -> outcome
 (** Extract the SQL literals from OCaml source text and lint them in
-    order, with diagnostics attributed to the [.ml] source lines. *)
+    order, with diagnostics attributed to the [.ml] source lines.
+    Always per-statement ([m_trace] is ignored). *)

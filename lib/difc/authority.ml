@@ -141,6 +141,39 @@ let rec holds t visiting p tag =
 
 let has_authority t p tag = holds t [] p tag
 
+(* Same algorithm as [holds], but over a hypothetical grant list
+   [added @ (grants \ removed)].  Tag/compound/owner tables only grow
+   and compound links are immutable, so evaluating against the current
+   tables with an edge overlay is exact for any future authority state
+   reachable by delegations/revocations alone. *)
+let has_authority_hyp t ~added ~removed p tag =
+  let to_grant (grantor, grantee, g_tag) = { grantor; grantee; g_tag } in
+  let removed = List.map to_grant removed in
+  let grants' =
+    List.map to_grant added
+    @ List.filter (fun g -> not (List.mem g removed)) t.grants
+  in
+  let rec holds' visiting p tag =
+    let confer = tags_conferring t tag in
+    List.exists
+      (fun cand ->
+        Principal.equal (owner_of t cand) p
+        || List.exists
+             (fun g ->
+               Tag.equal g.g_tag cand
+               && Principal.equal g.grantee p
+               && (not
+                     (List.mem
+                        (Principal.to_int g.grantor, Tag.to_int cand)
+                        visiting))
+               && holds'
+                    ((Principal.to_int g.grantor, Tag.to_int cand) :: visiting)
+                    g.grantor cand)
+             grants')
+      confer
+  in
+  holds' [] p tag
+
 let check_authority t p tag =
   if not (has_authority t p tag) then
     raise

@@ -112,6 +112,21 @@ val check_authority : t -> Principal.t -> Tag.t -> unit
 val has_authority_for_label : t -> Principal.t -> Label.t -> bool
 (** Authority for every tag in the label. *)
 
+val has_authority_hyp :
+  t ->
+  added:(Principal.t * Principal.t * Tag.t) list ->
+  removed:(Principal.t * Principal.t * Tag.t) list ->
+  Principal.t ->
+  Tag.t ->
+  bool
+(** {!has_authority} evaluated against a hypothetical grant list:
+    [added] edges (grantor, grantee, tag) unioned in, [removed] edges
+    filtered out of the current grants.  Tags, compound links and
+    ownership are immutable once created, so this answers exactly for
+    any authority state reachable from the current one by delegations
+    and revocations — the static analyzer uses it to reason about
+    authority at future trace points. *)
+
 val covers : t -> Label.t -> Tag.t -> bool
 (** Compound-aware membership: see {!Label.covers}. *)
 

@@ -1,0 +1,14 @@
+-- A well-behaved explicit transaction: the label is raised before the
+-- contaminated write and lowered again (under held authority) before
+-- COMMIT, so the commit-label rule is satisfied and neither linting
+-- mode has anything to say.
+\principal nurse
+\newtag chart
+CREATE TABLE charts (id INT, note TEXT);
+BEGIN;
+INSERT INTO charts VALUES (1, 'public intake');
+\addsecrecy chart
+INSERT INTO charts VALUES (2, 'private note');
+SELECT note FROM charts;
+\declassify chart
+COMMIT;

@@ -1,0 +1,14 @@
+-- A parameterized template linted with its documented bindings: the
+-- directive below substitutes $1 before analysis (ifdb_lint --bind
+-- overrides it).  Unbound, the $1 key would only classify the row as
+-- a maybe; bound to the constant 1 the reference is definite.
+-- lint: bind <1>
+\principal carol
+\newtag carol_medical
+CREATE TABLE doctors (id INT NOT NULL, PRIMARY KEY (id));
+\addsecrecy carol_medical
+INSERT INTO doctors VALUES (1);
+\declassify carol_medical
+CREATE TABLE appointments (id INT, doctor_id INT, FOREIGN KEY (doctor_id) REFERENCES doctors (id));
+-- a definite unlabeled reference to a {carol_medical} parent row
+INSERT INTO appointments VALUES (10, $1); -- lint: expect fk-leak

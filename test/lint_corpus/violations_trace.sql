@@ -1,0 +1,70 @@
+-- Cross-statement verdicts only the whole-script trace can see.
+-- Per-statement mode replays the script against a live database, so it
+-- still trips over some of these — but as generic runtime surprises
+-- (overbroad-declassify, runtime-error), never the cross-statement
+-- verdicts naming the causal statement.  Scoped expects pin both.
+
+-- 1. declassify-after-revoke: the script itself revokes the delegation
+-- that backs a later declassification.  Per-statement mode only sees
+-- that mallory lacks authority; the trace cites the revoking statement.
+\principal mallory
+\principal owner
+\newtag secret
+CREATE TABLE leaks (id INT, body TEXT);
+\delegate secret mallory
+\revoke secret mallory
+\principal mallory
+-- lint: expect-trace declassify-after-revoke
+-- lint: expect-stmt overbroad-declassify
+PERFORM declassify(secret);
+
+-- 2. dead-write: a label spanning two owners that nobody ever holds
+-- full authority for, on rows no later statement reads.
+\principal alice
+\newtag alice_tag
+CREATE TABLE vault (x INT);
+\principal bob
+\newtag bob_tag
+\principal alice
+\addsecrecy alice_tag
+\addsecrecy bob_tag
+-- lint: expect-trace dead-write
+INSERT INTO vault VALUES (1);
+\declassify alice_tag
+
+-- 3. stale-prepare: the index created between PREPARE and its first
+-- EXECUTE invalidates the prepare-time plan before it is ever used.
+\principal carol
+CREATE TABLE readings (a INT);
+INSERT INTO readings VALUES (7);
+-- lint: expect-trace stale-prepare
+PREPARE getall AS SELECT a FROM readings;
+CREATE INDEX readings_a ON readings (a);
+EXECUTE getall;
+
+-- 4. EXECUTE of a doomed template breaks the transaction: the template
+-- carries its doomed-write verdict (parameter-free evidence), the
+-- EXECUTE analyzes as the bound statement and fails, and everything
+-- after it runs outside the aborted transaction.
+\principal dave
+\newtag dave_tag
+CREATE TABLE notes (id INT);
+INSERT INTO notes VALUES (1);
+\addsecrecy dave_tag
+-- The template's verdict is parameter-free evidence, reported at
+-- PREPARE time — but PREPARE itself succeeds, so the trace continues.
+-- (In per-statement mode the Error means the PREPARE is never
+-- executed, so the replay's EXECUTE and COMMIT fail at runtime
+-- instead — without naming the statement that doomed them.)
+-- lint: expect-trace doomed-write
+-- lint: expect-stmt doomed-write
+PREPARE wipe AS DELETE FROM notes;
+BEGIN;
+-- lint: expect-trace doomed-write
+-- lint: expect-stmt runtime-error
+EXECUTE wipe;
+-- lint: expect-trace unreachable-stmt
+INSERT INTO notes VALUES (2);
+-- lint: expect-trace runtime-error
+-- lint: expect-stmt runtime-error
+COMMIT;

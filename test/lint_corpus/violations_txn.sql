@@ -6,6 +6,17 @@ CREATE TABLE visits (id INT);
 BEGIN;
 INSERT INTO visits VALUES (1);
 \addsecrecy bob_medical
-COMMIT; -- lint: expect commit-trap
+-- Per-statement linting sees a live transaction's write set
+-- (commit-trap); the whole-script trace additionally knows which
+-- statement wrote the offending label (txn-commit-trap).
+-- lint: expect-stmt commit-trap
+-- lint: expect-trace txn-commit-trap
+COMMIT;
 \declassify bob_medical
+-- Only the trace knows the doomed COMMIT above already aborted the
+-- transaction at runtime, so this second COMMIT has nothing to commit.
+-- Per-statement linting provably misses this: it skipped executing the
+-- doomed COMMIT, still believes the transaction is open, and analyzes
+-- this statement as a clean commit of an empty-difference write set.
+-- lint: expect-trace runtime-error
 COMMIT;

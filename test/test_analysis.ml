@@ -350,6 +350,11 @@ let soundness =
 
 let read_file path = In_channel.with_open_bin path In_channel.input_all
 
+(* Every corpus script is linted in both modes: trace mode against
+   FILE.expected, per-statement mode against FILE.stmt.expected.
+   Expect-annotations must hold in both (expect-trace / expect-stmt
+   scope a code to one mode), and both reports must match their
+   goldens byte for byte. *)
 let test_lint_corpus () =
   let dir = "lint_corpus" in
   let files =
@@ -357,16 +362,23 @@ let test_lint_corpus () =
     |> List.filter (fun f -> Filename.check_suffix f ".sql")
     |> List.sort compare
   in
-  Alcotest.(check bool) "corpus present" true (List.length files >= 6);
+  Alcotest.(check bool) "corpus present" true (List.length files >= 9);
   List.iter
     (fun f ->
       let path = Filename.concat dir f in
-      let out = Lint.lint_script Lint.sql_mode (read_file path) in
-      List.iter (fun fl -> Alcotest.fail (f ^ ": " ^ fl)) out.Lint.o_failures;
-      Alcotest.(check string)
-        (f ^ ": report matches golden")
-        (read_file (path ^ ".expected"))
-        out.Lint.o_report)
+      let text = read_file path in
+      let check mode suffix tag =
+        let out = Lint.lint_script mode text in
+        List.iter
+          (fun fl -> Alcotest.fail (f ^ " (" ^ tag ^ "): " ^ fl))
+          out.Lint.o_failures;
+        Alcotest.(check string)
+          (f ^ " (" ^ tag ^ "): report matches golden")
+          (read_file (path ^ suffix))
+          out.Lint.o_report
+      in
+      check Lint.trace_mode ".expected" "trace";
+      check Lint.sql_mode ".stmt.expected" "stmt")
     files
 
 let suites =

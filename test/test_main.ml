@@ -6,4 +6,5 @@ let () =
    @ Test_platform.suites @ Test_workload.suites @ Test_apps.suites
    @ Test_security.suites @ Test_engine.suites @ Test_dump.suites @ Test_edge.suites
    @ Test_parallel.suites @ Test_writepath.suites @ Test_analysis.suites @ Test_obs.suites
-   @ Test_views_ivm.suites @ Test_partition.suites @ Test_prepared.suites)
+   @ Test_views_ivm.suites @ Test_partition.suites @ Test_prepared.suites
+  @ Test_trace.suites)

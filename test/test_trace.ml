@@ -1,0 +1,466 @@
+(* Trace-level label-flow analysis (lib/analysis trace entry points,
+   Database.trace_*/check_script, and the trace lint mode).
+
+   Covers: one unit test per cross-statement diagnostic
+   (declassify-after-revoke, txn-commit-trap, dead-write,
+   stale-prepare, unreachable-stmt and predicted transaction-control
+   failures), the shell's \check surface, strict_analysis consulting
+   the shadow trace inside explicit transactions, script-splitter edge
+   cases, the no-blanket-demotion rule for prepared templates, and a
+   QCheck soundness oracle tying trace verdicts to runtime behavior at
+   parallelism 1 and IFDB_TEST_PARALLELISM. *)
+
+module Db = Ifdb_core.Database
+module Lint = Ifdb_core.Lint
+module Errors = Ifdb_core.Errors
+module Diag = Ifdb_analysis.Diag
+module Sqlscript = Ifdb_analysis.Sqlscript
+module Value = Ifdb_rel.Value
+module A = Ifdb_sql.Ast
+
+let par_width =
+  match Sys.getenv_opt "IFDB_TEST_PARALLELISM" with
+  | Some s -> ( try max 1 (int_of_string s) with _ -> 4)
+  | None -> 4
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  ln = 0 || go 0
+
+let has_error code diags =
+  List.exists
+    (fun (d : Diag.t) -> d.Diag.d_code = code && Diag.is_error d)
+    diags
+
+let has_warning code diags =
+  List.exists
+    (fun (d : Diag.t) -> d.Diag.d_code = code && not (Diag.is_error d))
+    diags
+
+(* ------------------------------------------------------------------ *)
+(* Trace-mode lint: one test per cross-statement verdict              *)
+(* ------------------------------------------------------------------ *)
+
+let trace_report script =
+  (Lint.lint_script Lint.trace_mode script).Lint.o_report
+
+let trace_failures script =
+  (Lint.lint_script Lint.trace_mode script).Lint.o_failures
+
+let test_declassify_after_revoke () =
+  let report =
+    trace_report
+      "\\principal mallory\n\\principal owner\n\\newtag sec\n\
+       \\delegate sec mallory\n\\revoke sec mallory\n\\principal mallory\n\
+       PERFORM declassify(sec);\n"
+  in
+  Alcotest.(check bool)
+    "names the verdict" true
+    (contains report "declassify-after-revoke");
+  (* the revoke is the 5th item of the script *)
+  Alcotest.(check bool)
+    "cites the revoking statement" true
+    (contains report "statement 5")
+
+let test_txn_commit_trap_origin () =
+  let report =
+    trace_report
+      "\\principal bob\n\\newtag med\nCREATE TABLE v (k INT);\nBEGIN;\n\
+       INSERT INTO v VALUES (1);\n\\addsecrecy med\nCOMMIT;\n"
+  in
+  Alcotest.(check bool)
+    "txn-commit-trap" true
+    (contains report "txn-commit-trap");
+  Alcotest.(check bool)
+    "cites the writing statement" true
+    (contains report "statement 5")
+
+let test_dead_write () =
+  let dead =
+    "\\principal alice\n\\newtag at\nCREATE TABLE w (k INT);\n\
+     \\principal bobx\n\\newtag bt\n\\principal alice\n\\addsecrecy at\n\
+     \\addsecrecy bt\nINSERT INTO w VALUES (1);\n"
+  in
+  Alcotest.(check bool)
+    "two-owner label nobody holds is dead" true
+    (contains (trace_report dead) "dead-write");
+  (* a later read that can see the rows keeps them alive *)
+  let live = dead ^ "SELECT k FROM w;\n" in
+  Alcotest.(check bool)
+    "a later read keeps the write alive" false
+    (contains (trace_report live) "dead-write");
+  (* a single-owner label escapes through its owner's authority *)
+  let owned =
+    "\\principal alice\n\\newtag at\nCREATE TABLE w (k INT);\n\
+     \\addsecrecy at\nINSERT INTO w VALUES (1);\n"
+  in
+  Alcotest.(check bool)
+    "owner-declassifiable writes are not dead" false
+    (contains (trace_report owned) "dead-write")
+
+let test_stale_prepare () =
+  let stale =
+    "\\principal c\nCREATE TABLE r (a INT);\n\
+     PREPARE g AS SELECT a FROM r;\nCREATE INDEX r_a ON r (a);\n\
+     EXECUTE g;\n"
+  in
+  Alcotest.(check bool)
+    "DDL between PREPARE and first EXECUTE" true
+    (contains (trace_report stale) "stale-prepare");
+  let fresh =
+    "\\principal c\nCREATE TABLE r (a INT);\n\
+     PREPARE g AS SELECT a FROM r;\nEXECUTE g;\n\
+     CREATE INDEX r_a ON r (a);\nEXECUTE g;\n"
+  in
+  Alcotest.(check bool)
+    "first EXECUTE before the DDL is fine" false
+    (contains (trace_report fresh) "stale-prepare")
+
+let test_broken_txn_flow () =
+  (* the doomed statement aborts the transaction: later statements are
+     unreachable-as-transaction warnings, the COMMIT is a predicted
+     runtime error, and a following BEGIN is clean *)
+  let report =
+    trace_report
+      "\\principal d\n\\newtag dt\nCREATE TABLE n (k INT);\n\
+       INSERT INTO n VALUES (1);\n\\addsecrecy dt\nBEGIN;\n\
+       DELETE FROM n;\nINSERT INTO n VALUES (2);\nCOMMIT;\nBEGIN;\n\
+       ROLLBACK;\n"
+  in
+  Alcotest.(check bool) "doomed" true (contains report "doomed-write");
+  Alcotest.(check bool)
+    "unreachable" true
+    (contains report "unreachable-stmt");
+  Alcotest.(check bool)
+    "COMMIT predicted to fail" true
+    (contains report "no open transaction");
+  (* the trailing BEGIN/ROLLBACK after the break are clean: no
+     diagnostics on lines 10-11 *)
+  Alcotest.(check bool) "BEGIN after break clean" false
+    (contains report "line 10");
+  Alcotest.(check int) "no expect failures" 0
+    (List.length
+       (trace_failures
+          "\\principal d\nCREATE TABLE n (k INT);\nBEGIN;\n\
+           INSERT INTO n VALUES (1);\nCOMMIT;\n"))
+
+let test_execute_analyzed_as_bound () =
+  (* EXECUTE re-analyzes the template as the bound statement against
+     the state in force at the EXECUTE, not the PREPARE *)
+  let report =
+    trace_report
+      "\\principal d\n\\newtag dt\nCREATE TABLE n (k INT);\n\
+       INSERT INTO n VALUES (1);\nPREPARE wipe AS DELETE FROM n;\n\
+       \\addsecrecy dt\nEXECUTE wipe;\n"
+  in
+  (* clean at PREPARE time (label still empty), doomed at EXECUTE *)
+  Alcotest.(check bool)
+    "doomed at EXECUTE" true
+    (contains report "line 7")
+
+(* ------------------------------------------------------------------ *)
+(* check_script (the shell's \check) and strict_analysis in txns      *)
+(* ------------------------------------------------------------------ *)
+
+let test_check_script_midtxn () =
+  let db = Db.create () in
+  let admin = Db.connect_admin db in
+  let owner = Db.create_principal admin ~name:"o" in
+  let s = Db.connect db ~principal:owner in
+  let ta = Db.create_tag s ~name:"ta" () in
+  ignore (Db.exec admin "CREATE TABLE w (k INT)");
+  ignore (Db.exec s "BEGIN");
+  ignore (Db.exec s "INSERT INTO w VALUES (1)");
+  Db.add_secrecy s ta;
+  (* \check sees the live open transaction's write set: committing now
+     is a predicted trap, and nothing was executed by the check *)
+  let items = Db.check_script s "COMMIT;" in
+  Alcotest.(check int) "one item" 1 (List.length items);
+  let it = List.hd items in
+  Alcotest.(check bool)
+    "commit trap against the live write set" true
+    (has_error Diag.Txn_commit_trap it.Db.ck_diags);
+  (* the session is untouched: the transaction is still open and the
+     runtime then fails exactly as predicted *)
+  (match Db.exec s "COMMIT" with
+  | _ -> Alcotest.fail "runtime COMMIT should fail as predicted"
+  | exception Errors.Flow_violation _ -> ());
+  (* multi-statement input: per-item indices and lines *)
+  let items =
+    Db.check_script s "SELECT k FROM w;\nSELECT k FROM missing;"
+  in
+  Alcotest.(check int) "two items" 2 (List.length items);
+  let second = List.nth items 1 in
+  Alcotest.(check int) "index" 2 second.Db.ck_index;
+  Alcotest.(check int) "line" 2 second.Db.ck_line;
+  Alcotest.(check bool)
+    "unknown table" true
+    (second.Db.ck_diags <> [])
+
+let test_strict_analysis_txn () =
+  let db = Db.create ~strict_analysis:true () in
+  let admin = Db.connect_admin db in
+  let owner = Db.create_principal admin ~name:"o" in
+  let s = Db.connect db ~principal:owner in
+  let ta = Db.create_tag s ~name:"ta" () in
+  ignore (Db.exec admin "CREATE TABLE w (k INT)");
+  ignore (Db.exec s "BEGIN");
+  ignore (Db.exec s "INSERT INTO w VALUES (1)");
+  Db.add_secrecy s ta;
+  match Db.exec s "COMMIT" with
+  | _ -> Alcotest.fail "strict COMMIT should raise before executing"
+  | exception Errors.Flow_violation m ->
+      Alcotest.(check bool)
+        "verdict names the trap" true
+        (contains m "commit-trap");
+      Alcotest.(check bool)
+        "cites the writing statement of the transaction" true
+        (contains m "statement 1")
+
+(* ------------------------------------------------------------------ *)
+(* Script splitter edge cases                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_split_edges () =
+  let split = Sqlscript.split_script in
+  (* semicolon inside a string literal does not terminate; trailing
+     unterminated statement still emits *)
+  let items = split "INSERT INTO t VALUES ('a;b');SELECT 1" in
+  Alcotest.(check int) "literal ; kept" 2 (List.length items);
+  Alcotest.(check bool)
+    "literal intact" true
+    (contains (List.hd items).Sqlscript.it_text "'a;b'");
+  Alcotest.(check string)
+    "trailing statement" "SELECT 1"
+    (List.nth items 1).Sqlscript.it_text;
+  (* -- comment hides its semicolon *)
+  let items = split "SELECT 1 -- not; two\n+ 2;" in
+  Alcotest.(check int) "line comment" 1 (List.length items);
+  Alcotest.(check bool)
+    "comment text dropped" false
+    (contains (List.hd items).Sqlscript.it_text "not");
+  (* block comment spans lines, hides semicolons, keeps line counts *)
+  let items = split "/* ; \n ; */\nSELECT 9;" in
+  Alcotest.(check int) "block comment" 1 (List.length items);
+  Alcotest.(check int)
+    "line numbering across block comment" 3
+    (List.hd items).Sqlscript.it_line;
+  (* CRLF line endings *)
+  let items = split "SELECT 1;\r\nSELECT 2;\r\n" in
+  Alcotest.(check int) "crlf items" 2 (List.length items);
+  Alcotest.(check int) "crlf line" 2 (List.nth items 1).Sqlscript.it_line;
+  (* a one-line meta command mid-transaction, no semicolon *)
+  let items = split "BEGIN;\n\\addsecrecy ta\nCOMMIT;" in
+  Alcotest.(check int) "meta splits" 3 (List.length items);
+  (match (List.nth items 1).Sqlscript.it_kind with
+  | Sqlscript.Meta ("addsecrecy", [ "ta" ]) -> ()
+  | _ -> Alcotest.fail "meta not recognized");
+  (* scoped expects keep their mode prefix *)
+  let items =
+    split "-- lint: expect-trace dead-write\nINSERT INTO t VALUES (1);"
+  in
+  Alcotest.(check (list string))
+    "scoped expect" [ "trace:dead-write" ]
+    (List.hd items).Sqlscript.it_expects;
+  (* bind directive *)
+  Alcotest.(check (option string))
+    "bind directive" (Some "<1,alice>")
+    (Sqlscript.bind_directive "-- lint: bind <1,alice>\nSELECT $1;");
+  Alcotest.(check (option string))
+    "no directive" None
+    (Sqlscript.bind_directive "SELECT 1;");
+  match Array.to_list (Lint.parse_bindings "<1,alice>") with
+  | [ Value.Int 1; Value.Text "alice" ] -> ()
+  | _ -> Alcotest.fail "parse_bindings"
+
+(* ------------------------------------------------------------------ *)
+(* Prepared templates: Errors only on parameter-free evidence         *)
+(* ------------------------------------------------------------------ *)
+
+let test_prepare_no_blanket_demotion () =
+  let db = Db.create () in
+  let admin = Db.connect_admin db in
+  let owner = Db.create_principal admin ~name:"o" in
+  let s = Db.connect db ~principal:owner in
+  let ta = Db.create_tag s ~name:"ta" () in
+  ignore (Db.exec admin "CREATE TABLE t (k INT)");
+  ignore (Db.exec admin "INSERT INTO t VALUES (1)");
+  Db.add_secrecy s ta;
+  (* parameter-free template: the verdict holds for every binding and
+     must stay an Error *)
+  let diags = Db.analyze s "PREPARE pf AS DELETE FROM t" in
+  Alcotest.(check bool)
+    "param-free doomed template is an Error" true
+    (has_error Diag.Doomed_write diags);
+  (* a $n in the predicate makes the verdict binding-dependent *)
+  let diags = Db.analyze s "PREPARE pw AS DELETE FROM t WHERE k = $1" in
+  Alcotest.(check bool)
+    "parameterized predicate demotes to Warning" true
+    (has_warning Diag.Doomed_write diags);
+  Alcotest.(check bool)
+    "and is not an Error" false
+    (has_error Diag.Doomed_write diags)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck soundness: trace verdicts vs the runtime                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Deterministic universe: owner owns ta/tb, bob holds a delegation
+   for ta, u(k) is constraint-free with one committed public row.
+   Traces are pure SQL run on bob's session, so the symbolic trace and
+   the replay see the same initial state. *)
+let pool =
+  [|
+    "BEGIN";
+    "COMMIT";
+    "ROLLBACK";
+    "INSERT INTO u VALUES (1)";
+    "DELETE FROM u";
+    "UPDATE u SET k = 0";
+    "SELECT k FROM u";
+    "PERFORM addsecrecy(ta)";
+    "PERFORM declassify(ta)";
+    "PERFORM declassify(tb)";
+    "PERFORM delegate(ta, bob)";
+    "PERFORM revoke(ta, bob)";
+    "PREPARE p AS DELETE FROM u";
+    "EXECUTE p";
+  |]
+
+let build_universe ~parallelism =
+  let db = Db.create ~parallelism () in
+  let admin = Db.connect_admin db in
+  let owner = Db.create_principal admin ~name:"owner" in
+  let bob = Db.create_principal admin ~name:"bob" in
+  let os = Db.connect db ~principal:owner in
+  let ta = Db.create_tag os ~name:"ta" () in
+  ignore (Db.create_tag os ~name:"tb" ());
+  Db.delegate os ~tag:ta ~grantee:bob;
+  ignore (Db.exec admin "CREATE TABLE u (k INT)");
+  ignore (Db.exec admin "INSERT INTO u VALUES (7)");
+  (db, bob)
+
+let flow_codes =
+  [
+    Diag.Doomed_write; Diag.Commit_trap; Diag.Txn_commit_trap; Diag.Fk_leak;
+    Diag.Vacuous_query; Diag.Dead_write;
+  ]
+
+let auth_codes = [ Diag.Overbroad_declassify; Diag.Declassify_after_revoke ]
+
+(* Does the raised exception match the failure class some Error
+   verdict predicts?  runtime-error (and any other code) predicts
+   failure without pinning the class. *)
+let exn_predicted errors exn =
+  List.exists
+    (fun (d : Diag.t) ->
+      let c = d.Diag.d_code in
+      if List.mem c flow_codes then
+        match exn with Errors.Flow_violation _ -> true | _ -> false
+      else if List.mem c auth_codes then
+        match exn with Errors.Authority_required _ -> true | _ -> false
+      else if c = Diag.Name_error then
+        match exn with Errors.Sql_error _ -> true | _ -> false
+      else true)
+    errors
+
+let soundness_prop ~parallelism idxs =
+  let sqls = List.map (fun i -> pool.(i mod Array.length pool)) idxs in
+  let db, bob = build_universe ~parallelism in
+  let sess = Db.connect db ~principal:bob in
+  (* phase 1: symbolic trace over the whole script — nothing executes *)
+  let ts = Db.trace_begin sess in
+  let per_stmt =
+    List.map
+      (fun sql ->
+        match Ifdb_sql.Parser.parse sql with
+        | [ stmt ] -> (stmt, Db.trace_stmt sess ts stmt)
+        | _ -> assert false)
+      sqls
+  in
+  let finals = Db.trace_finish sess ts in
+  (* phase 2: the same session replays the script for real *)
+  let ok = ref true in
+  List.iteri
+    (fun i (stmt, diags) ->
+      let idx = i + 1 in
+      let diags =
+        diags @ Option.value ~default:[] (List.assoc_opt idx finals)
+      in
+      let errors = List.filter Diag.is_error diags in
+      let predicted_fail =
+        match stmt with
+        | A.S_prepare _ ->
+            (* body Errors are reported but PREPARE itself succeeds;
+               only its own runtime failures (duplicate name, nested
+               PREPARE/EXECUTE) are fatal *)
+            List.exists
+              (fun (d : Diag.t) -> d.Diag.d_code = Diag.Runtime_error)
+              errors
+        | _ -> errors <> []
+      in
+      let may_trap =
+        List.exists
+          (fun (d : Diag.t) ->
+            List.mem d.Diag.d_code (flow_codes @ auth_codes))
+          diags
+      in
+      match Db.exec sess (List.nth sqls i) with
+      | _ -> if predicted_fail then ok := false
+      | exception
+          (( Errors.Flow_violation _ | Errors.Authority_required _
+           | Errors.Constraint_violation _ | Errors.Sql_error _ ) as e) ->
+          if predicted_fail then begin
+            if not (exn_predicted errors e) then ok := false
+          end
+          else (
+            (* soundness direction 2: a statement with no flow- or
+               authority-coded verdict at any severity must not trip
+               the IFC rules at runtime *)
+            match e with
+            | Errors.Flow_violation _ | Errors.Authority_required _ ->
+                if not may_trap then ok := false
+            | _ -> ()))
+    per_stmt;
+  !ok
+
+let soundness ~parallelism ~count name =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count ~name
+       (QCheck.make
+          ~print:(fun idxs ->
+            String.concat "; "
+              (List.map (fun i -> pool.(i mod Array.length pool)) idxs))
+          QCheck.Gen.(
+            list_size (int_range 1 12) (int_bound (Array.length pool - 1))))
+       (soundness_prop ~parallelism))
+
+let suites =
+  [
+    ( "trace analysis",
+      [
+        Alcotest.test_case "declassify-after-revoke" `Quick
+          test_declassify_after_revoke;
+        Alcotest.test_case "txn-commit-trap cites origin" `Quick
+          test_txn_commit_trap_origin;
+        Alcotest.test_case "dead-write" `Quick test_dead_write;
+        Alcotest.test_case "stale-prepare" `Quick test_stale_prepare;
+        Alcotest.test_case "broken transaction flow" `Quick
+          test_broken_txn_flow;
+        Alcotest.test_case "EXECUTE analyzed as bound statement" `Quick
+          test_execute_analyzed_as_bound;
+        Alcotest.test_case "check_script mid-transaction" `Quick
+          test_check_script_midtxn;
+        Alcotest.test_case "strict_analysis inside explicit txn" `Quick
+          test_strict_analysis_txn;
+        Alcotest.test_case "script splitter edge cases" `Quick
+          test_split_edges;
+        Alcotest.test_case "prepared templates: no blanket demotion" `Quick
+          test_prepare_no_blanket_demotion;
+        soundness ~parallelism:1 ~count:80
+          "trace soundness: verdicts match runtime (serial)";
+        soundness ~parallelism:par_width ~count:30
+          "trace soundness: verdicts match runtime (parallel)";
+      ] );
+  ]
