@@ -20,6 +20,7 @@ module Value = Ifdb_rel.Value
 module Tuple = Ifdb_rel.Tuple
 module Buffer_pool = Ifdb_storage.Buffer_pool
 module Wal = Ifdb_storage.Wal
+module Span = Ifdb_obs.Span
 module Rng = Ifdb_workload.Rng
 module Gps = Ifdb_workload.Gps
 module Cweb = Ifdb_workload.Cartel_web
@@ -74,6 +75,9 @@ let last_steals = ref 0.0
 let metrics_json ?txns db =
   let snap = Db.metrics_snapshot db in
   let v name = Option.value (List.assoc_opt name snap) ~default:0.0 in
+  (* statement-latency quantiles, interpolated from the histogram
+     buckets; null while the histogram is empty *)
+  let q name = Option.value (List.assoc_opt name snap) ~default:Float.nan in
   let hits = v "ifdb_flow_memo_hits_total" in
   let checks = hits +. v "ifdb_flow_memo_misses_total" in
   let fsyncs = v "ifdb_wal_fsyncs_total" in
@@ -82,7 +86,9 @@ let metrics_json ?txns db =
   last_steals := steals;
   Printf.sprintf
     "{\"flow_checks\": %s, \"memo_hit_rate\": %s, \"fsyncs\": %s, \
-     \"fsyncs_per_txn\": %s, \"morsels_stolen\": %s}"
+     \"fsyncs_per_txn\": %s, \"morsels_stolen\": %s, \
+     \"stmt_seconds_p50\": %s, \"stmt_seconds_p95\": %s, \
+     \"stmt_seconds_p99\": %s}"
     (jfloat checks)
     (jfloat (if checks = 0.0 then Float.nan else hits /. checks))
     (jfloat fsyncs)
@@ -91,6 +97,9 @@ let metrics_json ?txns db =
        | Some n when n > 0 -> fsyncs /. float_of_int n
        | _ -> Float.nan))
     (jfloat stolen)
+    (jfloat (q "ifdb_statement_seconds_p50"))
+    (jfloat (q "ifdb_statement_seconds_p95"))
+    (jfloat (q "ifdb_statement_seconds_p99"))
 
 (* simulated seconds accumulated in a database's pool + wal *)
 let db_io_s db =
@@ -343,8 +352,10 @@ let sensor () =
 (* ------------------------------------------------------------------ *)
 
 let fig6_point ?(parallelism = 1) ?(commit_batch = 1) ?(prepared = false)
-    ~tags ~capacity_pages ~txns ~config ~reps () =
-  let db = Db.create ~capacity_pages ~parallelism ~commit_batch () in
+    ?(trace_sample = 0) ~tags ~capacity_pages ~txns ~config ~reps () =
+  let db =
+    Db.create ~capacity_pages ~parallelism ~commit_batch ~trace_sample ()
+  in
   let admin = Db.connect_admin db in
   let bench_p = Db.create_principal admin ~name:"bench" in
   let s = Db.connect db ~principal:bench_p in
@@ -1535,6 +1546,153 @@ let prepared_bench () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Span tracing: sampled-off overhead + commit-path wait attribution   *)
+(* ------------------------------------------------------------------ *)
+
+(* --trace-out PATH: where the spans experiment writes its TPC-C
+   Chrome trace export (loadable in chrome://tracing / Perfetto). *)
+let trace_out : string option ref = ref None
+
+let spans_bench () =
+  hr "Span tracing: sampled-off overhead and commit-path breakdown";
+  (* same workload shape as prepared_micro, so us_sample_off is
+     directly comparable to earlier BENCH_PR*.json prepared numbers
+     (scripts/check_bench_trend.py does that comparison) *)
+  let rows = if !quick then 500 else 1000 in
+  let reps = if !quick then 1_500 else 8_000 in
+  let setup ~trace_sample =
+    let db = Db.create ~trace_sample () in
+    let admin = Db.connect_admin db in
+    let p = Db.create_principal admin ~name:"bench" in
+    let s = Db.connect db ~principal:p in
+    let t1 = Db.create_tag s ~name:"u1" () in
+    let t2 = Db.create_tag s ~name:"u2" () in
+    Db.add_secrecy s t1;
+    Db.add_secrecy s t2;
+    ignore (Db.exec s "CREATE TABLE pt (k INT PRIMARY KEY, v INT)");
+    ignore (Db.exec s "BEGIN");
+    for i = 1 to rows do
+      ignore (Db.exec s (Printf.sprintf "INSERT INTO pt VALUES (%d, %d)" i i))
+    done;
+    ignore (Db.exec s "COMMIT");
+    ignore
+      (Db.exec s
+         "PREPARE pq AS SELECT k, v, k + v, v * 2 FROM pt WHERE k = $1 AND v \
+          >= 0 AND v < 1000000 AND k > 0");
+    (db, s)
+  in
+  let _off_db, off_s = setup ~trace_sample:0 in
+  let on_db, on_s = setup ~trace_sample:32 in
+  let arg = [ Value.Int 500 ] in
+  let modes =
+    [|
+      (fun () -> ignore (Db.execute_prepared off_s "pq" arg));
+      (fun () -> ignore (Db.execute_prepared on_s "pq" arg));
+    |]
+  in
+  Array.iter (fun f -> f ()) modes;
+  let best = Array.make 2 infinity in
+  for _ = 1 to 5 do
+    Array.iteri
+      (fun i f ->
+        Gc.full_major ();
+        let t0 = now () in
+        for _ = 1 to reps do
+          f ()
+        done;
+        best.(i) <-
+          Float.min best.(i) ((now () -. t0) /. float_of_int reps *. 1e6))
+      modes
+  done;
+  let us_off = best.(0) and us_on = best.(1) in
+  let overhead_on = (us_on /. us_off -. 1.0) *. 100.0 in
+  Printf.printf
+    "prepared point SELECT, %d reps (best of 5):\n\
+     %-34s %10.2f us/op\n%-34s %10.2f us/op (%+.1f%%)\n"
+    reps "sampling off (trace_sample=0)" us_off
+    "sampling 1/32 (trace_sample=32)" us_on overhead_on;
+  Printf.printf
+    "sampled-off path cost: one atomic fetch-and-add per statement, no \
+     clock reads; cross-PR <=5%% check against the pre-span baseline runs \
+     in scripts/check_bench_trend.py\n";
+  Printf.printf "sampled %d statement(s) into the on-run's ring\n"
+    (Span.count (Db.spans on_db));
+  record_json
+    [
+      ("workload", jstr "spans_micro");
+      ("rows", jint rows);
+      ("reps", jint reps);
+      ("us_sample_off", jfloat us_off);
+      ("us_sample_on", jfloat us_on);
+      ("overhead_sampled_on_pct", jfloat overhead_on);
+      ("sampled_records", jint (Span.count (Db.spans on_db)));
+    ];
+  (* --- TPC-C prepared run with sampling on: where does commit time
+     go?  The span ring answers with real wait attribution. *)
+  let txns = if !quick then 300 else 1500 in
+  let config =
+    { Tpcc.warehouses = 2; districts = 4; customers = 60; items = 400 }
+  in
+  let notpm, pdb =
+    fig6_point ~prepared:true ~trace_sample:20 ~tags:2 ~capacity_pages:None
+      ~txns ~config ~reps:2 ()
+  in
+  let sp = Db.spans pdb in
+  let records = Span.recent sp (Span.capacity sp) in
+  (* aggregate the per-record phase summaries over the whole ring *)
+  let agg : (string, int * int) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (phase, count, ns) ->
+          match Hashtbl.find_opt agg phase with
+          | Some (c, t) -> Hashtbl.replace agg phase (c + count, t + ns)
+          | None ->
+              order := phase :: !order;
+              Hashtbl.add agg phase (count, ns))
+        (Span.summary r))
+    records;
+  let phases = List.rev !order in
+  Printf.printf
+    "\nTPC-C prepared, tags=2, %d txns, sampling 1/20: %.0f NOTPM, %d \
+     sampled statement(s)\n"
+    txns notpm (List.length records);
+  List.iter
+    (fun phase ->
+      let count, ns = Hashtbl.find agg phase in
+      Printf.printf "  %-14s %6d span(s) %12.3f ms total\n" phase count
+        (float_of_int ns /. 1e6))
+    phases;
+  let breakdown =
+    "{"
+    ^ String.concat ", "
+        (List.map
+           (fun phase ->
+             let _, ns = Hashtbl.find agg phase in
+             Printf.sprintf "%S: %s" phase (jint ns))
+           phases)
+    ^ "}"
+  in
+  (match !trace_out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Span.to_chrome_json records);
+      close_out oc;
+      Printf.printf "wrote Chrome trace export to %s\n" path);
+  record_json
+    [
+      ("workload", jstr "spans_tpcc");
+      ("tags", jint 2);
+      ("txns", jint txns);
+      ("notpm", jfloat notpm);
+      ("sampled_records", jint (List.length records));
+      ("commit_breakdown_ns", breakdown);
+      ("metrics", metrics_json ~txns pdb);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Microbenchmarks (bechamel)                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1595,7 +1753,8 @@ let micro () =
 
 let all =
   [ "fig3"; "fig4"; "fig5"; "sensor"; "fig6"; "ablations"; "labelcache";
-    "parallel"; "partition"; "writepath"; "views"; "obs"; "prepared"; "micro" ]
+    "parallel"; "partition"; "writepath"; "views"; "obs"; "prepared"; "spans";
+    "micro" ]
 
 let run_one = function
   | "fig3" -> fig3 ()
@@ -1611,6 +1770,7 @@ let run_one = function
   | "views" -> views ()
   | "obs" -> ablation_metrics ()
   | "prepared" -> prepared_bench ()
+  | "spans" -> spans_bench ()
   | "micro" -> micro ()
   | other ->
       Printf.eprintf "unknown experiment %S (known: %s)\n" other
@@ -1628,6 +1788,12 @@ let () =
         parse acc rest
     | [ "--json" ] ->
         Printf.eprintf "--json requires a path\n";
+        exit 1
+    | "--trace-out" :: path :: rest ->
+        trace_out := Some path;
+        parse acc rest
+    | [ "--trace-out" ] ->
+        Printf.eprintf "--trace-out requires a path\n";
         exit 1
     | a :: rest -> parse (a :: acc) rest
   in

@@ -26,7 +26,12 @@
      \wal                    WAL and group-commit statistics
      \metrics [reset]        metrics registry in Prometheus text format
      \explain [analyze] SQL  plan tree / traced execution report
-     \slow [N]               recent slow queries (enable with --slow-ms)
+     \slow [N]               recent slow queries (enable with --slow-ms);
+                             span-sampled entries include a phase breakdown
+     \spans [N]              recent sampled statement span trees
+                             (enable with --trace-sample)
+     \trace-out FILE         write sampled spans as Chrome trace-event
+                             JSON (chrome://tracing, Perfetto)
      \prepared               this session's prepared statements
      \audit [N]              recent IFC audit events
      \dump [TABLE]           label-preserving SQL dump (pg_dump analogue)
@@ -42,6 +47,7 @@ module Tuple = Ifdb_rel.Tuple
 module Schema = Ifdb_rel.Schema
 module Catalog = Ifdb_engine.Catalog
 module Trace = Ifdb_obs.Trace
+module Span = Ifdb_obs.Span
 module Audit = Ifdb_obs.Audit
 
 type state = {
@@ -346,8 +352,53 @@ let run_command st line =
             (fun e ->
               Printf.printf "#%d  %.3f ms  %d row(s)  %s\n" e.Trace.sq_seq
                 (float_of_int e.Trace.sq_ns /. 1e6)
-                e.Trace.sq_rows e.Trace.sq_sql)
+                e.Trace.sq_rows e.Trace.sq_sql;
+              (* span-sampled entry: phase breakdown from its record,
+                 if the span ring still holds it *)
+              if e.Trace.sq_trace >= 0 then
+                match Span.find (Db.spans st.db) e.Trace.sq_trace with
+                | None -> Printf.printf "    (trace %d evicted)\n" e.Trace.sq_trace
+                | Some r ->
+                    List.iter
+                      (fun (phase, count, ns) ->
+                        Printf.printf "    %-14s %5d span(s)  %8.3f ms\n" phase
+                          count
+                          (float_of_int ns /. 1e6))
+                      (Span.summary r))
             entries)
+  | "\\spans" :: rest -> (
+      let n =
+        match rest with
+        | [ n ] -> Option.value (int_of_string_opt n) ~default:5
+        | _ -> 5
+      in
+      let sp = Db.spans st.db in
+      match Span.recent sp n with
+      | [] ->
+          print_endline
+            "span ring is empty (enable sampling with --trace-sample)"
+      | records ->
+          List.iter
+            (fun r ->
+              Printf.printf "trace %d  (%.3f ms total)\n" r.Span.r_id
+                (float_of_int (Span.duration_ns r) /. 1e6);
+              List.iter (fun l -> print_endline ("  " ^ l)) (Span.render r))
+            records;
+          Printf.printf "(%d sampled statement%s recorded in total)\n"
+            (Span.count sp)
+            (if Span.count sp = 1 then "" else "s"))
+  | [ "\\trace-out"; file ] -> (
+      let sp = Db.spans st.db in
+      match Span.recent sp (Span.capacity sp) with
+      | [] ->
+          print_endline
+            "span ring is empty (enable sampling with --trace-sample)"
+      | records ->
+          Out_channel.with_open_text file (fun oc ->
+              Out_channel.output_string oc (Span.to_chrome_json records));
+          Printf.printf
+            "wrote %d trace(s) to %s (load in chrome://tracing or Perfetto)\n"
+            (List.length records) file)
   | [ "\\prepared" ] -> (
       match Db.prepared_statements st.session with
       | [] -> print_endline "no prepared statements"
@@ -380,8 +431,11 @@ let run_command st line =
   | cmd :: _ -> Printf.printf "unknown command %s\n" cmd
   | [] -> ()
 
-let repl ~ifc ~parallelism ~commit_batch ~slow_ms =
-  let db = Db.create ~ifc ~parallelism ~commit_batch ?slow_query_ms:slow_ms () in
+let repl ~ifc ~parallelism ~commit_batch ~slow_ms ~trace_sample =
+  let db =
+    Db.create ~ifc ~parallelism ~commit_batch ?slow_query_ms:slow_ms
+      ~trace_sample ()
+  in
   let admin = Db.connect_admin db in
   let interactive = Unix.isatty Unix.stdin in
   let input ~prompt =
@@ -443,13 +497,22 @@ let slow_ms =
           "Slow-query threshold in milliseconds: statements at or above it \
            land in the \\\\slow ring buffer.  Unset disables the log.")
 
+let trace_sample =
+  Arg.(
+    value & opt int 0
+    & info [ "trace-sample" ]
+        ~doc:
+          "Span-sample every Nth statement into the \\\\spans ring \
+           (1 = every statement, 0 = off).  Export with \\\\trace-out.")
+
 let cmd =
   let doc = "interactive shell over the IFDB engine" in
   Cmd.v
     (Cmd.info "ifdb_shell" ~doc)
     Term.(
-      const (fun no_ifc parallelism commit_batch slow_ms ->
-          repl ~ifc:(not no_ifc) ~parallelism ~commit_batch ~slow_ms)
-      $ no_ifc $ parallelism $ commit_batch $ slow_ms)
+      const (fun no_ifc parallelism commit_batch slow_ms trace_sample ->
+          repl ~ifc:(not no_ifc) ~parallelism ~commit_batch ~slow_ms
+            ~trace_sample)
+      $ no_ifc $ parallelism $ commit_batch $ slow_ms $ trace_sample)
 
 let () = exit (Cmd.eval cmd)

@@ -28,6 +28,7 @@ module Interval = Ifdb_analysis.Interval
 module Diag = Ifdb_analysis.Diag
 module Metrics = Ifdb_obs.Metrics
 module Trace = Ifdb_obs.Trace
+module Span = Ifdb_obs.Span
 module Audit = Ifdb_obs.Audit
 module Group_commit = Ifdb_txn.Group_commit
 
@@ -149,6 +150,10 @@ and t = {
   slow_ns : int;
       (* statements at/above this duration land in the slow-query log;
          [max_int] disables the log (and its clock reads) entirely *)
+  spans : Span.t;
+      (* statement-lifecycle span recorder; sampling off by default
+         ([trace_sample = 0]), in which case the statement path costs
+         one atomic read and no clock *)
   plan_cache_on : bool;
   pc_mu : Mutex.t;
   pc_alias : (string, string) Hashtbl.t;
@@ -212,6 +217,7 @@ let metrics_prometheus t = Metrics.to_prometheus t.metrics
 let audit_log t = t.audit
 let view_stats t = Ivm.stats t.ivm
 let slow_queries ?(n = 20) t = Trace.slow_log_recent t.slow n
+let spans t = t.spans
 let partitioned t = t.partitioned
 let partitions_pruned t = Atomic.get t.pruned_parts
 
@@ -291,6 +297,37 @@ let stmt_display s (st : A.stmt) =
       | Some sc -> Printf.sprintf "EXECUTE %s AS %s" ex_name sc.sc_text
       | None -> "EXECUTE " ^ ex_name)
   | _ -> Printer.stmt_to_string st
+
+(* What a span may say about a statement: the head keyword only.
+   Statement text never enters a span — a label literal can embed tag
+   names, and span exports must stay label-clean (DESIGN.md §6.10). *)
+let stmt_kind (st : A.stmt) =
+  match st with
+  | A.S_select _ -> "select"
+  | A.S_insert _ -> "insert"
+  | A.S_update _ -> "update"
+  | A.S_delete _ -> "delete"
+  | A.S_begin -> "begin"
+  | A.S_commit -> "commit"
+  | A.S_rollback -> "rollback"
+  | A.S_explain _ -> "explain"
+  | A.S_prepare _ -> "prepare"
+  | A.S_execute _ -> "execute"
+  | A.S_deallocate _ -> "deallocate"
+  | _ -> "ddl"
+
+(* Root-span arguments: statement kind, plus — for EXECUTE — the
+   prepared name and its arguments as [$n] placeholders (never the
+   bound values, same policy as the slow-query log above). *)
+let span_root_args (st : A.stmt) =
+  match st with
+  | A.S_execute { ex_name; ex_args } ->
+      let params =
+        String.concat ","
+          (List.mapi (fun i _ -> "$" ^ string_of_int (i + 1)) ex_args)
+      in
+      [ ("stmt", "execute"); ("prepared", ex_name); ("params", params) ]
+  | _ -> [ ("stmt", stmt_kind st) ]
 
 (* The statement text is rendered only when an event actually fires;
    stamping [s_stmt] per statement is just a pointer write. *)
@@ -1097,6 +1134,11 @@ let do_abort s txn =
   s.s_deferred <- []
 
 let do_commit s txn =
+  (* under a sampled span context the whole commit path is one
+     "commit" span; the manager's lock spans, the group-commit wait,
+     the WAL fsync and the IVM delta application all record themselves
+     while it is open, so they land as its children *)
+  Span.timed "commit" @@ fun () ->
   (* deferred triggers and constraints run first, with their captured
      labels, and may extend the write set *)
   let queued = List.rev s.s_deferred in
@@ -2037,9 +2079,11 @@ let cached_plan s sc (sel : A.select) : Plan.t * string list * bool =
   match hit with
   | Some pe ->
       Metrics.incr db.mx.mx_pc_hits;
+      Span.note "plan_cache" "hit";
       (pe.pe_plan, pe.pe_columns, true)
   | None ->
       Metrics.incr db.mx.mx_pc_misses;
+      Span.note "plan_cache" "miss";
       let plan, columns = Planner.plan_select (pctx s) sel in
       with_cache_lock sc (fun () ->
           Hashtbl.replace sc.sc_plans lid
@@ -2143,6 +2187,48 @@ let explain_analyze_select s sel : string list * result =
           let t0 = Trace.now_ns () in
           let tuples = Executor.run_list (exec_ctx s) plan in
           let total_ns = Trace.now_ns () - t0 in
+          (* attach the operator tree as spans under an "execute"
+             span: per-operator durations are the trace's real
+             figures, but start offsets are synthetic — operators
+             interleave in reality, spans must not overlap — so
+             siblings are packed sequentially and clamped to the
+             window.  Operator names are truncated at the argument
+             list: a full describe can embed filter literals and label
+             strings, which must not enter a span (DESIGN.md §6.10) —
+             the span keeps only the fixed operator vocabulary
+             ("Scan", "Filter", "HashJoin", …). *)
+          (match Span.current () with
+          | None -> ()
+          | Some ctx ->
+              Span.emit ctx "execute" ~t0 ~t1:(t0 + total_ns);
+              let op_head label =
+                match String.index_opt label '(' with
+                | Some i -> String.sub label 0 i
+                | None -> label
+              in
+              let rec place nodes ~depth ~cursor ~limit =
+                match nodes with
+                | [] -> []
+                | n :: _ when n.Trace.n_depth < depth -> nodes
+                | n :: rest when n.Trace.n_depth = depth ->
+                    let s0 = !cursor in
+                    let s1 = min limit (s0 + max 0 n.Trace.n_ns) in
+                    let child_cursor = ref s0 in
+                    let rest =
+                      place rest ~depth:(depth + 1) ~cursor:child_cursor
+                        ~limit:s1
+                    in
+                    Span.emit ctx
+                      ("op:" ^ op_head n.Trace.n_label)
+                      ~args:[ ("rows", string_of_int n.Trace.n_rows) ]
+                      ~t0:s0 ~t1:s1;
+                    cursor := s1;
+                    place rest ~depth ~cursor ~limit
+                | _ :: rest -> place rest ~depth ~cursor ~limit
+              in
+              ignore
+                (place (Trace.nodes tr) ~depth:0 ~cursor:(ref t0)
+                   ~limit:(t0 + total_ns)));
           let fs1 = Label_store.stats db.lstore in
           let hits = fs1.Label_store.flow_hits - fs0.Label_store.flow_hits in
           let misses =
@@ -2218,21 +2304,28 @@ let rec exec_stmt ?cache s (stmt : A.stmt) : result =
   | A.S_select sel ->
       in_statement_txn s (fun _txn ->
           let plan, columns =
-            match cache with
-            | Some sc when sc.sc_cacheable ->
-                let plan, columns, _hit = cached_plan s sc sel in
-                (plan, columns)
-            | _ -> Planner.plan_select (pctx s) sel
+            Span.timed "plan" (fun () ->
+                match cache with
+                | Some sc when sc.sc_cacheable ->
+                    let plan, columns, _hit = cached_plan s sc sel in
+                    (plan, columns)
+                | _ -> Planner.plan_select (pctx s) sel)
           in
           audit_declassify s plan;
-          let tuples = Executor.run_list (exec_ctx s) plan in
+          let tuples =
+            Span.timed "execute" (fun () -> Executor.run_list (exec_ctx s) plan)
+          in
           Rows { columns; tuples })
   | A.S_explain { x_analyze; x_stmt } -> exec_explain s ~analyze:x_analyze x_stmt
-  | A.S_insert _ -> in_statement_txn s (fun txn -> exec_insert s txn stmt)
+  | A.S_insert _ ->
+      in_statement_txn s (fun txn ->
+          Span.timed "execute" (fun () -> exec_insert s txn stmt))
   | A.S_update { u_table; u_sets; u_where } ->
-      in_statement_txn s (fun txn -> exec_update s txn u_table u_sets u_where)
+      in_statement_txn s (fun txn ->
+          Span.timed "execute" (fun () -> exec_update s txn u_table u_sets u_where))
   | A.S_delete { d_table; d_where } ->
-      in_statement_txn s (fun txn -> exec_delete s txn d_table d_where)
+      in_statement_txn s (fun txn ->
+          Span.timed "execute" (fun () -> exec_delete s txn d_table d_where))
   | A.S_create_table { ct_name; ct_columns; ct_constraints } ->
       let schema = schema_of_create (ct_name, ct_columns, ct_constraints) in
       (* referenced tables must exist *)
@@ -2347,15 +2440,43 @@ and exec_execute s ex_name ex_args : result =
    PostgreSQL's "current transaction is aborted" state with the forced
    rollback folded in.  (Implicit transactions already abort inside
    [in_statement_txn].) *)
-let exec_stmt_guarded ?cache s stmt =
+let exec_stmt_guarded ?cache ?parse s stmt =
   let db = s.sdb in
   (* clock reads only when someone will consume them: the latency
      histogram (metrics on) or the slow-query log (threshold set) *)
   let timed = Metrics.enabled db.metrics || db.slow_ns <> max_int in
   let t0 = if timed then Trace.now_ns () else 0 in
+  (* span sampling: one atomic fetch-and-add; when it says no (or
+     sampling is off), [sctx] is [None] and every instrumentation
+     point below reduces to a domain-local load.  A sampled statement
+     gets a "statement" root span — backdated to the start of parsing
+     when [exec] measured it — installed as the domain's ambient
+     context so every layer down to the WAL can attach children. *)
+  let sctx =
+    if Span.sample db.spans then begin
+      let root_t0 =
+        match parse with Some (p0, _) -> p0 | None -> Span.now_ns ()
+      in
+      let ctx =
+        Span.start db.spans ~t0:root_t0 ~args:(span_root_args stmt) "statement"
+      in
+      (match parse with
+      | Some (p0, p1) -> Span.emit ctx "parse" ~t0:p0 ~t1:p1
+      | None -> ());
+      Span.set_current (Some ctx);
+      Some ctx
+    end
+    else None
+  in
   s.s_stmt <- Some stmt;
   Fun.protect
-    ~finally:(fun () -> s.s_stmt <- None)
+    ~finally:(fun () ->
+      s.s_stmt <- None;
+      match sctx with
+      | Some ctx ->
+          Span.set_current None;
+          Span.finish db.spans ctx
+      | None -> ())
     (fun () ->
       try
         (* each statement inside an explicit transaction consumes one
@@ -2363,14 +2484,14 @@ let exec_stmt_guarded ?cache s stmt =
         (match s.s_flow with
         | Some ts -> ignore (Trace_state.next_index ts)
         | None -> ());
-        if db.ifc then begin
-          let diags = analyze_stmt s stmt in
-          s.s_warnings <- diags;
-          if db.strict then
-            match List.find_opt Diag.is_error diags with
-            | Some d -> raise (diag_exn d)
-            | None -> ()
-        end;
+        if db.ifc then
+          Span.timed "analyze" (fun () ->
+              let diags = analyze_stmt s stmt in
+              s.s_warnings <- diags;
+              if db.strict then
+                match List.find_opt Diag.is_error diags with
+                | Some d -> raise (diag_exn d)
+                | None -> ());
         let result = exec_stmt ?cache s stmt in
         (match (s.s_flow, stmt) with
         | Some ts, A.S_insert { i_table; _ } ->
@@ -2395,7 +2516,10 @@ let exec_stmt_guarded ?cache s stmt =
               | Affected n -> n
               | Done _ -> 0
             in
-            Trace.slow_log_add db.slow ~sql:(stmt_display s stmt) ~ns ~rows
+            Trace.slow_log_add db.slow
+              ~trace:
+                (match sctx with Some ctx -> Span.trace_id ctx | None -> -1)
+              ~sql:(stmt_display s stmt) ~ns ~rows
           end
         end;
         result
@@ -2436,13 +2560,23 @@ let exec s sql_text =
              a cold execution of the same text. *)
           exec_stmt_guarded ~cache:sc s sc.sc_stmt
       | None -> (
+          (* parse happens before a span context can exist (sampling
+             is per statement, statements come from parsing), so peek:
+             if the next statement would be sampled, take timestamps
+             now and let the guarded path backdate the root and attach
+             a "parse" span.  Racy across sessions by design — a wrong
+             guess costs two clock reads, never correctness. *)
+          let p0 = if Span.peek db.spans then Span.now_ns () else 0 in
           match Parser.parse sql_text with
           | [ stmt ] ->
+              let parse =
+                if p0 > 0 then Some (p0, Span.now_ns ()) else None
+              in
               let cache =
                 if db.plan_cache_on then implicit_cache_admit db key stmt
                 else None
               in
-              exec_stmt_guarded ?cache s stmt
+              exec_stmt_guarded ?cache ?parse s stmt
           | [] -> Errors.sql "empty statement"
           | _ -> Errors.sql "exec expects a single statement; use exec_script"))
 
@@ -2854,7 +2988,7 @@ let create ?(ifc = true) ?(label_cache = true) ?(isolation = Snapshot)
     ?(parallelism = 1) ?(morsel_size = 1024) ?(commit_batch = 1)
     ?(sync_commit = false) ?(strict_analysis = false) ?(metrics = true)
     ?slow_query_ms ?(audit_wal = false) ?(audit_capacity = 4096)
-    ?(partitioned = true) ?(plan_cache = true) () =
+    ?(partitioned = true) ?(plan_cache = true) ?(trace_sample = 0) () =
   let parallelism = max 1 parallelism in
   let morsel_size = max 16 morsel_size in
   let bp =
@@ -2912,6 +3046,31 @@ let create ?(ifc = true) ?(label_cache = true) ?(isolation = Snapshot)
   let pruned_parts = Atomic.make 0 in
   register_component_metrics reg ~lstore ~bp ~the_wal
     ~gc:(Manager.group_commit mgr) ~audit ~ivm ~cat ~pruned:pruned_parts;
+  (* wait-state instruments (DESIGN.md §6.10 audits each).
+     ifdb_lock_wait_ns_total is a whole-database aggregate over every
+     transaction and label; the wait histograms are fed only by
+     sampled statements (sampled views, like the span ring). *)
+  ignore
+    (Metrics.gauge reg ~kind:`Counter
+       ~help:"cumulative lock acquisition wait (ns, all transactions)"
+       "ifdb_lock_wait_ns_total"
+       (fun () -> float_of_int (Manager.lock_wait_ns mgr)));
+  let wait_buckets =
+    [| 1e-7; 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1 |]
+  in
+  let gc_wait_h =
+    Metrics.histogram reg ~buckets:wait_buckets
+      ~help:"group-commit submit wait in seconds (sampled statements)"
+      "ifdb_group_commit_wait_seconds"
+  in
+  Group_commit.set_wait_observer (Manager.group_commit mgr) (fun sec ->
+      Metrics.observe gc_wait_h sec);
+  let fsync_h =
+    Metrics.histogram reg ~buckets:wait_buckets
+      ~help:"WAL fsync stall in seconds, modeled cost included (sampled)"
+      "ifdb_fsync_stall_seconds"
+  in
+  Wal.set_fsync_observer the_wal (fun sec -> Metrics.observe fsync_h sec);
   let mx =
     {
       mx_statements =
@@ -2982,6 +3141,7 @@ let create ?(ifc = true) ?(label_cache = true) ?(isolation = Snapshot)
         (match slow_query_ms with
         | None -> max_int
         | Some ms -> int_of_float (ms *. 1e6));
+      spans = Span.create ~sample_every:trace_sample ();
       plan_cache_on = plan_cache;
       pc_mu = Mutex.create ();
       pc_alias = Hashtbl.create 64;

@@ -66,6 +66,7 @@ val create :
   ?audit_capacity:int ->
   ?partitioned:bool ->
   ?plan_cache:bool ->
+  ?trace_sample:int ->
   unit ->
   t
 (** Defaults: [ifc:true], [Snapshot] isolation (what the paper's
@@ -134,7 +135,16 @@ val create :
     planned under and silently re-planned when either moves, and
     scan-time label confinement is always re-derived per execution —
     results, labels, audit events and errors are identical with the
-    cache off. *)
+    cache off.
+
+    [trace_sample] (default 0 = off) samples every [n]th statement
+    into the span recorder ({!spans}): the sampled statement's full
+    lifecycle — parse, analyze, plan (with the plan-cache verdict),
+    execute, commit with lock wait/hold, group-commit wait, WAL fsync,
+    morsel scheduling and IVM delta application — is recorded as a
+    span tree, exportable as Chrome trace-event JSON.  Unsampled
+    statements pay one atomic fetch-and-add and no clock reads; see
+    DESIGN.md §6.10. *)
 
 val authority : t -> Authority.t
 
@@ -491,7 +501,15 @@ val explain_analyze : session -> string -> string list * result
 
 val slow_queries : ?n:int -> t -> Ifdb_obs.Trace.slow_entry list
 (** Most recent slow-query entries, newest first (default 20).  Only
-    populated when {!create} was given [slow_query_ms]. *)
+    populated when {!create} was given [slow_query_ms].  When the
+    statement was also span-sampled, the entry's [sq_trace] links to
+    its record in {!spans}. *)
+
+val spans : t -> Ifdb_obs.Span.t
+(** The statement-lifecycle span recorder: a ring of the last 256
+    sampled statements' span trees.  Empty unless {!create} was given
+    [trace_sample > 0].  Render with {!Ifdb_obs.Span.render} or export
+    with {!Ifdb_obs.Span.to_chrome_json}. *)
 
 val view_stats : t -> Ifdb_engine.Ivm.view_stats list
 (** Per-materialized-view maintenance statistics from the IVM

@@ -155,6 +155,42 @@ let parallel_for t ?width ~tasks f =
       | Some w -> max 1 (min w (parallelism t))
       | None -> parallelism t
     in
+    (* Under a sampled span context, each morsel is recorded as a
+       "morsel" span: worker slot, whether a pool worker stole it from
+       the submitting thread, and how long it sat queued between batch
+       publication and being claimed.  Workers inherit the submitting
+       domain's context for the duration of their share, so morsel
+       spans land in the same statement record.  Unsampled batches run
+       [f] untouched — no clock reads, no wrapper. *)
+    let module Span = Ifdb_obs.Span in
+    let f =
+      match Span.current () with
+      | None -> f
+      | Some ctx ->
+          let t_pub = Span.now_ns () in
+          fun ~worker i ->
+            let run () =
+              let t0 = Span.now_ns () in
+              Fun.protect
+                ~finally:(fun () ->
+                  let t1 = Span.now_ns () in
+                  Span.emit ctx "morsel"
+                    ~args:
+                      [
+                        ("worker", string_of_int worker);
+                        ("stolen", if worker = 0 then "false" else "true");
+                        ("queue_ns", string_of_int (max 0 (t0 - t_pub)));
+                      ]
+                    ~t0 ~t1)
+                (fun () -> f ~worker i)
+            in
+            (* the submitting domain already carries the context (and
+               its open-span stack, so morsels nest under the phase
+               that launched the batch); worker domains borrow it *)
+            (match Span.current () with
+            | Some c when c == ctx -> run ()
+            | _ -> Span.with_current (Some ctx) run)
+    in
     if width = 1 || tasks = 1 || t.nworkers = 0 || t.busy then begin
       (* inline: no workers, a single morsel, or a nested call *)
       Atomic.incr stat_batches;

@@ -598,9 +598,14 @@ let invalidate_table t table =
         t.views)
 
 (* Apply one committed transaction's write set: (table, sign, tuple,
-   label id), oldest first. *)
+   label id), oldest first.  Under a sampled span context the whole
+   delta application is one "ivm.delta" span (argument: write count —
+   a size, never tuple content). *)
 let apply t (writes : (string * int * Tuple.t * int) list) =
   if writes <> [] then
+    Ifdb_obs.Span.timed "ivm.delta"
+      ~args:[ ("writes", string_of_int (List.length writes)) ]
+    @@ fun () ->
     with_lock t (fun () ->
         Hashtbl.iter
           (fun _ vw ->

@@ -92,6 +92,41 @@ let histogram_count h =
 
 let histogram_sum h = float_of_int (Atomic.get h.h_sum_ns) /. 1e9
 
+(* Prometheus-style histogram_quantile: find the bucket holding the
+   q-rank observation and interpolate linearly inside it.  The first
+   bucket interpolates from 0; the overflow bucket cannot be
+   interpolated, so it reports the largest finite bound (a lower
+   bound on the true quantile, like PromQL). *)
+let quantile h q =
+  let q = Float.min 1.0 (Float.max 0.0 q) in
+  let counts = Array.map Atomic.get h.h_counts in
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then Float.nan
+  else begin
+    let rank = q *. float_of_int total in
+    let nb = Array.length h.h_bounds in
+    let rec go i cum =
+      if i >= nb then h.h_bounds.(nb - 1)
+      else
+        let cum' = cum + counts.(i) in
+        if float_of_int cum' >= rank then begin
+          let lo = if i = 0 then 0.0 else h.h_bounds.(i - 1) in
+          let hi = h.h_bounds.(i) in
+          if counts.(i) = 0 then hi
+          else
+            lo
+            +. (hi -. lo)
+               *. ((rank -. float_of_int cum) /. float_of_int counts.(i))
+        end
+        else go (i + 1) cum'
+    in
+    go 0 0
+  end
+
+(* The quantiles every surface exports: p50/p95/p99 derived from the
+   fixed buckets. *)
+let export_quantiles = [ ("p50", 0.5); ("p95", 0.95); ("p99", 0.99) ]
+
 let entries t = Mutex.protect t.mu (fun () -> List.rev t.entries)
 
 let snapshot t =
@@ -103,10 +138,11 @@ let snapshot t =
         | Counter c -> [ (e.e_name, float_of_int (counter_value c)) ]
         | Gauge (_, read) -> [ (e.e_name, read ()) ]
         | Histogram h ->
-            [
-              (e.e_name ^ "_count", float_of_int (histogram_count h));
-              (e.e_name ^ "_sum", histogram_sum h);
-            ])
+            (e.e_name ^ "_count", float_of_int (histogram_count h))
+            :: (e.e_name ^ "_sum", histogram_sum h)
+            :: List.map
+                 (fun (tag, q) -> (e.e_name ^ "_" ^ tag, quantile h q))
+                 export_quantiles)
       (entries t)
 
 let float_str v =
@@ -149,7 +185,19 @@ let to_prometheus t =
           Buffer.add_string buf
             (Printf.sprintf "%s_sum %s\n" e.e_name (float_str (histogram_sum h)));
           Buffer.add_string buf
-            (Printf.sprintf "%s_count %d\n" e.e_name !cum))
+            (Printf.sprintf "%s_count %d\n" e.e_name !cum);
+          (* bucket-derived quantiles as companion gauges (Prometheus
+             histograms have no native quantile samples) *)
+          List.iter
+            (fun (tag, q) ->
+              let v = quantile h q in
+              if not (Float.is_nan v) then begin
+                Buffer.add_string buf
+                  (Printf.sprintf "# TYPE %s_%s gauge\n" e.e_name tag);
+                Buffer.add_string buf
+                  (Printf.sprintf "%s_%s %s\n" e.e_name tag (float_str v))
+              end)
+            export_quantiles)
     (entries t);
   Buffer.contents buf
 

@@ -62,15 +62,26 @@ val observe : histogram -> float -> unit
 val histogram_count : histogram -> int
 val histogram_sum : histogram -> float
 
+val quantile : histogram -> float -> float
+(** Estimate the [q]-quantile (0..1) from the buckets, interpolating
+    linearly within the bucket that holds the rank — PromQL's
+    [histogram_quantile].  [nan] when empty; the overflow bucket
+    reports the largest finite bound. *)
+
+val export_quantiles : (string * float) list
+(** The quantiles every export surface derives: [p50]/[p95]/[p99]. *)
+
 val snapshot : t -> (string * float) list
 (** Every metric flattened to [(name, value)], in registration order.
-    Histograms contribute [name_count] and [name_sum].  Empty when the
-    registry is disabled. *)
+    Histograms contribute [name_count], [name_sum] and bucket-derived
+    [name_p50]/[name_p95]/[name_p99] ([nan] while empty).  Empty when
+    the registry is disabled. *)
 
 val to_prometheus : t -> string
 (** Prometheus text exposition: [# HELP]/[# TYPE] comments followed by
     sample lines; histograms expand to cumulative [_bucket{le="..."}]
-    series plus [_sum]/[_count]. *)
+    series plus [_sum]/[_count], followed by companion [_p50]/[_p95]/
+    [_p99] gauges (omitted while the histogram is empty). *)
 
 val reset : t -> unit
 (** Zero every counter and histogram owned by the registry.  Pull

@@ -73,6 +73,8 @@ let wrap_seq node (s : 'a Seq.t) : 'a Seq.t =
   in
   wrap s
 
+let nodes t = List.rev t.nodes
+
 let add_ns node ns = node.n_ns <- node.n_ns + ns
 let add_rows node n = node.n_rows <- node.n_rows + n
 
@@ -160,7 +162,13 @@ let report ?(notes = []) t ~total_ns ~rows ~flow_checks ~flow_hits =
 (* ------------------------------------------------------------------ *)
 (* Slow-query log                                                      *)
 
-type slow_entry = { sq_seq : int; sq_sql : string; sq_ns : int; sq_rows : int }
+type slow_entry = {
+  sq_seq : int;
+  sq_sql : string;
+  sq_ns : int;
+  sq_rows : int;
+  sq_trace : int;
+}
 
 type slow_log = {
   sl_mu : Mutex.t;
@@ -178,9 +186,12 @@ let slow_log_create ?(capacity = 128) () =
     sl_count = 0;
   }
 
-let slow_log_add sl ~sql ~ns ~rows =
+let slow_log_add ?(trace = -1) sl ~sql ~ns ~rows =
   Mutex.protect sl.sl_mu (fun () ->
-      let e = { sq_seq = sl.sl_count; sq_sql = sql; sq_ns = ns; sq_rows = rows } in
+      let e =
+        { sq_seq = sl.sl_count; sq_sql = sql; sq_ns = ns; sq_rows = rows;
+          sq_trace = trace }
+      in
       sl.sl_ring.(sl.sl_count mod sl.sl_cap) <- Some e;
       sl.sl_count <- sl.sl_count + 1)
 

@@ -48,6 +48,11 @@ val enter : t -> string -> node
 val exit_node : t -> node -> unit
 (** Close [node]; must pair with the matching {!enter}. *)
 
+val nodes : t -> node list
+(** Every operator node in enter (depth-first) order — the tree is
+    recoverable from [n_depth].  How the span recorder attaches an
+    [EXPLAIN ANALYZE] operator tree as child spans. *)
+
 val wrap_seq : node -> 'a Seq.t -> 'a Seq.t
 (** Time every pull of the sequence into [node.n_ns] and count yielded
     elements into [node.n_rows]. *)
@@ -84,6 +89,10 @@ type slow_entry = {
   sq_sql : string;
   sq_ns : int;
   sq_rows : int;
+  sq_trace : int;
+      (** span trace id when the statement was also sampled by the
+          span recorder ([Span.find] resolves it while it stays in the
+          ring); [-1] otherwise *)
 }
 
 type slow_log
@@ -91,7 +100,8 @@ type slow_log
 val slow_log_create : ?capacity:int -> unit -> slow_log
 (** Ring buffer of the most recent slow statements; default capacity 128. *)
 
-val slow_log_add : slow_log -> sql:string -> ns:int -> rows:int -> unit
+val slow_log_add :
+  ?trace:int -> slow_log -> sql:string -> ns:int -> rows:int -> unit
 val slow_log_recent : slow_log -> int -> slow_entry list
 (** The last [n] entries, newest first. *)
 

@@ -18,6 +18,10 @@ type t = {
   mutable bytes : int;
   mutable fsyncs : int;
   mutable io_ns : int;
+  mutable on_fsync : float -> unit;
+      (* fsync-stall observer (seconds, modeled cost included); called
+         only for fsyncs issued under a sampled span context, so the
+         unsampled path never reads a clock here *)
 }
 
 let keep = 1024
@@ -32,7 +36,10 @@ let create ?(fsync_cost_ns = 200_000) () =
     bytes = 0;
     fsyncs = 0;
     io_ns = 0;
+    on_fsync = ignore;
   }
+
+let set_fsync_observer t f = t.on_fsync <- f
 
 let record_bytes = function
   | Begin _ | Commit _ | Abort _ | Checkpoint -> 16
@@ -65,10 +72,26 @@ let append_batch t rs =
      is per record, identical to [List.iter (append t)] *)
   Mutex.protect t.mu (fun () -> List.iter (append_locked t) rs)
 
+let fsync_locked t =
+  t.fsyncs <- t.fsyncs + 1;
+  t.io_ns <- t.io_ns + t.fsync_cost_ns
+
+(* The stall a real disk would charge is the {e modeled} cost; the
+   wall-clock part is just mutex + counters.  Under a sampled span
+   context the fsync becomes a "wal.fsync" span (real wall time, with
+   the modeled cost as an argument) and feeds the stall observer with
+   wall + modeled seconds; otherwise this path reads no clock. *)
 let fsync t =
-  Mutex.protect t.mu (fun () ->
-      t.fsyncs <- t.fsyncs + 1;
-      t.io_ns <- t.io_ns + t.fsync_cost_ns)
+  match Ifdb_obs.Span.current () with
+  | None -> Mutex.protect t.mu (fun () -> fsync_locked t)
+  | Some ctx ->
+      let t0 = Ifdb_obs.Span.now_ns () in
+      Mutex.protect t.mu (fun () -> fsync_locked t);
+      let t1 = Ifdb_obs.Span.now_ns () in
+      Ifdb_obs.Span.emit ctx "wal.fsync"
+        ~args:[ ("modeled_ns", string_of_int t.fsync_cost_ns) ]
+        ~t0 ~t1;
+      t.on_fsync (float_of_int (t1 - t0 + t.fsync_cost_ns) /. 1e9)
 
 let stats t =
   Mutex.protect t.mu (fun () ->

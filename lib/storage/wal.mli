@@ -44,7 +44,16 @@ val append_batch : t -> record list -> unit
 
 val fsync : t -> unit
 (** Force the log; called at commit (possibly once for a whole batch of
-    coalesced commits). *)
+    coalesced commits).  When the calling domain carries a sampled
+    {!Ifdb_obs.Span} context, the fsync is recorded as a ["wal.fsync"]
+    span and reported to the observer below; otherwise no clock is
+    read. *)
+
+val set_fsync_observer : t -> (float -> unit) -> unit
+(** Observer for fsync stalls, in seconds (wall time plus the modeled
+    cost).  Only invoked for fsyncs issued under a sampled span
+    context — a sampled view, like the span ring itself.  The database
+    points this at its [ifdb_fsync_stall_seconds] histogram. *)
 
 val stats : t -> stats
 val reset_stats : t -> unit

@@ -1,4 +1,5 @@
 module Wal = Ifdb_storage.Wal
+module Span = Ifdb_obs.Span
 
 type stats = {
   gc_submitted : int;
@@ -18,6 +19,10 @@ type t = {
   mutable submitted : int;
   mutable batches : int;
   mutable max_batch : int;
+  mutable on_wait : float -> unit;
+      (* group-commit wait observer (seconds spent inside [submit]);
+         called only under a sampled span context, so the unsampled
+         path never reads a clock *)
 }
 
 let create ?(batch = 1) ?(synchronous = false) wal =
@@ -34,9 +39,11 @@ let create ?(batch = 1) ?(synchronous = false) wal =
     submitted = 0;
     batches = 0;
     max_batch = 0;
+    on_wait = ignore;
   }
 
 let batch t = t.batch
+let set_wait_observer t f = t.on_wait <- f
 
 (* Must hold [t.mu].  One fsync covers every commit record appended
    since the previous flush. *)
@@ -51,25 +58,40 @@ let flush_locked t =
   end
 
 let submit t ~xid =
+  (* wait-state attribution: under a sampled span context the whole
+     submit — mutex, WAL append, and whichever wait the protocol
+     dictates — becomes one "gc.wait" span whose [role] argument says
+     why time was spent: [batch] flushed at the coalescing threshold,
+     [leader] gathered and fsynced, [follower] blocked on a leader's
+     fsync, [queued] returned immediately (asynchronous mode).
+     Unsampled statements take the original path: no clock reads. *)
+  let sctx = Span.current () in
+  let t_enter = match sctx with Some _ -> Span.now_ns () | None -> 0 in
+  let role = ref "queued" in
   Mutex.lock t.mu;
   Wal.append t.wal (Wal.Commit xid);
   t.seq <- t.seq + 1;
   t.submitted <- t.submitted + 1;
   let my_seq = t.seq in
-  if t.seq - t.flushed >= t.batch then
+  if t.seq - t.flushed >= t.batch then begin
     (* the coalescing degree is reached: whoever got here flushes,
        covering every queued commit (deterministic on one thread) *)
+    role := "batch";
     flush_locked t
+  end
   else if t.synchronous then begin
-    if t.flushing then
+    if t.flushing then begin
       (* follower: a leader is gathering; it will cover our record *)
+      role := "follower";
       while t.flushed < my_seq do
         Condition.wait t.cond t.mu
       done
+    end
     else begin
       (* leader: open a short gather window so concurrent committers
          can append their records behind ours, then issue one fsync
          for the whole batch *)
+      role := "leader";
       t.flushing <- true;
       Mutex.unlock t.mu;
       for _ = 1 to 50 do
@@ -83,7 +105,13 @@ let submit t ~xid =
   (* asynchronous mode below the batch threshold: return immediately;
      durability arrives with the batch's flush (or an explicit
      {!flush}) — PostgreSQL's commit_delay/asynchronous-commit shape *)
-  Mutex.unlock t.mu
+  Mutex.unlock t.mu;
+  match sctx with
+  | None -> ()
+  | Some ctx ->
+      let t_exit = Span.now_ns () in
+      Span.emit ctx "gc.wait" ~args:[ ("role", !role) ] ~t0:t_enter ~t1:t_exit;
+      t.on_wait (float_of_int (t_exit - t_enter) /. 1e9)
 
 let flush t = Mutex.protect t.mu (fun () -> flush_locked t)
 

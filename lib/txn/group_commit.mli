@@ -41,7 +41,18 @@ val batch : t -> int
 
 val submit : t -> xid:int -> unit
 (** Append the transaction's [Commit] record and arrange for its fsync
-    per the mode above.  Thread-safe. *)
+    per the mode above.  Thread-safe.  Under a sampled
+    {!Ifdb_obs.Span} context the submit is recorded as a ["gc.wait"]
+    span whose [role] argument distinguishes the batch-threshold
+    flusher, the synchronous leader (gather window + fsync), a blocked
+    follower, and asynchronous queueing; unsampled submits read no
+    clock. *)
+
+val set_wait_observer : t -> (float -> unit) -> unit
+(** Observer for time spent inside {!submit}, in seconds.  Invoked
+    only for submits under a sampled span context (a sampled view,
+    like the span ring).  The database points this at its
+    [ifdb_group_commit_wait_seconds] histogram. *)
 
 val flush : t -> unit
 (** Force an fsync over any still-buffered commit records (no-op when

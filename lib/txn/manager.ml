@@ -1,3 +1,5 @@
+module Span = Ifdb_obs.Span
+
 exception Serialization_failure of string
 exception Not_in_progress of string
 
@@ -19,6 +21,7 @@ type txn = {
   mutable t_logged : bool; (* Begin record reached the WAL *)
   mutable t_read_tables : string list;  (* S2PL read locks (serializable) *)
   mutable t_write_tables : string list; (* S2PL write locks (serializable) *)
+  mutable t_lock_t0 : int; (* first S2PL acquisition, ns; 0 = none *)
 }
 
 type t = {
@@ -35,6 +38,11 @@ type t = {
       (* table-granularity strict two-phase locking: the conservative
          implementation of serializable isolation; the paper's
          prototype runs snapshot isolation instead (section 5.1) *)
+  lock_wait_ns : int Atomic.t;
+      (* cumulative time spent acquiring locks: every S2PL
+         acquisition check (serializable mode), plus the commit-path
+         manager mutex when a sampled span context observed it.
+         Exported as ifdb_lock_wait_ns_total. *)
 }
 
 let create ?wal ?(serializable_locking = false) ?(commit_batch = 1)
@@ -48,10 +56,12 @@ let create ?wal ?(serializable_locking = false) ?(commit_batch = 1)
     next_xid = 1;
     open_txns = [];
     locking = serializable_locking;
+    lock_wait_ns = Atomic.make 0;
   }
 
 let wal t = t.the_wal
 let group_commit t = t.gc
+let lock_wait_ns t = Atomic.get t.lock_wait_ns
 
 let flush_wal t = Group_commit.flush t.gc
 
@@ -78,6 +88,7 @@ let begin_txn t =
       t_logged = false;
       t_read_tables = [];
       t_write_tables = [];
+      t_lock_t0 = 0;
     }
   in
   t.open_txns <- txn :: t.open_txns;
@@ -141,38 +152,67 @@ let write_lock_keys heap lid =
     else [ partition_key name lid; directory_key name ]
   else [ name ]
 
+(* A lock key shown to the span layer: the partition suffix is an
+   interned label id, so it is masked — exports must not let lock
+   traffic identify a label partition (tag names stay placeholders). *)
+let redact_key key =
+  match String.index_opt key '#' with
+  | Some i -> String.sub key 0 i ^ "#?"
+  | None -> key
+
+(* Time one no-wait acquisition check.  Locking here never blocks —
+   conflicts raise immediately — so the "wait" is the check itself;
+   it still accumulates into [lock_wait_ns] (conflict or not) and
+   becomes a "lock.wait" span under a sampled context.  Only ever
+   called in serializable mode, so the snapshot-isolation default
+   reads no clock. *)
+let timed_acquire t txn key check =
+  let t0 = Span.now_ns () in
+  if txn.t_lock_t0 = 0 then txn.t_lock_t0 <- t0;
+  Fun.protect
+    ~finally:(fun () ->
+      let t1 = Span.now_ns () in
+      ignore (Atomic.fetch_and_add t.lock_wait_ns (t1 - t0));
+      match Span.current () with
+      | Some ctx ->
+          Span.emit ctx "lock.wait"
+            ~args:[ ("lock", "s2pl"); ("key", redact_key key) ]
+            ~t0 ~t1
+      | None -> ())
+    check
+
 let note_read t txn table =
-  if t.locking && not (List.mem table txn.t_read_tables) then begin
-    List.iter
-      (fun other ->
-        if other != txn && other.t_state = In_progress
-           && List.mem table other.t_write_tables
-        then
-          raise
-            (Serialization_failure
-               (Printf.sprintf
-                  "serializable: table %s is write-locked by transaction %d"
-                  table other.t_xid)))
-      t.open_txns;
-    txn.t_read_tables <- table :: txn.t_read_tables
-  end
+  if t.locking && not (List.mem table txn.t_read_tables) then
+    timed_acquire t txn table (fun () ->
+        List.iter
+          (fun other ->
+            if other != txn && other.t_state = In_progress
+               && List.mem table other.t_write_tables
+            then
+              raise
+                (Serialization_failure
+                   (Printf.sprintf
+                      "serializable: table %s is write-locked by transaction %d"
+                      table other.t_xid)))
+          t.open_txns;
+        txn.t_read_tables <- table :: txn.t_read_tables)
 
 let note_write t txn table =
-  if t.locking && not (List.mem table txn.t_write_tables) then begin
-    List.iter
-      (fun other ->
-        if other != txn && other.t_state = In_progress
-           && (List.mem table other.t_write_tables
-              || List.mem table other.t_read_tables)
-        then
-          raise
-            (Serialization_failure
-               (Printf.sprintf
-                  "serializable: table %s is locked by transaction %d" table
-                  other.t_xid)))
-      t.open_txns;
-    txn.t_write_tables <- table :: txn.t_write_tables
-  end
+  if t.locking && not (List.mem table txn.t_write_tables) then
+    timed_acquire t txn table (fun () ->
+        List.iter
+          (fun other ->
+            if other != txn && other.t_state = In_progress
+               && (List.mem table other.t_write_tables
+                  || List.mem table other.t_read_tables)
+            then
+              raise
+                (Serialization_failure
+                   (Printf.sprintf
+                      "serializable: table %s is locked by transaction %d" table
+                      other.t_xid)))
+          t.open_txns;
+        txn.t_write_tables <- table :: txn.t_write_tables)
 
 let record_insert t txn heap tuple =
   require_open txn "record_insert";
@@ -280,10 +320,32 @@ let close t txn =
 
 let commit t txn =
   require_open txn "commit";
-  Mutex.protect t.mu (fun () ->
-      txn.t_state <- Committed;
-      Hashtbl.replace t.statuses txn.t_xid Committed;
-      close t txn);
+  let mark_committed () =
+    txn.t_state <- Committed;
+    Hashtbl.replace t.statuses txn.t_xid Committed;
+    close t txn
+  in
+  (match Span.current () with
+  | None -> Mutex.protect t.mu mark_committed
+  | Some ctx ->
+      (* commit-path lock attribution: how long acquiring the
+         manager's commit mutex took (wait — real contention with
+         concurrent committers on the domain pool) vs how long the
+         critical section held it (hold).  If serializable locking
+         acquired S2PL locks, their hold — first acquisition to
+         commit, clipped to this statement — is recorded too. *)
+      let t0 = Span.now_ns () in
+      Mutex.lock t.mu;
+      let t1 = Span.now_ns () in
+      Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) mark_committed;
+      let t2 = Span.now_ns () in
+      ignore (Atomic.fetch_and_add t.lock_wait_ns (t1 - t0));
+      Span.emit ctx "lock.wait" ~args:[ ("lock", "manager") ] ~t0 ~t1;
+      Span.emit ctx "lock.hold" ~args:[ ("lock", "manager") ] ~t0:t1 ~t1:t2;
+      if txn.t_lock_t0 > 0 then
+        Span.emit ctx "lock.hold"
+          ~args:[ ("lock", "s2pl") ]
+          ~t0:txn.t_lock_t0 ~t1:t2);
   (* committed deletes retire their versions from the partition live
      counts (directory stats; scan pruning keys on the non-vacuumed
      counts, which only vacuum shrinks) *)

@@ -87,12 +87,29 @@ val note_read : t -> txn -> string -> unit
     partition/directory key — see {!partition_key}).  Under
     [serializable_locking], acquires the shared lock and raises
     {!Serialization_failure} if another open transaction holds the
-    exclusive lock.  No-op otherwise. *)
+    exclusive lock.  No-op otherwise.
+
+    Locking is no-wait, so "lock wait" here means the acquisition
+    check itself: its duration accumulates into {!lock_wait_ns} and,
+    under a sampled {!Ifdb_obs.Span} context, becomes a ["lock.wait"]
+    span whose [key] argument masks the partition suffix
+    (["table#?"]). *)
 
 val note_write : t -> txn -> string -> unit
 (** Acquire the exclusive lock on a key (called internally by
     {!record_insert}/{!record_delete}; exposed for constraint checks
-    that write logically). *)
+    that write logically).  Timed like {!note_read}. *)
+
+val lock_wait_ns : t -> int
+(** Cumulative nanoseconds spent acquiring locks: every S2PL
+    acquisition check (serializable mode only — the snapshot-isolation
+    default contributes nothing from statements) plus the commit-path
+    wait for the manager's own mutex when the committing statement is
+    under a sampled span context.  Exported as the
+    [ifdb_lock_wait_ns_total] counter.  Coarse by design: it
+    aggregates across all transactions and labels, so it reveals only
+    whole-system contention, not per-label activity (see DESIGN.md
+    §6.10 for the covert-channel audit). *)
 
 val partition_key : string -> int -> string
 (** The lock key for one label partition of a table ("table#lid").
@@ -136,7 +153,13 @@ val writes : txn -> write list
 val commit : t -> txn -> unit
 (** Commit: mark committed, then submit the commit record to the group
     commit queue (which decides when the fsync happens).  Read-only
-    transactions skip the WAL entirely — no record, no fsync. *)
+    transactions skip the WAL entirely — no record, no fsync.
+
+    Under a sampled span context the commit path additionally records
+    ["lock.wait"]/["lock.hold"] spans for the manager mutex (real
+    contention between concurrent committers) and, if serializable
+    locking acquired any S2PL locks, a ["lock.hold"] span covering
+    first acquisition to commit (clipped to the statement window). *)
 
 val abort : t -> txn -> unit
 (** Abort: mark aborted and undo xmax stamps (inserted versions become

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Compare a fresh `bench --json` document against checked-in baselines.
+
+Usage: check_bench_trend.py FRESH.json [BASELINE.json ...]
+
+With no baselines given, every BENCH_PR*.json next to the repo root is
+used.  The comparison is warn-only: regressions print WARN lines but
+the exit status is 0 unless an input is malformed — machine
+differences between CI runners and the machines that produced the
+baselines make a hard gate flaky, but the trend should stay visible in
+the log.
+
+Comparisons (fresh vs the most recent baseline that has the metric):
+
+  * prepared_micro us_prepared and spans_micro us_sample_off — the
+    spans experiment reuses the prepared-micro workload shape exactly
+    so that the sampled-off number is comparable across PRs; the span
+    acceptance bound (sampling off costs <= 5% over the pre-span
+    prepared path) is checked here, with slack for machine noise,
+  * prepared/direct TPC-C NOTPM ratios, which are self-normalizing
+    (both sides of the ratio ran on the same machine).
+"""
+
+import glob
+import json
+import os
+import sys
+
+# quick runs use smaller workloads; numbers are not comparable to the
+# full-size baselines, so only matching-size records are compared
+SLACK = 1.15  # 15% machine-noise allowance on absolute microseconds
+SPAN_OFF_BOUND = 1.05 * SLACK  # the PR's <=5% bound, plus noise
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"check_bench_trend: cannot load {path}: {e}")
+    if "results" not in doc or not isinstance(doc["results"], list):
+        sys.exit(f"check_bench_trend: {path} has no results array")
+    return doc
+
+
+def find(doc, workload):
+    for r in doc["results"]:
+        if r.get("workload") == workload:
+            return r
+    return None
+
+
+def pr_number(path):
+    stem = os.path.basename(path)
+    digits = "".join(c for c in stem if c.isdigit())
+    return int(digits) if digits else -1
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.exit("usage: check_bench_trend.py FRESH.json [BASELINE.json ...]")
+    fresh = load(sys.argv[1])
+    baselines = sys.argv[2:]
+    if not baselines:
+        baselines = sorted(glob.glob("BENCH_PR*.json"), key=pr_number)
+    if not baselines:
+        print("check_bench_trend: no baselines found, nothing to compare")
+        return
+    warns = 0
+
+    def warn(msg):
+        nonlocal warns
+        warns += 1
+        print(f"WARN: {msg}")
+
+    def newest(workload, field):
+        for path in reversed(baselines):
+            rec = find(load(path), workload)
+            if rec is not None and isinstance(rec.get(field), (int, float)):
+                return path, rec
+        return None, None
+
+    # sampled-off overhead vs the pre-span prepared path (same workload
+    # shape by construction; see bench/main.ml spans_bench)
+    spans = find(fresh, "spans_micro")
+    if spans is not None:
+        base_path, base = newest("prepared_micro", "us_prepared")
+        if base is not None and spans.get("rows") == base.get("rows"):
+            off = spans["us_sample_off"]
+            ref = base["us_prepared"]
+            ratio = off / ref
+            line = (
+                f"spans_micro us_sample_off {off:.2f}us vs "
+                f"{os.path.basename(base_path)} us_prepared {ref:.2f}us "
+                f"({ratio:.2f}x)"
+            )
+            if ratio > SPAN_OFF_BOUND:
+                warn(line + f" exceeds the {SPAN_OFF_BOUND:.2f}x bound")
+            else:
+                print("ok: " + line)
+        elif base is not None:
+            print(
+                "check_bench_trend: workload sizes differ "
+                "(--quick vs full), skipping spans-off comparison"
+            )
+
+    # prepared_micro drift, same-size runs only
+    pm = find(fresh, "prepared_micro")
+    if pm is not None:
+        base_path, base = newest("prepared_micro", "us_prepared")
+        if base is not None and pm.get("rows") == base.get("rows"):
+            ratio = pm["us_prepared"] / base["us_prepared"]
+            line = (
+                f"prepared_micro us_prepared {pm['us_prepared']:.2f}us vs "
+                f"{os.path.basename(base_path)} {base['us_prepared']:.2f}us "
+                f"({ratio:.2f}x)"
+            )
+            if ratio > SLACK:
+                warn(line + " regressed beyond noise allowance")
+            else:
+                print("ok: " + line)
+
+    # TPC-C prepared/direct ratio is machine-independent
+    pt = find(fresh, "prepared_tpcc")
+    if pt is not None and isinstance(pt.get("notpm_ratio"), (int, float)):
+        base_path, base = newest("prepared_tpcc", "notpm_ratio")
+        if base is not None:
+            drop = pt["notpm_ratio"] / base["notpm_ratio"]
+            line = (
+                f"prepared_tpcc notpm_ratio {pt['notpm_ratio']:.3f} vs "
+                f"{os.path.basename(base_path)} {base['notpm_ratio']:.3f}"
+            )
+            if drop < 0.85:
+                warn(line + " dropped more than 15%")
+            else:
+                print("ok: " + line)
+
+    if warns:
+        print(f"check_bench_trend: {warns} warning(s) — not failing the build")
+    else:
+        print("check_bench_trend: no regressions beyond noise")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event export produced by Span.to_chrome_json.
+
+Usage: check_trace_export.py FILE [--require-commit-children]
+
+Checks, in order:
+
+  * the file is valid JSON with a non-empty "traceEvents" array,
+  * every complete ("ph":"X") event carries name/ts/dur/pid/tid and
+    non-negative timestamps,
+  * within each (pid, tid) lane, events nest: sorted by start, every
+    event either contains the next or ends before it starts (spans
+    emitted from already-timed intervals are clipped to the statement
+    window by construction, so overlap is a recorder bug),
+  * with --require-commit-children: at least one "commit" span exists
+    whose lane contains "lock.wait", "gc.wait" and "wal.fsync" events
+    inside its window, each no longer than the commit span itself —
+    the PR's TPC-C acceptance shape.
+"""
+
+import json
+import sys
+
+EPS = 0.002  # µs; the exporter rounds timestamps to 3 decimals
+
+
+def fail(msg):
+    sys.exit(f"check_trace_export: {msg}")
+
+
+def main():
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    flags = set(a for a in sys.argv[1:] if a.startswith("--"))
+    if len(args) != 1:
+        fail("usage: check_trace_export.py FILE [--require-commit-children]")
+    try:
+        with open(args[0]) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {args[0]}: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents missing or empty")
+
+    lanes = {}
+    complete = 0
+    for ev in events:
+        ph = ev.get("ph")
+        if ph == "M":
+            continue
+        if ph != "X":
+            fail(f"unexpected phase {ph!r} in event {ev}")
+        for field in ("name", "ts", "dur", "pid", "tid"):
+            if field not in ev:
+                fail(f"complete event missing {field!r}: {ev}")
+        if ev["ts"] < 0 or ev["dur"] < 0:
+            fail(f"negative timestamp/duration: {ev}")
+        complete += 1
+        lanes.setdefault((ev["pid"], ev["tid"]), []).append(ev)
+    if complete == 0:
+        fail("no complete (ph=X) events")
+
+    for (pid, tid), evs in lanes.items():
+        evs.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack = []  # open windows, innermost last
+        for ev in evs:
+            t0, t1 = ev["ts"], ev["ts"] + ev["dur"]
+            while stack and t0 >= stack[-1] - EPS:
+                stack.pop()
+            if stack and t1 > stack[-1] + EPS:
+                fail(
+                    f"event {ev['name']!r} in lane pid={pid} tid={tid} "
+                    f"overlaps its enclosing span: ends {t1:.3f}, "
+                    f"parent ends {stack[-1]:.3f}"
+                )
+            stack.append(t1)
+
+    if "--require-commit-children" in flags:
+        flags.discard("--require-commit-children")
+        want = {"lock.wait", "gc.wait", "wal.fsync"}
+        satisfied = False
+        for evs in lanes.values():
+            for commit in evs:
+                if commit["name"] != "commit":
+                    continue
+                c0, c1 = commit["ts"], commit["ts"] + commit["dur"]
+                inside = {
+                    ev["name"]
+                    for ev in evs
+                    if ev is not commit
+                    and ev["ts"] >= c0 - EPS
+                    and ev["ts"] + ev["dur"] <= c1 + EPS
+                    and ev["dur"] <= commit["dur"] + EPS
+                    and ev["name"] in want
+                }
+                if inside == want:
+                    satisfied = True
+                    break
+            if satisfied:
+                break
+        if not satisfied:
+            fail(
+                "no commit span contains lock.wait, gc.wait and wal.fsync "
+                "children within its window"
+            )
+    if flags:
+        fail(f"unknown flag(s): {sorted(flags)}")
+
+    print(
+        f"ok: {complete} complete events in {len(lanes)} lane(s), "
+        f"all well-nested"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -7,4 +7,4 @@ let () =
    @ Test_security.suites @ Test_engine.suites @ Test_dump.suites @ Test_edge.suites
    @ Test_parallel.suites @ Test_writepath.suites @ Test_analysis.suites @ Test_obs.suites
    @ Test_views_ivm.suites @ Test_partition.suites @ Test_prepared.suites
-  @ Test_trace.suites)
+  @ Test_trace.suites @ Test_spans.suites)
