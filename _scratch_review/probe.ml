@@ -1,0 +1,14 @@
+module Db = Ifdb_core.Database
+module Span = Ifdb_obs.Span
+
+let () =
+  let db = Db.create ~isolation:Db.Serializable ~trace_sample:1 () in
+  let admin = Db.connect_admin db in
+  let p = Db.create_principal admin ~name:"u" in
+  let s = Db.connect db ~principal:p in
+  ignore (Db.exec s "CREATE TABLE t (k INT PRIMARY KEY, v INT)");
+  ignore (Db.exec s "INSERT INTO t VALUES (1, 1)");
+  ignore (Db.exec s "UPDATE t SET v = 2 WHERE k = 1");
+  let sp = Db.spans db in
+  let records = Span.recent sp (Span.capacity sp) in
+  print_string (Span.to_chrome_json records)
